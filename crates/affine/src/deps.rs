@@ -1,0 +1,189 @@
+//! The polyhedral dependence relation `Rdep` on the time space.
+
+use crate::lift::{Lifting, MacroGate};
+use presburger::{BasicMap, Constraint, LinearExpr, Map};
+
+/// Builds the paper's dependence relation `Rdep` as a Presburger relation
+/// `{ [t₁] → [t₂] }` on the 1-D logical time space: gate instances at times
+/// `t₁ < t₂` that share a qubit operand (flow, anti, output and read
+/// conflicts alike — all have the same transitive closure).
+///
+/// One basic relation is emitted per (statement, statement, operand,
+/// operand) combination whose operand value ranges intersect; each encodes
+///
+/// * membership of `t₁` / `t₂` in the statements' strided time domains
+///   (bounds plus congruence constraints),
+/// * the precedence `t₁ < t₂`, and
+/// * the affine qubit-coincidence equation scaled through both schedules.
+pub fn dependence_map(lifting: &Lifting) -> Map {
+    let mut parts: Vec<BasicMap> = Vec::new();
+    for s1 in &lifting.statements {
+        for s2 in &lifting.statements {
+            for (k, f1) in [(0, &s1.op_a), (1, &s1.op_b)] {
+                for (m, f2) in [(0, &s2.op_a), (1, &s2.op_b)] {
+                    let _ = (k, m);
+                    let (lo1, hi1) = f1.range(s1.n);
+                    let (lo2, hi2) = f2.range(s2.n);
+                    if hi1 < lo2 || hi2 < lo1 {
+                        continue; // operand ranges cannot coincide
+                    }
+                    if let Some(bm) = pair_relation(s1, f1, s2, f2) {
+                        parts.push(bm);
+                    }
+                }
+            }
+        }
+    }
+    Map::from_parts(1, 1, parts)
+}
+
+/// The dependence pieces between one operand of `s1` and one of `s2`.
+fn pair_relation(
+    s1: &MacroGate,
+    f1: &crate::lift::AffineFn,
+    s2: &MacroGate,
+    f2: &crate::lift::AffineFn,
+) -> Option<BasicMap> {
+    // Variables: (t1, t2).
+    let n = 2;
+    let t1 = LinearExpr::var(n, 0);
+    let t2 = LinearExpr::var(n, 1);
+    let mut cs: Vec<Constraint> = Vec::new();
+    // t1 in dom(s1): base <= t1 <= base + dt*(n-1), t1 ≡ base (mod dt).
+    domain_constraints(&mut cs, &t1, s1);
+    domain_constraints(&mut cs, &t2, s2);
+    // Precedence.
+    cs.push(Constraint::ge2(t2.clone(), &t1.clone().plus_const(1)));
+    // Qubit coincidence: f1(i1) = f2(i2) with i = (t - base) / dt.
+    // Scale by dt1*dt2 (both >= 1):
+    //   a1*dt2*(t1 - b1t) + c1*dt1*dt2 = a2*dt1*(t2 - b2t) + c2*dt1*dt2
+    let (dt1, dt2) = (s1.time.step.max(1), s2.time.step.max(1));
+    let lhs = t1
+        .clone()
+        .plus_const(-s1.time.base)
+        .scale(f1.step * dt2)
+        .plus_const(f1.base * dt1 * dt2);
+    let rhs = t2
+        .clone()
+        .plus_const(-s2.time.base)
+        .scale(f2.step * dt1)
+        .plus_const(f2.base * dt1 * dt2);
+    cs.push(Constraint::eq2(lhs, &rhs));
+    let bm = BasicMap::new(1, 1, cs);
+    (!bm.wrapped().is_obviously_empty()).then_some(bm)
+}
+
+fn domain_constraints(cs: &mut Vec<Constraint>, t: &LinearExpr, s: &MacroGate) {
+    let dt = s.time.step.max(1);
+    let first = s.time.base;
+    let last = s.time.at(s.n - 1);
+    cs.push(Constraint::ge(t.clone().plus_const(-first)));
+    cs.push(Constraint::ge(t.neg().plus_const(last)));
+    if dt >= 2 {
+        cs.push(Constraint::modulo(t.clone().plus_const(-first), dt));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lift::lift_interactions;
+    use circuit::Circuit;
+
+    /// Brute-force conflict relation on the interaction trace.
+    fn brute_rdep(c: &Circuit) -> Vec<(i64, i64)> {
+        let itx: Vec<(u32, u32)> = c.interactions().map(|(_, a, b)| (a, b)).collect();
+        let mut out = Vec::new();
+        for i in 0..itx.len() {
+            for j in i + 1..itx.len() {
+                let (a1, b1) = itx[i];
+                let (a2, b2) = itx[j];
+                if a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2 {
+                    out.push((i as i64, j as i64));
+                }
+            }
+        }
+        out
+    }
+
+    fn check_exact(c: &Circuit) {
+        let l = lift_interactions(c);
+        let m = dependence_map(&l);
+        let expected = brute_rdep(c);
+        let n = l.n_interactions() as i64;
+        for t1 in 0..n {
+            for t2 in 0..n {
+                let inside = m.contains(&[t1], &[t2]);
+                let truth = expected.contains(&(t1, t2));
+                assert_eq!(inside, truth, "({t1}, {t2}) in {}-gate circuit", n);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_dependences_exact() {
+        let mut c = Circuit::new(6);
+        for i in 0..5 {
+            c.cx(i, i + 1);
+        }
+        check_exact(&c);
+    }
+
+    #[test]
+    fn strided_access_dependences_exact() {
+        // cx(i, 2i+1): instances share qubits sparsely (q1 of instance 3 is
+        // 3 = q2 of instance 1).
+        let mut c = Circuit::new(16);
+        for i in 0..6u32 {
+            c.cx(i, 2 * i + 1);
+        }
+        check_exact(&c);
+    }
+
+    #[test]
+    fn disjoint_statements_have_no_cross_deps() {
+        let mut c = Circuit::new(10);
+        for i in 0..3u32 {
+            c.cx(i, i + 1); // block on qubits 0..4
+        }
+        for i in 5..8u32 {
+            c.cx(i, i + 1); // block on qubits 5..9
+        }
+        check_exact(&c);
+        let l = lift_interactions(&c);
+        let m = dependence_map(&l);
+        // No dependence may cross the two blocks.
+        assert!(!m.contains(&[0], &[3]));
+        assert!(!m.contains(&[2], &[5]));
+    }
+
+    #[test]
+    fn interleaved_statements_exact() {
+        let mut c = Circuit::new(9);
+        for i in 0..3u32 {
+            c.cx(i, i + 1);
+            c.cx(5 + i, 4 + i);
+        }
+        check_exact(&c);
+    }
+
+    #[test]
+    fn reversed_sweep_dependences_exact() {
+        let mut c = Circuit::new(6);
+        for i in (0..5u32).rev() {
+            c.cx(i, i + 1);
+        }
+        check_exact(&c);
+    }
+
+    #[test]
+    fn irregular_circuit_still_exact() {
+        let mut c = Circuit::new(8);
+        c.cx(0, 5);
+        c.cx(3, 1);
+        c.cx(5, 3);
+        c.cx(1, 7);
+        c.cx(0, 3);
+        check_exact(&c);
+    }
+}

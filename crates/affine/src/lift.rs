@@ -1,0 +1,401 @@
+//! Lifting gate traces into macro-gates with affine access relations.
+
+use circuit::Circuit;
+
+/// A one-dimensional affine function `i ↦ base + step·i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AffineFn {
+    /// Value at `i = 0`.
+    pub base: i64,
+    /// Increment per iteration.
+    pub step: i64,
+}
+
+impl AffineFn {
+    /// Evaluates the function.
+    pub fn at(&self, i: i64) -> i64 {
+        self.base + self.step * i
+    }
+
+    /// The value range over `0..n` as `(min, max)`.
+    pub fn range(&self, n: i64) -> (i64, i64) {
+        let last = self.at(n - 1);
+        (self.base.min(last), self.base.max(last))
+    }
+}
+
+/// One two-qubit interaction of a circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interaction {
+    /// Index of the originating gate in the circuit's gate list.
+    pub gate: u32,
+    /// First operand (logical qubit).
+    pub a: u32,
+    /// Second operand (logical qubit).
+    pub b: u32,
+}
+
+/// A macro-gate (QRANE "statement"): `n` gate instances whose logical time
+/// and qubit operands follow affine progressions.
+///
+/// Instance `i ∈ [0, n)` executes at time `time.at(i)` and acts on qubits
+/// `(op_a.at(i), op_b.at(i))` — the iteration domain, schedule, and access
+/// relations of the affine representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MacroGate {
+    /// Trip count (`>= 1`).
+    pub n: i64,
+    /// Schedule: logical time of instance `i`.
+    pub time: AffineFn,
+    /// Access relation of the first operand.
+    pub op_a: AffineFn,
+    /// Access relation of the second operand.
+    pub op_b: AffineFn,
+    /// The concrete interaction indices covered, in iteration order.
+    pub members: Vec<u32>,
+}
+
+/// The result of lifting a circuit's interaction trace.
+#[derive(Clone, Debug)]
+pub struct Lifting {
+    /// The interaction trace (one entry per two-qubit gate, in order).
+    /// Interaction `t` is the gate at logical time `t`.
+    pub interactions: Vec<Interaction>,
+    /// The macro-gates covering the trace, each member exactly once.
+    pub statements: Vec<MacroGate>,
+}
+
+impl Lifting {
+    /// Number of interactions (logical time steps).
+    pub fn n_interactions(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// Compression ratio: interactions per macro-gate (1.0 = no structure
+    /// found; higher = more affine regularity).
+    pub fn compression(&self) -> f64 {
+        if self.statements.is_empty() {
+            1.0
+        } else {
+            self.interactions.len() as f64 / self.statements.len() as f64
+        }
+    }
+}
+
+/// Extracts the two-qubit interaction trace of `circuit` and groups it
+/// into macro-gates.
+///
+/// Runs are committed only when **three** elements form an arithmetic
+/// progression in time and in both operands (the same discipline trace
+/// compressors use for stride detection). This lets interleaved statements
+/// — e.g. two sweeps alternating gate by gate, or the period-`k` blocks a
+/// decomposed adder produces — untangle correctly instead of adopting
+/// accidental strides from a neighbouring statement. Established runs then
+/// extend on exact prediction of `(t, a, b)`; elements that never find a
+/// progression become singleton macro-gates.
+///
+/// Runs and unpaired singles expire once no element extended them within
+/// `max_gap` interactions, bounding the interleaving window.
+pub fn lift_interactions(circuit: &Circuit) -> Lifting {
+    lift_with_gap(circuit, 24)
+}
+
+/// [`lift_interactions`] with an explicit interleaving window.
+pub fn lift_with_gap(circuit: &Circuit, max_gap: usize) -> Lifting {
+    let interactions: Vec<Interaction> = circuit
+        .interactions()
+        .map(|(gate, a, b)| Interaction {
+            gate: gate as u32,
+            a,
+            b,
+        })
+        .collect();
+    let max_gap = max_gap as i64;
+    let mut runs: Vec<Run> = Vec::new();
+    let mut singles: Vec<Single> = Vec::new();
+    let mut closed: Vec<MacroGate> = Vec::new();
+    for (t, itx) in interactions.iter().enumerate() {
+        let t = t as i64;
+        let (a, b) = (itx.a as i64, itx.b as i64);
+        // 1. Extend an established run whose prediction matches exactly
+        //    (most recent first).
+        let mut placed = false;
+        for run in runs.iter_mut().rev() {
+            if run.predicts(t, a, b) {
+                run.extend(t, a, b, itx.gate);
+                placed = true;
+                break;
+            }
+        }
+        // 2. Commit a new run when (s2, s1, g) is a three-term progression.
+        if !placed {
+            'outer: for i in (0..singles.len()).rev() {
+                let s1 = singles[i];
+                let (dt, da, db) = (t - s1.t, a - s1.a, b - s1.b);
+                if dt <= 0 {
+                    continue;
+                }
+                for j in (0..singles.len()).rev() {
+                    if j == i {
+                        continue;
+                    }
+                    let s2 = singles[j];
+                    if s1.t - s2.t == dt && s1.a - s2.a == da && s1.b - s2.b == db {
+                        let run = Run::commit(s2, s1, t, a, b, itx.gate, dt, da, db);
+                        // Remove the two consumed singles (larger index first).
+                        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                        singles.remove(hi);
+                        singles.remove(lo);
+                        runs.push(run);
+                        placed = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        // 3. Otherwise remember the element as a single.
+        if !placed {
+            singles.push(Single {
+                t,
+                a,
+                b,
+                gate: itx.gate,
+            });
+        }
+        // Expire runs and singles that fell out of the window.
+        let mut i = 0;
+        while i < runs.len() {
+            if t - runs[i].last_time >= max_gap {
+                closed.push(runs.swap_remove(i).into_macro_gate());
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < singles.len() {
+            if t - singles[i].t >= max_gap {
+                closed.push(singles.swap_remove(i).into_macro_gate());
+            } else {
+                i += 1;
+            }
+        }
+    }
+    closed.extend(runs.into_iter().map(Run::into_macro_gate));
+    closed.extend(singles.into_iter().map(Single::into_macro_gate));
+    // Deterministic order: by first time stamp.
+    closed.sort_by_key(|m| m.time.base);
+    Lifting {
+        interactions,
+        statements: closed,
+    }
+}
+
+/// An element awaiting a progression partner.
+#[derive(Clone, Copy, Debug)]
+struct Single {
+    t: i64,
+    a: i64,
+    b: i64,
+    gate: u32,
+}
+
+impl Single {
+    fn into_macro_gate(self) -> MacroGate {
+        MacroGate {
+            n: 1,
+            time: AffineFn {
+                base: self.t,
+                step: 1,
+            },
+            op_a: AffineFn {
+                base: self.a,
+                step: 0,
+            },
+            op_b: AffineFn {
+                base: self.b,
+                step: 0,
+            },
+            members: vec![self.gate],
+        }
+    }
+}
+
+/// A committed run (length >= 3, strides fixed).
+#[derive(Debug)]
+struct Run {
+    first_time: i64,
+    last_time: i64,
+    dt: i64,
+    first_a: i64,
+    first_b: i64,
+    last_a: i64,
+    last_b: i64,
+    da: i64,
+    db: i64,
+    members: Vec<u32>,
+}
+
+impl Run {
+    #[allow(clippy::too_many_arguments)]
+    fn commit(s2: Single, s1: Single, t: i64, a: i64, b: i64, gate: u32, dt: i64, da: i64, db: i64) -> Self {
+        Run {
+            first_time: s2.t,
+            last_time: t,
+            dt,
+            first_a: s2.a,
+            first_b: s2.b,
+            last_a: a,
+            last_b: b,
+            da,
+            db,
+            members: vec![s2.gate, s1.gate, gate],
+        }
+    }
+
+    fn predicts(&self, t: i64, a: i64, b: i64) -> bool {
+        t == self.last_time + self.dt && a == self.last_a + self.da && b == self.last_b + self.db
+    }
+
+    fn extend(&mut self, t: i64, a: i64, b: i64, gate: u32) {
+        self.last_time = t;
+        self.last_a = a;
+        self.last_b = b;
+        self.members.push(gate);
+    }
+
+    fn into_macro_gate(self) -> MacroGate {
+        let n = self.members.len() as i64;
+        MacroGate {
+            n,
+            time: AffineFn {
+                base: self.first_time,
+                step: self.dt,
+            },
+            op_a: AffineFn {
+                base: self.first_a,
+                step: self.da,
+            },
+            op_b: AffineFn {
+                base: self.first_b,
+                step: self.db,
+            },
+            members: self.members,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_chain_lifts_to_one_statement() {
+        // cx(i, i+1) for i in 0..7: one macro-gate, strides (1, 1, 1).
+        let mut c = Circuit::new(8);
+        for i in 0..7 {
+            c.cx(i, i + 1);
+        }
+        let l = lift_interactions(&c);
+        assert_eq!(l.statements.len(), 1);
+        let s = &l.statements[0];
+        assert_eq!(s.n, 7);
+        assert_eq!(s.time, AffineFn { base: 0, step: 1 });
+        assert_eq!(s.op_a, AffineFn { base: 0, step: 1 });
+        assert_eq!(s.op_b, AffineFn { base: 1, step: 1 });
+        assert!(l.compression() >= 7.0);
+    }
+
+    #[test]
+    fn qrane_paper_example() {
+        // The trace from the paper's §III-C: CX q[i], q[2i+1] for i in 0..4.
+        let mut c = Circuit::new(8);
+        c.cx(0, 1);
+        c.cx(1, 3);
+        c.cx(2, 5);
+        c.cx(3, 7);
+        let l = lift_interactions(&c);
+        assert_eq!(l.statements.len(), 1);
+        let s = &l.statements[0];
+        assert_eq!(s.op_a, AffineFn { base: 0, step: 1 });
+        assert_eq!(s.op_b, AffineFn { base: 1, step: 2 });
+    }
+
+    #[test]
+    fn interleaved_statements_untangle() {
+        // Two interleaved progressions: (0,1),(4,5),(1,2),(5,6),(2,3),(6,7)
+        let mut c = Circuit::new(8);
+        for i in 0..3u32 {
+            c.cx(i, i + 1);
+            c.cx(4 + i, 5 + i);
+        }
+        let l = lift_interactions(&c);
+        assert_eq!(l.statements.len(), 2);
+        for s in &l.statements {
+            assert_eq!(s.n, 3);
+            assert_eq!(s.time.step, 2);
+        }
+    }
+
+    #[test]
+    fn irregular_trace_degenerates_to_singletons() {
+        let mut c = Circuit::new(8);
+        c.cx(0, 5);
+        c.cx(3, 1);
+        c.cx(6, 2);
+        c.cx(1, 7);
+        let l = lift_interactions(&c);
+        // No two consecutive pairs share strides beyond the free second
+        // element, so runs stay length <= 2.
+        assert!(l.statements.len() >= 2);
+        let covered: usize = l.statements.iter().map(|s| s.members.len()).sum();
+        assert_eq!(covered, 4);
+    }
+
+    #[test]
+    fn members_partition_the_trace() {
+        let mut c = Circuit::new(10);
+        for i in 0..4 {
+            c.cx(i, i + 1);
+        }
+        c.h(3);
+        for i in 0..4 {
+            c.cx(9 - i, 8 - i);
+        }
+        let l = lift_interactions(&c);
+        let mut seen: Vec<u32> = l
+            .statements
+            .iter()
+            .flat_map(|s| s.members.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        let expected: Vec<u32> = l.interactions.iter().map(|i| i.gate).collect();
+        let mut expected = expected;
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn affine_fn_range() {
+        let f = AffineFn { base: 10, step: -2 };
+        assert_eq!(f.at(3), 4);
+        assert_eq!(f.range(4), (4, 10));
+        let g = AffineFn { base: 1, step: 3 };
+        assert_eq!(g.range(3), (1, 7));
+    }
+
+    #[test]
+    fn single_qubit_gates_are_transparent() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.h(0);
+        c.h(1);
+        c.cx(1, 2);
+        c.h(2);
+        c.cx(2, 3);
+        let l = lift_interactions(&c);
+        // Times are interaction positions, not raw gate indices.
+        assert_eq!(l.n_interactions(), 3);
+        assert_eq!(l.statements.len(), 1);
+        assert_eq!(l.statements[0].time.step, 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Dependence weights ω via transitive closure.
+
+use crate::deps::dependence_map;
+use crate::lift::lift_interactions;
+use circuit::{Circuit, DependenceGraph, Gate};
+use presburger::Set;
+
+/// Which engine computes the ω weights.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WeightMode {
+    /// Decide per circuit: use the affine path when lifting finds enough
+    /// structure (compression ≥ 4 and few statements), otherwise the graph
+    /// path.
+    #[default]
+    Auto,
+    /// Force the polyhedral path (lift → `Rdep` → `R⁺` → `card`).
+    Affine,
+    /// Force exact bitset reachability on the concrete dependence DAG.
+    Graph,
+}
+
+/// Which engine actually produced the weights.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightPath {
+    /// Polyhedral closure, exact.
+    AffineExact,
+    /// Polyhedral closure, flagged over-approximation (weights are an
+    /// upper bound on the true transitive successor counts).
+    AffineOverApproximate,
+    /// Concrete bitset reachability (always exact).
+    Graph,
+}
+
+/// Per-gate dependence weights `ω(g)` over the two-qubit interaction trace
+/// of a circuit (the paper's Eq. 1).
+///
+/// Routing only consults weights of two-qubit gates; weights are indexed by
+/// *gate index* in the original circuit (non-two-qubit gates weigh 0).
+#[derive(Clone, Debug)]
+pub struct DependenceAnalysis {
+    weights: Vec<u64>,
+    path: WeightPath,
+    compression: f64,
+    n_statements: usize,
+}
+
+impl DependenceAnalysis {
+    /// Analyzes `circuit` under the given mode.
+    pub fn new(circuit: &Circuit, mode: WeightMode) -> Self {
+        let lifting = lift_interactions(circuit);
+        let compression = lifting.compression();
+        let n_statements = lifting.statements.len();
+        let try_affine = match mode {
+            WeightMode::Affine => true,
+            WeightMode::Graph => false,
+            WeightMode::Auto => compression >= 4.0 && n_statements <= 256,
+        };
+        if try_affine {
+            if let Some((weights, exact)) = affine_weights(circuit, &lifting) {
+                return DependenceAnalysis {
+                    weights,
+                    path: if exact {
+                        WeightPath::AffineExact
+                    } else {
+                        WeightPath::AffineOverApproximate
+                    },
+                    compression,
+                    n_statements,
+                };
+            }
+        }
+        DependenceAnalysis {
+            weights: graph_weights(circuit),
+            path: WeightPath::Graph,
+            compression,
+            n_statements,
+        }
+    }
+
+    /// ω of the gate at `gate_index` (0 for non-two-qubit gates).
+    pub fn weight(&self, gate_index: u32) -> u64 {
+        self.weights
+            .get(gate_index as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All weights, indexed by gate index.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Which engine produced the weights.
+    pub fn path(&self) -> WeightPath {
+        self.path
+    }
+
+    /// Lifting compression ratio (interactions per macro-gate).
+    pub fn compression(&self) -> f64 {
+        self.compression
+    }
+
+    /// Number of macro-gates the lifter produced.
+    pub fn n_statements(&self) -> usize {
+        self.n_statements
+    }
+}
+
+/// The polyhedral path: `ω(t) = card(R⁺({t}))` per interaction time.
+fn affine_weights(circuit: &Circuit, lifting: &crate::lift::Lifting) -> Option<(Vec<u64>, bool)> {
+    let rdep = dependence_map(lifting);
+    if rdep.parts().len() > 512 {
+        return None; // closure over this many disjuncts will not verify
+    }
+    let closure = rdep.transitive_closure();
+    let mut weights = vec![0u64; circuit.gates().len()];
+    for (t, itx) in lifting.interactions.iter().enumerate() {
+        let singleton = Set::from_points(1, std::iter::once([t as i64].as_slice()));
+        let successors = closure.map.apply(&singleton).ok()?;
+        weights[itx.gate as usize] = successors.count_points_checked()?;
+    }
+    Some((weights, closure.exact))
+}
+
+/// The concrete path: bitset reachability over the two-qubit interaction
+/// DAG.
+fn graph_weights(circuit: &Circuit) -> Vec<u64> {
+    // Build a shadow circuit holding only the two-qubit gates so that the
+    // DAG's transitive counts line up with interaction indices.
+    let mut shadow = Circuit::new(circuit.n_qubits());
+    let mut gate_of: Vec<u32> = Vec::new();
+    for (gate, a, b) in circuit.interactions() {
+        shadow.push(Gate::two_q(circuit.gates()[gate].kind.clone(), a, b));
+        gate_of.push(gate as u32);
+    }
+    let dag = DependenceGraph::new(&shadow);
+    let counts = dag.transitive_successor_counts();
+    let mut weights = vec![0u64; circuit.gates().len()];
+    for (i, &gate) in gate_of.iter().enumerate() {
+        weights[gate as usize] = counts[i];
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: u32) -> Circuit {
+        let mut c = Circuit::new(n as usize + 1);
+        for i in 0..n {
+            c.cx(i, i + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn graph_weights_on_chain() {
+        let c = chain(5);
+        let a = DependenceAnalysis::new(&c, WeightMode::Graph);
+        assert_eq!(a.path(), WeightPath::Graph);
+        assert_eq!(a.weights(), &[4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn affine_weights_match_graph_on_chain() {
+        let c = chain(7);
+        let graph = DependenceAnalysis::new(&c, WeightMode::Graph);
+        let affine = DependenceAnalysis::new(&c, WeightMode::Affine);
+        assert!(matches!(
+            affine.path(),
+            WeightPath::AffineExact | WeightPath::AffineOverApproximate
+        ));
+        if affine.path() == WeightPath::AffineExact {
+            assert_eq!(affine.weights(), graph.weights());
+        } else {
+            // Over-approximation must dominate the exact counts.
+            for (o, e) in affine.weights().iter().zip(graph.weights()) {
+                assert!(o >= e);
+            }
+        }
+    }
+
+    #[test]
+    fn affine_weights_match_graph_on_disjoint_blocks() {
+        let mut c = Circuit::new(12);
+        for i in 0..5u32 {
+            c.cx(i, i + 1);
+        }
+        for i in 6..11u32 {
+            c.cx(i, i + 1);
+        }
+        let graph = DependenceAnalysis::new(&c, WeightMode::Graph);
+        let affine = DependenceAnalysis::new(&c, WeightMode::Affine);
+        for g in 0..c.gates().len() as u32 {
+            assert!(
+                affine.weight(g) >= graph.weight(g),
+                "gate {g}: affine {} < graph {}",
+                affine.weight(g),
+                graph.weight(g)
+            );
+        }
+        if affine.path() == WeightPath::AffineExact {
+            assert_eq!(affine.weights(), graph.weights());
+        }
+    }
+
+    #[test]
+    fn single_qubit_gates_weigh_zero() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.h(2);
+        let a = DependenceAnalysis::new(&c, WeightMode::Graph);
+        assert_eq!(a.weight(0), 0);
+        assert_eq!(a.weight(2), 0);
+    }
+
+    #[test]
+    fn auto_mode_picks_graph_for_irregular() {
+        // Pseudo-random interactions: compression stays low.
+        let mut c = Circuit::new(16);
+        let mut s = 1u64;
+        for _ in 0..60 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (s >> 33) % 16;
+            let b = (s >> 13) % 16;
+            if a != b {
+                c.cx(a as u32, b as u32);
+            }
+        }
+        let a = DependenceAnalysis::new(&c, WeightMode::Auto);
+        assert_eq!(a.path(), WeightPath::Graph);
+        assert!(a.compression() < 4.0);
+    }
+
+    #[test]
+    fn auto_mode_picks_affine_for_regular() {
+        let c = chain(40);
+        let a = DependenceAnalysis::new(&c, WeightMode::Auto);
+        assert!(matches!(
+            a.path(),
+            WeightPath::AffineExact | WeightPath::AffineOverApproximate
+        ));
+        assert!(a.compression() >= 4.0);
+        assert_eq!(a.n_statements(), 1);
+    }
+
+    #[test]
+    fn weights_respect_eq1_semantics() {
+        // Fan-out: gate 0 feeds two independent chains; its weight is the
+        // total number of downstream gates.
+        let mut c = Circuit::new(6);
+        c.cx(0, 1); // g0
+        c.cx(1, 2); // depends on g0
+        c.cx(0, 3); // depends on g0
+        c.cx(3, 4); // depends on g2
+        let a = DependenceAnalysis::new(&c, WeightMode::Graph);
+        assert_eq!(a.weight(0), 3);
+        assert_eq!(a.weight(1), 0);
+        assert_eq!(a.weight(2), 1);
+        assert_eq!(a.weight(3), 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Shared routing-loop plumbing for the baseline mappers.
+
+use circuit::{Circuit, DependenceGraph, Gate};
+use qlosure::{Layout, MappingResult};
+use topology::{CouplingGraph, DistanceMatrix};
+
+/// Mutable state of a swap-until-free routing loop, shared by the SABRE,
+/// Cirq and tket baselines (QMAP layers its own search on top).
+pub(crate) struct RouterState<'a> {
+    pub circuit: &'a Circuit,
+    pub device: &'a CouplingGraph,
+    pub dist: &'a DistanceMatrix,
+    pub dag: DependenceGraph,
+    pub indeg: Vec<u32>,
+    pub front: Vec<u32>,
+    pub layout: Layout,
+    pub routed: Circuit,
+    pub initial_layout: Vec<u32>,
+    pub swaps: usize,
+}
+
+impl<'a> RouterState<'a> {
+    pub fn new(
+        circuit: &'a Circuit,
+        device: &'a CouplingGraph,
+        dist: &'a DistanceMatrix,
+        layout: Layout,
+    ) -> Self {
+        assert!(
+            circuit.n_qubits() <= device.n_qubits(),
+            "circuit does not fit the device"
+        );
+        let dag = DependenceGraph::new(circuit);
+        let indeg = dag.in_degrees();
+        let front = dag.initial_front();
+        let initial_layout = layout.as_assignment().to_vec();
+        RouterState {
+            circuit,
+            device,
+            dist,
+            dag,
+            indeg,
+            front,
+            layout,
+            routed: Circuit::with_capacity(device.n_qubits(), circuit.gates().len()),
+            initial_layout,
+            swaps: 0,
+        }
+    }
+
+    /// Whether gate `g` is executable under the current layout.
+    pub fn executable(&self, g: u32) -> bool {
+        match self.circuit.gates()[g as usize].qubit_pair() {
+            Some((a, b)) => self
+                .device
+                .is_adjacent(self.layout.phys(a), self.layout.phys(b)),
+            None => true,
+        }
+    }
+
+    /// Executes every currently executable front gate (cascading), emitting
+    /// them into the routed circuit. Returns how many gates ran.
+    pub fn execute_ready(&mut self) -> usize {
+        let mut ran = 0;
+        loop {
+            let mut ready: Vec<u32> = self
+                .front
+                .iter()
+                .copied()
+                .filter(|&g| self.executable(g))
+                .collect();
+            if ready.is_empty() {
+                return ran;
+            }
+            ready.sort_unstable();
+            for &g in &ready {
+                let gate = &self.circuit.gates()[g as usize];
+                let mapped = Gate {
+                    kind: gate.kind.clone(),
+                    qubits: gate.qubits.iter().map(|&q| self.layout.phys(q)).collect(),
+                    params: gate.params.clone(),
+                };
+                self.routed.push(mapped);
+                ran += 1;
+            }
+            self.front.retain(|g| !ready.contains(g));
+            for &g in &ready {
+                for &s in self.dag.succs(g) {
+                    self.indeg[s as usize] -= 1;
+                    if self.indeg[s as usize] == 0 {
+                        self.front.push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits a SWAP and updates the layout.
+    pub fn apply_swap(&mut self, p1: u32, p2: u32) {
+        debug_assert!(self.device.is_adjacent(p1, p2), "swap on uncoupled pair");
+        self.routed.swap(p1, p2);
+        self.layout.apply_swap(p1, p2);
+        self.swaps += 1;
+    }
+
+    /// The blocked two-qubit gates of the front layer.
+    pub fn blocked_front(&self) -> Vec<u32> {
+        self.front
+            .iter()
+            .copied()
+            .filter(|&g| self.circuit.gates()[g as usize].is_two_qubit())
+            .collect()
+    }
+
+    /// Physical qubits hosting operands of blocked front gates.
+    pub fn front_physicals(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .blocked_front()
+            .iter()
+            .filter_map(|&g| self.circuit.gates()[g as usize].qubit_pair())
+            .flat_map(|(a, b)| [self.layout.phys(a), self.layout.phys(b)])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Candidate SWAP edges incident to the blocked front (deduplicated).
+    pub fn swap_candidates(&self) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for p1 in self.front_physicals() {
+            for &p2 in self.device.neighbors(p1) {
+                let pair = (p1.min(p2), p1.max(p2));
+                if !out.contains(&pair) {
+                    out.push(pair);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of current physical distances of the given gates.
+    pub fn distance_sum(&self, gates: &[u32]) -> f64 {
+        gates
+            .iter()
+            .filter_map(|&g| self.circuit.gates()[g as usize].qubit_pair())
+            .map(|(a, b)| self.dist.get(self.layout.phys(a), self.layout.phys(b)) as f64)
+            .sum()
+    }
+
+    /// The next `limit` upcoming two-qubit gates beyond the front, in
+    /// topological (program) order.
+    pub fn lookahead(&self, limit: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(limit);
+        let mut visited = vec![false; self.dag.n_gates()];
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> =
+            std::collections::BinaryHeap::new();
+        for &g in &self.front {
+            visited[g as usize] = true;
+            heap.push(std::cmp::Reverse(g));
+        }
+        while let Some(std::cmp::Reverse(g)) = heap.pop() {
+            let in_front = self.indeg[g as usize] == 0;
+            if !in_front && self.circuit.gates()[g as usize].is_two_qubit() {
+                out.push(g);
+                if out.len() >= limit {
+                    break;
+                }
+            }
+            for &s in self.dag.succs(g) {
+                if !visited[s as usize] {
+                    visited[s as usize] = true;
+                    heap.push(std::cmp::Reverse(s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Routes the front gate `g` directly along a shortest path (forced
+    /// progress for heuristics that stall).
+    pub fn force_route(&mut self, g: u32) {
+        let (a, b) = self.circuit.gates()[g as usize]
+            .qubit_pair()
+            .expect("blocked gates are two-qubit");
+        let (pa, pb) = (self.layout.phys(a), self.layout.phys(b));
+        let path = self
+            .device
+            .shortest_path(pa, pb)
+            .expect("connected device");
+        for win in path.windows(2).take(path.len().saturating_sub(2)) {
+            self.apply_swap(win[0], win[1]);
+        }
+    }
+
+    /// Finishes the loop, producing the result.
+    pub fn into_result(self) -> MappingResult {
+        debug_assert!(self.front.is_empty(), "routing ended with pending gates");
+        MappingResult {
+            routed: self.routed,
+            final_layout: self.layout.as_assignment().to_vec(),
+            initial_layout: self.initial_layout,
+            swaps: self.swaps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::backends;
+
+    #[test]
+    fn execute_ready_cascades_through_single_qubit_gates() {
+        let device = backends::line(3);
+        let dist = device.distances();
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.h(1);
+        c.cx(1, 2);
+        let layout = Layout::identity(3, 3);
+        let mut st = RouterState::new(&c, &device, &dist, layout);
+        let ran = st.execute_ready();
+        assert_eq!(ran, 4);
+        assert!(st.front.is_empty());
+        assert_eq!(st.routed.qop_count(), 4);
+    }
+
+    #[test]
+    fn blocked_front_and_candidates() {
+        let device = backends::line(4);
+        let dist = device.distances();
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let mut st = RouterState::new(&c, &device, &dist, Layout::identity(4, 4));
+        assert_eq!(st.execute_ready(), 0);
+        assert_eq!(st.blocked_front(), vec![0]);
+        assert_eq!(st.front_physicals(), vec![0, 3]);
+        let cands = st.swap_candidates();
+        assert!(cands.contains(&(0, 1)) && cands.contains(&(2, 3)));
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn force_route_unblocks() {
+        let device = backends::line(5);
+        let dist = device.distances();
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        let mut st = RouterState::new(&c, &device, &dist, Layout::identity(5, 5));
+        st.execute_ready();
+        st.force_route(0);
+        assert_eq!(st.execute_ready(), 1);
+        assert!(st.front.is_empty());
+        assert_eq!(st.swaps, 3);
+    }
+
+    #[test]
+    fn lookahead_respects_topological_order() {
+        let device = backends::line(6);
+        let dist = device.distances();
+        let mut c = Circuit::new(6);
+        c.cx(0, 5); // blocked
+        c.cx(5, 1);
+        c.cx(1, 2);
+        c.cx(2, 3);
+        let mut st = RouterState::new(&c, &device, &dist, Layout::identity(6, 6));
+        st.execute_ready();
+        let la = st.lookahead(2);
+        assert_eq!(la, vec![1, 2]);
+    }
+}

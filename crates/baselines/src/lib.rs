@@ -1,0 +1,48 @@
+//! Baseline qubit mappers: SABRE, QMAP, Cirq and tket reimplementations.
+//!
+//! The Qlosure paper compares against four production mappers. Binding the
+//! original Python/C++ stacks is out of scope for an offline reproduction,
+//! so this crate reimplements each tool's published routing algorithm in
+//! Rust behind the common [`qlosure::Mapper`] interface:
+//!
+//! * [`SabreMapper`] — Li, Ding & Xie (ASPLOS'19) / LightSABRE: front +
+//!   extended-set heuristic with qubit decay;
+//! * [`QmapMapper`] — Zulehner, Paler & Wille (DATE'18), the heuristic in
+//!   MQT QMAP: per-layer A* search over SWAP sequences;
+//! * [`CirqMapper`] — Cirq's greedy time-sliced router: per-slice distance
+//!   minimization with one-slice look-ahead;
+//! * [`TketMapper`] — tket's LexiRoute-style router (Cowtan et al.,
+//!   TQC'19): lexicographic comparison of per-slice distance vectors.
+//!
+//! Every mapper's output is validated by [`circuit::verify_routing`] in
+//! this crate's tests (and continuously by the workspace integration
+//! tests). Absolute gate counts differ from the original tools — the
+//! evaluation compares relative behaviour, which is what the paper's
+//! tables measure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cirq_greedy;
+mod common;
+mod qmap;
+mod sabre;
+mod tket_route;
+
+pub use cirq_greedy::CirqMapper;
+pub use qmap::QmapMapper;
+pub use sabre::SabreMapper;
+pub use tket_route::TketMapper;
+
+use qlosure::Mapper;
+
+/// All four baselines, boxed behind the common interface (handy for the
+/// evaluation harness).
+pub fn all_baselines() -> Vec<Box<dyn Mapper + Send + Sync>> {
+    vec![
+        Box::new(SabreMapper::default()),
+        Box::new(QmapMapper::default()),
+        Box::new(CirqMapper::default()),
+        Box::new(TketMapper::default()),
+    ]
+}

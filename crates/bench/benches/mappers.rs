@@ -1,0 +1,37 @@
+//! End-to-end mapper throughput benchmarks: Qlosure vs. the baselines on
+//! a fixed QUEKO instance (the workload behind the paper's Table IV).
+
+use baselines::{CirqMapper, SabreMapper, TketMapper};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qlosure::{Mapper, QlosureMapper};
+use queko::QuekoSpec;
+use std::hint::black_box;
+use topology::backends;
+
+fn bench_mappers(c: &mut Criterion) {
+    let gen_device = backends::sycamore54();
+    let device = backends::sherbrooke();
+    let bench = QuekoSpec::new(&gen_device, 100).seed(0).generate();
+    let mut group = c.benchmark_group("queko54_depth100_on_sherbrooke");
+    group.sample_size(10);
+    group.bench_function("qlosure", |b| {
+        let m = QlosureMapper::default();
+        b.iter(|| black_box(m.map(&bench.circuit, &device)))
+    });
+    group.bench_function("sabre", |b| {
+        let m = SabreMapper::default();
+        b.iter(|| black_box(m.map(&bench.circuit, &device)))
+    });
+    group.bench_function("cirq", |b| {
+        let m = CirqMapper::default();
+        b.iter(|| black_box(m.map(&bench.circuit, &device)))
+    });
+    group.bench_function("tket", |b| {
+        let m = TketMapper::default();
+        b.iter(|| black_box(m.map(&bench.circuit, &device)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappers);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Microbenchmarks of the Presburger kernel: the operations the paper
+//! outsources to ISL/Barvinok (set algebra, transitive closure, counting).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use presburger::{BasicMap, BasicSet, Constraint, LinearExpr, Map, Set};
+use std::hint::black_box;
+
+fn bounded_shift(k: i64, lo: i64, hi: i64) -> Map {
+    Map::from(BasicMap::translation(&[k]).restrict_domain(&BasicSet::bounding_box(&[lo], &[hi])))
+}
+
+fn bench_set_algebra(c: &mut Criterion) {
+    let a = Set::from(BasicSet::bounding_box(&[0, 0], &[50, 50]));
+    let b = Set::from(BasicSet::bounding_box(&[25, 25], &[75, 75]));
+    c.bench_function("set_subtract_boxes", |bencher| {
+        bencher.iter(|| black_box(a.subtract(&b)))
+    });
+    c.bench_function("set_subset_check", |bencher| {
+        bencher.iter(|| black_box(b.is_subset(&a)))
+    });
+    let strided = BasicSet::new(
+        1,
+        vec![
+            Constraint::ge(LinearExpr::var(1, 0)),
+            Constraint::ge(LinearExpr::var(1, 0).neg().plus_const(9999)),
+            Constraint::modulo(LinearExpr::var(1, 0).plus_const(-3), 7),
+        ],
+    );
+    c.bench_function("count_strided_interval", |bencher| {
+        bencher.iter(|| black_box(Set::from(strided.clone()).count_points()))
+    });
+}
+
+fn bench_emptiness(c: &mut Criterion) {
+    // Integer-infeasible system that needs the Omega machinery.
+    let tricky = BasicSet::new(
+        2,
+        vec![
+            Constraint::eq(LinearExpr::new(vec![2, -2], -1)), // 2x = 2y + 1
+            Constraint::ge(LinearExpr::var(2, 0)),
+            Constraint::ge(LinearExpr::var(2, 0).neg().plus_const(1000)),
+        ],
+    );
+    c.bench_function("omega_emptiness_gap", |bencher| {
+        bencher.iter_batched(
+            || tricky.clone(),
+            |bs| black_box(bs.is_empty()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let unit = bounded_shift(1, 0, 499);
+    c.bench_function("closure_unit_shift_500", |bencher| {
+        bencher.iter(|| black_box(unit.transitive_closure()))
+    });
+    let mixed = bounded_shift(1, 0, 199).union(&bounded_shift(3, 0, 197));
+    c.bench_function("closure_mixed_steps_200", |bencher| {
+        bencher.iter(|| black_box(mixed.transitive_closure()))
+    });
+}
+
+fn bench_compose_apply(c: &mut Criterion) {
+    let f = bounded_shift(2, 0, 998);
+    let g = bounded_shift(3, 0, 998);
+    c.bench_function("map_compose", |bencher| {
+        bencher.iter(|| black_box(f.compose(&g).unwrap()))
+    });
+    let closure = bounded_shift(1, 0, 199).transitive_closure();
+    let singleton = Set::from(BasicSet::point(&[7]));
+    c.bench_function("closure_apply_and_count", |bencher| {
+        bencher.iter(|| {
+            let img = closure.map.apply(&singleton).unwrap();
+            black_box(img.count_points())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_set_algebra,
+    bench_emptiness,
+    bench_closure,
+    bench_compose_apply
+);
+criterion_main!(benches);

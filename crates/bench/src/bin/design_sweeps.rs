@@ -1,0 +1,122 @@
+//! Ablation of the implementation-level design choices documented in
+//! `DESIGN.md` §3b — the knobs this reproduction adds on top of the
+//! paper's Eq. (2), each swept around its default on a QUEKO instance and
+//! two QASMBench workloads:
+//!
+//! * ω smoothing (0 = paper-verbatim weights vs. 1);
+//! * ω scaling (linear / sqrt / log);
+//! * future-layer weight (1.0 = paper-verbatim sum vs. the 0.25 default);
+//! * busy-aware decay weight;
+//! * near-tie window;
+//! * look-ahead margin (the `c > max degree` constant).
+//!
+//! Usage: `cargo run --release -p qlosure-bench --bin design_sweeps`
+
+use bench_support::report::Table;
+use bench_support::{backend_by_name, run_verified};
+use circuit::Circuit;
+use qlosure::{OmegaScaling, QlosureConfig, QlosureMapper};
+use queko::QuekoSpec;
+
+fn workloads() -> Vec<(&'static str, Circuit)> {
+    let gen54 = backend_by_name("sycamore54");
+    vec![
+        (
+            "queko54@300",
+            QuekoSpec::new(&gen54, 300).seed(0).generate().circuit,
+        ),
+        ("qft_n63", qasmbench::qft(63)),
+        ("multiplier_n45", qasmbench::multiplier(45)),
+    ]
+}
+
+fn sweep(table: &mut Table, label: &str, config: QlosureConfig) {
+    let device = backend_by_name("sherbrooke");
+    let mapper = QlosureMapper::with_config(config);
+    let mut cells = vec![label.to_string()];
+    for (_, circuit) in workloads() {
+        let out = run_verified(&mapper, &circuit, &device);
+        cells.push(out.swaps.to_string());
+        cells.push(out.depth.to_string());
+    }
+    table.row(&cells);
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Design-choice sweeps on Sherbrooke (swaps / depth per workload)",
+        &[
+            "variant",
+            "queko54/s",
+            "queko54/d",
+            "qft63/s",
+            "qft63/d",
+            "mult45/s",
+            "mult45/d",
+        ],
+    );
+    let base = QlosureConfig::default;
+    sweep(&mut table, "default", base());
+    sweep(
+        &mut table,
+        "omega smoothing = 0 (paper)",
+        QlosureConfig {
+            omega_smoothing: 0,
+            ..base()
+        },
+    );
+    for (name, scaling) in [
+        ("omega scaling = sqrt", OmegaScaling::Sqrt),
+        ("omega scaling = log", OmegaScaling::Log),
+    ] {
+        sweep(
+            &mut table,
+            name,
+            QlosureConfig {
+                omega_scaling: scaling,
+                ..base()
+            },
+        );
+    }
+    for fw in [1.0, 0.5] {
+        sweep(
+            &mut table,
+            &format!("future weight = {fw} {}", if fw == 1.0 { "(paper)" } else { "" }),
+            QlosureConfig {
+                future_weight: fw,
+                ..base()
+            },
+        );
+    }
+    for bw in [0.0, 0.2] {
+        sweep(
+            &mut table,
+            &format!("busy weight = {bw} {}", if bw == 0.0 { "(paper)" } else { "" }),
+            QlosureConfig {
+                busy_weight: bw,
+                ..base()
+            },
+        );
+    }
+    for te in [0.0, 0.02] {
+        sweep(
+            &mut table,
+            &format!("tie epsilon = {te} {}", if te == 0.0 { "(paper)" } else { "" }),
+            QlosureConfig {
+                tie_epsilon: te,
+                ..base()
+            },
+        );
+    }
+    for margin in [4, 8] {
+        sweep(
+            &mut table,
+            &format!("lookahead margin = {margin}"),
+            QlosureConfig {
+                lookahead_margin: margin,
+                ..base()
+            },
+        );
+    }
+    table.print();
+}

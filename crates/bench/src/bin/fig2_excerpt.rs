@@ -1,0 +1,60 @@
+//! Figure 2 reproduction: the motivating excerpt.
+//!
+//! Two circuits — (i) a 54-qubit QUEKO instance (initial depth 900, ~9.7k
+//! two-qubit gates) and (ii) an 18-qubit deep QASMBench-style circuit
+//! (initial depth ~1.4k, ~0.9k two-qubit gates) — mapped onto IBM
+//! Sherbrooke and Rigetti Ankaa-3 by all five mappers. Reported metrics
+//! are Δ (final depth − initial depth) and SWAP count, exactly like the
+//! paper's Fig. 2 bars.
+
+use bench_support::report::Table;
+use bench_support::{all_mappers, backend_by_name, run_verified};
+use circuit::Circuit;
+use queko::QuekoSpec;
+
+fn deep_18q_circuit() -> Circuit {
+    // An 18-qubit, ~900-two-qubit-gate variational circuit with depth in
+    // the 1.4k range — the profile of the paper's 18-qubit excerpt.
+    qasmbench::variational_ansatz(18, 50)
+}
+
+fn main() {
+    let sherbrooke = backend_by_name("sherbrooke");
+    let ankaa = backend_by_name("ankaa3");
+    let sycamore = backend_by_name("sycamore54");
+    let queko54 = QuekoSpec::new(&sycamore, 900).seed(0).generate();
+    let deep18 = deep_18q_circuit();
+    println!(
+        "circuit (i): queko-54qbt depth {} / {} two-qubit gates",
+        queko54.circuit.depth(),
+        queko54.circuit.two_qubit_count()
+    );
+    println!(
+        "circuit (ii): deep-18qbt depth {} / {} two-qubit gates\n",
+        deep18.depth(),
+        deep18.two_qubit_count()
+    );
+    let mut table = Table::new(
+        "Fig. 2 — mapper comparison (delta depth / swaps)",
+        &["circuit", "backend", "mapper", "delta_depth", "swaps", "time_s"],
+    );
+    for (cname, circuit, depth0) in [
+        ("queko-54", &queko54.circuit, queko54.circuit.depth()),
+        ("deep-18", &deep18, deep18.depth()),
+    ] {
+        for (bname, device) in [("sherbrooke", &sherbrooke), ("ankaa3", &ankaa)] {
+            for mapper in all_mappers() {
+                let out = run_verified(mapper.as_ref(), circuit, device);
+                table.row(&[
+                    cname.to_string(),
+                    bname.to_string(),
+                    mapper.name().to_string(),
+                    format!("{}", out.depth as isize - depth0 as isize),
+                    out.swaps.to_string(),
+                    format!("{:.2}", out.elapsed.as_secs_f64()),
+                ]);
+            }
+        }
+    }
+    table.print();
+}

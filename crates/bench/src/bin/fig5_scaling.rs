@@ -1,0 +1,66 @@
+//! Figure 5 reproduction: Qlosure mapping time as a function of quantum
+//! operation count (QOPs).
+//!
+//! One series per back-end (Sherbrooke, Ankaa-3, Sherbrooke-2X), sweeping
+//! the queko-bss-54qbt depth grid — the paper's near-linear scaling plot.
+//! Output: one `(qops, seconds)` point per instance, CSV-ish, plus a
+//! least-squares linearity report.
+
+use bench_support::runner::parallel_map;
+use bench_support::{backend_by_name, run_verified, Scale};
+use qlosure::QlosureMapper;
+use queko::QuekoSpec;
+
+fn main() {
+    let scale = Scale::from_args();
+    let backends = ["sherbrooke", "ankaa3", "sherbrooke2x"];
+    let mut jobs: Vec<(String, usize, u64)> = Vec::new();
+    for b in &backends {
+        for depth in scale.depths() {
+            for seed in 0..scale.seeds() as u64 {
+                jobs.push((b.to_string(), depth, seed));
+            }
+        }
+    }
+    let points = parallel_map(jobs, |(backend, depth, seed)| {
+        let gen_device = backend_by_name("sycamore54");
+        let device = backend_by_name(backend);
+        let bench = QuekoSpec::new(&gen_device, *depth).seed(*seed).generate();
+        let qops = bench.circuit.qop_count();
+        let out = run_verified(&QlosureMapper::default(), &bench.circuit, &device);
+        (backend.clone(), qops, out.elapsed.as_secs_f64())
+    });
+    println!("== Fig. 5 — Qlosure mapping time vs QOPs ==");
+    println!("backend,qops,seconds");
+    for (backend, qops, secs) in &points {
+        println!("{backend},{qops},{secs:.3}");
+    }
+    // Linearity check per backend: report R² of time ~ qops.
+    println!("\nleast-squares fit (time = a*qops + b):");
+    for b in &backends {
+        let series: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|(bb, _, _)| bb == b)
+            .map(|&(_, q, t)| (q as f64, t))
+            .collect();
+        if series.len() < 2 {
+            continue;
+        }
+        let n = series.len() as f64;
+        let sx: f64 = series.iter().map(|p| p.0).sum();
+        let sy: f64 = series.iter().map(|p| p.1).sum();
+        let sxx: f64 = series.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = series.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        let a = (n * sxy - sx * sy) / denom;
+        let bb = (sy - a * sx) / n;
+        let mean_y = sy / n;
+        let ss_tot: f64 = series.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+        let ss_res: f64 = series
+            .iter()
+            .map(|p| (p.1 - (a * p.0 + bb)).powi(2))
+            .sum();
+        let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        println!("{b}: a = {a:.3e} s/qop, b = {bb:.3}, R^2 = {r2:.4}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Figures 6 and 7 reproduction: per-depth SWAP and depth curves.
+//!
+//! For a chosen back-end (`--backend sherbrooke` for Fig. 6,
+//! `--backend ankaa3` for Fig. 7), sweeps the narrow (16-qubit), medium
+//! (54-qubit) and wide (81-qubit) QUEKO suites over the depth grid and
+//! prints, per mapper, SWAP counts (top row of the figures) and final
+//! depths (bottom row) as CSV series keyed by initial depth. Also reports
+//! the share of instances where Qlosure beats each baseline, matching the
+//! percentages quoted in §VI-C.
+
+use bench_support::runner::parallel_map;
+use bench_support::{all_mappers, backend_by_name, mapper_names, run_verified, Scale};
+use queko::QuekoSpec;
+use std::collections::HashMap;
+
+fn main() {
+    let scale = Scale::from_args();
+    let backend_name = bench_support::runner::backend_arg("sherbrooke");
+    let suites = [
+        ("queko-bss-16qbt", "aspen16"),
+        ("queko-bss-54qbt", "sycamore54"),
+        ("queko-bss-81qbt", "king9"),
+    ];
+    let mut jobs: Vec<(String, String, usize, u64)> = Vec::new();
+    for (suite, gen_dev) in &suites {
+        for depth in scale.depths() {
+            for seed in 0..scale.seeds() as u64 {
+                jobs.push((suite.to_string(), gen_dev.to_string(), depth, seed));
+            }
+        }
+    }
+    eprintln!(
+        "fig6/7 on {backend_name}: {} instances x 5 mappers",
+        jobs.len()
+    );
+    let rows = parallel_map(jobs, |(suite, gen_dev, depth, seed)| {
+        let gen_device = backend_by_name(gen_dev);
+        let device = backend_by_name(&backend_name);
+        let bench = QuekoSpec::new(&gen_device, *depth).seed(*seed).generate();
+        let mut per_mapper = Vec::new();
+        for mapper in all_mappers() {
+            let out = run_verified(mapper.as_ref(), &bench.circuit, &device);
+            per_mapper.push((mapper.name().to_string(), out.swaps, out.depth));
+        }
+        (suite.clone(), *depth, *seed, per_mapper)
+    });
+    println!("== Fig. 6/7 — QUEKO curves on {backend_name} ==");
+    println!("suite,depth,seed,mapper,swaps,final_depth");
+    for (suite, depth, seed, per_mapper) in &rows {
+        for (mapper, swaps, final_depth) in per_mapper {
+            println!("{suite},{depth},{seed},{mapper},{swaps},{final_depth}");
+        }
+    }
+    // Win-rate summary (the "Qlosure outperformed X in N% of instances").
+    let mut wins_swaps: HashMap<(String, String), (usize, usize)> = HashMap::new();
+    let mut wins_depth: HashMap<(String, String), (usize, usize)> = HashMap::new();
+    for (suite, _, _, per_mapper) in &rows {
+        let q = per_mapper
+            .iter()
+            .find(|(m, _, _)| m == "qlosure")
+            .expect("qlosure ran");
+        for (mapper, swaps, depth) in per_mapper {
+            if mapper == "qlosure" {
+                continue;
+            }
+            let ws = wins_swaps
+                .entry((suite.clone(), mapper.clone()))
+                .or_insert((0, 0));
+            ws.1 += 1;
+            if q.1 <= *swaps {
+                ws.0 += 1;
+            }
+            let wd = wins_depth
+                .entry((suite.clone(), mapper.clone()))
+                .or_insert((0, 0));
+            wd.1 += 1;
+            if q.2 <= *depth {
+                wd.0 += 1;
+            }
+        }
+    }
+    println!("\nwin rates (qlosure <= baseline):");
+    for (suite, _) in &suites {
+        for mapper in mapper_names() {
+            if mapper == "qlosure" {
+                continue;
+            }
+            let key = (suite.to_string(), mapper.to_string());
+            if let (Some((sw, st)), Some((dw, dt))) =
+                (wins_swaps.get(&key), wins_depth.get(&key))
+            {
+                println!(
+                    "{suite} vs {mapper}: swaps {:.0}% depth {:.0}%",
+                    100.0 * *sw as f64 / *st as f64,
+                    100.0 * *dw as f64 / *dt as f64,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Developer smoke test: per-mapper wall-clock on one QUEKO instance.
+//! Not part of the paper reproduction; used to calibrate harness scales.
+
+use bench_support::{all_mappers, backend_by_name, run_verified};
+use queko::QuekoSpec;
+
+fn main() {
+    let depth: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let gen_device = backend_by_name("sycamore54");
+    let device = backend_by_name("sherbrooke");
+    let bench = QuekoSpec::new(&gen_device, depth).seed(0).generate();
+    eprintln!(
+        "queko54 depth {depth}: {} gates, {} two-qubit",
+        bench.circuit.qop_count(),
+        bench.circuit.two_qubit_count()
+    );
+    let only: Option<String> = std::env::args().nth(2);
+    for mapper in all_mappers() {
+        if only.as_deref().is_some_and(|o| o != mapper.name()) {
+            continue;
+        }
+        eprintln!("running {} ...", mapper.name());
+        let t = std::time::Instant::now();
+        let out = run_verified(mapper.as_ref(), &bench.circuit, &device);
+        eprintln!(
+            "{:<8} swaps {:>6} depth {:>6} time {:>8.2}s (total {:.2}s with verify)",
+            mapper.name(),
+            out.swaps,
+            out.depth,
+            out.elapsed.as_secs_f64(),
+            t.elapsed().as_secs_f64()
+        );
+    }
+}

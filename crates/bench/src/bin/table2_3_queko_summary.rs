@@ -1,0 +1,154 @@
+//! Tables II and III reproduction: QUEKO summary across back-ends.
+//!
+//! Runs all five mappers over QUEKO suites generated for 16-qubit
+//! (Aspen-style), 54-qubit (Sycamore-style) and 81-qubit (9×9 king grid)
+//! devices, mapped onto IBM Sherbrooke and Rigetti Ankaa-3, plus a
+//! 16×16-king-grid suite mapped onto Sherbrooke-2X — the configuration of
+//! the paper's §VI-B. Emits:
+//!
+//! * **Table II**: average depth-factor (mapped depth / optimal depth),
+//!   grouped into Medium (initial depth ≤ 500) and Large (≥ 600);
+//! * **Table III**: average SWAP ratio (baseline SWAPs / Qlosure SWAPs).
+//!
+//! `--scale full` restores the paper's 9 depths × 10 seeds grid.
+
+use bench_support::report::{f2, mean, Table};
+use bench_support::runner::parallel_map;
+use bench_support::{all_mappers, backend_by_name, mapper_names, run_verified, Scale};
+use queko::QuekoSpec;
+use std::collections::HashMap;
+
+struct Job {
+    backend: String,
+    depth: usize,
+    seed: u64,
+    suite_device: String,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    // (suite generator device, target backend)
+    let configs: Vec<(&str, &str)> = vec![
+        ("aspen16", "sherbrooke"),
+        ("sycamore54", "sherbrooke"),
+        ("king9", "sherbrooke"),
+        ("aspen16", "ankaa3"),
+        ("sycamore54", "ankaa3"),
+        ("king9", "ankaa3"),
+        ("king16", "sherbrooke2x"),
+    ];
+    let mut jobs: Vec<Job> = Vec::new();
+    for (suite_device, backend) in &configs {
+        for depth in scale.depths() {
+            for seed in 0..scale.seeds() as u64 {
+                jobs.push(Job {
+                    backend: backend.to_string(),
+                    depth,
+                    seed,
+                    suite_device: suite_device.to_string(),
+                });
+            }
+        }
+    }
+    eprintln!("table2_3: {} instances x 5 mappers", jobs.len());
+    // results[(backend, size_class)][mapper] -> Vec<(depth_factor, swaps)>
+    let outcomes = parallel_map(jobs, |job| {
+        let gen_device = backend_by_name(&job.suite_device);
+        let device = backend_by_name(&job.backend);
+        let bench = QuekoSpec::new(&gen_device, job.depth)
+            .seed(job.seed)
+            .generate();
+        let mut per_mapper: Vec<(String, f64, usize)> = Vec::new();
+        for mapper in all_mappers() {
+            let out = run_verified(mapper.as_ref(), &bench.circuit, &device);
+            per_mapper.push((
+                mapper.name().to_string(),
+                out.depth as f64 / bench.optimal_depth as f64,
+                out.swaps,
+            ));
+        }
+        (job.backend.clone(), job.depth, per_mapper)
+    });
+    // Aggregate.
+    type Key = (String, &'static str, String); // backend, class, mapper
+    let mut depth_factors: HashMap<Key, Vec<f64>> = HashMap::new();
+    let mut swap_ratios: HashMap<Key, Vec<f64>> = HashMap::new();
+    for (backend, depth, per_mapper) in &outcomes {
+        let class = if *depth <= 500 { "Medium" } else { "Large" };
+        let qlosure_swaps = per_mapper
+            .iter()
+            .find(|(m, _, _)| m == "qlosure")
+            .map(|&(_, _, s)| s)
+            .expect("qlosure ran");
+        for (mapper, df, swaps) in per_mapper {
+            let key = (backend.clone(), class, mapper.clone());
+            depth_factors.entry(key.clone()).or_default().push(*df);
+            if mapper != "qlosure" && qlosure_swaps > 0 {
+                swap_ratios
+                    .entry(key)
+                    .or_default()
+                    .push(*swaps as f64 / qlosure_swaps as f64);
+            }
+        }
+    }
+    let backends = ["sherbrooke", "ankaa3", "sherbrooke2x"];
+    let classes = ["Medium", "Large"];
+    let mut t2 = Table::new(
+        "Table II — average depth-factor (mapped depth / optimal depth), lower is better",
+        &[
+            "mapper",
+            "sherbrooke/Med",
+            "sherbrooke/Lrg",
+            "ankaa3/Med",
+            "ankaa3/Lrg",
+            "2x/Med",
+            "2x/Lrg",
+        ],
+    );
+    for mapper in mapper_names() {
+        let mut cells = vec![mapper.to_string()];
+        for b in &backends {
+            for c in &classes {
+                let key = (b.to_string(), *c, mapper.to_string());
+                let cell = depth_factors
+                    .get(&key)
+                    .map(|v| f2(mean(v)))
+                    .unwrap_or_else(|| "-".into());
+                cells.push(cell);
+            }
+        }
+        t2.row(&cells);
+    }
+    t2.print();
+    println!();
+    let mut t3 = Table::new(
+        "Table III — average SWAP ratio (baseline SWAPs / Qlosure SWAPs), >1 favours Qlosure",
+        &[
+            "mapper",
+            "sherbrooke/Med",
+            "sherbrooke/Lrg",
+            "ankaa3/Med",
+            "ankaa3/Lrg",
+            "2x/Med",
+            "2x/Lrg",
+        ],
+    );
+    for mapper in mapper_names() {
+        if mapper == "qlosure" {
+            continue;
+        }
+        let mut cells = vec![mapper.to_string()];
+        for b in &backends {
+            for c in &classes {
+                let key = (b.to_string(), *c, mapper.to_string());
+                let cell = swap_ratios
+                    .get(&key)
+                    .map(|v| f2(mean(v)))
+                    .unwrap_or_else(|| "-".into());
+                cells.push(cell);
+            }
+        }
+        t3.row(&cells);
+    }
+    t3.print();
+}

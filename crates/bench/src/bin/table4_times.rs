@@ -1,0 +1,90 @@
+//! Table IV reproduction: average mapping times on the 54-qubit QUEKO
+//! suite, grouped Medium (≤ 500) / Large (≥ 600), per back-end.
+//!
+//! Also reports the paper's scalability ratio (Large avg / Medium avg):
+//! Qlosure grows ~1.5–1.7× from Medium to Large in the paper, the
+//! baselines 2.2–2.6×.
+
+use bench_support::report::{f2, mean, Table};
+use bench_support::runner::parallel_map;
+use bench_support::{all_mappers, backend_by_name, mapper_names, run_verified, Scale};
+use queko::QuekoSpec;
+use std::collections::HashMap;
+
+fn main() {
+    let scale = Scale::from_args();
+    let backends = ["sherbrooke", "ankaa3", "sherbrooke2x"];
+    let mut jobs: Vec<(String, usize, u64)> = Vec::new();
+    for b in &backends {
+        for depth in scale.depths() {
+            for seed in 0..scale.seeds() as u64 {
+                jobs.push((b.to_string(), depth, seed));
+            }
+        }
+    }
+    eprintln!("table4: {} instances x 5 mappers", jobs.len());
+    let outcomes = parallel_map(jobs, |(backend, depth, seed)| {
+        let gen_device = backend_by_name("sycamore54");
+        let device = backend_by_name(backend);
+        let bench = QuekoSpec::new(&gen_device, *depth).seed(*seed).generate();
+        let mut per_mapper = Vec::new();
+        for mapper in all_mappers() {
+            let out = run_verified(mapper.as_ref(), &bench.circuit, &device);
+            per_mapper.push((mapper.name().to_string(), out.elapsed.as_secs_f64()));
+        }
+        (backend.clone(), *depth, per_mapper)
+    });
+    let mut times: HashMap<(String, &'static str, String), Vec<f64>> = HashMap::new();
+    for (backend, depth, per_mapper) in &outcomes {
+        let class = if *depth <= 500 { "Medium" } else { "Large" };
+        for (mapper, secs) in per_mapper {
+            times
+                .entry((backend.clone(), class, mapper.clone()))
+                .or_default()
+                .push(*secs);
+        }
+    }
+    let mut t = Table::new(
+        "Table IV — average mapping time (s), queko-bss-54qbt",
+        &[
+            "mapper",
+            "sherbrooke/Med",
+            "sherbrooke/Lrg",
+            "ankaa3/Med",
+            "ankaa3/Lrg",
+            "2x/Med",
+            "2x/Lrg",
+            "growth (Lrg/Med)",
+        ],
+    );
+    for mapper in mapper_names() {
+        let mut cells = vec![mapper.to_string()];
+        let mut med_all = Vec::new();
+        let mut lrg_all = Vec::new();
+        for b in &backends {
+            for c in ["Medium", "Large"] {
+                let key = (b.to_string(), c, mapper.to_string());
+                match times.get(&key) {
+                    Some(v) => {
+                        let m = mean(v);
+                        if c == "Medium" {
+                            med_all.push(m);
+                        } else {
+                            lrg_all.push(m);
+                        }
+                        cells.push(f2(m));
+                    }
+                    None => cells.push("-".into()),
+                }
+            }
+        }
+        let growth = if med_all.is_empty() || lrg_all.is_empty() {
+            "-".to_string()
+        } else {
+            f2(mean(&lrg_all) / mean(&med_all).max(1e-9))
+        };
+        cells.push(growth);
+        t.row(&cells);
+    }
+    t.print();
+}

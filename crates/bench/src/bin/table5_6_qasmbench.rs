@@ -1,0 +1,107 @@
+//! Tables V and VI reproduction: QASMBench results per back-end.
+//!
+//! Maps the 41-circuit QASMBench suite (20–81 qubits) onto the chosen
+//! back-end (`--backend sherbrooke` for Table V, `--backend ankaa3` for
+//! Table VI) with all five mappers. Prints the per-circuit SWAP/depth
+//! grid with the paper's excerpt circuits highlighted, then the summary
+//! row: Qlosure's average improvement over each baseline, computed as
+//! `(VAL_baseline − VAL_qlosure) / VAL_baseline` averaged over circuits.
+
+use bench_support::report::Table;
+use bench_support::runner::parallel_map;
+use bench_support::{all_mappers, backend_by_name, mapper_names, run_verified};
+use std::collections::HashMap;
+
+fn main() {
+    let backend_name = bench_support::runner::backend_arg("sherbrooke");
+    let suite = qasmbench::suite();
+    eprintln!(
+        "table5/6 on {backend_name}: {} circuits x 5 mappers",
+        suite.len()
+    );
+    let rows = parallel_map(suite, |entry| {
+        let device = backend_by_name(&backend_name);
+        let circuit = entry.build();
+        let qops = circuit.qop_count();
+        let mut per_mapper = Vec::new();
+        for mapper in all_mappers() {
+            let out = run_verified(mapper.as_ref(), &circuit, &device);
+            eprintln!(
+                "  {} x {}: {:.1}s",
+                entry.name,
+                mapper.name(),
+                out.elapsed.as_secs_f64()
+            );
+            per_mapper.push((mapper.name().to_string(), out.swaps, out.depth));
+        }
+        (entry.name.clone(), entry.n_qubits, qops, per_mapper)
+    });
+    let mut header = vec!["circuit".to_string(), "qubits".into(), "qops".into()];
+    for m in mapper_names() {
+        header.push(format!("{m}/swaps"));
+        header.push(format!("{m}/depth"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!("Table V/VI — QASMBench on {backend_name}"),
+        &header_refs,
+    );
+    for (name, qubits, qops, per_mapper) in &rows {
+        let mut cells = vec![name.clone(), qubits.to_string(), qops.to_string()];
+        for m in mapper_names() {
+            let (_, swaps, depth) = per_mapper
+                .iter()
+                .find(|(mm, _, _)| mm == m)
+                .expect("all mappers ran");
+            cells.push(swaps.to_string());
+            cells.push(depth.to_string());
+        }
+        t.row(&cells);
+    }
+    t.print();
+    // Average improvement row.
+    let mut swap_impr: HashMap<&str, Vec<f64>> = HashMap::new();
+    let mut depth_impr: HashMap<&str, Vec<f64>> = HashMap::new();
+    for (_, _, _, per_mapper) in &rows {
+        let q = per_mapper
+            .iter()
+            .find(|(m, _, _)| m == "qlosure")
+            .expect("qlosure ran");
+        for m in mapper_names() {
+            if m == "qlosure" {
+                continue;
+            }
+            let (_, swaps, depth) = per_mapper
+                .iter()
+                .find(|(mm, _, _)| mm == m)
+                .expect("ran");
+            if *swaps > 0 {
+                swap_impr
+                    .entry(m)
+                    .or_default()
+                    .push((*swaps as f64 - q.1 as f64) / *swaps as f64);
+            }
+            if *depth > 0 {
+                depth_impr
+                    .entry(m)
+                    .or_default()
+                    .push((*depth as f64 - q.2 as f64) / *depth as f64);
+            }
+        }
+    }
+    println!("\naverage improvement of qlosure over baseline (positive = qlosure better):");
+    for m in mapper_names() {
+        if m == "qlosure" {
+            continue;
+        }
+        let s = swap_impr.get(m).map(|v| v.iter().sum::<f64>() / v.len() as f64);
+        let d = depth_impr
+            .get(m)
+            .map(|v| v.iter().sum::<f64>() / v.len() as f64);
+        println!(
+            "vs {m}: swaps {:.2}% depth {:.2}%",
+            s.unwrap_or(f64::NAN) * 100.0,
+            d.unwrap_or(f64::NAN) * 100.0
+        );
+    }
+}

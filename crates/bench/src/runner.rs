@@ -1,0 +1,219 @@
+//! Timed, verified mapper execution and the experiment rosters.
+
+use baselines::{CirqMapper, QmapMapper, SabreMapper, TketMapper};
+use circuit::{verify_routing, Circuit};
+use qlosure::{Mapper, MappingResult, QlosureMapper};
+use std::time::{Duration, Instant};
+use topology::{backends, CouplingGraph};
+
+/// Replicate-count presets: `Small` keeps the full pipeline CI-friendly,
+/// `Full` matches the paper (9 depths × 10 seeds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// 3 depths × 1 seed per configuration.
+    Small,
+    /// 9 depths × 10 seeds per configuration (paper §VI-A4).
+    Full,
+}
+
+impl Scale {
+    /// Parses `--scale small|full` style arguments (defaults to `Small`).
+    pub fn from_args() -> Scale {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--scale" {
+                match args.next().as_deref() {
+                    Some("full") => return Scale::Full,
+                    Some("small") | None => return Scale::Small,
+                    Some(other) => panic!("unknown scale `{other}`"),
+                }
+            }
+        }
+        Scale::Small
+    }
+
+    /// The QUEKO depth grid for this scale.
+    pub fn depths(&self) -> Vec<usize> {
+        match self {
+            Scale::Small => vec![100, 500, 900],
+            Scale::Full => queko::bss_depths(),
+        }
+    }
+
+    /// Seeds per depth.
+    pub fn seeds(&self) -> usize {
+        match self {
+            Scale::Small => 1,
+            Scale::Full => 10,
+        }
+    }
+}
+
+/// Reads a `--backend <name>` CLI argument.
+pub fn backend_arg(default: &str) -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--backend" {
+            return args.next().unwrap_or_else(|| default.to_string());
+        }
+    }
+    default.to_string()
+}
+
+/// Resolves an evaluation back-end by name.
+///
+/// # Panics
+///
+/// Panics on unknown names.
+pub fn backend_by_name(name: &str) -> CouplingGraph {
+    match name {
+        "sherbrooke" => backends::sherbrooke(),
+        "ankaa3" => backends::ankaa3(),
+        "sherbrooke2x" => backends::sherbrooke_2x(),
+        "king9" => backends::king_grid(9, 9),
+        "king16" => backends::king_grid(16, 16),
+        "aspen16" => backends::aspen16(),
+        "sycamore54" => backends::sycamore54(),
+        other => panic!("unknown backend `{other}`"),
+    }
+}
+
+/// The mapper roster of the evaluation (paper order).
+pub fn all_mappers() -> Vec<Box<dyn Mapper + Send + Sync>> {
+    vec![
+        Box::new(SabreMapper::default()),
+        Box::new(QmapMapper::default()),
+        Box::new(CirqMapper::default()),
+        Box::new(TketMapper::default()),
+        Box::new(QlosureMapper::default()),
+    ]
+}
+
+/// Names in roster order.
+pub fn mapper_names() -> Vec<&'static str> {
+    vec!["sabre", "qmap", "cirq", "tket", "qlosure"]
+}
+
+/// One verified mapping run.
+#[derive(Clone, Debug)]
+pub struct MapOutcome {
+    /// SWAPs inserted.
+    pub swaps: usize,
+    /// Routed depth (unit-gate model).
+    pub depth: usize,
+    /// Wall-clock mapping time.
+    pub elapsed: Duration,
+}
+
+/// Runs `mapper` on `circuit`×`device`, verifies the result and returns
+/// the metrics.
+///
+/// # Panics
+///
+/// Panics if the routed circuit fails verification — a mapper bug, never
+/// an acceptable data point.
+pub fn run_verified(
+    mapper: &(dyn Mapper + Send + Sync),
+    circuit: &Circuit,
+    device: &CouplingGraph,
+) -> MapOutcome {
+    let start = Instant::now();
+    let result: MappingResult = mapper.map(circuit, device);
+    let elapsed = start.elapsed();
+    verify_routing(
+        circuit,
+        &result.routed,
+        &|a, b| device.is_adjacent(a, b),
+        &result.initial_layout,
+    )
+    .unwrap_or_else(|e| panic!("{} produced invalid routing: {e}", mapper.name()));
+    MapOutcome {
+        swaps: result.swaps,
+        depth: result.routed.depth(),
+        elapsed,
+    }
+}
+
+/// Fans `jobs` out over all cores with `std::thread::scope`, preserving
+/// input order in the output.
+pub fn parallel_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let n = jobs.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let jobs_ref = &jobs;
+    let f_ref = &f;
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let r = f_ref(&jobs_ref[i]);
+                **slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rosters_line_up() {
+        assert_eq!(all_mappers().len(), mapper_names().len());
+        for (m, n) in all_mappers().iter().zip(mapper_names()) {
+            assert_eq!(m.name(), n);
+        }
+    }
+
+    #[test]
+    fn run_verified_times_and_checks() {
+        let device = backends::line(4);
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let out = run_verified(&QlosureMapper::default(), &c, &device);
+        assert!(out.swaps >= 2);
+        // Distance-3 pair: two swaps (parallelizable) plus the CX.
+        assert!(out.depth >= 2);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<u64> = (0..40).collect();
+        let out = parallel_map(jobs, |&x| x * 2);
+        assert_eq!(out, (0..40).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn backends_resolve() {
+        for name in [
+            "sherbrooke",
+            "ankaa3",
+            "sherbrooke2x",
+            "king9",
+            "king16",
+            "aspen16",
+            "sycamore54",
+        ] {
+            let b = backend_by_name(name);
+            assert!(b.n_qubits() >= 16);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Quantum circuit intermediate representation for the Qlosure qubit mapper.
+//!
+//! This crate is the common substrate every mapper in the workspace works
+//! on:
+//!
+//! * [`Gate`] / [`Circuit`] — a flat, cache-friendly gate list with the
+//!   statistics the paper reports (depth, two-qubit gate count, QOPs);
+//! * [`DependenceGraph`] — the per-gate dependence DAG (consecutive uses of
+//!   a qubit), front-layer iteration, dependence-distance layering and the
+//!   transitive-successor counts `ω` of the paper's Eq. (1), computed with
+//!   memory-bounded bitset reachability;
+//! * [`verify_routing`] — an independent checker that a routed circuit (a)
+//!   only applies two-qubit gates to coupled physical qubits and (b) is
+//!   equivalent to the original circuit modulo the SWAP-induced
+//!   permutation. Every mapper in the workspace is validated against it.
+//!
+//! # Example
+//!
+//! ```
+//! use circuit::{Circuit, DependenceGraph};
+//!
+//! let mut c = Circuit::new(3);
+//! c.h(0);
+//! c.cx(0, 1);
+//! c.cx(1, 2);
+//! assert_eq!(c.depth(), 3);
+//! let dag = DependenceGraph::new(&c);
+//! assert_eq!(dag.transitive_successor_counts(), vec![2, 1, 0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod dag;
+mod gate;
+mod verify;
+
+pub use crate::circuit::{Circuit, ConvertError, DepthModel};
+pub use dag::DependenceGraph;
+pub use gate::{Gate, GateKind};
+pub use verify::{verify_routing, VerifyError};

@@ -1,0 +1,310 @@
+//! Independent verification of routed circuits.
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+use std::fmt;
+
+/// Why a routed circuit failed verification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    /// A two-qubit gate (or SWAP) acts on physical qubits that are not
+    /// coupled on the device.
+    Disconnected {
+        /// Index of the offending gate in the routed circuit.
+        gate: usize,
+        /// The physical operand pair.
+        pair: (u32, u32),
+    },
+    /// The initial layout is not a permutation of the physical qubits.
+    BadLayout(String),
+    /// After un-permuting, the logical gate stream does not match the
+    /// original circuit.
+    Mismatch(String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Disconnected { gate, pair } => write!(
+                f,
+                "gate #{gate} acts on uncoupled physical qubits ({}, {})",
+                pair.0, pair.1
+            ),
+            VerifyError::BadLayout(m) => write!(f, "bad initial layout: {m}"),
+            VerifyError::Mismatch(m) => write!(f, "logical mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks that `routed` is a hardware-valid implementation of `original`.
+///
+/// * `adjacent(p, q)` must say whether physical qubits are coupled;
+/// * `initial_layout[logical]` gives the physical qubit each logical qubit
+///   starts on (an injection into the device's qubits).
+///
+/// Verification walks the routed circuit, tracking the evolving
+/// physical→logical permutation through SWAPs, and checks
+///
+/// 1. every two-qubit gate and SWAP touches coupled physical qubits, and
+/// 2. per logical qubit, the sequence of (gate kind, parameters, partner
+///    logical qubit, operand role) is exactly the original's — i.e. the
+///    routed circuit equals the original modulo SWAP-induced permutation
+///    and reordering of commuting (disjoint) gates.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify_routing(
+    original: &Circuit,
+    routed: &Circuit,
+    adjacent: &dyn Fn(u32, u32) -> bool,
+    initial_layout: &[u32],
+) -> Result<(), VerifyError> {
+    let n_logical = original.n_qubits();
+    let n_physical = routed.n_qubits();
+    if initial_layout.len() != n_logical {
+        return Err(VerifyError::BadLayout(format!(
+            "layout has {} entries for {} logical qubits",
+            initial_layout.len(),
+            n_logical
+        )));
+    }
+    let mut phys_to_logical: Vec<Option<u32>> = vec![None; n_physical];
+    for (l, &p) in initial_layout.iter().enumerate() {
+        let slot = phys_to_logical
+            .get_mut(p as usize)
+            .ok_or_else(|| VerifyError::BadLayout(format!("physical {p} out of range")))?;
+        if slot.is_some() {
+            return Err(VerifyError::BadLayout(format!(
+                "physical {p} assigned twice"
+            )));
+        }
+        *slot = Some(l as u32);
+    }
+    // Per-logical-qubit event streams for the original ...
+    let mut expected: Vec<Vec<Event>> = vec![Vec::new(); n_logical];
+    for g in original.gates() {
+        record_events(&mut expected, g, |q| q);
+    }
+    // ... and for the routed circuit, un-permuting through SWAPs.
+    let mut actual: Vec<Vec<Event>> = vec![Vec::new(); n_logical];
+    for (i, g) in routed.gates().iter().enumerate() {
+        if g.kind == GateKind::Swap {
+            let (a, b) = g.qubit_pair().expect("swap is two-qubit");
+            if !adjacent(a, b) {
+                return Err(VerifyError::Disconnected { gate: i, pair: (a, b) });
+            }
+            phys_to_logical.swap(a as usize, b as usize);
+            continue;
+        }
+        if let Some((a, b)) = g.qubit_pair() {
+            if !adjacent(a, b) {
+                return Err(VerifyError::Disconnected { gate: i, pair: (a, b) });
+            }
+        }
+        // Translate operands to logical space.
+        let mut ok = true;
+        for &p in &g.qubits {
+            if phys_to_logical
+                .get(p as usize)
+                .copied()
+                .flatten()
+                .is_none()
+            {
+                ok = false;
+            }
+        }
+        if !ok {
+            return Err(VerifyError::Mismatch(format!(
+                "gate #{i} ({}) touches a physical qubit holding no logical state",
+                g.kind
+            )));
+        }
+        record_events(&mut actual, g, |p| {
+            phys_to_logical[p as usize].expect("checked above")
+        });
+    }
+    for l in 0..n_logical {
+        if expected[l] != actual[l] {
+            let (e, a) = (&expected[l], &actual[l]);
+            let at = e.iter().zip(a.iter()).position(|(x, y)| x != y);
+            return Err(VerifyError::Mismatch(format!(
+                "logical qubit {l}: expected {} events, saw {} (first divergence at {:?})",
+                e.len(),
+                a.len(),
+                at
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// One gate occurrence from a single qubit's point of view.
+#[derive(Clone, Debug, PartialEq)]
+struct Event {
+    kind: GateKind,
+    /// Parameters, bit-exact.
+    params: Vec<u64>,
+    /// This qubit's operand position.
+    role: usize,
+    /// The other logical operands in order.
+    partners: Vec<u32>,
+}
+
+fn record_events(streams: &mut [Vec<Event>], gate: &crate::gate::Gate, to_logical: impl Fn(u32) -> u32) {
+    if gate.kind == GateKind::Barrier {
+        // Barriers are scheduling hints; they do not affect equivalence.
+        return;
+    }
+    let logical: Vec<u32> = gate.qubits.iter().map(|&q| to_logical(q)).collect();
+    for (role, &l) in logical.iter().enumerate() {
+        let partners: Vec<u32> = logical
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| r != role)
+            .map(|(_, &x)| x)
+            .collect();
+        streams[l as usize].push(Event {
+            kind: gate.kind.clone(),
+            params: gate.params.iter().map(|p| p.to_bits()).collect(),
+            role,
+            partners,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Line topology 0-1-2-3.
+    fn line_adjacent(a: u32, b: u32) -> bool {
+        a.abs_diff(b) == 1
+    }
+
+    fn identity_layout(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn accepts_faithful_routing() {
+        // Original: cx(0, 2) on a line needs routing.
+        let mut original = Circuit::new(3);
+        original.h(0);
+        original.cx(0, 2);
+        // Routed: swap(1,2) brings logical 2 next to logical 0 at physical 1.
+        let mut routed = Circuit::new(3);
+        routed.h(0);
+        routed.swap(1, 2);
+        routed.cx(0, 1);
+        verify_routing(&original, &routed, &line_adjacent, &identity_layout(3))
+            .expect("valid routing");
+    }
+
+    #[test]
+    fn rejects_disconnected_gate() {
+        let mut original = Circuit::new(3);
+        original.cx(0, 2);
+        let mut routed = Circuit::new(3);
+        routed.cx(0, 2); // not adjacent on the line
+        let err =
+            verify_routing(&original, &routed, &line_adjacent, &identity_layout(3)).unwrap_err();
+        assert!(matches!(err, VerifyError::Disconnected { pair: (0, 2), .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_logical_gate() {
+        let mut original = Circuit::new(2);
+        original.cx(0, 1);
+        let mut routed = Circuit::new(2);
+        routed.cx(1, 0); // control/target flipped
+        let err =
+            verify_routing(&original, &routed, &line_adjacent, &identity_layout(2)).unwrap_err();
+        assert!(matches!(err, VerifyError::Mismatch(_)));
+    }
+
+    #[test]
+    fn rejects_dropped_gate() {
+        let mut original = Circuit::new(2);
+        original.cx(0, 1);
+        original.h(0);
+        let mut routed = Circuit::new(2);
+        routed.cx(0, 1);
+        let err =
+            verify_routing(&original, &routed, &line_adjacent, &identity_layout(2)).unwrap_err();
+        assert!(matches!(err, VerifyError::Mismatch(_)));
+    }
+
+    #[test]
+    fn accepts_commuting_reorder() {
+        // Disjoint gates may be reordered freely.
+        let mut original = Circuit::new(4);
+        original.cx(0, 1);
+        original.cx(2, 3);
+        let mut routed = Circuit::new(4);
+        routed.cx(2, 3);
+        routed.cx(0, 1);
+        verify_routing(&original, &routed, &line_adjacent, &identity_layout(4))
+            .expect("commuting reorder is fine");
+    }
+
+    #[test]
+    fn rejects_reordered_dependent_gates() {
+        let mut original = Circuit::new(3);
+        original.cx(0, 1);
+        original.cx(1, 2);
+        let mut routed = Circuit::new(3);
+        routed.cx(1, 2);
+        routed.cx(0, 1);
+        let err =
+            verify_routing(&original, &routed, &line_adjacent, &identity_layout(3)).unwrap_err();
+        assert!(matches!(err, VerifyError::Mismatch(_)));
+    }
+
+    #[test]
+    fn tracks_permutation_through_swap_chains() {
+        // Move logical 0 all the way to physical 3 and interact there.
+        let mut original = Circuit::new(4);
+        original.cx(0, 3);
+        original.x(0);
+        let mut routed = Circuit::new(4);
+        routed.swap(0, 1);
+        routed.swap(1, 2);
+        routed.cx(2, 3);
+        routed.x(2); // logical 0 now lives on physical 2
+        verify_routing(&original, &routed, &line_adjacent, &identity_layout(4))
+            .expect("valid swap chain");
+    }
+
+    #[test]
+    fn respects_nontrivial_initial_layout() {
+        // logical 0 -> physical 2, logical 1 -> physical 1.
+        let mut original = Circuit::new(2);
+        original.cx(0, 1);
+        let mut routed = Circuit::new(3);
+        routed.cx(2, 1);
+        verify_routing(&original, &routed, &line_adjacent, &[2, 1]).expect("layout respected");
+    }
+
+    #[test]
+    fn rejects_duplicate_layout() {
+        let original = Circuit::new(2);
+        let routed = Circuit::new(2);
+        let err = verify_routing(&original, &routed, &line_adjacent, &[0, 0]).unwrap_err();
+        assert!(matches!(err, VerifyError::BadLayout(_)));
+    }
+
+    #[test]
+    fn rejects_disconnected_swap() {
+        let mut original = Circuit::new(3);
+        original.cx(0, 1);
+        let mut routed = Circuit::new(3);
+        routed.swap(0, 2); // not adjacent
+        routed.cx(2, 1);
+        let err =
+            verify_routing(&original, &routed, &line_adjacent, &identity_layout(3)).unwrap_err();
+        assert!(matches!(err, VerifyError::Disconnected { .. }));
+    }
+}

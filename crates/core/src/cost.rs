@@ -1,0 +1,244 @@
+//! The Qlosure SWAP-cost heuristic `M(s)` (paper Eq. 2).
+
+use crate::layout::Layout;
+use topology::DistanceMatrix;
+
+/// Which cost components are active — the axes of the paper's §VI-E
+/// ablation study.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CostVariant {
+    /// Distance of front-layer gates only (ablation baseline (a)).
+    DistanceOnly,
+    /// Layer discount `1/ℓ` and per-layer normalization, unit gate weights
+    /// (ablation (b)).
+    LayerAdjusted,
+    /// Full Eq. (2): transitive dependence weights `ω` on top of the layer
+    /// machinery (ablation (c); the Qlosure default).
+    #[default]
+    DependencyWeighted,
+}
+
+/// One look-ahead gate with everything `M` needs to score it.
+#[derive(Clone, Copy, Debug)]
+pub struct ScoredGate {
+    /// Logical operands.
+    pub q1: u32,
+    /// Logical operands.
+    pub q2: u32,
+    /// Transitive dependence weight `ω` of the gate.
+    pub omega: u64,
+    /// Dependence-distance layer `ℓ >= 1` (1 = front layer).
+    pub layer: u32,
+}
+
+/// How the raw transitive-successor count enters the cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OmegaScaling {
+    /// Use `ω` as-is (the paper's Eq. 2 verbatim).
+    #[default]
+    Linear,
+    /// Use `√ω` — compresses the dominance of early high-criticality
+    /// gates.
+    Sqrt,
+    /// Use `ln(1 + ω)`.
+    Log,
+}
+
+/// Evaluator for the composite cost
+/// `M(s) = max(δ_{p1}, δ_{p2}) · Σ_ℓ Γ_ℓ / |G_ℓ|` with
+/// `Γ_ℓ = Σ_{g ∈ G_ℓ} ω_g · D[φ_s(g_{q1}), φ_s(g_{q2})] / ℓ`.
+///
+/// Gate weights are smoothed to `ω + smoothing` so that gates with no
+/// transitive dependents (the tail of the circuit) still exert distance
+/// pressure; `smoothing = 1` by default, set it to 0 (with
+/// [`OmegaScaling::Linear`]) to evaluate the paper's formula verbatim.
+#[derive(Clone, Debug)]
+pub struct SwapCost {
+    variant: CostVariant,
+    smoothing: u64,
+    scaling: OmegaScaling,
+    future_weight: f64,
+}
+
+impl SwapCost {
+    /// Creates an evaluator with the default ω scaling and future weight.
+    pub fn new(variant: CostVariant, smoothing: u64) -> Self {
+        SwapCost {
+            variant,
+            smoothing,
+            scaling: OmegaScaling::default(),
+            future_weight: 1.0,
+        }
+    }
+
+    /// Creates an evaluator with an explicit ω scaling and a weight on the
+    /// non-front layers (`ℓ >= 2`); `future_weight = 1.0` evaluates
+    /// Eq. (2) verbatim, smaller values re-balance toward the front layer
+    /// (needed when look-ahead layers are singletons, e.g. sequential
+    /// kernels, where the harmonic sum of `1/ℓ` would otherwise outweigh
+    /// the blocked gate itself).
+    pub fn with_scaling(
+        variant: CostVariant,
+        smoothing: u64,
+        scaling: OmegaScaling,
+        future_weight: f64,
+    ) -> Self {
+        SwapCost {
+            variant,
+            smoothing,
+            scaling,
+            future_weight,
+        }
+    }
+
+    /// The active variant.
+    pub fn variant(&self) -> CostVariant {
+        self.variant
+    }
+
+    /// Scores the tentative layout `φs` (the layout *after* the candidate
+    /// swap) against the layered look-ahead window.
+    ///
+    /// `gates` must be sorted or at least grouped by `layer`; only layer 1
+    /// is consulted by [`CostVariant::DistanceOnly`].
+    pub fn score(
+        &self,
+        gates: &[ScoredGate],
+        layout: &Layout,
+        dist: &DistanceMatrix,
+        decay: f64,
+    ) -> f64 {
+        // Accumulate Γ_ℓ and |G_ℓ| per layer.
+        let mut gamma: Vec<f64> = Vec::new();
+        let mut sizes: Vec<u32> = Vec::new();
+        for g in gates {
+            let layer = g.layer.max(1) as usize;
+            if self.variant == CostVariant::DistanceOnly && layer > 1 {
+                continue;
+            }
+            if gamma.len() < layer {
+                gamma.resize(layer, 0.0);
+                sizes.resize(layer, 0);
+            }
+            let d = dist.get(layout.phys(g.q1), layout.phys(g.q2)) as f64;
+            let w = match self.variant {
+                CostVariant::DistanceOnly | CostVariant::LayerAdjusted => 1.0,
+                CostVariant::DependencyWeighted => {
+                    let raw = (g.omega + self.smoothing) as f64;
+                    match self.scaling {
+                        OmegaScaling::Linear => raw,
+                        OmegaScaling::Sqrt => raw.sqrt(),
+                        OmegaScaling::Log => raw.ln_1p(),
+                    }
+                }
+            };
+            let discount = match self.variant {
+                CostVariant::DistanceOnly => 1.0,
+                _ => 1.0 / layer as f64,
+            };
+            gamma[layer - 1] += w * d * discount;
+            sizes[layer - 1] += 1;
+        }
+        let sum: f64 = gamma
+            .iter()
+            .zip(&sizes)
+            .enumerate()
+            .filter(|&(_, (_, &n))| n > 0)
+            .map(|(i, (g, &n))| {
+                let w = if i == 0 { 1.0 } else { self.future_weight };
+                w * g / n as f64
+            })
+            .sum();
+        decay * sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::backends;
+
+    fn line_ctx(n: usize) -> (topology::CouplingGraph, DistanceMatrix) {
+        let g = backends::line(n);
+        let d = g.distances();
+        (g, d)
+    }
+
+    fn sg(q1: u32, q2: u32, omega: u64, layer: u32) -> ScoredGate {
+        ScoredGate { q1, q2, omega, layer }
+    }
+
+    #[test]
+    fn distance_only_scores_front_distance() {
+        let (_, d) = line_ctx(6);
+        let layout = Layout::identity(6, 6);
+        let cost = SwapCost::new(CostVariant::DistanceOnly, 1);
+        // Front gate (0, 4): distance 4. Deeper layers ignored.
+        let gates = [sg(0, 4, 10, 1), sg(1, 5, 99, 2)];
+        let score = cost.score(&gates, &layout, &d, 1.0);
+        assert!((score - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_adjusted_discounts_deeper_layers() {
+        let (_, d) = line_ctx(8);
+        let layout = Layout::identity(8, 8);
+        let cost = SwapCost::new(CostVariant::LayerAdjusted, 1);
+        // Same distance in layer 1 vs layer 2: layer 2 contributes half.
+        let l1 = cost.score(&[sg(0, 3, 0, 1)], &layout, &d, 1.0);
+        let l2 = cost.score(&[sg(0, 3, 0, 2)], &layout, &d, 1.0);
+        assert!((l1 - 3.0).abs() < 1e-9);
+        assert!((l2 - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependency_weighting_prefers_freeing_low_omega_gates() {
+        let (_, d) = line_ctx(8);
+        let cost = SwapCost::new(CostVariant::DependencyWeighted, 1);
+        // Two candidate layouts; the gate with high omega dominates the
+        // score, so the layout shortening *its* distance wins.
+        let heavy = sg(0, 4, 50, 1);
+        let light = sg(5, 7, 0, 1);
+        // Layout A: identity — heavy at distance 4, light at 2.
+        let a = Layout::identity(8, 8);
+        // Layout B: swap(1, 2)-like permutation bringing heavy closer:
+        let b = Layout::from_assignment(&[1, 0, 2, 3, 4, 5, 6, 7], 8);
+        let score_a = cost.score(&[heavy, light], &a, &d, 1.0);
+        let score_b = cost.score(&[heavy, light], &b, &d, 1.0);
+        assert!(score_b < score_a);
+    }
+
+    #[test]
+    fn normalization_divides_by_layer_size() {
+        let (_, d) = line_ctx(10);
+        let layout = Layout::identity(10, 10);
+        let cost = SwapCost::new(CostVariant::LayerAdjusted, 1);
+        // One gate at distance 2 vs two gates at distance 2 each: same
+        // normalized contribution.
+        let one = cost.score(&[sg(0, 2, 0, 1)], &layout, &d, 1.0);
+        let two = cost.score(&[sg(0, 2, 0, 1), sg(4, 6, 0, 1)], &layout, &d, 1.0);
+        assert!((one - two).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_scales_multiplicatively() {
+        let (_, d) = line_ctx(4);
+        let layout = Layout::identity(4, 4);
+        let cost = SwapCost::new(CostVariant::DependencyWeighted, 1);
+        let gates = [sg(0, 3, 2, 1)];
+        let base = cost.score(&gates, &layout, &d, 1.0);
+        let decayed = cost.score(&gates, &layout, &d, 1.002);
+        assert!((decayed / base - 1.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoothing_keeps_terminal_gates_visible() {
+        let (_, d) = line_ctx(6);
+        let layout = Layout::identity(6, 6);
+        let smoothed = SwapCost::new(CostVariant::DependencyWeighted, 1);
+        let verbatim = SwapCost::new(CostVariant::DependencyWeighted, 0);
+        let gates = [sg(0, 4, 0, 1)]; // terminal gate, ω = 0
+        assert!(smoothed.score(&gates, &layout, &d, 1.0) > 0.0);
+        assert_eq!(verbatim.score(&gates, &layout, &d, 1.0), 0.0);
+    }
+}

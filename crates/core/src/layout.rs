@@ -1,0 +1,156 @@
+//! The logical↔physical qubit assignment `φ`.
+
+/// A bijective-on-its-image assignment of logical qubits to physical
+/// qubits (the paper's `φ : Q_logical → Q_phys`), with the inverse kept in
+/// sync for O(1) lookups both ways.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layout {
+    /// `log_to_phys[l]` = physical qubit hosting logical `l`.
+    log_to_phys: Vec<u32>,
+    /// `phys_to_log[p]` = logical qubit hosted on `p`, or `u32::MAX`.
+    phys_to_log: Vec<u32>,
+}
+
+impl Layout {
+    /// Sentinel for unoccupied physical qubits.
+    pub const FREE: u32 = u32::MAX;
+
+    /// The identity layout `φ₀(qᵢ) = pᵢ` (the paper's trivial initial
+    /// mapping, §V-B.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is smaller than the circuit.
+    pub fn identity(n_logical: usize, n_physical: usize) -> Self {
+        assert!(
+            n_logical <= n_physical,
+            "{n_logical} logical qubits exceed {n_physical} physical"
+        );
+        let mut phys_to_log = vec![Self::FREE; n_physical];
+        for l in 0..n_logical {
+            phys_to_log[l] = l as u32;
+        }
+        Layout {
+            log_to_phys: (0..n_logical as u32).collect(),
+            phys_to_log,
+        }
+    }
+
+    /// Builds a layout from an explicit assignment
+    /// (`assignment[logical] = physical`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is not injective or out of range.
+    pub fn from_assignment(assignment: &[u32], n_physical: usize) -> Self {
+        let mut phys_to_log = vec![Self::FREE; n_physical];
+        for (l, &p) in assignment.iter().enumerate() {
+            assert!(
+                (p as usize) < n_physical,
+                "physical qubit {p} out of range {n_physical}"
+            );
+            assert_eq!(
+                phys_to_log[p as usize],
+                Self::FREE,
+                "physical qubit {p} assigned twice"
+            );
+            phys_to_log[p as usize] = l as u32;
+        }
+        Layout {
+            log_to_phys: assignment.to_vec(),
+            phys_to_log,
+        }
+    }
+
+    /// Number of logical qubits.
+    pub fn n_logical(&self) -> usize {
+        self.log_to_phys.len()
+    }
+
+    /// Number of physical qubits.
+    pub fn n_physical(&self) -> usize {
+        self.phys_to_log.len()
+    }
+
+    /// Physical qubit hosting logical `l`.
+    pub fn phys(&self, l: u32) -> u32 {
+        self.log_to_phys[l as usize]
+    }
+
+    /// Logical qubit hosted on physical `p`, if any.
+    pub fn logical(&self, p: u32) -> Option<u32> {
+        let l = self.phys_to_log[p as usize];
+        (l != Self::FREE).then_some(l)
+    }
+
+    /// Applies a SWAP between physical qubits `p1` and `p2`
+    /// (`φ ← φ ∘ s`).
+    pub fn apply_swap(&mut self, p1: u32, p2: u32) {
+        let l1 = self.phys_to_log[p1 as usize];
+        let l2 = self.phys_to_log[p2 as usize];
+        self.phys_to_log.swap(p1 as usize, p2 as usize);
+        if l1 != Self::FREE {
+            self.log_to_phys[l1 as usize] = p2;
+        }
+        if l2 != Self::FREE {
+            self.log_to_phys[l2 as usize] = p1;
+        }
+    }
+
+    /// The assignment vector (`[logical] → physical`).
+    pub fn as_assignment(&self) -> &[u32] {
+        &self.log_to_phys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let l = Layout::identity(3, 5);
+        for q in 0..3 {
+            assert_eq!(l.phys(q), q);
+            assert_eq!(l.logical(q), Some(q));
+        }
+        assert_eq!(l.logical(4), None);
+    }
+
+    #[test]
+    fn swap_updates_both_directions() {
+        let mut l = Layout::identity(3, 4);
+        l.apply_swap(0, 1);
+        assert_eq!(l.phys(0), 1);
+        assert_eq!(l.phys(1), 0);
+        assert_eq!(l.logical(0), Some(1));
+        assert_eq!(l.logical(1), Some(0));
+        // Swap with an empty physical slot moves the state.
+        l.apply_swap(1, 3);
+        assert_eq!(l.phys(0), 3);
+        assert_eq!(l.logical(1), None);
+        assert_eq!(l.logical(3), Some(0));
+    }
+
+    #[test]
+    fn swap_is_involutive() {
+        let mut l = Layout::identity(4, 4);
+        l.apply_swap(2, 3);
+        l.apply_swap(2, 3);
+        assert_eq!(l, Layout::identity(4, 4));
+    }
+
+    #[test]
+    fn from_assignment_respects_mapping() {
+        let l = Layout::from_assignment(&[2, 0, 1], 4);
+        assert_eq!(l.phys(0), 2);
+        assert_eq!(l.logical(2), Some(0));
+        assert_eq!(l.logical(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn rejects_non_injective() {
+        let _ = Layout::from_assignment(&[1, 1], 3);
+    }
+}

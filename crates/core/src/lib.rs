@@ -1,0 +1,101 @@
+//! # Qlosure — dependence-driven qubit mapping with affine abstractions
+//!
+//! Reproduction of *Dependence-Driven, Scalable Quantum Circuit Mapping
+//! with Affine Abstractions* (CGO 2026). Qlosure repairs the connectivity
+//! of two-qubit gates on restricted coupling graphs by inserting SWAPs,
+//! choosing each SWAP with a cost function driven by **transitive
+//! dependence weights**: the number of downstream gates each look-ahead
+//! gate transitively blocks, computed from a polyhedral (Presburger)
+//! encoding of the circuit with a graph fallback (see the [`affine`]
+//! crate).
+//!
+//! The crate exposes:
+//!
+//! * [`QlosureMapper`] — the paper's Algorithm 1 with the layered
+//!   look-ahead cost of Eq. (2), configurable via [`QlosureConfig`]
+//!   (including the §VI-E ablation variants);
+//! * [`Mapper`] / [`MappingResult`] — the interface shared with the
+//!   baseline mappers in the `baselines` crate;
+//! * [`route_qasm`] — a QASM-in/QASM-out convenience pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qlosure::{Mapper, QlosureMapper};
+//! use circuit::Circuit;
+//! use topology::backends;
+//!
+//! // A GHZ ladder on a line topology: every other CX needs routing.
+//! let mut c = Circuit::new(5);
+//! c.h(0);
+//! for i in 0..4 {
+//!     c.cx(0, i + 1);
+//! }
+//! let device = backends::line(5);
+//! let result = QlosureMapper::default().map(&c, &device);
+//! // The routed circuit is hardware-valid:
+//! circuit::verify_routing(
+//!     &c,
+//!     &result.routed,
+//!     &|a, b| device.is_adjacent(a, b),
+//!     &result.initial_layout,
+//! )
+//! .unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod layout;
+mod pipeline;
+mod router;
+
+pub use cost::{CostVariant, OmegaScaling, SwapCost};
+pub use layout::Layout;
+pub use pipeline::{route_qasm, PipelineError};
+pub use router::{InitialMapping, QlosureConfig, QlosureMapper};
+
+use circuit::Circuit;
+use topology::CouplingGraph;
+
+/// The outcome of mapping a circuit onto a device.
+#[derive(Clone, Debug)]
+pub struct MappingResult {
+    /// The routed circuit over *physical* qubits, SWAPs included.
+    pub routed: Circuit,
+    /// Initial layout: `initial_layout[logical] = physical`.
+    pub initial_layout: Vec<u32>,
+    /// Final layout after all SWAPs: `final_layout[logical] = physical`.
+    pub final_layout: Vec<u32>,
+    /// Number of SWAP gates inserted.
+    pub swaps: usize,
+}
+
+impl MappingResult {
+    /// Depth of the routed circuit (unit-gate model).
+    pub fn depth(&self) -> usize {
+        self.routed.depth()
+    }
+
+    /// Depth increase over the unrouted circuit, the Δ of the paper's
+    /// Fig. 2.
+    pub fn depth_delta(&self, original: &Circuit) -> isize {
+        self.depth() as isize - original.depth() as isize
+    }
+}
+
+/// A qubit mapper: routes a logical circuit onto a coupling graph.
+///
+/// Implemented by [`QlosureMapper`] and by every baseline in the
+/// `baselines` crate, so the evaluation harness can drive them uniformly.
+pub trait Mapper {
+    /// Short identifier used in result tables (e.g. `"qlosure"`).
+    fn name(&self) -> &str;
+
+    /// Routes `circuit` onto `device`.
+    ///
+    /// Implementations must return a [`MappingResult`] that passes
+    /// [`circuit::verify_routing`] against the original circuit.
+    fn map(&self, circuit: &Circuit, device: &CouplingGraph) -> MappingResult;
+}

@@ -1,0 +1,142 @@
+//! QASM-in / QASM-out convenience pipeline.
+
+use crate::{Mapper, MappingResult, QlosureConfig, QlosureMapper};
+use circuit::Circuit;
+use std::fmt;
+use topology::CouplingGraph;
+
+/// Errors of the end-to-end pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// QASM parsing failed.
+    Parse(qasm::ParseError),
+    /// The parsed program could not be converted to the circuit IR.
+    Convert(circuit::ConvertError),
+    /// The circuit needs more qubits than the device offers.
+    DeviceTooSmall {
+        /// Logical qubits required.
+        needed: usize,
+        /// Physical qubits available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse error: {e}"),
+            PipelineError::Convert(e) => write!(f, "conversion error: {e}"),
+            PipelineError::DeviceTooSmall { needed, available } => write!(
+                f,
+                "circuit needs {needed} qubits but device has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<qasm::ParseError> for PipelineError {
+    fn from(e: qasm::ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+impl From<circuit::ConvertError> for PipelineError {
+    fn from(e: circuit::ConvertError) -> Self {
+        PipelineError::Convert(e)
+    }
+}
+
+/// Parses OpenQASM source, routes it onto `device` with Qlosure, and
+/// returns the mapped program's QASM text together with the full
+/// [`MappingResult`].
+///
+/// The emitted program is annotated with the initial layout as a comment
+/// so downstream tools can recover the logical↔physical correspondence.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] for malformed QASM, unsupported gates, or a
+/// device smaller than the circuit.
+///
+/// # Example
+///
+/// ```
+/// use qlosure::{route_qasm, QlosureConfig};
+/// use topology::backends;
+///
+/// let src = r#"
+/// OPENQASM 2.0;
+/// include "qelib1.inc";
+/// qreg q[3];
+/// cx q[0], q[2];
+/// "#;
+/// let device = backends::line(3);
+/// let (mapped, result) = route_qasm(src, &device, &QlosureConfig::default())?;
+/// assert!(result.swaps >= 1); // q[0] and q[2] are not adjacent on a line
+/// assert!(mapped.contains("swap"));
+/// # Ok::<(), qlosure::PipelineError>(())
+/// ```
+pub fn route_qasm(
+    src: &str,
+    device: &CouplingGraph,
+    config: &QlosureConfig,
+) -> Result<(String, MappingResult), PipelineError> {
+    let program = qasm::parse(src)?;
+    let circuit = Circuit::from_qasm(&program)?;
+    if circuit.n_qubits() > device.n_qubits() {
+        return Err(PipelineError::DeviceTooSmall {
+            needed: circuit.n_qubits(),
+            available: device.n_qubits(),
+        });
+    }
+    let mapper = QlosureMapper::with_config(config.clone());
+    let result = mapper.map(&circuit, device);
+    let mut text = String::new();
+    text.push_str(&format!("// mapped onto {}\n", device.name()));
+    let layout: Vec<String> = result
+        .initial_layout
+        .iter()
+        .enumerate()
+        .map(|(l, p)| format!("q[{l}]->p[{p}]"))
+        .collect();
+    text.push_str(&format!("// initial layout: {}\n", layout.join(" ")));
+    text.push_str(&qasm::emit(&result.routed.to_qasm()));
+    Ok((text, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::backends;
+
+    #[test]
+    fn pipeline_round_trip() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\n\
+                   h q[0];\ncx q[0], q[3];\ncx q[1], q[2];\n";
+        let device = backends::line(4);
+        let (text, result) = route_qasm(src, &device, &QlosureConfig::default()).unwrap();
+        assert!(text.contains("OPENQASM 2.0"));
+        assert!(text.contains("initial layout"));
+        assert!(result.swaps >= 2);
+        // The emitted QASM must re-parse.
+        let reparsed = qasm::parse(text.trim_start_matches(|c| c != 'O')).unwrap();
+        assert_eq!(reparsed.qubit_count(), 4);
+    }
+
+    #[test]
+    fn rejects_oversized_circuit() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[5];\ncx q[0], q[4];\n";
+        let device = backends::line(3);
+        let err = route_qasm(src, &device, &QlosureConfig::default()).unwrap_err();
+        assert!(matches!(err, PipelineError::DeviceTooSmall { .. }));
+    }
+
+    #[test]
+    fn propagates_parse_errors() {
+        let err = route_qasm("qreg q[", &backends::line(2), &QlosureConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Parse(_)));
+    }
+}

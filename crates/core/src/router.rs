@@ -1,0 +1,728 @@
+//! The Qlosure routing loop (paper Algorithm 1).
+
+use crate::cost::{CostVariant, OmegaScaling, ScoredGate, SwapCost};
+use crate::layout::Layout;
+use crate::{Mapper, MappingResult};
+use affine::{DependenceAnalysis, WeightMode};
+use circuit::{Circuit, DependenceGraph, Gate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+use topology::{CouplingGraph, DistanceMatrix};
+
+/// How the initial logical→physical assignment is chosen (§V-B.4, §VI-E).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InitialMapping {
+    /// The trivial mapping `φ₀(qᵢ) = pᵢ` (used by all headline results).
+    #[default]
+    Identity,
+    /// Forward/backward routing passes refine the assignment before the
+    /// final forward run (ablation (d), after SABRE's bidirectional trick).
+    Bidirectional {
+        /// Number of refinement passes (2 = one forward + one backward).
+        passes: usize,
+    },
+}
+
+/// Tuning knobs of the Qlosure mapper.
+#[derive(Clone, Debug)]
+pub struct QlosureConfig {
+    /// Cost-function variant (ablation axis).
+    pub cost: CostVariant,
+    /// Additive smoothing on ω (see [`SwapCost`]).
+    pub omega_smoothing: u64,
+    /// Compression applied to ω before it enters the cost (see
+    /// [`OmegaScaling`]).
+    pub omega_scaling: OmegaScaling,
+    /// Weight of look-ahead layers `ℓ >= 2` relative to the front layer
+    /// (`1.0` = Eq. 2 verbatim; see [`SwapCost::with_scaling`]).
+    pub future_weight: f64,
+    /// How the ω weights are computed (affine closure vs. graph).
+    pub weight_mode: WeightMode,
+    /// Initial mapping strategy.
+    pub initial: InitialMapping,
+    /// Decay increment per swap on the touched qubits (paper: 0.001).
+    pub decay_delta: f64,
+    /// The look-ahead constant `c` is `max_degree + lookahead_margin`
+    /// (paper: `c` must exceed the device's maximum degree).
+    pub lookahead_margin: usize,
+    /// Seed for random tie-breaking (paper §V-E "breaking ties randomly").
+    pub seed: u64,
+    /// Forced-progress threshold: after `3·diameter + stall_slack` swaps
+    /// without executing a gate, the highest-priority front gate is routed
+    /// directly along a shortest path (guarantees termination).
+    pub stall_slack: usize,
+    /// Depth-awareness of the decay term: the effective decay of a
+    /// physical qubit is `δ + busy_weight · clock(p)/clock_max`, penalizing
+    /// swaps that extend the critical path (swaps on idle qubits schedule
+    /// almost for free). `0.0` evaluates the paper's Eq. (2) verbatim; the
+    /// default keeps sequential kernels (QFT-style hub columns) from
+    /// serializing every SWAP behind the active gate.
+    pub busy_weight: f64,
+    /// Relative near-tie window for candidate selection: candidates whose
+    /// score is within `best · (1 + tie_epsilon)` are considered tied, and
+    /// the tie resolves toward the SWAP that finishes earliest on the
+    /// evolving schedule (then randomly). `0.0` restores pure random ties.
+    pub tie_epsilon: f64,
+}
+
+impl Default for QlosureConfig {
+    fn default() -> Self {
+        QlosureConfig {
+            cost: CostVariant::DependencyWeighted,
+            omega_smoothing: 1,
+            omega_scaling: OmegaScaling::Linear,
+            future_weight: 0.25,
+            weight_mode: WeightMode::Auto,
+            initial: InitialMapping::Identity,
+            decay_delta: 0.001,
+            lookahead_margin: 1,
+            seed: 0xC105,
+            stall_slack: 16,
+            busy_weight: 0.05,
+            tie_epsilon: 0.005,
+        }
+    }
+}
+
+/// The Qlosure qubit mapper (the paper's contribution).
+#[derive(Clone, Debug, Default)]
+pub struct QlosureMapper {
+    /// Configuration; [`Default`] reproduces the paper's headline setup.
+    pub config: QlosureConfig,
+}
+
+impl QlosureMapper {
+    /// A mapper with explicit configuration.
+    pub fn with_config(config: QlosureConfig) -> Self {
+        QlosureMapper { config }
+    }
+
+    /// Routes with an explicit starting layout (used by the bidirectional
+    /// initial-mapping passes and exposed for experimentation).
+    pub fn map_from_layout(
+        &self,
+        circuit: &Circuit,
+        device: &CouplingGraph,
+        layout: Layout,
+    ) -> MappingResult {
+        self.map_with_distances(circuit, device, &device.distances(), layout)
+    }
+
+    /// Error-aware routing (the paper's stated future-work direction):
+    /// the hop-count matrix `Dphys` is replaced by reliability-weighted
+    /// distances derived from a device [`topology::NoiseModel`], so the
+    /// Eq. (2) cost steers SWAP chains around lossy couplings.
+    pub fn map_noise_aware(
+        &self,
+        circuit: &Circuit,
+        device: &CouplingGraph,
+        noise: &topology::NoiseModel,
+    ) -> MappingResult {
+        let dist = noise.weighted_distances(device);
+        let layout = Layout::identity(circuit.n_qubits(), device.n_qubits());
+        self.map_with_distances(circuit, device, &dist, layout)
+    }
+
+    fn map_with_distances(
+        &self,
+        circuit: &Circuit,
+        device: &CouplingGraph,
+        dist: &DistanceMatrix,
+        layout: Layout,
+    ) -> MappingResult {
+        let analysis = DependenceAnalysis::new(circuit, self.config.weight_mode);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        route(
+            circuit,
+            device,
+            dist,
+            analysis.weights(),
+            layout,
+            &self.config,
+            &mut rng,
+        )
+    }
+}
+
+impl Mapper for QlosureMapper {
+    fn name(&self) -> &str {
+        "qlosure"
+    }
+
+    fn map(&self, circuit: &Circuit, device: &CouplingGraph) -> MappingResult {
+        let initial = match self.config.initial {
+            InitialMapping::Identity => Layout::identity(circuit.n_qubits(), device.n_qubits()),
+            InitialMapping::Bidirectional { passes } => {
+                bidirectional_layout(self, circuit, device, passes)
+            }
+        };
+        self.map_from_layout(circuit, device, initial)
+    }
+}
+
+/// Forward/backward refinement: each pass routes the circuit (alternating
+/// direction) and feeds its *final* layout into the next pass.
+fn bidirectional_layout(
+    mapper: &QlosureMapper,
+    circuit: &Circuit,
+    device: &CouplingGraph,
+    passes: usize,
+) -> Layout {
+    let mut reversed = Circuit::new(circuit.n_qubits());
+    for g in circuit.gates().iter().rev() {
+        reversed.push(g.clone());
+    }
+    let mut layout = Layout::identity(circuit.n_qubits(), device.n_qubits());
+    for pass in 0..passes {
+        let dir = if pass % 2 == 0 { circuit } else { &reversed };
+        let result = mapper.map_from_layout(dir, device, layout);
+        layout = Layout::from_assignment(&result.final_layout, device.n_qubits());
+    }
+    layout
+}
+
+/// The dependence-driven mapping loop.
+pub(crate) fn route(
+    circuit: &Circuit,
+    device: &CouplingGraph,
+    dist: &DistanceMatrix,
+    weights: &[u64],
+    mut layout: Layout,
+    config: &QlosureConfig,
+    rng: &mut StdRng,
+) -> MappingResult {
+    let dag = DependenceGraph::new(circuit);
+    let n_gates = circuit.gates().len();
+    let mut indeg = dag.in_degrees();
+    let mut front: Vec<u32> = dag.initial_front();
+    let mut routed = Circuit::with_capacity(device.n_qubits(), n_gates + n_gates / 4);
+    let initial_layout = layout.as_assignment().to_vec();
+    let mut decay = vec![1.0f64; device.n_qubits()];
+    // Per-physical-qubit schedule clocks, mirroring the depth computation;
+    // feeds the busy-aware decay (see QlosureConfig::busy_weight).
+    let mut clock = vec![0u32; device.n_qubits()];
+    let mut clock_max = 0u32;
+    let cost = SwapCost::with_scaling(
+        config.cost,
+        config.omega_smoothing,
+        config.omega_scaling,
+        config.future_weight,
+    );
+    let c_const = device.max_degree() + config.lookahead_margin.max(1);
+    let stall_limit = 3 * dist.diameter() as usize + config.stall_slack;
+    let mut stall = 0usize;
+    let mut swaps = 0usize;
+
+    let executable = |gate: &Gate, layout: &Layout| -> bool {
+        match gate.qubit_pair() {
+            Some((a, b)) => device.is_adjacent(layout.phys(a), layout.phys(b)),
+            None => true, // 1q gates, barriers, measure, reset
+        }
+    };
+
+    while !front.is_empty() {
+        // EXTRACT_READY_GATES: everything in Lf executable under φ.
+        let mut ready: Vec<u32> = front
+            .iter()
+            .copied()
+            .filter(|&g| executable(&circuit.gates()[g as usize], &layout))
+            .collect();
+        if !ready.is_empty() {
+            ready.sort_unstable();
+            for &g in &ready {
+                let gate = &circuit.gates()[g as usize];
+                emit_mapped(&mut routed, gate, &layout);
+                advance_clock(&mut clock, &mut clock_max, gate, &layout);
+            }
+            front.retain(|g| !ready.contains(g));
+            for &g in &ready {
+                for &s in dag.succs(g) {
+                    indeg[s as usize] -= 1;
+                    if indeg[s as usize] == 0 {
+                        front.push(s);
+                    }
+                }
+            }
+            decay.fill(1.0);
+            stall = 0;
+            continue;
+        }
+        // All front gates are blocked two-qubit gates: pick a SWAP.
+        let window = build_window(circuit, &dag, &front, &indeg, weights, c_const);
+        let candidates = swap_candidates(&window, &layout, device);
+        debug_assert!(!candidates.is_empty(), "blocked front with no candidates");
+        let busy = |p: u32| -> f64 {
+            if clock_max == 0 {
+                0.0
+            } else {
+                config.busy_weight * f64::from(clock[p as usize]) / f64::from(clock_max)
+            }
+        };
+        let mut scored: Vec<((u32, u32), f64)> = Vec::with_capacity(candidates.len());
+        let mut best_score = f64::INFINITY;
+        for &(p1, p2) in &candidates {
+            layout.apply_swap(p1, p2);
+            let d1 = decay[p1 as usize] + busy(p1);
+            let d2 = decay[p2 as usize] + busy(p2);
+            let score = cost.score(&window.gates, &layout, dist, d1.max(d2));
+            layout.apply_swap(p1, p2); // undo
+            best_score = best_score.min(score);
+            scored.push(((p1, p2), score));
+        }
+        // Near-ties resolve toward swaps that (a) strictly shrink the
+        // front layer's total distance (guaranteed progress) and (b)
+        // finish earliest on the schedule (idle qubits are almost free,
+        // depth-wise), then randomly.
+        let front_sum = |layout: &Layout| -> u32 {
+            window
+                .gates
+                .iter()
+                .filter(|g| g.layer <= 1)
+                .map(|g| u32::from(dist.get(layout.phys(g.q1), layout.phys(g.q2))))
+                .sum()
+        };
+        let base_front = front_sum(&layout);
+        let cutoff = best_score + best_score.abs() * config.tie_epsilon + 1e-9;
+        let mut best: Vec<(u32, u32)> = Vec::new();
+        let mut best_key = (false, u32::MAX);
+        for &((p1, p2), score) in &scored {
+            if score > cutoff {
+                continue;
+            }
+            layout.apply_swap(p1, p2);
+            let progress = front_sum(&layout) < base_front;
+            layout.apply_swap(p1, p2);
+            let done = clock[p1 as usize].max(clock[p2 as usize]) + 1;
+            let key = (progress, done);
+            let better = match (key.0, best_key.0) {
+                (true, false) => true,
+                (false, true) => false,
+                _ => done < best_key.1,
+            };
+            if better {
+                best_key = key;
+                best.clear();
+                best.push((p1, p2));
+            } else if key == best_key {
+                best.push((p1, p2));
+            }
+        }
+        let (p1, p2) = best[rng.random_range(0..best.len())];
+        routed.swap(p1, p2);
+        layout.apply_swap(p1, p2);
+        let done = clock[p1 as usize].max(clock[p2 as usize]) + 1;
+        clock[p1 as usize] = done;
+        clock[p2 as usize] = done;
+        clock_max = clock_max.max(done);
+        decay[p1 as usize] += config.decay_delta;
+        decay[p2 as usize] += config.decay_delta;
+        swaps += 1;
+        stall += 1;
+        if stall > stall_limit {
+            // Forced progress: route the heaviest front gate directly.
+            let &g = front
+                .iter()
+                .max_by_key(|&&g| weights.get(g as usize).copied().unwrap_or(0))
+                .expect("front non-empty");
+            let (a, b) = circuit.gates()[g as usize]
+                .qubit_pair()
+                .expect("blocked gates are two-qubit");
+            let (pa, pb) = (layout.phys(a), layout.phys(b));
+            let path = device
+                .shortest_path(pa, pb)
+                .expect("device must be connected");
+            for win in path.windows(2).take(path.len().saturating_sub(2)) {
+                routed.swap(win[0], win[1]);
+                layout.apply_swap(win[0], win[1]);
+                let done = clock[win[0] as usize].max(clock[win[1] as usize]) + 1;
+                clock[win[0] as usize] = done;
+                clock[win[1] as usize] = done;
+                clock_max = clock_max.max(done);
+                swaps += 1;
+            }
+            decay.fill(1.0);
+            stall = 0;
+        }
+    }
+    let final_layout = layout.as_assignment().to_vec();
+    MappingResult {
+        routed,
+        initial_layout,
+        final_layout,
+        swaps,
+    }
+}
+
+/// Emits `gate` with operands translated through `layout`.
+fn emit_mapped(routed: &mut Circuit, gate: &Gate, layout: &Layout) {
+    let mapped = Gate {
+        kind: gate.kind.clone(),
+        qubits: gate.qubits.iter().map(|&q| layout.phys(q)).collect(),
+        params: gate.params.clone(),
+    };
+    routed.push(mapped);
+}
+
+/// Advances the per-qubit schedule clocks for an executed gate.
+fn advance_clock(clock: &mut [u32], clock_max: &mut u32, gate: &Gate, layout: &Layout) {
+    if gate.qubits.is_empty() {
+        return;
+    }
+    let ready = gate
+        .qubits
+        .iter()
+        .map(|&q| clock[layout.phys(q) as usize])
+        .max()
+        .expect("non-empty");
+    let dur = u32::from(gate.is_scheduled());
+    let done = ready + dur;
+    for &q in &gate.qubits {
+        clock[layout.phys(q) as usize] = done;
+    }
+    *clock_max = (*clock_max).max(done);
+}
+
+/// The layered look-ahead window: the blocked front gates (layer 1) plus
+/// the topologically earliest `k = c·nf` upcoming two-qubit gates, layered
+/// by dependence distance from the front (§V-C).
+pub(crate) struct Window {
+    /// Scored gates, front first.
+    pub gates: Vec<ScoredGate>,
+    /// Logical qubits of the front gates (used for candidate generation).
+    pub front_logicals: Vec<u32>,
+}
+
+fn build_window(
+    circuit: &Circuit,
+    dag: &DependenceGraph,
+    front: &[u32],
+    indeg: &[u32],
+    weights: &[u64],
+    c_const: usize,
+) -> Window {
+    let mut gates: Vec<ScoredGate> = Vec::new();
+    let mut front_logicals: Vec<u32> = Vec::new();
+    // Gate -> dependence layer; front 2q gates are layer 1, single-qubit
+    // gates are transparent (inherit the max predecessor layer).
+    let mut layer: Vec<u32> = vec![0; dag.n_gates()];
+    let mut visited: Vec<bool> = vec![false; dag.n_gates()];
+    let mut heap: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
+    for &g in front {
+        visited[g as usize] = true;
+        heap.push(std::cmp::Reverse(g));
+    }
+    let nf = {
+        let mut qs: Vec<u32> = front
+            .iter()
+            .filter_map(|&g| circuit.gates()[g as usize].qubit_pair())
+            .flat_map(|(a, b)| [a, b])
+            .collect();
+        qs.sort_unstable();
+        qs.dedup();
+        qs.len()
+    };
+    let k = c_const * nf.max(1);
+    let mut collected = 0usize;
+    while let Some(std::cmp::Reverse(g)) = heap.pop() {
+        let gate = &circuit.gates()[g as usize];
+        let is_front = indeg[g as usize] == 0;
+        let l = if is_front {
+            u32::from(gate.is_two_qubit())
+        } else {
+            // All unexecuted predecessors were popped earlier (smaller
+            // topological index); executed ones contribute layer 0.
+            let base = dag
+                .preds(g)
+                .iter()
+                .map(|&p| layer[p as usize])
+                .max()
+                .unwrap_or(0);
+            base + u32::from(gate.is_two_qubit())
+        };
+        layer[g as usize] = l;
+        if let Some((a, b)) = gate.qubit_pair() {
+            gates.push(ScoredGate {
+                q1: a,
+                q2: b,
+                omega: weights.get(g as usize).copied().unwrap_or(0),
+                layer: l,
+            });
+            if is_front {
+                front_logicals.push(a);
+                front_logicals.push(b);
+            } else {
+                collected += 1;
+                if collected >= k {
+                    break;
+                }
+            }
+        }
+        for &s in dag.succs(g) {
+            if !visited[s as usize] {
+                visited[s as usize] = true;
+                heap.push(std::cmp::Reverse(s));
+            }
+        }
+    }
+    front_logicals.sort_unstable();
+    front_logicals.dedup();
+    Window {
+        gates,
+        front_logicals,
+    }
+}
+
+/// Candidate SWAPs: every coupling-graph edge incident to a physical qubit
+/// hosting a front-layer logical qubit (§V-D).
+fn swap_candidates(window: &Window, layout: &Layout, device: &CouplingGraph) -> Vec<(u32, u32)> {
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    for &l in &window.front_logicals {
+        let p1 = layout.phys(l);
+        for &p2 in device.neighbors(p1) {
+            let pair = (p1.min(p2), p1.max(p2));
+            if !out.contains(&pair) {
+                out.push(pair);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::verify_routing;
+    use topology::backends;
+
+    fn verify(circuit: &Circuit, device: &CouplingGraph, result: &MappingResult) {
+        verify_routing(
+            circuit,
+            &result.routed,
+            &|a, b| device.is_adjacent(a, b),
+            &result.initial_layout,
+        )
+        .expect("routing must verify");
+    }
+
+    #[test]
+    fn already_routable_circuit_gets_no_swaps() {
+        let device = backends::line(4);
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        c.cx(2, 3);
+        let r = QlosureMapper::default().map(&c, &device);
+        assert_eq!(r.swaps, 0);
+        assert_eq!(r.routed.qop_count(), 4);
+        verify(&c, &device, &r);
+    }
+
+    #[test]
+    fn distant_gate_gets_routed() {
+        let device = backends::line(5);
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        let r = QlosureMapper::default().map(&c, &device);
+        assert!(r.swaps >= 3, "distance-4 pair needs >= 3 swaps, got {}", r.swaps);
+        verify(&c, &device, &r);
+    }
+
+    #[test]
+    fn ghz_on_ring() {
+        let device = backends::ring(6);
+        let mut c = Circuit::new(6);
+        c.h(0);
+        for i in 1..6 {
+            c.cx(0, i);
+        }
+        let r = QlosureMapper::default().map(&c, &device);
+        verify(&c, &device, &r);
+    }
+
+    #[test]
+    fn respects_dependences_across_swaps() {
+        let device = backends::line(6);
+        let mut c = Circuit::new(6);
+        c.cx(0, 5);
+        c.cx(5, 0); // must still follow the first gate logically
+        c.h(5);
+        c.cx(0, 3);
+        let r = QlosureMapper::default().map(&c, &device);
+        verify(&c, &device, &r);
+    }
+
+    #[test]
+    fn barriers_and_measures_survive() {
+        let device = backends::line(4);
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.barrier(&[0, 1]);
+        c.cx(0, 3);
+        c.measure_all();
+        let r = QlosureMapper::default().map(&c, &device);
+        verify(&c, &device, &r);
+        assert_eq!(
+            r.routed
+                .gates()
+                .iter()
+                .filter(|g| g.kind == circuit::GateKind::Measure)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let device = backends::king_grid(4, 4);
+        let mut c = Circuit::new(16);
+        let mut s = 7u64;
+        for _ in 0..60 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = ((s >> 33) % 16) as u32;
+            let b = ((s >> 13) % 16) as u32;
+            if a != b {
+                c.cx(a, b);
+            }
+        }
+        let m = QlosureMapper::default();
+        let r1 = m.map(&c, &device);
+        let r2 = m.map(&c, &device);
+        assert_eq!(r1.routed, r2.routed);
+        assert_eq!(r1.swaps, r2.swaps);
+    }
+
+    #[test]
+    fn bidirectional_initial_mapping_verifies_and_helps() {
+        let device = backends::line(8);
+        let mut c = Circuit::new(8);
+        // Long-range pairs under identity; a smarter layout reduces swaps.
+        for _ in 0..3 {
+            c.cx(0, 7);
+            c.cx(1, 6);
+            c.cx(2, 5);
+        }
+        let identity = QlosureMapper::default().map(&c, &device);
+        let bidi = QlosureMapper::with_config(QlosureConfig {
+            initial: InitialMapping::Bidirectional { passes: 2 },
+            ..QlosureConfig::default()
+        })
+        .map(&c, &device);
+        verify(&c, &device, &identity);
+        verify(&c, &device, &bidi);
+        assert!(
+            bidi.swaps <= identity.swaps,
+            "bidirectional {} should not exceed identity {}",
+            bidi.swaps,
+            identity.swaps
+        );
+    }
+
+    #[test]
+    fn all_cost_variants_produce_valid_routings() {
+        let device = backends::square_grid(3, 3);
+        let mut c = Circuit::new(9);
+        let mut s = 99u64;
+        for _ in 0..40 {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let a = ((s >> 33) % 9) as u32;
+            let b = ((s >> 13) % 9) as u32;
+            if a != b {
+                c.cx(a, b);
+            }
+        }
+        for variant in [
+            CostVariant::DistanceOnly,
+            CostVariant::LayerAdjusted,
+            CostVariant::DependencyWeighted,
+        ] {
+            let r = QlosureMapper::with_config(QlosureConfig {
+                cost: variant,
+                ..QlosureConfig::default()
+            })
+            .map(&c, &device);
+            verify(&c, &device, &r);
+        }
+    }
+
+    #[test]
+    fn maps_onto_larger_device_than_circuit() {
+        let device = backends::sherbrooke();
+        let mut c = Circuit::new(10);
+        for i in 0..9 {
+            c.cx(i, i + 1);
+        }
+        c.cx(0, 9);
+        let r = QlosureMapper::default().map(&c, &device);
+        verify(&c, &device, &r);
+    }
+
+    #[test]
+    fn noise_aware_routing_avoids_bad_links() {
+        // Ring with one terrible coupling: the noise-aware router must
+        // place its SWAPs on the healthy side of the ring.
+        let device = backends::ring(8);
+        let mut noise = topology::NoiseModel::uniform(&device, 0.002, 0.0002);
+        noise.set_edge_error(0, 1, 0.35);
+        let mut c = Circuit::new(8);
+        for _ in 0..4 {
+            c.cx(0, 4); // diametrically opposite; either direction works
+            c.cx(4, 0);
+        }
+        let mapper = QlosureMapper::default();
+        let aware = mapper.map_noise_aware(&c, &device, &noise);
+        verify(&c, &device, &aware);
+        let gates: Vec<(&str, &[u32])> = aware
+            .routed
+            .gates()
+            .iter()
+            .map(|g| (g.kind.name(), g.qubits.as_slice()))
+            .collect();
+        let p_aware = noise.success_probability(gates);
+        let unaware = mapper.map(&c, &device);
+        verify(&c, &device, &unaware);
+        let gates: Vec<(&str, &[u32])> = unaware
+            .routed
+            .gates()
+            .iter()
+            .map(|g| (g.kind.name(), g.qubits.as_slice()))
+            .collect();
+        let p_unaware = noise.success_probability(gates);
+        // The noise-aware route never uses the bad link for swaps.
+        let bad_swaps = aware
+            .routed
+            .gates()
+            .iter()
+            .filter(|g| {
+                g.kind == circuit::GateKind::Swap
+                    && g.qubits.contains(&0)
+                    && g.qubits.contains(&1)
+            })
+            .count();
+        assert_eq!(bad_swaps, 0, "noise-aware route crossed the bad link");
+        assert!(
+            p_aware >= p_unaware * 0.99,
+            "noise-aware {p_aware} should not be meaningfully worse than {p_unaware}"
+        );
+    }
+
+    #[test]
+    fn window_layers_increase_with_depth() {
+        // chain: cx(0,1); cx(1,2); cx(2,3) — blocked front at distance.
+        let device = backends::line(6);
+        let mut c = Circuit::new(4);
+        c.cx(0, 2); // blocked under identity on a line
+        c.cx(2, 3);
+        c.cx(3, 1);
+        let dag = DependenceGraph::new(&c);
+        let indeg = dag.in_degrees();
+        let front = dag.initial_front();
+        let weights = [3, 1, 0];
+        let w = build_window(&c, &dag, &front, &indeg, &weights, 4);
+        assert_eq!(w.gates[0].layer, 1);
+        assert!(w.gates.iter().any(|g| g.layer == 2));
+        assert!(w.gates.iter().any(|g| g.layer == 3));
+        let _ = device;
+    }
+}

@@ -1,0 +1,568 @@
+//! Conjunctions of affine constraints ([`BasicSet`]).
+
+use crate::expr::{Constraint, ConstraintKind, LinearExpr};
+use crate::omega;
+use crate::{div_floor, gcd};
+
+/// A conjunction of affine constraints over `dim` integer variables.
+///
+/// A `BasicSet` denotes `{ x ∈ Zⁿ | ∧ constraints }`. Unlike ISL there are no
+/// existentially quantified div variables; strides are expressed with
+/// congruence constraints, which keeps negation (and hence set difference)
+/// closed over the representation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BasicSet {
+    dim: usize,
+    constraints: Vec<Constraint>,
+    /// Set when normalization discovered a contradiction.
+    known_empty: bool,
+}
+
+impl BasicSet {
+    /// Builds a basic set from constraints and normalizes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constraint ranges over a different number of variables
+    /// than `dim`.
+    pub fn new(dim: usize, constraints: Vec<Constraint>) -> Self {
+        for c in &constraints {
+            assert_eq!(
+                c.expr.n_vars(),
+                dim,
+                "constraint arity {} != set dimension {dim}",
+                c.expr.n_vars()
+            );
+        }
+        let mut bs = BasicSet {
+            dim,
+            constraints,
+            known_empty: false,
+        };
+        bs.normalize();
+        bs
+    }
+
+    /// The whole space `Zⁿ`.
+    pub fn universe(dim: usize) -> Self {
+        BasicSet {
+            dim,
+            constraints: Vec::new(),
+            known_empty: false,
+        }
+    }
+
+    /// A canonical empty set of the given dimension.
+    pub fn empty(dim: usize) -> Self {
+        BasicSet {
+            dim,
+            constraints: vec![Constraint::ge(LinearExpr::constant(dim, -1))],
+            known_empty: true,
+        }
+    }
+
+    /// The singleton set `{ point }`.
+    pub fn point(point: &[i64]) -> Self {
+        let dim = point.len();
+        let constraints = point
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Constraint::eq(LinearExpr::var(dim, i).plus_const(-v)))
+            .collect();
+        BasicSet::new(dim, constraints)
+    }
+
+    /// The box `{ x | lo[i] <= x[i] <= hi[i] }`.
+    pub fn bounding_box(lo: &[i64], hi: &[i64]) -> Self {
+        assert_eq!(lo.len(), hi.len());
+        let dim = lo.len();
+        let mut cs = Vec::with_capacity(2 * dim);
+        for i in 0..dim {
+            cs.push(Constraint::ge(LinearExpr::var(dim, i).plus_const(-lo[i])));
+            cs.push(Constraint::ge(
+                LinearExpr::var(dim, i).neg().plus_const(hi[i]),
+            ));
+        }
+        BasicSet::new(dim, cs)
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The constraints after normalization.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Whether normalization already proved the set empty. A `false` answer
+    /// is inconclusive; use [`BasicSet::is_empty`] for an exact test.
+    pub fn is_obviously_empty(&self) -> bool {
+        self.known_empty
+    }
+
+    /// Exact integer emptiness test (Omega-test elimination).
+    pub fn is_empty(&self) -> bool {
+        if self.known_empty {
+            return true;
+        }
+        if self.constraints.is_empty() {
+            return false;
+        }
+        omega::is_empty(self)
+    }
+
+    /// Whether an integer point belongs to the set.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        assert_eq!(point.len(), self.dim);
+        !self.known_empty && self.constraints.iter().all(|c| c.holds_at(point))
+    }
+
+    /// Intersection (conjunction of both constraint systems).
+    pub fn intersect(&self, other: &BasicSet) -> BasicSet {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in intersect");
+        if self.known_empty {
+            return self.clone();
+        }
+        if other.known_empty {
+            return other.clone();
+        }
+        let mut cs = self.constraints.clone();
+        cs.extend(other.constraints.iter().cloned());
+        BasicSet::new(self.dim, cs)
+    }
+
+    /// Adds one constraint and re-normalizes.
+    pub fn add_constraint(&self, c: Constraint) -> BasicSet {
+        let mut cs = self.constraints.clone();
+        cs.push(c);
+        BasicSet::new(self.dim, cs)
+    }
+
+    /// Exactly eliminates variable `v`, returning the projection as a union
+    /// of basic sets over `dim - 1` variables (variable indices above `v`
+    /// shift down).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::UnsupportedCongruence`] for the congruence
+    /// fragment described in the crate docs.
+    pub fn eliminate_var(&self, v: usize) -> crate::Result<Vec<BasicSet>> {
+        omega::eliminate_var(self, v)
+    }
+
+    /// Fixes variable `v` to `value`, returning a set over `dim - 1`
+    /// variables.
+    pub fn fix_var(&self, v: usize, value: i64) -> BasicSet {
+        assert!(v < self.dim);
+        let cs = self
+            .constraints
+            .iter()
+            .map(|c| {
+                let shift = c.expr.coeff(v).checked_mul(value).expect("fix overflow");
+                let mut expr = c.expr.clone().with_coeff(v, 0).plus_const(shift);
+                expr = expr.drop_var(v);
+                Constraint {
+                    kind: c.kind,
+                    expr,
+                }
+            })
+            .collect();
+        BasicSet::new(self.dim - 1, cs)
+    }
+
+    /// Inserts `count` fresh unconstrained variables at position `at`.
+    pub fn insert_vars(&self, at: usize, count: usize) -> BasicSet {
+        let cs = self
+            .constraints
+            .iter()
+            .map(|c| Constraint {
+                kind: c.kind,
+                expr: c.expr.insert_vars(at, count),
+            })
+            .collect();
+        BasicSet {
+            dim: self.dim + count,
+            constraints: cs,
+            known_empty: self.known_empty,
+        }
+    }
+
+    /// Reorders variables: new variable `i` is old variable `perm[i]`.
+    pub fn permute(&self, perm: &[usize]) -> BasicSet {
+        assert_eq!(perm.len(), self.dim);
+        let cs = self
+            .constraints
+            .iter()
+            .map(|c| Constraint {
+                kind: c.kind,
+                expr: c.expr.permute(perm),
+            })
+            .collect();
+        BasicSet {
+            dim: self.dim,
+            constraints: cs,
+            known_empty: self.known_empty,
+        }
+    }
+
+    /// Rational lower/upper bounds of variable `v` over the set, obtained by
+    /// pairwise (Fourier) elimination of every other variable. `None` on the
+    /// respective side means unbounded. The bounds are safe over-estimates:
+    /// every point of the set has `lo <= x[v] <= hi`.
+    ///
+    /// Congruence constraints are ignored here (they only thin the set).
+    pub fn var_bounds(&self, v: usize) -> (Option<i64>, Option<i64>) {
+        omega::rational_var_bounds(self, v)
+    }
+
+    /// Finds one integer point of the set, if any (exact).
+    pub fn sample(&self) -> Option<Vec<i64>> {
+        omega::sample(self)
+    }
+
+    /// Normalization: gcd-reduce every constraint, tighten inequality
+    /// constants, reduce congruence coefficients into `[0, m)`, substitute
+    /// unit-coefficient equalities into the other constraints (integer
+    /// Gaussian elimination), drop tautologies, detect obvious
+    /// contradictions and deduplicate.
+    fn normalize(&mut self) {
+        let mut out: Vec<Constraint> = Vec::with_capacity(self.constraints.len());
+        for c in std::mem::take(&mut self.constraints) {
+            match Self::normalize_constraint(c) {
+                NormalizedConstraint::True => {}
+                NormalizedConstraint::False => {
+                    self.known_empty = true;
+                    self.constraints =
+                        vec![Constraint::ge(LinearExpr::constant(self.dim, -1))];
+                    return;
+                }
+                NormalizedConstraint::Keep(c) => out.push(c),
+            }
+        }
+        // Equality-driven substitution: for every equality with a unit
+        // coefficient, rewrite the *other* constraints to not mention that
+        // variable. This is what lets contradictions like `x = 0 ∧ x >= 1`
+        // surface without a full Omega run, which keeps set difference and
+        // the closure fixpoint fast.
+        let mut solved: Vec<usize> = Vec::new();
+        loop {
+            let mut pick: Option<(usize, usize, LinearExpr)> = None;
+            'scan: for (ci, c) in out.iter().enumerate() {
+                if c.kind != ConstraintKind::Eq {
+                    continue;
+                }
+                for v in 0..self.dim {
+                    if solved.contains(&v) {
+                        continue;
+                    }
+                    let a = c.expr.coeff(v);
+                    if a.abs() == 1 {
+                        // v = rep with rep free of v.
+                        let rep = c.expr.clone().with_coeff(v, 0).scale(-a);
+                        pick = Some((ci, v, rep));
+                        break 'scan;
+                    }
+                }
+            }
+            let Some((ci, v, rep)) = pick else { break };
+            solved.push(v);
+            let mut changed: Vec<Constraint> = Vec::with_capacity(out.len());
+            for (i, c) in out.iter().enumerate() {
+                if i == ci || c.expr.coeff(v) == 0 {
+                    changed.push(c.clone());
+                    continue;
+                }
+                let nc = Constraint {
+                    kind: c.kind,
+                    expr: c.expr.substitute(v, &rep),
+                };
+                match Self::normalize_constraint(nc) {
+                    NormalizedConstraint::True => {}
+                    NormalizedConstraint::False => {
+                        self.known_empty = true;
+                        self.constraints =
+                            vec![Constraint::ge(LinearExpr::constant(self.dim, -1))];
+                        return;
+                    }
+                    NormalizedConstraint::Keep(c) => changed.push(c),
+                }
+            }
+            out = changed;
+        }
+        out.sort();
+        out.dedup();
+        // Drop inequalities strictly implied by another with the same
+        // coefficient vector (keep the tighter constant).
+        let mut kept: Vec<Constraint> = Vec::with_capacity(out.len());
+        for c in out {
+            if c.kind == ConstraintKind::Ge {
+                if let Some(prev) = kept.iter_mut().find(|p| {
+                    p.kind == ConstraintKind::Ge && p.expr.coeffs() == c.expr.coeffs()
+                }) {
+                    // Same direction: x >= a and x >= b  ->  keep max bound,
+                    // i.e. the *smaller* constant term of `expr >= 0`.
+                    if c.expr.constant_term() < prev.expr.constant_term() {
+                        prev.expr = c.expr;
+                    }
+                    continue;
+                }
+            }
+            kept.push(c);
+        }
+        // Opposite-direction pair detection: e >= 0 and -e >= 0 => e = 0;
+        // e >= 1 and -e >= 0 => empty.
+        let mut i = 0;
+        while i < kept.len() {
+            if kept[i].kind == ConstraintKind::Ge {
+                let negated = kept[i].expr.neg();
+                if let Some(j) = kept.iter().position(|c| {
+                    c.kind == ConstraintKind::Ge && c.expr.coeffs() == negated.coeffs()
+                }) {
+                    if j != i {
+                        // a: e + p >= 0, b: -e + q >= 0  => -p <= e <= q
+                        let p = kept[i].expr.constant_term();
+                        let q = kept[j].expr.constant_term();
+                        // feasibility of the pair requires -p <= q
+                        if -p > q {
+                            self.known_empty = true;
+                            self.constraints =
+                                vec![Constraint::ge(LinearExpr::constant(self.dim, -1))];
+                            return;
+                        }
+                        if -p == q {
+                            // collapse into an equality e = -p i.e. expr of i
+                            let expr = kept[i].expr.clone();
+                            let (a, b) = if i < j { (j, i) } else { (i, j) };
+                            kept.remove(a);
+                            kept.remove(b);
+                            kept.push(Constraint::eq(expr));
+                            kept.sort();
+                            kept.dedup();
+                            i = 0;
+                            continue;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        self.constraints = kept;
+    }
+
+    fn normalize_constraint(c: Constraint) -> NormalizedConstraint {
+        let content = c.expr.content();
+        match c.kind {
+            ConstraintKind::Eq => {
+                if content == 0 {
+                    return if c.expr.constant_term() == 0 {
+                        NormalizedConstraint::True
+                    } else {
+                        NormalizedConstraint::False
+                    };
+                }
+                if c.expr.constant_term() % content != 0 {
+                    return NormalizedConstraint::False;
+                }
+                let expr = LinearExpr::new(
+                    c.expr.coeffs().iter().map(|&x| x / content).collect(),
+                    c.expr.constant_term() / content,
+                );
+                // Canonical sign: first non-zero coefficient positive.
+                let expr = match expr.first_var() {
+                    Some(v) if expr.coeff(v) < 0 => expr.neg(),
+                    _ => expr,
+                };
+                NormalizedConstraint::Keep(Constraint::eq(expr))
+            }
+            ConstraintKind::Ge => {
+                if content == 0 {
+                    return if c.expr.constant_term() >= 0 {
+                        NormalizedConstraint::True
+                    } else {
+                        NormalizedConstraint::False
+                    };
+                }
+                // g·e' + k >= 0  <=>  e' >= ceil(-k / g)  (integer tightening)
+                let expr = LinearExpr::new(
+                    c.expr.coeffs().iter().map(|&x| x / content).collect(),
+                    div_floor(c.expr.constant_term(), content),
+                );
+                NormalizedConstraint::Keep(Constraint::ge(expr))
+            }
+            ConstraintKind::Mod(m) => {
+                // Reduce coefficients into [0, m).
+                let coeffs: Vec<i64> = c
+                    .expr
+                    .coeffs()
+                    .iter()
+                    .map(|&x| x.rem_euclid(m))
+                    .collect();
+                let k = c.expr.constant_term().rem_euclid(m);
+                let g = coeffs.iter().fold(gcd(m, k), |g, &x| gcd(g, x));
+                if coeffs.iter().all(|&x| x == 0) {
+                    return if k == 0 {
+                        NormalizedConstraint::True
+                    } else {
+                        NormalizedConstraint::False
+                    };
+                }
+                // Divide through by gcd(coeffs, k, m).
+                let (coeffs, k, m) = if g > 1 {
+                    (
+                        coeffs.iter().map(|&x| x / g).collect(),
+                        k / g,
+                        m / g,
+                    )
+                } else {
+                    (coeffs, k, m)
+                };
+                if m == 1 {
+                    return NormalizedConstraint::True;
+                }
+                NormalizedConstraint::Keep(Constraint::modulo(LinearExpr::new(coeffs, k), m))
+            }
+        }
+    }
+}
+
+enum NormalizedConstraint {
+    True,
+    False,
+    Keep(Constraint),
+}
+
+impl std::fmt::Debug for BasicSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{ dim={} : ", self.dim)?;
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, " and ")?;
+            }
+            write!(f, "{c:?}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval(lo: i64, hi: i64) -> BasicSet {
+        BasicSet::bounding_box(&[lo], &[hi])
+    }
+
+    #[test]
+    fn universe_and_empty() {
+        assert!(!BasicSet::universe(2).is_empty());
+        assert!(BasicSet::empty(2).is_empty());
+        assert!(BasicSet::universe(0).contains(&[]));
+    }
+
+    #[test]
+    fn point_membership() {
+        let p = BasicSet::point(&[3, -1]);
+        assert!(p.contains(&[3, -1]));
+        assert!(!p.contains(&[3, 0]));
+    }
+
+    #[test]
+    fn gcd_tightening_of_inequalities() {
+        // 2x >= 3  ->  x >= 2
+        let bs = BasicSet::new(
+            1,
+            vec![Constraint::ge(LinearExpr::new(vec![2], -3))],
+        );
+        assert!(!bs.contains(&[1]));
+        assert!(bs.contains(&[2]));
+    }
+
+    #[test]
+    fn infeasible_equality_detected() {
+        // 2x = 3 has no integer solution.
+        let bs = BasicSet::new(1, vec![Constraint::eq(LinearExpr::new(vec![2], -3))]);
+        assert!(bs.is_obviously_empty());
+    }
+
+    #[test]
+    fn opposite_inequalities_collapse() {
+        // x >= 2 and x <= 2  =>  x = 2
+        let bs = interval(2, 2);
+        assert!(bs
+            .constraints()
+            .iter()
+            .any(|c| c.kind == ConstraintKind::Eq));
+        assert!(bs.contains(&[2]));
+        assert!(!bs.contains(&[1]));
+    }
+
+    #[test]
+    fn contradictory_interval_is_empty() {
+        let bs = interval(3, 1);
+        assert!(bs.is_obviously_empty());
+    }
+
+    #[test]
+    fn congruence_normalization_reduces_coefficients() {
+        // 5x ≡ 3 (mod 2)  ->  x ≡ 1 (mod 2)
+        let bs = BasicSet::new(
+            1,
+            vec![Constraint::modulo(LinearExpr::new(vec![5], -3), 2)],
+        );
+        assert!(bs.contains(&[1]));
+        assert!(bs.contains(&[3]));
+        assert!(!bs.contains(&[2]));
+    }
+
+    #[test]
+    fn fix_var_projects_point() {
+        // { (x, y) : 0 <= x <= 4, y = x + 1 } fixed at x = 2 -> { y : y = 3 }
+        let bs = BasicSet::new(
+            2,
+            vec![
+                Constraint::ge(LinearExpr::var(2, 0)),
+                Constraint::ge(LinearExpr::var(2, 0).neg().plus_const(4)),
+                Constraint::eq(LinearExpr::var(2, 1).sub(&LinearExpr::var(2, 0)).plus_const(-1)),
+            ],
+        );
+        let fixed = bs.fix_var(0, 2);
+        assert!(fixed.contains(&[3]));
+        assert!(!fixed.contains(&[2]));
+    }
+
+    #[test]
+    fn intersect_narrows() {
+        let a = interval(0, 10);
+        let b = interval(5, 20);
+        let c = a.intersect(&b);
+        assert!(c.contains(&[5]) && c.contains(&[10]));
+        assert!(!c.contains(&[4]) && !c.contains(&[11]));
+    }
+
+    #[test]
+    fn var_bounds_of_box() {
+        let bs = BasicSet::bounding_box(&[-2, 5], &[7, 5]);
+        assert_eq!(bs.var_bounds(0), (Some(-2), Some(7)));
+        assert_eq!(bs.var_bounds(1), (Some(5), Some(5)));
+        let u = BasicSet::universe(1);
+        assert_eq!(u.var_bounds(0), (None, None));
+    }
+
+    #[test]
+    fn sample_finds_member() {
+        let bs = BasicSet::new(
+            2,
+            vec![
+                Constraint::ge(LinearExpr::var(2, 0).plus_const(-3)), // x >= 3
+                Constraint::ge(LinearExpr::var(2, 0).neg().plus_const(9)), // x <= 9
+                Constraint::modulo(LinearExpr::var(2, 0), 5),         // x ≡ 0 mod 5
+                Constraint::eq2(LinearExpr::var(2, 1), &LinearExpr::var(2, 0).scale(2)),
+            ],
+        );
+        let p = bs.sample().expect("set is non-empty");
+        assert_eq!(p, vec![5, 10]);
+        assert!(bs.contains(&p));
+    }
+}

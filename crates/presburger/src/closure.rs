@@ -1,0 +1,424 @@
+//! Transitive closure of integer relations (`R⁺`).
+//!
+//! Follows the structure of Verdoolaege–Cohen–Beletska, *Transitive closures
+//! of affine integer tuple relations and their overapproximations* (SAS'11):
+//!
+//! 1. a **candidate** closure is constructed cheaply (translation rule for
+//!    single-disjunct translations, delta-hull rule for 1-D relations with
+//!    strictly forward steps);
+//! 2. the candidate is **verified**: `R ⊆ C` and `C∘C ⊆ C` establish
+//!    soundness (`C ⊇ R⁺`), and `C ⊆ R ∪ (R ∘ C)` establishes exactness
+//!    (`C = R⁺`) whenever steps strictly advance some dimension;
+//! 3. if no candidate verifies, an **iterative fixpoint** with a budget is
+//!    attempted (exact for bounded-depth relations);
+//! 4. otherwise a sound, flagged **over-approximation** built from the delta
+//!    box hull and the relation's domain/range is returned.
+
+use crate::expr::{Constraint, LinearExpr};
+use crate::map::{BasicMap, Map};
+use crate::set::Set;
+use crate::{gcd, Result};
+
+/// Result of [`Map::transitive_closure`]: the relation plus an exactness
+/// flag. When `exact` is `false` the relation is a sound over-approximation
+/// (`R⁺ ⊆ map`).
+#[derive(Clone, Debug)]
+pub struct ClosureResult {
+    /// The computed closure (or over-approximation of it).
+    pub map: Map,
+    /// Whether `map` is exactly `R⁺`.
+    pub exact: bool,
+}
+
+/// Iteration budget for the fixpoint fallback.
+const MAX_FIXPOINT_ITERS: usize = 48;
+/// Disjunct budget: beyond this the fixpoint gives up.
+const MAX_PARTS: usize = 128;
+/// Relations wider than this skip the exact strategies entirely — both the
+/// candidate verification and the fixpoint are superlinear in the disjunct
+/// count, so wide unions go straight to the over-approximation.
+const MAX_INPUT_PARTS: usize = 48;
+/// Candidates wider than this are too expensive to verify.
+const MAX_CANDIDATE_PARTS: usize = 64;
+
+/// Computes `R⁺` (see module docs).
+pub fn transitive_closure(r: &Map) -> ClosureResult {
+    assert_eq!(r.n_in(), r.n_out(), "closure needs equal arities");
+    if r.is_empty() {
+        return ClosureResult {
+            map: Map::empty(r.n_in(), r.n_out()),
+            exact: true,
+        };
+    }
+    if r.parts().len() <= MAX_INPUT_PARTS {
+        // Strategy 1: verified candidate.
+        if let Some(c) = candidate_closure(r) {
+            if c.parts().len() <= MAX_CANDIDATE_PARTS {
+                if let Ok(Some(exact)) = verify_candidate(r, &c) {
+                    return ClosureResult { map: c, exact };
+                }
+            }
+        }
+        // Strategy 2: iterative fixpoint (exact when it converges).
+        if let Some(map) = iterative_closure(r) {
+            return ClosureResult { map, exact: true };
+        }
+    }
+    // Strategy 3: sound over-approximation.
+    ClosureResult {
+        map: over_approximation(r),
+        exact: false,
+    }
+}
+
+/// Builds a candidate closure, or `None` when no rule applies.
+fn candidate_closure(r: &Map) -> Option<Map> {
+    if let Some(c) = translation_candidate(r) {
+        return Some(c);
+    }
+    if r.n_in() == 1 {
+        return delta_hull_candidate_1d(r);
+    }
+    None
+}
+
+/// Single-disjunct translation rule: `R = { x → x + d : x ∈ D }` gives the
+/// candidate `{ x → x + k·d : k ≥ 1, x ∈ D, x + (k-1)·d ∈ D }`, expressed
+/// without `k` through the pivot dimension.
+fn translation_candidate(r: &Map) -> Option<Map> {
+    if r.parts().len() != 1 {
+        return None;
+    }
+    let d = extract_translation(&r.parts()[0])?;
+    let dim = r.n_in();
+    if d.iter().all(|&x| x == 0) {
+        // Idempotent relation: R⁺ = R.
+        return Some(r.clone());
+    }
+    let p = d.iter().position(|&x| x != 0)?;
+    let dp = d[p];
+    let n = 2 * dim;
+    let step_p = |i: usize| LinearExpr::var(n, dim + i).sub(&LinearExpr::var(n, i));
+    let mut cs: Vec<Constraint> = Vec::new();
+    // Pivot advances by at least one step, in multiples of d_p.
+    if dp > 0 {
+        cs.push(Constraint::ge(step_p(p).plus_const(-dp)));
+    } else {
+        cs.push(Constraint::ge(step_p(p).neg().plus_const(dp)));
+    }
+    if dp.abs() >= 2 {
+        cs.push(Constraint::modulo(step_p(p), dp.abs()));
+    }
+    // All dimensions move proportionally: d_p·(y_i − x_i) = d_i·(y_p − x_p).
+    for i in 0..dim {
+        if i == p {
+            continue;
+        }
+        cs.push(Constraint::eq2(step_p(i).scale(dp), &step_p(p).scale(d[i])));
+    }
+    let kernel = BasicMap::new(dim, dim, cs);
+    // x must be a valid start (∈ dom R) and y a valid end (∈ ran R).
+    let dom = r.domain().ok()?;
+    let ran = r.range().ok()?;
+    Some(
+        Map::from(kernel)
+            .restrict_domain(&dom)
+            .restrict_range(&ran),
+    )
+}
+
+/// Extracts the constant translation vector of a basic map, if it is one.
+fn extract_translation(bm: &BasicMap) -> Option<Vec<i64>> {
+    let dim = bm.n_in();
+    let deltas: Map = Map::from(bm.clone());
+    let ds = deltas.deltas().ok()?;
+    // A translation has a single delta point.
+    let sample = ds.sample()?;
+    let point = Set::from_points(dim, std::iter::once(sample.as_slice()));
+    ds.is_equal(&point).then_some(sample)
+}
+
+/// 1-D delta-hull rule: when every step strictly advances (all deltas > 0 or
+/// all < 0), the candidate is `(y − x)` bounded by the minimal step and
+/// congruent modulo the gcd of all steps.
+fn delta_hull_candidate_1d(r: &Map) -> Option<Map> {
+    let ds = r.deltas().ok()?;
+    let (lo, hi) = ds.var_bounds(0);
+    let forward = matches!(lo, Some(l) if l > 0);
+    let backward = matches!(hi, Some(h) if h < 0);
+    if !forward && !backward {
+        return None;
+    }
+    // gcd of all deltas: enumerate them (deltas of a bounded 1-D relation
+    // form a bounded set; bail out when too wide).
+    let (l, h) = (lo?, hi?);
+    if h.saturating_sub(l) > 4096 {
+        return None;
+    }
+    let mut g = 0i64;
+    for x in l..=h {
+        if ds.contains(&[x]) {
+            g = gcd(g, x);
+        }
+    }
+    if g == 0 {
+        return None;
+    }
+    let n = 2;
+    let step = LinearExpr::var(n, 1).sub(&LinearExpr::var(n, 0));
+    let mut cs = Vec::new();
+    if forward {
+        cs.push(Constraint::ge(step.clone().plus_const(-l)));
+    } else {
+        cs.push(Constraint::ge(step.clone().neg().plus_const(h)));
+    }
+    if g >= 2 {
+        cs.push(Constraint::modulo(step, g));
+    }
+    let kernel = BasicMap::new(1, 1, cs);
+    let dom = r.domain().ok()?;
+    let ran = r.range().ok()?;
+    Some(
+        Map::from(kernel)
+            .restrict_domain(&dom)
+            .restrict_range(&ran),
+    )
+}
+
+/// Verifies a candidate closure.
+///
+/// Returns `Ok(Some(true))` when `C = R⁺` exactly, `Ok(Some(false))` when
+/// `C ⊇ R⁺` (sound over-approximation), and `Ok(None)` when soundness could
+/// not be established.
+fn verify_candidate(r: &Map, c: &Map) -> Result<Option<bool>> {
+    // Soundness: R ⊆ C and C∘C ⊆ C imply R⁺ ⊆ C.
+    if !r.is_subset(c) {
+        return Ok(None);
+    }
+    let cc = c.compose(c)?;
+    if !cc.is_subset(c) {
+        return Ok(None);
+    }
+    // Exactness: every element of C decomposes as R or R then C. Because
+    // our candidates strictly advance a dimension, the decomposition is
+    // well-founded and C ⊆ R ∪ (R ∘ C) gives C ⊆ R⁺.
+    let rc = r.compose(c)?;
+    let cover = r.union(&rc);
+    Ok(Some(c.is_subset(&cover)))
+}
+
+/// Iterative fixpoint `P ← R ∪ (P ∘ R)` with budgets; exact on convergence.
+///
+/// Every step is guarded: the pairwise composition product, the composed
+/// result width and the accumulator width are all bounded, because both
+/// `compose` and `subtract` are superlinear in disjunct counts.
+fn iterative_closure(r: &Map) -> Option<Map> {
+    const MAX_COMPOSE_PRODUCT: usize = 1024;
+    let mut acc = r.clone();
+    for _ in 0..MAX_FIXPOINT_ITERS {
+        if acc.parts().len() > MAX_PARTS
+            || acc.parts().len() * r.parts().len() > MAX_COMPOSE_PRODUCT
+        {
+            return None;
+        }
+        let next = acc.compose(r).ok()?;
+        if next.parts().len() > 4 * MAX_PARTS {
+            return None;
+        }
+        let fresh = next.subtract(&acc);
+        if fresh.is_empty() {
+            return Some(acc);
+        }
+        acc = acc.union(&fresh);
+    }
+    None
+}
+
+/// Sound over-approximation from the delta box hull:
+/// `{ x → y : x ∈ hull(dom R), y ∈ hull(ran R), y − x respects
+/// per-dimension step direction bounds }`.
+///
+/// Domain/range restrictions use the exact unions when they are narrow and
+/// fall back to bounding boxes otherwise (still sound, O(1) disjuncts).
+fn over_approximation(r: &Map) -> Map {
+    let dim = r.n_in();
+    let n = 2 * dim;
+    let mut cs: Vec<Constraint> = Vec::new();
+    if let Ok(ds) = r.deltas() {
+        for i in 0..dim {
+            let (lo, hi) = ds.var_bounds(i);
+            let step = LinearExpr::var(n, dim + i).sub(&LinearExpr::var(n, i));
+            if let Some(l) = lo {
+                if l >= 0 {
+                    // Every step advances by at least l >= 0.
+                    cs.push(Constraint::ge(step.clone().plus_const(-l.max(0))));
+                }
+            }
+            if let Some(h) = hi {
+                if h <= 0 {
+                    cs.push(Constraint::ge(step.neg().plus_const(h.min(0))));
+                }
+            }
+        }
+    }
+    let kernel: Map = BasicMap::new(dim, dim, cs).into();
+    let hull = |s: &Set| -> Set {
+        if s.parts().len() <= 8 {
+            return s.clone();
+        }
+        let mut lo = Vec::with_capacity(s.dim());
+        let mut hi = Vec::with_capacity(s.dim());
+        for v in 0..s.dim() {
+            match s.var_bounds(v) {
+                (Some(l), Some(h)) => {
+                    lo.push(l);
+                    hi.push(h);
+                }
+                _ => return Set::universe(s.dim()), // unbounded: no restriction
+            }
+        }
+        crate::BasicSet::bounding_box(&lo, &hi).into()
+    };
+    match (r.domain(), r.range()) {
+        (Ok(dom), Ok(ran)) => kernel
+            .restrict_domain(&hull(&dom))
+            .restrict_range(&hull(&ran)),
+        _ => kernel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::BasicSet;
+
+    fn bounded_shift(k: i64, lo: i64, hi: i64) -> Map {
+        Map::from(
+            BasicMap::translation(&[k]).restrict_domain(&BasicSet::bounding_box(&[lo], &[hi])),
+        )
+    }
+
+    #[test]
+    fn closure_of_unit_shift() {
+        // R = { t -> t+1 : 0 <= t <= 9 }: R+ = { t -> t' : t < t' <= 10, 0<=t<=9 }
+        let r = bounded_shift(1, 0, 9);
+        let c = r.transitive_closure();
+        assert!(c.exact);
+        assert!(c.map.contains(&[0], &[10]));
+        assert!(c.map.contains(&[3], &[4]));
+        assert!(!c.map.contains(&[3], &[3]));
+        assert!(!c.map.contains(&[0], &[11]));
+        assert_eq!(c.map.count_pairs(), Some(55)); // sum 1..10
+    }
+
+    #[test]
+    fn closure_of_stride_two() {
+        let r = bounded_shift(2, 0, 8);
+        let c = r.transitive_closure();
+        assert!(c.exact);
+        assert!(c.map.contains(&[0], &[2]));
+        assert!(c.map.contains(&[0], &[10]));
+        assert!(!c.map.contains(&[0], &[3]));
+        assert!(!c.map.contains(&[1], &[2]));
+    }
+
+    #[test]
+    fn closure_of_mixed_steps_is_exact_when_gcd_covers() {
+        // Steps {1, 3} on [0, 20]: closure deltas are all n >= 1.
+        let r = bounded_shift(1, 0, 19).union(&bounded_shift(3, 0, 17));
+        let c = r.transitive_closure();
+        assert!(c.exact);
+        assert!(c.map.contains(&[0], &[2])); // 1+1
+        assert!(c.map.contains(&[0], &[20]));
+        assert!(!c.map.contains(&[5], &[5]));
+    }
+
+    #[test]
+    fn closure_flags_overapproximation() {
+        // Steps {3, 5}: 4 is not a sum of 3s and 5s, so the hull candidate
+        // is inexact; any sound result must still contain all true pairs.
+        let r = bounded_shift(3, 0, 40).union(&bounded_shift(5, 0, 40));
+        let c = r.transitive_closure();
+        assert!(c.map.contains(&[0], &[3]));
+        assert!(c.map.contains(&[0], &[8]));
+        assert!(c.map.contains(&[0], &[11]));
+        if c.exact {
+            assert!(!c.map.contains(&[0], &[4]));
+        }
+    }
+
+    #[test]
+    fn closure_of_finite_pairs_via_fixpoint() {
+        // A small DAG: 0->1, 1->2, 2->3.
+        let pairs: Vec<(&[i64], &[i64])> = vec![(&[0], &[1]), (&[1], &[2]), (&[2], &[3])];
+        let r = Map::from_pairs(1, 1, pairs);
+        let c = r.transitive_closure();
+        assert!(c.exact);
+        for (a, b) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            assert!(c.map.contains(&[a], &[b]), "{a} -> {b}");
+        }
+        assert!(!c.map.contains(&[1], &[0]));
+        assert_eq!(c.map.count_pairs(), Some(6));
+    }
+
+    #[test]
+    fn closure_2d_translation() {
+        // R = { (i,j) -> (i+1, j+2) : 0 <= i <= 5, 0 <= j <= 10 }
+        let dom = BasicSet::bounding_box(&[0, 0], &[5, 10]);
+        let r = Map::from(BasicMap::translation(&[1, 2]).restrict_domain(&dom));
+        let c = r.transitive_closure();
+        assert!(c.map.contains(&[0, 0], &[1, 2]));
+        assert!(c.map.contains(&[0, 0], &[3, 6]));
+        assert!(!c.map.contains(&[0, 0], &[2, 3]));
+        if c.exact {
+            // Paths must stay within steps of the domain.
+            assert!(!c.map.contains(&[5, 10], &[6, 12]) || dom.contains(&[5, 10]));
+        }
+    }
+
+    #[test]
+    fn closure_empty_relation() {
+        let r = Map::empty(2, 2);
+        let c = r.transitive_closure();
+        assert!(c.exact);
+        assert!(c.map.is_empty());
+    }
+
+    #[test]
+    fn overapprox_is_superset_of_truth() {
+        // Random-ish finite relation; compare closure against brute-force
+        // reachability.
+        let pairs: Vec<(&[i64], &[i64])> = vec![
+            (&[0], &[2]),
+            (&[2], &[3]),
+            (&[3], &[7]),
+            (&[1], &[3]),
+            (&[7], &[9]),
+        ];
+        let r = Map::from_pairs(1, 1, pairs.clone());
+        let c = r.transitive_closure();
+        // Brute force reachability on 0..=9.
+        let mut reach = vec![[false; 10]; 10];
+        for (a, b) in &pairs {
+            reach[a[0] as usize][b[0] as usize] = true;
+        }
+        for k in 0..10 {
+            for i in 0..10 {
+                for j in 0..10 {
+                    if reach[i][k] && reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+        for i in 0..10i64 {
+            for j in 0..10i64 {
+                if reach[i as usize][j as usize] {
+                    assert!(c.map.contains(&[i], &[j]), "missing {i} -> {j}");
+                } else if c.exact {
+                    assert!(!c.map.contains(&[i], &[j]), "extra {i} -> {j}");
+                }
+            }
+        }
+    }
+}

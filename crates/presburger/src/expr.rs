@@ -1,0 +1,405 @@
+//! Linear (affine) expressions and the three constraint kinds.
+
+use crate::gcd;
+
+/// An affine expression `c₀ + Σ cᵢ·xᵢ` over a fixed number of variables.
+///
+/// The variable order is positional; [`crate::BasicSet`] and
+/// [`crate::BasicMap`] document which position means what.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinearExpr {
+    /// Coefficient of each variable.
+    coeffs: Vec<i64>,
+    /// Constant term.
+    constant: i64,
+}
+
+impl LinearExpr {
+    /// The zero expression over `n_vars` variables.
+    pub fn zero(n_vars: usize) -> Self {
+        LinearExpr {
+            coeffs: vec![0; n_vars],
+            constant: 0,
+        }
+    }
+
+    /// A constant expression over `n_vars` variables.
+    pub fn constant(n_vars: usize, value: i64) -> Self {
+        LinearExpr {
+            coeffs: vec![0; n_vars],
+            constant: value,
+        }
+    }
+
+    /// The expression `xᵥ` over `n_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n_vars`.
+    pub fn var(n_vars: usize, v: usize) -> Self {
+        assert!(v < n_vars, "variable index {v} out of range {n_vars}");
+        let mut coeffs = vec![0; n_vars];
+        coeffs[v] = 1;
+        LinearExpr { coeffs, constant: 0 }
+    }
+
+    /// Builds an expression from explicit coefficients and a constant.
+    pub fn new(coeffs: Vec<i64>, constant: i64) -> Self {
+        LinearExpr { coeffs, constant }
+    }
+
+    /// Number of variables this expression ranges over.
+    pub fn n_vars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficient of variable `v`.
+    pub fn coeff(&self, v: usize) -> i64 {
+        self.coeffs[v]
+    }
+
+    /// All coefficients, in variable order.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Sets the coefficient of variable `v` and returns `self` for chaining.
+    pub fn with_coeff(mut self, v: usize, c: i64) -> Self {
+        self.coeffs[v] = c;
+        self
+    }
+
+    /// Adds `value` to the constant term.
+    pub fn plus_const(mut self, value: i64) -> Self {
+        self.constant = self
+            .constant
+            .checked_add(value)
+            .expect("constant overflow");
+        self
+    }
+
+    /// Pointwise sum. Both expressions must range over the same variables.
+    pub fn add(&self, other: &LinearExpr) -> LinearExpr {
+        assert_eq!(self.n_vars(), other.n_vars());
+        LinearExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a.checked_add(*b).expect("coefficient overflow"))
+                .collect(),
+            constant: self
+                .constant
+                .checked_add(other.constant)
+                .expect("constant overflow"),
+        }
+    }
+
+    /// Pointwise difference.
+    pub fn sub(&self, other: &LinearExpr) -> LinearExpr {
+        self.add(&other.neg())
+    }
+
+    /// Negation of every coefficient and the constant.
+    pub fn neg(&self) -> LinearExpr {
+        LinearExpr {
+            coeffs: self.coeffs.iter().map(|c| -c).collect(),
+            constant: -self.constant,
+        }
+    }
+
+    /// Multiplies every coefficient and the constant by `k`.
+    pub fn scale(&self, k: i64) -> LinearExpr {
+        LinearExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|c| c.checked_mul(k).expect("coefficient overflow"))
+                .collect(),
+            constant: self.constant.checked_mul(k).expect("constant overflow"),
+        }
+    }
+
+    /// `true` when every coefficient is zero.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Evaluates at an integer point (`point.len() == n_vars`).
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        debug_assert_eq!(point.len(), self.n_vars());
+        let mut acc: i128 = self.constant as i128;
+        for (c, x) in self.coeffs.iter().zip(point) {
+            acc += (*c as i128) * (*x as i128);
+        }
+        i64::try_from(acc).expect("evaluation overflow")
+    }
+
+    /// Gcd of all variable coefficients (0 when the expression is constant).
+    pub fn content(&self) -> i64 {
+        self.coeffs.iter().fold(0, |g, &c| gcd(g, c))
+    }
+
+    /// Index of some variable with a non-zero coefficient, if any.
+    pub fn first_var(&self) -> Option<usize> {
+        self.coeffs.iter().position(|&c| c != 0)
+    }
+
+    /// Replaces variable `v` by the expression `rep` (which must not use `v`
+    /// itself) scaled appropriately: the result is `self[xᵥ := rep]`.
+    pub fn substitute(&self, v: usize, rep: &LinearExpr) -> LinearExpr {
+        debug_assert_eq!(self.n_vars(), rep.n_vars());
+        debug_assert_eq!(rep.coeff(v), 0, "substitution must not reuse the variable");
+        let c = self.coeffs[v];
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs[v] = 0;
+        out.add(&rep.scale(c))
+    }
+
+    /// Removes variable `v` from the coefficient vector (its coefficient
+    /// must already be zero), shrinking the variable space by one.
+    pub fn drop_var(&self, v: usize) -> LinearExpr {
+        debug_assert_eq!(self.coeffs[v], 0, "cannot drop a live variable");
+        let mut coeffs = self.coeffs.clone();
+        coeffs.remove(v);
+        LinearExpr {
+            coeffs,
+            constant: self.constant,
+        }
+    }
+
+    /// Inserts `count` fresh zero-coefficient variables starting at `at`.
+    pub fn insert_vars(&self, at: usize, count: usize) -> LinearExpr {
+        let mut coeffs = Vec::with_capacity(self.coeffs.len() + count);
+        coeffs.extend_from_slice(&self.coeffs[..at]);
+        coeffs.extend(std::iter::repeat(0).take(count));
+        coeffs.extend_from_slice(&self.coeffs[at..]);
+        LinearExpr {
+            coeffs,
+            constant: self.constant,
+        }
+    }
+
+    /// Applies a permutation of variables: new variable `i` is old
+    /// `perm[i]`.
+    pub fn permute(&self, perm: &[usize]) -> LinearExpr {
+        debug_assert_eq!(perm.len(), self.n_vars());
+        LinearExpr {
+            coeffs: perm.iter().map(|&old| self.coeffs[old]).collect(),
+            constant: self.constant,
+        }
+    }
+}
+
+impl std::fmt::Debug for LinearExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c < 0 { "-" } else { "+" })?;
+            } else if c < 0 {
+                write!(f, "-")?;
+            }
+            if c.abs() != 1 {
+                write!(f, "{}*", c.abs())?;
+            }
+            write!(f, "x{i}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant != 0 {
+            write!(
+                f,
+                " {} {}",
+                if self.constant < 0 { "-" } else { "+" },
+                self.constant.abs()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The kind of a [`Constraint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConstraintKind {
+    /// `expr = 0`.
+    Eq,
+    /// `expr >= 0`.
+    Ge,
+    /// `expr ≡ 0 (mod modulus)`, `modulus >= 2`.
+    Mod(i64),
+}
+
+/// A single affine constraint: equality, inequality or congruence.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Constraint {
+    /// Which relation the expression satisfies.
+    pub kind: ConstraintKind,
+    /// The constrained affine expression.
+    pub expr: LinearExpr,
+}
+
+impl Constraint {
+    /// The constraint `expr = 0`.
+    pub fn eq(expr: LinearExpr) -> Self {
+        Constraint {
+            kind: ConstraintKind::Eq,
+            expr,
+        }
+    }
+
+    /// The constraint `expr >= 0`.
+    pub fn ge(expr: LinearExpr) -> Self {
+        Constraint {
+            kind: ConstraintKind::Ge,
+            expr,
+        }
+    }
+
+    /// The constraint `lhs = rhs` (sugar for `lhs - rhs = 0`).
+    pub fn eq2(lhs: LinearExpr, rhs: &LinearExpr) -> Self {
+        Constraint::eq(lhs.sub(rhs))
+    }
+
+    /// The constraint `lhs >= rhs` (sugar for `lhs - rhs >= 0`).
+    pub fn ge2(lhs: LinearExpr, rhs: &LinearExpr) -> Self {
+        Constraint::ge(lhs.sub(rhs))
+    }
+
+    /// The congruence `expr ≡ 0 (mod modulus)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus < 2` (a modulus of 1 is trivially true and 0 is an
+    /// equality; use [`Constraint::eq`]).
+    pub fn modulo(expr: LinearExpr, modulus: i64) -> Self {
+        assert!(modulus >= 2, "modulus must be >= 2, got {modulus}");
+        Constraint {
+            kind: ConstraintKind::Mod(modulus),
+            expr,
+        }
+    }
+
+    /// Whether an integer point satisfies the constraint.
+    pub fn holds_at(&self, point: &[i64]) -> bool {
+        let v = self.expr.eval(point);
+        match self.kind {
+            ConstraintKind::Eq => v == 0,
+            ConstraintKind::Ge => v >= 0,
+            ConstraintKind::Mod(m) => v.rem_euclid(m) == 0,
+        }
+    }
+
+    /// The negation of this constraint, as a disjunction of constraints.
+    ///
+    /// * `¬(e = 0)` is `e ≥ 1 ∨ -e ≥ 1`;
+    /// * `¬(e ≥ 0)` is `-e - 1 ≥ 0`;
+    /// * `¬(e ≡ 0 mod m)` is `∨ᵣ (e - r ≡ 0 mod m)` for `r ∈ 1..m`.
+    pub fn negate(&self) -> Vec<Constraint> {
+        match self.kind {
+            ConstraintKind::Eq => vec![
+                Constraint::ge(self.expr.clone().plus_const(-1)),
+                Constraint::ge(self.expr.neg().plus_const(-1)),
+            ],
+            ConstraintKind::Ge => vec![Constraint::ge(self.expr.neg().plus_const(-1))],
+            ConstraintKind::Mod(m) => (1..m)
+                .map(|r| Constraint::modulo(self.expr.clone().plus_const(-r), m))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            ConstraintKind::Eq => write!(f, "{:?} = 0", self.expr),
+            ConstraintKind::Ge => write!(f, "{:?} >= 0", self.expr),
+            ConstraintKind::Mod(m) => write!(f, "{:?} ≡ 0 (mod {m})", self.expr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(coeffs: &[i64], k: i64) -> LinearExpr {
+        LinearExpr::new(coeffs.to_vec(), k)
+    }
+
+    #[test]
+    fn eval_and_arith() {
+        let a = e(&[2, -1], 3); // 2x - y + 3
+        assert_eq!(a.eval(&[1, 4]), 1);
+        assert_eq!(a.neg().eval(&[1, 4]), -1);
+        assert_eq!(a.scale(3).eval(&[1, 4]), 3);
+        let b = e(&[1, 1], 0);
+        assert_eq!(a.add(&b).eval(&[1, 4]), 6);
+        assert_eq!(a.sub(&b).eval(&[1, 4]), -4);
+    }
+
+    #[test]
+    fn substitution_replaces_variable() {
+        // (2x + y + 1)[x := y - 2]  =  3y - 3
+        let target = e(&[2, 1], 1);
+        let rep = e(&[0, 1], -2);
+        let out = target.substitute(0, &rep);
+        assert_eq!(out, e(&[0, 3], -3));
+    }
+
+    #[test]
+    fn drop_and_insert_vars() {
+        let a = e(&[0, 5], 2);
+        assert_eq!(a.drop_var(0), e(&[5], 2));
+        assert_eq!(a.insert_vars(1, 2), e(&[0, 0, 0, 5], 2));
+        assert_eq!(a.insert_vars(0, 1), e(&[0, 0, 5], 2));
+    }
+
+    #[test]
+    fn permutation_reorders() {
+        let a = e(&[1, 2, 3], 0);
+        assert_eq!(a.permute(&[2, 0, 1]), e(&[3, 1, 2], 0));
+    }
+
+    #[test]
+    fn constraint_membership() {
+        let c = Constraint::ge(e(&[1], -3)); // x >= 3
+        assert!(c.holds_at(&[3]));
+        assert!(!c.holds_at(&[2]));
+        let m = Constraint::modulo(e(&[1], 0), 4); // x ≡ 0 mod 4
+        assert!(m.holds_at(&[8]));
+        assert!(m.holds_at(&[-4]));
+        assert!(!m.holds_at(&[2]));
+    }
+
+    #[test]
+    fn negation_covers_complement_exactly() {
+        // For a sample of points, exactly one of c / ¬c holds.
+        let cases = vec![
+            Constraint::eq(e(&[1, -1], 0)),
+            Constraint::ge(e(&[2, 1], -3)),
+            Constraint::modulo(e(&[1, 2], 1), 3),
+        ];
+        for c in cases {
+            for x in -5..5 {
+                for y in -5..5 {
+                    let p = [x, y];
+                    let neg_holds = c.negate().iter().any(|n| n.holds_at(&p));
+                    assert_ne!(c.holds_at(&p), neg_holds, "{c:?} at {p:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,844 @@
+//! Exact integer variable elimination (the Omega test).
+//!
+//! This module implements Pugh's Omega test as the exact projection /
+//! emptiness engine behind [`BasicSet`]: equality substitution (with modulo
+//! side conditions for non-unit coefficients), congruence elimination via
+//! bijective re-parameterization, and Fourier–Motzkin elimination upgraded to
+//! exactness with the *dark shadow* and *splinters*.
+
+use crate::expr::{Constraint, ConstraintKind, LinearExpr};
+use crate::{div_ceil, div_floor, egcd, gcd, lcm, BasicSet, Error, Result};
+
+/// Exactly eliminates variable `v` from `bs`.
+///
+/// The result is a union of basic sets over `dim - 1` variables whose
+/// integer points are precisely `{ x \ xᵥ | x ∈ bs }`.
+pub fn eliminate_var(bs: &BasicSet, v: usize) -> Result<Vec<BasicSet>> {
+    assert!(v < bs.dim(), "variable {v} out of range {}", bs.dim());
+    if bs.is_obviously_empty() {
+        return Ok(Vec::new());
+    }
+    // 1. Equality with v present: substitution, exact in one step.
+    if let Some(c) = bs
+        .constraints()
+        .iter()
+        .find(|c| c.kind == ConstraintKind::Eq && c.expr.coeff(v) != 0)
+    {
+        return Ok(eliminate_via_equality(bs, v, &c.expr)
+            .into_iter()
+            .filter(|b| !b.is_obviously_empty())
+            .collect());
+    }
+    // 2. Congruences involving v: re-parameterize v to remove them. Each
+    // substitution round removes one congruence; symbolic remainders can
+    // cascade, so allow a few rounds before giving up.
+    if bs
+        .constraints()
+        .iter()
+        .any(|c| matches!(c.kind, ConstraintKind::Mod(_)) && c.expr.coeff(v) != 0)
+    {
+        let mut current = bs.clone();
+        for _round in 0..8 {
+            let without = remove_congruences_on(&current, v)?;
+            let mut out = Vec::new();
+            let mut pending: Option<BasicSet> = None;
+            for part in without {
+                let still_has_mod = part
+                    .constraints()
+                    .iter()
+                    .any(|c| matches!(c.kind, ConstraintKind::Mod(_)) && c.expr.coeff(v) != 0);
+                if still_has_mod {
+                    assert!(
+                        pending.is_none(),
+                        "congruence removal must keep a single pending part"
+                    );
+                    pending = Some(part);
+                } else {
+                    out.extend(eliminate_var(&part, v)?);
+                }
+            }
+            match pending {
+                None => return Ok(out),
+                Some(p) => {
+                    assert!(out.is_empty(), "mixed pending/finished congruence parts");
+                    current = p;
+                }
+            }
+        }
+        return Err(crate::Error::UnsupportedCongruence);
+    }
+    // 3. Pure-inequality elimination.
+    Ok(eliminate_inequalities(bs, v)?
+        .into_iter()
+        .filter(|b| !b.is_obviously_empty())
+        .collect())
+}
+
+/// Eliminates `v` using the equality `eq_expr = 0` (which mentions `v`).
+fn eliminate_via_equality(bs: &BasicSet, v: usize, eq_expr: &LinearExpr) -> Vec<BasicSet> {
+    let a = eq_expr.coeff(v);
+    // Arrange a > 0:  a·v + g = 0.
+    let (a, eq_expr) = if a < 0 {
+        (-a, eq_expr.neg())
+    } else {
+        (a, eq_expr.clone())
+    };
+    let g = eq_expr.clone().with_coeff(v, 0); // a·v = -g
+    if a == 1 {
+        // v = -g: plain substitution.
+        let rep = g.neg();
+        let cs = bs
+            .constraints()
+            .iter()
+            .filter(|c| c.expr != eq_expr && c.expr != eq_expr.neg())
+            .map(|c| Constraint {
+                kind: c.kind,
+                expr: c.expr.substitute(v, &rep).drop_var(v),
+            })
+            .collect();
+        return vec![BasicSet::new(bs.dim() - 1, cs)];
+    }
+    // a > 1: a·v = -g requires g ≡ 0 (mod a); then scale each remaining
+    // constraint by a (exact: a > 0) and replace a·v by -g.
+    let mut cs: Vec<Constraint> = Vec::with_capacity(bs.constraints().len() + 1);
+    cs.push(Constraint::modulo(g.drop_var(v), a));
+    for c in bs.constraints() {
+        if c.kind == ConstraintKind::Eq && (c.expr == eq_expr || c.expr == eq_expr.neg()) {
+            continue;
+        }
+        let cv = c.expr.coeff(v);
+        let rest = c.expr.clone().with_coeff(v, 0);
+        let scaled = rest.scale(a).add(&g.scale(-cv)).drop_var(v);
+        let kind = match c.kind {
+            ConstraintKind::Mod(m) => ConstraintKind::Mod(m.checked_mul(a).expect("mod overflow")),
+            k => k,
+        };
+        cs.push(Constraint { kind, expr: scaled });
+    }
+    vec![BasicSet::new(bs.dim() - 1, cs)]
+}
+
+/// Rewrites `bs` so that no congruence constraint mentions `v`, without
+/// changing the projection of the set onto the other variables. Eliminating
+/// `v` afterwards is therefore equivalent.
+///
+/// Strategy: if every congruence on `v` has a constant remainder part, solve
+/// each for `v` and CRT-merge into `v ≡ r (mod M)`, then substitute
+/// `v := M·w + r` (a bijection between solutions `v` and fresh `w`). If a
+/// single congruence with symbolic remainder has a coefficient coprime to
+/// its modulus, use the modular inverse for the same trick. Everything else
+/// is outside the supported fragment.
+fn remove_congruences_on(bs: &BasicSet, v: usize) -> Result<Vec<BasicSet>> {
+    let mut residue: Option<(i64, i64)> = None; // v ≡ r (mod m)
+    let mut symbolic: Vec<(i64, LinearExpr, i64)> = Vec::new(); // (c, g, m): c·v + g ≡ 0 (mod m)
+    let mut rest: Vec<Constraint> = Vec::new();
+    for c in bs.constraints() {
+        match c.kind {
+            ConstraintKind::Mod(m) if c.expr.coeff(v) != 0 => {
+                let coeff = c.expr.coeff(v);
+                let g = c.expr.clone().with_coeff(v, 0);
+                if g.is_constant() {
+                    // c·v ≡ -k (mod m)
+                    let k = g.constant_term();
+                    match solve_congruence(coeff, -k, m) {
+                        Some((r, md)) => match residue {
+                            None => residue = Some((r, md)),
+                            Some(prev) => match crt_merge(prev, (r, md)) {
+                                Some(merged) => residue = Some(merged),
+                                None => return Ok(Vec::new()), // incompatible -> empty
+                            },
+                        },
+                        None => return Ok(Vec::new()),
+                    }
+                } else {
+                    symbolic.push((coeff, g, m));
+                }
+            }
+            _ => rest.push(c.clone()),
+        }
+    }
+    if let Some((c, g, m)) = symbolic.first().cloned() {
+        // c·v + g ≡ 0 (mod m) with symbolic g: need gcd(c, m) = 1. Process
+        // this one congruence via the bijective substitution
+        // v := m·w − inv·g; remaining congruences on v (symbolic or
+        // constant) are rewritten alongside and handled by the caller's
+        // retry loop.
+        let (gamma, inv, _) = egcd(c.rem_euclid(m), m);
+        if gamma != 1 {
+            return Err(Error::UnsupportedCongruence);
+        }
+        let inv = inv.rem_euclid(m);
+        let others = symbolic
+            .iter()
+            .skip(1)
+            .map(|(c2, g2, m2)| {
+                Constraint::modulo(LinearExpr::var(bs.dim(), v).scale(*c2).add(g2), *m2)
+            })
+            .chain(residue.map(|(r, md)| {
+                Constraint::modulo(LinearExpr::var(bs.dim(), v).plus_const(-r), md)
+            }));
+        let cs = rest
+            .into_iter()
+            .chain(others)
+            .map(|cst| substitute_scaled(&cst, v, m, &g.scale(-inv)))
+            .collect();
+        return Ok(vec![BasicSet::new(bs.dim(), cs)]);
+    }
+    if let Some((r, m)) = residue {
+        // Substitute v := m·w + r.
+        let offset = LinearExpr::constant(bs.dim(), r);
+        let cs = rest
+            .into_iter()
+            .map(|cst| substitute_scaled(&cst, v, m, &offset))
+            .collect();
+        return Ok(vec![BasicSet::new(bs.dim(), cs)]);
+    }
+    Ok(vec![BasicSet::new(bs.dim(), rest)])
+}
+
+/// Replaces `v := scale·v + offset` inside one constraint (`offset` must not
+/// mention `v`). For `Mod(m)` constraints the rewrite is exact because the
+/// substitution is a bijection on the solution space, not a scaling of the
+/// constraint itself.
+fn substitute_scaled(c: &Constraint, v: usize, scale: i64, offset: &LinearExpr) -> Constraint {
+    debug_assert_eq!(offset.coeff(v), 0);
+    let cv = c.expr.coeff(v);
+    let expr = c
+        .expr
+        .clone()
+        .with_coeff(v, cv.checked_mul(scale).expect("substitute overflow"))
+        .add(&offset.scale(cv));
+    Constraint { kind: c.kind, expr }
+}
+
+/// Solves `c·x ≡ k (mod m)` for `x`; returns `(r, m')` with solutions
+/// `x ≡ r (mod m')`, or `None` when unsolvable.
+fn solve_congruence(c: i64, k: i64, m: i64) -> Option<(i64, i64)> {
+    let c = c.rem_euclid(m);
+    let k = k.rem_euclid(m);
+    let (g, inv, _) = egcd(c, m);
+    if k % g != 0 {
+        return None;
+    }
+    let m2 = m / g;
+    let r = ((k / g) as i128 * (inv.rem_euclid(m2)) as i128).rem_euclid(m2 as i128) as i64;
+    Some((r, m2))
+}
+
+/// Merges `x ≡ r1 (mod m1)` and `x ≡ r2 (mod m2)` via CRT.
+fn crt_merge((r1, m1): (i64, i64), (r2, m2): (i64, i64)) -> Option<(i64, i64)> {
+    let g = gcd(m1, m2);
+    if (r2 - r1) % g != 0 {
+        return None;
+    }
+    let l = lcm(m1, m2);
+    let m1g = m1 / g;
+    let m2g = m2 / g;
+    let (_, inv, _) = egcd(m1g.rem_euclid(m2g), m2g);
+    let diff = ((r2 - r1) / g) as i128;
+    let t = (diff * inv.rem_euclid(m2g.max(1)) as i128).rem_euclid(m2g.max(1) as i128);
+    let r = (r1 as i128 + m1 as i128 * t).rem_euclid(l as i128) as i64;
+    Some((r, l))
+}
+
+/// Pure Fourier–Motzkin elimination of `v`, upgraded to integer exactness
+/// with the dark shadow and splinters. `bs` must not contain equalities or
+/// congruences mentioning `v`.
+fn eliminate_inequalities(bs: &BasicSet, v: usize) -> Result<Vec<BasicSet>> {
+    let mut lowers: Vec<(i64, LinearExpr)> = Vec::new(); // b·v + e >= 0, b > 0
+    let mut uppers: Vec<(i64, LinearExpr)> = Vec::new(); // a·v <= f  (stored as (a, f))
+    let mut rest: Vec<Constraint> = Vec::new();
+    for c in bs.constraints() {
+        let cv = c.expr.coeff(v);
+        if cv == 0 {
+            rest.push(c.clone());
+            continue;
+        }
+        debug_assert_eq!(c.kind, ConstraintKind::Ge, "unexpected {:?} on v", c.kind);
+        let e = c.expr.clone().with_coeff(v, 0);
+        if cv > 0 {
+            lowers.push((cv, e)); // cv·v >= -e
+        } else {
+            uppers.push((-cv, e)); // (-cv)·v <= e
+        }
+    }
+    // Unbounded on one side: the projection is just the pass-through
+    // constraints (Fourier), exact for integers too.
+    if lowers.is_empty() || uppers.is_empty() {
+        let cs = rest.into_iter().map(|c| drop_var_constraint(c, v)).collect();
+        return Ok(vec![BasicSet::new(bs.dim() - 1, cs)]);
+    }
+    let pairwise_exact = lowers.iter().all(|(b, _)| *b == 1)
+        || uppers.iter().all(|(a, _)| *a == 1)
+        || lowers
+            .iter()
+            .all(|(b, _)| uppers.iter().all(|(a, _)| *a == 1 || *b == 1));
+    // Real shadow: b·v >= -e_l and a·v <= e_u  =>  a·e_l + b·e_u >= 0.
+    let shadow = |tighten: bool| -> Vec<Constraint> {
+        let mut cs: Vec<Constraint> = rest
+            .iter()
+            .cloned()
+            .map(|c| drop_var_constraint(c, v))
+            .collect();
+        for (b, e_l) in &lowers {
+            for (a, e_u) in &uppers {
+                let mut expr = e_l.scale(*a).add(&e_u.scale(*b));
+                if tighten {
+                    expr = expr.plus_const(-(a - 1) * (b - 1));
+                }
+                cs.push(Constraint::ge(expr.drop_var(v)));
+            }
+        }
+        cs
+    };
+    if pairwise_exact {
+        return Ok(vec![BasicSet::new(bs.dim() - 1, shadow(false))]);
+    }
+    // Dark shadow ∪ splinters (Pugh).
+    let mut out = vec![BasicSet::new(bs.dim() - 1, shadow(true))];
+    let a_max = uppers.iter().map(|(a, _)| *a).max().expect("non-empty");
+    for (b, e_l) in &lowers {
+        if *b == 1 {
+            continue;
+        }
+        // If missed by the dark shadow, some lower bound is nearly tight:
+        // b·v = -e_l + i for 0 <= i <= (a_max·b - a_max - b) / a_max.
+        let max_i = (a_max * b - a_max - b) / a_max;
+        for i in 0..=max_i {
+            let eq_expr = LinearExpr::var(bs.dim(), v)
+                .scale(*b)
+                .add(e_l)
+                .plus_const(-i);
+            let splinter = bs.add_constraint(Constraint::eq(eq_expr));
+            if !splinter.is_obviously_empty() {
+                out.extend(eliminate_var(&splinter, v)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn drop_var_constraint(c: Constraint, v: usize) -> Constraint {
+    Constraint {
+        kind: c.kind,
+        expr: c.expr.drop_var(v),
+    }
+}
+
+/// Exact integer emptiness test by full elimination.
+pub fn is_empty(bs: &BasicSet) -> bool {
+    fn go(bs: &BasicSet, budget: &mut u64) -> bool {
+        if bs.is_obviously_empty() {
+            return true;
+        }
+        if bs.dim() == 0 {
+            // Normalization leaves no satisfiable-constant constraints.
+            return bs.is_obviously_empty();
+        }
+        *budget = budget.saturating_sub(1);
+        assert!(*budget > 0, "emptiness budget exhausted on {bs:?}");
+        let v = choose_elimination_var(bs);
+        match eliminate_var(bs, v) {
+            Ok(parts) => parts.iter().all(|p| go(p, budget)),
+            Err(_) => {
+                // Unsupported congruence fragment: fall back to a bounded
+                // search guided by rational bounds (sets in this crate's
+                // workload are bounded).
+                sample(bs).is_none()
+            }
+        }
+    }
+    let mut budget = 200_000;
+    go(bs, &mut budget)
+}
+
+/// Picks the cheapest variable to eliminate next.
+fn choose_elimination_var(bs: &BasicSet) -> usize {
+    let dim = bs.dim();
+    // Unit-coefficient equality first.
+    for c in bs.constraints() {
+        if c.kind == ConstraintKind::Eq {
+            for v in 0..dim {
+                if c.expr.coeff(v).abs() == 1 {
+                    return v;
+                }
+            }
+        }
+    }
+    // Any equality.
+    for c in bs.constraints() {
+        if c.kind == ConstraintKind::Eq {
+            if let Some(v) = c.expr.first_var() {
+                return v;
+            }
+        }
+    }
+    // Otherwise minimize (number of lower bounds) x (number of upper bounds)
+    // to slow constraint growth, preferring unit coefficients.
+    let mut best = 0;
+    let mut best_score = u64::MAX;
+    for v in 0..dim {
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        let mut worst_coeff = 1u64;
+        for c in bs.constraints() {
+            let cv = c.expr.coeff(v);
+            if cv > 0 {
+                lo += 1;
+            } else if cv < 0 {
+                hi += 1;
+            }
+            worst_coeff = worst_coeff.max(cv.unsigned_abs());
+        }
+        let score = lo * hi + worst_coeff * 100;
+        if score < best_score {
+            best_score = score;
+            best = v;
+        }
+    }
+    best
+}
+
+/// Rational bounds of variable `v` (see [`BasicSet::var_bounds`]).
+pub fn rational_var_bounds(bs: &BasicSet, v: usize) -> (Option<i64>, Option<i64>) {
+    // Work on inequality closure: equalities become two inequalities,
+    // congruences are dropped (sound: they only remove points).
+    let mut ineqs: Vec<LinearExpr> = Vec::new();
+    for c in bs.constraints() {
+        match c.kind {
+            ConstraintKind::Ge => ineqs.push(c.expr.clone()),
+            ConstraintKind::Eq => {
+                ineqs.push(c.expr.clone());
+                ineqs.push(c.expr.neg());
+            }
+            ConstraintKind::Mod(_) => {}
+        }
+    }
+    // Fourier eliminate every variable except v (rational, over-approx).
+    for u in (0..bs.dim()).rev() {
+        if u == v {
+            continue;
+        }
+        let mut lowers = Vec::new();
+        let mut uppers = Vec::new();
+        let mut rest = Vec::new();
+        for e in ineqs.drain(..) {
+            let cu = e.coeff(u);
+            if cu == 0 {
+                rest.push(e);
+            } else if cu > 0 {
+                lowers.push(e);
+            } else {
+                uppers.push(e);
+            }
+        }
+        for l in &lowers {
+            for up in &uppers {
+                let b = l.coeff(u);
+                let a = -up.coeff(u);
+                // b·u + e_l >= 0 and -a·u + e_u >= 0 => a·e_l + b·e_u >= 0
+                let combo = l.clone().with_coeff(u, 0).scale(a).add(&up.clone().with_coeff(u, 0).scale(b));
+                rest.push(combo);
+            }
+        }
+        ineqs = rest;
+        // Guard against FM blowup on adversarial inputs.
+        if ineqs.len() > 4096 {
+            ineqs.sort();
+            ineqs.dedup();
+        }
+    }
+    let mut lo: Option<i64> = None;
+    let mut hi: Option<i64> = None;
+    for e in &ineqs {
+        let a = e.coeff(v);
+        let k = e.constant_term();
+        if a > 0 {
+            // a·v + k >= 0  =>  v >= ceil(-k / a)
+            let b = div_ceil(-k, a);
+            lo = Some(lo.map_or(b, |x: i64| x.max(b)));
+        } else if a < 0 {
+            // a·v + k >= 0  =>  v <= floor(k / -a)
+            let b = div_floor(k, -a);
+            hi = Some(hi.map_or(b, |x: i64| x.min(b)));
+        } else if k < 0 {
+            // Infeasible (rationally): empty set; report degenerate bounds.
+            return (Some(0), Some(-1));
+        }
+    }
+    (lo, hi)
+}
+
+/// Solves a one-dimensional basic set: returns the congruence-merged
+/// residue, modulus and integer interval, or `None` when empty.
+///
+/// Result `(lo, hi, r, m)` means solutions are `{ x ∈ [lo, hi] : x ≡ r mod m }`
+/// with `lo = None` / `hi = None` for unbounded sides.
+pub fn solve_1d(bs: &BasicSet) -> Option<(Option<i64>, Option<i64>, i64, i64)> {
+    assert_eq!(bs.dim(), 1);
+    if bs.is_obviously_empty() {
+        return None;
+    }
+    let mut lo: Option<i64> = None;
+    let mut hi: Option<i64> = None;
+    let mut residue: (i64, i64) = (0, 1);
+    for c in bs.constraints() {
+        let a = c.expr.coeff(0);
+        let k = c.expr.constant_term();
+        match c.kind {
+            ConstraintKind::Ge => {
+                if a > 0 {
+                    let b = div_ceil(-k, a);
+                    lo = Some(lo.map_or(b, |x: i64| x.max(b)));
+                } else if a < 0 {
+                    let b = div_floor(k, -a);
+                    hi = Some(hi.map_or(b, |x: i64| x.min(b)));
+                } else if k < 0 {
+                    return None;
+                }
+            }
+            ConstraintKind::Eq => {
+                if a == 0 {
+                    if k != 0 {
+                        return None;
+                    }
+                    continue;
+                }
+                if k % a != 0 {
+                    return None;
+                }
+                let x = -k / a;
+                lo = Some(lo.map_or(x, |l: i64| l.max(x)));
+                hi = Some(hi.map_or(x, |h: i64| h.min(x)));
+            }
+            ConstraintKind::Mod(m) => {
+                // a·x + k ≡ 0 (mod m)
+                match solve_congruence(a, -k, m) {
+                    Some(rm) => match crt_merge(residue, rm) {
+                        Some(merged) => residue = merged,
+                        None => return None,
+                    },
+                    None => return None,
+                }
+            }
+        }
+    }
+    if let (Some(l), Some(h)) = (lo, hi) {
+        if l > h {
+            return None;
+        }
+        // Check a representative exists in the interval.
+        let (r, m) = residue;
+        let first = l + (r - l).rem_euclid(m);
+        if first > h {
+            return None;
+        }
+    }
+    Some((lo, hi, residue.0, residue.1))
+}
+
+/// Number of integer points of a one-dimensional basic set (`None` when the
+/// set is infinite).
+pub fn count_1d(bs: &BasicSet) -> Option<u64> {
+    match solve_1d(bs) {
+        None => Some(0),
+        Some((Some(l), Some(h), r, m)) => {
+            let first = l + (r - l).rem_euclid(m);
+            if first > h {
+                Some(0)
+            } else {
+                Some(((h - first) / m + 1) as u64)
+            }
+        }
+        Some(_) => None, // unbounded
+    }
+}
+
+/// Finds an integer point, preferring lexicographically small values.
+pub fn sample(bs: &BasicSet) -> Option<Vec<i64>> {
+    if bs.is_obviously_empty() {
+        return None;
+    }
+    if bs.dim() == 0 {
+        return Some(Vec::new());
+    }
+    if bs.dim() == 1 {
+        let (lo, hi, r, m) = solve_1d(bs)?;
+        let x = match (lo, hi) {
+            (Some(l), _) => {
+                let first = l + (r - l).rem_euclid(m);
+                if hi.is_some_and(|h| first > h) {
+                    return None;
+                }
+                first
+            }
+            (None, Some(h)) => h - (h - r).rem_euclid(m),
+            (None, None) => r,
+        };
+        return Some(vec![x]);
+    }
+    // Eliminate the last variable, sample the projection, then extend.
+    let v = bs.dim() - 1;
+    let parts = match eliminate_var(bs, v) {
+        Ok(parts) => parts,
+        Err(_) => return sample_by_search(bs),
+    };
+    for part in parts {
+        if let Some(prefix) = sample(&part) {
+            // Reduce the original to 1-D by fixing vars 0..v with the
+            // prefix values (back to front to keep indices stable).
+            let mut fixed = bs.clone();
+            for i in (0..v).rev() {
+                fixed = fixed.fix_var(i, prefix[i]);
+            }
+            if let Some(tail) = sample(&fixed) {
+                let mut point = prefix;
+                point.push(tail[0]);
+                return Some(point);
+            }
+        }
+    }
+    None
+}
+
+/// Fallback sampling by bounded search (used only when the exact projector
+/// rejects a congruence pattern).
+fn sample_by_search(bs: &BasicSet) -> Option<Vec<i64>> {
+    fn go(bs: &BasicSet, acc: &mut Vec<i64>) -> Option<Vec<i64>> {
+        if bs.dim() == 0 {
+            return (!bs.is_obviously_empty()).then(|| acc.clone());
+        }
+        let (lo, hi) = rational_var_bounds(bs, 0);
+        let (lo, hi) = (lo?, hi?); // require bounded sets for the fallback
+        for x in lo..=hi {
+            acc.push(x);
+            let fixed = bs.fix_var(0, x);
+            if let Some(p) = go(&fixed, acc) {
+                return Some(p);
+            }
+            acc.pop();
+        }
+        None
+    }
+    go(bs, &mut Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ge(coeffs: &[i64], k: i64) -> Constraint {
+        Constraint::ge(LinearExpr::new(coeffs.to_vec(), k))
+    }
+    fn eq(coeffs: &[i64], k: i64) -> Constraint {
+        Constraint::eq(LinearExpr::new(coeffs.to_vec(), k))
+    }
+    fn md(coeffs: &[i64], k: i64, m: i64) -> Constraint {
+        Constraint::modulo(LinearExpr::new(coeffs.to_vec(), k), m)
+    }
+
+    /// Brute-force projection over a grid for cross-checking.
+    fn brute_project(bs: &BasicSet, v: usize, range: std::ops::RangeInclusive<i64>) -> Vec<Vec<i64>> {
+        let dim = bs.dim();
+        let mut out = Vec::new();
+        let vals: Vec<i64> = range.collect();
+        let mut point = vec![0i64; dim];
+        fn rec(
+            bs: &BasicSet,
+            vals: &[i64],
+            point: &mut Vec<i64>,
+            d: usize,
+            v: usize,
+            out: &mut Vec<Vec<i64>>,
+        ) {
+            if d == point.len() {
+                if bs.contains(point) {
+                    let mut p = point.clone();
+                    p.remove(v);
+                    out.push(p);
+                }
+                return;
+            }
+            for &x in vals {
+                point[d] = x;
+                rec(bs, vals, point, d + 1, v, out);
+            }
+        }
+        rec(bs, &vals, &mut point, 0, v, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn check_projection(bs: &BasicSet, v: usize) {
+        let expected = brute_project(bs, v, -8..=8);
+        let parts = eliminate_var(bs, v).expect("supported fragment");
+        // Every expected point is in some part; every in-range part point is expected.
+        let dim = bs.dim() - 1;
+        let mut grid = Vec::new();
+        let mut point = vec![0i64; dim];
+        fn rec(point: &mut Vec<i64>, d: usize, grid: &mut Vec<Vec<i64>>) {
+            if d == point.len() {
+                grid.push(point.clone());
+                return;
+            }
+            for x in -8..=8 {
+                point[d] = x;
+                rec(point, d + 1, grid);
+            }
+        }
+        rec(&mut point, 0, &mut grid);
+        for p in grid {
+            let in_parts = parts.iter().any(|bs| bs.contains(&p));
+            let in_expected = expected.contains(&p);
+            // The projection may contain points whose witnesses lie outside
+            // the search grid; only check the forward direction strictly and
+            // the reverse direction when the witness must be in range. We
+            // constrain all test sets to keep witnesses within the grid, so
+            // equality is expected.
+            assert_eq!(in_parts, in_expected, "point {p:?} of {bs:?}");
+        }
+    }
+
+    #[test]
+    fn unit_equality_substitution() {
+        // { (x, y) : y = x + 2, 0 <= x <= 5 }, eliminate y -> 0 <= x <= 5
+        let bs = BasicSet::new(2, vec![eq(&[-1, 1], -2), ge(&[1, 0], 0), ge(&[-1, 0], 5)]);
+        check_projection(&bs, 1);
+        // eliminate x instead -> 2 <= y <= 7
+        check_projection(&bs, 0);
+    }
+
+    #[test]
+    fn non_unit_equality_introduces_congruence() {
+        // { (x, y) : 2x = y, 0 <= y <= 6 } eliminate x -> y even in [0, 6]
+        let bs = BasicSet::new(2, vec![eq(&[2, -1], 0), ge(&[0, 1], 0), ge(&[0, -1], 6)]);
+        let parts = eliminate_var(&bs, 0).unwrap();
+        let members: Vec<i64> = (-8..=8)
+            .filter(|&y| parts.iter().any(|p| p.contains(&[y])))
+            .collect();
+        assert_eq!(members, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn fm_exact_with_unit_coefficients() {
+        // { (x, y) : x <= y <= x + 3, 0 <= x <= 4 } eliminate y.
+        let bs = BasicSet::new(
+            2,
+            vec![ge(&[-1, 1], 0), ge(&[1, -1], 3), ge(&[1, 0], 0), ge(&[-1, 0], 4)],
+        );
+        check_projection(&bs, 1);
+    }
+
+    #[test]
+    fn dark_shadow_and_splinters_exact() {
+        // { (x, y) : 3 <= 2y <= 2x <= 3y - 4, x <= 6 } -- non-unit coefficients
+        // on both sides force the splinter path; verify against brute force.
+        let bs = BasicSet::new(
+            2,
+            vec![
+                ge(&[0, 2], -3),       // 2y >= 3
+                ge(&[2, -2], 0),       // 2x >= 2y
+                ge(&[-2, 3], -4),      // 3y - 4 >= 2x
+                ge(&[-1, 0], 6),       // x <= 6
+            ],
+        );
+        check_projection(&bs, 1);
+        check_projection(&bs, 0);
+    }
+
+    #[test]
+    fn classic_omega_gap() {
+        // { x : 3 <= 5x <= 7 } has no integer point although the rational
+        // shadow [3/5, 7/5] is non-empty... x = 1 works actually (5 in [3,7]).
+        let bs = BasicSet::new(1, vec![ge(&[5], -3), ge(&[-5], 7)]);
+        assert!(!bs.is_empty());
+        // { x : 4 <= 6x <= 5 } really is integer-empty.
+        let bs2 = BasicSet::new(1, vec![ge(&[6], -4), ge(&[-6], 5)]);
+        assert!(bs2.is_empty());
+    }
+
+    #[test]
+    fn two_dim_integer_gap() {
+        // 2x = 2y + 1 is rationally feasible, integrally empty.
+        let bs = BasicSet::new(2, vec![eq(&[2, -2], -1)]);
+        assert!(bs.is_empty());
+    }
+
+    #[test]
+    fn congruence_elimination_single_var() {
+        // { (x, y) : x ≡ 1 mod 3, 0 <= x <= 8, y = x } eliminate x.
+        let bs = BasicSet::new(
+            2,
+            vec![md(&[1, 0], -1, 3), ge(&[1, 0], 0), ge(&[-1, 0], 8), eq(&[1, -1], 0)],
+        );
+        let parts = eliminate_var(&bs, 0).unwrap();
+        let members: Vec<i64> = (-8..=8)
+            .filter(|&y| parts.iter().any(|p| p.contains(&[y])))
+            .collect();
+        assert_eq!(members, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn congruence_with_symbolic_remainder() {
+        // { (x, y) : x + y ≡ 0 mod 2, 0 <= x,y <= 5 } eliminate x: every y
+        // in range keeps a witness (x of matching parity exists in [0,5]).
+        let bs = BasicSet::new(
+            2,
+            vec![md(&[1, 1], 0, 2), ge(&[1, 0], 0), ge(&[-1, 0], 5), ge(&[0, 1], 0), ge(&[0, -1], 5)],
+        );
+        let parts = eliminate_var(&bs, 0).unwrap();
+        for y in 0..=5 {
+            assert!(parts.iter().any(|p| p.contains(&[y])), "y = {y}");
+        }
+        assert!(!parts.iter().any(|p| p.contains(&[6])));
+    }
+
+    #[test]
+    fn emptiness_with_congruences() {
+        // x ≡ 0 mod 2 and x ≡ 1 mod 2 -> empty.
+        let bs = BasicSet::new(1, vec![md(&[1], 0, 2), md(&[1], -1, 2)]);
+        assert!(bs.is_empty());
+        // x ≡ 1 mod 2 and x ≡ 2 mod 3 -> x ≡ 5 mod 6 (non-empty).
+        let bs2 = BasicSet::new(1, vec![md(&[1], -1, 2), md(&[1], -2, 3)]);
+        assert!(!bs2.is_empty());
+        let s = bs2.sample().unwrap();
+        assert_eq!(s[0].rem_euclid(6), 5, "sample {s:?} must be ≡ 5 mod 6");
+    }
+
+    #[test]
+    fn count_1d_closed_form() {
+        // { x : 0 <= x <= 100, x ≡ 2 mod 5 } -> 2, 7, ..., 97 -> 20 points
+        let bs = BasicSet::new(1, vec![ge(&[1], 0), ge(&[-1], 100), md(&[1], -2, 5)]);
+        assert_eq!(count_1d(&bs), Some(20));
+        let empt = BasicSet::new(1, vec![ge(&[1], 0), ge(&[-1], -1)]);
+        assert_eq!(count_1d(&empt), Some(0));
+        let unb = BasicSet::new(1, vec![ge(&[1], 0)]);
+        assert_eq!(count_1d(&unb), None);
+    }
+
+    #[test]
+    fn solve_congruence_cases() {
+        assert_eq!(solve_congruence(1, 3, 5), Some((3, 5)));
+        assert_eq!(solve_congruence(2, 1, 4), None); // 2x ≡ 1 mod 4 unsolvable
+        assert_eq!(solve_congruence(2, 2, 4), Some((1, 2))); // x ≡ 1 mod 2
+        assert_eq!(solve_congruence(3, 1, 7), Some((5, 7))); // 3*5=15≡1 mod 7
+    }
+
+    #[test]
+    fn crt_merge_cases() {
+        assert_eq!(crt_merge((1, 2), (2, 3)), Some((5, 6)));
+        assert_eq!(crt_merge((0, 2), (1, 2)), None);
+        assert_eq!(crt_merge((1, 2), (1, 2)), Some((1, 2)));
+        assert_eq!(crt_merge((2, 4), (0, 6)), Some((6, 12)));
+    }
+
+    #[test]
+    fn sample_prefers_small_lex() {
+        let bs = BasicSet::new(
+            2,
+            vec![ge(&[1, 0], -3), ge(&[-1, 0], 10), ge(&[0, 1], 0), ge(&[0, -1], 4)],
+        );
+        assert_eq!(bs.sample(), Some(vec![3, 0]));
+    }
+}

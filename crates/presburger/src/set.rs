@@ -1,0 +1,492 @@
+//! Unions of basic sets ([`Set`]).
+
+use crate::basic::BasicSet;
+use crate::expr::Constraint;
+use crate::Result;
+
+/// A finite union of [`BasicSet`]s over a common dimension.
+///
+/// This is the ISL `isl_set` analogue: all set algebra (union, intersection,
+/// difference, subset/equality tests) is exact.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Set {
+    dim: usize,
+    parts: Vec<BasicSet>,
+}
+
+impl From<BasicSet> for Set {
+    fn from(bs: BasicSet) -> Self {
+        let dim = bs.dim();
+        let parts = if bs.is_obviously_empty() {
+            Vec::new()
+        } else {
+            vec![bs]
+        };
+        Set { dim, parts }
+    }
+}
+
+impl Set {
+    /// The empty set of the given dimension.
+    pub fn empty(dim: usize) -> Self {
+        Set {
+            dim,
+            parts: Vec::new(),
+        }
+    }
+
+    /// The whole space `Zⁿ`.
+    pub fn universe(dim: usize) -> Self {
+        BasicSet::universe(dim).into()
+    }
+
+    /// A set containing exactly the given points.
+    pub fn from_points<'a, I: IntoIterator<Item = &'a [i64]>>(dim: usize, points: I) -> Self {
+        let mut s = Set::empty(dim);
+        for p in points {
+            assert_eq!(p.len(), dim);
+            s = s.union(&BasicSet::point(p).into());
+        }
+        s
+    }
+
+    /// Builds a union from parts (all must share the dimension).
+    pub fn from_parts(dim: usize, parts: Vec<BasicSet>) -> Self {
+        for p in &parts {
+            assert_eq!(p.dim(), dim, "part dimension mismatch");
+        }
+        let parts = parts
+            .into_iter()
+            .filter(|p| !p.is_obviously_empty())
+            .collect();
+        Set { dim, parts }
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The disjuncts of the union.
+    pub fn parts(&self) -> &[BasicSet] {
+        &self.parts
+    }
+
+    /// Number of disjuncts (after dropping obviously-empty ones).
+    pub fn n_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether an integer point belongs to the set.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        self.parts.iter().any(|p| p.contains(point))
+    }
+
+    /// Exact emptiness test.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(|p| p.is_empty())
+    }
+
+    /// Set union (concatenation of disjuncts plus light dedup).
+    pub fn union(&self, other: &Set) -> Set {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in union");
+        let mut parts = self.parts.clone();
+        for p in &other.parts {
+            if !parts.contains(p) {
+                parts.push(p.clone());
+            }
+        }
+        Set {
+            dim: self.dim,
+            parts,
+        }
+    }
+
+    /// Set intersection (pairwise products of disjuncts).
+    pub fn intersect(&self, other: &Set) -> Set {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in intersect");
+        let mut parts = Vec::new();
+        for a in &self.parts {
+            for b in &other.parts {
+                let c = a.intersect(b);
+                if !c.is_obviously_empty() {
+                    parts.push(c);
+                }
+            }
+        }
+        Set {
+            dim: self.dim,
+            parts,
+        }
+    }
+
+    /// Adds a constraint to every disjunct.
+    pub fn add_constraint(&self, c: &Constraint) -> Set {
+        let parts = self
+            .parts
+            .iter()
+            .map(|p| p.add_constraint(c.clone()))
+            .filter(|p| !p.is_obviously_empty())
+            .collect();
+        Set {
+            dim: self.dim,
+            parts,
+        }
+    }
+
+    /// Exact set difference `self − other`.
+    ///
+    /// Uses the closed-form complement of a conjunction: for each disjunct
+    /// `B = c₁ ∧ … ∧ cₖ` of `other`, `A − B = ∪ᵢ (A ∧ c₁ ∧ … ∧ cᵢ₋₁ ∧ ¬cᵢ)`
+    /// (the "path" decomposition, which keeps the result disjoint per `B`).
+    pub fn subtract(&self, other: &Set) -> Set {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in subtract");
+        let mut acc = self.clone();
+        for b in &other.parts {
+            let mut next = Set::empty(self.dim);
+            for a in &acc.parts {
+                next = next.union(&subtract_basic(a, b));
+            }
+            acc = next;
+            if acc.parts.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Exact subset test.
+    pub fn is_subset(&self, other: &Set) -> bool {
+        self.subtract(other).is_empty()
+    }
+
+    /// Exact equality test (mutual inclusion).
+    pub fn is_equal(&self, other: &Set) -> bool {
+        self.is_subset(other) && other.is_subset(self)
+    }
+
+    /// Merges one-dimensional disjuncts that form contiguous or
+    /// overlapping plain intervals (no congruences) into single intervals
+    /// — a light version of ISL's `coalesce` that keeps unions small after
+    /// repeated subtraction. Other disjuncts pass through untouched.
+    pub fn coalesce(&self) -> Set {
+        if self.dim != 1 {
+            return self.clone();
+        }
+        // Split disjuncts into plain intervals and the rest.
+        let mut intervals: Vec<(i64, i64)> = Vec::new();
+        let mut rest: Vec<BasicSet> = Vec::new();
+        for p in &self.parts {
+            let plain = p
+                .constraints()
+                .iter()
+                .all(|c| matches!(c.kind, crate::ConstraintKind::Ge | crate::ConstraintKind::Eq));
+            match (plain, p.var_bounds(0)) {
+                (true, (Some(lo), Some(hi))) if lo <= hi => intervals.push((lo, hi)),
+                _ => rest.push(p.clone()),
+            }
+        }
+        intervals.sort_unstable();
+        let mut merged: Vec<(i64, i64)> = Vec::new();
+        for (lo, hi) in intervals {
+            match merged.last_mut() {
+                Some((_, mhi)) if lo <= *mhi + 1 => *mhi = (*mhi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        let mut parts: Vec<BasicSet> =
+            merged
+                .into_iter()
+                .map(|(lo, hi)| BasicSet::bounding_box(&[lo], &[hi]))
+                .collect();
+        parts.extend(rest);
+        Set { dim: 1, parts }
+    }
+
+    /// Rewrites the union so that disjuncts are pairwise disjoint (needed
+    /// for exact counting).
+    pub fn make_disjoint(&self) -> Set {
+        let mut out: Vec<BasicSet> = Vec::new();
+        let mut seen = Set::empty(self.dim);
+        for p in &self.parts {
+            let fresh = Set::from(p.clone()).subtract(&seen);
+            out.extend(fresh.parts.iter().cloned());
+            seen = seen.union(&Set::from(p.clone()));
+        }
+        Set {
+            dim: self.dim,
+            parts: out,
+        }
+    }
+
+    /// Projects out variable `v` exactly.
+    ///
+    /// # Errors
+    ///
+    /// See [`BasicSet::eliminate_var`].
+    pub fn eliminate_var(&self, v: usize) -> Result<Set> {
+        let mut parts = Vec::new();
+        for p in &self.parts {
+            parts.extend(p.eliminate_var(v)?);
+        }
+        Ok(Set {
+            dim: self.dim - 1,
+            parts,
+        })
+    }
+
+    /// Fixes variable `v` to `value` in every disjunct.
+    pub fn fix_var(&self, v: usize, value: i64) -> Set {
+        let parts = self
+            .parts
+            .iter()
+            .map(|p| p.fix_var(v, value))
+            .filter(|p| !p.is_obviously_empty())
+            .collect();
+        Set {
+            dim: self.dim - 1,
+            parts,
+        }
+    }
+
+    /// Inserts fresh unconstrained variables at `at` in every disjunct.
+    pub fn insert_vars(&self, at: usize, count: usize) -> Set {
+        Set {
+            dim: self.dim + count,
+            parts: self.parts.iter().map(|p| p.insert_vars(at, count)).collect(),
+        }
+    }
+
+    /// Finds one member point, if any.
+    pub fn sample(&self) -> Option<Vec<i64>> {
+        self.parts.iter().find_map(|p| p.sample())
+    }
+
+    /// Safe outer bounds of variable `v` over the whole union
+    /// (`None` = unbounded on that side).
+    pub fn var_bounds(&self, v: usize) -> (Option<i64>, Option<i64>) {
+        let mut lo: Option<i64> = None;
+        let mut hi: Option<i64> = None;
+        let mut first = true;
+        for p in &self.parts {
+            if p.is_empty() {
+                continue;
+            }
+            let (l, h) = p.var_bounds(v);
+            if first {
+                lo = l;
+                hi = h;
+                first = false;
+            } else {
+                lo = match (lo, l) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    _ => None,
+                };
+                hi = match (hi, h) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                };
+            }
+        }
+        if first {
+            // Empty set: degenerate bounds.
+            (Some(0), Some(-1))
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Exact number of integer points (see [`crate::count`] module docs);
+    /// `None` when the set is infinite.
+    pub fn count_points_checked(&self) -> Option<u64> {
+        crate::count::count(self)
+    }
+
+    /// Exact number of integer points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is infinite. Use
+    /// [`Set::count_points_checked`] when unsure.
+    pub fn count_points(&self) -> u64 {
+        self.count_points_checked()
+            .expect("count_points on an infinite set")
+    }
+}
+
+/// `A − B` for basic sets, via the path decomposition of `¬B`.
+fn subtract_basic(a: &BasicSet, b: &BasicSet) -> Set {
+    if b.is_obviously_empty() {
+        return a.clone().into();
+    }
+    let mut parts: Vec<BasicSet> = Vec::new();
+    let mut prefix = a.clone();
+    for c in b.constraints() {
+        for neg in c.negate() {
+            let piece = prefix.add_constraint(neg);
+            if !piece.is_obviously_empty() {
+                parts.push(piece);
+            }
+        }
+        prefix = prefix.add_constraint(c.clone());
+        if prefix.is_obviously_empty() {
+            break;
+        }
+    }
+    Set {
+        dim: a.dim(),
+        parts,
+    }
+}
+
+impl std::fmt::Debug for Set {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.parts.is_empty() {
+            return write!(f, "{{ dim={} : false }}", self.dim);
+        }
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " or ")?;
+            }
+            write!(f, "{p:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinearExpr;
+
+    fn interval(lo: i64, hi: i64) -> Set {
+        BasicSet::bounding_box(&[lo], &[hi]).into()
+    }
+
+    #[test]
+    fn union_and_membership() {
+        let s = interval(0, 3).union(&interval(10, 12));
+        assert!(s.contains(&[2]) && s.contains(&[11]));
+        assert!(!s.contains(&[5]));
+    }
+
+    #[test]
+    fn subtract_interval() {
+        // [0,10] - [3,5] = [0,2] ∪ [6,10]
+        let s = interval(0, 10).subtract(&interval(3, 5));
+        for x in 0..=10 {
+            assert_eq!(s.contains(&[x]), !(3..=5).contains(&x), "x = {x}");
+        }
+        assert_eq!(s.count_points(), 8);
+    }
+
+    #[test]
+    fn subtract_with_congruence() {
+        // [0,9] - { x ≡ 0 mod 2 } = odd numbers in [0,9]
+        let evens = Set::from(BasicSet::new(
+            1,
+            vec![Constraint::modulo(LinearExpr::var(1, 0), 2)],
+        ));
+        let s = interval(0, 9).subtract(&evens);
+        for x in 0..=9 {
+            assert_eq!(s.contains(&[x]), x % 2 == 1, "x = {x}");
+        }
+        assert_eq!(s.count_points(), 5);
+    }
+
+    #[test]
+    fn subset_and_equality() {
+        assert!(interval(2, 4).is_subset(&interval(0, 10)));
+        assert!(!interval(0, 10).is_subset(&interval(2, 4)));
+        let a = interval(0, 5).union(&interval(3, 9));
+        let b = interval(0, 9);
+        assert!(a.is_equal(&b));
+    }
+
+    #[test]
+    fn make_disjoint_preserves_count() {
+        let a = interval(0, 5).union(&interval(3, 9)); // overlap [3,5]
+        let d = a.make_disjoint();
+        assert_eq!(d.count_points(), 10);
+        // After disjointification, summing per-part counts matches.
+        let per_part: u64 = d
+            .parts()
+            .iter()
+            .map(|p| Set::from(p.clone()).count_points())
+            .sum();
+        assert_eq!(per_part, 10);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = Set::empty(2);
+        assert!(e.is_empty());
+        assert!(e.is_subset(&e));
+        assert_eq!(e.count_points(), 0);
+        assert!(Set::universe(1).subtract(&Set::universe(1)).is_empty());
+    }
+
+    #[test]
+    fn from_points_roundtrip() {
+        let pts: Vec<&[i64]> = vec![&[1, 2], &[3, 4], &[1, 2]];
+        let s = Set::from_points(2, pts);
+        assert!(s.contains(&[1, 2]) && s.contains(&[3, 4]));
+        assert_eq!(s.count_points(), 2);
+    }
+
+    #[test]
+    fn eliminate_var_on_union() {
+        // ([0,2] x [5,5]) ∪ ([4,6] x [7,7]) project second dim.
+        let a = BasicSet::bounding_box(&[0, 5], &[2, 5]);
+        let b = BasicSet::bounding_box(&[4, 7], &[6, 7]);
+        let s = Set::from(a).union(&b.into());
+        let p = s.eliminate_var(1).unwrap();
+        for x in -2..=8 {
+            assert_eq!(
+                p.contains(&[x]),
+                (0..=2).contains(&x) || (4..=6).contains(&x)
+            );
+        }
+    }
+
+    #[test]
+    fn var_bounds_union() {
+        let s = interval(0, 3).union(&interval(10, 12));
+        assert_eq!(s.var_bounds(0), (Some(0), Some(12)));
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_intervals() {
+        let s = interval(0, 3)
+            .union(&interval(4, 7))
+            .union(&interval(6, 9))
+            .union(&interval(20, 25));
+        let c = s.coalesce();
+        assert_eq!(c.n_parts(), 2);
+        assert!(c.is_equal(&s));
+        assert_eq!(c.count_points(), 16);
+    }
+
+    #[test]
+    fn coalesce_leaves_strided_parts_alone() {
+        let evens = Set::from(BasicSet::new(
+            1,
+            vec![
+                Constraint::modulo(LinearExpr::var(1, 0), 2),
+                Constraint::ge(LinearExpr::var(1, 0)),
+                Constraint::ge(LinearExpr::var(1, 0).neg().plus_const(10)),
+            ],
+        ));
+        let s = interval(0, 3).union(&evens);
+        let c = s.coalesce();
+        assert!(c.is_equal(&s));
+        // The strided part survives as its own disjunct.
+        assert_eq!(c.n_parts(), 2);
+    }
+
+    #[test]
+    fn coalesce_noop_on_higher_dims() {
+        let s = Set::from(BasicSet::bounding_box(&[0, 0], &[2, 2]));
+        assert_eq!(s.coalesce(), s);
+    }
+}

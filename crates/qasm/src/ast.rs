@@ -1,0 +1,480 @@
+//! Abstract syntax tree for OpenQASM 2.0 programs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A reference to a single qubit: register name plus element index.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QubitRef {
+    /// Register name.
+    pub reg: String,
+    /// Element index within the register.
+    pub index: usize,
+}
+
+impl fmt::Display for QubitRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.reg, self.index)
+    }
+}
+
+/// A parameter expression (evaluated lazily so user-defined gate bodies can
+/// reference formal parameters).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// The constant π.
+    Pi,
+    /// A named formal parameter.
+    Var(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Binary {
+        /// One of `+ - * / ^`.
+        op: char,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Built-in unary function call (`sin`, `cos`, `tan`, `exp`, `ln`,
+    /// `sqrt`).
+    Call(String, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates the expression in the environment `env` (formal parameter
+    /// values). Unknown variables evaluate to an error.
+    pub fn eval(&self, env: &HashMap<String, f64>) -> Result<f64, String> {
+        match self {
+            Expr::Num(v) => Ok(*v),
+            Expr::Pi => Ok(std::f64::consts::PI),
+            Expr::Var(name) => env
+                .get(name)
+                .copied()
+                .ok_or_else(|| format!("unbound parameter `{name}`")),
+            Expr::Neg(e) => Ok(-e.eval(env)?),
+            Expr::Binary { op, lhs, rhs } => {
+                let (a, b) = (lhs.eval(env)?, rhs.eval(env)?);
+                Ok(match op {
+                    '+' => a + b,
+                    '-' => a - b,
+                    '*' => a * b,
+                    '/' => a / b,
+                    '^' => a.powf(b),
+                    other => return Err(format!("unknown operator `{other}`")),
+                })
+            }
+            Expr::Call(name, arg) => {
+                let v = arg.eval(env)?;
+                Ok(match name.as_str() {
+                    "sin" => v.sin(),
+                    "cos" => v.cos(),
+                    "tan" => v.tan(),
+                    "exp" => v.exp(),
+                    "ln" => v.ln(),
+                    "sqrt" => v.sqrt(),
+                    other => return Err(format!("unknown function `{other}`")),
+                })
+            }
+        }
+    }
+}
+
+/// One statement of a user-defined gate body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GateBodyStmt {
+    /// Nested gate application over formal qubit names.
+    Gate {
+        /// Gate name.
+        name: String,
+        /// Parameter expressions over the formal parameters.
+        params: Vec<Expr>,
+        /// Formal qubit argument names.
+        qubits: Vec<String>,
+    },
+    /// `barrier` over formal qubit names.
+    Barrier(Vec<String>),
+}
+
+/// A user-defined (or `opaque`) gate declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateDecl {
+    /// Gate name.
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// Formal qubit argument names.
+    pub qubits: Vec<String>,
+    /// Body statements (`None` for `opaque` declarations).
+    pub body: Option<Vec<GateBodyStmt>>,
+}
+
+/// A fully resolved program instruction (registers broadcast and indices
+/// flattened happen at the [`Program`] level; instructions keep symbolic
+/// register references).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instruction {
+    /// A gate application.
+    Gate {
+        /// Gate name.
+        name: String,
+        /// Evaluated parameter values.
+        params: Vec<f64>,
+        /// Qubit operands.
+        qubits: Vec<QubitRef>,
+        /// Classical condition `if (creg == value)`, when present.
+        condition: Option<(String, u64)>,
+    },
+    /// `measure qubit -> bit;`
+    Measure {
+        /// Measured qubit.
+        qubit: QubitRef,
+        /// Target classical bit (register, index).
+        bit: (String, usize),
+    },
+    /// `barrier q, ...;`
+    Barrier(Vec<QubitRef>),
+    /// `reset q;`
+    Reset(QubitRef),
+}
+
+impl Instruction {
+    /// The qubit operands of the instruction.
+    pub fn qubits(&self) -> Vec<&QubitRef> {
+        match self {
+            Instruction::Gate { qubits, .. } => qubits.iter().collect(),
+            Instruction::Measure { qubit, .. } => vec![qubit],
+            Instruction::Barrier(qs) => qs.iter().collect(),
+            Instruction::Reset(q) => vec![q],
+        }
+    }
+}
+
+/// A parsed OpenQASM 2.0 program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    qregs: Vec<(String, usize)>,
+    cregs: Vec<(String, usize)>,
+    gate_decls: Vec<GateDecl>,
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Declares a quantum register.
+    pub fn add_qreg(&mut self, name: impl Into<String>, size: usize) {
+        self.qregs.push((name.into(), size));
+    }
+
+    /// Declares a classical register.
+    pub fn add_creg(&mut self, name: impl Into<String>, size: usize) {
+        self.cregs.push((name.into(), size));
+    }
+
+    /// Records a gate declaration.
+    pub fn add_gate_decl(&mut self, decl: GateDecl) {
+        self.gate_decls.push(decl);
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instr: Instruction) {
+        self.instructions.push(instr);
+    }
+
+    /// Quantum registers in declaration order.
+    pub fn qregs(&self) -> &[(String, usize)] {
+        &self.qregs
+    }
+
+    /// Classical registers in declaration order.
+    pub fn cregs(&self) -> &[(String, usize)] {
+        &self.cregs
+    }
+
+    /// User-defined gate declarations.
+    pub fn gate_decls(&self) -> &[GateDecl] {
+        &self.gate_decls
+    }
+
+    /// Program instructions in order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Mutable access to one instruction (used by the parser to attach
+    /// classical conditions after the fact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn instruction_mut(&mut self, i: usize) -> &mut Instruction {
+        &mut self.instructions[i]
+    }
+
+    /// Total number of qubits across all quantum registers.
+    pub fn qubit_count(&self) -> usize {
+        self.qregs.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Flattens a qubit reference to a global index (registers are laid out
+    /// in declaration order). `None` when the reference is out of range.
+    pub fn flatten(&self, q: &QubitRef) -> Option<usize> {
+        let mut base = 0;
+        for (name, size) in &self.qregs {
+            if *name == q.reg {
+                return (q.index < *size).then_some(base + q.index);
+            }
+            base += size;
+        }
+        None
+    }
+
+    /// Looks up a user-defined gate declaration by name.
+    pub fn find_gate_decl(&self, name: &str) -> Option<&GateDecl> {
+        self.gate_decls.iter().find(|g| g.name == name)
+    }
+
+    /// Returns a program with every user-defined gate application expanded
+    /// recursively into primitive applications.
+    ///
+    /// Gates without a body (opaque or primitives from `qelib1.inc`) are
+    /// kept as-is. `barrier`s inside gate bodies expand over the actual
+    /// qubit operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unbound formal names or when the expansion
+    /// exceeds a nesting depth of 64 (cyclic definitions).
+    pub fn expanded(&self) -> Result<Program, String> {
+        let mut out = Program {
+            qregs: self.qregs.clone(),
+            cregs: self.cregs.clone(),
+            gate_decls: self.gate_decls.clone(),
+            instructions: Vec::new(),
+        };
+        for instr in &self.instructions {
+            self.expand_into(instr, &mut out.instructions, 0)?;
+        }
+        Ok(out)
+    }
+
+    fn expand_into(
+        &self,
+        instr: &Instruction,
+        out: &mut Vec<Instruction>,
+        depth: usize,
+    ) -> Result<(), String> {
+        if depth > 64 {
+            return Err("gate expansion exceeds depth 64 (cyclic definition?)".into());
+        }
+        let Instruction::Gate {
+            name,
+            params,
+            qubits,
+            condition,
+        } = instr
+        else {
+            out.push(instr.clone());
+            return Ok(());
+        };
+        let Some(decl) = self.find_gate_decl(name) else {
+            out.push(instr.clone());
+            return Ok(());
+        };
+        let Some(body) = &decl.body else {
+            out.push(instr.clone());
+            return Ok(());
+        };
+        if decl.params.len() != params.len() || decl.qubits.len() != qubits.len() {
+            return Err(format!(
+                "gate `{name}` applied with {}/{} params/qubits, declared {}/{}",
+                params.len(),
+                qubits.len(),
+                decl.params.len(),
+                decl.qubits.len()
+            ));
+        }
+        let env: HashMap<String, f64> = decl
+            .params
+            .iter()
+            .cloned()
+            .zip(params.iter().copied())
+            .collect();
+        let qmap: HashMap<&str, &QubitRef> = decl
+            .qubits
+            .iter()
+            .map(String::as_str)
+            .zip(qubits.iter())
+            .collect();
+        for stmt in body {
+            match stmt {
+                GateBodyStmt::Gate {
+                    name: inner,
+                    params: ps,
+                    qubits: qs,
+                } => {
+                    let params = ps
+                        .iter()
+                        .map(|e| e.eval(&env))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let qubits = qs
+                        .iter()
+                        .map(|q| {
+                            qmap.get(q.as_str())
+                                .copied()
+                                .cloned()
+                                .ok_or_else(|| format!("unbound qubit `{q}` in gate `{name}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let nested = Instruction::Gate {
+                        name: inner.clone(),
+                        params,
+                        qubits,
+                        condition: condition.clone(),
+                    };
+                    self.expand_into(&nested, out, depth + 1)?;
+                }
+                GateBodyStmt::Barrier(qs) => {
+                    let qubits = qs
+                        .iter()
+                        .map(|q| {
+                            qmap.get(q.as_str())
+                                .copied()
+                                .cloned()
+                                .ok_or_else(|| format!("unbound qubit `{q}` in gate `{name}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    out.push(Instruction::Barrier(qubits));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(reg: &str, index: usize) -> QubitRef {
+        QubitRef {
+            reg: reg.into(),
+            index,
+        }
+    }
+
+    #[test]
+    fn flatten_respects_declaration_order() {
+        let mut p = Program::new();
+        p.add_qreg("a", 3);
+        p.add_qreg("b", 2);
+        assert_eq!(p.flatten(&q("a", 0)), Some(0));
+        assert_eq!(p.flatten(&q("a", 2)), Some(2));
+        assert_eq!(p.flatten(&q("b", 0)), Some(3));
+        assert_eq!(p.flatten(&q("b", 2)), None);
+        assert_eq!(p.flatten(&q("c", 0)), None);
+        assert_eq!(p.qubit_count(), 5);
+    }
+
+    #[test]
+    fn expr_eval() {
+        let env: HashMap<String, f64> = [("theta".to_string(), 2.0)].into();
+        // -theta * pi / 4 + sin(0)
+        let e = Expr::Binary {
+            op: '+',
+            lhs: Box::new(Expr::Binary {
+                op: '/',
+                lhs: Box::new(Expr::Binary {
+                    op: '*',
+                    lhs: Box::new(Expr::Neg(Box::new(Expr::Var("theta".into())))),
+                    rhs: Box::new(Expr::Pi),
+                }),
+                rhs: Box::new(Expr::Num(4.0)),
+            }),
+            rhs: Box::new(Expr::Call("sin".into(), Box::new(Expr::Num(0.0)))),
+        };
+        let v = e.eval(&env).unwrap();
+        assert!((v + std::f64::consts::PI / 2.0).abs() < 1e-12);
+        assert!(Expr::Var("missing".into()).eval(&env).is_err());
+    }
+
+    #[test]
+    fn expansion_substitutes_params_and_qubits() {
+        let mut p = Program::new();
+        p.add_qreg("q", 2);
+        p.add_gate_decl(GateDecl {
+            name: "mygate".into(),
+            params: vec!["t".into()],
+            qubits: vec!["a".into(), "b".into()],
+            body: Some(vec![
+                GateBodyStmt::Gate {
+                    name: "rz".into(),
+                    params: vec![Expr::Binary {
+                        op: '*',
+                        lhs: Box::new(Expr::Var("t".into())),
+                        rhs: Box::new(Expr::Num(2.0)),
+                    }],
+                    qubits: vec!["a".into()],
+                },
+                GateBodyStmt::Gate {
+                    name: "cx".into(),
+                    params: vec![],
+                    qubits: vec!["a".into(), "b".into()],
+                },
+            ]),
+        });
+        p.push(Instruction::Gate {
+            name: "mygate".into(),
+            params: vec![0.5],
+            qubits: vec![q("q", 1), q("q", 0)],
+            condition: None,
+        });
+        let e = p.expanded().unwrap();
+        assert_eq!(e.instructions().len(), 2);
+        match &e.instructions()[0] {
+            Instruction::Gate { name, params, qubits, .. } => {
+                assert_eq!(name, "rz");
+                assert_eq!(params, &vec![1.0]);
+                assert_eq!(qubits, &vec![q("q", 1)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &e.instructions()[1] {
+            Instruction::Gate { name, qubits, .. } => {
+                assert_eq!(name, "cx");
+                assert_eq!(qubits, &vec![q("q", 1), q("q", 0)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expansion_detects_cycles() {
+        let mut p = Program::new();
+        p.add_qreg("q", 1);
+        p.add_gate_decl(GateDecl {
+            name: "loop".into(),
+            params: vec![],
+            qubits: vec!["a".into()],
+            body: Some(vec![GateBodyStmt::Gate {
+                name: "loop".into(),
+                params: vec![],
+                qubits: vec!["a".into()],
+            }]),
+        });
+        p.push(Instruction::Gate {
+            name: "loop".into(),
+            params: vec![],
+            qubits: vec![q("q", 0)],
+            condition: None,
+        });
+        assert!(p.expanded().is_err());
+    }
+}

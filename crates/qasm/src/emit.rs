@@ -1,0 +1,122 @@
+//! OpenQASM 2.0 emission.
+
+use crate::ast::{Instruction, Program};
+use std::fmt::Write as _;
+
+/// Renders a [`Program`] back to OpenQASM 2.0 source text.
+///
+/// The output always carries the standard header and a `qelib1.inc` include;
+/// gate declarations are not re-emitted (programs are expected to be
+/// expanded to primitive gates before serialization — see
+/// [`Program::expanded`]).
+pub fn emit(program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    for (name, size) in program.qregs() {
+        let _ = writeln!(out, "qreg {name}[{size}];");
+    }
+    for (name, size) in program.cregs() {
+        let _ = writeln!(out, "creg {name}[{size}];");
+    }
+    for instr in program.instructions() {
+        emit_instruction(&mut out, instr);
+    }
+    out
+}
+
+fn emit_instruction(out: &mut String, instr: &Instruction) {
+    match instr {
+        Instruction::Gate {
+            name,
+            params,
+            qubits,
+            condition,
+        } => {
+            if let Some((creg, value)) = condition {
+                let _ = write!(out, "if ({creg} == {value}) ");
+            }
+            let _ = write!(out, "{name}");
+            if !params.is_empty() {
+                let rendered: Vec<String> = params.iter().map(|p| format_param(*p)).collect();
+                let _ = write!(out, "({})", rendered.join(", "));
+            }
+            let operands: Vec<String> = qubits.iter().map(ToString::to_string).collect();
+            let _ = writeln!(out, " {};", operands.join(", "));
+        }
+        Instruction::Measure { qubit, bit } => {
+            let _ = writeln!(out, "measure {qubit} -> {}[{}];", bit.0, bit.1);
+        }
+        Instruction::Barrier(qs) => {
+            let operands: Vec<String> = qs.iter().map(ToString::to_string).collect();
+            let _ = writeln!(out, "barrier {};", operands.join(", "));
+        }
+        Instruction::Reset(q) => {
+            let _ = writeln!(out, "reset {q};");
+        }
+    }
+}
+
+/// Formats a parameter, preferring exact fractions of π for readability.
+fn format_param(value: f64) -> String {
+    let pi = std::f64::consts::PI;
+    for denom in [1i32, 2, 3, 4, 6, 8, 16, 32] {
+        for num in -32..=32i32 {
+            if num == 0 {
+                continue;
+            }
+            let candidate = pi * f64::from(num) / f64::from(denom);
+            if (candidate - value).abs() < 1e-12 {
+                return match (num, denom) {
+                    (1, 1) => "pi".to_string(),
+                    (-1, 1) => "-pi".to_string(),
+                    (n, 1) => format!("{n}*pi"),
+                    (1, d) => format!("pi/{d}"),
+                    (-1, d) => format!("-pi/{d}"),
+                    (n, d) => format!("{n}*pi/{d}"),
+                };
+            }
+        }
+    }
+    if value == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn round_trip_simple_program() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\n\
+                   h q[0];\ncx q[0], q[1];\nrz(pi/4) q[2];\nbarrier q[0], q[1], q[2];\n\
+                   measure q[0] -> c[0];\nreset q[1];\n";
+        let p1 = parse(src).unwrap();
+        let emitted = emit(&p1);
+        let p2 = parse(&emitted).unwrap();
+        assert_eq!(p1.instructions(), p2.instructions());
+        assert_eq!(p1.qregs(), p2.qregs());
+    }
+
+    #[test]
+    fn pi_fractions_render_exactly() {
+        assert_eq!(format_param(std::f64::consts::PI), "pi");
+        assert_eq!(format_param(-std::f64::consts::PI), "-pi");
+        assert_eq!(format_param(std::f64::consts::FRAC_PI_2), "pi/2");
+        assert_eq!(format_param(std::f64::consts::PI * 3.0 / 4.0), "3*pi/4");
+        assert_eq!(format_param(0.0), "0");
+        assert_eq!(format_param(0.37), "0.37");
+    }
+
+    #[test]
+    fn conditions_survive_round_trip() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\ncreg c[1];\n\
+                   if (c == 1) x q[0];\n";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&emit(&p1)).unwrap();
+        assert_eq!(p1.instructions(), p2.instructions());
+    }
+}

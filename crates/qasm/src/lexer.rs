@@ -1,0 +1,385 @@
+//! Tokenizer for OpenQASM 2.0 source text.
+
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`qreg`, `cx`, `measure`, ...).
+    Ident(String),
+    /// An unsigned integer literal.
+    Int(u64),
+    /// A floating-point literal.
+    Real(f64),
+    /// A double-quoted string literal (contents without quotes).
+    Str(String),
+    /// `OPENQASM` header keyword (case-sensitive per the spec).
+    OpenQasm,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `;`.
+    Semicolon,
+    /// `,`.
+    Comma,
+    /// `->`.
+    Arrow,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `^`.
+    Caret,
+    /// `==`.
+    EqEq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Real(v) => write!(f, "real `{v}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::OpenQasm => write!(f, "`OPENQASM`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// 1-based line number where the token starts.
+    pub line: usize,
+}
+
+/// A streaming tokenizer over QASM source text.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Lexes the entire input, ending with an [`TokenKind::Eof`] token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message plus line number for unrecognized characters or
+    /// malformed literals.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, (String, usize)> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, (String, usize)> {
+        self.skip_trivia();
+        let line = self.line;
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                line,
+            });
+        };
+        let kind = match c {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'/' => {
+                self.bump();
+                TokenKind::Slash
+            }
+            b'^' => {
+                self.bump();
+                TokenKind::Caret
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    return Err(("expected `==`".into(), line));
+                }
+            }
+            b'-' => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Arrow
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(c) => s.push(c as char),
+                        None => return Err(("unterminated string".into(), line)),
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            c if c.is_ascii_digit() || c == b'.' => self.lex_number(line)?,
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if s == "OPENQASM" {
+                    TokenKind::OpenQasm
+                } else {
+                    TokenKind::Ident(s)
+                }
+            }
+            other => {
+                return Err((format!("unexpected character `{}`", other as char), line));
+            }
+        };
+        Ok(Token { kind, line })
+    }
+
+    fn lex_number(&mut self, line: usize) -> Result<TokenKind, (String, usize)> {
+        let start = self.pos;
+        let mut is_real = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' => {
+                    is_real = true;
+                    self.bump();
+                }
+                b'e' | b'E' => {
+                    is_real = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        if is_real {
+            text.parse::<f64>()
+                .map(TokenKind::Real)
+                .map_err(|e| (format!("bad real literal `{text}`: {e}"), line))
+        } else {
+            text.parse::<u64>()
+                .map(TokenKind::Int)
+                .map_err(|e| (format!("bad integer literal `{text}`: {e}"), line))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_header() {
+        assert_eq!(
+            kinds("OPENQASM 2.0;"),
+            vec![
+                TokenKind::OpenQasm,
+                TokenKind::Real(2.0),
+                TokenKind::Semicolon,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_gate_application() {
+        assert_eq!(
+            kinds("cx q[0], q[1];"),
+            vec![
+                TokenKind::Ident("cx".into()),
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(0),
+                TokenKind::RBracket,
+                TokenKind::Comma,
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(1),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrow_and_minus() {
+        assert_eq!(
+            kinds("measure q -> c; rz(-1.5) q[0];")[4],
+            TokenKind::Semicolon
+        );
+        let ks = kinds("a -> b - c");
+        assert!(ks.contains(&TokenKind::Arrow));
+        assert!(ks.contains(&TokenKind::Minus));
+    }
+
+    #[test]
+    fn skips_comments_and_counts_lines() {
+        let toks = Lexer::new("// header\nh q[0];\n// end\ncx q[0], q[1];")
+            .tokenize()
+            .unwrap();
+        assert_eq!(toks[0].line, 2);
+        let cx = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("cx".into()))
+            .unwrap();
+        assert_eq!(cx.line, 4);
+    }
+
+    #[test]
+    fn lexes_scientific_notation() {
+        assert_eq!(kinds("1.5e-3")[0], TokenKind::Real(0.0015));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Lexer::new("h q[0]; @").tokenize().is_err());
+        assert!(Lexer::new("\"unterminated").tokenize().is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! OpenQASM 2.0 front-end for the Qlosure qubit mapper.
+//!
+//! The Qlosure paper consumes circuits in their QASM representation
+//! (Cross et al., *Open quantum assembly language*). This crate provides a
+//! self-contained lexer, parser, abstract syntax tree and emitter for the
+//! OpenQASM 2.0 subset exercised by the QUEKO and QASMBench workloads:
+//!
+//! * `OPENQASM 2.0;` headers and `include "qelib1.inc";` (resolved against
+//!   a built-in copy of the standard gate library);
+//! * `qreg` / `creg` declarations;
+//! * gate applications with optional parameter expressions (`rz(pi/4) q[0];`);
+//! * `measure`, `barrier`, `reset`;
+//! * user-defined `gate` bodies (recorded and expandable).
+//!
+//! # Example
+//!
+//! ```
+//! use qasm::parse;
+//!
+//! let src = r#"
+//! OPENQASM 2.0;
+//! include "qelib1.inc";
+//! qreg q[3];
+//! creg c[3];
+//! h q[0];
+//! cx q[0], q[1];
+//! cx q[1], q[2];
+//! measure q -> c;
+//! "#;
+//! let program = parse(src)?;
+//! assert_eq!(program.qubit_count(), 3);
+//! assert_eq!(program.instructions().len(), 6); // h, cx, cx, 3x measure
+//! # Ok::<(), qasm::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod emit;
+mod lexer;
+mod parser;
+
+pub use ast::{GateDecl, Instruction, Program, QubitRef};
+pub use emit::emit;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,853 @@
+//! Recursive-descent parser for OpenQASM 2.0.
+
+use crate::ast::{Expr, GateBodyStmt, GateDecl, Instruction, Program, QubitRef};
+use crate::lexer::{Lexer, Token, TokenKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse failure with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    line: usize,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, line: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// 1-based line number of the failure.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Names and arities of the `qelib1.inc` standard library plus the OpenQASM
+/// builtins; used to validate applications of gates that have no local
+/// declaration. Maps name to `(n_params, n_qubits)`.
+fn qelib1_signatures() -> HashMap<&'static str, (usize, usize)> {
+    let table: &[(&str, usize, usize)] = &[
+        ("U", 3, 1),
+        ("CX", 0, 2),
+        ("u3", 3, 1),
+        ("u2", 2, 1),
+        ("u1", 1, 1),
+        ("u", 3, 1),
+        ("p", 1, 1),
+        ("cx", 0, 2),
+        ("id", 0, 1),
+        ("x", 0, 1),
+        ("y", 0, 1),
+        ("z", 0, 1),
+        ("h", 0, 1),
+        ("s", 0, 1),
+        ("sdg", 0, 1),
+        ("t", 0, 1),
+        ("tdg", 0, 1),
+        ("sx", 0, 1),
+        ("sxdg", 0, 1),
+        ("rx", 1, 1),
+        ("ry", 1, 1),
+        ("rz", 1, 1),
+        ("cz", 0, 2),
+        ("cy", 0, 2),
+        ("ch", 0, 2),
+        ("swap", 0, 2),
+        ("ccx", 0, 3),
+        ("cswap", 0, 3),
+        ("crx", 1, 2),
+        ("cry", 1, 2),
+        ("crz", 1, 2),
+        ("cu1", 1, 2),
+        ("cp", 1, 2),
+        ("cu3", 3, 2),
+        ("cu", 4, 2),
+        ("rxx", 1, 2),
+        ("ryy", 1, 2),
+        ("rzz", 1, 2),
+        ("rccx", 0, 3),
+        ("rc3x", 0, 4),
+        ("c3x", 0, 4),
+        ("c4x", 0, 5),
+        ("csx", 0, 2),
+    ];
+    table.iter().map(|&(n, p, q)| (n, (p, q))).collect()
+}
+
+/// Parses OpenQASM 2.0 source into a [`Program`].
+///
+/// Register-level gate applications (`h q;`, `cx a, b;`,
+/// `measure q -> c;`) are broadcast into per-qubit instructions.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number for syntax errors, unknown
+/// gates, arity mismatches and out-of-range register indices.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = Lexer::new(src)
+        .tokenize()
+        .map_err(|(m, l)| ParseError::new(m, l))?;
+    Parser {
+        tokens,
+        pos: 0,
+        program: Program::new(),
+        qelib: qelib1_signatures(),
+    }
+    .parse_program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    program: Program,
+    qelib: HashMap<&'static str, (usize, usize)>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        let t = self.bump();
+        if &t.kind == kind {
+            Ok(t)
+        } else {
+            Err(ParseError::new(
+                format!("expected {kind}, found {}", t.kind),
+                t.line,
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, usize), ParseError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Ident(s) => Ok((s, t.line)),
+            other => Err(ParseError::new(
+                format!("expected identifier, found {other}"),
+                t.line,
+            )),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<(u64, usize), ParseError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Int(v) => Ok((v, t.line)),
+            other => Err(ParseError::new(
+                format!("expected integer, found {other}"),
+                t.line,
+            )),
+        }
+    }
+
+    fn parse_program(mut self) -> Result<Program, ParseError> {
+        // Optional header.
+        if self.peek().kind == TokenKind::OpenQasm {
+            self.bump();
+            let t = self.bump();
+            match t.kind {
+                TokenKind::Real(_) | TokenKind::Int(_) => {}
+                other => {
+                    return Err(ParseError::new(
+                        format!("expected version number, found {other}"),
+                        t.line,
+                    ))
+                }
+            }
+            self.expect(&TokenKind::Semicolon)?;
+        }
+        while self.peek().kind != TokenKind::Eof {
+            self.parse_statement()?;
+        }
+        Ok(self.program)
+    }
+
+    fn parse_statement(&mut self) -> Result<(), ParseError> {
+        let t = self.peek().clone();
+        let TokenKind::Ident(word) = &t.kind else {
+            return Err(ParseError::new(
+                format!("expected statement, found {}", t.kind),
+                t.line,
+            ));
+        };
+        match word.as_str() {
+            "include" => {
+                self.bump();
+                let inc = self.bump();
+                match inc.kind {
+                    TokenKind::Str(name) if name == "qelib1.inc" => {}
+                    TokenKind::Str(name) => {
+                        return Err(ParseError::new(
+                            format!("cannot resolve include \"{name}\" (only qelib1.inc is built in)"),
+                            inc.line,
+                        ));
+                    }
+                    other => {
+                        return Err(ParseError::new(
+                            format!("expected string after include, found {other}"),
+                            inc.line,
+                        ))
+                    }
+                }
+                self.expect(&TokenKind::Semicolon)?;
+            }
+            "qreg" | "creg" => {
+                let is_q = word == "qreg";
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::LBracket)?;
+                let (size, line) = self.expect_int()?;
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Semicolon)?;
+                if size == 0 {
+                    return Err(ParseError::new("register size must be positive", line));
+                }
+                if is_q {
+                    self.program.add_qreg(name, size as usize);
+                } else {
+                    self.program.add_creg(name, size as usize);
+                }
+            }
+            "gate" => self.parse_gate_decl(false)?,
+            "opaque" => self.parse_gate_decl(true)?,
+            "barrier" => {
+                self.bump();
+                let args = self.parse_argument_list()?;
+                self.expect(&TokenKind::Semicolon)?;
+                let mut qubits = Vec::new();
+                for arg in args {
+                    qubits.extend(self.broadcast_one(&arg)?);
+                }
+                self.program.push(Instruction::Barrier(qubits));
+            }
+            "measure" => {
+                self.bump();
+                let src = self.parse_argument()?;
+                self.expect(&TokenKind::Arrow)?;
+                let dst = self.parse_argument()?;
+                self.expect(&TokenKind::Semicolon)?;
+                self.push_measure(&src, &dst)?;
+            }
+            "reset" => {
+                self.bump();
+                let arg = self.parse_argument()?;
+                self.expect(&TokenKind::Semicolon)?;
+                for q in self.broadcast_one(&arg)? {
+                    self.program.push(Instruction::Reset(q));
+                }
+            }
+            "if" => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let (creg, _) = self.expect_ident()?;
+                self.expect(&TokenKind::EqEq)?;
+                let (value, _) = self.expect_int()?;
+                self.expect(&TokenKind::RParen)?;
+                // The conditioned operation must be a gate application or
+                // measurement; parse it and attach the condition.
+                let before = self.program.instructions().len();
+                self.parse_statement()?;
+                let after = self.program.instructions().len();
+                for i in before..after {
+                    // Conditions attach to gates; other ops keep them
+                    // implicit (mapping ignores classical control anyway).
+                    if let Instruction::Gate { condition, .. } =
+                        &mut self.program_instruction_mut(i)
+                    {
+                        *condition = Some((creg.clone(), value));
+                    }
+                }
+            }
+            _ => self.parse_gate_application()?,
+        }
+        Ok(())
+    }
+
+    fn program_instruction_mut(&mut self, i: usize) -> &mut Instruction {
+        // Small helper because Program hides its fields.
+        // Safe: index comes from instructions().len() bounds.
+        self.program.instruction_mut(i)
+    }
+
+    fn parse_gate_decl(&mut self, opaque: bool) -> Result<(), ParseError> {
+        self.bump(); // gate | opaque
+        let (name, _) = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            if self.peek().kind != TokenKind::RParen {
+                loop {
+                    let (p, _) = self.expect_ident()?;
+                    params.push(p);
+                    if self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let mut qubits = Vec::new();
+        loop {
+            let (q, _) = self.expect_ident()?;
+            qubits.push(q);
+            if self.peek().kind == TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let body = if opaque {
+            self.expect(&TokenKind::Semicolon)?;
+            None
+        } else {
+            self.expect(&TokenKind::LBrace)?;
+            let mut body = Vec::new();
+            while self.peek().kind != TokenKind::RBrace {
+                body.push(self.parse_gate_body_stmt()?);
+            }
+            self.expect(&TokenKind::RBrace)?;
+            Some(body)
+        };
+        self.program.add_gate_decl(GateDecl {
+            name,
+            params,
+            qubits,
+            body,
+        });
+        Ok(())
+    }
+
+    fn parse_gate_body_stmt(&mut self) -> Result<GateBodyStmt, ParseError> {
+        let (name, line) = self.expect_ident()?;
+        if name == "barrier" {
+            let mut qs = Vec::new();
+            loop {
+                let (q, _) = self.expect_ident()?;
+                qs.push(q);
+                if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(GateBodyStmt::Barrier(qs));
+        }
+        let mut params = Vec::new();
+        if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            if self.peek().kind != TokenKind::RParen {
+                loop {
+                    params.push(self.parse_expr()?);
+                    if self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let mut qubits = Vec::new();
+        loop {
+            let (q, _) = self.expect_ident()?;
+            qubits.push(q);
+            if self.peek().kind == TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semicolon)?;
+        let _ = line;
+        Ok(GateBodyStmt::Gate {
+            name,
+            params,
+            qubits,
+        })
+    }
+
+    fn parse_gate_application(&mut self) -> Result<(), ParseError> {
+        let (name, line) = self.expect_ident()?;
+        let mut exprs = Vec::new();
+        if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            if self.peek().kind != TokenKind::RParen {
+                loop {
+                    exprs.push(self.parse_expr()?);
+                    if self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let args = self.parse_argument_list()?;
+        self.expect(&TokenKind::Semicolon)?;
+        // Arity check against local declarations or qelib1.
+        let expected = self
+            .program
+            .find_gate_decl(&name)
+            .map(|d| (d.params.len(), d.qubits.len()))
+            .or_else(|| self.qelib.get(name.as_str()).copied());
+        let Some((n_params, n_qubits)) = expected else {
+            return Err(ParseError::new(format!("unknown gate `{name}`"), line));
+        };
+        if exprs.len() != n_params {
+            return Err(ParseError::new(
+                format!(
+                    "gate `{name}` expects {n_params} parameter(s), got {}",
+                    exprs.len()
+                ),
+                line,
+            ));
+        }
+        if args.len() != n_qubits {
+            return Err(ParseError::new(
+                format!(
+                    "gate `{name}` expects {n_qubits} qubit(s), got {}",
+                    args.len()
+                ),
+                line,
+            ));
+        }
+        let empty = HashMap::new();
+        let params = exprs
+            .iter()
+            .map(|e| e.eval(&empty))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|m| ParseError::new(m, line))?;
+        // Broadcast register arguments.
+        let expanded = self.broadcast_many(&args, line)?;
+        for qubits in expanded {
+            self.program.push(Instruction::Gate {
+                name: name.clone(),
+                params: params.clone(),
+                qubits,
+                condition: None,
+            });
+        }
+        Ok(())
+    }
+
+    fn push_measure(&mut self, src: &Argument, dst: &Argument) -> Result<(), ParseError> {
+        let qs = self.broadcast_one(src)?;
+        match dst {
+            Argument::Indexed(reg, idx, line) => {
+                if qs.len() != 1 {
+                    return Err(ParseError::new(
+                        "register measured into a single bit",
+                        *line,
+                    ));
+                }
+                self.program.push(Instruction::Measure {
+                    qubit: qs.into_iter().next().expect("one qubit"),
+                    bit: (reg.clone(), *idx),
+                });
+            }
+            Argument::Whole(reg, line) => {
+                let size = self
+                    .program
+                    .cregs()
+                    .iter()
+                    .find(|(n, _)| n == reg)
+                    .map(|(_, s)| *s)
+                    .ok_or_else(|| {
+                        ParseError::new(format!("unknown classical register `{reg}`"), *line)
+                    })?;
+                if qs.len() != size {
+                    return Err(ParseError::new(
+                        format!(
+                            "measure broadcast size mismatch: {} qubits into {size} bits",
+                            qs.len()
+                        ),
+                        *line,
+                    ));
+                }
+                for (i, q) in qs.into_iter().enumerate() {
+                    self.program.push(Instruction::Measure {
+                        qubit: q,
+                        bit: (reg.clone(), i),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands a mixed list of whole-register / indexed arguments into the
+    /// per-qubit operand lists, implementing OpenQASM broadcast semantics.
+    fn broadcast_many(
+        &self,
+        args: &[Argument],
+        line: usize,
+    ) -> Result<Vec<Vec<QubitRef>>, ParseError> {
+        // Determine broadcast width: all whole registers must agree.
+        let mut width: Option<usize> = None;
+        for arg in args {
+            if let Argument::Whole(reg, l) = arg {
+                let size = self
+                    .program
+                    .qregs()
+                    .iter()
+                    .find(|(n, _)| n == reg)
+                    .map(|(_, s)| *s)
+                    .ok_or_else(|| {
+                        ParseError::new(format!("unknown quantum register `{reg}`"), *l)
+                    })?;
+                match width {
+                    None => width = Some(size),
+                    Some(w) if w == size => {}
+                    Some(w) => {
+                        return Err(ParseError::new(
+                            format!("broadcast size mismatch: {w} vs {size}"),
+                            *l,
+                        ))
+                    }
+                }
+            }
+        }
+        let width = width.unwrap_or(1);
+        let mut out = Vec::with_capacity(width);
+        for i in 0..width {
+            let mut operands = Vec::with_capacity(args.len());
+            for arg in args {
+                operands.push(match arg {
+                    Argument::Indexed(reg, idx, l) => self.check_qubit(reg, *idx, *l)?,
+                    Argument::Whole(reg, l) => self.check_qubit(reg, i, *l)?,
+                });
+            }
+            // Reject duplicate operands (e.g. cx q[0], q[0]).
+            for a in 0..operands.len() {
+                for b in a + 1..operands.len() {
+                    if operands[a] == operands[b] {
+                        return Err(ParseError::new(
+                            format!("duplicate qubit operand {}", operands[a]),
+                            line,
+                        ));
+                    }
+                }
+            }
+            out.push(operands);
+        }
+        Ok(out)
+    }
+
+    fn broadcast_one(&self, arg: &Argument) -> Result<Vec<QubitRef>, ParseError> {
+        match arg {
+            Argument::Indexed(reg, idx, line) => Ok(vec![self.check_qubit(reg, *idx, *line)?]),
+            Argument::Whole(reg, line) => {
+                let size = self
+                    .program
+                    .qregs()
+                    .iter()
+                    .find(|(n, _)| n == reg)
+                    .map(|(_, s)| *s)
+                    .ok_or_else(|| {
+                        ParseError::new(format!("unknown quantum register `{reg}`"), *line)
+                    })?;
+                Ok((0..size)
+                    .map(|i| QubitRef {
+                        reg: reg.clone(),
+                        index: i,
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    fn check_qubit(&self, reg: &str, idx: usize, line: usize) -> Result<QubitRef, ParseError> {
+        let size = self
+            .program
+            .qregs()
+            .iter()
+            .find(|(n, _)| n == reg)
+            .map(|(_, s)| *s)
+            .ok_or_else(|| ParseError::new(format!("unknown quantum register `{reg}`"), line))?;
+        if idx >= size {
+            return Err(ParseError::new(
+                format!("index {idx} out of range for `{reg}[{size}]`"),
+                line,
+            ));
+        }
+        Ok(QubitRef {
+            reg: reg.into(),
+            index: idx,
+        })
+    }
+
+    fn parse_argument_list(&mut self) -> Result<Vec<Argument>, ParseError> {
+        let mut args = vec![self.parse_argument()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            args.push(self.parse_argument()?);
+        }
+        Ok(args)
+    }
+
+    fn parse_argument(&mut self) -> Result<Argument, ParseError> {
+        let (name, line) = self.expect_ident()?;
+        if self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            let (idx, _) = self.expect_int()?;
+            self.expect(&TokenKind::RBracket)?;
+            Ok(Argument::Indexed(name, idx as usize, line))
+        } else {
+            Ok(Argument::Whole(name, line))
+        }
+    }
+
+    // Expression parsing: precedence climbing.
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_additive()
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => '+',
+                TokenKind::Minus => '-',
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => '*',
+                TokenKind::Slash => '/',
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek().kind == TokenKind::Minus {
+            self.bump();
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        let mut base = self.parse_atom()?;
+        if self.peek().kind == TokenKind::Caret {
+            self.bump();
+            let exp = self.parse_unary()?; // right-associative
+            base = Expr::Binary {
+                op: '^',
+                lhs: Box::new(base),
+                rhs: Box::new(exp),
+            };
+        }
+        Ok(base)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Int(v) => Ok(Expr::Num(v as f64)),
+            TokenKind::Real(v) => Ok(Expr::Num(v)),
+            TokenKind::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if name == "pi" {
+                    return Ok(Expr::Pi);
+                }
+                if self.peek().kind == TokenKind::LParen
+                    && matches!(name.as_str(), "sin" | "cos" | "tan" | "exp" | "ln" | "sqrt")
+                {
+                    self.bump();
+                    let arg = self.parse_expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Call(name, Box::new(arg)));
+                }
+                Ok(Expr::Var(name))
+            }
+            other => Err(ParseError::new(
+                format!("expected expression, found {other}"),
+                t.line,
+            )),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Argument {
+    /// `reg[idx]` with the source line.
+    Indexed(String, usize, usize),
+    /// `reg` with the source line.
+    Whole(String, usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+
+    fn parse_ok(body: &str) -> Program {
+        parse(&format!("{HEADER}{body}")).expect("parses")
+    }
+
+    #[test]
+    fn parses_registers_and_gates() {
+        let p = parse_ok("qreg q[4]; creg c[4]; h q[0]; cx q[0], q[2];");
+        assert_eq!(p.qubit_count(), 4);
+        assert_eq!(p.instructions().len(), 2);
+    }
+
+    #[test]
+    fn broadcasts_single_qubit_gate_over_register() {
+        let p = parse_ok("qreg q[3]; h q;");
+        assert_eq!(p.instructions().len(), 3);
+    }
+
+    #[test]
+    fn broadcasts_measure() {
+        let p = parse_ok("qreg q[2]; creg c[2]; measure q -> c;");
+        assert_eq!(p.instructions().len(), 2);
+        match &p.instructions()[1] {
+            Instruction::Measure { qubit, bit } => {
+                assert_eq!(qubit.index, 1);
+                assert_eq!(bit.1, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parameter_expressions() {
+        let p = parse_ok("qreg q[1]; rz(pi/4) q[0]; u3(0.1, -pi, 2*pi) q[0];");
+        match &p.instructions()[0] {
+            Instruction::Gate { params, .. } => {
+                assert!((params[0] - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p.instructions()[1] {
+            Instruction::Gate { params, .. } => {
+                assert_eq!(params.len(), 3);
+                assert!((params[1] + std::f64::consts::PI).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_gate_declaration_and_expands() {
+        let p = parse_ok(
+            "qreg q[2];\n\
+             gate majority a, b, c { cx c, b; cx c, a; ccx a, b, c; }\n\
+             gate entangle(t) a, b { rz(t/2) a; cx a, b; }\n\
+             entangle(pi) q[0], q[1];",
+        );
+        assert_eq!(p.gate_decls().len(), 2);
+        let e = p.expanded().unwrap();
+        assert_eq!(e.instructions().len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let err = parse(&format!("{HEADER}qreg q[1]; bogus q[0];")).unwrap_err();
+        assert!(err.to_string().contains("unknown gate"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let err = parse(&format!("{HEADER}qreg q[2]; cx q[0];")).unwrap_err();
+        assert!(err.to_string().contains("expects 2 qubit(s)"));
+        let err = parse(&format!("{HEADER}qreg q[1]; rz q[0];")).unwrap_err();
+        assert!(err.to_string().contains("parameter"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let err = parse(&format!("{HEADER}qreg q[2]; h q[2];")).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_duplicate_operands() {
+        let err = parse(&format!("{HEADER}qreg q[2]; cx q[1], q[1];")).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn parses_conditionals() {
+        let p = parse_ok("qreg q[1]; creg c[1]; if (c == 1) x q[0];");
+        match &p.instructions()[0] {
+            Instruction::Gate { condition, .. } => {
+                assert_eq!(condition, &Some(("c".to_string(), 1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_barrier_and_reset() {
+        let p = parse_ok("qreg q[3]; barrier q; reset q[1];");
+        assert!(matches!(&p.instructions()[0], Instruction::Barrier(qs) if qs.len() == 3));
+        assert!(matches!(&p.instructions()[1], Instruction::Reset(_)));
+    }
+
+    #[test]
+    fn pairwise_register_broadcast() {
+        let p = parse_ok("qreg a[2]; qreg b[2]; cx a, b;");
+        assert_eq!(p.instructions().len(), 2);
+    }
+
+    #[test]
+    fn rejects_mismatched_broadcast() {
+        let err = parse(&format!("{HEADER}qreg a[2]; qreg b[3]; cx a, b;")).unwrap_err();
+        assert!(err.to_string().contains("broadcast size mismatch"));
+    }
+
+    #[test]
+    fn rejects_unknown_include() {
+        let err = parse("OPENQASM 2.0;\ninclude \"other.inc\";").unwrap_err();
+        assert!(err.to_string().contains("cannot resolve include"));
+    }
+}

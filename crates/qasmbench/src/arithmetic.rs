@@ -1,0 +1,251 @@
+//! Reversible arithmetic circuits: ripple-carry adder and multiplier.
+
+use circuit::Circuit;
+
+/// Cuccaro ripple-carry adder (quant-ph/0410184) over `n` qubits.
+///
+/// Register layout: `cin`, `a[b]`, `b[b]`, `cout` with `b = (n - 2) / 2`
+/// — `adder_n28` has 13-bit operands, `adder_n64` 31-bit operands, like
+/// the QASMBench instances.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `n` is odd.
+pub fn cuccaro_adder(n: usize) -> Circuit {
+    assert!(n >= 4 && n % 2 == 0, "adder needs an even qubit count >= 4");
+    let b = (n - 2) / 2;
+    let mut c = Circuit::new(n);
+    let cin = 0u32;
+    let a = |i: usize| (1 + i) as u32;
+    let bq = |i: usize| (1 + b + i) as u32;
+    let cout = (1 + 2 * b) as u32;
+    // MAJ(x, y, z): z becomes majority carry.
+    let maj = |c: &mut Circuit, x: u32, y: u32, z: u32| {
+        c.cx(z, y);
+        c.cx(z, x);
+        c.ccx(x, y, z);
+    };
+    // UMA(x, y, z): un-majority and add.
+    let uma = |c: &mut Circuit, x: u32, y: u32, z: u32| {
+        c.ccx(x, y, z);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+    maj(&mut c, cin, bq(0), a(0));
+    for i in 1..b {
+        maj(&mut c, a(i - 1), bq(i), a(i));
+    }
+    c.cx(a(b - 1), cout);
+    for i in (1..b).rev() {
+        uma(&mut c, a(i - 1), bq(i), a(i));
+    }
+    uma(&mut c, cin, bq(0), a(0));
+    c
+}
+
+/// Width-truncated reversible schoolbook multiplier over `n = 5·b` qubits.
+///
+/// Register layout: `a[b]`, `y[b]`, `prod[2b]`, `t[b-1]`, `cin` — matching
+/// the qubit counts of QASMBench's `multiplier_n45` (`b = 9`) and
+/// `multiplier_n75` (`b = 15`). Each step materializes the partial
+/// products `a[i]·y[j]` with Toffolis, ripple-adds them into the product
+/// window with a Cuccaro chain, and uncomputes — the `O(b²)` Toffoli
+/// profile that makes the multiplier the heaviest circuit of the suite.
+/// The top partial product's carry wraps (fixed-width semantics).
+///
+/// # Panics
+///
+/// Panics if `n` is not a positive multiple of 5 or `b < 3`.
+pub fn multiplier(n: usize) -> Circuit {
+    assert!(n % 5 == 0 && n >= 15, "multiplier needs n = 5b, b >= 3");
+    let b = n / 5;
+    let mut c = Circuit::new(n);
+    let a = |i: usize| i as u32;
+    let y = |i: usize| (b + i) as u32;
+    let prod = |i: usize| (2 * b + i) as u32;
+    let t = |i: usize| (4 * b + i) as u32;
+    let cin = (5 * b - 1) as u32;
+    let maj = |c: &mut Circuit, x: u32, yy: u32, z: u32| {
+        c.cx(z, yy);
+        c.cx(z, x);
+        c.ccx(x, yy, z);
+    };
+    let uma = |c: &mut Circuit, x: u32, yy: u32, z: u32| {
+        c.ccx(x, yy, z);
+        c.cx(z, x);
+        c.cx(x, yy);
+    };
+    for i in 0..b {
+        // Partial products t[j] = a[i] AND y[j] for the low b-1 terms.
+        for j in 0..b - 1 {
+            c.ccx(a(i), y(j), t(j));
+        }
+        // Cuccaro-add t[0..b-1] into prod[i..i+b-1], carry to prod[i+b-1].
+        maj(&mut c, cin, prod(i), t(0));
+        for j in 1..b - 1 {
+            maj(&mut c, t(j - 1), prod(i + j), t(j));
+        }
+        c.cx(t(b - 2), prod(i + b - 1));
+        for j in (1..b - 1).rev() {
+            uma(&mut c, t(j - 1), prod(i + j), t(j));
+        }
+        uma(&mut c, cin, prod(i), t(0));
+        // Top partial product a[i]·y[b-1] lands on prod[i+b-1] (carry
+        // wraps at the 2b-bit product width).
+        c.ccx(a(i), y(b - 1), prod(i + b - 1));
+        // Uncompute the partial products.
+        for j in 0..b - 1 {
+            c.ccx(a(i), y(j), t(j));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_sizes_match_qasmbench() {
+        for (n, bits) in [(28, 13), (64, 31)] {
+            let c = cuccaro_adder(n);
+            assert_eq!(c.n_qubits(), n);
+            // 2 MAJ + 2 UMA per bit, each 2 CX + decomposed CCX (6 CX).
+            let expected_2q = bits * 2 * (2 + 6) + 1;
+            assert_eq!(c.two_qubit_count(), expected_2q);
+        }
+    }
+
+    #[test]
+    fn adder_qop_count_in_paper_range() {
+        // Paper Table V: adder_n64 has ~1156 QOPs.
+        let c = cuccaro_adder(64);
+        assert!(
+            (900..=1300).contains(&c.qop_count()),
+            "QOPs = {}",
+            c.qop_count()
+        );
+    }
+
+    /// Classical simulation over the computational basis: apply X/CX/CCX
+    /// semantics (the adder is a permutation of basis states; H/T phases
+    /// don't occur in it).
+    fn simulate_bits(c: &Circuit, init: &[bool]) -> Vec<bool> {
+        let mut s = init.to_vec();
+        for g in c.gates() {
+            match g.kind {
+                circuit::GateKind::X => s[g.qubits[0] as usize] ^= true,
+                circuit::GateKind::Cx => {
+                    if s[g.qubits[0] as usize] {
+                        s[g.qubits[1] as usize] ^= true;
+                    }
+                }
+                // The decomposed Toffoli uses H/T/Tdg; for basis-state
+                // correctness testing use an undecomposed model instead.
+                _ => panic!("unexpected gate {:?} in bit-level simulation", g.kind),
+            }
+        }
+        s
+    }
+
+    /// A Toffoli-preserving variant of the adder for semantic testing.
+    fn adder_with_plain_toffoli(n: usize) -> Vec<(char, Vec<u32>)> {
+        let b = (n - 2) / 2;
+        let mut ops: Vec<(char, Vec<u32>)> = Vec::new();
+        let a = |i: usize| (1 + i) as u32;
+        let bq = |i: usize| (1 + b + i) as u32;
+        let cout = (1 + 2 * b) as u32;
+        let cin = 0u32;
+        let mut maj = |ops: &mut Vec<(char, Vec<u32>)>, x: u32, y: u32, z: u32| {
+            ops.push(('c', vec![z, y]));
+            ops.push(('c', vec![z, x]));
+            ops.push(('t', vec![x, y, z]));
+        };
+        let mut uma = |ops: &mut Vec<(char, Vec<u32>)>, x: u32, y: u32, z: u32| {
+            ops.push(('t', vec![x, y, z]));
+            ops.push(('c', vec![z, x]));
+            ops.push(('c', vec![x, y]));
+        };
+        maj(&mut ops, cin, bq(0), a(0));
+        for i in 1..b {
+            maj(&mut ops, a(i - 1), bq(i), a(i));
+        }
+        ops.push(('c', vec![a(b - 1), cout]));
+        for i in (1..b).rev() {
+            uma(&mut ops, a(i - 1), bq(i), a(i));
+        }
+        uma(&mut ops, cin, bq(0), a(0));
+        ops
+    }
+
+    #[test]
+    fn adder_computes_sums() {
+        // 3-bit operands (n = 8): check a + b lands in the b register.
+        let n = 8;
+        let b = 3;
+        for (x, yv) in [(3u32, 5u32), (0, 7), (6, 6), (1, 0)] {
+            let mut state = vec![false; n];
+            for i in 0..b {
+                state[1 + i] = (x >> i) & 1 == 1; // a register
+                state[1 + b + i] = (yv >> i) & 1 == 1; // b register
+            }
+            for (kind, qs) in adder_with_plain_toffoli(n) {
+                match kind {
+                    'c' => {
+                        if state[qs[0] as usize] {
+                            state[qs[1] as usize] ^= true;
+                        }
+                    }
+                    't' => {
+                        if state[qs[0] as usize] && state[qs[1] as usize] {
+                            state[qs[2] as usize] ^= true;
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            let mut sum = 0u32;
+            for i in 0..b {
+                if state[1 + b + i] {
+                    sum |= 1 << i;
+                }
+            }
+            if state[1 + 2 * b] {
+                sum |= 1 << b;
+            }
+            assert_eq!(sum, x + yv, "{x} + {yv}");
+            // a register must be restored.
+            for i in 0..b {
+                assert_eq!(state[1 + i], (x >> i) & 1 == 1, "a[{i}] clobbered");
+            }
+            let _ = simulate_bits; // silence unused in cfgs without it
+        }
+    }
+
+    #[test]
+    fn multiplier_sizes_match_qasmbench() {
+        for (n, b) in [(45, 9), (75, 15)] {
+            let c = multiplier(n);
+            assert_eq!(c.n_qubits(), n);
+            assert!(c.qop_count() > 100 * b, "too small: {}", c.qop_count());
+        }
+    }
+
+    #[test]
+    fn multiplier_is_toffoli_heavy() {
+        // The O(b²) Toffoli profile dominates; with each CCX decomposed
+        // into 6 CX + 9 single-qubit gates, the two-qubit share sits just
+        // above 40 %, and QOPs land near the paper's Table V counts
+        // (multiplier_n45 ≈ 5571, multiplier_n75 ≈ 15767).
+        let c = multiplier(45);
+        let ratio = c.two_qubit_count() as f64 / c.qop_count() as f64;
+        assert!(ratio > 0.4, "two-qubit ratio = {ratio}");
+        assert!((4000..=7000).contains(&c.qop_count()), "{}", c.qop_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier needs")]
+    fn multiplier_rejects_bad_sizes() {
+        let _ = multiplier(44);
+    }
+}

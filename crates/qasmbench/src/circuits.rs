@@ -1,0 +1,428 @@
+//! Algorithmic benchmark circuit generators (non-arithmetic families).
+
+use circuit::Circuit;
+use std::f64::consts::PI;
+
+/// GHZ state: Hadamard fan-out `h(0); cx(0, i)` — long-range star
+/// interactions that stress routing on sparse devices.
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n >= 2);
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for i in 1..n as u32 {
+        c.cx(0, i);
+    }
+    c.measure_all();
+    c
+}
+
+/// Cat state via a nearest-neighbour CX chain (`h(0); cx(i, i+1)`).
+pub fn cat_state(n: usize) -> Circuit {
+    assert!(n >= 2);
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for i in 0..(n - 1) as u32 {
+        c.cx(i, i + 1);
+    }
+    c.measure_all();
+    c
+}
+
+/// W state by the standard cascade of controlled rotations plus a CX
+/// chain.
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n >= 2);
+    let mut c = Circuit::new(n);
+    c.x((n - 1) as u32);
+    for i in (0..n - 1).rev() {
+        let i = i as u32;
+        let theta = 2.0 * (1.0 / ((n - i as usize) as f64)).sqrt().acos();
+        // Controlled-G(θ) decomposed into RY ± CX conjugation.
+        c.ry(-theta / 2.0, i);
+        c.cx(i + 1, i);
+        c.ry(theta / 2.0, i);
+        c.cx(i, i + 1);
+    }
+    c.measure_all();
+    c
+}
+
+/// Bernstein–Vazirani with the alternating secret `1010…`: one CX per set
+/// secret bit into the oracle qubit (the last).
+pub fn bernstein_vazirani(n: usize) -> Circuit {
+    assert!(n >= 2);
+    let mut c = Circuit::new(n);
+    let target = (n - 1) as u32;
+    for q in 0..target {
+        c.h(q);
+    }
+    c.x(target);
+    c.h(target);
+    for q in (0..target).step_by(2) {
+        c.cx(q, target);
+    }
+    for q in 0..target {
+        c.h(q);
+    }
+    for q in 0..target {
+        c.measure(q);
+    }
+    c
+}
+
+/// Transverse-field Ising model Trotter evolution: `steps` rounds of
+/// nearest-neighbour `RZZ` plus transverse `RX`.
+pub fn ising(n: usize, steps: usize) -> Circuit {
+    assert!(n >= 2);
+    let mut c = Circuit::new(n);
+    for q in 0..n as u32 {
+        c.h(q);
+    }
+    for s in 0..steps {
+        let theta = 0.1 + 0.05 * s as f64;
+        for i in 0..(n - 1) as u32 {
+            c.rzz(theta, i, i + 1);
+        }
+        for q in 0..n as u32 {
+            c.rx(0.3, q);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// Quantum Fourier transform with controlled-phase gates decomposed into
+/// the `u1/cx` pattern (matching transpiled QASMBench instances — each
+/// `cp(λ)` becomes `u1 cx u1 cx u1`, 2 CX).
+pub fn qft(n: usize) -> Circuit {
+    assert!(n >= 2);
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        c.h(i as u32);
+        for j in i + 1..n {
+            let lambda = PI / f64::from(1u32 << (j - i).min(30));
+            cp_decomposed(&mut c, lambda, j as u32, i as u32);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// `cp(λ)` decomposed: `u1(λ/2) a; cx a,b; u1(-λ/2) b; cx a,b; u1(λ/2) b`.
+fn cp_decomposed(c: &mut Circuit, lambda: f64, a: u32, b: u32) {
+    c.u1(lambda / 2.0, a);
+    c.cx(a, b);
+    c.u1(-lambda / 2.0, b);
+    c.cx(a, b);
+    c.u1(lambda / 2.0, b);
+}
+
+/// Quantum phase estimation: `n - 1` counting qubits against one
+/// eigenstate qubit, followed by the inverse QFT on the counting register.
+pub fn qpe(n: usize) -> Circuit {
+    assert!(n >= 3);
+    let m = n - 1; // counting qubits
+    let eigen = (n - 1) as u32;
+    let mut c = Circuit::new(n);
+    c.x(eigen);
+    for q in 0..m as u32 {
+        c.h(q);
+    }
+    // Controlled powers of U = u1(2π·0.refphase).
+    for (k, q) in (0..m as u32).enumerate() {
+        let lambda = 2.0 * PI * 0.3125 * f64::from(1u32 << k.min(30));
+        cp_decomposed(&mut c, lambda, q, eigen);
+    }
+    // Inverse QFT on the counting register.
+    for i in (0..m).rev() {
+        for j in (i + 1..m).rev() {
+            let lambda = -PI / f64::from(1u32 << (j - i).min(30));
+            cp_decomposed(&mut c, lambda, j as u32, i as u32);
+        }
+        c.h(i as u32);
+    }
+    for q in 0..m as u32 {
+        c.measure(q);
+    }
+    c
+}
+
+/// Quantum GAN generator ansatz: `layers` rounds of RY rotations and a
+/// CX entangling chain (the structure of QASMBench's `qugan` circuits).
+pub fn qugan(n: usize, layers: usize) -> Circuit {
+    assert!(n >= 2);
+    let mut c = Circuit::new(n);
+    for l in 0..layers {
+        for q in 0..n as u32 {
+            c.ry(0.1 + 0.01 * (l * n + q as usize) as f64, q);
+        }
+        for i in 0..(n - 1) as u32 {
+            c.cx(i, i + 1);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// Bucket-brigade QRAM: a binary router tree addressed by `k` qubits with
+/// `2^k − 1` router nodes and one bus (`k + 2^k` qubits total; `qram(20)`
+/// uses a 4-bit address like QASMBench's `qram_n20`).
+///
+/// # Panics
+///
+/// Panics unless `n = k + 2^k` for some `k >= 2`.
+pub fn qram(n: usize) -> Circuit {
+    let k = (2..=16)
+        .find(|&k| k + (1usize << k) == n)
+        .unwrap_or_else(|| panic!("qram needs n = k + 2^k qubits, got {n}"));
+    let mut c = Circuit::new(n);
+    let addr = |i: usize| i as u32;
+    // Router tree nodes live after the address register; node 0 is the
+    // root, node v has children 2v+1 and 2v+2; the last level's nodes are
+    // the memory leaves, the bus is tree node 2^k - 2's sibling... we use
+    // node indices 0..2^k-1 where the final index doubles as the bus.
+    let node = |v: usize| (k + v) as u32;
+    let n_nodes = (1 << k) - 1;
+    // Superpose the address.
+    for i in 0..k {
+        c.h(addr(i));
+    }
+    // Route down the tree: at level l, each node conditionally swaps its
+    // payload toward one of its children based on address bit l.
+    for l in 0..k - 1 {
+        let level_start = (1 << l) - 1;
+        let level_len = 1 << l;
+        for v in level_start..level_start + level_len {
+            let (left, right) = (2 * v + 1, 2 * v + 2);
+            if right < n_nodes {
+                c.cswap(addr(l), node(v), node(left));
+                c.cswap(addr(l), node(v), node(right));
+            }
+        }
+    }
+    // Leaves interact with the bus (the last node index).
+    let bus = node(n_nodes);
+    let leaf_start = (1 << (k - 1)) - 1;
+    for v in leaf_start..n_nodes {
+        c.cx(node(v), bus);
+    }
+    // Un-route (restore the tree).
+    for l in (0..k - 1).rev() {
+        let level_start = (1 << l) - 1;
+        let level_len = 1 << l;
+        for v in (level_start..level_start + level_len).rev() {
+            let (left, right) = (2 * v + 1, 2 * v + 2);
+            if right < n_nodes {
+                c.cswap(addr(l), node(v), node(right));
+                c.cswap(addr(l), node(v), node(left));
+            }
+        }
+    }
+    for i in 0..k {
+        c.measure(addr(i));
+    }
+    c
+}
+
+/// Dense "quantum DNN" ansatz: `depth` layers of `u3` rotations with a
+/// two-range CX entangler (`i→i+1` and `i→i+2`).
+pub fn deep_entangling_ansatz(n: usize, depth: usize) -> Circuit {
+    assert!(n >= 3);
+    let mut c = Circuit::new(n);
+    for l in 0..depth {
+        for q in 0..n as u32 {
+            let base = 0.01 * (l + 1) as f64;
+            c.u3(base, base * 2.0, base * 3.0, q);
+        }
+        for i in 0..(n - 1) as u32 {
+            c.cx(i, i + 1);
+        }
+        for i in 0..(n - 2) as u32 {
+            if i % 2 == 0 {
+                c.cx(i, i + 2);
+            }
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// QAOA for MaxCut on a pseudo-random 3-regular-ish graph: `p` rounds of
+/// cost (`RZZ` per edge) and mixer (`RX` per qubit) unitaries.
+pub fn qaoa_maxcut(n: usize, p: usize, seed: u64) -> Circuit {
+    assert!(n >= 4);
+    let mut c = Circuit::new(n);
+    // Deterministic pseudo-random edge set, ~1.5 n edges.
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    while edges.len() < n * 3 / 2 {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let a = ((s >> 33) % n as u64) as u32;
+        let b = ((s >> 13) % n as u64) as u32;
+        if a != b && !edges.contains(&(a.min(b), a.max(b))) {
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    for q in 0..n as u32 {
+        c.h(q);
+    }
+    for round in 0..p {
+        let gamma = 0.4 + 0.1 * round as f64;
+        let beta = 0.7 - 0.1 * round as f64;
+        for &(a, b) in &edges {
+            c.rzz(gamma, a, b);
+        }
+        for q in 0..n as u32 {
+            c.rx(beta, q);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// Swap test between two `(n-1)/2`-qubit registers with one control
+/// qubit (odd `n` uses every qubit; even `n` leaves one idle).
+pub fn swap_test(n: usize) -> Circuit {
+    assert!(n >= 3);
+    let m = (n - 1) / 2;
+    let mut c = Circuit::new(n);
+    let ctrl = 0u32;
+    let a = |i: usize| (1 + i) as u32;
+    let b = |i: usize| (1 + m + i) as u32;
+    // Simple state prep on both registers.
+    for i in 0..m {
+        c.ry(0.2 + 0.03 * i as f64, a(i));
+        c.ry(0.25 + 0.03 * i as f64, b(i));
+    }
+    c.h(ctrl);
+    for i in 0..m {
+        c.cswap(ctrl, a(i), b(i));
+    }
+    c.h(ctrl);
+    c.measure(ctrl);
+    c
+}
+
+/// Quantum k-nearest-neighbour kernel: amplitude encoding (RY layers)
+/// followed by a swap test between the query and data registers.
+pub fn knn(n: usize) -> Circuit {
+    assert!(n >= 5);
+    let m = (n - 1) / 2;
+    let mut c = Circuit::new(n);
+    let ctrl = 0u32;
+    let a = |i: usize| (1 + i) as u32;
+    let b = |i: usize| (1 + m + i) as u32;
+    // Feature encoding with entanglement inside each register.
+    for i in 0..m {
+        c.ry(0.15 * (i + 1) as f64, a(i));
+        c.ry(0.11 * (i + 1) as f64, b(i));
+    }
+    for i in 0..m.saturating_sub(1) {
+        c.cx(a(i), a(i + 1));
+        c.cx(b(i), b(i + 1));
+    }
+    c.h(ctrl);
+    for i in 0..m {
+        c.cswap(ctrl, a(i), b(i));
+    }
+    c.h(ctrl);
+    c.measure(ctrl);
+    c
+}
+
+/// Hardware-efficient variational (VQE-style) ansatz: `depth` layers of
+/// RY/RZ rotations plus a circular CX entangler.
+pub fn variational_ansatz(n: usize, depth: usize) -> Circuit {
+    assert!(n >= 2);
+    let mut c = Circuit::new(n);
+    for l in 0..depth {
+        for q in 0..n as u32 {
+            c.ry(0.1 * (l + 1) as f64 + 0.01 * q as f64, q);
+            c.rz(0.2 * (l + 1) as f64, q);
+        }
+        for i in 0..n as u32 {
+            c.cx(i, (i + 1) % n as u32);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_and_cat_shapes() {
+        let g = ghz(23);
+        assert_eq!(g.two_qubit_count(), 22);
+        // Star interactions: every CX touches qubit 0.
+        assert!(g.interactions().all(|(_, a, _)| a == 0));
+        let cat = cat_state(23);
+        assert_eq!(cat.two_qubit_count(), 22);
+        assert!(cat.interactions().all(|(_, a, b)| b == a + 1));
+    }
+
+    #[test]
+    fn w_state_gate_count() {
+        let w = w_state(27);
+        assert_eq!(w.two_qubit_count(), 2 * 26);
+        assert_eq!(w.n_qubits(), 27);
+    }
+
+    #[test]
+    fn bv_secret_density() {
+        let bv = bernstein_vazirani(30);
+        assert_eq!(bv.two_qubit_count(), 15); // ceil(29 / 2) secret bits
+    }
+
+    #[test]
+    fn qft_quadratic_cx_count() {
+        let n = 29;
+        let c = qft(n);
+        // Each of the n(n-1)/2 controlled phases contributes 2 CX.
+        assert_eq!(c.two_qubit_count(), n * (n - 1));
+    }
+
+    #[test]
+    fn qram_sizes() {
+        let c = qram(20); // k = 4
+        assert_eq!(c.n_qubits(), 20);
+        assert!((150..=800).contains(&c.qop_count()), "{}", c.qop_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "qram needs")]
+    fn qram_rejects_non_tree_sizes() {
+        let _ = qram(21);
+    }
+
+    #[test]
+    fn ising_and_qaoa_entangle_every_round() {
+        let i = ising(26, 10);
+        assert_eq!(i.two_qubit_count(), 10 * 25);
+        let q = qaoa_maxcut(24, 4, 24);
+        assert_eq!(q.two_qubit_count(), 4 * (24 * 3 / 2));
+    }
+
+    #[test]
+    fn swap_test_uses_control_everywhere() {
+        let c = swap_test(25);
+        // Every cswap decomposes to gates on the control or registers;
+        // the circuit must involve the control qubit in 2q gates.
+        assert!(c.interactions().any(|(_, a, b)| a == 0 || b == 0));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(qaoa_maxcut(24, 4, 7), qaoa_maxcut(24, 4, 7));
+        assert_eq!(qft(20), qft(20));
+    }
+
+    #[test]
+    fn qpe_has_inverse_qft_tail() {
+        let c = qpe(25);
+        assert!(c.two_qubit_count() > 24 * 10);
+        assert_eq!(c.n_qubits(), 25);
+    }
+}

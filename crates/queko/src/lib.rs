@@ -1,0 +1,340 @@
+//! QUEKO benchmark synthesis: circuits with known optimal depth.
+//!
+//! Reimplements the QUEKO methodology of Tan & Cong (*Optimality study of
+//! existing quantum computing layout synthesis tools*, IEEE TC 2020), which
+//! the Qlosure paper uses both as published (16/54-qubit suites) and to
+//! synthesize new suites for 81-qubit and 256-qubit devices (§VI-A4):
+//!
+//! 1. build `T` cycles of gates *directly on the device graph* — every
+//!    two-qubit gate sits on a coupling edge, every qubit is used at most
+//!    once per cycle, so the circuit is executable with **zero SWAPs**;
+//! 2. thread a *scaffold chain* through all `T` cycles (each scaffold gate
+//!    shares a qubit with the previous cycle's), pinning the depth to
+//!    exactly `T`;
+//! 3. fill cycles with random gates to the requested one-/two-qubit gate
+//!    densities;
+//! 4. hide the solution behind a random relabeling of qubits — the mapper
+//!    under evaluation sees the permuted circuit, and the generator keeps
+//!    the layout that achieves depth `T` with zero SWAPs.
+//!
+//! The depth-factor metric of the paper's Table II is
+//! `mapped depth / optimal depth`, with the optimal depth `T` known by
+//! construction.
+//!
+//! # Example
+//!
+//! ```
+//! use queko::QuekoSpec;
+//! use topology::backends;
+//!
+//! let device = backends::aspen16();
+//! let bench = QuekoSpec::new(&device, 100).seed(7).generate();
+//! assert_eq!(bench.optimal_depth, 100);
+//! assert_eq!(bench.circuit.depth(), 100); // pre-mapping depth == T
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use circuit::{Circuit, Gate, GateKind};
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::{Rng, SeedableRng};
+use topology::CouplingGraph;
+
+/// Parameters of one QUEKO instance.
+#[derive(Clone, Debug)]
+pub struct QuekoSpec<'a> {
+    device: &'a CouplingGraph,
+    depth: usize,
+    density_2q: f64,
+    density_1q: f64,
+    seed: u64,
+}
+
+impl<'a> QuekoSpec<'a> {
+    /// A spec for `device` with target optimal depth `depth` and the
+    /// default gate densities (matching the BSS suites: ~40 % of qubits in
+    /// two-qubit gates and ~10 % in single-qubit gates per cycle).
+    pub fn new(device: &'a CouplingGraph, depth: usize) -> Self {
+        assert!(depth >= 1, "depth must be positive");
+        QuekoSpec {
+            device,
+            depth,
+            density_2q: 0.4,
+            density_1q: 0.1,
+            seed: 0,
+        }
+    }
+
+    /// Sets the two-qubit gate density γ₂ (fraction of qubits engaged in
+    /// two-qubit gates per cycle).
+    pub fn density_2q(mut self, d: f64) -> Self {
+        assert!((0.0..=1.0).contains(&d));
+        self.density_2q = d;
+        self
+    }
+
+    /// Sets the single-qubit gate density γ₁.
+    pub fn density_1q(mut self, d: f64) -> Self {
+        assert!((0.0..=1.0).contains(&d));
+        self.density_1q = d;
+        self
+    }
+
+    /// Sets the RNG seed (each seed is one instance of the suite).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Synthesizes the benchmark.
+    pub fn generate(&self) -> QuekoBenchmark {
+        let n = self.device.n_qubits();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x51EC0DE);
+        let edges = self.device.edges();
+        assert!(!edges.is_empty(), "device must have at least one edge");
+        // cycles[t] = gates of cycle t over *physical* qubits.
+        let mut cycles: Vec<Vec<PhysGate>> = vec![Vec::new(); self.depth];
+        let mut busy: Vec<Vec<bool>> = vec![vec![false; n]; self.depth];
+        // 1. Scaffold chain: gate at cycle t shares a qubit with cycle t-1.
+        let mut link: u32 = {
+            let &(a, b) = edges.choose(&mut rng).expect("non-empty");
+            cycles[0].push(PhysGate::Two(a, b));
+            busy[0][a as usize] = true;
+            busy[0][b as usize] = true;
+            if rng.random_bool(0.5) {
+                a
+            } else {
+                b
+            }
+        };
+        for t in 1..self.depth {
+            // Prefer extending with a two-qubit gate on an edge at `link`;
+            // fall back to a single-qubit gate on `link`.
+            let neighbors = self.device.neighbors(link);
+            if !neighbors.is_empty() && rng.random_bool(0.8) {
+                let &next = neighbors.choose(&mut rng).expect("non-empty");
+                cycles[t].push(PhysGate::Two(link, next));
+                busy[t][link as usize] = true;
+                busy[t][next as usize] = true;
+                if rng.random_bool(0.5) {
+                    link = next;
+                }
+            } else {
+                cycles[t].push(PhysGate::One(link));
+                busy[t][link as usize] = true;
+            }
+        }
+        // 2. Fill to density.
+        let target_2q = ((self.density_2q * n as f64) / 2.0).round() as usize;
+        let target_1q = (self.density_1q * n as f64).round() as usize;
+        for t in 0..self.depth {
+            let mut shuffled = edges.clone();
+            shuffled.shuffle(&mut rng);
+            let mut n2 = cycles[t]
+                .iter()
+                .filter(|g| matches!(g, PhysGate::Two(..)))
+                .count();
+            for &(a, b) in &shuffled {
+                if n2 >= target_2q {
+                    break;
+                }
+                if !busy[t][a as usize] && !busy[t][b as usize] {
+                    cycles[t].push(PhysGate::Two(a, b));
+                    busy[t][a as usize] = true;
+                    busy[t][b as usize] = true;
+                    n2 += 1;
+                }
+            }
+            let mut n1 = cycles[t]
+                .iter()
+                .filter(|g| matches!(g, PhysGate::One(_)))
+                .count();
+            let mut qubits: Vec<u32> = (0..n as u32).collect();
+            qubits.shuffle(&mut rng);
+            for q in qubits {
+                if n1 >= target_1q {
+                    break;
+                }
+                if !busy[t][q as usize] {
+                    cycles[t].push(PhysGate::One(q));
+                    busy[t][q as usize] = true;
+                    n1 += 1;
+                }
+            }
+        }
+        // 3. Hide the solution: relabel physical -> logical by a random
+        // permutation π; the optimal layout maps logical l to the physical
+        // qubit it came from.
+        let mut perm: Vec<u32> = (0..n as u32).collect(); // perm[phys] = logical
+        perm.shuffle(&mut rng);
+        let mut optimal_layout = vec![0u32; n]; // [logical] -> physical
+        for (phys, &logical) in perm.iter().enumerate() {
+            optimal_layout[logical as usize] = phys as u32;
+        }
+        let one_q_kinds = [GateKind::H, GateKind::T, GateKind::X, GateKind::S];
+        let mut circuit = Circuit::with_capacity(n, self.depth * (target_2q + target_1q + 1));
+        for cycle in &cycles {
+            for g in cycle {
+                match *g {
+                    PhysGate::Two(a, b) => circuit.push(Gate::two_q(
+                        GateKind::Cx,
+                        perm[a as usize],
+                        perm[b as usize],
+                    )),
+                    PhysGate::One(q) => {
+                        let kind = one_q_kinds[rng.random_range(0..one_q_kinds.len())].clone();
+                        circuit.push(Gate::one_q(kind, perm[q as usize]));
+                    }
+                }
+            }
+        }
+        QuekoBenchmark {
+            circuit,
+            optimal_depth: self.depth,
+            optimal_layout,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum PhysGate {
+    One(u32),
+    Two(u32, u32),
+}
+
+/// A synthesized QUEKO instance.
+#[derive(Clone, Debug)]
+pub struct QuekoBenchmark {
+    /// The permuted (logical) circuit handed to mappers.
+    pub circuit: Circuit,
+    /// The provably optimal depth `T`.
+    pub optimal_depth: usize,
+    /// The hidden layout (`[logical] → physical`) that needs zero SWAPs.
+    pub optimal_layout: Vec<u32>,
+}
+
+/// The depth grid of the BSS ("benchmarks for scaling study") suites used
+/// throughout the paper's evaluation: 100, 200, …, 900 cycles.
+pub fn bss_depths() -> Vec<usize> {
+    (1..=9).map(|k| k * 100).collect()
+}
+
+/// Generates a full BSS-style suite: every depth in [`bss_depths`] times
+/// `seeds_per_depth` instances.
+pub fn bss_suite(
+    device: &CouplingGraph,
+    seeds_per_depth: usize,
+) -> Vec<(usize, u64, QuekoBenchmark)> {
+    let mut out = Vec::new();
+    for depth in bss_depths() {
+        for seed in 0..seeds_per_depth as u64 {
+            out.push((
+                depth,
+                seed,
+                QuekoSpec::new(device, depth).seed(seed).generate(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::backends;
+
+    #[test]
+    fn depth_is_exactly_t() {
+        let device = backends::aspen16();
+        for depth in [1, 17, 120] {
+            let b = QuekoSpec::new(&device, depth).seed(3).generate();
+            assert_eq!(b.circuit.depth(), depth, "depth {depth}");
+            assert_eq!(b.optimal_depth, depth);
+        }
+    }
+
+    #[test]
+    fn hidden_layout_needs_zero_swaps() {
+        let device = backends::sycamore54();
+        let b = QuekoSpec::new(&device, 60).seed(11).generate();
+        // Under the optimal layout every two-qubit gate sits on an edge.
+        for g in b.circuit.gates() {
+            if let Some((a, b_)) = g.qubit_pair() {
+                let (pa, pb) = (
+                    b.optimal_layout[a as usize],
+                    b.optimal_layout[b_ as usize],
+                );
+                assert!(device.is_adjacent(pa, pb), "{a}->{pa}, {b_}->{pb}");
+            }
+        }
+    }
+
+    #[test]
+    fn densities_respected() {
+        let device = backends::king_grid(9, 9); // 81 qubits
+        let depth = 200;
+        let b = QuekoSpec::new(&device, depth)
+            .density_2q(0.4)
+            .density_1q(0.1)
+            .seed(5)
+            .generate();
+        let two_q = b.circuit.two_qubit_count() as f64;
+        let per_cycle = two_q / depth as f64;
+        // Target is 0.4 * 81 / 2 ≈ 16.2 gates per cycle; allow the scaffold
+        // and fill randomness a little slack.
+        assert!(
+            (13.0..=17.0).contains(&per_cycle),
+            "2q per cycle = {per_cycle}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let device = backends::aspen16();
+        let a1 = QuekoSpec::new(&device, 50).seed(1).generate();
+        let a2 = QuekoSpec::new(&device, 50).seed(1).generate();
+        let b = QuekoSpec::new(&device, 50).seed(2).generate();
+        assert_eq!(a1.circuit, a2.circuit);
+        assert_ne!(a1.circuit, b.circuit);
+    }
+
+    #[test]
+    fn identity_mapped_circuit_usually_needs_swaps() {
+        // The point of QUEKO: the hidden permutation makes the trivial
+        // layout disconnected.
+        let device = backends::king_grid(4, 4);
+        let b = QuekoSpec::new(&device, 80).seed(9).generate();
+        let disconnected = b
+            .circuit
+            .gates()
+            .iter()
+            .filter_map(|g| g.qubit_pair())
+            .filter(|&(a, b)| !device.is_adjacent(a, b))
+            .count();
+        assert!(disconnected > 0, "permutation should break adjacency");
+    }
+
+    #[test]
+    fn bss_suite_shape() {
+        let device = backends::aspen16();
+        let suite = bss_suite(&device, 2);
+        assert_eq!(suite.len(), 18);
+        assert_eq!(suite[0].0, 100);
+        assert_eq!(suite.last().unwrap().0, 900);
+    }
+
+    #[test]
+    fn queko_circuits_round_trip_through_qasm() {
+        // QUEKO suites are distributed as QASM files; ours must serialize
+        // and re-load losslessly.
+        let device = backends::aspen16();
+        let b = QuekoSpec::new(&device, 40).seed(4).generate();
+        let text = qasm::emit(&b.circuit.to_qasm());
+        let reparsed =
+            Circuit::from_qasm(&qasm::parse(&text).expect("emitted QASM parses"))
+                .expect("converts back");
+        assert_eq!(b.circuit, reparsed);
+    }
+}

@@ -1,0 +1,313 @@
+//! The hardware back-ends of the Qlosure evaluation, plus generic lattice
+//! generators for tests and workload synthesis.
+
+use crate::graph::CouplingGraph;
+
+/// IBM Sherbrooke: the 127-qubit heavy-hexagon (Eagle r3) lattice.
+///
+/// The layout is seven horizontal rows of up to 15 qubits joined by
+/// four-qubit vertical connector columns, alternating between columns
+/// {0, 4, 8, 12} and {2, 6, 10, 14}; the top row omits its last column and
+/// the bottom row its first, giving exactly 127 qubits with degree ≤ 3.
+pub fn sherbrooke() -> CouplingGraph {
+    heavy_hex_127("ibm_sherbrooke")
+}
+
+fn heavy_hex_127(name: &str) -> CouplingGraph {
+    const ROWS: usize = 7;
+    const COLS: usize = 15;
+    // Assign indices: row qubits then connector qubits, interleaved per row
+    // band, matching IBM's published numbering.
+    let mut index_of = vec![[u32::MAX; COLS]; ROWS]; // row qubits
+    let mut next = 0u32;
+    let mut connector_edges: Vec<(usize, usize, u32)> = Vec::new(); // (row above, col, connector idx)
+    for row in 0..ROWS {
+        let cols: Vec<usize> = match row {
+            0 => (0..COLS - 1).collect(),
+            r if r == ROWS - 1 => (1..COLS).collect(),
+            _ => (0..COLS).collect(),
+        };
+        for c in cols {
+            index_of[row][c] = next;
+            next += 1;
+        }
+        if row + 1 < ROWS {
+            let conn_cols: [usize; 4] = if row % 2 == 0 {
+                [0, 4, 8, 12]
+            } else {
+                [2, 6, 10, 14]
+            };
+            for c in conn_cols {
+                connector_edges.push((row, c, next));
+                next += 1;
+            }
+        }
+    }
+    assert_eq!(next, 127, "heavy-hex construction must yield 127 qubits");
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    // Horizontal chains.
+    for row in &index_of {
+        for c in 0..COLS - 1 {
+            let (a, b) = (row[c], row[c + 1]);
+            if a != u32::MAX && b != u32::MAX {
+                edges.push((a, b));
+            }
+        }
+    }
+    // Vertical connectors.
+    for &(row, c, conn) in &connector_edges {
+        let above = index_of[row][c];
+        let below = index_of[row + 1][c];
+        assert!(above != u32::MAX && below != u32::MAX);
+        edges.push((above, conn));
+        edges.push((conn, below));
+    }
+    CouplingGraph::new(name, 127, &edges)
+}
+
+/// Rigetti Ankaa-3: an 82-qubit square lattice.
+///
+/// Modelled as the published 7×12 square-lattice tile with the two
+/// highest-numbered qubits disabled, matching the 82-qubit count the paper
+/// reports (max degree 4).
+pub fn ankaa3() -> CouplingGraph {
+    let full = square_grid_edges(7, 12);
+    let keep = 82u32;
+    let edges: Vec<(u32, u32)> = full
+        .into_iter()
+        .filter(|&(a, b)| a < keep && b < keep)
+        .collect();
+    CouplingGraph::new("rigetti_ankaa3", keep as usize, &edges)
+}
+
+/// Sherbrooke-2X: the paper's synthetic 256-qubit back-end — two Sherbrooke
+/// topologies whose facing rows are joined through two bridge qubits,
+/// forming an extended heavy-hexagon lattice.
+pub fn sherbrooke_2x() -> CouplingGraph {
+    let base = sherbrooke();
+    let n = 127;
+    let mut edges: Vec<(u32, u32)> = base.edges();
+    edges.extend(base.edges().iter().map(|&(a, b)| (a + n, b + n)));
+    // Bridge qubits 254 and 255 join the bottom row of copy A (qubits
+    // 113..=126, columns 1..=14) to the top row of copy B (qubits
+    // 127..=140, columns 0..=13) at two spread-out columns.
+    let a_bottom = |col: usize| 113 + (col - 1) as u32; // cols 1..=14
+    let b_top = |col: usize| 127 + col as u32; // cols 0..=13
+    edges.push((a_bottom(3), 254));
+    edges.push((254, b_top(3)));
+    edges.push((a_bottom(11), 255));
+    edges.push((255, b_top(11)));
+    CouplingGraph::new("sherbrooke_2x", 256, &edges)
+}
+
+/// Rectangular grid with 4-neighbour (von Neumann) connectivity.
+pub fn square_grid(rows: usize, cols: usize) -> CouplingGraph {
+    CouplingGraph::new(
+        format!("grid_{rows}x{cols}"),
+        rows * cols,
+        &square_grid_edges(rows, cols),
+    )
+}
+
+fn square_grid_edges(rows: usize, cols: usize) -> Vec<(u32, u32)> {
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((at(r, c), at(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((at(r, c), at(r + 1, c)));
+            }
+        }
+    }
+    edges
+}
+
+/// Rectangular grid with 8-neighbour (king-move) connectivity — the
+/// topology of the paper's custom 81-qubit (9×9) and 256-qubit (16×16)
+/// QUEKO generators, where interior qubits connect to all eight
+/// neighbours.
+pub fn king_grid(rows: usize, cols: usize) -> CouplingGraph {
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((at(r, c), at(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((at(r, c), at(r + 1, c)));
+                if c + 1 < cols {
+                    edges.push((at(r, c), at(r + 1, c + 1)));
+                }
+                if c > 0 {
+                    edges.push((at(r, c), at(r + 1, c - 1)));
+                }
+            }
+        }
+    }
+    CouplingGraph::new(format!("king_{rows}x{cols}"), rows * cols, &edges)
+}
+
+/// A 1-D chain of `n` qubits.
+pub fn line(n: usize) -> CouplingGraph {
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32)
+        .map(|i| (i, i + 1))
+        .collect();
+    CouplingGraph::new(format!("line_{n}"), n, &edges)
+}
+
+/// A ring of `n` qubits.
+pub fn ring(n: usize) -> CouplingGraph {
+    assert!(n >= 3, "a ring needs at least 3 qubits");
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    CouplingGraph::new(format!("ring_{n}"), n, &edges)
+}
+
+/// A fully connected device (useful as a routing-free baseline in tests).
+pub fn complete(n: usize) -> CouplingGraph {
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in a + 1..n as u32 {
+            edges.push((a, b));
+        }
+    }
+    CouplingGraph::new(format!("complete_{n}"), n, &edges)
+}
+
+/// A 16-qubit Aspen-style topology (two octagons bridged by two edges) —
+/// the device family the original `queko-bss-16qbt` suite targets.
+pub fn aspen16() -> CouplingGraph {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for i in 0..8u32 {
+        edges.push((i, (i + 1) % 8));
+        edges.push((8 + i, 8 + (i + 1) % 8));
+    }
+    // Bridge the rings on adjacent vertices, like Aspen's fused octagons.
+    edges.push((1, 14));
+    edges.push((2, 13));
+    CouplingGraph::new("aspen_16", 16, &edges)
+}
+
+/// A 54-qubit Sycamore-style diagonal lattice (6×9, degree ≤ 4) — the
+/// device family the original `queko-bss-54qbt` suite targets.
+pub fn sycamore54() -> CouplingGraph {
+    let rows = 6;
+    let cols = 9;
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::new();
+    for r in 0..rows - 1 {
+        for c in 0..cols {
+            edges.push((at(r, c), at(r + 1, c)));
+            if r % 2 == 0 {
+                if c > 0 {
+                    edges.push((at(r, c), at(r + 1, c - 1)));
+                }
+            } else if c + 1 < cols {
+                edges.push((at(r, c), at(r + 1, c + 1)));
+            }
+        }
+    }
+    CouplingGraph::new("sycamore_54", rows * cols, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sherbrooke_matches_eagle_lattice() {
+        let g = sherbrooke();
+        assert_eq!(g.n_qubits(), 127);
+        assert_eq!(g.n_edges(), 144); // published ibm_sherbrooke edge count
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 3);
+        // Spot-check known couplings of the 127-qubit Eagle numbering.
+        for (a, b) in [(0, 1), (0, 14), (14, 18), (4, 15), (20, 33), (33, 39)] {
+            assert!(g.is_adjacent(a, b), "expected edge ({a}, {b})");
+        }
+        assert!(!g.is_adjacent(13, 14));
+        // Bottom row runs 113..=126 and its connectors join columns 2,6,10,14.
+        for (a, b) in [(109, 96), (109, 114), (112, 108), (112, 126)] {
+            assert!(g.is_adjacent(a, b), "expected edge ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn ankaa3_is_82_qubit_square_lattice() {
+        let g = ankaa3();
+        assert_eq!(g.n_qubits(), 82);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn sherbrooke_2x_bridges_two_copies() {
+        let g = sherbrooke_2x();
+        assert_eq!(g.n_qubits(), 256);
+        assert!(g.is_connected());
+        // Bridges have degree 2; everything else keeps degree <= 3.
+        assert_eq!(g.degree(254), 2);
+        assert_eq!(g.degree(255), 2);
+        assert_eq!(g.max_degree(), 3);
+        // A path from copy A to copy B must cross a bridge.
+        let p = g.shortest_path(0, 127 + 126).unwrap();
+        assert!(p.iter().any(|&q| q == 254 || q == 255));
+    }
+
+    #[test]
+    fn king_grid_has_eight_neighbors_inside() {
+        let g = king_grid(9, 9);
+        assert_eq!(g.n_qubits(), 81);
+        assert_eq!(g.max_degree(), 8);
+        // Interior qubit (4,4) = 40 has exactly 8 neighbours.
+        assert_eq!(g.degree(40), 8);
+        // Corner has 3.
+        assert_eq!(g.degree(0), 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn square_grid_degrees() {
+        let g = square_grid(7, 12);
+        assert_eq!(g.n_qubits(), 84);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn small_generators() {
+        assert_eq!(line(5).n_edges(), 4);
+        assert_eq!(ring(5).n_edges(), 5);
+        assert_eq!(complete(5).n_edges(), 10);
+        assert!(complete(5).is_adjacent(0, 4));
+    }
+
+    #[test]
+    fn aspen16_shape() {
+        let g = aspen16();
+        assert_eq!(g.n_qubits(), 16);
+        assert!(g.is_connected());
+        assert_eq!(g.n_edges(), 18);
+        assert!(g.max_degree() <= 3);
+    }
+
+    #[test]
+    fn sycamore54_shape() {
+        let g = sycamore54();
+        assert_eq!(g.n_qubits(), 54);
+        assert!(g.is_connected());
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn distances_sane_on_sherbrooke() {
+        let g = sherbrooke();
+        let d = g.distances();
+        // Heavy-hex 127 diameter is large-ish; sanity-bound it.
+        assert!(d.diameter() >= 15 && d.diameter() <= 40, "{}", d.diameter());
+        assert_eq!(d.get(0, 14), 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Coupling graphs and all-pairs shortest paths.
+
+use std::collections::VecDeque;
+
+/// An undirected coupling graph over physical qubits `0..n`.
+///
+/// This is the paper's `Rhw` abstraction: the set of physical qubit pairs
+/// that may host a two-qubit gate directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CouplingGraph {
+    name: String,
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl CouplingGraph {
+    /// Builds a graph from undirected edges.
+    ///
+    /// Self-loops are rejected; duplicate edges are collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is `>= n_qubits` or an edge is a
+    /// self-loop.
+    pub fn new(name: impl Into<String>, n_qubits: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adjacency = vec![Vec::new(); n_qubits];
+        for &(a, b) in edges {
+            assert!(a != b, "self-loop on qubit {a}");
+            assert!(
+                (a as usize) < n_qubits && (b as usize) < n_qubits,
+                "edge ({a}, {b}) out of range {n_qubits}"
+            );
+            if !adjacency[a as usize].contains(&b) {
+                adjacency[a as usize].push(b);
+                adjacency[b as usize].push(a);
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        CouplingGraph {
+            name: name.into(),
+            adjacency,
+        }
+    }
+
+    /// Human-readable back-end name (e.g. `"ibm_sherbrooke"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn n_edges(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Neighbours of qubit `p`, sorted.
+    pub fn neighbors(&self, p: u32) -> &[u32] {
+        &self.adjacency[p as usize]
+    }
+
+    /// Whether `a` and `b` are directly coupled.
+    pub fn is_adjacent(&self, a: u32, b: u32) -> bool {
+        self.adjacency[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Degree of qubit `p`.
+    pub fn degree(&self, p: u32) -> usize {
+        self.adjacency[p as usize].len()
+    }
+
+    /// The maximum vertex degree (the paper sizes its look-ahead constant
+    /// `c` above this).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// All undirected edges, each reported once with `a < b`.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.n_edges());
+        for (a, list) in self.adjacency.iter().enumerate() {
+            for &b in list {
+                if (a as u32) < b {
+                    out.push((a as u32, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the graph is connected (trivially true for `n <= 1`).
+    pub fn is_connected(&self) -> bool {
+        let n = self.n_qubits();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([0u32]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(p) = queue.pop_front() {
+            for &q in self.neighbors(p) {
+                if !seen[q as usize] {
+                    seen[q as usize] = true;
+                    count += 1;
+                    queue.push_back(q);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// BFS all-pairs shortest paths — the paper's distance matrix `Dphys`.
+    pub fn distances(&self) -> DistanceMatrix {
+        let n = self.n_qubits();
+        let mut data = vec![DistanceMatrix::UNREACHABLE; n * n];
+        for src in 0..n as u32 {
+            let row = &mut data[src as usize * n..(src as usize + 1) * n];
+            row[src as usize] = 0;
+            let mut queue = VecDeque::from([src]);
+            while let Some(p) = queue.pop_front() {
+                let d = row[p as usize];
+                for &q in self.neighbors(p) {
+                    if row[q as usize] == DistanceMatrix::UNREACHABLE {
+                        row[q as usize] = d + 1;
+                        queue.push_back(q);
+                    }
+                }
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// One shortest path from `a` to `b` (inclusive of both endpoints), or
+    /// `None` when unreachable. Ties broken toward smaller qubit indices.
+    pub fn shortest_path(&self, a: u32, b: u32) -> Option<Vec<u32>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let n = self.n_qubits();
+        let mut prev: Vec<u32> = vec![u32::MAX; n];
+        let mut queue = VecDeque::from([a]);
+        prev[a as usize] = a;
+        while let Some(p) = queue.pop_front() {
+            for &q in self.neighbors(p) {
+                if prev[q as usize] == u32::MAX {
+                    prev[q as usize] = p;
+                    if q == b {
+                        let mut path = vec![b];
+                        let mut cur = b;
+                        while cur != a {
+                            cur = prev[cur as usize];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(q);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Symmetric matrix of SWAP distances between physical qubits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<u16>,
+}
+
+impl DistanceMatrix {
+    /// Sentinel distance for disconnected pairs.
+    pub const UNREACHABLE: u16 = u16::MAX;
+
+    /// Builds a matrix from raw row-major data (used by the noise module's
+    /// weighted distances).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len() == n * n`.
+    pub fn from_raw(n: usize, data: Vec<u16>) -> Self {
+        assert_eq!(data.len(), n * n, "distance matrix shape");
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Distance (in hops) between `a` and `b`.
+    pub fn get(&self, a: u32, b: u32) -> u16 {
+        self.data[a as usize * self.n + b as usize]
+    }
+
+    /// The graph diameter (maximum finite distance).
+    pub fn diameter(&self) -> u16 {
+        self.data
+            .iter()
+            .copied()
+            .filter(|&d| d != Self::UNREACHABLE)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> CouplingGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        CouplingGraph::new("line", n, &edges)
+    }
+
+    #[test]
+    fn adjacency_and_degree() {
+        let g = line(4);
+        assert!(g.is_adjacent(0, 1));
+        assert!(!g.is_adjacent(0, 2));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.n_edges(), 3);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = CouplingGraph::new("dup", 2, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let _ = CouplingGraph::new("bad", 2, &[(1, 1)]);
+    }
+
+    #[test]
+    fn distances_on_line() {
+        let g = line(5);
+        let d = g.distances();
+        assert_eq!(d.get(0, 4), 4);
+        assert_eq!(d.get(2, 2), 0);
+        assert_eq!(d.get(3, 1), 2);
+        assert_eq!(d.diameter(), 4);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let g = CouplingGraph::new("two islands", 4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        let d = g.distances();
+        assert_eq!(d.get(0, 2), DistanceMatrix::UNREACHABLE);
+        assert_eq!(g.shortest_path(0, 3), None);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = line(6);
+        let p = g.shortest_path(1, 4).unwrap();
+        assert_eq!(p, vec![1, 2, 3, 4]);
+        assert_eq!(g.shortest_path(3, 3), Some(vec![3]));
+    }
+
+    #[test]
+    fn ring_distances_wrap() {
+        let edges: Vec<(u32, u32)> = (0..6u32).map(|i| (i, (i + 1) % 6)).collect();
+        let g = CouplingGraph::new("ring", 6, &edges);
+        let d = g.distances();
+        assert_eq!(d.get(0, 3), 3);
+        assert_eq!(d.get(0, 5), 1);
+        assert_eq!(d.get(1, 5), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! QPU coupling graphs and physical distance matrices.
+//!
+//! Models the hardware back-ends of the Qlosure evaluation:
+//!
+//! * [`backends::sherbrooke`] — IBM Sherbrooke, the 127-qubit heavy-hexagon
+//!   Eagle lattice;
+//! * [`backends::ankaa3`] — Rigetti Ankaa-3, an 82-qubit square lattice
+//!   (7×12 tile with two qubits disabled, matching the paper's count);
+//! * [`backends::sherbrooke_2x`] — the paper's synthetic 256-qubit back-end:
+//!   two Sherbrooke topologies joined by two bridge qubits;
+//! * [`backends::king_grid`] — the 9×9 / 16×16 eight-neighbour grids used
+//!   to synthesize the custom QUEKO suites;
+//! * generic generators (lines, rings, grids, Aspen- and Sycamore-like
+//!   lattices) for tests and workload generation.
+//!
+//! [`CouplingGraph`] provides adjacency plus the all-pairs-shortest-path
+//! [`DistanceMatrix`] (`Dphys` in the paper, §V-B.3).
+//!
+//! # Example
+//!
+//! ```
+//! use topology::backends;
+//!
+//! let dev = backends::sherbrooke();
+//! assert_eq!(dev.n_qubits(), 127);
+//! assert!(dev.max_degree() <= 3); // heavy-hex property
+//! let d = dev.distances();
+//! assert_eq!(d.get(0, 1), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backends;
+mod graph;
+mod noise;
+
+pub use graph::{CouplingGraph, DistanceMatrix};
+pub use noise::NoiseModel;

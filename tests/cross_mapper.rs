@@ -1,0 +1,126 @@
+//! Cross-mapper integration tests: every mapper in the workspace produces
+//! verified routings on shared workloads, and the relative quality
+//! ordering the paper reports holds in aggregate.
+
+use baselines::{CirqMapper, QmapMapper, SabreMapper, TketMapper};
+use circuit::{verify_routing, Circuit};
+use qlosure::{Mapper, QlosureMapper};
+use topology::{backends, CouplingGraph};
+
+fn mappers() -> Vec<Box<dyn Mapper>> {
+    vec![
+        Box::new(SabreMapper::default()),
+        Box::new(QmapMapper::default()),
+        Box::new(CirqMapper::default()),
+        Box::new(TketMapper::default()),
+        Box::new(QlosureMapper::default()),
+    ]
+}
+
+fn check_all(circuit: &Circuit, device: &CouplingGraph) -> Vec<(String, usize, usize)> {
+    mappers()
+        .iter()
+        .map(|m| {
+            let r = m.map(circuit, device);
+            verify_routing(
+                circuit,
+                &r.routed,
+                &|a, b| device.is_adjacent(a, b),
+                &r.initial_layout,
+            )
+            .unwrap_or_else(|e| panic!("{} failed verification: {e}", m.name()));
+            (m.name().to_string(), r.swaps, r.routed.depth())
+        })
+        .collect()
+}
+
+#[test]
+fn every_mapper_verifies_on_queko() {
+    let gen_device = backends::aspen16();
+    let device = backends::ankaa3();
+    let bench = queko::QuekoSpec::new(&gen_device, 80).seed(2).generate();
+    let rows = check_all(&bench.circuit, &device);
+    assert_eq!(rows.len(), 5);
+}
+
+#[test]
+fn every_mapper_verifies_on_qasmbench_families() {
+    let device = backends::sherbrooke();
+    for circuit in [
+        qasmbench::ghz(23),
+        qasmbench::bernstein_vazirani(30),
+        qasmbench::w_state(27),
+        qasmbench::swap_test(25),
+    ] {
+        check_all(&circuit, &device);
+    }
+}
+
+#[test]
+fn qlosure_wins_queko_swaps_in_aggregate() {
+    // The paper's Table III: every baseline inserts more SWAPs than
+    // Qlosure on QUEKO, on average. Check the aggregate over a few
+    // instances (individual instances may vary).
+    let gen_device = backends::sycamore54();
+    let device = backends::sherbrooke();
+    let mut totals: std::collections::HashMap<String, usize> = Default::default();
+    for seed in 0..2 {
+        let bench = queko::QuekoSpec::new(&gen_device, 80).seed(seed).generate();
+        for (name, swaps, _) in check_all(&bench.circuit, &device) {
+            *totals.entry(name).or_default() += swaps;
+        }
+    }
+    let qlosure = totals["qlosure"];
+    for (name, swaps) in &totals {
+        if name != "qlosure" {
+            assert!(
+                *swaps as f64 >= qlosure as f64 * 0.95,
+                "{name} beat qlosure on aggregate swaps: {swaps} vs {qlosure}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mappers_handle_single_qubit_only_circuits() {
+    let device = backends::line(4);
+    let mut c = Circuit::new(3);
+    c.h(0);
+    c.rz(0.5, 1);
+    c.measure_all();
+    for (name, swaps, _) in check_all(&c, &device) {
+        assert_eq!(swaps, 0, "{name} inserted swaps in a 1q-only circuit");
+    }
+}
+
+#[test]
+fn mappers_handle_empty_circuit() {
+    let device = backends::line(3);
+    let c = Circuit::new(2);
+    for (_, swaps, depth) in check_all(&c, &device) {
+        assert_eq!(swaps, 0);
+        assert_eq!(depth, 0);
+    }
+}
+
+#[test]
+fn mappers_handle_full_connectivity() {
+    // On a complete graph nothing ever needs routing.
+    let device = backends::complete(8);
+    let circuit = qasmbench::qft(8);
+    for (name, swaps, _) in check_all(&circuit, &device) {
+        assert_eq!(swaps, 0, "{name} inserted swaps on a complete graph");
+    }
+}
+
+#[test]
+fn ring_worst_case_terminates_for_everyone() {
+    // Diametrically opposed pairs on a ring: the adversarial case for
+    // greedy routers (every swap looks equally good).
+    let device = backends::ring(12);
+    let mut c = Circuit::new(12);
+    for i in 0..6u32 {
+        c.cx(i, i + 6);
+    }
+    check_all(&c, &device);
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration tests: QASM text → lift → map → verify → emit,
+//! across back-ends and workloads.
+
+use circuit::{verify_routing, Circuit};
+use qlosure::{route_qasm, Mapper, QlosureConfig, QlosureMapper};
+use topology::backends;
+
+fn verify(circuit: &Circuit, device: &topology::CouplingGraph, r: &qlosure::MappingResult) {
+    verify_routing(
+        circuit,
+        &r.routed,
+        &|a, b| device.is_adjacent(a, b),
+        &r.initial_layout,
+    )
+    .expect("routing must verify");
+}
+
+#[test]
+fn qasm_to_mapped_qasm_round_trip() {
+    let src = r#"
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[6];
+        creg c[6];
+        h q[0];
+        ccx q[0], q[2], q[5];
+        cx q[1], q[4];
+        rz(pi/8) q[3];
+        cx q[3], q[0];
+        barrier q;
+        measure q -> c;
+    "#;
+    let device = backends::sherbrooke();
+    let (text, result) = route_qasm(src, &device, &QlosureConfig::default()).unwrap();
+    assert!(result.swaps > 0, "ccx across a heavy-hex needs routing");
+    // The emitted program re-parses and re-converts cleanly.
+    let qasm_part: String = text
+        .lines()
+        .filter(|l| !l.starts_with("//"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let reparsed = qasm::parse(&qasm_part).expect("emitted QASM re-parses");
+    let recircuit = Circuit::from_qasm(&reparsed).expect("re-converts");
+    assert_eq!(recircuit.n_qubits(), device.n_qubits());
+    assert_eq!(recircuit.swap_count(), result.swaps);
+}
+
+#[test]
+fn qasmbench_suite_maps_onto_every_backend() {
+    // One representative circuit per size class, on all three paper
+    // back-ends.
+    // Sizes kept modest so the test stays fast in debug builds.
+    let circuits = [
+        qasmbench::qram(20),
+        qasmbench::ising(26, 4),
+        qasmbench::qugan(39, 4),
+    ];
+    for device in [
+        backends::sherbrooke(),
+        backends::ankaa3(),
+        backends::sherbrooke_2x(),
+    ] {
+        for circuit in &circuits {
+            let r = QlosureMapper::default().map(circuit, &device);
+            verify(circuit, &device, &r);
+        }
+    }
+}
+
+#[test]
+fn queko_depth_factor_sanity() {
+    // A mapped QUEKO circuit can never beat its provable optimum; a sane
+    // mapper stays within a modest constant factor on Sherbrooke.
+    let gen_device = backends::sycamore54();
+    let device = backends::sherbrooke();
+    let bench = queko::QuekoSpec::new(&gen_device, 80).seed(3).generate();
+    let r = QlosureMapper::default().map(&bench.circuit, &device);
+    verify(&bench.circuit, &device, &r);
+    let factor = r.depth() as f64 / bench.optimal_depth as f64;
+    assert!(factor >= 1.0, "cannot beat the optimum: {factor}");
+    assert!(factor < 15.0, "depth factor exploded: {factor}");
+}
+
+#[test]
+fn queko_hidden_layout_gives_zero_swaps() {
+    // Feeding the generator's own layout back in: the circuit is already
+    // hardware-compliant, so Qlosure must insert nothing.
+    let device = backends::aspen16();
+    let bench = queko::QuekoSpec::new(&device, 60).seed(5).generate();
+    let layout = qlosure::Layout::from_assignment(&bench.optimal_layout, device.n_qubits());
+    let r = QlosureMapper::default().map_from_layout(&bench.circuit, &device, layout);
+    assert_eq!(r.swaps, 0);
+    assert_eq!(r.depth(), bench.optimal_depth);
+}
+
+#[test]
+fn all_cost_variants_and_modes_agree_on_semantics() {
+    use affine::WeightMode;
+    use qlosure::{CostVariant, InitialMapping};
+    let circuit = qasmbench::cuccaro_adder(16);
+    let device = backends::king_grid(4, 4);
+    for cost in [
+        CostVariant::DistanceOnly,
+        CostVariant::LayerAdjusted,
+        CostVariant::DependencyWeighted,
+    ] {
+        for weight_mode in [WeightMode::Graph, WeightMode::Affine, WeightMode::Auto] {
+            for initial in [
+                InitialMapping::Identity,
+                InitialMapping::Bidirectional { passes: 2 },
+            ] {
+                let mapper = QlosureMapper::with_config(QlosureConfig {
+                    cost,
+                    weight_mode,
+                    initial,
+                    ..QlosureConfig::default()
+                });
+                let r = mapper.map(&circuit, &device);
+                verify(&circuit, &device, &r);
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let circuit = qasmbench::qft(16);
+    let device = backends::ankaa3();
+    let a = QlosureMapper::default().map(&circuit, &device);
+    let b = QlosureMapper::default().map(&circuit, &device);
+    assert_eq!(a.routed, b.routed);
+    assert_eq!(a.initial_layout, b.initial_layout);
+}
+
+#[test]
+fn device_too_small_is_reported() {
+    let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[20];\ncx q[0], q[19];\n";
+    let device = backends::line(4);
+    let err = route_qasm(src, &device, &QlosureConfig::default()).unwrap_err();
+    assert!(matches!(err, qlosure::PipelineError::DeviceTooSmall { .. }));
+}

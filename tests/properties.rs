@@ -1,0 +1,232 @@
+//! Property-based tests (proptest) over the whole stack: Presburger
+//! algebra laws, dependence-weight cross-validation, routing invariants
+//! and generator guarantees.
+
+use circuit::{verify_routing, Circuit, DependenceGraph};
+use presburger::{BasicSet, Constraint, LinearExpr, Set};
+use proptest::prelude::*;
+use qlosure::{Mapper, QlosureMapper};
+use topology::backends;
+
+// ---------- Presburger algebra ----------
+
+/// Strategy: a random constraint over `dim` variables with small
+/// coefficients (the regime the mapper exercises).
+fn arb_constraint(dim: usize) -> impl Strategy<Value = Constraint> {
+    let coeffs = prop::collection::vec(-3i64..=3, dim);
+    (coeffs, -6i64..=6, 0u8..=2, 2i64..=4).prop_map(|(cs, k, kind, m)| {
+        let expr = LinearExpr::new(cs, k);
+        match kind {
+            0 => Constraint::eq(expr),
+            1 => Constraint::ge(expr),
+            _ => Constraint::modulo(expr, m),
+        }
+    })
+}
+
+fn arb_basic_set(dim: usize) -> impl Strategy<Value = BasicSet> {
+    // Intersect with a box so the sets stay bounded and enumerable.
+    prop::collection::vec(arb_constraint(dim), 0..4).prop_map(move |cs| {
+        let mut all = vec![
+            Constraint::ge(LinearExpr::var(dim, 0).plus_const(5)),
+            Constraint::ge(LinearExpr::var(dim, 0).neg().plus_const(5)),
+        ];
+        for v in 1..dim {
+            all.push(Constraint::ge(LinearExpr::var(dim, v).plus_const(5)));
+            all.push(Constraint::ge(LinearExpr::var(dim, v).neg().plus_const(5)));
+        }
+        all.extend(cs);
+        BasicSet::new(dim, all)
+    })
+}
+
+fn enumerate(dim: usize) -> Vec<Vec<i64>> {
+    let mut out = Vec::new();
+    let mut point = vec![0i64; dim];
+    fn rec(point: &mut Vec<i64>, d: usize, out: &mut Vec<Vec<i64>>) {
+        if d == point.len() {
+            out.push(point.clone());
+            return;
+        }
+        for x in -5..=5 {
+            point[d] = x;
+            rec(point, d + 1, out);
+        }
+    }
+    rec(&mut point, 0, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn set_union_matches_pointwise(a in arb_basic_set(2), b in arb_basic_set(2)) {
+        let sa = Set::from(a.clone());
+        let sb = Set::from(b.clone());
+        let u = sa.union(&sb);
+        for p in enumerate(2) {
+            prop_assert_eq!(u.contains(&p), a.contains(&p) || b.contains(&p));
+        }
+    }
+
+    #[test]
+    fn set_subtract_matches_pointwise(a in arb_basic_set(2), b in arb_basic_set(2)) {
+        let d = Set::from(a.clone()).subtract(&Set::from(b.clone()));
+        for p in enumerate(2) {
+            prop_assert_eq!(d.contains(&p), a.contains(&p) && !b.contains(&p));
+        }
+    }
+
+    #[test]
+    fn count_matches_enumeration(a in arb_basic_set(2)) {
+        let counted = Set::from(a.clone()).count_points();
+        let brute = enumerate(2).iter().filter(|p| a.contains(p)).count() as u64;
+        prop_assert_eq!(counted, brute);
+    }
+
+    #[test]
+    fn emptiness_matches_enumeration(a in arb_basic_set(2)) {
+        let brute_empty = !enumerate(2).iter().any(|p| a.contains(p));
+        prop_assert_eq!(a.is_empty(), brute_empty);
+    }
+
+    #[test]
+    fn subset_is_a_partial_order(a in arb_basic_set(1), b in arb_basic_set(1)) {
+        let sa = Set::from(a);
+        let sb = Set::from(b);
+        // Reflexive, and consistent with pointwise inclusion.
+        prop_assert!(sa.is_subset(&sa));
+        let pointwise = enumerate(1).iter().all(|p| !sa.contains(p) || sb.contains(p));
+        prop_assert_eq!(sa.is_subset(&sb), pointwise);
+    }
+}
+
+// ---------- Dependence weights ----------
+
+/// Random small circuit as an interaction list.
+fn arb_circuit(n_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((0..n_qubits, 0..n_qubits), 1..max_gates).prop_map(move |pairs| {
+        let mut c = Circuit::new(n_qubits as usize);
+        for (a, b) in pairs {
+            if a != b {
+                c.cx(a, b);
+            } else {
+                c.h(a);
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn affine_weights_dominate_graph_weights(c in arb_circuit(8, 40)) {
+        use affine::{DependenceAnalysis, WeightMode};
+        let graph = DependenceAnalysis::new(&c, WeightMode::Graph);
+        let affine = DependenceAnalysis::new(&c, WeightMode::Affine);
+        // Affine weights are exact or a sound over-approximation.
+        for g in 0..c.gates().len() as u32 {
+            prop_assert!(
+                affine.weight(g) >= graph.weight(g),
+                "gate {}: affine {} < exact {}",
+                g, affine.weight(g), graph.weight(g)
+            );
+        }
+        if affine.path() == affine::WeightPath::AffineExact {
+            prop_assert_eq!(affine.weights(), graph.weights());
+        }
+    }
+
+    #[test]
+    fn graph_weights_match_reachability(c in arb_circuit(6, 30)) {
+        use affine::{DependenceAnalysis, WeightMode};
+        let analysis = DependenceAnalysis::new(&c, WeightMode::Graph);
+        // Build the 2q-only shadow and check against per-gate DFS.
+        let mut shadow = Circuit::new(c.n_qubits());
+        let mut orig: Vec<u32> = Vec::new();
+        for (gate, a, b) in c.interactions() {
+            shadow.cx(a, b);
+            orig.push(gate as u32);
+        }
+        let dag = DependenceGraph::new(&shadow);
+        for (i, &g) in orig.iter().enumerate() {
+            prop_assert_eq!(
+                analysis.weight(g),
+                dag.reachable_from(i as u32).len() as u64
+            );
+        }
+    }
+}
+
+// ---------- Routing invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn qlosure_routes_any_circuit_on_any_device(
+        c in arb_circuit(9, 35),
+        device_pick in 0usize..4,
+    ) {
+        let device = match device_pick {
+            0 => backends::line(9),
+            1 => backends::ring(9),
+            2 => backends::square_grid(3, 3),
+            _ => backends::king_grid(3, 3),
+        };
+        let r = QlosureMapper::default().map(&c, &device);
+        verify_routing(
+            &c,
+            &r.routed,
+            &|a, b| device.is_adjacent(a, b),
+            &r.initial_layout,
+        ).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        // Conservation: routed = original gates + swaps.
+        prop_assert_eq!(r.routed.qop_count(), c.qop_count() + r.swaps);
+    }
+
+    #[test]
+    fn all_baselines_route_random_circuits(c in arb_circuit(8, 25)) {
+        let device = backends::square_grid(2, 4);
+        for mapper in baselines::all_baselines() {
+            let r = mapper.map(&c, &device);
+            verify_routing(
+                &c,
+                &r.routed,
+                &|a, b| device.is_adjacent(a, b),
+                &r.initial_layout,
+            ).map_err(|e| TestCaseError::fail(format!("{}: {e}", mapper.name())))?;
+        }
+    }
+}
+
+// ---------- QUEKO generator guarantees ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn queko_optimality_invariants(depth in 1usize..60, seed in 0u64..1000) {
+        let device = backends::aspen16();
+        let bench = queko::QuekoSpec::new(&device, depth).seed(seed).generate();
+        // Depth is exactly T.
+        prop_assert_eq!(bench.circuit.depth(), depth);
+        // The hidden layout is a permutation and executes with zero swaps.
+        let mut seen = vec![false; device.n_qubits()];
+        for &p in &bench.optimal_layout {
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        for g in bench.circuit.gates() {
+            if let Some((a, b)) = g.qubit_pair() {
+                prop_assert!(device.is_adjacent(
+                    bench.optimal_layout[a as usize],
+                    bench.optimal_layout[b as usize]
+                ));
+            }
+        }
+    }
+}
