@@ -237,7 +237,17 @@ struct Run {
 
 impl Run {
     #[allow(clippy::too_many_arguments)]
-    fn commit(s2: Single, s1: Single, t: i64, a: i64, b: i64, gate: u32, dt: i64, da: i64, db: i64) -> Self {
+    fn commit(
+        s2: Single,
+        s1: Single,
+        t: i64,
+        a: i64,
+        b: i64,
+        gate: u32,
+        dt: i64,
+        da: i64,
+        db: i64,
+    ) -> Self {
         Run {
             first_time: s2.t,
             last_time: t,

@@ -79,10 +79,7 @@ impl DependenceAnalysis {
 
     /// ω of the gate at `gate_index` (0 for non-two-qubit gates).
     pub fn weight(&self, gate_index: u32) -> u64 {
-        self.weights
-            .get(gate_index as usize)
-            .copied()
-            .unwrap_or(0)
+        self.weights.get(gate_index as usize).copied().unwrap_or(0)
     }
 
     /// All weights, indexed by gate index.
@@ -222,7 +219,9 @@ mod tests {
         let mut c = Circuit::new(16);
         let mut s = 1u64;
         for _ in 0..60 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (s >> 33) % 16;
             let b = (s >> 13) % 16;
             if a != b {

@@ -184,10 +184,7 @@ impl<'a> RouterState<'a> {
             .qubit_pair()
             .expect("blocked gates are two-qubit");
         let (pa, pb) = (self.layout.phys(a), self.layout.phys(b));
-        let path = self
-            .device
-            .shortest_path(pa, pb)
-            .expect("connected device");
+        let path = self.device.shortest_path(pa, pb).expect("connected device");
         for win in path.windows(2).take(path.len().saturating_sub(2)) {
             self.apply_swap(win[0], win[1]);
         }

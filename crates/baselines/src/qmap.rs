@@ -8,6 +8,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use topology::CouplingGraph;
 
+/// A* node store entry: (positions, parent id, swap taken, g-cost).
+type AStarNode = (Vec<u32>, usize, (u32, u32), u32);
+
 /// Configuration of the QMAP-style baseline.
 #[derive(Clone, Debug)]
 pub struct QmapConfig {
@@ -110,13 +113,16 @@ fn astar_swaps(
             .sum();
         (raw as f64 * config.heuristic_weight) as u32
     };
-    let goal = |pos: &[u32]| pair_slots.iter().all(|&(i, j)| st.device.is_adjacent(pos[i], pos[j]));
+    let goal = |pos: &[u32]| {
+        pair_slots
+            .iter()
+            .all(|&(i, j)| st.device.is_adjacent(pos[i], pos[j]))
+    };
     if goal(&start) {
         return Some(Vec::new());
     }
     // Node store: id -> (positions, parent, swap, g).
-    let mut nodes: Vec<(Vec<u32>, usize, (u32, u32), u32)> =
-        vec![(start.clone(), usize::MAX, (0, 0), 0)];
+    let mut nodes: Vec<AStarNode> = vec![(start.clone(), usize::MAX, (0, 0), 0)];
     let mut best_g: HashMap<Vec<u32>, u32> = HashMap::from([(start.clone(), 0)]);
     let mut open: BinaryHeap<Reverse<(u32, u32, usize)>> = BinaryHeap::new();
     open.push(Reverse((h(&start), 0, 0)));

@@ -159,7 +159,9 @@ mod tests {
         let mut c = Circuit::new(9);
         let mut s = 5u64;
         for _ in 0..80 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = ((s >> 33) % 9) as u32;
             let b = ((s >> 17) % 9) as u32;
             if a != b {

@@ -18,7 +18,9 @@ fn random_circuit(n_qubits: usize, n_gates: usize) -> Circuit {
     let mut c = Circuit::new(n_qubits);
     let mut s = 42u64;
     for _ in 0..n_gates {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let a = ((s >> 33) % n_qubits as u64) as u32;
         let b = ((s >> 13) % n_qubits as u64) as u32;
         if a != b {

@@ -81,7 +81,10 @@ fn main() {
     for fw in [1.0, 0.5] {
         sweep(
             &mut table,
-            &format!("future weight = {fw} {}", if fw == 1.0 { "(paper)" } else { "" }),
+            &format!(
+                "future weight = {fw} {}",
+                if fw == 1.0 { "(paper)" } else { "" }
+            ),
             QlosureConfig {
                 future_weight: fw,
                 ..base()
@@ -91,7 +94,10 @@ fn main() {
     for bw in [0.0, 0.2] {
         sweep(
             &mut table,
-            &format!("busy weight = {bw} {}", if bw == 0.0 { "(paper)" } else { "" }),
+            &format!(
+                "busy weight = {bw} {}",
+                if bw == 0.0 { "(paper)" } else { "" }
+            ),
             QlosureConfig {
                 busy_weight: bw,
                 ..base()
@@ -101,7 +107,10 @@ fn main() {
     for te in [0.0, 0.02] {
         sweep(
             &mut table,
-            &format!("tie epsilon = {te} {}", if te == 0.0 { "(paper)" } else { "" }),
+            &format!(
+                "tie epsilon = {te} {}",
+                if te == 0.0 { "(paper)" } else { "" }
+            ),
             QlosureConfig {
                 tie_epsilon: te,
                 ..base()

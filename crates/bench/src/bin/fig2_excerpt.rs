@@ -36,7 +36,14 @@ fn main() {
     );
     let mut table = Table::new(
         "Fig. 2 — mapper comparison (delta depth / swaps)",
-        &["circuit", "backend", "mapper", "delta_depth", "swaps", "time_s"],
+        &[
+            "circuit",
+            "backend",
+            "mapper",
+            "delta_depth",
+            "swaps",
+            "time_s",
+        ],
     );
     for (cname, circuit, depth0) in [
         ("queko-54", &queko54.circuit, queko54.circuit.depth()),

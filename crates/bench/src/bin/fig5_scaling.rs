@@ -56,11 +56,12 @@ fn main() {
         let bb = (sy - a * sx) / n;
         let mean_y = sy / n;
         let ss_tot: f64 = series.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-        let ss_res: f64 = series
-            .iter()
-            .map(|p| (p.1 - (a * p.0 + bb)).powi(2))
-            .sum();
-        let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        let ss_res: f64 = series.iter().map(|p| (p.1 - (a * p.0 + bb)).powi(2)).sum();
+        let r2 = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
         println!("{b}: a = {a:.3e} s/qop, b = {bb:.3}, R^2 = {r2:.4}");
     }
 }

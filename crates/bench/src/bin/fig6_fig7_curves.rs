@@ -86,9 +86,7 @@ fn main() {
                 continue;
             }
             let key = (suite.to_string(), mapper.to_string());
-            if let (Some((sw, st)), Some((dw, dt))) =
-                (wins_swaps.get(&key), wins_depth.get(&key))
-            {
+            if let (Some((sw, st)), Some((dw, dt))) = (wins_swaps.get(&key), wins_depth.get(&key)) {
                 println!(
                     "{suite} vs {mapper}: swaps {:.0}% depth {:.0}%",
                     100.0 * *sw as f64 / *st as f64,

@@ -71,10 +71,7 @@ fn main() {
             if m == "qlosure" {
                 continue;
             }
-            let (_, swaps, depth) = per_mapper
-                .iter()
-                .find(|(mm, _, _)| mm == m)
-                .expect("ran");
+            let (_, swaps, depth) = per_mapper.iter().find(|(mm, _, _)| mm == m).expect("ran");
             if *swaps > 0 {
                 swap_impr
                     .entry(m)
@@ -94,7 +91,9 @@ fn main() {
         if m == "qlosure" {
             continue;
         }
-        let s = swap_impr.get(m).map(|v| v.iter().sum::<f64>() / v.len() as f64);
+        let s = swap_impr
+            .get(m)
+            .map(|v| v.iter().sum::<f64>() / v.len() as f64);
         let d = depth_impr
             .get(m)
             .map(|v| v.iter().sum::<f64>() / v.len() as f64);

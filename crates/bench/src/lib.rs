@@ -13,6 +13,4 @@ pub mod report;
 pub mod runner;
 
 pub use report::Table;
-pub use runner::{
-    all_mappers, backend_by_name, mapper_names, run_verified, MapOutcome, Scale,
-};
+pub use runner::{all_mappers, backend_by_name, mapper_names, run_verified, MapOutcome, Scale};

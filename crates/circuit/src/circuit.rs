@@ -346,7 +346,12 @@ impl Circuit {
             if g.qubits.is_empty() {
                 continue;
             }
-            let ready = g.qubits.iter().map(|&q| clock[q as usize]).max().expect("non-empty");
+            let ready = g
+                .qubits
+                .iter()
+                .map(|&q| clock[q as usize])
+                .max()
+                .expect("non-empty");
             let dur = match (&g.kind, model) {
                 (GateKind::Barrier, _) => 0,
                 (GateKind::Swap, DepthModel::DecomposedSwap) => 3,
@@ -380,9 +385,7 @@ impl Circuit {
     /// Returns [`ConvertError`] for gates of arity ≥ 3 without a known
     /// decomposition or for malformed qubit references.
     pub fn from_qasm(program: &qasm::Program) -> Result<Circuit, ConvertError> {
-        let expanded = program
-            .expanded()
-            .map_err(ConvertError::Expansion)?;
+        let expanded = program.expanded().map_err(ConvertError::Expansion)?;
         let mut circuit = Circuit::new(expanded.qubit_count());
         let flatten = |q: &qasm::QubitRef| -> Result<u32, ConvertError> {
             expanded
@@ -398,8 +401,7 @@ impl Circuit {
                     qubits,
                     ..
                 } => {
-                    let qs: Vec<u32> =
-                        qubits.iter().map(&flatten).collect::<Result<_, _>>()?;
+                    let qs: Vec<u32> = qubits.iter().map(&flatten).collect::<Result<_, _>>()?;
                     match (name.as_str(), qs.len()) {
                         ("ccx", 3) => circuit.ccx(qs[0], qs[1], qs[2]),
                         ("cswap", 3) => circuit.cswap(qs[0], qs[1], qs[2]),
@@ -421,8 +423,7 @@ impl Circuit {
                     circuit.measure(q);
                 }
                 qasm::Instruction::Barrier(qubits) => {
-                    let qs: Vec<u32> =
-                        qubits.iter().map(&flatten).collect::<Result<_, _>>()?;
+                    let qs: Vec<u32> = qubits.iter().map(&flatten).collect::<Result<_, _>>()?;
                     circuit.barrier(&qs);
                 }
                 qasm::Instruction::Reset(qubit) => {
@@ -439,11 +440,7 @@ impl Circuit {
     pub fn to_qasm(&self) -> qasm::Program {
         let mut p = qasm::Program::new();
         p.add_qreg("q", self.n_qubits.max(1));
-        if self
-            .gates
-            .iter()
-            .any(|g| g.kind == GateKind::Measure)
-        {
+        if self.gates.iter().any(|g| g.kind == GateKind::Measure) {
             p.add_creg("c", self.n_qubits.max(1));
         }
         for g in &self.gates {

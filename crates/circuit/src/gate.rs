@@ -215,7 +215,8 @@ impl Gate {
 
     /// The operand pair of a two-qubit gate.
     pub fn qubit_pair(&self) -> Option<(u32, u32)> {
-        self.is_two_qubit().then(|| (self.qubits[0], self.qubits[1]))
+        self.is_two_qubit()
+            .then(|| (self.qubits[0], self.qubits[1]))
     }
 
     /// Whether the gate participates in depth/gate-count statistics

@@ -94,25 +94,26 @@ pub fn verify_routing(
         if g.kind == GateKind::Swap {
             let (a, b) = g.qubit_pair().expect("swap is two-qubit");
             if !adjacent(a, b) {
-                return Err(VerifyError::Disconnected { gate: i, pair: (a, b) });
+                return Err(VerifyError::Disconnected {
+                    gate: i,
+                    pair: (a, b),
+                });
             }
             phys_to_logical.swap(a as usize, b as usize);
             continue;
         }
         if let Some((a, b)) = g.qubit_pair() {
             if !adjacent(a, b) {
-                return Err(VerifyError::Disconnected { gate: i, pair: (a, b) });
+                return Err(VerifyError::Disconnected {
+                    gate: i,
+                    pair: (a, b),
+                });
             }
         }
         // Translate operands to logical space.
         let mut ok = true;
         for &p in &g.qubits {
-            if phys_to_logical
-                .get(p as usize)
-                .copied()
-                .flatten()
-                .is_none()
-            {
+            if phys_to_logical.get(p as usize).copied().flatten().is_none() {
                 ok = false;
             }
         }
@@ -153,7 +154,11 @@ struct Event {
     partners: Vec<u32>,
 }
 
-fn record_events(streams: &mut [Vec<Event>], gate: &crate::gate::Gate, to_logical: impl Fn(u32) -> u32) {
+fn record_events(
+    streams: &mut [Vec<Event>],
+    gate: &crate::gate::Gate,
+    to_logical: impl Fn(u32) -> u32,
+) {
     if gate.kind == GateKind::Barrier {
         // Barriers are scheduling hints; they do not affect equivalence.
         return;
@@ -211,7 +216,10 @@ mod tests {
         routed.cx(0, 2); // not adjacent on the line
         let err =
             verify_routing(&original, &routed, &line_adjacent, &identity_layout(3)).unwrap_err();
-        assert!(matches!(err, VerifyError::Disconnected { pair: (0, 2), .. }));
+        assert!(matches!(
+            err,
+            VerifyError::Disconnected { pair: (0, 2), .. }
+        ));
     }
 
     #[test]
@@ -306,5 +314,52 @@ mod tests {
         let err =
             verify_routing(&original, &routed, &line_adjacent, &identity_layout(3)).unwrap_err();
         assert!(matches!(err, VerifyError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn rejects_untracked_swap_permutation() {
+        // The routing "forgets" that its own SWAP moved logical 0 to
+        // physical 1: the following CX implements cx(1, 0), not cx(0, 1).
+        let mut original = Circuit::new(2);
+        original.cx(0, 1);
+        let mut routed = Circuit::new(2);
+        routed.swap(0, 1);
+        routed.cx(0, 1);
+        let err =
+            verify_routing(&original, &routed, &line_adjacent, &identity_layout(2)).unwrap_err();
+        assert!(matches!(err, VerifyError::Mismatch(_)));
+    }
+
+    #[test]
+    fn rejects_duplicated_gate() {
+        let mut original = Circuit::new(2);
+        original.cx(0, 1);
+        let mut routed = Circuit::new(2);
+        routed.cx(0, 1);
+        routed.cx(0, 1); // executed twice
+        let err =
+            verify_routing(&original, &routed, &line_adjacent, &identity_layout(2)).unwrap_err();
+        assert!(matches!(err, VerifyError::Mismatch(_)));
+    }
+
+    #[test]
+    fn rejects_non_permutation_layout() {
+        let mut original = Circuit::new(2);
+        original.cx(0, 1);
+        let mut routed = Circuit::new(2);
+        routed.cx(0, 1);
+        // Both logical qubits claim physical 0.
+        let err = verify_routing(&original, &routed, &line_adjacent, &[0, 0]).unwrap_err();
+        assert!(matches!(err, VerifyError::BadLayout(_)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_layout() {
+        let mut original = Circuit::new(2);
+        original.cx(0, 1);
+        let mut routed = Circuit::new(2);
+        routed.cx(0, 1);
+        let err = verify_routing(&original, &routed, &line_adjacent, &[0, 7]).unwrap_err();
+        assert!(matches!(err, VerifyError::BadLayout(_)));
     }
 }

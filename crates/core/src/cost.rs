@@ -165,7 +165,12 @@ mod tests {
     }
 
     fn sg(q1: u32, q2: u32, omega: u64, layer: u32) -> ScoredGate {
-        ScoredGate { q1, q2, omega, layer }
+        ScoredGate {
+            q1,
+            q2,
+            omega,
+            layer,
+        }
     }
 
     #[test]

@@ -135,8 +135,7 @@ mod tests {
 
     #[test]
     fn propagates_parse_errors() {
-        let err = route_qasm("qreg q[", &backends::line(2), &QlosureConfig::default())
-            .unwrap_err();
+        let err = route_qasm("qreg q[", &backends::line(2), &QlosureConfig::default()).unwrap_err();
         assert!(matches!(err, PipelineError::Parse(_)));
     }
 }

@@ -525,7 +525,11 @@ mod tests {
         let mut c = Circuit::new(5);
         c.cx(0, 4);
         let r = QlosureMapper::default().map(&c, &device);
-        assert!(r.swaps >= 3, "distance-4 pair needs >= 3 swaps, got {}", r.swaps);
+        assert!(
+            r.swaps >= 3,
+            "distance-4 pair needs >= 3 swaps, got {}",
+            r.swaps
+        );
         verify(&c, &device, &r);
     }
 
@@ -695,9 +699,7 @@ mod tests {
             .gates()
             .iter()
             .filter(|g| {
-                g.kind == circuit::GateKind::Swap
-                    && g.qubits.contains(&0)
-                    && g.qubits.contains(&1)
+                g.kind == circuit::GateKind::Swap && g.qubits.contains(&0) && g.qubits.contains(&1)
             })
             .count();
         assert_eq!(bad_swaps, 0, "noise-aware route crossed the bad link");

@@ -163,10 +163,7 @@ impl BasicSet {
                 let shift = c.expr.coeff(v).checked_mul(value).expect("fix overflow");
                 let mut expr = c.expr.clone().with_coeff(v, 0).plus_const(shift);
                 expr = expr.drop_var(v);
-                Constraint {
-                    kind: c.kind,
-                    expr,
-                }
+                Constraint { kind: c.kind, expr }
             })
             .collect();
         BasicSet::new(self.dim - 1, cs)
@@ -234,8 +231,7 @@ impl BasicSet {
                 NormalizedConstraint::True => {}
                 NormalizedConstraint::False => {
                     self.known_empty = true;
-                    self.constraints =
-                        vec![Constraint::ge(LinearExpr::constant(self.dim, -1))];
+                    self.constraints = vec![Constraint::ge(LinearExpr::constant(self.dim, -1))];
                     return;
                 }
                 NormalizedConstraint::Keep(c) => out.push(c),
@@ -282,8 +278,7 @@ impl BasicSet {
                     NormalizedConstraint::True => {}
                     NormalizedConstraint::False => {
                         self.known_empty = true;
-                        self.constraints =
-                            vec![Constraint::ge(LinearExpr::constant(self.dim, -1))];
+                        self.constraints = vec![Constraint::ge(LinearExpr::constant(self.dim, -1))];
                         return;
                     }
                     NormalizedConstraint::Keep(c) => changed.push(c),
@@ -298,9 +293,10 @@ impl BasicSet {
         let mut kept: Vec<Constraint> = Vec::with_capacity(out.len());
         for c in out {
             if c.kind == ConstraintKind::Ge {
-                if let Some(prev) = kept.iter_mut().find(|p| {
-                    p.kind == ConstraintKind::Ge && p.expr.coeffs() == c.expr.coeffs()
-                }) {
+                if let Some(prev) = kept
+                    .iter_mut()
+                    .find(|p| p.kind == ConstraintKind::Ge && p.expr.coeffs() == c.expr.coeffs())
+                {
                     // Same direction: x >= a and x >= b  ->  keep max bound,
                     // i.e. the *smaller* constant term of `expr >= 0`.
                     if c.expr.constant_term() < prev.expr.constant_term() {
@@ -393,12 +389,7 @@ impl BasicSet {
             }
             ConstraintKind::Mod(m) => {
                 // Reduce coefficients into [0, m).
-                let coeffs: Vec<i64> = c
-                    .expr
-                    .coeffs()
-                    .iter()
-                    .map(|&x| x.rem_euclid(m))
-                    .collect();
+                let coeffs: Vec<i64> = c.expr.coeffs().iter().map(|&x| x.rem_euclid(m)).collect();
                 let k = c.expr.constant_term().rem_euclid(m);
                 let g = coeffs.iter().fold(gcd(m, k), |g, &x| gcd(g, x));
                 if coeffs.iter().all(|&x| x == 0) {
@@ -410,11 +401,7 @@ impl BasicSet {
                 }
                 // Divide through by gcd(coeffs, k, m).
                 let (coeffs, k, m) = if g > 1 {
-                    (
-                        coeffs.iter().map(|&x| x / g).collect(),
-                        k / g,
-                        m / g,
-                    )
+                    (coeffs.iter().map(|&x| x / g).collect(), k / g, m / g)
                 } else {
                     (coeffs, k, m)
                 };
@@ -471,10 +458,7 @@ mod tests {
     #[test]
     fn gcd_tightening_of_inequalities() {
         // 2x >= 3  ->  x >= 2
-        let bs = BasicSet::new(
-            1,
-            vec![Constraint::ge(LinearExpr::new(vec![2], -3))],
-        );
+        let bs = BasicSet::new(1, vec![Constraint::ge(LinearExpr::new(vec![2], -3))]);
         assert!(!bs.contains(&[1]));
         assert!(bs.contains(&[2]));
     }
@@ -507,10 +491,7 @@ mod tests {
     #[test]
     fn congruence_normalization_reduces_coefficients() {
         // 5x ≡ 3 (mod 2)  ->  x ≡ 1 (mod 2)
-        let bs = BasicSet::new(
-            1,
-            vec![Constraint::modulo(LinearExpr::new(vec![5], -3), 2)],
-        );
+        let bs = BasicSet::new(1, vec![Constraint::modulo(LinearExpr::new(vec![5], -3), 2)]);
         assert!(bs.contains(&[1]));
         assert!(bs.contains(&[3]));
         assert!(!bs.contains(&[2]));
@@ -524,7 +505,11 @@ mod tests {
             vec![
                 Constraint::ge(LinearExpr::var(2, 0)),
                 Constraint::ge(LinearExpr::var(2, 0).neg().plus_const(4)),
-                Constraint::eq(LinearExpr::var(2, 1).sub(&LinearExpr::var(2, 0)).plus_const(-1)),
+                Constraint::eq(
+                    LinearExpr::var(2, 1)
+                        .sub(&LinearExpr::var(2, 0))
+                        .plus_const(-1),
+                ),
             ],
         );
         let fixed = bs.fix_var(0, 2);

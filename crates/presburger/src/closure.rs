@@ -120,11 +120,7 @@ fn translation_candidate(r: &Map) -> Option<Map> {
     // x must be a valid start (∈ dom R) and y a valid end (∈ ran R).
     let dom = r.domain().ok()?;
     let ran = r.range().ok()?;
-    Some(
-        Map::from(kernel)
-            .restrict_domain(&dom)
-            .restrict_range(&ran),
-    )
+    Some(Map::from(kernel).restrict_domain(&dom).restrict_range(&ran))
 }
 
 /// Extracts the constant translation vector of a basic map, if it is one.
@@ -178,11 +174,7 @@ fn delta_hull_candidate_1d(r: &Map) -> Option<Map> {
     let kernel = BasicMap::new(1, 1, cs);
     let dom = r.domain().ok()?;
     let ran = r.range().ok()?;
-    Some(
-        Map::from(kernel)
-            .restrict_domain(&dom)
-            .restrict_range(&ran),
-    )
+    Some(Map::from(kernel).restrict_domain(&dom).restrict_range(&ran))
 }
 
 /// Verifies a candidate closure.
@@ -398,7 +390,7 @@ mod tests {
         let r = Map::from_pairs(1, 1, pairs.clone());
         let c = r.transitive_closure();
         // Brute force reachability on 0..=9.
-        let mut reach = vec![[false; 10]; 10];
+        let mut reach = [[false; 10]; 10];
         for (a, b) in &pairs {
             reach[a[0] as usize][b[0] as usize] = true;
         }
@@ -420,5 +412,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn closure_contains_relation() {
+        // R ⊆ R⁺ for both exact and mixed-step relations.
+        for r in [
+            bounded_shift(1, 0, 9),
+            bounded_shift(1, 0, 9).union(&bounded_shift(3, 0, 7)),
+        ] {
+            let c = r.transitive_closure();
+            assert!(r.is_subset(&c.map));
+        }
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        // R⁺ ∘ R⁺ ⊆ R⁺: two closure steps never leave the closure.
+        let r = bounded_shift(1, 0, 9);
+        let c = r.transitive_closure();
+        let two_steps = c.map.compose(&c.map).unwrap();
+        assert!(two_steps.is_subset(&c.map));
+    }
+
+    #[test]
+    fn closure_unfolding_identity() {
+        // R⁺ == R ∪ (R ∘ R⁺) for an exact closure.
+        let r = bounded_shift(1, 0, 9);
+        let c = r.transitive_closure();
+        assert!(c.exact);
+        let unfolded = r.union(&r.compose(&c.map).unwrap());
+        assert!(unfolded.is_equal(&c.map));
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        // (R⁺)⁺ == R⁺, and closing a closed relation stays exact.
+        let r = bounded_shift(1, 0, 9);
+        let c = r.transitive_closure();
+        let cc = c.map.transitive_closure();
+        assert!(cc.exact);
+        assert!(cc.map.is_equal(&c.map));
+    }
+
+    #[test]
+    fn closure_commutes_with_inverse() {
+        // (R⁻¹)⁺ == (R⁺)⁻¹.
+        let r = bounded_shift(2, 0, 8);
+        let closed_inverse = r.inverse().transitive_closure();
+        let inverse_closed = r.transitive_closure().map.inverse();
+        assert!(closed_inverse.map.is_equal(&inverse_closed));
     }
 }

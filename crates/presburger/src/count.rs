@@ -16,7 +16,9 @@ pub fn count(set: &Set) -> Option<u64> {
     let disjoint = set.make_disjoint();
     let mut total: u64 = 0;
     for part in disjoint.parts() {
-        total = total.checked_add(count_basic(part)?).expect("count overflow");
+        total = total
+            .checked_add(count_basic(part)?)
+            .expect("count overflow");
     }
     Some(total)
 }
@@ -37,7 +39,7 @@ pub fn count_basic(bs: &BasicSet) -> Option<u64> {
                 let (lo, hi) = bs.var_bounds(v);
                 if let (Some(lo), Some(hi)) = (lo, hi) {
                     let width = hi.saturating_sub(lo);
-                    if best.map_or(true, |(_, l, h)| width < h.saturating_sub(l)) {
+                    if best.is_none_or(|(_, l, h)| width < h.saturating_sub(l)) {
                         best = Some((v, lo, hi));
                     }
                 }

@@ -40,7 +40,10 @@ impl LinearExpr {
         assert!(v < n_vars, "variable index {v} out of range {n_vars}");
         let mut coeffs = vec![0; n_vars];
         coeffs[v] = 1;
-        LinearExpr { coeffs, constant: 0 }
+        LinearExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Builds an expression from explicit coefficients and a constant.
@@ -76,10 +79,7 @@ impl LinearExpr {
 
     /// Adds `value` to the constant term.
     pub fn plus_const(mut self, value: i64) -> Self {
-        self.constant = self
-            .constant
-            .checked_add(value)
-            .expect("constant overflow");
+        self.constant = self.constant.checked_add(value).expect("constant overflow");
         self
     }
 
@@ -180,7 +180,7 @@ impl LinearExpr {
     pub fn insert_vars(&self, at: usize, count: usize) -> LinearExpr {
         let mut coeffs = Vec::with_capacity(self.coeffs.len() + count);
         coeffs.extend_from_slice(&self.coeffs[..at]);
-        coeffs.extend(std::iter::repeat(0).take(count));
+        coeffs.extend(std::iter::repeat_n(0, count));
         coeffs.extend_from_slice(&self.coeffs[at..]);
         LinearExpr {
             coeffs,

@@ -184,11 +184,7 @@ impl From<BasicMap> for Map {
         } else {
             vec![bm]
         };
-        Map {
-            n_in,
-            n_out,
-            parts,
-        }
+        Map { n_in, n_out, parts }
     }
 }
 
@@ -216,11 +212,7 @@ impl Map {
             .into_iter()
             .filter(|p| !p.wrapped.is_obviously_empty())
             .collect();
-        Map {
-            n_in,
-            n_out,
-            parts,
-        }
+        Map { n_in, n_out, parts }
     }
 
     /// A relation containing exactly the given pairs.
@@ -318,11 +310,7 @@ impl Map {
 
     /// Intersection.
     pub fn intersect(&self, other: &Map) -> Map {
-        Map::unwrap_set(
-            &self.wrap().intersect(&other.wrap()),
-            self.n_in,
-            self.n_out,
-        )
+        Map::unwrap_set(&self.wrap().intersect(&other.wrap()), self.n_in, self.n_out)
     }
 
     /// The inverse relation.
@@ -605,8 +593,7 @@ mod tests {
         let m = Map::from_parts(
             1,
             1,
-            vec![BasicMap::translation(&[1])
-                .restrict_domain(&BasicSet::bounding_box(&[0], &[4]))],
+            vec![BasicMap::translation(&[1]).restrict_domain(&BasicSet::bounding_box(&[0], &[4]))],
         );
         let dom = m.domain().unwrap();
         let ran = m.range().unwrap();
@@ -659,5 +646,53 @@ mod tests {
         assert!(r.contains(&[4], &[5]));
         assert!(!r.contains(&[0], &[1]));
         assert_eq!(r.count_pairs(), Some(3)); // 4->5, 5->6, 6->7
+    }
+
+    #[test]
+    fn compose_identity_laws() {
+        // id ∘ f == f == f ∘ id, also for a non-translation affine map.
+        let id = Map::identity(1);
+        for f in [
+            shift(4),
+            Map::from(BasicMap::from_affine(1, &[LinearExpr::new(vec![3], -2)])),
+            shift(1).union(&shift(-5)),
+        ] {
+            assert!(f.compose(&id).unwrap().is_equal(&f));
+            assert!(id.compose(&f).unwrap().is_equal(&f));
+        }
+    }
+
+    #[test]
+    fn compose_is_associative() {
+        // (f ∘ g) ∘ h == f ∘ (g ∘ h) on a mix of scaling and shifts.
+        let f = Map::from(BasicMap::from_affine(1, &[LinearExpr::new(vec![2], 1)]));
+        let g = shift(3).union(&shift(-1));
+        let h = Map::from(BasicMap::from_affine(1, &[LinearExpr::new(vec![-1], 0)]));
+        let left = f.compose(&g).unwrap().compose(&h).unwrap();
+        let right = f.compose(&g.compose(&h).unwrap()).unwrap();
+        assert!(left.is_equal(&right));
+    }
+
+    #[test]
+    fn compose_inverse_contains_identity_on_domain() {
+        // f⁻¹ ∘ f restricted to f's domain contains the identity there.
+        let dom = Set::from(BasicSet::bounding_box(&[0], &[6]));
+        let f = shift(2).restrict_domain(&dom);
+        let roundtrip = f.compose(&f.inverse()).unwrap();
+        for x in 0..=6 {
+            assert!(roundtrip.contains(&[x], &[x]));
+        }
+        assert!(roundtrip.is_subset(&Map::identity(1)));
+    }
+
+    #[test]
+    fn union_distributes_over_compose() {
+        // (a ∪ b) ∘ c == (a ∘ c) ∪ (b ∘ c).
+        let a = shift(1);
+        let b = shift(4);
+        let c = Map::from(BasicMap::from_affine(1, &[LinearExpr::new(vec![2], 0)]));
+        let left = a.union(&b).compose(&c).unwrap();
+        let right = a.compose(&c).unwrap().union(&b.compose(&c).unwrap());
+        assert!(left.is_equal(&right));
     }
 }

@@ -265,7 +265,10 @@ fn eliminate_inequalities(bs: &BasicSet, v: usize) -> Result<Vec<BasicSet>> {
     // Unbounded on one side: the projection is just the pass-through
     // constraints (Fourier), exact for integers too.
     if lowers.is_empty() || uppers.is_empty() {
-        let cs = rest.into_iter().map(|c| drop_var_constraint(c, v)).collect();
+        let cs = rest
+            .into_iter()
+            .map(|c| drop_var_constraint(c, v))
+            .collect();
         return Ok(vec![BasicSet::new(bs.dim() - 1, cs)]);
     }
     let pairwise_exact = lowers.iter().all(|(b, _)| *b == 1)
@@ -437,7 +440,11 @@ pub fn rational_var_bounds(bs: &BasicSet, v: usize) -> (Option<i64>, Option<i64>
                 let b = l.coeff(u);
                 let a = -up.coeff(u);
                 // b·u + e_l >= 0 and -a·u + e_u >= 0 => a·e_l + b·e_u >= 0
-                let combo = l.clone().with_coeff(u, 0).scale(a).add(&up.clone().with_coeff(u, 0).scale(b));
+                let combo = l
+                    .clone()
+                    .with_coeff(u, 0)
+                    .scale(a)
+                    .add(&up.clone().with_coeff(u, 0).scale(b));
                 rest.push(combo);
             }
         }
@@ -638,7 +645,11 @@ mod tests {
     }
 
     /// Brute-force projection over a grid for cross-checking.
-    fn brute_project(bs: &BasicSet, v: usize, range: std::ops::RangeInclusive<i64>) -> Vec<Vec<i64>> {
+    fn brute_project(
+        bs: &BasicSet,
+        v: usize,
+        range: std::ops::RangeInclusive<i64>,
+    ) -> Vec<Vec<i64>> {
         let dim = bs.dim();
         let mut out = Vec::new();
         let vals: Vec<i64> = range.collect();
@@ -725,7 +736,12 @@ mod tests {
         // { (x, y) : x <= y <= x + 3, 0 <= x <= 4 } eliminate y.
         let bs = BasicSet::new(
             2,
-            vec![ge(&[-1, 1], 0), ge(&[1, -1], 3), ge(&[1, 0], 0), ge(&[-1, 0], 4)],
+            vec![
+                ge(&[-1, 1], 0),
+                ge(&[1, -1], 3),
+                ge(&[1, 0], 0),
+                ge(&[-1, 0], 4),
+            ],
         );
         check_projection(&bs, 1);
     }
@@ -737,10 +753,10 @@ mod tests {
         let bs = BasicSet::new(
             2,
             vec![
-                ge(&[0, 2], -3),       // 2y >= 3
-                ge(&[2, -2], 0),       // 2x >= 2y
-                ge(&[-2, 3], -4),      // 3y - 4 >= 2x
-                ge(&[-1, 0], 6),       // x <= 6
+                ge(&[0, 2], -3),  // 2y >= 3
+                ge(&[2, -2], 0),  // 2x >= 2y
+                ge(&[-2, 3], -4), // 3y - 4 >= 2x
+                ge(&[-1, 0], 6),  // x <= 6
             ],
         );
         check_projection(&bs, 1);
@@ -770,7 +786,12 @@ mod tests {
         // { (x, y) : x ≡ 1 mod 3, 0 <= x <= 8, y = x } eliminate x.
         let bs = BasicSet::new(
             2,
-            vec![md(&[1, 0], -1, 3), ge(&[1, 0], 0), ge(&[-1, 0], 8), eq(&[1, -1], 0)],
+            vec![
+                md(&[1, 0], -1, 3),
+                ge(&[1, 0], 0),
+                ge(&[-1, 0], 8),
+                eq(&[1, -1], 0),
+            ],
         );
         let parts = eliminate_var(&bs, 0).unwrap();
         let members: Vec<i64> = (-8..=8)
@@ -785,7 +806,13 @@ mod tests {
         // in range keeps a witness (x of matching parity exists in [0,5]).
         let bs = BasicSet::new(
             2,
-            vec![md(&[1, 1], 0, 2), ge(&[1, 0], 0), ge(&[-1, 0], 5), ge(&[0, 1], 0), ge(&[0, -1], 5)],
+            vec![
+                md(&[1, 1], 0, 2),
+                ge(&[1, 0], 0),
+                ge(&[-1, 0], 5),
+                ge(&[0, 1], 0),
+                ge(&[0, -1], 5),
+            ],
         );
         let parts = eliminate_var(&bs, 0).unwrap();
         for y in 0..=5 {
@@ -837,7 +864,12 @@ mod tests {
     fn sample_prefers_small_lex() {
         let bs = BasicSet::new(
             2,
-            vec![ge(&[1, 0], -3), ge(&[-1, 0], 10), ge(&[0, 1], 0), ge(&[0, -1], 4)],
+            vec![
+                ge(&[1, 0], -3),
+                ge(&[-1, 0], 10),
+                ge(&[0, 1], 0),
+                ge(&[0, -1], 4),
+            ],
         );
         assert_eq!(bs.sample(), Some(vec![3, 0]));
     }

@@ -177,10 +177,12 @@ impl Set {
         let mut intervals: Vec<(i64, i64)> = Vec::new();
         let mut rest: Vec<BasicSet> = Vec::new();
         for p in &self.parts {
-            let plain = p
-                .constraints()
-                .iter()
-                .all(|c| matches!(c.kind, crate::ConstraintKind::Ge | crate::ConstraintKind::Eq));
+            let plain = p.constraints().iter().all(|c| {
+                matches!(
+                    c.kind,
+                    crate::ConstraintKind::Ge | crate::ConstraintKind::Eq
+                )
+            });
             match (plain, p.var_bounds(0)) {
                 (true, (Some(lo), Some(hi))) if lo <= hi => intervals.push((lo, hi)),
                 _ => rest.push(p.clone()),
@@ -194,11 +196,10 @@ impl Set {
                 _ => merged.push((lo, hi)),
             }
         }
-        let mut parts: Vec<BasicSet> =
-            merged
-                .into_iter()
-                .map(|(lo, hi)| BasicSet::bounding_box(&[lo], &[hi]))
-                .collect();
+        let mut parts: Vec<BasicSet> = merged
+            .into_iter()
+            .map(|(lo, hi)| BasicSet::bounding_box(&[lo], &[hi]))
+            .collect();
         parts.extend(rest);
         Set { dim: 1, parts }
     }
@@ -253,7 +254,11 @@ impl Set {
     pub fn insert_vars(&self, at: usize, count: usize) -> Set {
         Set {
             dim: self.dim + count,
-            parts: self.parts.iter().map(|p| p.insert_vars(at, count)).collect(),
+            parts: self
+                .parts
+                .iter()
+                .map(|p| p.insert_vars(at, count))
+                .collect(),
         }
     }
 

@@ -439,7 +439,12 @@ mod tests {
         let e = p.expanded().unwrap();
         assert_eq!(e.instructions().len(), 2);
         match &e.instructions()[0] {
-            Instruction::Gate { name, params, qubits, .. } => {
+            Instruction::Gate {
+                name,
+                params,
+                qubits,
+                ..
+            } => {
                 assert_eq!(name, "rz");
                 assert_eq!(params, &vec![1.0]);
                 assert_eq!(qubits, &vec![q("q", 1)]);

@@ -200,7 +200,9 @@ impl Parser {
                     TokenKind::Str(name) if name == "qelib1.inc" => {}
                     TokenKind::Str(name) => {
                         return Err(ParseError::new(
-                            format!("cannot resolve include \"{name}\" (only qelib1.inc is built in)"),
+                            format!(
+                                "cannot resolve include \"{name}\" (only qelib1.inc is built in)"
+                            ),
                             inc.line,
                         ));
                     }

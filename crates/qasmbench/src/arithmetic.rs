@@ -156,12 +156,12 @@ mod tests {
         let bq = |i: usize| (1 + b + i) as u32;
         let cout = (1 + 2 * b) as u32;
         let cin = 0u32;
-        let mut maj = |ops: &mut Vec<(char, Vec<u32>)>, x: u32, y: u32, z: u32| {
+        let maj = |ops: &mut Vec<(char, Vec<u32>)>, x: u32, y: u32, z: u32| {
             ops.push(('c', vec![z, y]));
             ops.push(('c', vec![z, x]));
             ops.push(('t', vec![x, y, z]));
         };
-        let mut uma = |ops: &mut Vec<(char, Vec<u32>)>, x: u32, y: u32, z: u32| {
+        let uma = |ops: &mut Vec<(char, Vec<u32>)>, x: u32, y: u32, z: u32| {
             ops.push(('t', vec![x, y, z]));
             ops.push(('c', vec![z, x]));
             ops.push(('c', vec![x, y]));

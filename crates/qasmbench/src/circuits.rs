@@ -256,7 +256,9 @@ pub fn qaoa_maxcut(n: usize, p: usize, seed: u64) -> Circuit {
     let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let mut edges: Vec<(u32, u32)> = Vec::new();
     while edges.len() < n * 3 / 2 {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let a = ((s >> 33) % n as u64) as u32;
         let b = ((s >> 13) % n as u64) as u32;
         if a != b && !edges.contains(&(a.min(b), a.max(b))) {

@@ -34,8 +34,8 @@ mod circuits;
 
 pub use arithmetic::{cuccaro_adder, multiplier};
 pub use circuits::{
-    bernstein_vazirani, cat_state, deep_entangling_ansatz, ghz, ising, knn, qaoa_maxcut, qft,
-    qpe, qram, qugan, swap_test, variational_ansatz, w_state,
+    bernstein_vazirani, cat_state, deep_entangling_ansatz, ghz, ising, knn, qaoa_maxcut, qft, qpe,
+    qram, qugan, swap_test, variational_ansatz, w_state,
 };
 
 use circuit::Circuit;
@@ -216,8 +216,9 @@ mod tests {
             assert_eq!(c.n_qubits(), e.n_qubits, "{}", e.name);
             assert!(c.qop_count() > 0, "{} is empty", e.name);
             assert!(
-                c.gates().iter().all(|g| g.qubits.len() <= 2
-                    || g.kind == circuit::GateKind::Barrier),
+                c.gates()
+                    .iter()
+                    .all(|g| g.qubits.len() <= 2 || g.kind == circuit::GateKind::Barrier),
                 "{} contains 3+ qubit gates",
                 e.name
             );
@@ -230,7 +231,11 @@ mod tests {
         // qft_n63 ~8689, multiplier_n75 ~15767. Same order of magnitude is
         // the reproduction target.
         let qram = generate(Family::Qram, 20);
-        assert!((150..=800).contains(&qram.qop_count()), "{}", qram.qop_count());
+        assert!(
+            (150..=800).contains(&qram.qop_count()),
+            "{}",
+            qram.qop_count()
+        );
         let adder = generate(Family::Adder, 64);
         assert!(
             (700..=2000).contains(&adder.qop_count()),

@@ -262,10 +262,7 @@ mod tests {
         // Under the optimal layout every two-qubit gate sits on an edge.
         for g in b.circuit.gates() {
             if let Some((a, b_)) = g.qubit_pair() {
-                let (pa, pb) = (
-                    b.optimal_layout[a as usize],
-                    b.optimal_layout[b_ as usize],
-                );
+                let (pa, pb) = (b.optimal_layout[a as usize], b.optimal_layout[b_ as usize]);
                 assert!(device.is_adjacent(pa, pb), "{a}->{pa}, {b_}->{pb}");
             }
         }
@@ -332,9 +329,8 @@ mod tests {
         let device = backends::aspen16();
         let b = QuekoSpec::new(&device, 40).seed(4).generate();
         let text = qasm::emit(&b.circuit.to_qasm());
-        let reparsed =
-            Circuit::from_qasm(&qasm::parse(&text).expect("emitted QASM parses"))
-                .expect("converts back");
+        let reparsed = Circuit::from_qasm(&qasm::parse(&text).expect("emitted QASM parses"))
+            .expect("converts back");
         assert_eq!(b.circuit, reparsed);
     }
 }

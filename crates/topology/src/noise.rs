@@ -134,8 +134,7 @@ impl NoiseModel {
             for dst in 0..n {
                 if dist[dst].is_finite() {
                     let units = (dist[dst] / (3.0 * unit)).round() as u64;
-                    quantized[src as usize * n + dst] =
-                        units.min(u64::from(u16::MAX - 1)) as u16;
+                    quantized[src as usize * n + dst] = units.min(u64::from(u16::MAX - 1)) as u16;
                 }
             }
         }
@@ -235,11 +234,7 @@ mod tests {
     fn success_probability_multiplies_fidelities() {
         let g = backends::line(3);
         let noise = NoiseModel::uniform(&g, 0.01, 0.001);
-        let gates: Vec<(&str, &[u32])> = vec![
-            ("h", &[0]),
-            ("cx", &[0, 1]),
-            ("swap", &[1, 2]),
-        ];
+        let gates: Vec<(&str, &[u32])> = vec![("h", &[0]), ("cx", &[0, 1]), ("swap", &[1, 2])];
         let p = noise.success_probability(gates);
         let expected = (1.0f64 - 0.001) * (1.0 - 0.01) * (1.0 - 0.01f64).powi(3);
         assert!((p - expected).abs() < 1e-12, "{p} vs {expected}");

@@ -1,0 +1,250 @@
+//! Minimal, dependency-free stand-in for the subset of the `criterion`
+//! benchmarking API this workspace uses (`bench_function`, benchmark
+//! groups, `iter`/`iter_batched`, the `criterion_group!`/`criterion_main!`
+//! macros).
+//!
+//! The build environment is offline, so the real `criterion` cannot be
+//! fetched. This harness does honest wall-clock measurement (warmup, then
+//! timed samples, median-of-samples reporting) but none of criterion's
+//! statistics, plotting or baseline comparison. Invoked with `--test`
+//! (as `cargo test --benches` does), each benchmark body runs exactly once
+//! so test runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stand-in times every
+/// routine invocation individually, so the variants only influence batch
+/// sizing in the real crate and are accepted for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is cheap to construct.
+    SmallInput,
+    /// Routine input is expensive to construct.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    /// Median time per iteration from the last measurement.
+    elapsed: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters_done = 1;
+            return;
+        }
+        // Warmup and calibration: find an iteration count that runs for
+        // roughly the sample window.
+        let mut n: u64 = 1;
+        let window = Duration::from_millis(20);
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let t = start.elapsed();
+            if t >= window || n >= 1 << 20 {
+                break;
+            }
+            n = (n * 2).max(1);
+        }
+        // Measured samples.
+        let mut samples = Vec::with_capacity(SAMPLES);
+        let mut total_iters = 0u64;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / n as u32);
+            total_iters += n;
+        }
+        samples.sort();
+        self.elapsed = samples[samples.len() / 2];
+        self.iters_done = total_iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.iters_done = 1;
+            return;
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        let mut total = 0u64;
+        // Calibrate the per-sample batch so short routines still get a
+        // stable reading.
+        let probe_input = setup();
+        let probe_start = Instant::now();
+        black_box(routine(probe_input));
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            ((Duration::from_millis(5).as_nanos() / probe.as_nanos()).max(1) as u64).min(1 << 16);
+        for _ in 0..SAMPLES {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            samples.push(start.elapsed() / per_sample as u32);
+            total += per_sample;
+        }
+        samples.sort();
+        self.elapsed = samples[samples.len() / 2];
+        self.iters_done = total;
+    }
+}
+
+const SAMPLES: usize = 11;
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark registry and driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            elapsed: Duration::ZERO,
+            iters_done: 0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test-mode {name}: ok ({} iter)", b.iters_done);
+        } else {
+            println!("{name:<44} median {:>12}", format_duration(b.elapsed));
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// Group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's sample count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.criterion.bench_function(&format!("  {name}"), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --list` support so tooling can enumerate.
+            if std::env::args().any(|a| a == "--list") {
+                $( println!("{}: bench", stringify!($group)); )+
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { test_mode: true };
+        let mut hits = 0u32;
+        c.bench_function("probe", |b| b.iter(|| hits += 1));
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn iter_batched_feeds_setup_output() {
+        let mut c = Criterion { test_mode: true };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| assert_eq!(x * 2, 42), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .bench_function("one", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

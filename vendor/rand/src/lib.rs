@@ -1,0 +1,219 @@
+//! Minimal, deterministic, dependency-free stand-in for the subset of the
+//! `rand` 0.9 API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` cannot be fetched. Everything here is seeded explicitly
+//! ([`SeedableRng::seed_from_u64`]) and produces a fixed stream per seed
+//! (SplitMix64), which is exactly what the mappers and the QUEKO generator
+//! need: reproducible tie-breaking and reproducible benchmarks. The stream
+//! does *not* match the real `rand`'s ChaCha-based `StdRng`; only the API
+//! contract is preserved.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// Returns the next value in the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Constructing a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed. Same seed, same stream.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive integer
+    /// ranges). Panics on an empty range, like the real `rand`.
+    fn random_range<T: SampleRange>(&mut self, range: T) -> T::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 high bits -> uniform in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Integer ranges that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // Rejection sampling to avoid modulo bias.
+    let zone = u128::MAX - (u128::MAX - span + 1) % span;
+    loop {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if wide <= zone {
+            return wide % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + uniform_u128(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + uniform_u128(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64). Stands in for the real
+    /// `StdRng`; statistically solid for tie-breaking and test-data
+    /// generation, not cryptographic.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Sequence-related helpers (`choose`, `shuffle`).
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection from indexable sequences.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Item;
+        /// Uniformly picks one element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Item = T;
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = crate::SampleRange::sample(0..self.len(), rng);
+                Some(&self[i])
+            }
+        }
+    }
+
+    /// In-place random permutation.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = crate::SampleRange::sample(0..=i, rng);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::{IndexedRandom, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000usize),
+                b.random_range(0..1_000_000usize)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(-3i64..=3);
+            assert!((-3..=3).contains(&v));
+            let u = rng.random_range(5..8u32);
+            assert!((5..8).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.as_slice().choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}
