@@ -42,7 +42,7 @@ impl Mapper for CirqMapper {
     }
 
     fn map(&self, circuit: &Circuit, device: &CouplingGraph) -> MappingResult {
-        let dist = device.distances();
+        let dist = device.shared_distances();
         let layout = Layout::identity(circuit.n_qubits(), device.n_qubits());
         let mut st = RouterState::new(circuit, device, &dist, layout);
         let stall_limit = 2 * dist.diameter() as usize + self.config.stall_slack;

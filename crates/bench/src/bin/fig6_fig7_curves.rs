@@ -8,13 +8,12 @@
 //! the share of instances where Qlosure beats each baseline, matching the
 //! percentages quoted in §VI-C.
 
-use bench_support::runner::parallel_map;
-use bench_support::{all_mappers, backend_by_name, mapper_names, run_verified, Scale};
+use bench_support::{all_mappers, engine_batch, mapper_names, run_verified, shared_backend, Scale};
 use queko::QuekoSpec;
 use std::collections::HashMap;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = Scale::from_args_or_exit();
     let backend_name = bench_support::runner::backend_arg("sherbrooke");
     let suites = [
         ("queko-bss-16qbt", "aspen16"),
@@ -33,17 +32,34 @@ fn main() {
         "fig6/7 on {backend_name}: {} instances x 5 mappers",
         jobs.len()
     );
-    let rows = parallel_map(jobs, |(suite, gen_dev, depth, seed)| {
-        let gen_device = backend_by_name(gen_dev);
-        let device = backend_by_name(&backend_name);
-        let bench = QuekoSpec::new(&gen_device, *depth).seed(*seed).generate();
-        let mut per_mapper = Vec::new();
-        for mapper in all_mappers() {
-            let out = run_verified(mapper.as_ref(), &bench.circuit, &device);
-            per_mapper.push((mapper.name().to_string(), out.swaps, out.depth));
-        }
-        (suite.clone(), *depth, *seed, per_mapper)
-    });
+    let backend_ref = &backend_name;
+    let rows = engine_batch(
+        "fig6_fig7_curves",
+        jobs,
+        |(suite, _, depth, seed)| format!("{suite}-d{depth}-s{seed}"),
+        |(_, _, _, per_mapper): &(String, usize, u64, Vec<(String, usize, usize)>)| {
+            per_mapper
+                .iter()
+                .flat_map(|(m, swaps, depth)| {
+                    [
+                        (format!("{m}_swaps"), *swaps as i64),
+                        (format!("{m}_depth"), *depth as i64),
+                    ]
+                })
+                .collect()
+        },
+        move |(suite, gen_dev, depth, seed)| {
+            let gen_device = shared_backend(gen_dev);
+            let device = shared_backend(backend_ref);
+            let bench = QuekoSpec::new(&gen_device, *depth).seed(*seed).generate();
+            let mut per_mapper = Vec::new();
+            for mapper in all_mappers() {
+                let out = run_verified(mapper.as_ref(), &bench.circuit, &device);
+                per_mapper.push((mapper.name().to_string(), out.swaps, out.depth));
+            }
+            (suite.clone(), *depth, *seed, per_mapper)
+        },
+    );
     println!("== Fig. 6/7 — QUEKO curves on {backend_name} ==");
     println!("suite,depth,seed,mapper,swaps,final_depth");
     for (suite, depth, seed, per_mapper) in &rows {

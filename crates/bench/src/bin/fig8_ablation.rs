@@ -15,8 +15,7 @@
 //! relative to the distance-only baseline.
 
 use bench_support::report::{f2, mean};
-use bench_support::runner::parallel_map;
-use bench_support::{backend_by_name, run_verified, Scale};
+use bench_support::{engine_batch, run_verified, shared_backend, Scale};
 use qlosure::{CostVariant, InitialMapping, QlosureConfig, QlosureMapper};
 use queko::QuekoSpec;
 
@@ -56,7 +55,7 @@ fn variants() -> Vec<(&'static str, QlosureMapper)> {
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = Scale::from_args_or_exit();
     let mut jobs: Vec<(usize, u64)> = Vec::new();
     for depth in scale.depths() {
         for seed in 0..scale.seeds() as u64 {
@@ -64,17 +63,28 @@ fn main() {
         }
     }
     eprintln!("fig8: {} instances x 4 variants", jobs.len());
-    let rows = parallel_map(jobs, |(depth, seed)| {
-        let gen_device = backend_by_name("king9");
-        let device = backend_by_name("sherbrooke");
-        let bench = QuekoSpec::new(&gen_device, *depth).seed(*seed).generate();
-        let mut per_variant = Vec::new();
-        for (name, mapper) in variants() {
-            let out = run_verified(&mapper, &bench.circuit, &device);
-            per_variant.push((name, out.swaps, out.depth));
-        }
-        (*depth, *seed, per_variant)
-    });
+    let rows = engine_batch(
+        "fig8_ablation",
+        jobs,
+        |(depth, seed)| format!("king9-d{depth}-s{seed}"),
+        |(_, _, per_variant): &(usize, u64, Vec<(&'static str, usize, usize)>)| {
+            per_variant
+                .iter()
+                .map(|(v, swaps, _)| (format!("{v}_swaps"), *swaps as i64))
+                .collect()
+        },
+        |(depth, seed)| {
+            let gen_device = shared_backend("king9");
+            let device = shared_backend("sherbrooke");
+            let bench = QuekoSpec::new(&gen_device, *depth).seed(*seed).generate();
+            let mut per_variant = Vec::new();
+            for (name, mapper) in variants() {
+                let out = run_verified(&mapper, &bench.circuit, &device);
+                per_variant.push((name, out.swaps, out.depth));
+            }
+            (*depth, *seed, per_variant)
+        },
+    );
     println!("== Fig. 8 — ablation on queko-bss-81qbt / Sherbrooke ==");
     println!("depth,seed,variant,swaps,final_depth");
     for (depth, seed, per_variant) in &rows {

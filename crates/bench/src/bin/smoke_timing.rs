@@ -1,37 +1,54 @@
 //! Developer smoke test: per-mapper wall-clock on one QUEKO instance.
 //! Not part of the paper reproduction; used to calibrate harness scales.
+//! The per-mapper jobs run through the `BatchEngine`, so this is also the
+//! quickest end-to-end check of the parallel harness + JSON report.
 
-use bench_support::{all_mappers, backend_by_name, run_verified};
+use bench_support::{all_mappers, engine_batch, run_verified, shared_backend};
 use queko::QuekoSpec;
+use std::sync::Arc;
 
 fn main() {
     let depth: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(100);
-    let gen_device = backend_by_name("sycamore54");
-    let device = backend_by_name("sherbrooke");
-    let bench = QuekoSpec::new(&gen_device, depth).seed(0).generate();
+    let gen_device = shared_backend("sycamore54");
+    let device = shared_backend("sherbrooke");
+    let bench = Arc::new(QuekoSpec::new(&gen_device, depth).seed(0).generate());
     eprintln!(
         "queko54 depth {depth}: {} gates, {} two-qubit",
         bench.circuit.qop_count(),
         bench.circuit.two_qubit_count()
     );
     let only: Option<String> = std::env::args().nth(2);
-    for mapper in all_mappers() {
-        if only.as_deref().is_some_and(|o| o != mapper.name()) {
-            continue;
-        }
-        eprintln!("running {} ...", mapper.name());
-        let t = std::time::Instant::now();
-        let out = run_verified(mapper.as_ref(), &bench.circuit, &device);
-        eprintln!(
-            "{:<8} swaps {:>6} depth {:>6} time {:>8.2}s (total {:.2}s with verify)",
-            mapper.name(),
-            out.swaps,
-            out.depth,
-            out.elapsed.as_secs_f64(),
-            t.elapsed().as_secs_f64()
-        );
+    // One job per mapper; each job owns its mapper instance.
+    let jobs: Vec<Box<dyn qlosure::Mapper + Send + Sync>> = all_mappers()
+        .into_iter()
+        .filter(|m| only.as_deref().is_none_or(|o| o == m.name()))
+        .collect();
+    let bench_ref = &bench;
+    let device_ref = &device;
+    let rows = engine_batch(
+        "smoke_timing",
+        jobs,
+        |m| m.name().to_string(),
+        |(_, swaps, depth, _): &(String, usize, usize, f64)| {
+            vec![
+                ("swaps".to_string(), *swaps as i64),
+                ("depth".to_string(), *depth as i64),
+            ]
+        },
+        move |mapper| {
+            let out = run_verified(mapper.as_ref(), &bench_ref.circuit, device_ref);
+            (
+                mapper.name().to_string(),
+                out.swaps,
+                out.depth,
+                out.elapsed.as_secs_f64(),
+            )
+        },
+    );
+    for (name, swaps, depth, secs) in &rows {
+        eprintln!("{name:<8} swaps {swaps:>6} depth {depth:>6} time {secs:>8.2}s");
     }
 }

@@ -13,8 +13,7 @@
 //! `--scale full` restores the paper's 9 depths × 10 seeds grid.
 
 use bench_support::report::{f2, mean, Table};
-use bench_support::runner::parallel_map;
-use bench_support::{all_mappers, backend_by_name, mapper_names, run_verified, Scale};
+use bench_support::{all_mappers, engine_batch, mapper_names, run_verified, shared_backend, Scale};
 use queko::QuekoSpec;
 use std::collections::HashMap;
 
@@ -26,7 +25,7 @@ struct Job {
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = Scale::from_args_or_exit();
     // (suite generator device, target backend)
     let configs: Vec<(&str, &str)> = vec![
         ("aspen16", "sherbrooke"),
@@ -52,23 +51,39 @@ fn main() {
     }
     eprintln!("table2_3: {} instances x 5 mappers", jobs.len());
     // results[(backend, size_class)][mapper] -> Vec<(depth_factor, swaps)>
-    let outcomes = parallel_map(jobs, |job| {
-        let gen_device = backend_by_name(&job.suite_device);
-        let device = backend_by_name(&job.backend);
-        let bench = QuekoSpec::new(&gen_device, job.depth)
-            .seed(job.seed)
-            .generate();
-        let mut per_mapper: Vec<(String, f64, usize)> = Vec::new();
-        for mapper in all_mappers() {
-            let out = run_verified(mapper.as_ref(), &bench.circuit, &device);
-            per_mapper.push((
-                mapper.name().to_string(),
-                out.depth as f64 / bench.optimal_depth as f64,
-                out.swaps,
-            ));
-        }
-        (job.backend.clone(), job.depth, per_mapper)
-    });
+    let outcomes = engine_batch(
+        "table2_3_queko_summary",
+        jobs,
+        |j| {
+            format!(
+                "{}-on-{}-d{}-s{}",
+                j.suite_device, j.backend, j.depth, j.seed
+            )
+        },
+        |(_, _, per_mapper): &(String, usize, Vec<(String, f64, usize)>)| {
+            per_mapper
+                .iter()
+                .map(|(m, _, swaps)| (format!("{m}_swaps"), *swaps as i64))
+                .collect()
+        },
+        |job| {
+            let gen_device = shared_backend(&job.suite_device);
+            let device = shared_backend(&job.backend);
+            let bench = QuekoSpec::new(&gen_device, job.depth)
+                .seed(job.seed)
+                .generate();
+            let mut per_mapper: Vec<(String, f64, usize)> = Vec::new();
+            for mapper in all_mappers() {
+                let out = run_verified(mapper.as_ref(), &bench.circuit, &device);
+                per_mapper.push((
+                    mapper.name().to_string(),
+                    out.depth as f64 / bench.optimal_depth as f64,
+                    out.swaps,
+                ));
+            }
+            (job.backend.clone(), job.depth, per_mapper)
+        },
+    );
     // Aggregate.
     type Key = (String, &'static str, String); // backend, class, mapper
     let mut depth_factors: HashMap<Key, Vec<f64>> = HashMap::new();

@@ -8,8 +8,7 @@
 //! `(VAL_baseline − VAL_qlosure) / VAL_baseline` averaged over circuits.
 
 use bench_support::report::Table;
-use bench_support::runner::parallel_map;
-use bench_support::{all_mappers, backend_by_name, mapper_names, run_verified};
+use bench_support::{all_mappers, engine_batch, mapper_names, run_verified, shared_backend};
 use std::collections::HashMap;
 
 fn main() {
@@ -19,23 +18,40 @@ fn main() {
         "table5/6 on {backend_name}: {} circuits x 5 mappers",
         suite.len()
     );
-    let rows = parallel_map(suite, |entry| {
-        let device = backend_by_name(&backend_name);
-        let circuit = entry.build();
-        let qops = circuit.qop_count();
-        let mut per_mapper = Vec::new();
-        for mapper in all_mappers() {
-            let out = run_verified(mapper.as_ref(), &circuit, &device);
-            eprintln!(
-                "  {} x {}: {:.1}s",
-                entry.name,
-                mapper.name(),
-                out.elapsed.as_secs_f64()
-            );
-            per_mapper.push((mapper.name().to_string(), out.swaps, out.depth));
-        }
-        (entry.name.clone(), entry.n_qubits, qops, per_mapper)
-    });
+    let backend_ref = &backend_name;
+    let rows = engine_batch(
+        "table5_6_qasmbench",
+        suite,
+        |entry| entry.name.clone(),
+        |(_, _, _, per_mapper): &(String, usize, usize, Vec<(String, usize, usize)>)| {
+            per_mapper
+                .iter()
+                .flat_map(|(m, swaps, depth)| {
+                    [
+                        (format!("{m}_swaps"), *swaps as i64),
+                        (format!("{m}_depth"), *depth as i64),
+                    ]
+                })
+                .collect()
+        },
+        move |entry| {
+            let device = shared_backend(backend_ref);
+            let circuit = entry.build();
+            let qops = circuit.qop_count();
+            let mut per_mapper = Vec::new();
+            for mapper in all_mappers() {
+                let out = run_verified(mapper.as_ref(), &circuit, &device);
+                eprintln!(
+                    "  {} x {}: {:.1}s",
+                    entry.name,
+                    mapper.name(),
+                    out.elapsed.as_secs_f64()
+                );
+                per_mapper.push((mapper.name().to_string(), out.swaps, out.depth));
+            }
+            (entry.name.clone(), entry.n_qubits, qops, per_mapper)
+        },
+    );
     let mut header = vec!["circuit".to_string(), "qubits".into(), "qops".into()];
     for m in mapper_names() {
         header.push(format!("{m}/swaps"));

@@ -1,4 +1,7 @@
-//! Plain-text table rendering for the reproduction binaries.
+//! Plain-text table rendering and JSON trajectory reports for the
+//! reproduction binaries.
+
+use std::path::PathBuf;
 
 /// A simple left-aligned text table with a title, printed in the style of
 /// the paper's tables.
@@ -60,6 +63,119 @@ impl Table {
     }
 }
 
+/// One job row of a `BENCH_*.json` report.
+#[derive(Clone, Debug)]
+pub struct JsonJobRow {
+    /// Deterministic job ID (roster index).
+    pub id: usize,
+    /// Job label.
+    pub label: String,
+    /// Per-job wall time (the only timing field of a row).
+    pub seconds: f64,
+    /// Integer metric columns (swaps, depth, qops, …) — byte-identical
+    /// across runs and thread counts.
+    pub metrics: Vec<(String, i64)>,
+}
+
+/// The (cpu_seconds, speedup) totals of a row set — the one place this
+/// arithmetic lives, shared by the JSON report and the progress log line.
+pub fn batch_totals(wall_seconds: f64, rows: &[JsonJobRow]) -> (f64, f64) {
+    let cpu_seconds: f64 = rows.iter().map(|r| r.seconds).sum();
+    let speedup = if wall_seconds > 0.0 {
+        cpu_seconds / wall_seconds
+    } else {
+        1.0
+    };
+    (cpu_seconds, speedup)
+}
+
+/// Minimal JSON string encoder (labels are ASCII identifiers in practice).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a batch as deterministic JSON: fixed key order, jobs in roster
+/// order. `wall_seconds`, `cpu_seconds`, `speedup` and the per-job
+/// `seconds` are the only fields that vary between runs.
+pub fn batch_json(name: &str, threads: usize, wall_seconds: f64, rows: &[JsonJobRow]) -> String {
+    let (cpu_seconds, speedup) = batch_totals(wall_seconds, rows);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"name\": {},\n", json_string(name)));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"wall_seconds\": {wall_seconds:.6},\n"));
+    out.push_str(&format!("  \"cpu_seconds\": {cpu_seconds:.6},\n"));
+    out.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    out.push_str("  \"jobs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        // `seconds` is deliberately the last key: stripping the timing
+        // suffix of a row leaves the deterministic prefix intact.
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"label\": {}",
+            row.id,
+            json_string(&row.label),
+        ));
+        for (key, value) in &row.metrics {
+            out.push_str(&format!(", {}: {value}", json_string(key)));
+        }
+        out.push_str(&format!(", \"seconds\": {:.6}}}", row.seconds));
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`batch_json`] to `BENCH_<name>.json` in `$BENCH_JSON_DIR`
+/// (default: the current directory), overwriting any previous run's
+/// report, and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write.
+pub fn write_batch_json(
+    name: &str,
+    threads: usize,
+    wall_seconds: f64,
+    rows: &[JsonJobRow],
+) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    write_batch_json_in(dir.as_ref(), name, threads, wall_seconds, rows)
+}
+
+/// [`write_batch_json`] with an explicit target directory (tests use this
+/// to avoid mutating process-global environment state).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write.
+pub fn write_batch_json_in(
+    dir: &std::path::Path,
+    name: &str,
+    threads: usize,
+    wall_seconds: f64,
+    rows: &[JsonJobRow],
+) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, batch_json(name, threads, wall_seconds, rows))?;
+    Ok(path)
+}
+
 /// Formats a float with two decimals.
 pub fn f2(x: f64) -> String {
     format!("{x:.2}")
@@ -103,6 +219,54 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn batch_json_is_deterministic_modulo_timing() {
+        let rows = vec![
+            JsonJobRow {
+                id: 0,
+                label: "a".into(),
+                seconds: 0.25,
+                metrics: vec![("swaps".into(), 7), ("depth".into(), 42)],
+            },
+            JsonJobRow {
+                id: 1,
+                label: "b \"quoted\"".into(),
+                seconds: 0.75,
+                metrics: vec![],
+            },
+        ];
+        let json = batch_json("demo", 4, 0.5, &rows);
+        assert!(json.contains("\"name\": \"demo\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"speedup\": 2.000")); // 1.0 cpu / 0.5 wall
+        assert!(json.contains("\"swaps\": 7"));
+        assert!(json.contains("\\\"quoted\\\""));
+        // Non-timing content is identical when only timings change.
+        let strip = |j: &str| {
+            j.lines()
+                .filter(|l| {
+                    !l.contains("\"wall_seconds\"")
+                        && !l.contains("\"cpu_seconds\"")
+                        && !l.contains("\"speedup\"")
+                })
+                .map(|l| match l.find(", \"seconds\":") {
+                    Some(at) => l[..at].to_string(),
+                    None => l.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let mut slow = rows.clone();
+        slow[0].seconds = 9.0;
+        assert_eq!(strip(&json), strip(&batch_json("demo", 4, 3.3, &slow)));
     }
 
     #[test]

@@ -1,8 +1,19 @@
 //! Timed, verified mapper execution and the experiment rosters.
+//!
+//! Since PR 2 every reproduction binary funnels its jobs through the
+//! [`engine::BatchEngine`] work-stealing pool via [`engine_batch`]: jobs
+//! get deterministic IDs, results come back in roster order regardless of
+//! the `ENGINE_THREADS` worker count, and each run writes (overwriting any
+//! previous run's) `BENCH_<name>.json` report with per-job wall time and
+//! the observed speedup, so the JSON artifacts track the parallel
+//! trajectory.
 
 use baselines::{CirqMapper, QmapMapper, SabreMapper, TketMapper};
 use circuit::{verify_routing, Circuit};
+use engine::BatchEngine;
 use qlosure::{Mapper, MappingResult, QlosureMapper};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use topology::{backends, CouplingGraph};
 
@@ -18,18 +29,45 @@ pub enum Scale {
 
 impl Scale {
     /// Parses `--scale small|full` style arguments (defaults to `Small`).
-    pub fn from_args() -> Scale {
-        let mut args = std::env::args().skip(1);
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for an unknown `--scale` value.
+    pub fn from_args() -> Result<Scale, String> {
+        Scale::parse_from(std::env::args().skip(1))
+    }
+
+    /// [`Scale::from_args`] with a graceful exit: prints the error to
+    /// stderr and terminates with status 2 instead of panicking.
+    pub fn from_args_or_exit() -> Scale {
+        Scale::from_args().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// The testable core of the CLI parsing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for an unknown `--scale` value.
+    pub fn parse_from<I>(args: I) -> Result<Scale, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             if a == "--scale" {
-                match args.next().as_deref() {
-                    Some("full") => return Scale::Full,
-                    Some("small") | None => return Scale::Small,
-                    Some(other) => panic!("unknown scale `{other}`"),
-                }
+                return match args.next().as_deref() {
+                    Some("full") => Ok(Scale::Full),
+                    Some("small") | None => Ok(Scale::Small),
+                    Some(other) => Err(format!(
+                        "unknown scale `{other}` (expected `small` or `full`)"
+                    )),
+                };
             }
         }
-        Scale::Small
+        Ok(Scale::Small)
     }
 
     /// The QUEKO depth grid for this scale.
@@ -76,6 +114,31 @@ pub fn backend_by_name(name: &str) -> CouplingGraph {
         "sycamore54" => backends::sycamore54(),
         other => panic!("unknown backend `{other}`"),
     }
+}
+
+/// Resolves a back-end by name through a process-wide memo, so every job
+/// of a batch shares one allocation — one adjacency/neighbor table — per
+/// device instead of rebuilding the graph per job. (The device's distance
+/// matrix is shared separately via `CouplingGraph::shared_distances`.)
+///
+/// # Panics
+///
+/// Panics on unknown names (same roster as [`backend_by_name`]).
+pub fn shared_backend(name: &str) -> Arc<CouplingGraph> {
+    static MEMO: OnceLock<Mutex<HashMap<String, Arc<CouplingGraph>>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(Default::default);
+    if let Some(hit) = memo.lock().expect("backend memo poisoned").get(name) {
+        return hit.clone();
+    }
+    // Construct outside the lock so a slow build never serializes lookups
+    // of other (cached) backends; a concurrent duplicate build is cheap
+    // and the entry API keeps the first insertion.
+    let built = Arc::new(backend_by_name(name));
+    memo.lock()
+        .expect("backend memo poisoned")
+        .entry(name.to_string())
+        .or_insert(built)
+        .clone()
 }
 
 /// The mapper roster of the evaluation (paper order).
@@ -134,41 +197,59 @@ pub fn run_verified(
     }
 }
 
-/// Fans `jobs` out over all cores with `std::thread::scope`, preserving
-/// input order in the output.
-pub fn parallel_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
+/// Per-job metric columns recorded in the JSON report (integer-valued so
+/// the report is byte-identical across runs; timings are kept separate).
+pub type Metrics = Vec<(String, i64)>;
+
+/// Runs `jobs` through the [`BatchEngine`] (sized by `ENGINE_THREADS`),
+/// returns the results in roster order, and writes `BENCH_<name>.json`
+/// with per-job wall time, batch wall time and the observed speedup.
+///
+/// `label` names each job in the report; `metrics` extracts the
+/// non-timing result columns. Everything in the JSON except the
+/// `*seconds*`/`speedup` fields (and `threads`) is byte-identical across
+/// thread counts — the determinism contract of the engine.
+pub fn engine_batch<T, R, F, L, M>(name: &str, jobs: Vec<T>, label: L, metrics: M, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
+    L: Fn(&T) -> String,
+    M: Fn(&R) -> Metrics,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
-    let n = jobs.len();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let jobs_ref = &jobs;
-    let f_ref = &f;
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    return;
-                }
-                let r = f_ref(&jobs_ref[i]);
-                **slots[i].lock().expect("slot lock") = Some(r);
-            });
-        }
+    let batch = BatchEngine::from_env();
+    let labels: Vec<String> = jobs.iter().map(&label).collect();
+    let wall0 = Instant::now();
+    let timed: Vec<(R, f64)> = batch.execute(jobs, |job| {
+        let t0 = Instant::now();
+        let r = f(job);
+        let seconds = t0.elapsed().as_secs_f64();
+        (r, seconds)
     });
-    drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect()
+    let wall_seconds = wall0.elapsed().as_secs_f64();
+    let rows: Vec<crate::report::JsonJobRow> = timed
+        .iter()
+        .zip(&labels)
+        .enumerate()
+        .map(|(id, ((r, seconds), label))| crate::report::JsonJobRow {
+            id,
+            label: label.clone(),
+            seconds: *seconds,
+            metrics: metrics(r),
+        })
+        .collect();
+    let (cpu_seconds, speedup) = crate::report::batch_totals(wall_seconds, &rows);
+    eprintln!(
+        "{name}: {} jobs on {} thread(s): wall {wall_seconds:.2}s, cpu {cpu_seconds:.2}s, \
+         speedup {speedup:.2}x",
+        rows.len(),
+        batch.threads(),
+    );
+    match crate::report::write_batch_json(name, batch.threads(), wall_seconds, &rows) {
+        Ok(path) => eprintln!("{name}: wrote {}", path.display()),
+        Err(e) => eprintln!("{name}: could not write JSON report: {e}"),
+    }
+    timed.into_iter().map(|(r, _)| r).collect()
 }
 
 #[cfg(test)]
@@ -195,10 +276,72 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_preserves_order() {
+    fn scale_parses_all_three_branches() {
+        let args = |list: &[&str]| list.iter().map(ToString::to_string).collect::<Vec<_>>();
+        // Branch 1: explicit full.
+        assert_eq!(
+            Scale::parse_from(args(&["--scale", "full"])),
+            Ok(Scale::Full)
+        );
+        // Branch 2: explicit small, trailing flag, and the no-flag default.
+        assert_eq!(
+            Scale::parse_from(args(&["--scale", "small"])),
+            Ok(Scale::Small)
+        );
+        assert_eq!(Scale::parse_from(args(&["--scale"])), Ok(Scale::Small));
+        assert_eq!(
+            Scale::parse_from(args(&["--backend", "x"])),
+            Ok(Scale::Small)
+        );
+        // Branch 3: unknown values are an error message, not a panic.
+        let err = Scale::parse_from(args(&["--scale", "huge"])).unwrap_err();
+        assert!(err.contains("unknown scale `huge`"), "got: {err}");
+        assert!(err.contains("small"), "message names the valid values");
+    }
+
+    #[test]
+    fn shared_backend_returns_one_allocation_per_name() {
+        let a = shared_backend("aspen16");
+        let b = shared_backend("aspen16");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, backend_by_name("aspen16"));
+    }
+
+    #[test]
+    fn engine_batch_preserves_order_and_returns_results() {
         let jobs: Vec<u64> = (0..40).collect();
-        let out = parallel_map(jobs, |&x| x * 2);
+        let out = engine_batch(
+            "runner_unit_test",
+            jobs,
+            |j| format!("job-{j}"),
+            |r| vec![("value".to_string(), *r as i64)],
+            |&x| x * 2,
+        );
         assert_eq!(out, (0..40).map(|x| x * 2).collect::<Vec<_>>());
+        // engine_batch writes its report to the (test) working directory;
+        // don't leave the artifact behind.
+        std::fs::remove_file("BENCH_runner_unit_test.json").ok();
+    }
+
+    #[test]
+    fn batch_json_file_round_trips_through_explicit_dir() {
+        // Unique per-process dir; no process-global env mutation, so this
+        // cannot race with parallel tests or concurrent `cargo test` runs.
+        let temp = std::env::temp_dir().join(format!("qlosure-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&temp).unwrap();
+        let rows = vec![crate::report::JsonJobRow {
+            id: 0,
+            label: "job-7".into(),
+            seconds: 0.5,
+            metrics: vec![("value".to_string(), 14)],
+        }];
+        let path =
+            crate::report::write_batch_json_in(&temp, "runner_unit_test", 2, 1.0, &rows).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"label\": \"job-7\""));
+        assert!(json.contains("\"value\": 14"));
+        assert!(json.contains("\"speedup\""));
+        std::fs::remove_dir_all(&temp).ok();
     }
 
     #[test]

@@ -60,7 +60,7 @@ use circuit::Circuit;
 use topology::CouplingGraph;
 
 /// The outcome of mapping a circuit onto a device.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MappingResult {
     /// The routed circuit over *physical* qubits, SWAPs included.
     pub routed: Circuit,

@@ -106,7 +106,9 @@ impl QlosureMapper {
         device: &CouplingGraph,
         layout: Layout,
     ) -> MappingResult {
-        self.map_with_distances(circuit, device, &device.distances(), layout)
+        // Shared cache: the all-pairs BFS runs once per distinct device
+        // process-wide, not once per mapping (see topology's cache docs).
+        self.map_with_distances(circuit, device, &device.shared_distances(), layout)
     }
 
     /// Error-aware routing (the paper's stated future-work direction):

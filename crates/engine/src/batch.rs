@@ -1,0 +1,203 @@
+//! Typed mapping batches: rosters of (circuit × device × mapper) jobs,
+//! verified execution, and the JSON trajectory report.
+
+use crate::pool::BatchEngine;
+use circuit::{verify_routing, Circuit};
+use qlosure::{Mapper, MappingResult};
+use std::sync::Arc;
+use std::time::Instant;
+use topology::CouplingGraph;
+
+/// One mapping job of a batch roster.
+///
+/// Circuits, devices and mappers are `Arc`-shared so a roster that maps
+/// many circuits onto the same device (or one circuit onto many devices)
+/// carries no duplicated data — the device's adjacency/neighbor tables are
+/// one allocation, and its distance matrix is resolved once through
+/// [`CouplingGraph::shared_distances`].
+#[derive(Clone)]
+pub struct MapJob {
+    /// Human-readable label carried into reports (e.g. `"queko54-d100-s0"`).
+    pub label: String,
+    /// The logical circuit to route.
+    pub circuit: Arc<Circuit>,
+    /// The target device.
+    pub device: Arc<CouplingGraph>,
+    /// The mapper to run.
+    pub mapper: Arc<dyn Mapper + Send + Sync>,
+}
+
+/// The verified outcome of one [`MapJob`].
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Deterministic job ID: the index in the submitted roster.
+    pub id: usize,
+    /// The job's label.
+    pub label: String,
+    /// Mapper name.
+    pub mapper: String,
+    /// Device name.
+    pub device: String,
+    /// SWAPs inserted.
+    pub swaps: usize,
+    /// Routed depth (unit-gate model).
+    pub depth: usize,
+    /// Wall-clock mapping time of this job (timing field).
+    pub seconds: f64,
+    /// The full mapping result.
+    pub result: MappingResult,
+}
+
+/// A completed batch: per-job reports in roster order plus wall-clock
+/// totals for the parallel-trajectory record. (Serialization to the
+/// `BENCH_*.json` artifacts lives in the bench harness —
+/// `bench_support::report` — which owns the one JSON format.)
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Worker count the batch ran with.
+    pub threads: usize,
+    /// End-to-end wall-clock of the batch (timing field).
+    pub wall_seconds: f64,
+    /// Per-job reports, ordered by [`JobReport::id`].
+    pub jobs: Vec<JobReport>,
+}
+
+impl BatchReport {
+    /// Total per-job compute time — the sequential-equivalent cost.
+    pub fn cpu_seconds(&self) -> f64 {
+        self.jobs.iter().map(|j| j.seconds).sum()
+    }
+
+    /// Observed speedup: sequential-equivalent time over batch wall-clock.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.cpu_seconds() / self.wall_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+impl BatchEngine {
+    /// Executes a mapping roster: every job is routed, **verified** (a
+    /// routing that fails [`circuit::verify_routing`] is a mapper bug and
+    /// panics — never an acceptable data point), timed, and reported in
+    /// roster order.
+    ///
+    /// Per-device distance matrices warm through the shared topology
+    /// cache on first use: when several workers hit the same cold device,
+    /// one runs the all-pairs BFS and the rest share its result, so the
+    /// batch never duplicates that work and `wall_seconds` covers the
+    /// true end-to-end cost, warm-up included.
+    pub fn run_jobs(&self, jobs: Vec<MapJob>) -> BatchReport {
+        let start = Instant::now();
+        let ids: Vec<usize> = (0..jobs.len()).collect();
+        let jobs_ref = &jobs;
+        let reports = self.execute(ids, |&id| {
+            let job = &jobs_ref[id];
+            let t0 = Instant::now();
+            let result = job.mapper.map(&job.circuit, &job.device);
+            let seconds = t0.elapsed().as_secs_f64();
+            verify_routing(
+                &job.circuit,
+                &result.routed,
+                &|a, b| job.device.is_adjacent(a, b),
+                &result.initial_layout,
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{} produced invalid routing on {}: {e}",
+                    job.mapper.name(),
+                    job.label
+                )
+            });
+            JobReport {
+                id,
+                label: job.label.clone(),
+                mapper: job.mapper.name().to_string(),
+                device: job.device.name().to_string(),
+                swaps: result.swaps,
+                depth: result.routed.depth(),
+                seconds,
+                result,
+            }
+        });
+        BatchReport {
+            threads: self.threads(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            jobs: reports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlosure::QlosureMapper;
+    use topology::backends;
+
+    fn roster(n: usize) -> Vec<MapJob> {
+        let device = Arc::new(backends::king_grid(4, 4));
+        let mapper: Arc<dyn Mapper + Send + Sync> = Arc::new(QlosureMapper::default());
+        (0..n)
+            .map(|i| {
+                let mut c = Circuit::new(16);
+                let mut s = i as u64 + 1;
+                for _ in 0..30 {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let a = ((s >> 33) % 16) as u32;
+                    let b = ((s >> 13) % 16) as u32;
+                    if a != b {
+                        c.cx(a, b);
+                    }
+                }
+                MapJob {
+                    label: format!("rand-{i}"),
+                    circuit: Arc::new(c),
+                    device: device.clone(),
+                    mapper: mapper.clone(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_jobs_verifies_orders_and_times() {
+        let report = BatchEngine::with_threads(2).run_jobs(roster(6));
+        assert_eq!(report.jobs.len(), 6);
+        for (i, j) in report.jobs.iter().enumerate() {
+            assert_eq!(j.id, i);
+            assert_eq!(j.label, format!("rand-{i}"));
+            assert!(j.seconds >= 0.0);
+            assert_eq!(j.depth, j.result.routed.depth());
+        }
+        assert!(report.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_mapping_results() {
+        let one = BatchEngine::with_threads(1).run_jobs(roster(5));
+        let four = BatchEngine::with_threads(4).run_jobs(roster(5));
+        for (a, b) in one.jobs.iter().zip(&four.jobs) {
+            assert_eq!(a.result, b.result, "job {} diverged", a.label);
+            assert_eq!(a.swaps, b.swaps);
+        }
+    }
+
+    #[test]
+    fn speedup_is_cpu_over_wall() {
+        let report = BatchReport {
+            threads: 4,
+            wall_seconds: 0.5,
+            jobs: Vec::new(),
+        };
+        assert_eq!(report.cpu_seconds(), 0.0);
+        assert_eq!(report.speedup(), 0.0);
+        let degenerate = BatchReport {
+            threads: 1,
+            wall_seconds: 0.0,
+            jobs: Vec::new(),
+        };
+        assert_eq!(degenerate.speedup(), 1.0);
+    }
+}

@@ -49,6 +49,7 @@ mod closure;
 mod count;
 mod expr;
 mod map;
+mod memo;
 mod omega;
 mod set;
 

@@ -514,8 +514,13 @@ impl Map {
     ///
     /// The boolean flag reports whether the result is exact; when `false`
     /// the returned relation is a sound over-approximation (`R⁺ ⊆ result`).
+    ///
+    /// Results are memoized process-wide in a bounded cache keyed by a
+    /// canonical encoding of the relation, so repeated closures of
+    /// structurally identical relations (a batch run's dependence maps)
+    /// compute once and share the result.
     pub fn transitive_closure(&self) -> crate::ClosureResult {
-        crate::closure::transitive_closure(self)
+        crate::memo::global().get(self)
     }
 }
 

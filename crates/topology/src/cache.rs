@@ -1,0 +1,216 @@
+//! Process-wide shared per-device caches.
+//!
+//! The all-pairs-distance matrix (`Dphys`) is a pure function of a
+//! [`CouplingGraph`], yet every mapper invocation used to recompute it —
+//! `O(n²)` BFS work repeated thousands of times over a batch run. The
+//! [`DistanceCache`] here computes each matrix once per distinct graph and
+//! hands out `Arc` clones, with single-computation semantics under
+//! concurrency: when several threads race on an uncached graph, exactly one
+//! runs the BFS and the others block on the same cell and share its result.
+//!
+//! **Invalidation rule:** a [`CouplingGraph`] is immutable after
+//! construction, so entries are keyed by the *full graph content* (name +
+//! adjacency). A different graph — even one with the same name — is a
+//! different key; nothing is ever invalidated in place. The cache is
+//! bounded ([`CAPACITY`] entries) with FIFO eviction; an evicted entry's
+//! matrix stays alive for as long as callers hold their `Arc`s.
+
+use crate::graph::{CouplingGraph, DistanceMatrix};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum number of distinct graphs kept; the evaluation roster has 7
+/// back-ends plus a handful of test topologies, so 32 never evicts in
+/// practice while still bounding memory for adversarial workloads.
+const CAPACITY: usize = 32;
+
+type Cell = Arc<OnceLock<Arc<DistanceMatrix>>>;
+
+/// A bounded, keyed, single-computation cache of distance matrices.
+///
+/// The global instance behind [`CouplingGraph::shared_distances`] is what
+/// production code uses; tests construct private instances so their
+/// hit/miss assertions cannot race with other tests.
+pub(crate) struct DistanceCache {
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct CacheInner {
+    cells: HashMap<CouplingGraph, Cell>,
+    order: VecDeque<CouplingGraph>,
+}
+
+impl DistanceCache {
+    pub(crate) fn new() -> Self {
+        DistanceCache {
+            inner: Mutex::new(CacheInner {
+                cells: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The distance matrix of `graph`, computed at most once per distinct
+    /// graph no matter how many threads ask concurrently.
+    pub(crate) fn get(&self, graph: &CouplingGraph) -> Arc<DistanceMatrix> {
+        let cell: Cell = {
+            let mut inner = self.inner.lock().expect("distance cache poisoned");
+            match inner.cells.get(graph) {
+                Some(cell) => cell.clone(),
+                None => {
+                    if inner.order.len() >= CAPACITY {
+                        if let Some(evicted) = inner.order.pop_front() {
+                            inner.cells.remove(&evicted);
+                        }
+                    }
+                    let cell: Cell = Arc::new(OnceLock::new());
+                    inner.cells.insert(graph.clone(), cell.clone());
+                    inner.order.push_back(graph.clone());
+                    cell
+                }
+            }
+        };
+        // The map lock is released before the (possibly expensive) BFS;
+        // racers on the same cell serialize on the OnceLock instead, so one
+        // slow graph never blocks lookups of other graphs.
+        let mut computed = false;
+        let dist = cell
+            .get_or_init(|| {
+                computed = true;
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Arc::new(graph.distances())
+            })
+            .clone();
+        if !computed {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        dist
+    }
+
+    /// (hits, misses) so far. A "miss" is an actual BFS computation; a
+    /// "hit" is any call that reused an already-computed matrix (including
+    /// calls that blocked while another thread computed it).
+    #[cfg(test)]
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+static GLOBAL: OnceLock<DistanceCache> = OnceLock::new();
+
+/// The global cache consulted by [`CouplingGraph::shared_distances`].
+pub(crate) fn global() -> &'static DistanceCache {
+    GLOBAL.get_or_init(DistanceCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends;
+
+    #[test]
+    fn cache_returns_same_matrix_as_direct_computation() {
+        let cache = DistanceCache::new();
+        let g = backends::line(9);
+        assert_eq!(*cache.get(&g), g.distances());
+        assert_eq!(cache.stats(), (0, 1));
+    }
+
+    #[test]
+    fn repeated_lookups_share_one_allocation() {
+        let cache = DistanceCache::new();
+        let g = backends::ring(12);
+        let a = cache.get(&g);
+        let b = cache.get(&g.clone());
+        assert!(Arc::ptr_eq(&a, &b), "clone of the same graph must hit");
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_graphs_get_distinct_entries() {
+        let cache = DistanceCache::new();
+        let a = cache.get(&backends::line(4));
+        let b = cache.get(&backends::line(5));
+        assert_ne!(a.n_qubits(), b.n_qubits());
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn same_name_different_adjacency_is_a_different_key() {
+        // The invalidation rule: keys are full graph content, not names.
+        let cache = DistanceCache::new();
+        let a = CouplingGraph::new("dev", 3, &[(0, 1), (1, 2)]);
+        let b = CouplingGraph::new("dev", 3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(cache.get(&a).get(0, 2), 2);
+        assert_eq!(cache.get(&b).get(0, 2), 1);
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn eviction_keeps_the_cache_bounded() {
+        let cache = DistanceCache::new();
+        for n in 2..(2 + CAPACITY + 4) {
+            cache.get(&backends::line(n));
+        }
+        // The oldest entry was evicted, so asking again recomputes.
+        cache.get(&backends::line(2));
+        let (_, misses) = cache.stats();
+        assert_eq!(misses as usize, CAPACITY + 4 + 1);
+    }
+
+    #[test]
+    fn eight_threads_hammering_one_graph_compute_once() {
+        let cache = DistanceCache::new();
+        let g = backends::king_grid(6, 6);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        let d = cache.get(&g);
+                        assert_eq!(d.n_qubits(), 36);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1, "single-computation semantics");
+        assert_eq!(hits, 8 * 50 - 1);
+    }
+
+    #[test]
+    fn eight_threads_over_disjoint_graphs_do_not_poison_locks() {
+        let cache = DistanceCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for round in 0..20 {
+                        let n = 3 + (t + round) % 6;
+                        let d = cache.get(&backends::line(n));
+                        assert_eq!(d.n_qubits(), n);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 6, "one computation per distinct graph");
+        assert_eq!(hits, 8 * 20 - 6);
+    }
+
+    #[test]
+    fn global_cache_is_shared_across_call_sites() {
+        let g = backends::king_grid(2, 7);
+        let a = g.shared_distances();
+        let b = g.shared_distances();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, g.distances());
+    }
+}

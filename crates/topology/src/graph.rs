@@ -6,7 +6,7 @@ use std::collections::VecDeque;
 ///
 /// This is the paper's `Rhw` abstraction: the set of physical qubit pairs
 /// that may host a two-qubit gate directly.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CouplingGraph {
     name: String,
     adjacency: Vec<Vec<u32>>,
@@ -133,6 +133,19 @@ impl CouplingGraph {
             }
         }
         DistanceMatrix { n, data }
+    }
+
+    /// The shared, cached distance matrix of this graph.
+    ///
+    /// Functionally identical to [`CouplingGraph::distances`], but the BFS
+    /// runs at most once per distinct graph process-wide: results are kept
+    /// in a bounded global cache (keyed by full graph content) and handed
+    /// out as `Arc` clones, so batch runs that map thousands of circuits
+    /// onto the same device share a single matrix. Safe and deterministic
+    /// under concurrency — when threads race on an uncached graph, exactly
+    /// one computes and the rest share its result.
+    pub fn shared_distances(&self) -> std::sync::Arc<DistanceMatrix> {
+        crate::cache::global().get(self)
     }
 
     /// One shortest path from `a` to `b` (inclusive of both endpoints), or

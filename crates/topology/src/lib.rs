@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod backends;
+mod cache;
 mod graph;
 mod noise;
 

@@ -1,0 +1,176 @@
+//! Differential tests: every mapper in the workspace, run over a seeded
+//! grid of QUEKO circuits and three device topologies, must (a) produce a
+//! routing the independent verifier accepts, (b) preserve the original
+//! gate multiset exactly (modulo inserted SWAPs and qubit relabeling),
+//! and (c) — for the batch engine — produce *identical* results whether
+//! the roster runs on one thread or four (determinism under parallelism).
+
+use circuit::{verify_routing, Circuit, GateKind};
+use engine::{BatchEngine, MapJob};
+use qlosure::Mapper;
+use std::sync::Arc;
+use topology::{backends, CouplingGraph};
+
+/// The seeded instance grid: 2 depths × 2 seeds of QUEKO traffic
+/// generated for a 16-qubit Aspen-style device.
+fn queko_grid() -> Vec<(String, Circuit)> {
+    let gen_device = backends::aspen16();
+    let mut out = Vec::new();
+    for depth in [30, 60] {
+        for seed in 0..2u64 {
+            let bench = queko::QuekoSpec::new(&gen_device, depth)
+                .seed(seed)
+                .generate();
+            out.push((format!("queko16-d{depth}-s{seed}"), bench.circuit));
+        }
+    }
+    out
+}
+
+/// The three target topologies of the differential sweep: heavy-hex,
+/// square lattice and an 8-neighbour king grid — different degrees,
+/// diameters and routing pressure.
+fn devices() -> Vec<CouplingGraph> {
+    vec![
+        backends::sherbrooke(),
+        backends::ankaa3(),
+        backends::king_grid(5, 5),
+    ]
+}
+
+/// The evaluation roster, shared with the bench harness so a mapper added
+/// there automatically enters the differential sweep too.
+fn mappers() -> Vec<Box<dyn Mapper + Send + Sync>> {
+    bench_support::all_mappers()
+}
+
+/// The multiset of non-SWAP operations as sortable fingerprints: gate
+/// kind, parameter bits and arity. Routing permutes qubit operands and
+/// inserts SWAPs but must never drop, duplicate or alter a logical gate.
+fn gate_multiset(c: &Circuit) -> Vec<(String, Vec<u64>, usize)> {
+    let mut out: Vec<(String, Vec<u64>, usize)> = c
+        .gates()
+        .iter()
+        .filter(|g| g.kind != GateKind::Swap)
+        .map(|g| {
+            (
+                g.kind.name().to_string(),
+                g.params.iter().map(|p| p.to_bits()).collect(),
+                g.qubits.len(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn every_mapper_verifies_and_preserves_gates_on_the_grid() {
+    for device in devices() {
+        for (label, circuit) in queko_grid() {
+            let original = gate_multiset(&circuit);
+            assert!(
+                circuit.gates().iter().all(|g| g.kind != GateKind::Swap),
+                "{label}: grid circuits must be swap-free for the multiset check"
+            );
+            for mapper in mappers() {
+                let r = mapper.map(&circuit, &device);
+                verify_routing(
+                    &circuit,
+                    &r.routed,
+                    &|a, b| device.is_adjacent(a, b),
+                    &r.initial_layout,
+                )
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{} failed verification on {label}/{}: {e}",
+                        mapper.name(),
+                        device.name()
+                    )
+                });
+                assert_eq!(
+                    gate_multiset(&r.routed),
+                    original,
+                    "{} altered the gate multiset on {label}/{}",
+                    mapper.name(),
+                    device.name()
+                );
+                let swap_count = r
+                    .routed
+                    .gates()
+                    .iter()
+                    .filter(|g| g.kind == GateKind::Swap)
+                    .count();
+                assert_eq!(
+                    swap_count,
+                    r.swaps,
+                    "{} misreported its swap count on {label}/{}",
+                    mapper.name(),
+                    device.name()
+                );
+            }
+        }
+    }
+}
+
+/// Builds the engine roster: every grid instance × every mapper on one
+/// mid-sized device.
+fn roster() -> Vec<MapJob> {
+    let device = Arc::new(backends::ankaa3());
+    let mut jobs = Vec::new();
+    for (label, circuit) in queko_grid() {
+        let circuit = Arc::new(circuit);
+        for mapper in mappers() {
+            jobs.push(MapJob {
+                label: format!("{label}-{}", mapper.name()),
+                circuit: circuit.clone(),
+                device: device.clone(),
+                mapper: Arc::from(mapper),
+            });
+        }
+    }
+    jobs
+}
+
+#[test]
+fn engine_results_are_identical_at_one_and_four_threads() {
+    let one = BatchEngine::with_threads(1).run_jobs(roster());
+    let four = BatchEngine::with_threads(4).run_jobs(roster());
+    assert_eq!(one.jobs.len(), four.jobs.len());
+    assert_eq!(one.threads, 1);
+    assert_eq!(four.threads, 4);
+    for (a, b) in one.jobs.iter().zip(&four.jobs) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.label, b.label);
+        // The full MappingResult — routed circuit, both layouts and the
+        // swap count — must be identical, not merely equivalent.
+        assert_eq!(
+            a.result, b.result,
+            "job {} diverged across thread counts",
+            a.label
+        );
+        assert_eq!((a.swaps, a.depth), (b.swaps, b.depth));
+    }
+}
+
+#[test]
+fn engine_single_thread_matches_direct_sequential_mapping() {
+    // ENGINE_THREADS=1 must reproduce today's sequential results
+    // bit-for-bit: the engine adds no RNG, reordering or state of its own.
+    let report = BatchEngine::with_threads(1).run_jobs(roster());
+    let mut direct = Vec::new();
+    let device = backends::ankaa3();
+    for (_, circuit) in queko_grid() {
+        for mapper in mappers() {
+            direct.push(mapper.map(&circuit, &device));
+        }
+    }
+    assert_eq!(report.jobs.len(), direct.len());
+    for (job, expected) in report.jobs.iter().zip(&direct) {
+        assert_eq!(
+            job.result, *expected,
+            "engine diverged from sequential on {}",
+            job.label
+        );
+    }
+}

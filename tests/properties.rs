@@ -238,6 +238,43 @@ proptest! {
     }
 }
 
+// ---------- QASM round-trip ----------
+
+/// Asserts `parse → emit → parse` is a fixed point for one circuit: the
+/// first emission is textually stable under re-parsing and the parsed
+/// programs agree instruction-for-instruction.
+fn assert_qasm_round_trip(name: &str, circuit: &Circuit) {
+    let text1 = qasm::emit(&circuit.to_qasm());
+    let p1 = qasm::parse(&text1).unwrap_or_else(|e| panic!("{name}: emitted QASM reparses: {e}"));
+    let text2 = qasm::emit(&p1);
+    assert_eq!(text1, text2, "{name}: emit is not a fixed point");
+    let p2 = qasm::parse(&text2).unwrap();
+    assert_eq!(
+        p1.instructions(),
+        p2.instructions(),
+        "{name}: instructions drift across round trips"
+    );
+    assert_eq!(p1.qregs(), p2.qregs(), "{name}: qregs drift");
+    // And the re-imported circuit is operation-for-operation faithful.
+    let reimported = Circuit::from_qasm(&p1).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(reimported.qop_count(), circuit.qop_count(), "{name}");
+    assert_eq!(
+        reimported.two_qubit_count(),
+        circuit.two_qubit_count(),
+        "{name}"
+    );
+}
+
+#[test]
+fn qasm_round_trip_is_fixed_point_on_qasmbench_corpus() {
+    // Every circuit of the QASMBench corpus: parse → emit → parse is a
+    // fixed point (see `smoke_qasm_round_trip_fixed_point` for the fast
+    // tier).
+    for entry in qasmbench::suite() {
+        assert_qasm_round_trip(&entry.name, &entry.build());
+    }
+}
+
 // ---------- Smoke subset (fixed inputs, milliseconds) ----------
 //
 // One representative fixed case per property family. `cargo test --test
@@ -301,6 +338,12 @@ fn smoke_qlosure_routes_fixed_circuit() {
     )
     .expect("fixed circuit routes");
     assert_eq!(r.routed.qop_count(), c.qop_count() + r.swaps);
+}
+
+#[test]
+fn smoke_qasm_round_trip_fixed_point() {
+    assert_qasm_round_trip("ghz_8", &qasmbench::ghz(8));
+    assert_qasm_round_trip("qft_5", &qasmbench::qft(5));
 }
 
 #[test]
