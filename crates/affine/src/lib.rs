@@ -20,6 +20,11 @@
 //! reachability on the concrete dependence DAG — the same semantics, and
 //! the oracle the affine path is cross-validated against in tests.
 //!
+//! In the mapping stack, [`DependenceAnalysis`] is the typed artifact the
+//! `qlosure` crate's `DependenceWeightsPass` produces for the pass
+//! pipeline; [`DependenceAnalysis::describe`] renders the one-line
+//! summary used in per-pass reports.
+//!
 //! # Example
 //!
 //! ```

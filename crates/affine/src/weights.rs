@@ -101,6 +101,29 @@ impl DependenceAnalysis {
     pub fn n_statements(&self) -> usize {
         self.n_statements
     }
+
+    /// Total weight mass `Σ ω(g)` — a cheap integrity metric for reports
+    /// (two analyses of the same circuit with the same mode always agree).
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// One-line artifact summary for pass-pipeline reports: which engine
+    /// produced the weights, the lifting compression, statement count and
+    /// total weight mass.
+    pub fn describe(&self) -> String {
+        let path = match self.path {
+            WeightPath::AffineExact => "affine-exact",
+            WeightPath::AffineOverApproximate => "affine-overapprox",
+            WeightPath::Graph => "graph",
+        };
+        format!(
+            "weights[{path}] compression={:.1} statements={} Σω={}",
+            self.compression,
+            self.n_statements,
+            self.total_weight()
+        )
+    }
 }
 
 /// The polyhedral path: `ω(t) = card(R⁺({t}))` per interaction time.
@@ -243,6 +266,18 @@ mod tests {
         ));
         assert!(a.compression() >= 4.0);
         assert_eq!(a.n_statements(), 1);
+    }
+
+    #[test]
+    fn describe_names_the_engine_and_totals() {
+        let c = chain(5);
+        let a = DependenceAnalysis::new(&c, WeightMode::Graph);
+        let line = a.describe();
+        assert!(line.starts_with("weights[graph]"), "got: {line}");
+        assert!(line.contains("Σω=10"), "4+3+2+1+0 = 10; got: {line}");
+        assert_eq!(a.total_weight(), 10);
+        let affine = DependenceAnalysis::new(&c, WeightMode::Affine);
+        assert!(affine.describe().starts_with("weights[affine"));
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Cirq-style greedy time-sliced router.
+//! Cirq-style greedy time-sliced router, as a routing pass over the
+//! shared [`RoutingState`].
 
-use crate::common::RouterState;
 use circuit::Circuit;
-use qlosure::{Layout, Mapper, MappingResult};
+use qlosure::{
+    Artifacts, IdentityLayoutPass, Mapper, MappingPipeline, MappingResult, RoutingPass,
+    RoutingState,
+};
 use topology::CouplingGraph;
 
 /// Configuration of the Cirq-style baseline.
@@ -30,10 +33,23 @@ impl Default for CirqConfig {
 /// time slice, apply the swap that most decreases the summed qubit
 /// distance of the active slice (with a light look-ahead), requiring
 /// monotone progress and escaping along a shortest path when stuck.
+///
+/// A pass composition `identity → cirq-route` over the shared
+/// [`RoutingState`].
 #[derive(Clone, Debug, Default)]
 pub struct CirqMapper {
     /// Knobs.
     pub config: CirqConfig,
+}
+
+impl CirqMapper {
+    /// The pass composition this mapper runs.
+    pub fn to_pipeline(&self) -> MappingPipeline {
+        MappingPipeline::new(
+            IdentityLayoutPass,
+            CirqRoutingPass::new(self.config.clone()),
+        )
+    }
 }
 
 impl Mapper for CirqMapper {
@@ -42,13 +58,37 @@ impl Mapper for CirqMapper {
     }
 
     fn map(&self, circuit: &Circuit, device: &CouplingGraph) -> MappingResult {
-        let dist = device.shared_distances();
-        let layout = Layout::identity(circuit.n_qubits(), device.n_qubits());
-        let mut st = RouterState::new(circuit, device, &dist, layout);
-        let stall_limit = 2 * dist.diameter() as usize + self.config.stall_slack;
+        self.to_pipeline().map(circuit, device)
+    }
+
+    fn pipeline(&self) -> Option<MappingPipeline> {
+        Some(self.to_pipeline())
+    }
+}
+
+/// The Cirq greedy loop as a [`RoutingPass`].
+#[derive(Clone, Debug, Default)]
+pub struct CirqRoutingPass {
+    config: CirqConfig,
+}
+
+impl CirqRoutingPass {
+    /// A routing pass with explicit configuration.
+    pub fn new(config: CirqConfig) -> Self {
+        CirqRoutingPass { config }
+    }
+}
+
+impl RoutingPass for CirqRoutingPass {
+    fn name(&self) -> &'static str {
+        "cirq"
+    }
+
+    fn run(&self, st: &mut RoutingState<'_>, _artifacts: &Artifacts) {
+        let stall_limit = 2 * st.dist().diameter() as usize + self.config.stall_slack;
         let mut stall = 0usize;
         loop {
-            if st.execute_ready() > 0 {
+            if st.execute_ready().ran > 0 {
                 stall = 0;
             }
             let slice = st.blocked_front();
@@ -61,10 +101,10 @@ impl Mapper for CirqMapper {
             let mut best: Option<(u32, u32)> = None;
             let mut best_score = base; // must strictly improve
             for (p1, p2) in st.swap_candidates() {
-                st.layout.apply_swap(p1, p2);
-                let score = st.distance_sum(&slice)
-                    + self.config.lookahead_weight * st.distance_sum(&lookahead);
-                st.layout.apply_swap(p1, p2);
+                let score = st.speculate_swap(p1, p2, |s| {
+                    s.distance_sum(&slice)
+                        + self.config.lookahead_weight * s.distance_sum(&lookahead)
+                });
                 if score < best_score - 1e-9 {
                     best_score = score;
                     best = Some((p1, p2));
@@ -84,7 +124,6 @@ impl Mapper for CirqMapper {
                 }
             }
         }
-        st.into_result()
     }
 }
 

@@ -14,6 +14,16 @@
 //! * [`TketMapper`] — tket's LexiRoute-style router (Cowtan et al.,
 //!   TQC'19): lexicographic comparison of per-slice distance vectors.
 //!
+//! **Every mapper is a pass composition, not a loop of its own**: each is
+//! a [`qlosure::MappingPipeline`] of `identity-layout → <tool>-route`
+//! whose routing pass drives the shared incremental
+//! [`qlosure::RoutingState`] (front-layer maintenance, candidate-SWAP
+//! enumeration, decay/clock tables, forced-progress escapes all live in
+//! the state, not re-implemented per tool). The routing passes
+//! ([`SabreRoutingPass`], [`QmapRoutingPass`], [`CirqRoutingPass`],
+//! [`TketRoutingPass`]) are exported so custom pipelines can recompose
+//! them — e.g. a SABRE router behind a Qlosure bidirectional layout pass.
+//!
 //! Every mapper's output is validated by [`circuit::verify_routing`] in
 //! this crate's tests (and continuously by the workspace integration
 //! tests). Absolute gate counts differ from the original tools — the
@@ -24,15 +34,14 @@
 #![warn(missing_docs)]
 
 mod cirq_greedy;
-mod common;
 mod qmap;
 mod sabre;
 mod tket_route;
 
-pub use cirq_greedy::CirqMapper;
-pub use qmap::QmapMapper;
-pub use sabre::SabreMapper;
-pub use tket_route::TketMapper;
+pub use cirq_greedy::{CirqConfig, CirqMapper, CirqRoutingPass};
+pub use qmap::{QmapConfig, QmapMapper, QmapRoutingPass};
+pub use sabre::{SabreConfig, SabreMapper, SabreRoutingPass};
+pub use tket_route::{TketConfig, TketMapper, TketRoutingPass};
 
 use qlosure::Mapper;
 
@@ -45,4 +54,56 @@ pub fn all_baselines() -> Vec<Box<dyn Mapper + Send + Sync>> {
         Box::new(CirqMapper::default()),
         Box::new(TketMapper::default()),
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::Circuit;
+    use qlosure::{BidirectionalLayoutPass, MappingPipeline, QlosureConfig};
+    use topology::backends;
+
+    #[test]
+    fn every_baseline_exposes_its_pipeline() {
+        let device = backends::ring(8);
+        let mut c = Circuit::new(8);
+        for i in 0..8u32 {
+            c.cx(i, (i + 3) % 8);
+        }
+        for mapper in all_baselines() {
+            let pipeline = mapper.pipeline().expect("baselines are pipeline-based");
+            let outcome = pipeline.run(&c, &device).unwrap();
+            assert_eq!(
+                outcome.result,
+                mapper.map(&c, &device),
+                "{}: pipeline form must equal the map adapter",
+                mapper.name()
+            );
+            assert_eq!(outcome.timings.len(), 2, "{}", mapper.name());
+        }
+    }
+
+    #[test]
+    fn routing_passes_recompose_with_foreign_layout_passes() {
+        // A SABRE router behind Qlosure's bidirectional layout pass: the
+        // point of the pass architecture is that this is just composition.
+        let device = backends::line(8);
+        let mut c = Circuit::new(8);
+        for _ in 0..3 {
+            c.cx(0, 7);
+            c.cx(1, 6);
+        }
+        let hybrid = MappingPipeline::new(
+            BidirectionalLayoutPass::new(QlosureConfig::default(), 2),
+            SabreRoutingPass::new(SabreConfig::default()),
+        );
+        let outcome = hybrid.run(&c, &device).unwrap();
+        circuit::verify_routing(
+            &c,
+            &outcome.result.routed,
+            &|a, b| device.is_adjacent(a, b),
+            &outcome.result.initial_layout,
+        )
+        .unwrap();
+    }
 }

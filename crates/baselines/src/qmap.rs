@@ -1,9 +1,12 @@
 //! MQT QMAP-style baseline: per-layer A* search over SWAP sequences
-//! (Zulehner, Paler & Wille, DATE'18).
+//! (Zulehner, Paler & Wille, DATE'18), as a routing pass over the shared
+//! [`RoutingState`].
 
-use crate::common::RouterState;
 use circuit::Circuit;
-use qlosure::{Layout, Mapper, MappingResult};
+use qlosure::{
+    Artifacts, IdentityLayoutPass, Mapper, MappingPipeline, MappingResult, RoutingPass,
+    RoutingState,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use topology::CouplingGraph;
@@ -40,10 +43,23 @@ impl Default for QmapConfig {
 /// (every gate simultaneously adjacent) by an optimal-within-budget SWAP
 /// sequence before any of its gates run — the strategy that makes QMAP
 /// precise on narrow circuits and SWAP-hungry on wide ones.
+///
+/// A pass composition `identity → qmap-route` over the shared
+/// [`RoutingState`].
 #[derive(Clone, Debug, Default)]
 pub struct QmapMapper {
     /// Search knobs.
     pub config: QmapConfig,
+}
+
+impl QmapMapper {
+    /// The pass composition this mapper runs.
+    pub fn to_pipeline(&self) -> MappingPipeline {
+        MappingPipeline::new(
+            IdentityLayoutPass,
+            QmapRoutingPass::new(self.config.clone()),
+        )
+    }
 }
 
 impl Mapper for QmapMapper {
@@ -52,9 +68,33 @@ impl Mapper for QmapMapper {
     }
 
     fn map(&self, circuit: &Circuit, device: &CouplingGraph) -> MappingResult {
-        let dist = device.shared_distances();
-        let layout = Layout::identity(circuit.n_qubits(), device.n_qubits());
-        let mut st = RouterState::new(circuit, device, &dist, layout);
+        self.to_pipeline().map(circuit, device)
+    }
+
+    fn pipeline(&self) -> Option<MappingPipeline> {
+        Some(self.to_pipeline())
+    }
+}
+
+/// The per-layer A* loop as a [`RoutingPass`].
+#[derive(Clone, Debug, Default)]
+pub struct QmapRoutingPass {
+    config: QmapConfig,
+}
+
+impl QmapRoutingPass {
+    /// A routing pass with explicit configuration.
+    pub fn new(config: QmapConfig) -> Self {
+        QmapRoutingPass { config }
+    }
+}
+
+impl RoutingPass for QmapRoutingPass {
+    fn name(&self) -> &'static str {
+        "qmap"
+    }
+
+    fn run(&self, st: &mut RoutingState<'_>, _artifacts: &Artifacts) {
         loop {
             st.execute_ready();
             let layer = st.blocked_front();
@@ -66,11 +106,11 @@ impl Mapper for QmapMapper {
             // search space finite.
             let mut pairs: Vec<(u32, u32)> = layer
                 .iter()
-                .filter_map(|&g| st.circuit.gates()[g as usize].qubit_pair())
+                .filter_map(|&g| st.circuit().gates()[g as usize].qubit_pair())
                 .collect();
-            pairs.sort_by_key(|&(a, b)| st.dist.get(st.layout.phys(a), st.layout.phys(b)));
+            pairs.sort_by_key(|&(a, b)| st.dist().get(st.layout().phys(a), st.layout().phys(b)));
             pairs.truncate(self.config.max_layer_pairs);
-            match astar_swaps(&st, &pairs, &self.config) {
+            match astar_swaps(st, &pairs, &self.config) {
                 Some(swaps) => {
                     for (p1, p2) in swaps {
                         st.apply_swap(p1, p2);
@@ -83,7 +123,6 @@ impl Mapper for QmapMapper {
                 }
             }
         }
-        st.into_result()
     }
 }
 
@@ -91,7 +130,7 @@ impl Mapper for QmapMapper {
 /// SWAP sequence reaching a state where every pair is adjacent, or `None`
 /// when the expansion budget runs out.
 fn astar_swaps(
-    st: &RouterState<'_>,
+    st: &RoutingState<'_>,
     pairs: &[(u32, u32)],
     config: &QmapConfig,
 ) -> Option<Vec<(u32, u32)>> {
@@ -105,18 +144,18 @@ fn astar_swaps(
         .iter()
         .map(|&(a, b)| (slot_of[&a], slot_of[&b]))
         .collect();
-    let start: Vec<u32> = logicals.iter().map(|&l| st.layout.phys(l)).collect();
+    let start: Vec<u32> = logicals.iter().map(|&l| st.layout().phys(l)).collect();
     let h = |pos: &[u32]| -> u32 {
         let raw: u32 = pair_slots
             .iter()
-            .map(|&(i, j)| (st.dist.get(pos[i], pos[j]) as u32).saturating_sub(1))
+            .map(|&(i, j)| (st.dist().get(pos[i], pos[j]) as u32).saturating_sub(1))
             .sum();
         (raw as f64 * config.heuristic_weight) as u32
     };
     let goal = |pos: &[u32]| {
         pair_slots
             .iter()
-            .all(|&(i, j)| st.device.is_adjacent(pos[i], pos[j]))
+            .all(|&(i, j)| st.device().is_adjacent(pos[i], pos[j]))
     };
     if goal(&start) {
         return Some(Vec::new());
@@ -149,9 +188,8 @@ fn astar_swaps(
         }
         // Successor states: swaps on edges incident to an involved qubit.
         let mut cand: Vec<(u32, u32)> = Vec::new();
-        for (slot, &p) in pos.iter().enumerate() {
-            let _ = slot;
-            for &q in st.device.neighbors(p) {
+        for &p in pos.iter() {
+            for &q in st.device().neighbors(p) {
                 let pair = (p.min(q), p.max(q));
                 if !cand.contains(&pair) {
                     cand.push(pair);

@@ -1,8 +1,11 @@
-//! SABRE / LightSABRE baseline (Li, Ding & Xie, ASPLOS'19).
+//! SABRE / LightSABRE baseline (Li, Ding & Xie, ASPLOS'19), as a routing
+//! pass over the shared [`RoutingState`].
 
-use crate::common::RouterState;
 use circuit::Circuit;
-use qlosure::{Layout, Mapper, MappingResult};
+use qlosure::{
+    Artifacts, IdentityLayoutPass, Mapper, MappingPipeline, MappingResult, RoutingPass,
+    RoutingState,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use topology::CouplingGraph;
@@ -40,10 +43,23 @@ impl Default for SabreConfig {
 
 /// The SABRE decay-heuristic router:
 /// `H = max(δ) · (Σ_F D/|F| + W · Σ_E D/|E|)`.
+///
+/// A pass composition `identity → sabre-route` over the shared
+/// [`RoutingState`] (the decay table lives in the state).
 #[derive(Clone, Debug, Default)]
 pub struct SabreMapper {
     /// Knobs; defaults match the published constants.
     pub config: SabreConfig,
+}
+
+impl SabreMapper {
+    /// The pass composition this mapper runs.
+    pub fn to_pipeline(&self) -> MappingPipeline {
+        MappingPipeline::new(
+            IdentityLayoutPass,
+            SabreRoutingPass::new(self.config.clone()),
+        )
+    }
 }
 
 impl Mapper for SabreMapper {
@@ -52,17 +68,40 @@ impl Mapper for SabreMapper {
     }
 
     fn map(&self, circuit: &Circuit, device: &CouplingGraph) -> MappingResult {
-        let dist = device.shared_distances();
-        let layout = Layout::identity(circuit.n_qubits(), device.n_qubits());
-        let mut st = RouterState::new(circuit, device, &dist, layout);
+        self.to_pipeline().map(circuit, device)
+    }
+
+    fn pipeline(&self) -> Option<MappingPipeline> {
+        Some(self.to_pipeline())
+    }
+}
+
+/// The SABRE routing loop as a [`RoutingPass`].
+#[derive(Clone, Debug, Default)]
+pub struct SabreRoutingPass {
+    config: SabreConfig,
+}
+
+impl SabreRoutingPass {
+    /// A routing pass with explicit configuration.
+    pub fn new(config: SabreConfig) -> Self {
+        SabreRoutingPass { config }
+    }
+}
+
+impl RoutingPass for SabreRoutingPass {
+    fn name(&self) -> &'static str {
+        "sabre"
+    }
+
+    fn run(&self, st: &mut RoutingState<'_>, _artifacts: &Artifacts) {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut decay = vec![1.0f64; device.n_qubits()];
-        let stall_limit = 3 * dist.diameter() as usize + self.config.stall_slack;
+        let stall_limit = 3 * st.dist().diameter() as usize + self.config.stall_slack;
         let mut stall = 0usize;
         let mut rounds_since_reset = 0usize;
         loop {
-            if st.execute_ready() > 0 {
-                decay.fill(1.0);
+            if st.execute_ready().ran > 0 {
+                st.reset_decay();
                 stall = 0;
                 rounds_since_reset = 0;
             }
@@ -75,15 +114,16 @@ impl Mapper for SabreMapper {
             let mut best: Vec<(u32, u32)> = Vec::new();
             let mut best_score = f64::INFINITY;
             for &(p1, p2) in &candidates {
-                st.layout.apply_swap(p1, p2);
-                let h_front = st.distance_sum(&blocked) / blocked.len() as f64;
-                let h_ext = if extended.is_empty() {
-                    0.0
-                } else {
-                    st.distance_sum(&extended) / extended.len() as f64
-                };
-                st.layout.apply_swap(p1, p2);
-                let d = decay[p1 as usize].max(decay[p2 as usize]);
+                let (h_front, h_ext) = st.speculate_swap(p1, p2, |s| {
+                    let h_front = s.distance_sum(&blocked) / blocked.len() as f64;
+                    let h_ext = if extended.is_empty() {
+                        0.0
+                    } else {
+                        s.distance_sum(&extended) / extended.len() as f64
+                    };
+                    (h_front, h_ext)
+                });
+                let d = st.decay(p1).max(st.decay(p2));
                 let score = d * (h_front + self.config.extended_set_weight * h_ext);
                 if score < best_score - 1e-9 {
                     best_score = score;
@@ -95,22 +135,21 @@ impl Mapper for SabreMapper {
             }
             let (p1, p2) = best[rng.random_range(0..best.len())];
             st.apply_swap(p1, p2);
-            decay[p1 as usize] += self.config.decay_delta;
-            decay[p2 as usize] += self.config.decay_delta;
+            st.bump_decay(p1, self.config.decay_delta);
+            st.bump_decay(p2, self.config.decay_delta);
             stall += 1;
             rounds_since_reset += 1;
             if rounds_since_reset >= self.config.decay_reset_interval {
-                decay.fill(1.0);
+                st.reset_decay();
                 rounds_since_reset = 0;
             }
             if stall > stall_limit {
                 let g = blocked[0];
                 st.force_route(g);
-                decay.fill(1.0);
+                st.reset_decay();
                 stall = 0;
             }
         }
-        st.into_result()
     }
 }
 
@@ -183,5 +222,19 @@ mod tests {
         let r1 = SabreMapper::default().map(&c, &device);
         let r2 = SabreMapper::default().map(&c, &device);
         assert_eq!(r1.routed, r2.routed);
+    }
+
+    #[test]
+    fn pipeline_form_matches_map_adapter() {
+        let device = backends::ring(8);
+        let mut c = Circuit::new(8);
+        for i in 0..8u32 {
+            c.cx(i, (i + 3) % 8);
+        }
+        let mapper = SabreMapper::default();
+        let direct = mapper.map(&c, &device);
+        let outcome = mapper.to_pipeline().run(&c, &device).unwrap();
+        assert_eq!(outcome.result, direct);
+        assert_eq!(outcome.timings.len(), 2); // identity, sabre
     }
 }

@@ -1,8 +1,11 @@
-//! tket-style LexiRoute baseline (Cowtan et al., TQC'19).
+//! tket-style LexiRoute baseline (Cowtan et al., TQC'19), as a routing
+//! pass over the shared [`RoutingState`].
 
-use crate::common::RouterState;
 use circuit::Circuit;
-use qlosure::{Layout, Mapper, MappingResult};
+use qlosure::{
+    Artifacts, IdentityLayoutPass, Mapper, MappingPipeline, MappingResult, RoutingPass,
+    RoutingState,
+};
 use topology::CouplingGraph;
 
 /// Configuration of the tket-style baseline.
@@ -30,10 +33,23 @@ impl Default for TketConfig {
 /// lexicographically compared vector of sorted-descending qubit distances
 /// over the current and next few time slices — tket's "bounded longest
 /// distance" objective from the paper's Table I.
+///
+/// A pass composition `identity → tket-route` over the shared
+/// [`RoutingState`].
 #[derive(Clone, Debug, Default)]
 pub struct TketMapper {
     /// Knobs.
     pub config: TketConfig,
+}
+
+impl TketMapper {
+    /// The pass composition this mapper runs.
+    pub fn to_pipeline(&self) -> MappingPipeline {
+        MappingPipeline::new(
+            IdentityLayoutPass,
+            TketRoutingPass::new(self.config.clone()),
+        )
+    }
 }
 
 impl Mapper for TketMapper {
@@ -42,50 +58,29 @@ impl Mapper for TketMapper {
     }
 
     fn map(&self, circuit: &Circuit, device: &CouplingGraph) -> MappingResult {
-        let dist = device.shared_distances();
-        let layout = Layout::identity(circuit.n_qubits(), device.n_qubits());
-        let mut st = RouterState::new(circuit, device, &dist, layout);
-        let stall_limit = 2 * dist.diameter() as usize + self.config.stall_slack;
-        let mut stall = 0usize;
-        loop {
-            if st.execute_ready() > 0 {
-                stall = 0;
-            }
-            let front = st.blocked_front();
-            if front.is_empty() {
-                break;
-            }
-            let slices = self.build_slices(&st, &front);
-            let mut best: Option<((u32, u32), Vec<u16>)> = None;
-            for (p1, p2) in st.swap_candidates() {
-                st.layout.apply_swap(p1, p2);
-                let key = self.lexi_key(&st, &slices);
-                st.layout.apply_swap(p1, p2);
-                match &best {
-                    Some((_, k)) if key >= *k => {}
-                    _ => best = Some(((p1, p2), key)),
-                }
-            }
-            let baseline = self.lexi_key(&st, &slices);
-            match best {
-                Some(((p1, p2), key)) if key < baseline && stall <= stall_limit => {
-                    st.apply_swap(p1, p2);
-                    stall += 1;
-                }
-                _ => {
-                    st.force_route(front[0]);
-                    stall = 0;
-                }
-            }
-        }
-        st.into_result()
+        self.to_pipeline().map(circuit, device)
+    }
+
+    fn pipeline(&self) -> Option<MappingPipeline> {
+        Some(self.to_pipeline())
     }
 }
 
-impl TketMapper {
+/// The LexiRoute loop as a [`RoutingPass`].
+#[derive(Clone, Debug, Default)]
+pub struct TketRoutingPass {
+    config: TketConfig,
+}
+
+impl TketRoutingPass {
+    /// A routing pass with explicit configuration.
+    pub fn new(config: TketConfig) -> Self {
+        TketRoutingPass { config }
+    }
+
     /// The current slice plus up to `depth_limit - 1` future slices,
     /// grouped by dependence level.
-    fn build_slices(&self, st: &RouterState<'_>, front: &[u32]) -> Vec<Vec<u32>> {
+    fn build_slices(&self, st: &RoutingState<'_>, front: &[u32]) -> Vec<Vec<u32>> {
         let mut slices: Vec<Vec<u32>> = vec![front.to_vec()];
         let budget = self.config.slice_width * (self.config.depth_limit - 1).max(1);
         let upcoming = st.lookahead(budget);
@@ -96,7 +91,7 @@ impl TketMapper {
             front.iter().map(|&g| (g, 0usize)).collect();
         for &g in &upcoming {
             let l = st
-                .dag
+                .dag()
                 .preds(g)
                 .iter()
                 .filter_map(|p| level.get(p))
@@ -117,19 +112,59 @@ impl TketMapper {
 
     /// The lexicographic key: per slice, gate distances sorted descending,
     /// concatenated slice by slice (earlier slices dominate).
-    fn lexi_key(&self, st: &RouterState<'_>, slices: &[Vec<u32>]) -> Vec<u16> {
+    fn lexi_key(&self, st: &RoutingState<'_>, slices: &[Vec<u32>]) -> Vec<u16> {
         let mut key = Vec::new();
         for slice in slices {
             let mut ds: Vec<u16> = slice
                 .iter()
-                .filter_map(|&g| st.circuit.gates()[g as usize].qubit_pair())
-                .map(|(a, b)| st.dist.get(st.layout.phys(a), st.layout.phys(b)))
+                .filter_map(|&g| st.circuit().gates()[g as usize].qubit_pair())
+                .map(|(a, b)| st.dist().get(st.layout().phys(a), st.layout().phys(b)))
                 .collect();
             ds.sort_unstable_by(|a, b| b.cmp(a));
             key.extend(ds);
             key.push(0); // slice separator keeps comparisons aligned
         }
         key
+    }
+}
+
+impl RoutingPass for TketRoutingPass {
+    fn name(&self) -> &'static str {
+        "tket"
+    }
+
+    fn run(&self, st: &mut RoutingState<'_>, _artifacts: &Artifacts) {
+        let stall_limit = 2 * st.dist().diameter() as usize + self.config.stall_slack;
+        let mut stall = 0usize;
+        loop {
+            if st.execute_ready().ran > 0 {
+                stall = 0;
+            }
+            let front = st.blocked_front();
+            if front.is_empty() {
+                break;
+            }
+            let slices = self.build_slices(st, &front);
+            let mut best: Option<((u32, u32), Vec<u16>)> = None;
+            for (p1, p2) in st.swap_candidates() {
+                let key = st.speculate_swap(p1, p2, |s| self.lexi_key(s, &slices));
+                match &best {
+                    Some((_, k)) if key >= *k => {}
+                    _ => best = Some(((p1, p2), key)),
+                }
+            }
+            let baseline = self.lexi_key(st, &slices);
+            match best {
+                Some(((p1, p2), key)) if key < baseline && stall <= stall_limit => {
+                    st.apply_swap(p1, p2);
+                    stall += 1;
+                }
+                _ => {
+                    st.force_route(front[0]);
+                    stall = 0;
+                }
+            }
+        }
     }
 }
 

@@ -130,6 +130,7 @@ fn main() {
                 ("depth".to_string(), *depth as i64),
             ]
         },
+        |_| Vec::new(),
         move |(v, w)| {
             let device = shared_backend("sherbrooke");
             let mapper = QlosureMapper::with_config(variants_ref[*v].1.clone());

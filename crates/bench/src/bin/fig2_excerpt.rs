@@ -57,6 +57,7 @@ fn main() {
                 ("swaps".to_string(), *swaps as i64),
             ]
         },
+        |_| Vec::new(),
         |(cname, circuit, bname, mapper)| {
             let device = shared_backend(bname);
             let out = run_verified(mapper.as_ref(), circuit, &device);

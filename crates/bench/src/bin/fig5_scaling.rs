@@ -34,19 +34,20 @@ fn main() {
         "fig5_scaling",
         jobs,
         |(backend, depth, seed)| format!("{backend}-d{depth}-s{seed}"),
-        |(_, qops, _)| vec![("qops".to_string(), *qops as i64)],
+        |(_, qops, _, _)| vec![("qops".to_string(), *qops as i64)],
+        |(_, _, _, passes): &(String, usize, f64, Vec<(String, f64)>)| passes.clone(),
         |(backend, depth, seed)| {
             let gen_device = shared_backend("sycamore54");
             let device = shared_backend(backend);
             let bench = QuekoSpec::new(&gen_device, *depth).seed(*seed).generate();
             let qops = bench.circuit.qop_count();
             let out = run_verified(&QlosureMapper::default(), &bench.circuit, &device);
-            (backend.clone(), qops, out.elapsed.as_secs_f64())
+            (backend.clone(), qops, out.elapsed.as_secs_f64(), out.passes)
         },
     );
     println!("== Fig. 5 — Qlosure mapping time vs QOPs ==");
     println!("backend,qops,seconds");
-    for (backend, qops, secs) in &points {
+    for (backend, qops, secs, _) in &points {
         println!("{backend},{qops},{secs:.3}");
     }
     // Linearity check per backend: report R² of time ~ qops.
@@ -54,8 +55,8 @@ fn main() {
     for b in &backends {
         let series: Vec<(f64, f64)> = points
             .iter()
-            .filter(|(bb, _, _)| bb == b)
-            .map(|&(_, q, t)| (q as f64, t))
+            .filter(|(bb, _, _, _)| bb == b)
+            .map(|(_, q, t, _)| (*q as f64, *t))
             .collect();
         if series.len() < 2 {
             continue;

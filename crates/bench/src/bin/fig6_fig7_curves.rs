@@ -48,6 +48,7 @@ fn main() {
                 })
                 .collect()
         },
+        |_| Vec::new(),
         move |(suite, gen_dev, depth, seed)| {
             let gen_device = shared_backend(gen_dev);
             let device = shared_backend(backend_ref);

@@ -73,6 +73,7 @@ fn main() {
                 .map(|(v, swaps, _)| (format!("{v}_swaps"), *swaps as i64))
                 .collect()
         },
+        |_| Vec::new(),
         |(depth, seed)| {
             let gen_device = shared_backend("king9");
             let device = shared_backend("sherbrooke");

@@ -32,12 +32,13 @@ fn main() {
         "smoke_timing",
         jobs,
         |m| m.name().to_string(),
-        |(_, swaps, depth, _): &(String, usize, usize, f64)| {
+        |(_, swaps, depth, _, _): &(String, usize, usize, f64, Vec<(String, f64)>)| {
             vec![
                 ("swaps".to_string(), *swaps as i64),
                 ("depth".to_string(), *depth as i64),
             ]
         },
+        |(_, _, _, _, passes)| passes.clone(),
         move |mapper| {
             let out = run_verified(mapper.as_ref(), &bench_ref.circuit, device_ref);
             (
@@ -45,10 +46,18 @@ fn main() {
                 out.swaps,
                 out.depth,
                 out.elapsed.as_secs_f64(),
+                out.passes,
             )
         },
     );
-    for (name, swaps, depth, secs) in &rows {
-        eprintln!("{name:<8} swaps {swaps:>6} depth {depth:>6} time {secs:>8.2}s");
+    for (name, swaps, depth, secs, passes) in &rows {
+        let route_secs = passes
+            .iter()
+            .filter(|(l, _)| l.starts_with("routing:"))
+            .map(|(_, s)| *s)
+            .sum::<f64>();
+        eprintln!(
+            "{name:<8} swaps {swaps:>6} depth {depth:>6} time {secs:>8.2}s (routing {route_secs:.2}s)"
+        );
     }
 }

@@ -66,6 +66,7 @@ fn main() {
                 .map(|(m, _, swaps)| (format!("{m}_swaps"), *swaps as i64))
                 .collect()
         },
+        |_| Vec::new(),
         |job| {
             let gen_device = shared_backend(&job.suite_device);
             let device = shared_backend(&job.backend);

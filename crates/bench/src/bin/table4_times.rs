@@ -37,6 +37,7 @@ fn main() {
         |(_, depth, _): &(String, usize, Vec<(String, f64)>)| {
             vec![("depth".to_string(), *depth as i64)]
         },
+        |_| Vec::new(),
         |(backend, depth, seed)| {
             let gen_device = shared_backend("sycamore54");
             let device = shared_backend(backend);

@@ -34,6 +34,7 @@ fn main() {
                 })
                 .collect()
         },
+        |_| Vec::new(),
         move |entry| {
             let device = shared_backend(backend_ref);
             let circuit = entry.build();

@@ -70,11 +70,15 @@ pub struct JsonJobRow {
     pub id: usize,
     /// Job label.
     pub label: String,
-    /// Per-job wall time (the only timing field of a row).
+    /// Per-job wall time (timing field).
     pub seconds: f64,
     /// Integer metric columns (swaps, depth, qops, …) — byte-identical
     /// across runs and thread counts.
     pub metrics: Vec<(String, i64)>,
+    /// Per-pass wall-clock timings (`stage:name`, seconds) from the
+    /// mapper's pass pipeline; empty for jobs without pipeline timings.
+    /// Timing fields, like `seconds`.
+    pub pass_seconds: Vec<(String, f64)>,
 }
 
 /// The (cpu_seconds, speedup) totals of a row set — the one place this
@@ -121,8 +125,9 @@ pub fn batch_json(name: &str, threads: usize, wall_seconds: f64, rows: &[JsonJob
     out.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
     out.push_str("  \"jobs\": [\n");
     for (i, row) in rows.iter().enumerate() {
-        // `seconds` is deliberately the last key: stripping the timing
-        // suffix of a row leaves the deterministic prefix intact.
+        // The timing keys are deliberately the row's suffix, starting at
+        // `"seconds"` (then `pass_seconds`): stripping a row from
+        // `, "seconds":` onward leaves the deterministic prefix intact.
         out.push_str(&format!(
             "    {{\"id\": {}, \"label\": {}",
             row.id,
@@ -131,7 +136,18 @@ pub fn batch_json(name: &str, threads: usize, wall_seconds: f64, rows: &[JsonJob
         for (key, value) in &row.metrics {
             out.push_str(&format!(", {}: {value}", json_string(key)));
         }
-        out.push_str(&format!(", \"seconds\": {:.6}}}", row.seconds));
+        out.push_str(&format!(", \"seconds\": {:.6}", row.seconds));
+        if !row.pass_seconds.is_empty() {
+            out.push_str(", \"pass_seconds\": {");
+            for (j, (pass, s)) in row.pass_seconds.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {s:.6}", json_string(pass)));
+            }
+            out.push('}');
+        }
+        out.push('}');
         if i + 1 < rows.len() {
             out.push(',');
         }
@@ -235,12 +251,14 @@ mod tests {
                 label: "a".into(),
                 seconds: 0.25,
                 metrics: vec![("swaps".into(), 7), ("depth".into(), 42)],
+                pass_seconds: vec![],
             },
             JsonJobRow {
                 id: 1,
                 label: "b \"quoted\"".into(),
                 seconds: 0.75,
                 metrics: vec![],
+                pass_seconds: vec![],
             },
         ];
         let json = batch_json("demo", 4, 0.5, &rows);
@@ -267,6 +285,48 @@ mod tests {
         let mut slow = rows.clone();
         slow[0].seconds = 9.0;
         assert_eq!(strip(&json), strip(&batch_json("demo", 4, 3.3, &slow)));
+    }
+
+    #[test]
+    fn pass_timing_columns_render_as_a_nested_object() {
+        let rows = vec![JsonJobRow {
+            id: 0,
+            label: "queko-qlosure".into(),
+            seconds: 0.5,
+            metrics: vec![("swaps".into(), 3)],
+            pass_seconds: vec![
+                ("analysis:weights".into(), 0.125),
+                ("routing:qlosure".into(), 0.25),
+            ],
+        }];
+        let json = batch_json("demo", 1, 0.5, &rows);
+        assert!(
+            json.contains(
+                "\"pass_seconds\": {\"analysis:weights\": 0.125000, \"routing:qlosure\": 0.250000}"
+            ),
+            "got: {json}"
+        );
+        // The timing suffix starts at `seconds`: stripping a row from
+        // `, "seconds":` onward removes the pass timings too.
+        assert!(
+            json.contains(", \"seconds\": 0.500000, \"pass_seconds\""),
+            "got: {json}"
+        );
+        let row_line = json.lines().find(|l| l.contains("\"id\": 0")).unwrap();
+        let stripped = &row_line[..row_line.find(", \"seconds\":").unwrap()];
+        assert!(
+            !stripped.contains("seconds"),
+            "deterministic prefix must carry no timing: {stripped}"
+        );
+        // Rows without pass timings keep the old shape.
+        let bare = vec![JsonJobRow {
+            id: 0,
+            label: "x".into(),
+            seconds: 0.1,
+            metrics: vec![],
+            pass_seconds: vec![],
+        }];
+        assert!(!batch_json("demo", 1, 0.1, &bare).contains("pass_seconds"));
     }
 
     #[test]

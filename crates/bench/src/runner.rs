@@ -166,10 +166,15 @@ pub struct MapOutcome {
     pub depth: usize,
     /// Wall-clock mapping time.
     pub elapsed: Duration,
+    /// Per-pass wall-clock timings (`stage:name`, seconds) when the
+    /// mapper is pipeline-based; empty for opaque mappers.
+    pub passes: Vec<(String, f64)>,
 }
 
 /// Runs `mapper` on `circuit`×`device`, verifies the result and returns
-/// the metrics.
+/// the metrics. Pipeline-based mappers run through their pass composition
+/// (identical result to `Mapper::map`) so the outcome carries per-pass
+/// timings.
 ///
 /// # Panics
 ///
@@ -181,7 +186,8 @@ pub fn run_verified(
     device: &CouplingGraph,
 ) -> MapOutcome {
     let start = Instant::now();
-    let result: MappingResult = mapper.map(circuit, device);
+    let timed = qlosure::run_mapper_timed(mapper, circuit, device);
+    let (result, passes): (MappingResult, Vec<(String, f64)>) = (timed.result, timed.passes);
     let elapsed = start.elapsed();
     verify_routing(
         circuit,
@@ -194,6 +200,7 @@ pub fn run_verified(
         swaps: result.swaps,
         depth: result.routed.depth(),
         elapsed,
+        passes,
     }
 }
 
@@ -201,21 +208,36 @@ pub fn run_verified(
 /// the report is byte-identical across runs; timings are kept separate).
 pub type Metrics = Vec<(String, i64)>;
 
+/// Per-pass timing columns of one job (`stage:name`, seconds), as
+/// produced by [`MapOutcome::passes`].
+pub type PassSeconds = Vec<(String, f64)>;
+
 /// Runs `jobs` through the [`BatchEngine`] (sized by `ENGINE_THREADS`),
 /// returns the results in roster order, and writes `BENCH_<name>.json`
-/// with per-job wall time, batch wall time and the observed speedup.
+/// with per-job wall time, per-pass times, batch wall time and the
+/// observed speedup.
 ///
 /// `label` names each job in the report; `metrics` extracts the
-/// non-timing result columns. Everything in the JSON except the
-/// `*seconds*`/`speedup` fields (and `threads`) is byte-identical across
-/// thread counts — the determinism contract of the engine.
-pub fn engine_batch<T, R, F, L, M>(name: &str, jobs: Vec<T>, label: L, metrics: M, f: F) -> Vec<R>
+/// non-timing result columns; `passes` extracts the per-pass timing
+/// columns (return an empty vector for jobs without pipeline timings).
+/// Everything in the JSON except the `*seconds*`/`speedup` fields (and
+/// `threads`) is byte-identical across thread counts — the determinism
+/// contract of the engine.
+pub fn engine_batch<T, R, F, L, M, P>(
+    name: &str,
+    jobs: Vec<T>,
+    label: L,
+    metrics: M,
+    passes: P,
+    f: F,
+) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
     L: Fn(&T) -> String,
     M: Fn(&R) -> Metrics,
+    P: Fn(&R) -> PassSeconds,
 {
     let batch = BatchEngine::from_env();
     let labels: Vec<String> = jobs.iter().map(&label).collect();
@@ -236,6 +258,7 @@ where
             label: label.clone(),
             seconds: *seconds,
             metrics: metrics(r),
+            pass_seconds: passes(r),
         })
         .collect();
     let (cpu_seconds, speedup) = crate::report::batch_totals(wall_seconds, &rows);
@@ -273,6 +296,12 @@ mod tests {
         assert!(out.swaps >= 2);
         // Distance-3 pair: two swaps (parallelizable) plus the CX.
         assert!(out.depth >= 2);
+        // Qlosure is pipeline-based: per-pass timings come along.
+        let labels: Vec<&str> = out.passes.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["analysis:weights", "layout:identity", "routing:qlosure"]
+        );
     }
 
     #[test]
@@ -315,6 +344,7 @@ mod tests {
             jobs,
             |j| format!("job-{j}"),
             |r| vec![("value".to_string(), *r as i64)],
+            |_| Vec::new(),
             |&x| x * 2,
         );
         assert_eq!(out, (0..40).map(|x| x * 2).collect::<Vec<_>>());
@@ -334,6 +364,7 @@ mod tests {
             label: "job-7".into(),
             seconds: 0.5,
             metrics: vec![("value".to_string(), 14)],
+            pass_seconds: vec![],
         }];
         let path =
             crate::report::write_batch_json_in(&temp, "runner_unit_test", 2, 1.0, &rows).unwrap();

@@ -9,14 +9,23 @@
 //! encoding of the circuit with a graph fallback (see the [`affine`]
 //! crate).
 //!
-//! The crate exposes:
+//! The crate is organized as a **staged pass pipeline** (see the [`pass`]
+//! module): every mapper — Qlosure here, the four baselines in the
+//! `baselines` crate — is a [`MappingPipeline`] composition of
+//! [`AnalysisPass`] → [`LayoutPass`] → [`RoutingPass`] → [`PostPass`]
+//! stages over one shared incremental [`RoutingState`]. The crate exposes:
 //!
-//! * [`QlosureMapper`] — the paper's Algorithm 1 with the layered
-//!   look-ahead cost of Eq. (2), configurable via [`QlosureConfig`]
-//!   (including the §VI-E ablation variants);
+//! * [`QlosureMapper`] — the paper's Algorithm 1 as the composition
+//!   `weights → layout → qlosure-route`, configurable via
+//!   [`QlosureConfig`] (including the §VI-E ablation variants);
+//! * [`RoutingState`] — the incremental front-layer / decay / clock /
+//!   candidate-SWAP state machine with apply/undo deltas, shared by every
+//!   routing pass;
 //! * [`Mapper`] / [`MappingResult`] — the interface shared with the
-//!   baseline mappers in the `baselines` crate;
-//! * [`route_qasm`] — a QASM-in/QASM-out convenience pipeline.
+//!   baseline mappers (`Mapper::map` stays a thin adapter over the
+//!   pipeline; [`Mapper::pipeline`] exposes the composition for per-pass
+//!   timing);
+//! * [`route_qasm`] — the QASM-in/QASM-out endpoints of the pipeline.
 //!
 //! # Quickstart
 //!
@@ -48,13 +57,23 @@
 
 mod cost;
 mod layout;
+pub mod pass;
 mod pipeline;
 mod router;
+mod state;
 
-pub use cost::{CostVariant, OmegaScaling, SwapCost};
+pub use cost::{CostVariant, OmegaScaling, ScoredGate, SwapCost};
 pub use layout::Layout;
+pub use pass::{
+    run_mapper_timed, AnalysisPass, Artifacts, DependenceWeightsPass, FixedLayoutPass,
+    IdentityLayoutPass, LayoutPass, MappingPipeline, MetricsPass, PassContext, PassStage,
+    PassTiming, PipelineOutcome, PostPass, RoutingPass, TimedMapRun, VerifyPass,
+};
 pub use pipeline::{route_qasm, PipelineError};
-pub use router::{InitialMapping, QlosureConfig, QlosureMapper};
+pub use router::{
+    BidirectionalLayoutPass, InitialMapping, QlosureConfig, QlosureMapper, QlosureRoutingPass,
+};
+pub use state::{ExecDelta, RoutingState, StateFingerprint, SwapDelta};
 
 use circuit::Circuit;
 use topology::CouplingGraph;
@@ -89,6 +108,9 @@ impl MappingResult {
 ///
 /// Implemented by [`QlosureMapper`] and by every baseline in the
 /// `baselines` crate, so the evaluation harness can drive them uniformly.
+/// Built-in mappers are pass compositions: their [`Mapper::map`] is a thin
+/// adapter over [`Mapper::pipeline`], which harnesses use to collect
+/// per-pass timings.
 pub trait Mapper {
     /// Short identifier used in result tables (e.g. `"qlosure"`).
     fn name(&self) -> &str;
@@ -98,4 +120,12 @@ pub trait Mapper {
     /// Implementations must return a [`MappingResult`] that passes
     /// [`circuit::verify_routing`] against the original circuit.
     fn map(&self, circuit: &Circuit, device: &CouplingGraph) -> MappingResult;
+
+    /// The staged pass composition behind this mapper, when it is
+    /// pipeline-based. Running the returned pipeline produces a result
+    /// identical to [`Mapper::map`], plus per-pass timings. Opaque
+    /// mappers (the default) return `None`.
+    fn pipeline(&self) -> Option<MappingPipeline> {
+        None
+    }
 }

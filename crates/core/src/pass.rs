@@ -1,0 +1,656 @@
+//! The staged pass-pipeline architecture.
+//!
+//! Mapping a circuit is a multi-stage story — analyze dependences, choose
+//! an initial layout, route, then verify/measure — and every mapper in the
+//! workspace is a *composition of passes* over the shared incremental
+//! [`RoutingState`], not a bespoke loop. The stages:
+//!
+//! 1. **[`AnalysisPass`]** — produces typed artifacts (e.g. the
+//!    [`affine::DependenceAnalysis`] ω-weights) into an [`Artifacts`] map
+//!    keyed by type;
+//! 2. **[`LayoutPass`]** — produces the initial logical→physical
+//!    [`Layout`] ([`IdentityLayoutPass`], [`FixedLayoutPass`], or the
+//!    SABRE-style [`crate::BidirectionalLayoutPass`]);
+//! 3. **[`RoutingPass`]** — consumes a [`RoutingState`] seeded with that
+//!    layout and drives it to completion;
+//! 4. **[`PostPass`]** — validates or measures the finished
+//!    [`MappingResult`] ([`VerifyPass`], [`MetricsPass`]).
+//!
+//! [`MappingPipeline`] composes one routing pass and one layout pass with
+//! any number of analysis/post passes, times every pass, and returns a
+//! [`PipelineOutcome`] carrying the result, per-pass timings and post-pass
+//! metrics. `Mapper::map` on every built-in mapper is a thin adapter over
+//! its pipeline, and `Mapper::pipeline` exposes the composition so
+//! harnesses (the batch engine, the bench binaries) can record per-pass
+//! timings.
+//!
+//! # Composing a pipeline
+//!
+//! ```
+//! use affine::WeightMode;
+//! use circuit::Circuit;
+//! use qlosure::{
+//!     DependenceWeightsPass, IdentityLayoutPass, MappingPipeline, MetricsPass, QlosureConfig,
+//!     QlosureRoutingPass,
+//! };
+//! use topology::backends;
+//!
+//! let mut c = Circuit::new(3);
+//! c.cx(0, 2); // not adjacent on a line: needs a SWAP
+//! let device = backends::line(3);
+//! let pipeline = MappingPipeline::new(
+//!     IdentityLayoutPass,
+//!     QlosureRoutingPass::new(QlosureConfig::default()),
+//! )
+//! .with_analysis(DependenceWeightsPass::new(WeightMode::Auto))
+//! .with_post(MetricsPass);
+//! let outcome = pipeline.run(&c, &device)?;
+//! assert!(outcome.result.swaps >= 1);
+//! assert_eq!(outcome.timings.len(), 4); // weights, identity, qlosure, metrics
+//! assert!(outcome.metrics.iter().any(|(k, _)| k == "swaps"));
+//! # Ok::<(), qlosure::PipelineError>(())
+//! ```
+
+use crate::layout::Layout;
+use crate::pipeline::PipelineError;
+use crate::state::RoutingState;
+use crate::MappingResult;
+use affine::{DependenceAnalysis, WeightMode};
+use circuit::Circuit;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+use topology::{CouplingGraph, DistanceMatrix};
+
+/// Read-only inputs shared by every pass of one pipeline run.
+pub struct PassContext<'a> {
+    /// The logical circuit being mapped.
+    pub circuit: &'a Circuit,
+    /// The target coupling graph.
+    pub device: &'a CouplingGraph,
+    /// The distance matrix routing costs come from (hop counts by
+    /// default; reliability-weighted for noise-aware runs).
+    pub dist: &'a DistanceMatrix,
+}
+
+/// Typed artifact store filled by [`AnalysisPass`]es and read by later
+/// stages, keyed by artifact type (one artifact per type).
+#[derive(Default)]
+pub struct Artifacts {
+    inner: HashMap<TypeId, Box<dyn Any + Send + Sync>>,
+}
+
+impl Artifacts {
+    /// Stores `artifact`, replacing any previous artifact of the same
+    /// type.
+    pub fn insert<T: Any + Send + Sync>(&mut self, artifact: T) {
+        self.inner.insert(TypeId::of::<T>(), Box::new(artifact));
+    }
+
+    /// The artifact of type `T`, if an analysis pass produced one.
+    pub fn get<T: Any>(&self) -> Option<&T> {
+        self.inner
+            .get(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_ref())
+    }
+
+    /// Number of stored artifacts.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no artifacts have been stored.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+/// A pass that derives typed artifacts from the input circuit/device
+/// before layout and routing run.
+pub trait AnalysisPass: Send + Sync {
+    /// Short identifier used in timing reports.
+    fn name(&self) -> &'static str;
+    /// Runs the analysis, inserting artifacts into `artifacts`.
+    fn run(&self, ctx: &PassContext<'_>, artifacts: &mut Artifacts);
+}
+
+/// A pass that chooses the initial logical→physical assignment.
+pub trait LayoutPass: Send + Sync {
+    /// Short identifier used in timing reports.
+    fn name(&self) -> &'static str;
+    /// Produces the initial layout.
+    fn run(&self, ctx: &PassContext<'_>, artifacts: &Artifacts) -> Layout;
+}
+
+/// A pass that drives a [`RoutingState`] to completion (the hot stage).
+pub trait RoutingPass: Send + Sync {
+    /// Short identifier used in timing reports.
+    fn name(&self) -> &'static str;
+    /// Routes until `state.is_done()`.
+    fn run(&self, state: &mut RoutingState<'_>, artifacts: &Artifacts);
+}
+
+/// A pass that validates or measures the finished mapping.
+pub trait PostPass: Send + Sync {
+    /// Short identifier used in timing reports.
+    fn name(&self) -> &'static str;
+    /// Inspects the result; returns named integer metrics, or an error
+    /// message to fail the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// An `Err` aborts the pipeline with [`PipelineError::Post`].
+    fn run(
+        &self,
+        ctx: &PassContext<'_>,
+        result: &MappingResult,
+    ) -> Result<Vec<(String, i64)>, String>;
+}
+
+/// Which pipeline stage a timing entry belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PassStage {
+    /// An [`AnalysisPass`].
+    Analysis,
+    /// The [`LayoutPass`].
+    Layout,
+    /// The [`RoutingPass`].
+    Routing,
+    /// A [`PostPass`].
+    Post,
+}
+
+impl fmt::Display for PassStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PassStage::Analysis => "analysis",
+            PassStage::Layout => "layout",
+            PassStage::Routing => "routing",
+            PassStage::Post => "post",
+        })
+    }
+}
+
+/// Wall-clock of one executed pass.
+#[derive(Clone, Debug)]
+pub struct PassTiming {
+    /// The stage the pass ran in.
+    pub stage: PassStage,
+    /// The pass's name.
+    pub pass: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl PassTiming {
+    /// `stage:name` label used as a report column key.
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.stage, self.pass)
+    }
+}
+
+/// The outcome of one [`MappingPipeline::run`].
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// The mapping result (identical to what the mapper's plain
+    /// `Mapper::map` adapter returns).
+    pub result: MappingResult,
+    /// Per-pass wall-clock timings, in execution order.
+    pub timings: Vec<PassTiming>,
+    /// Named integer metrics collected from the post passes.
+    pub metrics: Vec<(String, i64)>,
+}
+
+/// A staged mapper: analyses, one layout pass, one routing pass, post
+/// passes — run in that order over a shared [`RoutingState`].
+pub struct MappingPipeline {
+    analyses: Vec<Box<dyn AnalysisPass>>,
+    layout: Box<dyn LayoutPass>,
+    routing: Box<dyn RoutingPass>,
+    post: Vec<Box<dyn PostPass>>,
+}
+
+impl MappingPipeline {
+    /// A pipeline from its two mandatory stages.
+    pub fn new(layout: impl LayoutPass + 'static, routing: impl RoutingPass + 'static) -> Self {
+        MappingPipeline {
+            analyses: Vec::new(),
+            layout: Box::new(layout),
+            routing: Box::new(routing),
+            post: Vec::new(),
+        }
+    }
+
+    /// Appends an analysis pass (analyses run in insertion order).
+    #[must_use]
+    pub fn with_analysis(mut self, pass: impl AnalysisPass + 'static) -> Self {
+        self.analyses.push(Box::new(pass));
+        self
+    }
+
+    /// Appends a post pass (post passes run in insertion order).
+    #[must_use]
+    pub fn with_post(mut self, pass: impl PostPass + 'static) -> Self {
+        self.post.push(Box::new(pass));
+        self
+    }
+
+    /// The pass composition as a `a → b → c` description string.
+    pub fn describe(&self) -> String {
+        let mut names: Vec<&'static str> = Vec::new();
+        names.extend(self.analyses.iter().map(|p| p.name()));
+        names.push(self.layout.name());
+        names.push(self.routing.name());
+        names.extend(self.post.iter().map(|p| p.name()));
+        names.join(" → ")
+    }
+
+    /// Runs the pipeline with the device's (cached) hop-count distances.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::DeviceTooSmall`] when the circuit does not fit,
+    /// [`PipelineError::Post`] when a post pass rejects the result.
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        device: &CouplingGraph,
+    ) -> Result<PipelineOutcome, PipelineError> {
+        let dist = device.shared_distances();
+        self.run_with_distances(circuit, device, &dist)
+    }
+
+    /// Runs the pipeline with an explicit distance matrix (e.g. the
+    /// reliability-weighted distances of a noise model).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MappingPipeline::run`].
+    pub fn run_with_distances(
+        &self,
+        circuit: &Circuit,
+        device: &CouplingGraph,
+        dist: &DistanceMatrix,
+    ) -> Result<PipelineOutcome, PipelineError> {
+        if circuit.n_qubits() > device.n_qubits() {
+            return Err(PipelineError::DeviceTooSmall {
+                needed: circuit.n_qubits(),
+                available: device.n_qubits(),
+            });
+        }
+        let ctx = PassContext {
+            circuit,
+            device,
+            dist,
+        };
+        let mut timings: Vec<PassTiming> = Vec::new();
+        let mut artifacts = Artifacts::default();
+        for pass in &self.analyses {
+            let t0 = Instant::now();
+            pass.run(&ctx, &mut artifacts);
+            timings.push(PassTiming {
+                stage: PassStage::Analysis,
+                pass: pass.name().to_string(),
+                seconds: t0.elapsed().as_secs_f64(),
+            });
+        }
+        let t0 = Instant::now();
+        let layout = self.layout.run(&ctx, &artifacts);
+        timings.push(PassTiming {
+            stage: PassStage::Layout,
+            pass: self.layout.name().to_string(),
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+        let mut state = RoutingState::new(circuit, device, dist, layout);
+        let t0 = Instant::now();
+        self.routing.run(&mut state, &artifacts);
+        timings.push(PassTiming {
+            stage: PassStage::Routing,
+            pass: self.routing.name().to_string(),
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+        let result = state.into_result();
+        let mut metrics: Vec<(String, i64)> = Vec::new();
+        for pass in &self.post {
+            let t0 = Instant::now();
+            let out = pass.run(&ctx, &result);
+            timings.push(PassTiming {
+                stage: PassStage::Post,
+                pass: pass.name().to_string(),
+                seconds: t0.elapsed().as_secs_f64(),
+            });
+            match out {
+                Ok(m) => metrics.extend(m),
+                Err(message) => {
+                    return Err(PipelineError::Post {
+                        pass: pass.name().to_string(),
+                        message,
+                    })
+                }
+            }
+        }
+        Ok(PipelineOutcome {
+            result,
+            timings,
+            metrics,
+        })
+    }
+
+    /// [`MappingPipeline::run`] with the error path collapsed to a panic —
+    /// the thin-adapter form behind every `Mapper::map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pipeline errors (circuit larger than the device, or
+    /// a post pass rejecting the result).
+    pub fn map(&self, circuit: &Circuit, device: &CouplingGraph) -> MappingResult {
+        match self.run(circuit, device) {
+            Ok(outcome) => outcome.result,
+            Err(e) => panic!("mapping pipeline `{}` failed: {e}", self.describe()),
+        }
+    }
+}
+
+impl fmt::Debug for MappingPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappingPipeline")
+            .field("passes", &self.describe())
+            .finish()
+    }
+}
+
+/// The outcome of [`run_mapper_timed`]: the mapping result plus whatever
+/// pipeline telemetry the mapper exposes.
+#[derive(Debug)]
+pub struct TimedMapRun {
+    /// The mapping result (identical to `Mapper::map`).
+    pub result: MappingResult,
+    /// The pass composition description; empty for opaque mappers.
+    pub pipeline: String,
+    /// Per-pass wall-clock timings (`stage:name`, seconds) in execution
+    /// order; empty for opaque mappers.
+    pub passes: Vec<(String, f64)>,
+}
+
+/// Runs `mapper` through its pass pipeline when it has one — collecting
+/// the composition description and per-pass timings — or through its
+/// plain `map` adapter otherwise. This is the one dispatch shared by the
+/// batch engine and the bench harness, so their timing telemetry can
+/// never drift apart.
+///
+/// # Panics
+///
+/// Panics when the pipeline errors (circuit larger than the device, post
+/// pass rejection) — mirroring the `map` adapter's behavior.
+pub fn run_mapper_timed(
+    mapper: &dyn crate::Mapper,
+    circuit: &Circuit,
+    device: &CouplingGraph,
+) -> TimedMapRun {
+    match mapper.pipeline() {
+        Some(pipeline) => match pipeline.run(circuit, device) {
+            Ok(outcome) => TimedMapRun {
+                result: outcome.result,
+                pipeline: pipeline.describe(),
+                passes: outcome
+                    .timings
+                    .iter()
+                    .map(|t| (t.label(), t.seconds))
+                    .collect(),
+            },
+            Err(e) => panic!("{} pipeline failed: {e}", mapper.name()),
+        },
+        None => TimedMapRun {
+            result: mapper.map(circuit, device),
+            pipeline: String::new(),
+            passes: Vec::new(),
+        },
+    }
+}
+
+// --------------------------------------------------------------------------
+// Built-in passes
+// --------------------------------------------------------------------------
+
+/// Analysis pass computing the transitive dependence ω-weights; produces
+/// an [`affine::DependenceAnalysis`] artifact.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DependenceWeightsPass {
+    mode: WeightMode,
+}
+
+impl DependenceWeightsPass {
+    /// A weights pass with the given engine selection mode.
+    pub fn new(mode: WeightMode) -> Self {
+        DependenceWeightsPass { mode }
+    }
+}
+
+impl AnalysisPass for DependenceWeightsPass {
+    fn name(&self) -> &'static str {
+        "weights"
+    }
+
+    fn run(&self, ctx: &PassContext<'_>, artifacts: &mut Artifacts) {
+        artifacts.insert(DependenceAnalysis::new(ctx.circuit, self.mode));
+    }
+}
+
+/// Layout pass producing the trivial mapping `φ₀(qᵢ) = pᵢ` (the paper's
+/// §V-B.4 default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityLayoutPass;
+
+impl LayoutPass for IdentityLayoutPass {
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+
+    fn run(&self, ctx: &PassContext<'_>, _artifacts: &Artifacts) -> Layout {
+        Layout::identity(ctx.circuit.n_qubits(), ctx.device.n_qubits())
+    }
+}
+
+/// Layout pass returning a pre-computed layout (used by
+/// `QlosureMapper::map_from_layout` and experimentation harnesses).
+#[derive(Clone, Debug)]
+pub struct FixedLayoutPass {
+    layout: Layout,
+}
+
+impl FixedLayoutPass {
+    /// A pass that always yields `layout`.
+    pub fn new(layout: Layout) -> Self {
+        FixedLayoutPass { layout }
+    }
+}
+
+impl LayoutPass for FixedLayoutPass {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn run(&self, _ctx: &PassContext<'_>, _artifacts: &Artifacts) -> Layout {
+        self.layout.clone()
+    }
+}
+
+/// Post pass running the independent routing verifier
+/// ([`circuit::verify_routing`]) over the result.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VerifyPass;
+
+impl PostPass for VerifyPass {
+    fn name(&self) -> &'static str {
+        "verify"
+    }
+
+    fn run(
+        &self,
+        ctx: &PassContext<'_>,
+        result: &MappingResult,
+    ) -> Result<Vec<(String, i64)>, String> {
+        circuit::verify_routing(
+            ctx.circuit,
+            &result.routed,
+            &|a, b| ctx.device.is_adjacent(a, b),
+            &result.initial_layout,
+        )
+        .map(|()| Vec::new())
+        .map_err(|e| e.to_string())
+    }
+}
+
+/// Post pass recording the standard result metrics (swaps, routed depth,
+/// routed qop count, depth increase over the input).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricsPass;
+
+impl PostPass for MetricsPass {
+    fn name(&self) -> &'static str {
+        "metrics"
+    }
+
+    fn run(
+        &self,
+        ctx: &PassContext<'_>,
+        result: &MappingResult,
+    ) -> Result<Vec<(String, i64)>, String> {
+        Ok(vec![
+            ("swaps".to_string(), result.swaps as i64),
+            ("depth".to_string(), result.depth() as i64),
+            ("qops".to_string(), result.routed.qop_count() as i64),
+            (
+                "depth_delta".to_string(),
+                result.depth_delta(ctx.circuit) as i64,
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QlosureConfig, QlosureRoutingPass};
+    use topology::backends;
+
+    fn demo_pipeline() -> MappingPipeline {
+        MappingPipeline::new(
+            IdentityLayoutPass,
+            QlosureRoutingPass::new(QlosureConfig::default()),
+        )
+        .with_analysis(DependenceWeightsPass::new(WeightMode::Auto))
+        .with_post(VerifyPass)
+        .with_post(MetricsPass)
+    }
+
+    #[test]
+    fn artifacts_store_is_typed() {
+        let mut a = Artifacts::default();
+        assert!(a.is_empty());
+        a.insert(42u64);
+        a.insert("hello");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get::<u64>(), Some(&42));
+        assert_eq!(a.get::<&str>(), Some(&"hello"));
+        assert_eq!(a.get::<u32>(), None);
+        a.insert(7u64); // same type replaces
+        assert_eq!(a.get::<u64>(), Some(&7));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn pipeline_times_every_stage_and_collects_metrics() {
+        let device = backends::line(4);
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let outcome = demo_pipeline().run(&c, &device).unwrap();
+        let labels: Vec<String> = outcome.timings.iter().map(PassTiming::label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "analysis:weights",
+                "layout:identity",
+                "routing:qlosure",
+                "post:verify",
+                "post:metrics",
+            ]
+        );
+        assert!(outcome.timings.iter().all(|t| t.seconds >= 0.0));
+        assert!(outcome
+            .metrics
+            .iter()
+            .any(|(k, v)| k == "swaps" && *v == outcome.result.swaps as i64));
+    }
+
+    #[test]
+    fn describe_lists_the_composition() {
+        assert_eq!(
+            demo_pipeline().describe(),
+            "weights → identity → qlosure → verify → metrics"
+        );
+    }
+
+    #[test]
+    fn oversized_circuit_is_an_error_not_a_panic() {
+        let device = backends::line(2);
+        let c = Circuit::new(5);
+        let err = demo_pipeline().run(&c, &device).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::DeviceTooSmall {
+                needed: 5,
+                available: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn failing_post_pass_surfaces_as_pipeline_error() {
+        struct Reject;
+        impl PostPass for Reject {
+            fn name(&self) -> &'static str {
+                "reject"
+            }
+            fn run(
+                &self,
+                _ctx: &PassContext<'_>,
+                _result: &MappingResult,
+            ) -> Result<Vec<(String, i64)>, String> {
+                Err("nope".to_string())
+            }
+        }
+        let device = backends::line(3);
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        let pipeline = MappingPipeline::new(
+            IdentityLayoutPass,
+            QlosureRoutingPass::new(QlosureConfig::default()),
+        )
+        .with_post(Reject);
+        let err = pipeline.run(&c, &device).unwrap_err();
+        match err {
+            PipelineError::Post { pass, message } => {
+                assert_eq!(pass, "reject");
+                assert_eq!(message, "nope");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn fixed_layout_pass_round_trips() {
+        let device = backends::line(4);
+        let mut c = Circuit::new(3);
+        c.cx(0, 2);
+        let layout = Layout::from_assignment(&[3, 1, 2], 4);
+        let pipeline = MappingPipeline::new(
+            FixedLayoutPass::new(layout),
+            QlosureRoutingPass::new(QlosureConfig::default()),
+        )
+        .with_post(VerifyPass);
+        let outcome = pipeline.run(&c, &device).unwrap();
+        assert_eq!(outcome.result.initial_layout, vec![3, 1, 2]);
+    }
+}

@@ -1,6 +1,13 @@
-//! QASM-in / QASM-out convenience pipeline.
+//! The QASM-in / QASM-out endpoints of the mapping pipeline.
+//!
+//! [`route_qasm`] is the full multi-stage story: parse OpenQASM, convert
+//! to the circuit IR, run a [`MappingPipeline`](crate::MappingPipeline)
+//! (ω-weights analysis → layout → dependence-driven routing → independent
+//! verification), and emit the mapped program back as QASM with its
+//! layout annotation.
 
-use crate::{Mapper, MappingResult, QlosureConfig, QlosureMapper};
+use crate::pass::VerifyPass;
+use crate::{MappingResult, QlosureConfig, QlosureMapper};
 use circuit::Circuit;
 use std::fmt;
 use topology::CouplingGraph;
@@ -19,6 +26,13 @@ pub enum PipelineError {
         /// Physical qubits available.
         available: usize,
     },
+    /// A post pass (verification, metrics) rejected the mapping result.
+    Post {
+        /// Name of the failing pass.
+        pass: String,
+        /// What it rejected the result for.
+        message: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -30,11 +44,22 @@ impl fmt::Display for PipelineError {
                 f,
                 "circuit needs {needed} qubits but device has {available}"
             ),
+            PipelineError::Post { pass, message } => {
+                write!(f, "post pass `{pass}` failed: {message}")
+            }
         }
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Parse(e) => Some(e),
+            PipelineError::Convert(e) => Some(e),
+            PipelineError::DeviceTooSmall { .. } | PipelineError::Post { .. } => None,
+        }
+    }
+}
 
 impl From<qasm::ParseError> for PipelineError {
     fn from(e: qasm::ParseError) -> Self {
@@ -48,7 +73,8 @@ impl From<circuit::ConvertError> for PipelineError {
     }
 }
 
-/// Parses OpenQASM source, routes it onto `device` with Qlosure, and
+/// Parses OpenQASM source, routes it onto `device` with the Qlosure
+/// pipeline (weights analysis → layout → routing → verification), and
 /// returns the mapped program's QASM text together with the full
 /// [`MappingResult`].
 ///
@@ -85,14 +111,10 @@ pub fn route_qasm(
 ) -> Result<(String, MappingResult), PipelineError> {
     let program = qasm::parse(src)?;
     let circuit = Circuit::from_qasm(&program)?;
-    if circuit.n_qubits() > device.n_qubits() {
-        return Err(PipelineError::DeviceTooSmall {
-            needed: circuit.n_qubits(),
-            available: device.n_qubits(),
-        });
-    }
     let mapper = QlosureMapper::with_config(config.clone());
-    let result = mapper.map(&circuit, device);
+    let pipeline = mapper.to_pipeline().with_post(VerifyPass);
+    let outcome = pipeline.run(&circuit, device)?;
+    let result = outcome.result;
     let mut text = String::new();
     text.push_str(&format!("// mapped onto {}\n", device.name()));
     let layout: Vec<String> = result
@@ -109,6 +131,7 @@ pub fn route_qasm(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
     use topology::backends;
 
     #[test]
@@ -137,5 +160,38 @@ mod tests {
     fn propagates_parse_errors() {
         let err = route_qasm("qreg q[", &backends::line(2), &QlosureConfig::default()).unwrap_err();
         assert!(matches!(err, PipelineError::Parse(_)));
+    }
+
+    #[test]
+    fn error_source_chain_reaches_the_wrapped_error() {
+        // Parse errors: the chain must surface the qasm::ParseError.
+        let err = route_qasm("qreg q[", &backends::line(2), &QlosureConfig::default()).unwrap_err();
+        let source = err.source().expect("parse error must expose a source");
+        assert!(
+            source.downcast_ref::<qasm::ParseError>().is_some(),
+            "source must be the wrapped qasm::ParseError, got: {source}"
+        );
+
+        // Convert errors: constructed directly so this arm cannot rot if
+        // the parser learns to handle inputs that used to fail conversion.
+        let err = PipelineError::from(circuit::ConvertError::UnsupportedGate {
+            name: "ccczz".into(),
+            arity: 5,
+        });
+        assert!(matches!(err, PipelineError::Convert(_)));
+        let source = err.source().expect("convert error must expose a source");
+        assert!(source.downcast_ref::<circuit::ConvertError>().is_some());
+
+        // Structural errors carry no source.
+        let err = PipelineError::DeviceTooSmall {
+            needed: 5,
+            available: 3,
+        };
+        assert!(err.source().is_none());
+        let err = PipelineError::Post {
+            pass: "verify".into(),
+            message: "bad".into(),
+        };
+        assert!(err.source().is_none());
     }
 }

@@ -1,14 +1,30 @@
-//! The Qlosure routing loop (paper Algorithm 1).
+//! The Qlosure routing pass (paper Algorithm 1) and its pipeline
+//! composition.
+//!
+//! Since the pass-pipeline refactor the mapper is no longer a monolithic
+//! loop: [`QlosureMapper`] composes a [`MappingPipeline`] of
+//! `DependenceWeightsPass → (identity | bidirectional) layout →
+//! QlosureRoutingPass`, and the routing pass drives the shared incremental
+//! [`RoutingState`]. The loop itself — ready-gate extraction, the layered
+//! look-ahead window of §V-C, candidate scoring with Eq. (2) and the
+//! decay/clock tie-breaking — reproduces the pre-refactor router
+//! bit-for-bit (the golden-equivalence suite pins this).
 
 use crate::cost::{CostVariant, OmegaScaling, ScoredGate, SwapCost};
 use crate::layout::Layout;
+use crate::pass::{
+    Artifacts, DependenceWeightsPass, FixedLayoutPass, IdentityLayoutPass, LayoutPass,
+    MappingPipeline, PassContext, RoutingPass,
+};
+use crate::state::RoutingState;
 use crate::{Mapper, MappingResult};
 use affine::{DependenceAnalysis, WeightMode};
-use circuit::{Circuit, DependenceGraph, Gate};
+use circuit::Circuit;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use topology::{CouplingGraph, DistanceMatrix};
+use topology::CouplingGraph;
 
 /// How the initial logical→physical assignment is chosen (§V-B.4, §VI-E).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -85,7 +101,8 @@ impl Default for QlosureConfig {
     }
 }
 
-/// The Qlosure qubit mapper (the paper's contribution).
+/// The Qlosure qubit mapper (the paper's contribution), as a pipeline of
+/// passes: ω-weights analysis, initial layout, dependence-driven routing.
 #[derive(Clone, Debug, Default)]
 pub struct QlosureMapper {
     /// Configuration; [`Default`] reproduces the paper's headline setup.
@@ -98,17 +115,38 @@ impl QlosureMapper {
         QlosureMapper { config }
     }
 
+    /// The pass composition this mapper runs: `weights → (identity |
+    /// bidirectional) → qlosure`.
+    pub fn to_pipeline(&self) -> MappingPipeline {
+        let routing = QlosureRoutingPass::new(self.config.clone());
+        let weights = DependenceWeightsPass::new(self.config.weight_mode);
+        match self.config.initial {
+            InitialMapping::Identity => {
+                MappingPipeline::new(IdentityLayoutPass, routing).with_analysis(weights)
+            }
+            InitialMapping::Bidirectional { passes } => MappingPipeline::new(
+                BidirectionalLayoutPass::new(self.config.clone(), passes),
+                routing,
+            )
+            .with_analysis(weights),
+        }
+    }
+
     /// Routes with an explicit starting layout (used by the bidirectional
-    /// initial-mapping passes and exposed for experimentation).
+    /// initial-mapping passes and exposed for experimentation): the same
+    /// pipeline with a [`FixedLayoutPass`] in the layout slot.
     pub fn map_from_layout(
         &self,
         circuit: &Circuit,
         device: &CouplingGraph,
         layout: Layout,
     ) -> MappingResult {
-        // Shared cache: the all-pairs BFS runs once per distinct device
-        // process-wide, not once per mapping (see topology's cache docs).
-        self.map_with_distances(circuit, device, &device.shared_distances(), layout)
+        MappingPipeline::new(
+            FixedLayoutPass::new(layout),
+            QlosureRoutingPass::new(self.config.clone()),
+        )
+        .with_analysis(DependenceWeightsPass::new(self.config.weight_mode))
+        .map(circuit, device)
     }
 
     /// Error-aware routing (the paper's stated future-work direction):
@@ -122,28 +160,15 @@ impl QlosureMapper {
         noise: &topology::NoiseModel,
     ) -> MappingResult {
         let dist = noise.weighted_distances(device);
-        let layout = Layout::identity(circuit.n_qubits(), device.n_qubits());
-        self.map_with_distances(circuit, device, &dist, layout)
-    }
-
-    fn map_with_distances(
-        &self,
-        circuit: &Circuit,
-        device: &CouplingGraph,
-        dist: &DistanceMatrix,
-        layout: Layout,
-    ) -> MappingResult {
-        let analysis = DependenceAnalysis::new(circuit, self.config.weight_mode);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        route(
-            circuit,
-            device,
-            dist,
-            analysis.weights(),
-            layout,
-            &self.config,
-            &mut rng,
+        let pipeline = MappingPipeline::new(
+            IdentityLayoutPass,
+            QlosureRoutingPass::new(self.config.clone()),
         )
+        .with_analysis(DependenceWeightsPass::new(self.config.weight_mode));
+        match pipeline.run_with_distances(circuit, device, &dist) {
+            Ok(outcome) => outcome.result,
+            Err(e) => panic!("noise-aware mapping pipeline failed: {e}"),
+        }
     }
 }
 
@@ -153,122 +178,281 @@ impl Mapper for QlosureMapper {
     }
 
     fn map(&self, circuit: &Circuit, device: &CouplingGraph) -> MappingResult {
-        let initial = match self.config.initial {
-            InitialMapping::Identity => Layout::identity(circuit.n_qubits(), device.n_qubits()),
-            InitialMapping::Bidirectional { passes } => {
-                bidirectional_layout(self, circuit, device, passes)
-            }
-        };
-        self.map_from_layout(circuit, device, initial)
+        self.to_pipeline().map(circuit, device)
+    }
+
+    fn pipeline(&self) -> Option<MappingPipeline> {
+        Some(self.to_pipeline())
     }
 }
 
-/// Forward/backward refinement: each pass routes the circuit (alternating
-/// direction) and feeds its *final* layout into the next pass.
-fn bidirectional_layout(
-    mapper: &QlosureMapper,
-    circuit: &Circuit,
-    device: &CouplingGraph,
+/// The SABRE-style bidirectional initial-layout pass: each refinement pass
+/// routes the circuit (alternating direction) and feeds its *final*
+/// layout into the next pass; the last layout seeds the real forward run.
+#[derive(Clone, Debug)]
+pub struct BidirectionalLayoutPass {
+    config: QlosureConfig,
     passes: usize,
-) -> Layout {
-    let mut reversed = Circuit::new(circuit.n_qubits());
-    for g in circuit.gates().iter().rev() {
-        reversed.push(g.clone());
-    }
-    let mut layout = Layout::identity(circuit.n_qubits(), device.n_qubits());
-    for pass in 0..passes {
-        let dir = if pass % 2 == 0 { circuit } else { &reversed };
-        let result = mapper.map_from_layout(dir, device, layout);
-        layout = Layout::from_assignment(&result.final_layout, device.n_qubits());
-    }
-    layout
 }
 
-/// The dependence-driven mapping loop.
-pub(crate) fn route(
-    circuit: &Circuit,
-    device: &CouplingGraph,
-    dist: &DistanceMatrix,
+impl BidirectionalLayoutPass {
+    /// A bidirectional pass running `passes` refinement rounds with the
+    /// given routing configuration.
+    pub fn new(config: QlosureConfig, passes: usize) -> Self {
+        BidirectionalLayoutPass { config, passes }
+    }
+}
+
+impl LayoutPass for BidirectionalLayoutPass {
+    fn name(&self) -> &'static str {
+        "bidirectional"
+    }
+
+    fn run(&self, ctx: &PassContext<'_>, _artifacts: &Artifacts) -> Layout {
+        let mut reversed = Circuit::new(ctx.circuit.n_qubits());
+        for g in ctx.circuit.gates().iter().rev() {
+            reversed.push(g.clone());
+        }
+        let mut layout = Layout::identity(ctx.circuit.n_qubits(), ctx.device.n_qubits());
+        for pass in 0..self.passes {
+            let dir = if pass % 2 == 0 {
+                ctx.circuit
+            } else {
+                &reversed
+            };
+            // Each refinement round is a fresh analysis + routing run over
+            // its direction's circuit, exactly like the final forward run.
+            let analysis = DependenceAnalysis::new(dir, self.config.weight_mode);
+            let mut rng = StdRng::seed_from_u64(self.config.seed);
+            let mut state = RoutingState::new(dir, ctx.device, ctx.dist, layout);
+            route_with(&mut state, analysis.weights(), &self.config, &mut rng);
+            let result = state.into_result();
+            layout = Layout::from_assignment(&result.final_layout, ctx.device.n_qubits());
+        }
+        layout
+    }
+}
+
+/// The dependence-driven routing pass (the paper's Algorithm 1 loop).
+///
+/// Consumes the [`affine::DependenceAnalysis`] artifact when a
+/// [`DependenceWeightsPass`] ran earlier in the pipeline; composed without
+/// one, it computes the weights itself (same result, but the analysis is
+/// then charged to the routing pass's timing).
+#[derive(Clone, Debug, Default)]
+pub struct QlosureRoutingPass {
+    config: QlosureConfig,
+}
+
+impl QlosureRoutingPass {
+    /// A routing pass with explicit configuration.
+    pub fn new(config: QlosureConfig) -> Self {
+        QlosureRoutingPass { config }
+    }
+}
+
+impl RoutingPass for QlosureRoutingPass {
+    fn name(&self) -> &'static str {
+        "qlosure"
+    }
+
+    fn run(&self, state: &mut RoutingState<'_>, artifacts: &Artifacts) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        match artifacts.get::<DependenceAnalysis>() {
+            Some(analysis) => route_with(state, analysis.weights(), &self.config, &mut rng),
+            None => {
+                let analysis = DependenceAnalysis::new(state.circuit(), self.config.weight_mode);
+                route_with(state, analysis.weights(), &self.config, &mut rng);
+            }
+        }
+    }
+}
+
+/// The layered look-ahead window of §V-C, with its reusable scratch
+/// buffers: the blocked front gates (layer 1) plus the topologically
+/// earliest `k = c·nf` upcoming two-qubit gates, layered by dependence
+/// distance from the front. `front_logicals` holds the sorted operands of
+/// the front gates the walk *visited* — the look-ahead budget `k` can cut
+/// the walk off before a high-index front gate pops, and those unvisited
+/// gates contribute no SWAP candidates (faithful to the paper's §V-D
+/// candidate rule, which draws candidates from the window).
+///
+/// The window is a pure function of the front layer (gate order, weights
+/// and dependence structure are layout-independent), so it is cached on
+/// [`RoutingState::front_version`]: consecutive SWAP steps with an
+/// unchanged front reuse it outright, and a rebuild reuses the
+/// epoch-stamped buffers instead of fresh `vec![false; n]` allocations.
+pub(crate) struct WindowScratch {
+    /// Scored gates, front first (rebuilt per front change).
+    pub gates: Vec<ScoredGate>,
+    /// Sorted, deduplicated logical operands of the *visited* front gates
+    /// (the candidate base of §V-D).
+    pub front_logicals: Vec<u32>,
+    layer: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<u32>>,
+    /// `RoutingState::front_version` the window was built for (0 = never).
+    built_for: u64,
+}
+
+impl WindowScratch {
+    pub fn new(n_gates: usize) -> Self {
+        WindowScratch {
+            gates: Vec::new(),
+            front_logicals: Vec::new(),
+            layer: vec![0; n_gates],
+            stamp: vec![0; n_gates],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+            built_for: 0,
+        }
+    }
+
+    /// Rebuilds the window for the current (blocked) front layer; a no-op
+    /// while the front is unchanged since the last build.
+    pub fn rebuild(&mut self, state: &mut RoutingState<'_>, weights: &[u64], c_const: usize) {
+        if self.built_for == state.front_version() {
+            return;
+        }
+        self.built_for = state.front_version();
+        self.gates.clear();
+        self.front_logicals.clear();
+        self.heap.clear();
+        self.epoch += 1;
+        let epoch = self.epoch;
+        // nf = number of distinct logical qubits in the blocked front; the
+        // state caches the sorted operand list across swap steps.
+        let nf = state.front_logicals().len();
+        let k = c_const * nf.max(1);
+        for &g in state.front() {
+            self.stamp[g as usize] = epoch;
+            self.layer[g as usize] = 0;
+            self.heap.push(Reverse(g));
+        }
+        let circuit = state.circuit();
+        let dag = state.dag();
+        let mut collected = 0usize;
+        while let Some(Reverse(g)) = self.heap.pop() {
+            let gate = &circuit.gates()[g as usize];
+            let is_front = state.in_degree(g) == 0;
+            let l = if is_front {
+                u32::from(gate.is_two_qubit())
+            } else {
+                // All unexecuted predecessors were popped earlier (smaller
+                // topological index); executed or unvisited ones contribute
+                // layer 0, which the epoch stamp encodes.
+                let base = dag
+                    .preds(g)
+                    .iter()
+                    .map(|&p| {
+                        if self.stamp[p as usize] == epoch {
+                            self.layer[p as usize]
+                        } else {
+                            0
+                        }
+                    })
+                    .max()
+                    .unwrap_or(0);
+                base + u32::from(gate.is_two_qubit())
+            };
+            self.layer[g as usize] = l;
+            if let Some((a, b)) = gate.qubit_pair() {
+                self.gates.push(ScoredGate {
+                    q1: a,
+                    q2: b,
+                    omega: weights.get(g as usize).copied().unwrap_or(0),
+                    layer: l,
+                });
+                if is_front {
+                    self.front_logicals.push(a);
+                    self.front_logicals.push(b);
+                } else {
+                    collected += 1;
+                    if collected >= k {
+                        break;
+                    }
+                }
+            }
+            for &s in dag.succs(g) {
+                if self.stamp[s as usize] != epoch {
+                    self.stamp[s as usize] = epoch;
+                    self.layer[s as usize] = 0;
+                    self.heap.push(Reverse(s));
+                }
+            }
+        }
+        self.front_logicals.sort_unstable();
+        self.front_logicals.dedup();
+    }
+
+    /// Candidate SWAPs of §V-D: every coupling-graph edge incident to a
+    /// physical qubit hosting one of the window's front-layer logicals
+    /// (deduplicated, first occurrence wins). Layout-dependent, so derived
+    /// per step from the cached window.
+    pub fn swap_candidates(&self, state: &RoutingState<'_>) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for &l in &self.front_logicals {
+            let p1 = state.layout().phys(l);
+            for &p2 in state.device().neighbors(p1) {
+                let pair = (p1.min(p2), p1.max(p2));
+                if !out.contains(&pair) {
+                    out.push(pair);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The dependence-driven mapping loop over the incremental state.
+pub(crate) fn route_with(
+    state: &mut RoutingState<'_>,
     weights: &[u64],
-    mut layout: Layout,
     config: &QlosureConfig,
     rng: &mut StdRng,
-) -> MappingResult {
-    let dag = DependenceGraph::new(circuit);
-    let n_gates = circuit.gates().len();
-    let mut indeg = dag.in_degrees();
-    let mut front: Vec<u32> = dag.initial_front();
-    let mut routed = Circuit::with_capacity(device.n_qubits(), n_gates + n_gates / 4);
-    let initial_layout = layout.as_assignment().to_vec();
-    let mut decay = vec![1.0f64; device.n_qubits()];
-    // Per-physical-qubit schedule clocks, mirroring the depth computation;
-    // feeds the busy-aware decay (see QlosureConfig::busy_weight).
-    let mut clock = vec![0u32; device.n_qubits()];
-    let mut clock_max = 0u32;
+) {
     let cost = SwapCost::with_scaling(
         config.cost,
         config.omega_smoothing,
         config.omega_scaling,
         config.future_weight,
     );
-    let c_const = device.max_degree() + config.lookahead_margin.max(1);
-    let stall_limit = 3 * dist.diameter() as usize + config.stall_slack;
+    let c_const = state.device().max_degree() + config.lookahead_margin.max(1);
+    let stall_limit = 3 * state.dist().diameter() as usize + config.stall_slack;
     let mut stall = 0usize;
-    let mut swaps = 0usize;
-
-    let executable = |gate: &Gate, layout: &Layout| -> bool {
-        match gate.qubit_pair() {
-            Some((a, b)) => device.is_adjacent(layout.phys(a), layout.phys(b)),
-            None => true, // 1q gates, barriers, measure, reset
-        }
-    };
-
-    while !front.is_empty() {
+    let mut window = WindowScratch::new(state.dag().n_gates());
+    let mut scored: Vec<((u32, u32), f64)> = Vec::new();
+    loop {
         // EXTRACT_READY_GATES: everything in Lf executable under φ.
-        let mut ready: Vec<u32> = front
-            .iter()
-            .copied()
-            .filter(|&g| executable(&circuit.gates()[g as usize], &layout))
-            .collect();
-        if !ready.is_empty() {
-            ready.sort_unstable();
-            for &g in &ready {
-                let gate = &circuit.gates()[g as usize];
-                emit_mapped(&mut routed, gate, &layout);
-                advance_clock(&mut clock, &mut clock_max, gate, &layout);
-            }
-            front.retain(|g| !ready.contains(g));
-            for &g in &ready {
-                for &s in dag.succs(g) {
-                    indeg[s as usize] -= 1;
-                    if indeg[s as usize] == 0 {
-                        front.push(s);
-                    }
-                }
-            }
-            decay.fill(1.0);
+        if state.execute_ready().ran > 0 {
+            state.reset_decay();
             stall = 0;
-            continue;
+        }
+        if state.is_done() {
+            break;
         }
         // All front gates are blocked two-qubit gates: pick a SWAP.
-        let window = build_window(circuit, &dag, &front, &indeg, weights, c_const);
-        let candidates = swap_candidates(&window, &layout, device);
+        window.rebuild(state, weights, c_const);
+        let candidates = window.swap_candidates(state);
         debug_assert!(!candidates.is_empty(), "blocked front with no candidates");
-        let busy = |p: u32| -> f64 {
+        let clock_max = state.clock_max();
+        let busy = |s: &RoutingState<'_>, p: u32| -> f64 {
             if clock_max == 0 {
                 0.0
             } else {
-                config.busy_weight * f64::from(clock[p as usize]) / f64::from(clock_max)
+                config.busy_weight * f64::from(s.clock(p)) / f64::from(clock_max)
             }
         };
-        let mut scored: Vec<((u32, u32), f64)> = Vec::with_capacity(candidates.len());
+        scored.clear();
         let mut best_score = f64::INFINITY;
         for &(p1, p2) in &candidates {
-            layout.apply_swap(p1, p2);
-            let d1 = decay[p1 as usize] + busy(p1);
-            let d2 = decay[p2 as usize] + busy(p2);
-            let score = cost.score(&window.gates, &layout, dist, d1.max(d2));
-            layout.apply_swap(p1, p2); // undo
+            let d1 = state.decay(p1) + busy(state, p1);
+            let d2 = state.decay(p2) + busy(state, p2);
+            let decay = d1.max(d2);
+            let score = state.speculate_swap(p1, p2, |s| {
+                cost.score(&window.gates, s.layout(), s.dist(), decay)
+            });
             best_score = best_score.min(score);
             scored.push(((p1, p2), score));
         }
@@ -276,15 +460,15 @@ pub(crate) fn route(
         // front layer's total distance (guaranteed progress) and (b)
         // finish earliest on the schedule (idle qubits are almost free,
         // depth-wise), then randomly.
-        let front_sum = |layout: &Layout| -> u32 {
+        let front_sum = |s: &RoutingState<'_>| -> u32 {
             window
                 .gates
                 .iter()
                 .filter(|g| g.layer <= 1)
-                .map(|g| u32::from(dist.get(layout.phys(g.q1), layout.phys(g.q2))))
+                .map(|g| u32::from(s.dist().get(s.layout().phys(g.q1), s.layout().phys(g.q2))))
                 .sum()
         };
-        let base_front = front_sum(&layout);
+        let base_front = front_sum(state);
         let cutoff = best_score + best_score.abs() * config.tie_epsilon + 1e-9;
         let mut best: Vec<(u32, u32)> = Vec::new();
         let mut best_key = (false, u32::MAX);
@@ -292,10 +476,8 @@ pub(crate) fn route(
             if score > cutoff {
                 continue;
             }
-            layout.apply_swap(p1, p2);
-            let progress = front_sum(&layout) < base_front;
-            layout.apply_swap(p1, p2);
-            let done = clock[p1 as usize].max(clock[p2 as usize]) + 1;
+            let progress = state.speculate_swap(p1, p2, |s| front_sum(s) < base_front);
+            let done = state.swap_completion(p1, p2);
             let key = (progress, done);
             let better = match (key.0, best_key.0) {
                 (true, false) => true,
@@ -311,184 +493,22 @@ pub(crate) fn route(
             }
         }
         let (p1, p2) = best[rng.random_range(0..best.len())];
-        routed.swap(p1, p2);
-        layout.apply_swap(p1, p2);
-        let done = clock[p1 as usize].max(clock[p2 as usize]) + 1;
-        clock[p1 as usize] = done;
-        clock[p2 as usize] = done;
-        clock_max = clock_max.max(done);
-        decay[p1 as usize] += config.decay_delta;
-        decay[p2 as usize] += config.decay_delta;
-        swaps += 1;
+        state.apply_swap(p1, p2);
+        state.bump_decay(p1, config.decay_delta);
+        state.bump_decay(p2, config.decay_delta);
         stall += 1;
         if stall > stall_limit {
             // Forced progress: route the heaviest front gate directly.
-            let &g = front
+            let &g = state
+                .front()
                 .iter()
                 .max_by_key(|&&g| weights.get(g as usize).copied().unwrap_or(0))
                 .expect("front non-empty");
-            let (a, b) = circuit.gates()[g as usize]
-                .qubit_pair()
-                .expect("blocked gates are two-qubit");
-            let (pa, pb) = (layout.phys(a), layout.phys(b));
-            let path = device
-                .shortest_path(pa, pb)
-                .expect("device must be connected");
-            for win in path.windows(2).take(path.len().saturating_sub(2)) {
-                routed.swap(win[0], win[1]);
-                layout.apply_swap(win[0], win[1]);
-                let done = clock[win[0] as usize].max(clock[win[1] as usize]) + 1;
-                clock[win[0] as usize] = done;
-                clock[win[1] as usize] = done;
-                clock_max = clock_max.max(done);
-                swaps += 1;
-            }
-            decay.fill(1.0);
+            state.force_route(g);
+            state.reset_decay();
             stall = 0;
         }
     }
-    let final_layout = layout.as_assignment().to_vec();
-    MappingResult {
-        routed,
-        initial_layout,
-        final_layout,
-        swaps,
-    }
-}
-
-/// Emits `gate` with operands translated through `layout`.
-fn emit_mapped(routed: &mut Circuit, gate: &Gate, layout: &Layout) {
-    let mapped = Gate {
-        kind: gate.kind.clone(),
-        qubits: gate.qubits.iter().map(|&q| layout.phys(q)).collect(),
-        params: gate.params.clone(),
-    };
-    routed.push(mapped);
-}
-
-/// Advances the per-qubit schedule clocks for an executed gate.
-fn advance_clock(clock: &mut [u32], clock_max: &mut u32, gate: &Gate, layout: &Layout) {
-    if gate.qubits.is_empty() {
-        return;
-    }
-    let ready = gate
-        .qubits
-        .iter()
-        .map(|&q| clock[layout.phys(q) as usize])
-        .max()
-        .expect("non-empty");
-    let dur = u32::from(gate.is_scheduled());
-    let done = ready + dur;
-    for &q in &gate.qubits {
-        clock[layout.phys(q) as usize] = done;
-    }
-    *clock_max = (*clock_max).max(done);
-}
-
-/// The layered look-ahead window: the blocked front gates (layer 1) plus
-/// the topologically earliest `k = c·nf` upcoming two-qubit gates, layered
-/// by dependence distance from the front (§V-C).
-pub(crate) struct Window {
-    /// Scored gates, front first.
-    pub gates: Vec<ScoredGate>,
-    /// Logical qubits of the front gates (used for candidate generation).
-    pub front_logicals: Vec<u32>,
-}
-
-fn build_window(
-    circuit: &Circuit,
-    dag: &DependenceGraph,
-    front: &[u32],
-    indeg: &[u32],
-    weights: &[u64],
-    c_const: usize,
-) -> Window {
-    let mut gates: Vec<ScoredGate> = Vec::new();
-    let mut front_logicals: Vec<u32> = Vec::new();
-    // Gate -> dependence layer; front 2q gates are layer 1, single-qubit
-    // gates are transparent (inherit the max predecessor layer).
-    let mut layer: Vec<u32> = vec![0; dag.n_gates()];
-    let mut visited: Vec<bool> = vec![false; dag.n_gates()];
-    let mut heap: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
-    for &g in front {
-        visited[g as usize] = true;
-        heap.push(std::cmp::Reverse(g));
-    }
-    let nf = {
-        let mut qs: Vec<u32> = front
-            .iter()
-            .filter_map(|&g| circuit.gates()[g as usize].qubit_pair())
-            .flat_map(|(a, b)| [a, b])
-            .collect();
-        qs.sort_unstable();
-        qs.dedup();
-        qs.len()
-    };
-    let k = c_const * nf.max(1);
-    let mut collected = 0usize;
-    while let Some(std::cmp::Reverse(g)) = heap.pop() {
-        let gate = &circuit.gates()[g as usize];
-        let is_front = indeg[g as usize] == 0;
-        let l = if is_front {
-            u32::from(gate.is_two_qubit())
-        } else {
-            // All unexecuted predecessors were popped earlier (smaller
-            // topological index); executed ones contribute layer 0.
-            let base = dag
-                .preds(g)
-                .iter()
-                .map(|&p| layer[p as usize])
-                .max()
-                .unwrap_or(0);
-            base + u32::from(gate.is_two_qubit())
-        };
-        layer[g as usize] = l;
-        if let Some((a, b)) = gate.qubit_pair() {
-            gates.push(ScoredGate {
-                q1: a,
-                q2: b,
-                omega: weights.get(g as usize).copied().unwrap_or(0),
-                layer: l,
-            });
-            if is_front {
-                front_logicals.push(a);
-                front_logicals.push(b);
-            } else {
-                collected += 1;
-                if collected >= k {
-                    break;
-                }
-            }
-        }
-        for &s in dag.succs(g) {
-            if !visited[s as usize] {
-                visited[s as usize] = true;
-                heap.push(std::cmp::Reverse(s));
-            }
-        }
-    }
-    front_logicals.sort_unstable();
-    front_logicals.dedup();
-    Window {
-        gates,
-        front_logicals,
-    }
-}
-
-/// Candidate SWAPs: every coupling-graph edge incident to a physical qubit
-/// hosting a front-layer logical qubit (§V-D).
-fn swap_candidates(window: &Window, layout: &Layout, device: &CouplingGraph) -> Vec<(u32, u32)> {
-    let mut out: Vec<(u32, u32)> = Vec::new();
-    for &l in &window.front_logicals {
-        let p1 = layout.phys(l);
-        for &p2 in device.neighbors(p1) {
-            let pair = (p1.min(p2), p1.max(p2));
-            if !out.contains(&pair) {
-                out.push(pair);
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -713,20 +733,37 @@ mod tests {
 
     #[test]
     fn window_layers_increase_with_depth() {
-        // chain: cx(0,1); cx(1,2); cx(2,3) — blocked front at distance.
+        // chain: cx(0,2); cx(2,3); cx(3,1) — blocked front at distance.
         let device = backends::line(6);
         let mut c = Circuit::new(4);
         c.cx(0, 2); // blocked under identity on a line
         c.cx(2, 3);
         c.cx(3, 1);
-        let dag = DependenceGraph::new(&c);
-        let indeg = dag.in_degrees();
-        let front = dag.initial_front();
+        let dist = device.distances();
+        let mut state = RoutingState::new(&c, &device, &dist, Layout::identity(4, 6));
+        state.execute_ready();
         let weights = [3, 1, 0];
-        let w = build_window(&c, &dag, &front, &indeg, &weights, 4);
+        let mut w = WindowScratch::new(state.dag().n_gates());
+        w.rebuild(&mut state, &weights, 4);
         assert_eq!(w.gates[0].layer, 1);
         assert!(w.gates.iter().any(|g| g.layer == 2));
         assert!(w.gates.iter().any(|g| g.layer == 3));
-        let _ = device;
+    }
+
+    #[test]
+    fn routing_pass_without_weights_analysis_still_routes() {
+        // Composed without a DependenceWeightsPass the routing pass
+        // computes the weights itself — same result.
+        let device = backends::line(5);
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        c.cx(1, 3);
+        let with_analysis = QlosureMapper::default().map(&c, &device);
+        let without = MappingPipeline::new(
+            IdentityLayoutPass,
+            QlosureRoutingPass::new(QlosureConfig::default()),
+        )
+        .map(&c, &device);
+        assert_eq!(with_analysis, without);
     }
 }

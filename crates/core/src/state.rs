@@ -1,0 +1,727 @@
+//! The shared incremental routing state ([`RoutingState`]).
+//!
+//! Every routing pass in the workspace — Qlosure and the four baseline
+//! reimplementations — drives the same mutable state machine: a front
+//! layer of dependence-ready gates, a logical↔physical [`Layout`], the
+//! routed output circuit, per-physical-qubit decay and schedule-clock
+//! tables, and the candidate-SWAP frontier. `RoutingState` maintains all
+//! of it **incrementally**: executing a batch of ready gates or applying a
+//! SWAP updates the affected entries in place (and returns an undo delta),
+//! instead of recomputing the front layer, candidate set or clocks from
+//! scratch every step.
+//!
+//! Two orderings of the candidate frontier are exposed because the paper's
+//! mapper and the baselines enumerate SWAPs differently (and candidate
+//! order feeds tie-breaking, which must stay bit-for-bit stable):
+//!
+//! * [`RoutingState::swap_candidates`] — edges incident to the *sorted
+//!   physical* front qubits (the SABRE/Cirq/tket convention);
+//! * [`RoutingState::swap_candidates_logical`] — edges incident to the
+//!   *sorted logical* front qubits mapped through the layout (the Qlosure
+//!   §V-D convention).
+//!
+//! # Apply/undo deltas
+//!
+//! [`RoutingState::apply_swap`] and [`RoutingState::execute_ready`] return
+//! [`SwapDelta`] / [`ExecDelta`] tokens; feeding them back into
+//! [`RoutingState::undo_swap`] / [`RoutingState::undo_execute`] restores
+//! the state exactly (the property suite asserts fingerprint equality).
+//! Search-style passes can therefore explore swap sequences on the real
+//! state without cloning it; cost evaluation of a single speculative SWAP
+//! has a cheaper layout-only path, [`RoutingState::speculate_swap`].
+
+use crate::layout::Layout;
+use crate::MappingResult;
+use circuit::{Circuit, DependenceGraph, Gate};
+use topology::{CouplingGraph, DistanceMatrix};
+
+/// Undo token for one applied SWAP (see [`RoutingState::apply_swap`]).
+#[derive(Clone, Debug)]
+pub struct SwapDelta {
+    p1: u32,
+    p2: u32,
+    clock1: u32,
+    clock2: u32,
+    clock_max: u32,
+    routed_len: usize,
+}
+
+/// Undo token for one [`RoutingState::execute_ready`] cascade.
+#[derive(Clone, Debug)]
+pub struct ExecDelta {
+    /// How many gates the cascade executed (0 = nothing was ready and the
+    /// state is unchanged).
+    pub ran: usize,
+    /// Executed gate indices in emission order.
+    executed: Vec<u32>,
+    /// The front layer as it was before the cascade.
+    front_before: Vec<u32>,
+    /// First-touch previous clock values of the physical qubits the
+    /// executed gates advanced.
+    clock_prev: Vec<(u32, u32)>,
+    clock_max_before: u32,
+    routed_len: usize,
+}
+
+/// A comparable snapshot of everything [`RoutingState`] mutates — used to
+/// assert that apply-then-undo restores the state exactly. Floats are
+/// captured as bit patterns so the comparison is exact, not approximate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateFingerprint {
+    front: Vec<u32>,
+    indeg: Vec<u32>,
+    assignment: Vec<u32>,
+    routed: Vec<Gate>,
+    swaps: usize,
+    clock: Vec<u32>,
+    clock_max: u32,
+    decay_bits: Vec<u64>,
+}
+
+/// Mutable state of a swap-until-free routing loop, shared by every
+/// routing pass in the workspace: front layer, layout, routed output,
+/// decay/clock tables and the candidate-SWAP frontier, all maintained
+/// incrementally with apply/undo deltas ([`SwapDelta`], [`ExecDelta`]).
+pub struct RoutingState<'a> {
+    circuit: &'a Circuit,
+    device: &'a CouplingGraph,
+    dist: &'a DistanceMatrix,
+    dag: DependenceGraph,
+    indeg: Vec<u32>,
+    front: Vec<u32>,
+    /// Bumped on every front-layer mutation; cache-invalidation signal for
+    /// the candidate frontier and for pass-local look-ahead caches.
+    front_version: u64,
+    layout: Layout,
+    routed: Circuit,
+    initial_layout: Vec<u32>,
+    swaps: usize,
+    decay: Vec<f64>,
+    clock: Vec<u32>,
+    clock_max: u32,
+    // --- reusable scratch (the incremental part) ---
+    /// Ready-gate collection buffer for `execute_ready`.
+    ready_buf: Vec<u32>,
+    /// Per-gate marker backing the O(front) retain in `execute_ready`.
+    gate_mark: Vec<bool>,
+    /// First-touch stamps for clock-delta recording.
+    touch_stamp: Vec<u32>,
+    touch_epoch: u32,
+    /// Cached sorted-deduplicated logical operands of the two-qubit front
+    /// gates; valid while `fl_version == front_version`.
+    fl_cache: Vec<u32>,
+    fl_version: u64,
+}
+
+impl<'a> RoutingState<'a> {
+    /// Fresh state over `circuit`, `device` and the device's distance
+    /// matrix `dist`, starting from `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit needs more qubits than the device offers.
+    pub fn new(
+        circuit: &'a Circuit,
+        device: &'a CouplingGraph,
+        dist: &'a DistanceMatrix,
+        layout: Layout,
+    ) -> Self {
+        assert!(
+            circuit.n_qubits() <= device.n_qubits(),
+            "circuit does not fit the device"
+        );
+        let dag = DependenceGraph::new(circuit);
+        let indeg = dag.in_degrees();
+        let front = dag.initial_front();
+        let initial_layout = layout.as_assignment().to_vec();
+        let n_gates = circuit.gates().len();
+        RoutingState {
+            circuit,
+            device,
+            dist,
+            dag,
+            indeg,
+            front,
+            front_version: 1,
+            layout,
+            routed: Circuit::with_capacity(device.n_qubits(), n_gates + n_gates / 4),
+            initial_layout,
+            swaps: 0,
+            decay: vec![1.0; device.n_qubits()],
+            clock: vec![0; device.n_qubits()],
+            clock_max: 0,
+            ready_buf: Vec::new(),
+            gate_mark: vec![false; n_gates],
+            touch_stamp: vec![0; device.n_qubits()],
+            touch_epoch: 0,
+            fl_cache: Vec::new(),
+            fl_version: 0,
+        }
+    }
+
+    // --- read-only accessors ---
+
+    /// The logical circuit being routed.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// The target coupling graph.
+    pub fn device(&self) -> &CouplingGraph {
+        self.device
+    }
+
+    /// The distance matrix routing distances come from.
+    pub fn dist(&self) -> &DistanceMatrix {
+        self.dist
+    }
+
+    /// The dependence DAG of the circuit.
+    pub fn dag(&self) -> &DependenceGraph {
+        &self.dag
+    }
+
+    /// Remaining unexecuted-predecessor count of gate `g`.
+    pub fn in_degree(&self, g: u32) -> u32 {
+        self.indeg[g as usize]
+    }
+
+    /// The current logical↔physical layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The front layer (dependence-ready gates), in maintenance order.
+    pub fn front(&self) -> &[u32] {
+        &self.front
+    }
+
+    /// Monotone counter bumped on every front-layer mutation — compare
+    /// against a remembered value to invalidate pass-local caches.
+    pub fn front_version(&self) -> u64 {
+        self.front_version
+    }
+
+    /// Whether every gate has been routed.
+    pub fn is_done(&self) -> bool {
+        self.front.is_empty()
+    }
+
+    /// SWAPs inserted so far.
+    pub fn swaps(&self) -> usize {
+        self.swaps
+    }
+
+    /// Gates emitted into the routed circuit so far.
+    pub fn routed_len(&self) -> usize {
+        self.routed.gates().len()
+    }
+
+    /// Decay of physical qubit `p` (starts at 1.0).
+    pub fn decay(&self, p: u32) -> f64 {
+        self.decay[p as usize]
+    }
+
+    /// Schedule clock of physical qubit `p`.
+    pub fn clock(&self, p: u32) -> u32 {
+        self.clock[p as usize]
+    }
+
+    /// Maximum over all schedule clocks.
+    pub fn clock_max(&self) -> u32 {
+        self.clock_max
+    }
+
+    /// The cycle a SWAP on `(p1, p2)` would finish at, under the evolving
+    /// schedule: one past the later of the two qubit clocks.
+    pub fn swap_completion(&self, p1: u32, p2: u32) -> u32 {
+        self.clock[p1 as usize].max(self.clock[p2 as usize]) + 1
+    }
+
+    /// Whether gate `g` is executable under the current layout.
+    pub fn executable(&self, g: u32) -> bool {
+        match self.circuit.gates()[g as usize].qubit_pair() {
+            Some((a, b)) => self
+                .device
+                .is_adjacent(self.layout.phys(a), self.layout.phys(b)),
+            None => true,
+        }
+    }
+
+    /// The blocked two-qubit gates of the front layer.
+    pub fn blocked_front(&self) -> Vec<u32> {
+        self.front
+            .iter()
+            .copied()
+            .filter(|&g| self.circuit.gates()[g as usize].is_two_qubit())
+            .collect()
+    }
+
+    /// Sum of current physical distances of the given gates.
+    pub fn distance_sum(&self, gates: &[u32]) -> f64 {
+        gates
+            .iter()
+            .filter_map(|&g| self.circuit.gates()[g as usize].qubit_pair())
+            .map(|(a, b)| self.dist.get(self.layout.phys(a), self.layout.phys(b)) as f64)
+            .sum()
+    }
+
+    /// The next `limit` upcoming two-qubit gates beyond the front, in
+    /// topological (program) order.
+    pub fn lookahead(&self, limit: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(limit);
+        let mut visited = vec![false; self.dag.n_gates()];
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> =
+            std::collections::BinaryHeap::new();
+        for &g in &self.front {
+            visited[g as usize] = true;
+            heap.push(std::cmp::Reverse(g));
+        }
+        while let Some(std::cmp::Reverse(g)) = heap.pop() {
+            let in_front = self.indeg[g as usize] == 0;
+            if !in_front && self.circuit.gates()[g as usize].is_two_qubit() {
+                out.push(g);
+                if out.len() >= limit {
+                    break;
+                }
+            }
+            for &s in self.dag.succs(g) {
+                if !visited[s as usize] {
+                    visited[s as usize] = true;
+                    heap.push(std::cmp::Reverse(s));
+                }
+            }
+        }
+        out
+    }
+
+    // --- candidate frontier (incrementally cached on the front layer) ---
+
+    /// Sorted, deduplicated logical operands of the two-qubit front gates.
+    /// Cached across SWAP steps — only a front-layer change recomputes it.
+    pub fn front_logicals(&mut self) -> &[u32] {
+        if self.fl_version != self.front_version {
+            self.fl_cache.clear();
+            for &g in &self.front {
+                if let Some((a, b)) = self.circuit.gates()[g as usize].qubit_pair() {
+                    self.fl_cache.push(a);
+                    self.fl_cache.push(b);
+                }
+            }
+            self.fl_cache.sort_unstable();
+            self.fl_cache.dedup();
+            self.fl_version = self.front_version;
+        }
+        &self.fl_cache
+    }
+
+    /// Sorted, deduplicated physical qubits hosting operands of blocked
+    /// front gates.
+    pub fn front_physicals(&mut self) -> Vec<u32> {
+        self.front_logicals();
+        let mut out: Vec<u32> = self.fl_cache.iter().map(|&l| self.layout.phys(l)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Candidate SWAP edges incident to the blocked front, enumerated in
+    /// **sorted-physical-qubit** order (deduplicated, first occurrence
+    /// wins) — the ordering the baseline mappers score in.
+    pub fn swap_candidates(&mut self) -> Vec<(u32, u32)> {
+        let physicals = self.front_physicals();
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for p1 in physicals {
+            for &p2 in self.device.neighbors(p1) {
+                let pair = (p1.min(p2), p1.max(p2));
+                if !out.contains(&pair) {
+                    out.push(pair);
+                }
+            }
+        }
+        out
+    }
+
+    /// Candidate SWAP edges incident to the blocked front, enumerated in
+    /// **sorted-logical-qubit** order mapped through the layout
+    /// (deduplicated, first occurrence wins). Covers *every* front gate;
+    /// the Qlosure pass instead draws its §V-D candidates from its
+    /// look-ahead window, whose budget can exclude late front gates.
+    pub fn swap_candidates_logical(&mut self) -> Vec<(u32, u32)> {
+        self.front_logicals();
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for i in 0..self.fl_cache.len() {
+            let p1 = self.layout.phys(self.fl_cache[i]);
+            for &p2 in self.device.neighbors(p1) {
+                let pair = (p1.min(p2), p1.max(p2));
+                if !out.contains(&pair) {
+                    out.push(pair);
+                }
+            }
+        }
+        out
+    }
+
+    // --- mutations (each returns / consumes an undo delta) ---
+
+    /// Executes every currently executable front gate, **cascading**:
+    /// freed successors that are themselves executable run in the same
+    /// call. Ready gates execute in ascending index order per wave.
+    /// Returns the undo delta (its [`ExecDelta::ran`] field is the number
+    /// of gates executed).
+    pub fn execute_ready(&mut self) -> ExecDelta {
+        let mut delta = ExecDelta {
+            ran: 0,
+            executed: Vec::new(),
+            front_before: Vec::new(),
+            clock_prev: Vec::new(),
+            clock_max_before: self.clock_max,
+            routed_len: self.routed.gates().len(),
+        };
+        self.touch_epoch += 1;
+        loop {
+            let mut ready = std::mem::take(&mut self.ready_buf);
+            ready.clear();
+            ready.extend(self.front.iter().copied().filter(|&g| self.executable(g)));
+            if ready.is_empty() {
+                self.ready_buf = ready;
+                return delta;
+            }
+            if delta.ran == 0 {
+                delta.front_before = self.front.clone();
+            }
+            ready.sort_unstable();
+            for &g in &ready {
+                let gate = &self.circuit.gates()[g as usize];
+                self.emit_mapped(gate);
+                self.advance_clock_tracked(g, &mut delta.clock_prev);
+                self.gate_mark[g as usize] = true;
+            }
+            delta.ran += ready.len();
+            let mark = &self.gate_mark;
+            self.front.retain(|&g| !mark[g as usize]);
+            for &g in &ready {
+                self.gate_mark[g as usize] = false;
+                for &s in self.dag.succs(g) {
+                    self.indeg[s as usize] -= 1;
+                    if self.indeg[s as usize] == 0 {
+                        self.front.push(s);
+                    }
+                }
+            }
+            delta.executed.extend_from_slice(&ready);
+            self.front_version += 1;
+            self.ready_buf = ready;
+        }
+    }
+
+    /// Rolls back one [`execute_ready`](Self::execute_ready) cascade.
+    /// Deltas must be undone in reverse application order.
+    pub fn undo_execute(&mut self, delta: ExecDelta) {
+        if delta.ran == 0 {
+            return;
+        }
+        self.routed.truncate(delta.routed_len);
+        for &g in &delta.executed {
+            for &s in self.dag.succs(g) {
+                self.indeg[s as usize] += 1;
+            }
+        }
+        for &(p, prev) in &delta.clock_prev {
+            self.clock[p as usize] = prev;
+        }
+        self.clock_max = delta.clock_max_before;
+        self.front = delta.front_before;
+        self.front_version += 1;
+    }
+
+    /// Emits a SWAP on the coupled pair `(p1, p2)`: appends the gate,
+    /// updates the layout, advances both schedule clocks to the swap's
+    /// completion cycle and counts it. Returns the undo delta.
+    pub fn apply_swap(&mut self, p1: u32, p2: u32) -> SwapDelta {
+        debug_assert!(self.device.is_adjacent(p1, p2), "swap on uncoupled pair");
+        let delta = SwapDelta {
+            p1,
+            p2,
+            clock1: self.clock[p1 as usize],
+            clock2: self.clock[p2 as usize],
+            clock_max: self.clock_max,
+            routed_len: self.routed.gates().len(),
+        };
+        self.routed.swap(p1, p2);
+        self.layout.apply_swap(p1, p2);
+        let done = self.clock[p1 as usize].max(self.clock[p2 as usize]) + 1;
+        self.clock[p1 as usize] = done;
+        self.clock[p2 as usize] = done;
+        self.clock_max = self.clock_max.max(done);
+        self.swaps += 1;
+        delta
+    }
+
+    /// Rolls back one [`apply_swap`](Self::apply_swap). Deltas must be
+    /// undone in reverse application order.
+    pub fn undo_swap(&mut self, delta: SwapDelta) {
+        self.layout.apply_swap(delta.p1, delta.p2);
+        self.clock[delta.p1 as usize] = delta.clock1;
+        self.clock[delta.p2 as usize] = delta.clock2;
+        self.clock_max = delta.clock_max;
+        self.routed.truncate(delta.routed_len);
+        self.swaps -= 1;
+    }
+
+    /// Applies `(p1, p2)` to the **layout only**, evaluates `f` on the
+    /// speculative state, and undoes the layout change — the cheap path
+    /// for scoring a candidate SWAP without touching clocks or the routed
+    /// circuit.
+    pub fn speculate_swap<R>(&mut self, p1: u32, p2: u32, f: impl FnOnce(&Self) -> R) -> R {
+        self.layout.apply_swap(p1, p2);
+        let r = f(self);
+        self.layout.apply_swap(p1, p2);
+        r
+    }
+
+    /// Routes the front gate `g` directly along a shortest path (forced
+    /// progress for heuristics that stall).
+    pub fn force_route(&mut self, g: u32) {
+        let (a, b) = self.circuit.gates()[g as usize]
+            .qubit_pair()
+            .expect("blocked gates are two-qubit");
+        let (pa, pb) = (self.layout.phys(a), self.layout.phys(b));
+        let path = self.device.shortest_path(pa, pb).expect("connected device");
+        for win in path.windows(2).take(path.len().saturating_sub(2)) {
+            self.apply_swap(win[0], win[1]);
+        }
+    }
+
+    // --- decay table ---
+
+    /// Resets every decay entry to 1.0.
+    pub fn reset_decay(&mut self) {
+        self.decay.fill(1.0);
+    }
+
+    /// Adds `delta` to the decay of physical qubit `p`.
+    pub fn bump_decay(&mut self, p: u32, delta: f64) {
+        self.decay[p as usize] += delta;
+    }
+
+    // --- finish / inspect ---
+
+    /// Finishes the loop, producing the result.
+    ///
+    /// Debug builds assert that routing is complete.
+    pub fn into_result(self) -> MappingResult {
+        debug_assert!(self.front.is_empty(), "routing ended with pending gates");
+        MappingResult {
+            routed: self.routed,
+            final_layout: self.layout.as_assignment().to_vec(),
+            initial_layout: self.initial_layout,
+            swaps: self.swaps,
+        }
+    }
+
+    /// Exact snapshot of the mutable state, for apply/undo verification.
+    pub fn fingerprint(&self) -> StateFingerprint {
+        StateFingerprint {
+            front: self.front.clone(),
+            indeg: self.indeg.clone(),
+            assignment: self.layout.as_assignment().to_vec(),
+            routed: self.routed.gates().to_vec(),
+            swaps: self.swaps,
+            clock: self.clock.clone(),
+            clock_max: self.clock_max,
+            decay_bits: self.decay.iter().map(|d| d.to_bits()).collect(),
+        }
+    }
+
+    /// Emits `gate` with operands translated through the layout.
+    fn emit_mapped(&mut self, gate: &Gate) {
+        let mapped = Gate {
+            kind: gate.kind.clone(),
+            qubits: gate.qubits.iter().map(|&q| self.layout.phys(q)).collect(),
+            params: gate.params.clone(),
+        };
+        self.routed.push(mapped);
+    }
+
+    /// Advances the schedule clocks for executed gate `g`, recording
+    /// first-touch previous values into `prev` for undo.
+    fn advance_clock_tracked(&mut self, g: u32, prev: &mut Vec<(u32, u32)>) {
+        let gate = &self.circuit.gates()[g as usize];
+        if gate.qubits.is_empty() {
+            return;
+        }
+        let ready = gate
+            .qubits
+            .iter()
+            .map(|&q| self.clock[self.layout.phys(q) as usize])
+            .max()
+            .expect("non-empty");
+        let dur = u32::from(gate.is_scheduled());
+        let done = ready + dur;
+        for &q in &gate.qubits {
+            let p = self.layout.phys(q);
+            if self.touch_stamp[p as usize] != self.touch_epoch {
+                self.touch_stamp[p as usize] = self.touch_epoch;
+                prev.push((p, self.clock[p as usize]));
+            }
+            self.clock[p as usize] = done;
+        }
+        self.clock_max = self.clock_max.max(done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::backends;
+
+    #[test]
+    fn execute_ready_cascades_through_single_qubit_gates() {
+        let device = backends::line(3);
+        let dist = device.distances();
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.h(1);
+        c.cx(1, 2);
+        let layout = Layout::identity(3, 3);
+        let mut st = RoutingState::new(&c, &device, &dist, layout);
+        let ran = st.execute_ready().ran;
+        assert_eq!(ran, 4);
+        assert!(st.is_done());
+        assert_eq!(st.routed_len(), 4);
+    }
+
+    #[test]
+    fn blocked_front_and_candidates() {
+        let device = backends::line(4);
+        let dist = device.distances();
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let mut st = RoutingState::new(&c, &device, &dist, Layout::identity(4, 4));
+        assert_eq!(st.execute_ready().ran, 0);
+        assert_eq!(st.blocked_front(), vec![0]);
+        assert_eq!(st.front_physicals(), vec![0, 3]);
+        assert_eq!(st.front_logicals(), &[0, 3]);
+        let cands = st.swap_candidates();
+        assert!(cands.contains(&(0, 1)) && cands.contains(&(2, 3)));
+        assert_eq!(cands.len(), 2);
+        assert_eq!(st.swap_candidates_logical(), cands);
+    }
+
+    #[test]
+    fn force_route_unblocks() {
+        let device = backends::line(5);
+        let dist = device.distances();
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        let mut st = RoutingState::new(&c, &device, &dist, Layout::identity(5, 5));
+        st.execute_ready();
+        st.force_route(0);
+        assert_eq!(st.execute_ready().ran, 1);
+        assert!(st.is_done());
+        assert_eq!(st.swaps(), 3);
+    }
+
+    #[test]
+    fn lookahead_respects_topological_order() {
+        let device = backends::line(6);
+        let dist = device.distances();
+        let mut c = Circuit::new(6);
+        c.cx(0, 5); // blocked
+        c.cx(5, 1);
+        c.cx(1, 2);
+        c.cx(2, 3);
+        let mut st = RoutingState::new(&c, &device, &dist, Layout::identity(6, 6));
+        st.execute_ready();
+        let la = st.lookahead(2);
+        assert_eq!(la, vec![1, 2]);
+    }
+
+    #[test]
+    fn swap_apply_undo_restores_fingerprint() {
+        let device = backends::ring(6);
+        let dist = device.distances();
+        let mut c = Circuit::new(6);
+        c.cx(0, 3);
+        let mut st = RoutingState::new(&c, &device, &dist, Layout::identity(6, 6));
+        st.execute_ready();
+        let before = st.fingerprint();
+        let d = st.apply_swap(0, 1);
+        assert_ne!(st.fingerprint(), before);
+        st.undo_swap(d);
+        assert_eq!(st.fingerprint(), before);
+    }
+
+    #[test]
+    fn execute_apply_undo_restores_fingerprint() {
+        let device = backends::line(4);
+        let dist = device.distances();
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(0, 3); // blocked after the first two run
+        let mut st = RoutingState::new(&c, &device, &dist, Layout::identity(4, 4));
+        let before = st.fingerprint();
+        let d = st.execute_ready();
+        assert_eq!(d.ran, 2);
+        assert_ne!(st.fingerprint(), before);
+        st.undo_execute(d);
+        assert_eq!(st.fingerprint(), before);
+        // Redo is deterministic.
+        let d2 = st.execute_ready();
+        assert_eq!(d2.ran, 2);
+    }
+
+    #[test]
+    fn empty_execute_delta_is_a_noop_undo() {
+        let device = backends::line(4);
+        let dist = device.distances();
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let mut st = RoutingState::new(&c, &device, &dist, Layout::identity(4, 4));
+        st.execute_ready();
+        let before = st.fingerprint();
+        let d = st.execute_ready(); // nothing ready: blocked front
+        assert_eq!(d.ran, 0);
+        st.undo_execute(d);
+        assert_eq!(st.fingerprint(), before);
+    }
+
+    #[test]
+    fn speculate_swap_leaves_state_untouched() {
+        let device = backends::line(4);
+        let dist = device.distances();
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let mut st = RoutingState::new(&c, &device, &dist, Layout::identity(4, 4));
+        st.execute_ready();
+        let before = st.fingerprint();
+        let d = st.speculate_swap(0, 1, |s| {
+            s.dist().get(s.layout().phys(0), s.layout().phys(3))
+        });
+        assert_eq!(d, 2); // one hop closer under the speculative layout
+        assert_eq!(st.fingerprint(), before);
+    }
+
+    #[test]
+    fn front_logicals_cache_tracks_front_changes() {
+        let device = backends::line(5);
+        let dist = device.distances();
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        c.cx(1, 2);
+        let mut st = RoutingState::new(&c, &device, &dist, Layout::identity(5, 5));
+        assert_eq!(st.front_logicals(), &[0, 1, 2, 4]);
+        let v = st.front_version();
+        st.execute_ready(); // runs cx(1,2); cx(0,4) stays blocked
+        assert!(st.front_version() > v);
+        assert_eq!(st.front_logicals(), &[0, 4]);
+        // A swap does not invalidate the (logical) cache.
+        let v = st.front_version();
+        st.apply_swap(0, 1);
+        assert_eq!(st.front_version(), v);
+        assert_eq!(st.front_logicals(), &[0, 4]);
+    }
+}

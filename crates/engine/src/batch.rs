@@ -44,6 +44,12 @@ pub struct JobReport {
     pub depth: usize,
     /// Wall-clock mapping time of this job (timing field).
     pub seconds: f64,
+    /// The pass composition the job ran (`"weights → identity → qlosure"`;
+    /// empty for opaque, non-pipeline mappers).
+    pub pipeline: String,
+    /// Per-pass wall-clock timings (`stage:name`, seconds) in execution
+    /// order; empty for opaque mappers.
+    pub passes: Vec<(String, f64)>,
     /// The full mapping result.
     pub result: MappingResult,
 }
@@ -96,7 +102,11 @@ impl BatchEngine {
         let reports = self.execute(ids, |&id| {
             let job = &jobs_ref[id];
             let t0 = Instant::now();
-            let result = job.mapper.map(&job.circuit, &job.device);
+            // Pipeline-based mappers run through their pass composition so
+            // the report carries per-pass timings; the result is identical
+            // to `Mapper::map` (the map adapter is the same pipeline).
+            let timed = qlosure::run_mapper_timed(job.mapper.as_ref(), &job.circuit, &job.device);
+            let (result, pipeline, passes) = (timed.result, timed.pipeline, timed.passes);
             let seconds = t0.elapsed().as_secs_f64();
             verify_routing(
                 &job.circuit,
@@ -119,6 +129,8 @@ impl BatchEngine {
                 swaps: result.swaps,
                 depth: result.routed.depth(),
                 seconds,
+                pipeline,
+                passes,
                 result,
             }
         });
@@ -170,6 +182,15 @@ mod tests {
             assert_eq!(j.label, format!("rand-{i}"));
             assert!(j.seconds >= 0.0);
             assert_eq!(j.depth, j.result.routed.depth());
+            // Qlosure is pipeline-based: the report carries the pass
+            // composition and one timing entry per pass.
+            assert_eq!(j.pipeline, "weights → identity → qlosure");
+            let labels: Vec<&str> = j.passes.iter().map(|(l, _)| l.as_str()).collect();
+            assert_eq!(
+                labels,
+                vec!["analysis:weights", "layout:identity", "routing:qlosure"]
+            );
+            assert!(j.passes.iter().all(|&(_, s)| s >= 0.0));
         }
         assert!(report.wall_seconds > 0.0);
     }

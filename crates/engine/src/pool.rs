@@ -21,13 +21,15 @@ impl BatchEngine {
     /// An engine sized by the `ENGINE_THREADS` environment variable,
     /// falling back to [`std::thread::available_parallelism`].
     ///
-    /// Unparseable or zero values fall back to the default; there is no
-    /// panic path, so harnesses can always start.
+    /// Unparseable or zero values emit a one-line stderr warning and fall
+    /// back to the default; there is no panic path, so harnesses can
+    /// always start.
     pub fn from_env() -> BatchEngine {
-        let from_env = std::env::var("ENGINE_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1);
+        let raw = std::env::var("ENGINE_THREADS").ok();
+        let (from_env, warning) = parse_engine_threads(raw.as_deref());
+        if let Some(warning) = warning {
+            eprintln!("{warning}");
+        }
         let threads = from_env.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -93,6 +95,26 @@ impl BatchEngine {
             .into_iter()
             .map(|r| r.expect("every job ran exactly once"))
             .collect()
+    }
+}
+
+/// The testable core of the `ENGINE_THREADS` parsing: returns the parsed
+/// worker count (when valid) and the warning line to print (when the
+/// variable is set but invalid — `0` or unparseable). An unset variable
+/// yields `(None, None)`: silent default.
+fn parse_engine_threads(raw: Option<&str>) -> (Option<usize>, Option<String>) {
+    match raw {
+        None => (None, None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => (Some(n), None),
+            _ => (
+                None,
+                Some(format!(
+                    "warning: ignoring invalid ENGINE_THREADS={v:?} \
+                     (expected a positive integer); using all cores"
+                )),
+            ),
+        },
     }
 }
 
@@ -192,5 +214,23 @@ mod tests {
     #[test]
     fn with_threads_clamps_to_one() {
         assert_eq!(BatchEngine::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn engine_threads_parsing_warns_on_invalid_never_panics() {
+        // Unset: silent default.
+        assert_eq!(parse_engine_threads(None), (None, None));
+        // Valid values parse without a warning.
+        assert_eq!(parse_engine_threads(Some("1")), (Some(1), None));
+        assert_eq!(parse_engine_threads(Some("16")), (Some(16), None));
+        // Zero and garbage fall back with a one-line warning.
+        for bad in ["0", "abc", "-3", "4.5", ""] {
+            let (threads, warning) = parse_engine_threads(Some(bad));
+            assert_eq!(threads, None, "ENGINE_THREADS={bad:?} must not parse");
+            let warning = warning.unwrap_or_else(|| panic!("{bad:?} must warn"));
+            assert!(warning.contains("ENGINE_THREADS"), "got: {warning}");
+            assert!(warning.contains(bad), "warning names the value: {warning}");
+            assert!(!warning.contains('\n'), "one line only: {warning}");
+        }
     }
 }

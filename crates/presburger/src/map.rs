@@ -510,7 +510,7 @@ impl Map {
         self.wrap().count_points_checked()
     }
 
-    /// Transitive closure `R⁺` (see [`crate::closure`] module docs).
+    /// Transitive closure `R⁺` (see the `closure` module docs).
     ///
     /// The boolean flag reports whether the result is exact; when `false`
     /// the returned relation is a sound over-approximation (`R⁺ ⊆ result`).

@@ -301,7 +301,7 @@ impl Set {
         }
     }
 
-    /// Exact number of integer points (see [`crate::count`] module docs);
+    /// Exact number of integer points (see the `count` module docs);
     /// `None` when the set is infinite.
     pub fn count_points_checked(&self) -> Option<u64> {
         crate::count::count(self)

@@ -139,3 +139,36 @@ fn device_too_small_is_reported() {
     let err = route_qasm(src, &device, &QlosureConfig::default()).unwrap_err();
     assert!(matches!(err, qlosure::PipelineError::DeviceTooSmall { .. }));
 }
+
+#[test]
+fn pass_pipeline_outcome_matches_the_map_adapter_for_every_mapper() {
+    // `Mapper::map` is a thin adapter over `Mapper::pipeline`: both forms
+    // must agree, and the pipeline reports one timing entry per pass.
+    let device = backends::ankaa3();
+    let gen_device = backends::aspen16();
+    let bench = queko::QuekoSpec::new(&gen_device, 20).seed(3).generate();
+    for mapper in bench_support::all_mappers() {
+        let direct = mapper.map(&bench.circuit, &device);
+        verify(&bench.circuit, &device, &direct);
+        let pipeline = mapper
+            .pipeline()
+            .unwrap_or_else(|| panic!("{} must be pipeline-based", mapper.name()));
+        let outcome = pipeline.run(&bench.circuit, &device).unwrap();
+        assert_eq!(outcome.result, direct, "{} diverged", mapper.name());
+        assert_eq!(
+            outcome.timings.len(),
+            pipeline.describe().split('→').count(),
+            "{}: one timing entry per composed pass",
+            mapper.name()
+        );
+    }
+}
+
+#[test]
+fn pipeline_error_sources_chain_to_the_wrapped_error() {
+    use std::error::Error;
+    let err = route_qasm("qreg q[", &backends::line(2), &QlosureConfig::default()).unwrap_err();
+    let source = err.source().expect("parse failure carries a source");
+    assert!(source.downcast_ref::<qasm::ParseError>().is_some());
+    assert!(source.source().is_none(), "chain ends at the parser error");
+}

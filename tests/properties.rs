@@ -12,7 +12,7 @@
 use circuit::{verify_routing, Circuit, DependenceGraph};
 use presburger::{BasicSet, Constraint, LinearExpr, Set};
 use proptest::prelude::*;
-use qlosure::{Mapper, QlosureMapper};
+use qlosure::{Layout, Mapper, QlosureMapper, RoutingState};
 use topology::backends;
 
 // ---------- Presburger algebra ----------
@@ -210,6 +210,82 @@ proptest! {
     }
 }
 
+// ---------- RoutingState delta/undo invariants ----------
+
+/// Drives a `RoutingState` through a full routing of a pseudo-random
+/// circuit, checking at every step that apply-then-undo restores the
+/// state fingerprint exactly (for both gate-execution cascades and
+/// SWAPs), that redo is deterministic, and that layout-only speculation
+/// leaves no trace.
+fn check_routing_state_round_trips(seed: u64, n_gates: usize) -> Result<(), TestCaseError> {
+    let device = backends::square_grid(3, 3);
+    let dist = device.distances();
+    let mut c = Circuit::new(9);
+    let mut s = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    for _ in 0..n_gates {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let a = ((s >> 33) % 9) as u32;
+        let b = ((s >> 17) % 9) as u32;
+        if a == b {
+            c.h(a);
+        } else {
+            c.cx(a, b);
+        }
+    }
+    let mut st = RoutingState::new(&c, &device, &dist, Layout::identity(9, 9));
+    let mut steps = 0usize;
+    loop {
+        // Execution cascade: apply, undo, re-apply.
+        let before = st.fingerprint();
+        let delta = st.execute_ready();
+        let ran = delta.ran;
+        let after = st.fingerprint();
+        st.undo_execute(delta);
+        prop_assert_eq!(st.fingerprint(), before, "undo_execute must restore");
+        let redo = st.execute_ready();
+        prop_assert_eq!(redo.ran, ran, "redo must be deterministic");
+        prop_assert_eq!(st.fingerprint(), after, "redo must reproduce");
+        if st.is_done() {
+            break;
+        }
+        // SWAP: apply, undo, speculate, re-apply.
+        let candidates = st.swap_candidates();
+        prop_assert!(!candidates.is_empty(), "blocked front has candidates");
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let (p1, p2) = candidates[(s >> 33) as usize % candidates.len()];
+        let before = st.fingerprint();
+        let swap_delta = st.apply_swap(p1, p2);
+        st.undo_swap(swap_delta);
+        prop_assert_eq!(st.fingerprint(), before.clone(), "undo_swap must restore");
+        let _ = st.speculate_swap(p1, p2, |view| view.swaps());
+        prop_assert_eq!(st.fingerprint(), before, "speculation must be traceless");
+        st.apply_swap(p1, p2);
+        steps += 1;
+        // Random front-incident swaps alone may wander; force progress
+        // periodically so the drive always terminates.
+        if steps % 8 == 7 {
+            let g = st.blocked_front()[0];
+            st.force_route(g);
+        }
+        prop_assert!(steps < 10_000, "routing drive must terminate");
+    }
+    prop_assert!(st.is_done());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24).with_seed(0x0051_EC05_0DE1_7A50))]
+
+    #[test]
+    fn routing_state_apply_undo_round_trips(seed in 0u64..10_000, n_gates in 5usize..40) {
+        check_routing_state_round_trips(seed, n_gates)?;
+    }
+}
+
 // ---------- QUEKO generator guarantees ----------
 
 proptest! {
@@ -344,6 +420,11 @@ fn smoke_qlosure_routes_fixed_circuit() {
 fn smoke_qasm_round_trip_fixed_point() {
     assert_qasm_round_trip("ghz_8", &qasmbench::ghz(8));
     assert_qasm_round_trip("qft_5", &qasmbench::qft(5));
+}
+
+#[test]
+fn smoke_routing_state_apply_undo_fixed_case() {
+    check_routing_state_round_trips(42, 24).expect("fixed apply/undo case");
 }
 
 #[test]

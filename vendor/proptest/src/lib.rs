@@ -1,5 +1,5 @@
 //! Minimal, deterministic stand-in for the subset of the `proptest` API this
-//! workspace uses: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! workspace uses: the [`proptest!`] macro, `Strategy` with `prop_map`,
 //! integer-range and tuple strategies, `prop::collection::vec`, and the
 //! `prop_assert*` macros.
 //!
@@ -242,7 +242,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]: an exact size or a range.
+    /// Length specification for [`vec()`]: an exact size or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
