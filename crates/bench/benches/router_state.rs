@@ -233,6 +233,7 @@ fn bench_router_state(c: &mut Criterion) {
                     ),
                 ],
                 pass_seconds: vec![],
+                queue_seconds: None,
             });
         }
     }

@@ -1,0 +1,136 @@
+//! Service throughput: replay a mixed roster against a **warm daemon**.
+//!
+//! Spawns an in-process `qlosured` on a temp socket, submits a mixed
+//! roster (≥ 20 jobs: two backends × two mappers × two QUEKO depths ×
+//! seeds, alternating interactive/batch priorities, some with fidelity
+//! estimation), waits for every result over the wire, and writes
+//! `BENCH_service.json` with per-job rows (swaps/depth/qops/seq +
+//! `seconds`/`queue_seconds`/`pass_seconds`) plus the daemon's
+//! shared-cache hit/miss counters as top-level fields.
+//!
+//! The run **fails (exit 1) if the distance cache shows zero hits** —
+//! the whole point of a persistent daemon is cross-request amortization
+//! of the shared per-device caches, and this binary is the acceptance
+//! check that it actually happens.
+//!
+//! ```text
+//! ENGINE_THREADS=4 cargo run --release -p qlosure-bench --bin service_throughput
+//! ```
+
+use bench_support::report;
+use service::{Client, DaemonConfig, Priority, ServiceConfig};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let socket = std::env::temp_dir().join(format!("qlosured-bench-{}.sock", std::process::id()));
+    let config = DaemonConfig {
+        socket: socket.clone(),
+        service: ServiceConfig::default(), // workers from ENGINE_THREADS
+    };
+    let workers = config.service.workers;
+    let daemon = service::daemon::spawn(config).expect("bind daemon socket");
+    let mut client = Client::connect(&socket).expect("connect to daemon");
+
+    // The mixed roster: every (backend × mapper × depth × seed) cell.
+    let mut jobs: Vec<(String, String, String, usize, u64)> = Vec::new();
+    for backend in ["aspen16", "king9"] {
+        for mapper in ["qlosure", "sabre"] {
+            for depth in [40, 80] {
+                for seed in 0..3u64 {
+                    let label = format!("{backend}-{mapper}-d{depth}-s{seed}");
+                    jobs.push((label, backend.to_string(), mapper.to_string(), depth, seed));
+                }
+            }
+        }
+    }
+    assert!(jobs.len() >= 20, "mixed roster must cover ≥ 20 jobs");
+
+    let wall0 = Instant::now();
+    let mut ids = Vec::new();
+    for (i, (label, backend, mapper, depth, seed)) in jobs.iter().enumerate() {
+        let device = topology::backends::by_name(backend).expect("roster backend resolves");
+        let bench = queko::QuekoSpec::new(&device, *depth)
+            .seed(*seed)
+            .generate();
+        let qasm_src = qasm::emit(&bench.circuit.to_qasm());
+        let priority = if i % 3 == 0 {
+            Priority::Interactive
+        } else {
+            Priority::Batch
+        };
+        let fidelity = i % 4 == 0;
+        let id = client
+            .submit(backend, mapper, &qasm_src, priority, fidelity)
+            .unwrap_or_else(|e| panic!("submit {label}: {e}"));
+        ids.push((id, label.clone()));
+    }
+
+    let mut rows = Vec::new();
+    for (id, label) in &ids {
+        let summary = client
+            .wait(*id, Duration::from_secs(600))
+            .unwrap_or_else(|e| panic!("wait {label}: {e}"));
+        assert!(summary.verified, "{label}: daemon result must be verified");
+        let mut metrics = vec![
+            ("swaps".to_string(), summary.swaps as i64),
+            ("depth".to_string(), summary.depth as i64),
+            ("qops".to_string(), summary.qops as i64),
+            ("seq".to_string(), summary.seq as i64),
+        ];
+        if let Some(ppm) = summary.success_ppm {
+            metrics.push(("success_ppm".to_string(), ppm));
+        }
+        rows.push(report::JsonJobRow {
+            id: *id as usize,
+            label: label.clone(),
+            seconds: summary.seconds,
+            metrics,
+            pass_seconds: summary.pass_seconds.clone(),
+            queue_seconds: Some(summary.queue_seconds),
+        });
+    }
+    let wall_seconds = wall0.elapsed().as_secs_f64();
+
+    let stats = client.stats().expect("stats round trip");
+    client.shutdown().expect("shutdown round trip");
+    let final_stats = daemon.join().expect("daemon exits cleanly");
+    assert_eq!(final_stats.completed as usize, jobs.len());
+
+    let extras = vec![
+        ("distance_hits".to_string(), stats.distance_hits as i64),
+        ("distance_misses".to_string(), stats.distance_misses as i64),
+        ("closure_hits".to_string(), stats.closure_hits as i64),
+        ("closure_misses".to_string(), stats.closure_misses as i64),
+        ("submitted".to_string(), stats.submitted as i64),
+        ("completed".to_string(), final_stats.completed as i64),
+    ];
+    let (cpu_seconds, speedup) = report::batch_totals(wall_seconds, &rows);
+    eprintln!(
+        "service_throughput: {} jobs through a warm daemon ({} workers): wall {wall_seconds:.2}s, \
+         cpu {cpu_seconds:.2}s, speedup {speedup:.2}x; distance cache {}h/{}m, closure memo {}h/{}m",
+        rows.len(),
+        workers,
+        stats.distance_hits,
+        stats.distance_misses,
+        stats.closure_hits,
+        stats.closure_misses,
+    );
+    match report::write_batch_json_with("service", workers, wall_seconds, &rows, &extras) {
+        Ok(path) => eprintln!("service_throughput: wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("service_throughput: could not write JSON report: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // The acceptance check: a warm daemon must show cross-request cache
+    // amortization — many jobs share two devices, so the shared distance
+    // cache has to register hits.
+    if stats.distance_hits == 0 {
+        eprintln!(
+            "service_throughput: FAIL — zero shared distance-cache hits across {} requests",
+            rows.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -79,6 +79,9 @@ pub struct JsonJobRow {
     /// mapper's pass pipeline; empty for jobs without pipeline timings.
     /// Timing fields, like `seconds`.
     pub pass_seconds: Vec<(String, f64)>,
+    /// Time the job waited between enqueue and worker pickup, when the
+    /// harness measured it (a timing field, like `seconds`).
+    pub queue_seconds: Option<f64>,
 }
 
 /// The (cpu_seconds, speedup) totals of a row set — the one place this
@@ -114,8 +117,21 @@ fn json_string(s: &str) -> String {
 
 /// Renders a batch as deterministic JSON: fixed key order, jobs in roster
 /// order. `wall_seconds`, `cpu_seconds`, `speedup` and the per-job
-/// `seconds` are the only fields that vary between runs.
+/// `seconds`/`queue_seconds` are the only fields that vary between runs.
 pub fn batch_json(name: &str, threads: usize, wall_seconds: f64, rows: &[JsonJobRow]) -> String {
+    batch_json_with(name, threads, wall_seconds, rows, &[])
+}
+
+/// [`batch_json`] with extra top-level integer fields (inserted after
+/// `speedup`) — the service bench reports shared-cache hit/miss counters
+/// this way.
+pub fn batch_json_with(
+    name: &str,
+    threads: usize,
+    wall_seconds: f64,
+    rows: &[JsonJobRow],
+    extras: &[(String, i64)],
+) -> String {
     let (cpu_seconds, speedup) = batch_totals(wall_seconds, rows);
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"name\": {},\n", json_string(name)));
@@ -123,6 +139,9 @@ pub fn batch_json(name: &str, threads: usize, wall_seconds: f64, rows: &[JsonJob
     out.push_str(&format!("  \"wall_seconds\": {wall_seconds:.6},\n"));
     out.push_str(&format!("  \"cpu_seconds\": {cpu_seconds:.6},\n"));
     out.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    for (key, value) in extras {
+        out.push_str(&format!("  {}: {value},\n", json_string(key)));
+    }
     out.push_str("  \"jobs\": [\n");
     for (i, row) in rows.iter().enumerate() {
         // The timing keys are deliberately the row's suffix, starting at
@@ -137,6 +156,9 @@ pub fn batch_json(name: &str, threads: usize, wall_seconds: f64, rows: &[JsonJob
             out.push_str(&format!(", {}: {value}", json_string(key)));
         }
         out.push_str(&format!(", \"seconds\": {:.6}", row.seconds));
+        if let Some(queue) = row.queue_seconds {
+            out.push_str(&format!(", \"queue_seconds\": {queue:.6}"));
+        }
         if !row.pass_seconds.is_empty() {
             out.push_str(", \"pass_seconds\": {");
             for (j, (pass, s)) in row.pass_seconds.iter().enumerate() {
@@ -170,8 +192,24 @@ pub fn write_batch_json(
     wall_seconds: f64,
     rows: &[JsonJobRow],
 ) -> std::io::Result<PathBuf> {
+    write_batch_json_with(name, threads, wall_seconds, rows, &[])
+}
+
+/// [`write_batch_json`] with extra top-level integer fields (see
+/// [`batch_json_with`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write.
+pub fn write_batch_json_with(
+    name: &str,
+    threads: usize,
+    wall_seconds: f64,
+    rows: &[JsonJobRow],
+    extras: &[(String, i64)],
+) -> std::io::Result<PathBuf> {
     let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
-    write_batch_json_in(dir.as_ref(), name, threads, wall_seconds, rows)
+    write_batch_json_in_with(dir.as_ref(), name, threads, wall_seconds, rows, extras)
 }
 
 /// [`write_batch_json`] with an explicit target directory (tests use this
@@ -187,8 +225,28 @@ pub fn write_batch_json_in(
     wall_seconds: f64,
     rows: &[JsonJobRow],
 ) -> std::io::Result<PathBuf> {
+    write_batch_json_in_with(dir, name, threads, wall_seconds, rows, &[])
+}
+
+/// The most general report writer: explicit directory plus extra
+/// top-level fields.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write.
+pub fn write_batch_json_in_with(
+    dir: &std::path::Path,
+    name: &str,
+    threads: usize,
+    wall_seconds: f64,
+    rows: &[JsonJobRow],
+    extras: &[(String, i64)],
+) -> std::io::Result<PathBuf> {
     let path = dir.join(format!("BENCH_{name}.json"));
-    std::fs::write(&path, batch_json(name, threads, wall_seconds, rows))?;
+    std::fs::write(
+        &path,
+        batch_json_with(name, threads, wall_seconds, rows, extras),
+    )?;
     Ok(path)
 }
 
@@ -252,6 +310,7 @@ mod tests {
                 seconds: 0.25,
                 metrics: vec![("swaps".into(), 7), ("depth".into(), 42)],
                 pass_seconds: vec![],
+                queue_seconds: None,
             },
             JsonJobRow {
                 id: 1,
@@ -259,6 +318,7 @@ mod tests {
                 seconds: 0.75,
                 metrics: vec![],
                 pass_seconds: vec![],
+                queue_seconds: None,
             },
         ];
         let json = batch_json("demo", 4, 0.5, &rows);
@@ -298,6 +358,7 @@ mod tests {
                 ("analysis:weights".into(), 0.125),
                 ("routing:qlosure".into(), 0.25),
             ],
+            queue_seconds: None,
         }];
         let json = batch_json("demo", 1, 0.5, &rows);
         assert!(
@@ -325,6 +386,7 @@ mod tests {
             seconds: 0.1,
             metrics: vec![],
             pass_seconds: vec![],
+            queue_seconds: None,
         }];
         assert!(!batch_json("demo", 1, 0.1, &bare).contains("pass_seconds"));
     }
@@ -334,5 +396,58 @@ mod tests {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
         assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn queue_seconds_renders_in_the_timing_suffix() {
+        let rows = vec![JsonJobRow {
+            id: 0,
+            label: "queued".into(),
+            seconds: 0.5,
+            metrics: vec![("swaps".into(), 3)],
+            pass_seconds: vec![("routing:qlosure".into(), 0.25)],
+            queue_seconds: Some(0.125),
+        }];
+        let json = batch_json("demo", 1, 0.5, &rows);
+        // Order: metrics, then seconds, queue_seconds, pass_seconds — the
+        // whole timing suffix still starts at `, "seconds":`.
+        assert!(
+            json.contains(", \"seconds\": 0.500000, \"queue_seconds\": 0.125000, \"pass_seconds\""),
+            "got: {json}"
+        );
+        // Rows without a measured queue keep the old shape.
+        let bare = vec![JsonJobRow {
+            queue_seconds: None,
+            ..rows[0].clone()
+        }];
+        assert!(!batch_json("demo", 1, 0.5, &bare).contains("queue_seconds"));
+    }
+
+    #[test]
+    fn extras_render_as_top_level_fields_after_speedup() {
+        let extras = vec![
+            ("distance_hits".to_string(), 41i64),
+            ("distance_misses".to_string(), 2),
+        ];
+        let rows = vec![JsonJobRow {
+            id: 0,
+            label: "warm".into(),
+            seconds: 1.0,
+            metrics: vec![],
+            pass_seconds: vec![],
+            queue_seconds: None,
+        }];
+        let json = batch_json_with("service", 4, 1.0, &rows, &extras);
+        assert!(
+            json.contains(
+                "\"speedup\": 1.000,\n  \"distance_hits\": 41,\n  \"distance_misses\": 2,\n  \"jobs\""
+            ),
+            "got: {json}"
+        );
+        // No extras: byte-identical to the plain renderer.
+        assert_eq!(
+            batch_json_with("x", 1, 0.0, &[], &[]),
+            batch_json("x", 1, 0.0, &[])
+        );
     }
 }

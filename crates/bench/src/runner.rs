@@ -104,16 +104,9 @@ pub fn backend_arg(default: &str) -> String {
 ///
 /// Panics on unknown names.
 pub fn backend_by_name(name: &str) -> CouplingGraph {
-    match name {
-        "sherbrooke" => backends::sherbrooke(),
-        "ankaa3" => backends::ankaa3(),
-        "sherbrooke2x" => backends::sherbrooke_2x(),
-        "king9" => backends::king_grid(9, 9),
-        "king16" => backends::king_grid(16, 16),
-        "aspen16" => backends::aspen16(),
-        "sycamore54" => backends::sycamore54(),
-        other => panic!("unknown backend `{other}`"),
-    }
+    // One shared name→device decoder across the workspace: the service
+    // daemon resolves request backends through the same function.
+    backends::by_name(name).unwrap_or_else(|| panic!("unknown backend `{name}`"))
 }
 
 /// Resolves a back-end by name through a process-wide memo, so every job
@@ -242,24 +235,30 @@ where
     let batch = BatchEngine::from_env();
     let labels: Vec<String> = jobs.iter().map(&label).collect();
     let wall0 = Instant::now();
-    let timed: Vec<(R, f64)> = batch.execute(jobs, |job| {
+    let timed: Vec<(R, f64, f64)> = batch.execute(jobs, |job| {
+        // The whole roster is enqueued when the batch starts, so pickup
+        // time relative to `wall0` is this job's queueing delay.
+        let queue_seconds = wall0.elapsed().as_secs_f64();
         let t0 = Instant::now();
         let r = f(job);
         let seconds = t0.elapsed().as_secs_f64();
-        (r, seconds)
+        (r, seconds, queue_seconds)
     });
     let wall_seconds = wall0.elapsed().as_secs_f64();
     let rows: Vec<crate::report::JsonJobRow> = timed
         .iter()
         .zip(&labels)
         .enumerate()
-        .map(|(id, ((r, seconds), label))| crate::report::JsonJobRow {
-            id,
-            label: label.clone(),
-            seconds: *seconds,
-            metrics: metrics(r),
-            pass_seconds: passes(r),
-        })
+        .map(
+            |(id, ((r, seconds, queue), label))| crate::report::JsonJobRow {
+                id,
+                label: label.clone(),
+                seconds: *seconds,
+                metrics: metrics(r),
+                pass_seconds: passes(r),
+                queue_seconds: Some(*queue),
+            },
+        )
         .collect();
     let (cpu_seconds, speedup) = crate::report::batch_totals(wall_seconds, &rows);
     eprintln!(
@@ -272,7 +271,7 @@ where
         Ok(path) => eprintln!("{name}: wrote {}", path.display()),
         Err(e) => eprintln!("{name}: could not write JSON report: {e}"),
     }
-    timed.into_iter().map(|(r, _)| r).collect()
+    timed.into_iter().map(|(r, _, _)| r).collect()
 }
 
 #[cfg(test)]
@@ -365,6 +364,7 @@ mod tests {
             seconds: 0.5,
             metrics: vec![("value".to_string(), 14)],
             pass_seconds: vec![],
+            queue_seconds: None,
         }];
         let path =
             crate::report::write_batch_json_in(&temp, "runner_unit_test", 2, 1.0, &rows).unwrap();

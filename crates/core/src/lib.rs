@@ -65,9 +65,9 @@ mod state;
 pub use cost::{CostVariant, OmegaScaling, ScoredGate, SwapCost};
 pub use layout::Layout;
 pub use pass::{
-    run_mapper_timed, AnalysisPass, Artifacts, DependenceWeightsPass, FixedLayoutPass,
-    IdentityLayoutPass, LayoutPass, MappingPipeline, MetricsPass, PassContext, PassStage,
-    PassTiming, PipelineOutcome, PostPass, RoutingPass, TimedMapRun, VerifyPass,
+    run_mapper_timed, AnalysisPass, Artifacts, DependenceWeightsPass, FidelityPass,
+    FixedLayoutPass, IdentityLayoutPass, LayoutPass, MappingPipeline, MetricsPass, PassContext,
+    PassStage, PassTiming, PipelineOutcome, PostPass, RoutingPass, TimedMapRun, VerifyPass,
 };
 pub use pipeline::{route_qasm, PipelineError};
 pub use router::{

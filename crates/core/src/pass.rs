@@ -61,7 +61,7 @@ use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
-use topology::{CouplingGraph, DistanceMatrix};
+use topology::{CouplingGraph, DistanceMatrix, NoiseModel};
 
 /// Read-only inputs shared by every pass of one pipeline run.
 pub struct PassContext<'a> {
@@ -529,6 +529,61 @@ impl PostPass for MetricsPass {
     }
 }
 
+/// Post pass estimating the routed circuit's success probability under a
+/// device [`topology::NoiseModel`].
+///
+/// Reports one metric, `success_ppm`: the estimated success probability in
+/// parts per million (so it fits the integer metric channel; divide by
+/// 10⁶ to recover the probability). The probability is the product of
+/// per-gate fidelities — two-qubit gates and SWAPs use their coupling's
+/// error rate (a SWAP three times), single-qubit gates their qubit's rate
+/// — evaluated over the *routed* circuit, SWAPs included, so noise-aware
+/// scenarios can compare routings end to end. Opt-in: compose it with
+/// [`MappingPipeline::with_post`] (service requests opt in per job).
+#[derive(Clone, Debug)]
+pub struct FidelityPass {
+    noise: NoiseModel,
+}
+
+impl FidelityPass {
+    /// A pass evaluating fidelities under `noise`.
+    pub fn new(noise: NoiseModel) -> Self {
+        FidelityPass { noise }
+    }
+
+    /// Scale of the `success_ppm` metric: parts per million.
+    pub const PPM: f64 = 1e6;
+
+    /// Estimated success probability of `routed` under this pass's noise
+    /// model.
+    pub fn probability(&self, routed: &Circuit) -> f64 {
+        self.noise.success_probability(
+            routed
+                .gates()
+                .iter()
+                .map(|g| (g.kind.name(), g.qubits.as_slice())),
+        )
+    }
+}
+
+impl PostPass for FidelityPass {
+    fn name(&self) -> &'static str {
+        "fidelity"
+    }
+
+    fn run(
+        &self,
+        _ctx: &PassContext<'_>,
+        result: &MappingResult,
+    ) -> Result<Vec<(String, i64)>, String> {
+        let p = self.probability(&result.routed);
+        Ok(vec![(
+            "success_ppm".to_string(),
+            (p * Self::PPM).round() as i64,
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -637,6 +692,56 @@ mod tests {
             }
             other => panic!("unexpected error: {other}"),
         }
+    }
+
+    #[test]
+    fn fidelity_pass_reports_success_ppm() {
+        let device = backends::line(4);
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.cx(0, 3); // needs SWAPs: the routed circuit is noisier than the input
+        let noise = NoiseModel::uniform(&device, 0.01, 0.001);
+        let pipeline = MappingPipeline::new(
+            IdentityLayoutPass,
+            QlosureRoutingPass::new(QlosureConfig::default()),
+        )
+        .with_post(FidelityPass::new(noise.clone()));
+        let outcome = pipeline.run(&c, &device).unwrap();
+        let (_, ppm) = outcome
+            .metrics
+            .iter()
+            .find(|(k, _)| k == "success_ppm")
+            .expect("fidelity pass must report success_ppm");
+        assert!((1..=1_000_000).contains(ppm), "got {ppm}");
+        // The metric is the quantized pass probability of the routed circuit.
+        let p = FidelityPass::new(noise).probability(&outcome.result.routed);
+        assert_eq!(*ppm, (p * FidelityPass::PPM).round() as i64);
+        // Routing inserted SWAPs, so success is strictly below the
+        // no-error ceiling.
+        assert!(*ppm < 1_000_000);
+    }
+
+    #[test]
+    fn fidelity_pass_with_zero_noise_is_certain() {
+        let device = backends::line(3);
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        let noise = NoiseModel::uniform(&device, 0.0, 0.0);
+        let pipeline = MappingPipeline::new(
+            IdentityLayoutPass,
+            QlosureRoutingPass::new(QlosureConfig::default()),
+        )
+        .with_post(FidelityPass::new(noise));
+        let outcome = pipeline.run(&c, &device).unwrap();
+        assert!(outcome
+            .metrics
+            .iter()
+            .any(|(k, v)| k == "success_ppm" && *v == 1_000_000));
+        // And the timing entry shows up like any other post pass.
+        assert!(outcome
+            .timings
+            .iter()
+            .any(|t| t.stage == PassStage::Post && t.pass == "fidelity"));
     }
 
     #[test]

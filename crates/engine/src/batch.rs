@@ -44,6 +44,9 @@ pub struct JobReport {
     pub depth: usize,
     /// Wall-clock mapping time of this job (timing field).
     pub seconds: f64,
+    /// Time the job spent waiting between batch enqueue and worker pickup
+    /// (timing field).
+    pub queue_seconds: f64,
     /// The pass composition the job ran (`"weights → identity → qlosure"`;
     /// empty for opaque, non-pipeline mappers).
     pub pipeline: String,
@@ -101,6 +104,9 @@ impl BatchEngine {
         let jobs_ref = &jobs;
         let reports = self.execute(ids, |&id| {
             let job = &jobs_ref[id];
+            // Jobs are all enqueued when the batch starts, so pickup time
+            // relative to `start` is the queueing delay.
+            let queue_seconds = start.elapsed().as_secs_f64();
             let t0 = Instant::now();
             // Pipeline-based mappers run through their pass composition so
             // the report carries per-pass timings; the result is identical
@@ -129,6 +135,7 @@ impl BatchEngine {
                 swaps: result.swaps,
                 depth: result.routed.depth(),
                 seconds,
+                queue_seconds,
                 pipeline,
                 passes,
                 result,
@@ -181,6 +188,7 @@ mod tests {
             assert_eq!(j.id, i);
             assert_eq!(j.label, format!("rand-{i}"));
             assert!(j.seconds >= 0.0);
+            assert!(j.queue_seconds >= 0.0);
             assert_eq!(j.depth, j.result.routed.depth());
             // Qlosure is pipeline-based: the report carries the pass
             // composition and one timing entry per pass.

@@ -1,0 +1,505 @@
+//! The persistent streaming pool: asynchronous intake over long-lived
+//! workers.
+//!
+//! [`BatchEngine::execute`] is the right shape when the roster is known up
+//! front; a long-lived consumer (the mapping service daemon) instead needs
+//! to *submit jobs as they arrive* and collect results as they finish. A
+//! [`StreamEngine`] keeps the engine's worker threads alive across
+//! submissions:
+//!
+//! * **non-blocking submit** — [`StreamEngine::submit`] either enqueues
+//!   and returns a monotonically increasing job ID, or reports
+//!   [`SubmitError::Full`]/[`SubmitError::Closed`] without waiting (the
+//!   bounded queue is the engine-side admission control);
+//! * **cancellation** — [`StreamEngine::cancel`] removes a job that has
+//!   not started yet;
+//! * **drain** — [`StreamEngine::drain`] blocks until everything accepted
+//!   so far has finished;
+//! * **graceful shutdown** — [`StreamEngine::close`] stops intake while
+//!   workers finish the backlog, and dropping the engine closes intake,
+//!   **completes every queued job**, and joins all workers. Accepted work
+//!   is never lost.
+//!
+//! Jobs should be pure functions of their input, like
+//! [`BatchEngine::execute`] jobs: results are delivered in completion
+//! order tagged with the submission ID, so any consumer can re-establish
+//! submission order deterministically.
+
+use crate::pool::BatchEngine;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Why a submission was not accepted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded intake queue is at capacity; retry after results drain.
+    Full {
+        /// The queue bound the engine was created with.
+        capacity: usize,
+    },
+    /// The engine is shutting down and no longer accepts work.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full { capacity } => {
+                write!(f, "stream queue full (capacity {capacity})")
+            }
+            SubmitError::Closed => write!(f, "stream engine is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct StreamState<T, R> {
+    queue: VecDeque<(u64, T)>,
+    next_id: u64,
+    in_flight: usize,
+    done: VecDeque<(u64, R)>,
+    closed: bool,
+}
+
+struct Shared<T, R> {
+    state: Mutex<StreamState<T, R>>,
+    /// Signals queue transitions: workers wait here for jobs, blocking
+    /// producers wait here for capacity.
+    jobs_cv: Condvar,
+    /// Signals completions: `recv`/`drain` waiters wake here.
+    done_cv: Condvar,
+    capacity: usize,
+}
+
+/// A persistent worker pool accepting jobs one at a time; see the
+/// crate-level streaming docs.
+pub struct StreamEngine<T, R> {
+    shared: Arc<Shared<T, R>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BatchEngine {
+    /// Spawns this engine's worker count as a persistent pool running `f`
+    /// over streamed jobs, with an intake queue bounded at `capacity`
+    /// (clamped to at least 1).
+    ///
+    /// The pool lives until [`StreamEngine::close`] + backlog completion
+    /// or drop; see the crate-level streaming docs for the lifecycle.
+    pub fn stream<T, R, F>(&self, capacity: usize, f: F) -> StreamEngine<T, R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(StreamState {
+                queue: VecDeque::new(),
+                next_id: 0,
+                in_flight: 0,
+                done: VecDeque::new(),
+                closed: false,
+            }),
+            jobs_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let f = Arc::new(f);
+        let workers = (0..self.threads())
+            .map(|_| {
+                let shared = shared.clone();
+                let f = f.clone();
+                std::thread::spawn(move || worker_loop(&shared, f.as_ref()))
+            })
+            .collect();
+        StreamEngine { shared, workers }
+    }
+}
+
+fn worker_loop<T, R>(shared: &Shared<T, R>, f: &(impl Fn(T) -> R + ?Sized)) {
+    loop {
+        let (id, job) = {
+            let mut state = shared.state.lock().expect("stream state poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.in_flight += 1;
+                    break job;
+                }
+                // Intake is closed *and* the backlog is gone: exit. The
+                // pop-before-check ordering is what makes shutdown drain
+                // queued jobs instead of dropping them.
+                if state.closed {
+                    return;
+                }
+                state = shared.jobs_cv.wait(state).expect("stream state poisoned");
+            }
+        };
+        // A slot opened up; wake any blocked producer.
+        shared.jobs_cv.notify_all();
+        let result = f(job);
+        {
+            let mut state = shared.state.lock().expect("stream state poisoned");
+            state.in_flight -= 1;
+            state.done.push_back((id, result));
+        }
+        shared.done_cv.notify_all();
+    }
+}
+
+impl<T, R> StreamEngine<T, R> {
+    /// Enqueues a job without blocking and returns its submission ID
+    /// (monotonically increasing from 0).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the intake queue is at capacity,
+    /// [`SubmitError::Closed`] after [`StreamEngine::close`].
+    pub fn submit(&self, job: T) -> Result<u64, SubmitError> {
+        let mut state = self.shared.state.lock().expect("stream state poisoned");
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.queue.len() >= self.shared.capacity {
+            return Err(SubmitError::Full {
+                capacity: self.shared.capacity,
+            });
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.queue.push_back((id, job));
+        drop(state);
+        self.shared.jobs_cv.notify_all();
+        Ok(id)
+    }
+
+    /// [`StreamEngine::submit`], waiting for a queue slot instead of
+    /// returning [`SubmitError::Full`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] when the engine closes while waiting.
+    pub fn submit_blocking(&self, job: T) -> Result<u64, SubmitError> {
+        let mut state = self.shared.state.lock().expect("stream state poisoned");
+        loop {
+            if state.closed {
+                return Err(SubmitError::Closed);
+            }
+            if state.queue.len() < self.shared.capacity {
+                let id = state.next_id;
+                state.next_id += 1;
+                state.queue.push_back((id, job));
+                drop(state);
+                self.shared.jobs_cv.notify_all();
+                return Ok(id);
+            }
+            state = self
+                .shared
+                .jobs_cv
+                .wait(state)
+                .expect("stream state poisoned");
+        }
+    }
+
+    /// Cancels a queued job. Returns `true` when the job was still in the
+    /// intake queue (it will never run); `false` when it already started,
+    /// finished, or never existed.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut state = self.shared.state.lock().expect("stream state poisoned");
+        let before = state.queue.len();
+        state.queue.retain(|(queued, _)| *queued != id);
+        let removed = state.queue.len() < before;
+        if removed {
+            drop(state);
+            // A slot opened up; wake blocked producers (and drain waiters:
+            // the cancelled job will never complete).
+            self.shared.jobs_cv.notify_all();
+            self.shared.done_cv.notify_all();
+        }
+        removed
+    }
+
+    /// Number of jobs accepted but not yet picked up by a worker.
+    pub fn queued(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("stream state poisoned")
+            .queue
+            .len()
+    }
+
+    /// Takes the next completed `(id, result)` pair, blocking until one is
+    /// available. Returns `None` once the engine is closed and every
+    /// accepted job's result has been delivered.
+    pub fn recv(&self) -> Option<(u64, R)> {
+        let mut state = self.shared.state.lock().expect("stream state poisoned");
+        loop {
+            if let Some(done) = state.done.pop_front() {
+                return Some(done);
+            }
+            if state.closed && state.queue.is_empty() && state.in_flight == 0 {
+                return None;
+            }
+            state = self
+                .shared
+                .done_cv
+                .wait(state)
+                .expect("stream state poisoned");
+        }
+    }
+
+    /// Takes the next completed `(id, result)` pair without blocking.
+    pub fn try_recv(&self) -> Option<(u64, R)> {
+        self.shared
+            .state
+            .lock()
+            .expect("stream state poisoned")
+            .done
+            .pop_front()
+    }
+
+    /// Blocks until every accepted job has finished (the intake queue is
+    /// empty and nothing is in flight). Results stay available to `recv`.
+    pub fn drain(&self) {
+        let mut state = self.shared.state.lock().expect("stream state poisoned");
+        while !state.queue.is_empty() || state.in_flight > 0 {
+            state = self
+                .shared
+                .done_cv
+                .wait(state)
+                .expect("stream state poisoned");
+        }
+    }
+
+    /// Closes intake: further submissions fail with
+    /// [`SubmitError::Closed`], while workers keep draining the backlog.
+    /// Idempotent.
+    pub fn close(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("stream state poisoned")
+            .closed = true;
+        self.shared.jobs_cv.notify_all();
+        self.shared.done_cv.notify_all();
+    }
+
+    /// Graceful shutdown: closes intake, completes the backlog, joins all
+    /// workers and returns the undelivered results (completion order).
+    pub fn shutdown(mut self) -> Vec<(u64, R)> {
+        self.close();
+        for handle in self.workers.drain(..) {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        let mut state = self.shared.state.lock().expect("stream state poisoned");
+        state.done.drain(..).collect()
+    }
+}
+
+impl<T, R> Drop for StreamEngine<T, R> {
+    /// Dropping the engine is a graceful shutdown: intake closes, queued
+    /// jobs still run to completion, and every worker is joined — no
+    /// detached threads, no lost work.
+    fn drop(&mut self) {
+        self.close();
+        for handle in self.workers.drain(..) {
+            // Propagating here would abort in an unwinding context;
+            // a worker panic is a job-function bug that already printed.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    /// A reusable gate: jobs block on `wait` until `open` is called.
+    struct Gate {
+        open: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Gate> {
+            Arc::new(Gate {
+                open: Mutex::new(false),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn wait(&self) {
+            let mut open = self.open.lock().unwrap();
+            while !*open {
+                open = self.cv.wait(open).unwrap();
+            }
+        }
+
+        fn open(&self) {
+            *self.open.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+    }
+
+    #[test]
+    fn streamed_jobs_come_back_with_submission_ids() {
+        let stream = BatchEngine::with_threads(4).stream(64, |x: u64| x * 3);
+        let mut ids = Vec::new();
+        for x in 0..20u64 {
+            ids.push(stream.submit(x).unwrap());
+        }
+        assert_eq!(ids, (0..20).collect::<Vec<u64>>());
+        let mut got: Vec<(u64, u64)> = (0..20).map(|_| stream.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..20u64).map(|x| (x, x * 3)).collect::<Vec<_>>());
+        assert!(stream.try_recv().is_none());
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let gate = Gate::new();
+        let g = gate.clone();
+        let stream = BatchEngine::with_threads(1).stream(2, move |x: u64| {
+            g.wait();
+            x
+        });
+        // Worker picks up the first job and blocks on the gate; the next
+        // two fill the queue; the fourth must be rejected immediately.
+        stream.submit(0).unwrap();
+        while stream.queued() == 1 {
+            std::thread::yield_now(); // wait for the worker's pickup
+        }
+        stream.submit(1).unwrap();
+        stream.submit(2).unwrap();
+        assert_eq!(stream.submit(3), Err(SubmitError::Full { capacity: 2 }));
+        gate.open();
+        stream.drain();
+        // With capacity freed, submission works again.
+        stream.submit(3).unwrap();
+        let results: Vec<u64> = (0..4).map(|_| stream.recv().unwrap().1).collect();
+        assert_eq!(results.len(), 4);
+    }
+
+    #[test]
+    fn submit_blocking_waits_for_capacity() {
+        let gate = Gate::new();
+        let g = gate.clone();
+        let stream = BatchEngine::with_threads(1).stream(1, move |x: u64| {
+            g.wait();
+            x
+        });
+        stream.submit(0).unwrap();
+        while stream.queued() == 1 {
+            std::thread::yield_now();
+        }
+        stream.submit(1).unwrap(); // queue now full
+        std::thread::scope(|scope| {
+            let blocked = scope.spawn(|| stream.submit_blocking(2));
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(!blocked.is_finished(), "must wait, not reject");
+            gate.open();
+            assert_eq!(blocked.join().unwrap(), Ok(2));
+        });
+        stream.drain();
+    }
+
+    #[test]
+    fn cancel_removes_queued_jobs_only() {
+        let gate = Gate::new();
+        let g = gate.clone();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
+        let stream = BatchEngine::with_threads(1).stream(8, move |x: u64| {
+            g.wait();
+            r.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        let first = stream.submit(0).unwrap();
+        while stream.queued() == 1 {
+            std::thread::yield_now();
+        }
+        let second = stream.submit(1).unwrap();
+        assert!(stream.cancel(second), "queued job must be cancellable");
+        assert!(!stream.cancel(second), "already cancelled");
+        assert!(!stream.cancel(first), "in-flight job is not cancellable");
+        assert!(!stream.cancel(999), "unknown id");
+        gate.open();
+        stream.drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "cancelled job never ran");
+        assert_eq!(stream.recv().unwrap(), (0, 0));
+    }
+
+    #[test]
+    fn dropping_with_queued_jobs_joins_workers_and_loses_no_work() {
+        // The graceful-shutdown contract: drop closes intake, queued jobs
+        // still execute exactly once, and all workers are joined (no
+        // deadlock, no detached threads, no lost results).
+        for threads in [1, 4] {
+            let ran = Arc::new(AtomicUsize::new(0));
+            let r = ran.clone();
+            let stream = BatchEngine::with_threads(threads).stream(256, move |x: u64| {
+                r.fetch_add(1, Ordering::SeqCst);
+                x
+            });
+            for x in 0..100u64 {
+                stream.submit(x).unwrap();
+            }
+            drop(stream); // joins; queued jobs must all run first
+            assert_eq!(
+                ran.load(Ordering::SeqCst),
+                100,
+                "threads={threads}: every accepted job runs exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_returns_undelivered_results() {
+        let stream = BatchEngine::with_threads(2).stream(64, |x: u64| x + 100);
+        for x in 0..10u64 {
+            stream.submit(x).unwrap();
+        }
+        let mut leftover = stream.shutdown();
+        leftover.sort_unstable();
+        assert_eq!(
+            leftover,
+            (0..10u64).map(|x| (x, x + 100)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn closed_engine_rejects_submissions_but_finishes_backlog() {
+        let gate = Gate::new();
+        let g = gate.clone();
+        let stream = BatchEngine::with_threads(1).stream(8, move |x: u64| {
+            g.wait();
+            x
+        });
+        stream.submit(0).unwrap();
+        stream.submit(1).unwrap();
+        stream.close();
+        assert_eq!(stream.submit(2), Err(SubmitError::Closed));
+        assert_eq!(stream.submit_blocking(2), Err(SubmitError::Closed));
+        gate.open();
+        let mut got = vec![stream.recv().unwrap(), stream.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 0), (1, 1)]);
+        assert_eq!(stream.recv(), None, "closed + drained means end of stream");
+    }
+
+    #[test]
+    fn recv_blocks_until_a_result_lands() {
+        let stream = BatchEngine::with_threads(2).stream(8, |x: u64| x * x);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| stream.recv());
+            std::thread::sleep(Duration::from_millis(10));
+            stream.submit(7).unwrap();
+            assert_eq!(waiter.join().unwrap(), Some((0, 49)));
+        });
+    }
+}

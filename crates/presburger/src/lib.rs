@@ -59,6 +59,17 @@ pub use expr::{Constraint, ConstraintKind, LinearExpr};
 pub use map::{BasicMap, Map};
 pub use set::Set;
 
+/// `(hits, misses)` counters of the process-wide transitive-closure memo
+/// behind [`Map::transitive_closure`].
+///
+/// A *miss* is an actual closure computation; a *hit* is any call that
+/// reused a memoized result. The counters are cumulative over the process
+/// lifetime — long-lived consumers (the mapping service) report deltas
+/// across requests to make cross-request amortization observable.
+pub fn closure_memo_stats() -> (u64, u64) {
+    memo::global_stats()
+}
+
 /// Errors reported by operations that are only defined on a fragment of
 /// Presburger arithmetic (see crate docs).
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -157,7 +157,6 @@ impl ClosureMemo {
     }
 
     /// (hits, misses) so far; a "miss" is an actual closure computation.
-    #[cfg(test)]
     pub(crate) fn stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -171,6 +170,12 @@ static GLOBAL: OnceLock<ClosureMemo> = OnceLock::new();
 /// The global memo consulted by [`Map::transitive_closure`].
 pub(crate) fn global() -> &'static ClosureMemo {
     GLOBAL.get_or_init(ClosureMemo::new)
+}
+
+/// (hits, misses) of the global memo — the backing of
+/// [`crate::closure_memo_stats`].
+pub(crate) fn global_stats() -> (u64, u64) {
+    global().stats()
 }
 
 #[cfg(test)]
@@ -291,5 +296,18 @@ mod tests {
         let second = r.transitive_closure();
         assert_eq!(first.exact, second.exact);
         assert!(first.map.is_equal(&second.map));
+    }
+
+    #[test]
+    fn public_stats_observe_global_traffic() {
+        // Global counters are shared with concurrently running tests, so
+        // only monotonicity and attributable growth are asserted.
+        let r = bounded_shift(1, 0, 13);
+        let (h0, m0) = crate::closure_memo_stats();
+        r.transitive_closure();
+        r.transitive_closure();
+        let (h1, m1) = crate::closure_memo_stats();
+        assert!(h1 + m1 >= h0 + m0 + 2, "two lookups must be counted");
+        assert!(h1 >= h0 && m1 >= m0, "counters never decrease");
     }
 }

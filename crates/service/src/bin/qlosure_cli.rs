@@ -1,0 +1,192 @@
+//! `qlosure-cli` — command-line client for the `qlosured` daemon.
+//!
+//! ```text
+//! qlosure-cli [--socket PATH] submit --backend NAME --mapper NAME
+//!             (--qasm FILE | --queko DEPTH [--seed N])
+//!             [--priority interactive|batch] [--fidelity]
+//!             [--wait [--timeout SECS]]
+//! qlosure-cli [--socket PATH] poll ID
+//! qlosure-cli [--socket PATH] stats
+//! qlosure-cli [--socket PATH] shutdown
+//! ```
+//!
+//! Every command prints the daemon's response as one JSON line on stdout
+//! (the same frame that crossed the wire), so shell pipelines and the CI
+//! smoke step can assert on fields like `"verified":true`. Exit status:
+//! 0 on success, 2 on a typed server error, 1 on transport failure.
+
+use service::proto::{encode_response, Priority, Response};
+use service::{Client, ClientError};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qlosure-cli [--socket PATH] <command>\n\
+         commands:\n\
+         \x20 submit --backend NAME --mapper NAME (--qasm FILE | --queko DEPTH [--seed N])\n\
+         \x20        [--priority interactive|batch] [--fidelity] [--wait [--timeout SECS]]\n\
+         \x20 poll ID\n\
+         \x20 stats\n\
+         \x20 shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn fail(e: &ClientError) -> ! {
+    eprintln!("qlosure-cli: {e}");
+    let status = match e {
+        ClientError::Server { .. } | ClientError::Timeout { .. } => 2,
+        _ => 1,
+    };
+    std::process::exit(status);
+}
+
+/// Prints a response frame the way it crossed the wire.
+fn print_response(response: &Response) {
+    println!("{}", encode_response(response));
+}
+
+struct SubmitArgs {
+    backend: String,
+    mapper: String,
+    qasm: Option<String>,
+    queko: Option<usize>,
+    seed: u64,
+    priority: Priority,
+    fidelity: bool,
+    wait: bool,
+    timeout: u64,
+}
+
+fn parse_submit(args: &mut std::env::Args) -> SubmitArgs {
+    let mut parsed = SubmitArgs {
+        backend: String::new(),
+        mapper: String::new(),
+        qasm: None,
+        queko: None,
+        seed: 0,
+        priority: Priority::Batch,
+        fidelity: false,
+        wait: false,
+        timeout: 600,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--backend" => parsed.backend = value("--backend"),
+            "--mapper" => parsed.mapper = value("--mapper"),
+            "--qasm" => parsed.qasm = Some(value("--qasm")),
+            "--queko" => match value("--queko").parse() {
+                Ok(depth) if depth >= 1 => parsed.queko = Some(depth),
+                _ => usage(),
+            },
+            "--seed" => match value("--seed").parse() {
+                Ok(seed) => parsed.seed = seed,
+                Err(_) => usage(),
+            },
+            "--priority" => match Priority::from_wire(&value("--priority")) {
+                Some(p) => parsed.priority = p,
+                None => usage(),
+            },
+            "--fidelity" => parsed.fidelity = true,
+            "--wait" => parsed.wait = true,
+            "--timeout" => match value("--timeout").parse() {
+                Ok(secs) => parsed.timeout = secs,
+                Err(_) => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if parsed.backend.is_empty()
+        || parsed.mapper.is_empty()
+        || parsed.qasm.is_some() == parsed.queko.is_some()
+    {
+        usage();
+    }
+    parsed
+}
+
+/// The QASM source to submit: a file, or a generated QUEKO instance on
+/// the target backend (known-optimal depth, zero-SWAP solution hidden by
+/// relabeling — the standard smoke workload).
+fn submit_source(args: &SubmitArgs) -> String {
+    if let Some(path) = &args.qasm {
+        return std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("qlosure-cli: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    let depth = args.queko.expect("checked by parse_submit");
+    let device = topology::backends::by_name(&args.backend).unwrap_or_else(|| {
+        eprintln!("qlosure-cli: no backend named `{}`", args.backend);
+        std::process::exit(2);
+    });
+    let bench = queko::QuekoSpec::new(&device, depth)
+        .seed(args.seed)
+        .generate();
+    qasm::emit(&bench.circuit.to_qasm())
+}
+
+fn main() {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    let mut socket = "/tmp/qlosured.sock".to_string();
+    let command = loop {
+        match args.next() {
+            Some(flag) if flag == "--socket" => match args.next() {
+                Some(path) => socket = path,
+                None => usage(),
+            },
+            Some(command) => break command,
+            None => usage(),
+        }
+    };
+    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+        eprintln!("qlosure-cli: cannot connect to {socket}: {e}");
+        std::process::exit(1);
+    });
+    match command.as_str() {
+        "submit" => {
+            let submit = parse_submit(&mut args);
+            let qasm = submit_source(&submit);
+            let id = client
+                .submit(
+                    &submit.backend,
+                    &submit.mapper,
+                    &qasm,
+                    submit.priority,
+                    submit.fidelity,
+                )
+                .unwrap_or_else(|e| fail(&e));
+            print_response(&Response::Submitted { id });
+            if submit.wait {
+                let summary = client
+                    .wait(id, Duration::from_secs(submit.timeout))
+                    .unwrap_or_else(|e| fail(&e));
+                print_response(&Response::Done { id, summary });
+            }
+        }
+        "poll" => {
+            let id = args
+                .next()
+                .and_then(|raw| raw.parse().ok())
+                .unwrap_or_else(|| usage());
+            let response = client.poll(id).unwrap_or_else(|e| fail(&e));
+            print_response(&response);
+        }
+        "stats" => {
+            let stats = client.stats().unwrap_or_else(|e| fail(&e));
+            print_response(&Response::Stats(stats));
+        }
+        "shutdown" => {
+            let pending = client.shutdown().unwrap_or_else(|e| fail(&e));
+            print_response(&Response::ShuttingDown { pending });
+        }
+        _ => usage(),
+    }
+}

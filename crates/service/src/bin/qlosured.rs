@@ -1,0 +1,83 @@
+//! `qlosured` — the persistent mapping daemon.
+//!
+//! ```text
+//! qlosured [--socket PATH] [--workers N] [--queue-cap N] [--results-cap N]
+//! ```
+//!
+//! Listens on a Unix domain socket (default `/tmp/qlosured.sock`),
+//! serves the NDJSON mapping protocol until a client sends `shutdown`,
+//! drains every admitted job, and prints the final counters. Worker
+//! count defaults to the `ENGINE_THREADS` environment variable (all
+//! cores when unset), like every engine consumer.
+
+use service::daemon;
+use service::{DaemonConfig, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: qlosured [--socket PATH] [--workers N] [--queue-cap N] [--results-cap N]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> DaemonConfig {
+    let mut config = DaemonConfig {
+        socket: "/tmp/qlosured.sock".into(),
+        service: ServiceConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--socket" => config.socket = value("--socket").into(),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) if n >= 1 => config.service.workers = n,
+                _ => usage(),
+            },
+            "--queue-cap" => match value("--queue-cap").parse() {
+                Ok(n) => config.service.queue_capacity = n,
+                Err(_) => usage(),
+            },
+            "--results-cap" => match value("--results-cap").parse() {
+                Ok(n) if n >= 1 => config.service.results_capacity = n,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    config
+}
+
+fn main() {
+    let config = parse_args();
+    eprintln!(
+        "qlosured: listening on {} ({} workers, queue {}, results {})",
+        config.socket.display(),
+        config.service.workers,
+        config.service.queue_capacity,
+        config.service.results_capacity,
+    );
+    match daemon::run(config) {
+        Ok(stats) => {
+            eprintln!(
+                "qlosured: drained and exiting — {} submitted, {} completed, {} failed, \
+                 {} rejected; distance cache {}h/{}m, closure memo {}h/{}m",
+                stats.submitted,
+                stats.completed,
+                stats.failed,
+                stats.rejected,
+                stats.distance_hits,
+                stats.distance_misses,
+                stats.closure_hits,
+                stats.closure_misses,
+            );
+        }
+        Err(e) => {
+            eprintln!("qlosured: fatal: {e}");
+            std::process::exit(1);
+        }
+    }
+}

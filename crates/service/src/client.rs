@@ -1,0 +1,212 @@
+//! A blocking client for the daemon's NDJSON protocol, shared by the
+//! `qlosure-cli` binary, the throughput bench and the integration tests.
+
+use crate::proto::{
+    encode_request, parse_response, ErrorCode, Priority, ProtoError, Request, Response, StatsBody,
+    Summary, MAX_FRAME,
+};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The daemon sent a frame this client cannot decode (likely a
+    /// protocol-version skew).
+    Proto(ProtoError),
+    /// The daemon answered with a typed error.
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The daemon answered something structurally valid but unexpected
+    /// for the request that was sent.
+    Unexpected(Box<Response>),
+    /// The daemon closed the connection.
+    Closed,
+    /// [`Client::wait`] ran out of time.
+    Timeout {
+        /// The job that was being waited on.
+        id: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Unexpected(r) => write!(f, "unexpected response: {r:?}"),
+            ClientError::Closed => write!(f, "daemon closed the connection"),
+            ClientError::Timeout { id } => write!(f, "timed out waiting for job {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A persistent connection to a `qlosured` daemon.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon at `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(socket: impl AsRef<Path>) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(socket)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request frame and reads one response frame. Typed
+    /// daemon errors come back as `Ok(Response::Error { .. })`; the
+    /// convenience wrappers below convert them to [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// Transport and decode failures.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.writer
+            .write_all(format!("{}\n", encode_request(request)).as_bytes())?;
+        self.writer.flush()?;
+        let mut buf = Vec::new();
+        let n = (&mut self.reader)
+            .take((MAX_FRAME + 2) as u64)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Err(ClientError::Closed);
+        }
+        while matches!(buf.last(), Some(b'\n' | b'\r')) {
+            buf.pop();
+        }
+        let line = String::from_utf8(buf)
+            .map_err(|_| ClientError::Proto(ProtoError::Shape("non-UTF-8 frame".to_string())))?;
+        parse_response(&line).map_err(ClientError::Proto)
+    }
+
+    fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.request(request)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            response => Ok(response),
+        }
+    }
+
+    /// Submits a job and returns its request ID.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for typed rejections (unknown backend,
+    /// full queue, …) plus transport failures.
+    pub fn submit(
+        &mut self,
+        backend: &str,
+        mapper: &str,
+        qasm: &str,
+        priority: Priority,
+        fidelity: bool,
+    ) -> Result<u64, ClientError> {
+        let request = Request::Submit {
+            backend: backend.to_string(),
+            mapper: mapper.to_string(),
+            qasm: qasm.to_string(),
+            priority,
+            fidelity,
+        };
+        match self.expect(&request)? {
+            Response::Submitted { id } => Ok(id),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// One poll round trip (pending/done/failed/error, undigested).
+    ///
+    /// # Errors
+    ///
+    /// Transport and decode failures.
+    pub fn poll(&mut self, id: u64) -> Result<Response, ClientError> {
+        self.request(&Request::Poll { id })
+    }
+
+    /// Polls until job `id` completes, sleeping 10 ms between rounds.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::MappingFailed`] when the
+    /// job failed, [`ClientError::Timeout`] past the deadline, plus
+    /// transport failures.
+    pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<Summary, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.expect(&Request::Poll { id })? {
+                Response::Done { summary, .. } => return Ok(summary),
+                Response::Failed { message, .. } => {
+                    return Err(ClientError::Server {
+                        code: ErrorCode::MappingFailed,
+                        message,
+                    })
+                }
+                Response::Pending { .. } => {
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::Timeout { id });
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                other => return Err(ClientError::Unexpected(Box::new(other))),
+            }
+        }
+    }
+
+    /// Fetches the daemon counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode and server failures.
+    pub fn stats(&mut self) -> Result<StatsBody, ClientError> {
+        match self.expect(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Requests graceful shutdown; returns the number of jobs the daemon
+    /// will drain before exiting.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode and server failures.
+    pub fn shutdown(&mut self) -> Result<u64, ClientError> {
+        match self.expect(&Request::Shutdown)? {
+            Response::ShuttingDown { pending } => Ok(pending),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The `qlosured` daemon: a Unix-domain-socket server speaking the
+//! [`proto`](crate::proto) NDJSON protocol in front of a
+//! [`MappingService`].
+//!
+//! One thread per connection reads frames line by line (bounded at
+//! [`MAX_FRAME`] bytes), decodes, dispatches, and writes one response
+//! line per request. A `shutdown` request closes intake, drains every
+//! admitted job, removes the socket file and returns the final counters —
+//! the graceful-shutdown contract of the intake layer, surfaced over the
+//! wire.
+
+use crate::intake::{JobOutcome, MappingService, PollReply, ServiceConfig};
+use crate::proto::{
+    encode_response, parse_request, ErrorCode, Request, Response, StatsBody, MAX_FRAME,
+};
+use crate::registry;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the daemon is sized and where it listens.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Unix-domain socket path; a stale file at this path is replaced.
+    pub socket: PathBuf,
+    /// Intake-layer sizing.
+    pub service: ServiceConfig,
+}
+
+impl DaemonConfig {
+    /// A daemon at `socket` with default service sizing.
+    pub fn at(socket: impl Into<PathBuf>) -> Self {
+        DaemonConfig {
+            socket: socket.into(),
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// A daemon running on a background thread (in-process harnesses: tests,
+/// the throughput bench).
+pub struct DaemonHandle {
+    /// The socket path the daemon is serving on.
+    pub socket: PathBuf,
+    thread: JoinHandle<std::io::Result<StatsBody>>,
+}
+
+impl DaemonHandle {
+    /// Waits for the daemon to exit (after a client sends `shutdown`) and
+    /// returns its final counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the accept loop's I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the daemon thread itself panicked.
+    pub fn join(self) -> std::io::Result<StatsBody> {
+        self.thread.join().expect("daemon thread panicked")
+    }
+}
+
+/// Binds the socket and serves on a background thread. The socket is
+/// bound synchronously, so clients may connect as soon as this returns.
+///
+/// # Errors
+///
+/// Propagates socket binding errors.
+pub fn spawn(config: DaemonConfig) -> std::io::Result<DaemonHandle> {
+    let listener = bind(&config.socket)?;
+    let socket = config.socket.clone();
+    let thread = std::thread::spawn(move || serve(listener, config));
+    Ok(DaemonHandle { socket, thread })
+}
+
+/// Binds the socket and serves on the calling thread until a client
+/// requests shutdown; returns the final counters. This is `qlosured`'s
+/// main loop.
+///
+/// # Errors
+///
+/// Propagates socket binding and accept-loop I/O errors.
+pub fn run(config: DaemonConfig) -> std::io::Result<StatsBody> {
+    let listener = bind(&config.socket)?;
+    serve(listener, config)
+}
+
+fn bind(socket: &PathBuf) -> std::io::Result<UnixListener> {
+    // A previous daemon's socket file would make bind fail with
+    // AddrInUse; a *live* daemon is the operator's problem, a stale file
+    // is ours.
+    if socket.exists() {
+        std::fs::remove_file(socket)?;
+    }
+    UnixListener::bind(socket)
+}
+
+fn serve(listener: UnixListener, config: DaemonConfig) -> std::io::Result<StatsBody> {
+    let service = Arc::new(MappingService::start(config.service));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    // Polling accept: `UnixListener::accept` has no portable wakeup, and a
+    // 25 ms poll is far below any human or CI observable latency.
+    listener.set_nonblocking(true)?;
+    let mut accept_error = None;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let (service, shutdown) = (service.clone(), shutdown.clone());
+                // Connection threads are detached: they hold only the
+                // service Arc, exit at client EOF, and after shutdown any
+                // late submit gets a typed shutting-down error.
+                std::thread::spawn(move || {
+                    let _ = handle_connection(&service, &shutdown, stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => {
+                // A fatal accept error still drains admitted work and
+                // removes the socket file before surfacing.
+                accept_error = Some(e);
+                break;
+            }
+        }
+    }
+    let stats = service.shutdown();
+    std::fs::remove_file(&config.socket).ok();
+    match accept_error {
+        Some(e) => Err(e),
+        None => Ok(stats),
+    }
+}
+
+/// Reads one `\n`-terminated frame with the [`MAX_FRAME`] bound applied
+/// *while reading*, so an adversarial multi-gigabyte line is cut off
+/// rather than buffered. Returns `Ok(None)` at EOF and `Err(len)` when
+/// the bound was hit before the newline.
+fn read_frame<R: BufRead>(reader: &mut R) -> std::io::Result<Result<Option<String>, usize>> {
+    let mut buf = Vec::new();
+    let n = reader
+        .take((MAX_FRAME + 2) as u64)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(Ok(None));
+    }
+    if buf.last() != Some(&b'\n') && buf.len() > MAX_FRAME {
+        return Ok(Err(buf.len()));
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(Ok(Some(line))),
+        // Surface invalid UTF-8 as an empty unparseable frame; the
+        // dispatcher answers with a typed bad-request error.
+        Err(_) => Ok(Ok(Some("\u{FFFD}".to_string()))),
+    }
+}
+
+fn handle_connection(
+    service: &MappingService,
+    shutdown: &AtomicBool,
+    stream: UnixStream,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let line = match read_frame(&mut reader)? {
+            Ok(None) => return Ok(()), // client hung up
+            Ok(Some(line)) => line,
+            Err(len) => {
+                // The connection is desynchronized past an oversized
+                // frame; answer and close.
+                let response = Response::Error {
+                    code: ErrorCode::Oversized,
+                    message: format!("frame of {len}+ bytes exceeds the {MAX_FRAME}-byte limit"),
+                };
+                writer.write_all(format!("{}\n", encode_response(&response)).as_bytes())?;
+                return Ok(());
+            }
+        };
+        if line.is_empty() {
+            continue; // tolerate blank keep-alive lines
+        }
+        let (response, end) = dispatch(service, shutdown, &line);
+        writer.write_all(format!("{}\n", encode_response(&response)).as_bytes())?;
+        writer.flush()?;
+        if end {
+            return Ok(());
+        }
+    }
+}
+
+/// Decodes and executes one frame; the flag says whether this frame ends
+/// the connection (a shutdown acknowledgement).
+fn dispatch(service: &MappingService, shutdown: &AtomicBool, line: &str) -> (Response, bool) {
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(e) => {
+            return (
+                Response::Error {
+                    code: e.code(),
+                    message: e.to_string(),
+                },
+                false,
+            )
+        }
+    };
+    match request {
+        Request::Submit {
+            backend,
+            mapper,
+            qasm,
+            priority,
+            fidelity,
+        } => {
+            let spec = match registry::decode_submit(&backend, &mapper, &qasm, priority, fidelity) {
+                Ok(spec) => spec,
+                Err((code, message)) => return (Response::Error { code, message }, false),
+            };
+            match service.submit(spec) {
+                Ok(id) => (Response::Submitted { id }, false),
+                Err((code, message)) => (Response::Error { code, message }, false),
+            }
+        }
+        Request::Poll { id } => (
+            match service.poll(id) {
+                PollReply::Unknown => Response::Error {
+                    code: ErrorCode::UnknownId,
+                    message: format!("no job {id} (never submitted, or its result was evicted)"),
+                },
+                PollReply::Pending { running } => Response::Pending { id, running },
+                PollReply::Finished(JobOutcome::Done(summary)) => Response::Done { id, summary },
+                PollReply::Finished(JobOutcome::Failed(message)) => {
+                    Response::Failed { id, message }
+                }
+            },
+            false,
+        ),
+        Request::Stats => (Response::Stats(service.stats()), false),
+        Request::Shutdown => {
+            // Stop admissions immediately so the pending count is final,
+            // then let the accept loop run the drain.
+            service.begin_shutdown();
+            shutdown.store(true, Ordering::SeqCst);
+            (
+                Response::ShuttingDown {
+                    pending: service.pending(),
+                },
+                true,
+            )
+        }
+    }
+}

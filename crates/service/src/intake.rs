@@ -1,0 +1,793 @@
+//! The asynchronous intake layer: bounded admission, priority scheduling,
+//! and the bounded FIFO result store.
+//!
+//! A [`MappingService`] is the daemon's engine room, usable in-process
+//! without any socket (the integration tests and the throughput bench
+//! exercise it both ways):
+//!
+//! ```text
+//!   submit() ──▶ admission queue ──▶ scheduler thread ──▶ StreamEngine
+//!              (bounded, 2 classes)  (interactive first)  (N workers)
+//!                                                              │
+//!   poll()/wait() ◀── result store ◀── collector thread ◀──────┘
+//!                  (bounded FIFO, seq-stamped)
+//! ```
+//!
+//! * **Admission** is non-blocking and bounded: a full queue rejects with
+//!   [`ErrorCode::QueueFull`] rather than stalling the connection thread.
+//! * **Priority**: the scheduler always drains interactive jobs before
+//!   batch jobs; within a class, FIFO. The engine-side queue is kept
+//!   shallow (one slot per worker) so priority is decided here, not in a
+//!   deep downstream buffer.
+//! * **Results** land in a bounded FIFO store keyed by request ID and
+//!   stamped with a completion sequence number; when the store is full
+//!   the oldest result is evicted (a later poll gets
+//!   [`ErrorCode::UnknownId`]).
+//! * **Shutdown** ([`MappingService::shutdown`]) closes intake, drains
+//!   everything already admitted, then joins the scheduler, collector and
+//!   worker threads. Dropping the service does the same.
+
+use crate::proto::{ErrorCode, Priority, StatsBody, Summary, PROTOCOL_VERSION};
+use circuit::{verify_routing, Circuit};
+use engine::{BatchEngine, StreamEngine};
+use qlosure::{FidelityPass, Mapper, MappingResult};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use topology::{CouplingGraph, NoiseModel};
+
+/// Sizing of a [`MappingService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Mapping worker threads. Defaults to the `ENGINE_THREADS`
+    /// environment variable via [`BatchEngine::from_env`].
+    pub workers: usize,
+    /// Admission-queue bound (both priority classes combined).
+    pub queue_capacity: usize,
+    /// Result-store bound (completed jobs retained for polling).
+    pub results_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: BatchEngine::from_env().threads(),
+            queue_capacity: 256,
+            results_capacity: 1024,
+        }
+    }
+}
+
+/// A fully decoded submission, ready to schedule.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// The logical circuit to route.
+    pub circuit: Arc<Circuit>,
+    /// The target device.
+    pub device: Arc<CouplingGraph>,
+    /// The mapper to run.
+    pub mapper: Arc<dyn Mapper + Send + Sync>,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Opt-in fidelity estimation: the noise model to evaluate the routed
+    /// circuit under (`None` skips the estimate).
+    pub noise: Option<NoiseModel>,
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("circuit_qubits", &self.circuit.n_qubits())
+            .field("device", &self.device.name())
+            .field("mapper", &self.mapper.name())
+            .field("priority", &self.priority)
+            .field("fidelity", &self.noise.is_some())
+            .finish()
+    }
+}
+
+struct AdmittedJob {
+    id: u64,
+    spec: JobSpec,
+    admitted_at: Instant,
+}
+
+/// Where a known job currently is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Running,
+    Done,
+}
+
+/// A completed job's stored outcome.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// Mapping succeeded and verified; the summary is pollable.
+    Done(Summary),
+    /// Mapping failed; the message is pollable.
+    Failed(String),
+}
+
+/// Reply to [`MappingService::poll`].
+#[derive(Clone, Debug)]
+pub enum PollReply {
+    /// The ID was never assigned, or its result was evicted from the
+    /// bounded store.
+    Unknown,
+    /// Still in the admission queue or the engine.
+    Pending {
+        /// `true` once the scheduler moved the job out of the admission
+        /// queue toward the workers (it is running or about to run —
+        /// past the point where priority can reorder it).
+        running: bool,
+    },
+    /// The job finished; here is its stored outcome.
+    Finished(JobOutcome),
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+}
+
+struct ServiceState {
+    interactive: VecDeque<AdmittedJob>,
+    batch: VecDeque<AdmittedJob>,
+    phases: HashMap<u64, Phase>,
+    results: HashMap<u64, JobOutcome>,
+    result_order: VecDeque<u64>,
+    next_id: u64,
+    next_seq: u64,
+    counters: Counters,
+    closing: bool,
+}
+
+struct Inner {
+    state: Mutex<ServiceState>,
+    /// Scheduler wakes here on admission and on shutdown.
+    intake_cv: Condvar,
+    /// `wait`/`drain` waiters wake here on completions.
+    done_cv: Condvar,
+    config: ServiceConfig,
+}
+
+type WorkItem = (u64, Box<AdmittedJob>);
+type WorkOutput = (u64, JobOutcome);
+
+/// The persistent mapping service; see the [module docs](self).
+pub struct MappingService {
+    inner: Arc<Inner>,
+    stream: Arc<StreamEngine<WorkItem, WorkOutput>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl MappingService {
+    /// Starts the service: spawns the mapping workers, the scheduler and
+    /// the collector.
+    pub fn start(config: ServiceConfig) -> MappingService {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(ServiceState {
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
+                phases: HashMap::new(),
+                results: HashMap::new(),
+                result_order: VecDeque::new(),
+                next_id: 0,
+                next_seq: 0,
+                counters: Counters::default(),
+                closing: false,
+            }),
+            intake_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            config,
+        });
+        // The engine-side buffer stays shallow — one slot per worker — so
+        // the priority decision happens in the admission queue above,
+        // where interactive jobs can still overtake.
+        let stream = Arc::new(BatchEngine::with_threads(workers).stream(
+            workers,
+            |(id, job): WorkItem| {
+                let outcome = run_job(&job);
+                (id, outcome)
+            },
+        ));
+        // The helper threads hold only `Inner`/stream Arcs — never the
+        // service itself — so dropping the last `MappingService` can
+        // still run the shutdown sequence.
+        let scheduler = {
+            let (inner, stream) = (inner.clone(), stream.clone());
+            std::thread::spawn(move || scheduler_loop(&inner, &stream))
+        };
+        let collector = {
+            let (inner, stream) = (inner.clone(), stream.clone());
+            std::thread::spawn(move || collector_loop(&inner, &stream))
+        };
+        MappingService {
+            inner,
+            stream,
+            threads: Mutex::new(vec![scheduler, collector]),
+        }
+    }
+
+    /// Admits a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::QueueFull`] when the bounded admission queue is at
+    /// capacity, [`ErrorCode::ShuttingDown`] after shutdown began. Both
+    /// bump the `rejected` counter.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, (ErrorCode, String)> {
+        let mut state = self.lock();
+        if state.closing {
+            state.counters.rejected += 1;
+            return Err((
+                ErrorCode::ShuttingDown,
+                "daemon is shutting down".to_string(),
+            ));
+        }
+        let depth = state.interactive.len() + state.batch.len();
+        if depth >= self.inner.config.queue_capacity {
+            state.counters.rejected += 1;
+            return Err((
+                ErrorCode::QueueFull,
+                format!(
+                    "admission queue full ({} jobs, capacity {})",
+                    depth, self.inner.config.queue_capacity
+                ),
+            ));
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.counters.submitted += 1;
+        state.phases.insert(id, Phase::Queued);
+        let job = AdmittedJob {
+            id,
+            spec,
+            admitted_at: Instant::now(),
+        };
+        match job.spec.priority {
+            Priority::Interactive => state.interactive.push_back(job),
+            Priority::Batch => state.batch.push_back(job),
+        }
+        drop(state);
+        self.inner.intake_cv.notify_all();
+        Ok(id)
+    }
+
+    /// Looks up a job's current phase or stored outcome.
+    pub fn poll(&self, id: u64) -> PollReply {
+        let state = self.lock();
+        match state.phases.get(&id) {
+            None => PollReply::Unknown,
+            Some(Phase::Queued) => PollReply::Pending { running: false },
+            Some(Phase::Running) => PollReply::Pending { running: true },
+            Some(Phase::Done) => match state.results.get(&id) {
+                Some(outcome) => PollReply::Finished(outcome.clone()),
+                None => PollReply::Unknown, // evicted from the bounded store
+            },
+        }
+    }
+
+    /// Blocks until job `id` finishes (returning its outcome) or the
+    /// timeout elapses (`None`). Unknown IDs return `None` immediately.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Option<JobOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            match state.phases.get(&id) {
+                None => return None,
+                Some(Phase::Done) => return state.results.get(&id).cloned(),
+                Some(_) => {}
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .inner
+                .done_cv
+                .wait_timeout(state, left)
+                .expect("service state poisoned");
+            state = guard;
+        }
+    }
+
+    /// Current daemon counters, including the process-wide shared-cache
+    /// hit/miss totals that make cross-request amortization observable.
+    pub fn stats(&self) -> StatsBody {
+        let state = self.lock();
+        let (distance_hits, distance_misses) = topology::shared_distance_stats();
+        let (closure_hits, closure_misses) = presburger::closure_memo_stats();
+        StatsBody {
+            protocol: PROTOCOL_VERSION,
+            workers: self.inner.config.workers.max(1) as u64,
+            queue_depth: (state.interactive.len() + state.batch.len()) as u64,
+            submitted: state.counters.submitted,
+            completed: state.counters.completed,
+            rejected: state.counters.rejected,
+            failed: state.counters.failed,
+            distance_hits,
+            distance_misses,
+            closure_hits,
+            closure_misses,
+        }
+    }
+
+    /// Jobs admitted but not yet finished (queued + running).
+    pub fn pending(&self) -> u64 {
+        let state = self.lock();
+        state
+            .phases
+            .values()
+            .filter(|p| !matches!(p, Phase::Done))
+            .count() as u64
+    }
+
+    /// Closes intake: subsequent submissions are rejected with
+    /// [`ErrorCode::ShuttingDown`] while already-admitted jobs keep
+    /// draining. Idempotent.
+    pub fn begin_shutdown(&self) {
+        self.lock().closing = true;
+        self.inner.intake_cv.notify_all();
+        self.inner.done_cv.notify_all();
+    }
+
+    /// Graceful shutdown: closes intake, waits for every admitted job to
+    /// finish, joins all threads, and returns the final counters.
+    /// Idempotent (a second call returns the counters again).
+    pub fn shutdown(&self) -> StatsBody {
+        self.begin_shutdown();
+        // Wait for the backlog: every tracked job reaches `Done`.
+        {
+            let mut state = self.lock();
+            while state.phases.values().any(|p| !matches!(p, Phase::Done)) {
+                state = self
+                    .inner
+                    .done_cv
+                    .wait(state)
+                    .expect("service state poisoned");
+            }
+        }
+        // The scheduler exits once closing && queues empty; the stream
+        // closes after it so no submit can race, and the collector exits
+        // when the closed stream reports end-of-results.
+        let threads: Vec<JoinHandle<()>> = {
+            let mut threads = self.threads.lock().expect("service threads poisoned");
+            threads.drain(..).collect()
+        };
+        self.stream.close();
+        for handle in threads {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ServiceState> {
+        self.inner.state.lock().expect("service state poisoned")
+    }
+}
+
+/// Pops interactive-before-batch until shutdown empties both queues.
+fn scheduler_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
+    loop {
+        let job = {
+            let mut state = inner.state.lock().expect("service state poisoned");
+            loop {
+                if let Some(job) = {
+                    let next = state.interactive.pop_front();
+                    next.or_else(|| state.batch.pop_front())
+                } {
+                    state.phases.insert(job.id, Phase::Running);
+                    break job;
+                }
+                if state.closing {
+                    return;
+                }
+                state = inner.intake_cv.wait(state).expect("service state poisoned");
+            }
+        };
+        // The engine queue is shallow; block here (not in submit) when
+        // the workers are saturated. `Closed` should be unreachable —
+        // every shutdown path closes the stream only after joining this
+        // thread — but if it ever happens, the popped job must still
+        // reach `Done`, or the shutdown drain would wait on it forever.
+        let id = job.id;
+        if stream.submit_blocking((id, Box::new(job))).is_err() {
+            let mut state = inner.state.lock().expect("service state poisoned");
+            state.counters.failed += 1;
+            state.results.insert(
+                id,
+                JobOutcome::Failed("service stopped before the job could run".to_string()),
+            );
+            state.result_order.push_back(id);
+            state.phases.insert(id, Phase::Done);
+            drop(state);
+            inner.done_cv.notify_all();
+            return;
+        }
+    }
+}
+
+/// Drains finished jobs into the bounded result store.
+fn collector_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
+    while let Some((_, (id, outcome))) = stream.recv() {
+        let mut state = inner.state.lock().expect("service state poisoned");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let outcome = match outcome {
+            JobOutcome::Done(mut summary) => {
+                summary.seq = seq;
+                state.counters.completed += 1;
+                JobOutcome::Done(summary)
+            }
+            failed => {
+                state.counters.failed += 1;
+                failed
+            }
+        };
+        if state.result_order.len() >= inner.config.results_capacity {
+            if let Some(evicted) = state.result_order.pop_front() {
+                state.results.remove(&evicted);
+                state.phases.remove(&evicted);
+            }
+        }
+        state.results.insert(id, outcome);
+        state.result_order.push_back(id);
+        state.phases.insert(id, Phase::Done);
+        drop(state);
+        inner.done_cv.notify_all();
+    }
+}
+
+impl Drop for MappingService {
+    fn drop(&mut self) {
+        // The drain-on-drop guarantee: a plain drop runs the same
+        // graceful shutdown as `shutdown()` (idempotent if it already
+        // ran), so admitted jobs are never lost. The one exception is an
+        // unwinding drop: waiting on possibly-poisoned condvars there
+        // risks a double panic, so teardown is best-effort instead.
+        if !std::thread::panicking() {
+            self.shutdown();
+            return;
+        }
+        if let Ok(mut state) = self.inner.state.lock() {
+            state.closing = true;
+        }
+        self.inner.intake_cv.notify_all();
+        self.inner.done_cv.notify_all();
+        self.stream.close();
+        let mut threads = match self.threads.lock() {
+            Ok(threads) => threads,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for handle in threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// FNV-1a fingerprint of a full mapping result: routed gates (kind,
+/// operands, parameter bits), both layouts, and the SWAP count. Two
+/// results fingerprint equally iff they are bit-for-bit the same mapping,
+/// which is how service responses pin the engine determinism contract
+/// without shipping the routed circuit.
+pub fn result_fingerprint(result: &MappingResult) -> u64 {
+    struct Fnv(u64);
+    impl Fnv {
+        fn bytes(&mut self, bytes: &[u8]) {
+            for &byte in bytes {
+                self.0 ^= u64::from(byte);
+                self.0 = self.0.wrapping_mul(0x100000001b3);
+            }
+        }
+        fn word(&mut self, x: u64) {
+            self.bytes(&x.to_le_bytes());
+        }
+    }
+    let mut fnv = Fnv(0xcbf29ce484222325);
+    fnv.word(result.routed.n_qubits() as u64);
+    for gate in result.routed.gates() {
+        fnv.bytes(gate.kind.name().as_bytes());
+        fnv.word(gate.qubits.len() as u64);
+        for &q in &gate.qubits {
+            fnv.word(u64::from(q));
+        }
+        for &p in &gate.params {
+            fnv.word(p.to_bits());
+        }
+    }
+    for layout in [&result.initial_layout, &result.final_layout] {
+        fnv.word(layout.len() as u64);
+        for &p in layout.iter() {
+            fnv.word(u64::from(p));
+        }
+    }
+    fnv.word(result.swaps as u64);
+    fnv.0
+}
+
+/// Runs one admitted job to a stored outcome. Total: mapper errors and
+/// verification failures become [`JobOutcome::Failed`], never a panic
+/// that would take a daemon worker down.
+fn run_job(job: &AdmittedJob) -> JobOutcome {
+    let queue_seconds = job.admitted_at.elapsed().as_secs_f64();
+    let spec = &job.spec;
+    let t0 = Instant::now();
+    let (result, pipeline, passes, metrics) = match spec.mapper.pipeline() {
+        Some(mut pipeline) => {
+            if let Some(noise) = &spec.noise {
+                pipeline = pipeline.with_post(FidelityPass::new(noise.clone()));
+            }
+            match pipeline.run(&spec.circuit, &spec.device) {
+                Ok(outcome) => {
+                    let passes: Vec<(String, f64)> = outcome
+                        .timings
+                        .iter()
+                        .map(|t| (t.label(), t.seconds))
+                        .collect();
+                    (outcome.result, pipeline.describe(), passes, outcome.metrics)
+                }
+                Err(e) => return JobOutcome::Failed(format!("pipeline failed: {e}")),
+            }
+        }
+        None => {
+            // Opaque mappers bypass the pipeline; fidelity is still
+            // honored directly.
+            let result = spec.mapper.map(&spec.circuit, &spec.device);
+            let metrics = match &spec.noise {
+                Some(noise) => {
+                    let p = FidelityPass::new(noise.clone()).probability(&result.routed);
+                    vec![(
+                        "success_ppm".to_string(),
+                        (p * FidelityPass::PPM).round() as i64,
+                    )]
+                }
+                None => Vec::new(),
+            };
+            (result, String::new(), Vec::new(), metrics)
+        }
+    };
+    let seconds = t0.elapsed().as_secs_f64();
+    if let Err(e) = verify_routing(
+        &spec.circuit,
+        &result.routed,
+        &|a, b| spec.device.is_adjacent(a, b),
+        &result.initial_layout,
+    ) {
+        return JobOutcome::Failed(format!(
+            "{} produced an invalid routing: {e}",
+            spec.mapper.name()
+        ));
+    }
+    let success_ppm = metrics
+        .iter()
+        .find(|(k, _)| k == "success_ppm")
+        .map(|&(_, v)| v);
+    JobOutcome::Done(Summary {
+        swaps: result.swaps as u64,
+        depth: result.routed.depth() as u64,
+        qops: result.routed.qop_count() as u64,
+        initial_layout: result.initial_layout.clone(),
+        final_layout: result.final_layout.clone(),
+        fingerprint: format!("{:016x}", result_fingerprint(&result)),
+        pipeline,
+        pass_seconds: passes,
+        seconds,
+        queue_seconds,
+        seq: 0, // stamped by the collector in completion order
+        verified: true,
+        success_ppm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+    use qlosure::QlosureMapper;
+    use topology::backends;
+
+    fn spec(priority: Priority, depth: usize, seed: u64) -> JobSpec {
+        let device = Arc::new(backends::aspen16());
+        let bench = queko::QuekoSpec::new(&device, depth).seed(seed).generate();
+        JobSpec {
+            circuit: Arc::new(bench.circuit),
+            device,
+            mapper: Arc::new(QlosureMapper::default()),
+            priority,
+            noise: None,
+        }
+    }
+
+    fn service(workers: usize, queue: usize, results: usize) -> MappingService {
+        MappingService::start(ServiceConfig {
+            workers,
+            queue_capacity: queue,
+            results_capacity: results,
+        })
+    }
+
+    #[test]
+    fn submit_wait_poll_roundtrip() {
+        let svc = service(2, 16, 16);
+        let id = svc.submit(spec(Priority::Interactive, 10, 1)).unwrap();
+        let outcome = svc.wait(id, Duration::from_secs(60)).expect("finishes");
+        let JobOutcome::Done(summary) = outcome else {
+            panic!("mapping must succeed");
+        };
+        assert!(summary.verified);
+        assert_eq!(summary.pipeline, "weights → identity → qlosure");
+        assert_eq!(summary.initial_layout.len(), 16);
+        assert!(summary.queue_seconds >= 0.0);
+        assert!(matches!(svc.poll(id), PollReply::Finished(_)));
+        assert!(matches!(svc.poll(id + 999), PollReply::Unknown));
+        let stats = svc.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn interactive_overtakes_queued_batch_jobs() {
+        // One worker; a slow batch job occupies it while more batch jobs
+        // and one interactive job queue up. The interactive job must
+        // complete before the batch jobs that were admitted *earlier*
+        // (modulo the one batch job the scheduler may already have staged
+        // into the engine's single-slot buffer).
+        let svc = service(1, 32, 32);
+        let slow = svc.submit(spec(Priority::Batch, 120, 2)).unwrap();
+        let batch: Vec<u64> = (0..4)
+            .map(|s| svc.submit(spec(Priority::Batch, 10, 3 + s)).unwrap())
+            .collect();
+        let interactive = svc.submit(spec(Priority::Interactive, 10, 99)).unwrap();
+        let seq_of = |id: u64| -> u64 {
+            match svc.wait(id, Duration::from_secs(120)).expect("finishes") {
+                JobOutcome::Done(summary) => summary.seq,
+                JobOutcome::Failed(e) => panic!("job {id} failed: {e}"),
+            }
+        };
+        let interactive_seq = seq_of(interactive);
+        let last_batch_seq = seq_of(*batch.last().unwrap());
+        assert!(
+            interactive_seq < last_batch_seq,
+            "interactive (seq {interactive_seq}) must overtake queued batch \
+             work (last batch seq {last_batch_seq})"
+        );
+        let _ = seq_of(slow);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn full_admission_queue_rejects_with_typed_error() {
+        // Zero-capacity queue: nothing can be admitted.
+        let svc = service(1, 0, 8);
+        let err = svc.submit(spec(Priority::Batch, 10, 1)).unwrap_err();
+        assert_eq!(err.0, ErrorCode::QueueFull);
+        let stats = svc.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_already_admitted_jobs() {
+        let svc = service(1, 32, 32);
+        let ids: Vec<u64> = (0..3)
+            .map(|s| svc.submit(spec(Priority::Batch, 20, s)).unwrap())
+            .collect();
+        svc.begin_shutdown();
+        let err = svc.submit(spec(Priority::Batch, 10, 9)).unwrap_err();
+        assert_eq!(err.0, ErrorCode::ShuttingDown);
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 3, "queued jobs drain before exit");
+        for id in ids {
+            assert!(matches!(svc.poll(id), PollReply::Finished(_)));
+        }
+    }
+
+    #[test]
+    fn result_store_is_bounded_fifo() {
+        // One worker so completions are sequential; shutdown drains all
+        // four jobs (a per-job `wait` would race eviction: an early
+        // result may already be evicted by the time it is polled).
+        let svc = service(1, 32, 2);
+        let ids: Vec<u64> = (0..4)
+            .map(|s| svc.submit(spec(Priority::Batch, 10, s)).unwrap())
+            .collect();
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 4, "shutdown drains every admitted job");
+        let retained = ids
+            .iter()
+            .filter(|&&id| matches!(svc.poll(id), PollReply::Finished(_)))
+            .count();
+        assert_eq!(retained, 2, "capacity-2 store keeps exactly two results");
+        let evicted = ids
+            .iter()
+            .filter(|&&id| matches!(svc.poll(id), PollReply::Unknown))
+            .count();
+        assert_eq!(evicted, 2, "evicted results poll as unknown");
+    }
+
+    #[test]
+    fn device_too_small_yields_failed_outcome_not_panic() {
+        let svc = service(1, 8, 8);
+        let device = Arc::new(backends::line(3));
+        let id = svc
+            .submit(JobSpec {
+                circuit: Arc::new(Circuit::new(5)),
+                device,
+                mapper: Arc::new(QlosureMapper::default()),
+                priority: Priority::Interactive,
+                noise: None,
+            })
+            .unwrap();
+        match svc.wait(id, Duration::from_secs(30)).expect("finishes") {
+            JobOutcome::Failed(message) => {
+                assert!(message.contains("5 qubits"), "got: {message}");
+            }
+            JobOutcome::Done(_) => panic!("oversized circuit cannot succeed"),
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn fidelity_opt_in_reports_success_ppm() {
+        let svc = service(1, 8, 8);
+        let device = Arc::new(backends::aspen16());
+        let bench = queko::QuekoSpec::new(&device, 10).seed(5).generate();
+        let noise = NoiseModel::synthetic(&device, 7e-3, registry::NOISE_SEED);
+        let with = svc
+            .submit(JobSpec {
+                circuit: Arc::new(bench.circuit.clone()),
+                device: device.clone(),
+                mapper: Arc::new(QlosureMapper::default()),
+                priority: Priority::Interactive,
+                noise: Some(noise),
+            })
+            .unwrap();
+        let without = svc
+            .submit(JobSpec {
+                circuit: Arc::new(bench.circuit),
+                device,
+                mapper: Arc::new(QlosureMapper::default()),
+                priority: Priority::Interactive,
+                noise: None,
+            })
+            .unwrap();
+        let summary = |id: u64| match svc.wait(id, Duration::from_secs(60)).expect("finishes") {
+            JobOutcome::Done(s) => s,
+            JobOutcome::Failed(e) => panic!("job failed: {e}"),
+        };
+        let s_with = summary(with);
+        let ppm = s_with.success_ppm.expect("opt-in must report");
+        assert!((1..=1_000_000).contains(&ppm), "got {ppm}");
+        assert!(s_with.pipeline.ends_with("fidelity"));
+        assert_eq!(summary(without).success_ppm, None);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_results() {
+        let device = backends::line(4);
+        let mut a = Circuit::new(4);
+        a.cx(0, 3);
+        let ra = QlosureMapper::default().map(&a, &device);
+        let rb = QlosureMapper::default().map(&a, &device);
+        assert_eq!(
+            result_fingerprint(&ra),
+            result_fingerprint(&rb),
+            "deterministic mapper, equal fingerprints"
+        );
+        let mut c = Circuit::new(4);
+        c.cx(0, 2);
+        let rc = QlosureMapper::default().map(&c, &device);
+        assert_ne!(result_fingerprint(&ra), result_fingerprint(&rc));
+    }
+}

@@ -1,0 +1,562 @@
+//! A minimal JSON value model with a hand-rolled parser and encoder.
+//!
+//! The wire protocol is newline-delimited JSON and the build environment
+//! is offline, so this module is the crate's one JSON implementation —
+//! the encoding side mirrors the deterministic style of
+//! `bench_support::report` (fixed key order, escaped strings), and the
+//! parsing side is written for *untrusted* input: every malformed,
+//! truncated or adversarial frame returns a positioned [`JsonError`],
+//! never a panic, with an explicit recursion-depth bound so deeply nested
+//! garbage cannot overflow the stack.
+//!
+//! Numbers are carried as `f64`. Protocol integers (IDs, counters) stay
+//! below 2⁵³ so the round trip is exact; 64-bit fingerprints travel as hex
+//! strings instead. Floats encode through Rust's shortest-roundtrip
+//! `Display`, so `parse(encode(x)) == x` for every finite value.
+
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser.
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value. Object members preserve insertion/wire order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in wire order (duplicate keys are kept as sent).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The object's member named `key`, when this is an object containing
+    /// one (first occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object members, when this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The string contents, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an exactly-representable unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        let x = self.as_f64()?;
+        (x.is_finite() && x >= 0.0 && x <= 2f64.powi(53) && x.fract() == 0.0).then_some(x as u64)
+    }
+
+    /// The value as an exactly-representable signed integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        let x = self.as_f64()?;
+        (x.is_finite() && x.abs() <= 2f64.powi(53) && x.fract() == 0.0).then_some(x as i64)
+    }
+
+    /// The boolean value, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Encodes the value as compact single-line JSON (objects keep member
+    /// order, so encoding is deterministic).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Rust's Display for f64 is shortest-roundtrip and
+                    // never uses exponent notation: always valid JSON.
+                    out.push_str(&format!("{x}"));
+                } else {
+                    out.push_str("null"); // non-finite values are protocol bugs
+                }
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Escapes and quotes `s` into `out`.
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A positioned parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset the failure was detected at.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON value, rejecting trailing non-whitespace.
+///
+/// # Errors
+///
+/// A [`JsonError`] naming the failure and its byte offset; arbitrary
+/// input never panics.
+pub fn parse(src: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        src,
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError { pos: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        let mut run_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(&self.src[run_start..self.pos]);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(&self.src[run_start..self.pos]);
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                    run_start = self.pos;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Any other byte is part of a valid UTF-8 sequence
+                    // (the input is a &str); runs are copied wholesale at
+                    // the next escape/quote, which always falls on an
+                    // ASCII boundary.
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let c = match self.peek() {
+            None => return Err(self.err("unterminated escape")),
+            Some(b'"') => '"',
+            Some(b'\\') => '\\',
+            Some(b'/') => '/',
+            Some(b'b') => '\u{0008}',
+            Some(b'f') => '\u{000C}',
+            Some(b'n') => '\n',
+            Some(b'r') => '\r',
+            Some(b't') => '\t',
+            Some(b'u') => {
+                self.pos += 1;
+                return self.unicode_escape();
+            }
+            Some(_) => return Err(self.err("invalid escape")),
+        };
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: a low surrogate must follow.
+            if self.peek() != Some(b'\\') {
+                return Err(self.err("unpaired surrogate"));
+            }
+            self.pos += 1;
+            if self.peek() != Some(b'u') {
+                return Err(self.err("unpaired surrogate"));
+            }
+            self.pos += 1;
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err("unpaired surrogate"));
+            }
+            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            return char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("unpaired surrogate"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("invalid number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("invalid number"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("invalid number"));
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let x: f64 = text.parse().map_err(|_| JsonError {
+            pos: start,
+            msg: "number out of range",
+        })?;
+        if !x.is_finite() {
+            return Err(JsonError {
+                pos: start,
+                msg: "number out of range",
+            });
+        }
+        Ok(Json::Num(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (src, want) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("0", Json::Num(0.0)),
+            ("-17", Json::Num(-17.0)),
+            ("3.5", Json::Num(3.5)),
+            ("1e3", Json::Num(1000.0)),
+            ("2.5e-2", Json::Num(0.025)),
+            ("\"hi\"", Json::Str("hi".into())),
+        ] {
+            assert_eq!(parse(src).unwrap(), want, "src = {src}");
+        }
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let v = parse(r#" { "b" : [1, "x", null], "a": {"nested": true} } "#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj[0].0, "b");
+        assert_eq!(obj[1].0, "a");
+        assert_eq!(v.get("b").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().get("nested").unwrap().as_bool(),
+            Some(true)
+        );
+        // encode → parse is the identity.
+        assert_eq!(parse(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let tricky = "quote\" slash\\ nl\n tab\t cr\r nul\u{0} emoji🦀 high\u{10FFFF}";
+        let encoded = Json::Str(tricky.into()).encode();
+        assert!(!encoded.contains('\n'), "one frame stays one line");
+        assert_eq!(parse(&encoded).unwrap(), Json::Str(tricky.into()));
+        // Explicit \u escapes, including a surrogate pair.
+        assert_eq!(
+            parse(r#""\u0041\ud83e\udd80\/""#).unwrap(),
+            Json::Str("A🦀/".into())
+        );
+    }
+
+    #[test]
+    fn float_display_round_trips_exactly() {
+        for x in [0.1, 1.0 / 3.0, 6.0221408e23, 5e-324, f64::MAX] {
+            let encoded = Json::Num(x).encode();
+            assert_eq!(parse(&encoded).unwrap(), Json::Num(x), "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_error_without_panicking() {
+        for bad in [
+            "",
+            "   ",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "{a:1}",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+            "01x",
+            "-",
+            "1.",
+            "1e",
+            "1e999",
+            "nul",
+            "truex",
+            "12 34",
+            "\u{1}",
+            "\"ctrl\u{1}\"",
+        ] {
+            assert!(
+                parse(bad).is_err(),
+                "`{}` must be rejected",
+                bad.escape_debug()
+            );
+        }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        let err = parse(&deep).unwrap_err();
+        assert_eq!(err.msg, "nesting too deep");
+        // A legal depth still parses.
+        let ok = "[".repeat(30) + "1" + &"]".repeat(30);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn integer_accessors_check_exactness() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("-42").unwrap().as_i64(), Some(-42));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("1e300").unwrap().as_u64(), None);
+        assert_eq!(parse("\"7\"").unwrap().as_u64(), None);
+    }
+}

@@ -1,0 +1,68 @@
+//! # qlosure-service — the persistent mapping daemon
+//!
+//! Every other consumer in the workspace is a one-shot process that pays
+//! full device-cache warmup per invocation. This crate keeps the mapping
+//! stack resident: `qlosured` listens on a Unix domain socket, speaks a
+//! versioned newline-delimited JSON protocol ([`proto`]), and drives
+//! requests through an asynchronous intake layer ([`intake`]) — a bounded
+//! admission queue with interactive-over-batch priority, a scheduler
+//! thread draining into the engine's persistent
+//! [`StreamEngine`](engine::StreamEngine) workers, and a bounded FIFO
+//! result store polled by request ID. Because the process lives on, the
+//! shared per-device caches (`CouplingGraph::shared_distances`, the
+//! Presburger closure memo) amortize across requests, and the daemon's
+//! `stats` response reports their hit/miss counters so that amortization
+//! is observable.
+//!
+//! The pieces:
+//!
+//! * [`proto`] — wire types, hand-rolled encode/parse, typed errors,
+//!   [`proto::PROTOCOL_VERSION`];
+//! * [`intake`] — [`MappingService`]: admission, scheduling, results,
+//!   graceful drain-then-exit shutdown;
+//! * [`registry`] — request decoding (backend/mapper/QASM → job spec);
+//! * [`daemon`] — the socket server (`qlosured` is a thin `main` over
+//!   [`daemon::run`]);
+//! * [`client`] — a blocking client ([`Client`]), used by `qlosure-cli`,
+//!   the `service_throughput` bench and the integration tests.
+//!
+//! # In-process quickstart
+//!
+//! ```
+//! use service::{Client, DaemonConfig, Priority};
+//! use std::time::Duration;
+//!
+//! let socket = std::env::temp_dir().join(format!("qlosured-doc-{}.sock", std::process::id()));
+//! let daemon = service::daemon::spawn(DaemonConfig::at(&socket)).unwrap();
+//! let mut client = Client::connect(&socket).unwrap();
+//!
+//! let qasm = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncx q[0], q[2];\n";
+//! let id = client
+//!     .submit("line:3", "qlosure", qasm, Priority::Interactive, false)
+//!     .unwrap();
+//! let summary = client.wait(id, Duration::from_secs(30)).unwrap();
+//! assert!(summary.verified && summary.swaps >= 1);
+//!
+//! client.shutdown().unwrap();
+//! daemon.join().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod intake;
+pub mod json;
+pub mod proto;
+pub mod registry;
+
+pub use client::{Client, ClientError};
+pub use daemon::{DaemonConfig, DaemonHandle};
+pub use intake::{
+    result_fingerprint, JobOutcome, JobSpec, MappingService, PollReply, ServiceConfig,
+};
+pub use proto::{
+    ErrorCode, Priority, ProtoError, Request, Response, StatsBody, Summary, MAX_FRAME,
+    PROTOCOL_VERSION,
+};

@@ -1,0 +1,871 @@
+//! The versioned newline-delimited JSON wire protocol.
+//!
+//! Every frame is one line of JSON. Requests and responses both carry the
+//! protocol version in a `"v"` field; the daemon rejects any mismatch
+//! with a typed [`ErrorCode::VersionMismatch`] error, per the repo's
+//! protocol-versioning rule (breaking wire changes bump
+//! [`PROTOCOL_VERSION`]).
+//!
+//! Encoding and parsing are total and symmetric: `parse(encode(x)) == x`
+//! for every [`Request`] and [`Response`] value (pinned by the property
+//! suite), and arbitrary bytes fed to the parsers produce a typed
+//! [`ProtoError`] — never a panic. Frames longer than [`MAX_FRAME`] are
+//! rejected before parsing.
+
+use crate::json::{self, Json};
+use std::fmt;
+
+/// Version of this wire protocol. Breaking changes to the frame shapes
+/// bump this and the daemon rejects mismatched clients with a
+/// `version-mismatch` error.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard bound on one frame's length in bytes (requests carry inline QASM,
+/// so the bound is generous — but adversarial multi-gigabyte lines must
+/// die before allocation).
+pub const MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// Scheduling class of a submission: interactive jobs overtake batch jobs
+/// in the admission queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Priority {
+    /// Latency-sensitive; drained before any queued batch work.
+    Interactive,
+    /// Throughput work; drained FIFO after interactive work.
+    Batch,
+}
+
+impl Priority {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn from_wire(s: &str) -> Option<Priority> {
+        match s {
+            "interactive" => Some(Priority::Interactive),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// A client→daemon frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit one mapping job.
+    Submit {
+        /// Device name, resolved via `topology::backends::by_name`.
+        backend: String,
+        /// Mapper name (`qlosure` or any baseline).
+        mapper: String,
+        /// Inline OpenQASM 2.0 source.
+        qasm: String,
+        /// Scheduling class.
+        priority: Priority,
+        /// Opt-in: also estimate the routed circuit's success probability
+        /// under a synthetic calibration (reported as `success_ppm`).
+        fidelity: bool,
+    },
+    /// Ask for the state/result of a submitted job.
+    Poll {
+        /// The ID returned by the submit response.
+        id: u64,
+    },
+    /// Ask for daemon counters, including shared-cache hit/miss totals.
+    Stats,
+    /// Request graceful shutdown: intake closes, in-flight and queued
+    /// jobs drain, then the daemon exits.
+    Shutdown,
+}
+
+/// The result summary of one completed mapping job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// SWAPs inserted.
+    pub swaps: u64,
+    /// Routed depth (unit-gate model).
+    pub depth: u64,
+    /// Routed gate count.
+    pub qops: u64,
+    /// Initial layout, `initial_layout[logical] = physical`.
+    pub initial_layout: Vec<u32>,
+    /// Final layout after all SWAPs.
+    pub final_layout: Vec<u32>,
+    /// FNV-1a fingerprint of the full mapping result (routed gates +
+    /// layouts), as 16 lowercase hex digits — lets clients check
+    /// bit-for-bit equivalence without shipping the routed circuit.
+    pub fingerprint: String,
+    /// The pass composition that ran (empty for opaque mappers).
+    pub pipeline: String,
+    /// Per-pass wall-clock timings (`stage:name`, seconds).
+    pub pass_seconds: Vec<(String, f64)>,
+    /// Wall-clock mapping seconds (timing field).
+    pub seconds: f64,
+    /// Seconds between admission and worker pickup (timing field).
+    pub queue_seconds: f64,
+    /// Completion sequence number (0-based, daemon-wide): the order jobs
+    /// finished in, which is how priority scheduling is observable.
+    pub seq: u64,
+    /// Whether the independent routing verifier accepted the result
+    /// (always `true` for a `done` response; failures use `failed`).
+    pub verified: bool,
+    /// Estimated success probability in parts per million, when the
+    /// request opted into fidelity estimation.
+    pub success_ppm: Option<i64>,
+}
+
+/// Daemon counters reported by [`Response::Stats`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsBody {
+    /// The daemon's protocol version.
+    pub protocol: u64,
+    /// Mapping worker count.
+    pub workers: u64,
+    /// Jobs currently waiting in the admission queue.
+    pub queue_depth: u64,
+    /// Jobs accepted since startup.
+    pub submitted: u64,
+    /// Jobs completed successfully since startup.
+    pub completed: u64,
+    /// Jobs rejected at admission (queue full / shutting down).
+    pub rejected: u64,
+    /// Jobs that failed while mapping.
+    pub failed: u64,
+    /// Process-wide shared distance-cache hits (cross-request
+    /// amortization counter).
+    pub distance_hits: u64,
+    /// Process-wide shared distance-cache misses.
+    pub distance_misses: u64,
+    /// Process-wide transitive-closure memo hits.
+    pub closure_hits: u64,
+    /// Process-wide transitive-closure memo misses.
+    pub closure_misses: u64,
+}
+
+/// Typed error categories carried by [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not a valid request.
+    BadRequest,
+    /// The request's `"v"` does not match the daemon's protocol version.
+    VersionMismatch,
+    /// The frame exceeded [`MAX_FRAME`] bytes.
+    Oversized,
+    /// The named backend does not resolve.
+    UnknownBackend,
+    /// The named mapper does not resolve.
+    UnknownMapper,
+    /// The inline QASM failed to parse or convert.
+    QasmError,
+    /// The circuit needs more qubits than the device has.
+    DeviceTooSmall,
+    /// The admission queue is full.
+    QueueFull,
+    /// The polled ID was never assigned or its result was evicted.
+    UnknownId,
+    /// The daemon is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The mapper failed or produced an unverifiable routing.
+    MappingFailed,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::VersionMismatch => "version-mismatch",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::UnknownBackend => "unknown-backend",
+            ErrorCode::UnknownMapper => "unknown-mapper",
+            ErrorCode::QasmError => "qasm-error",
+            ErrorCode::DeviceTooSmall => "device-too-small",
+            ErrorCode::QueueFull => "queue-full",
+            ErrorCode::UnknownId => "unknown-id",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::MappingFailed => "mapping-failed",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn from_wire(s: &str) -> Option<ErrorCode> {
+        [
+            ErrorCode::BadRequest,
+            ErrorCode::VersionMismatch,
+            ErrorCode::Oversized,
+            ErrorCode::UnknownBackend,
+            ErrorCode::UnknownMapper,
+            ErrorCode::QasmError,
+            ErrorCode::DeviceTooSmall,
+            ErrorCode::QueueFull,
+            ErrorCode::UnknownId,
+            ErrorCode::ShuttingDown,
+            ErrorCode::MappingFailed,
+        ]
+        .into_iter()
+        .find(|c| c.as_str() == s)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A daemon→client frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The job was admitted under this ID.
+    Submitted {
+        /// Request ID for later polling.
+        id: u64,
+    },
+    /// The job is still queued or running.
+    Pending {
+        /// The polled ID.
+        id: u64,
+        /// `true` once the job left the admission queue toward the
+        /// workers (running or about to run — past the point where
+        /// priority can reorder it).
+        running: bool,
+    },
+    /// The job finished and verified.
+    Done {
+        /// The polled ID.
+        id: u64,
+        /// The result summary.
+        summary: Summary,
+    },
+    /// The job ran but failed (mapper error or verification failure).
+    Failed {
+        /// The polled ID.
+        id: u64,
+        /// Human-readable failure.
+        message: String,
+    },
+    /// Daemon counters.
+    Stats(StatsBody),
+    /// Acknowledgement of a shutdown request.
+    ShuttingDown {
+        /// Jobs still queued or in flight that will drain before exit.
+        pending: u64,
+    },
+    /// A typed request-level error.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Why a frame failed to decode.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtoError {
+    /// The frame exceeds [`MAX_FRAME`] bytes.
+    Oversized {
+        /// Observed frame length.
+        len: usize,
+    },
+    /// The frame is not valid JSON.
+    Json(json::JsonError),
+    /// The frame is valid JSON but not a valid protocol message.
+    Shape(String),
+    /// The frame's `"v"` field does not match [`PROTOCOL_VERSION`].
+    Version {
+        /// The version the peer sent.
+        got: u64,
+    },
+}
+
+impl ProtoError {
+    /// The [`ErrorCode`] a daemon should answer this decode failure with.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ProtoError::Oversized { .. } => ErrorCode::Oversized,
+            ProtoError::Version { .. } => ErrorCode::VersionMismatch,
+            ProtoError::Json(_) | ProtoError::Shape(_) => ErrorCode::BadRequest,
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Oversized { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            ProtoError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ProtoError::Shape(s) => write!(f, "invalid message: {s}"),
+            ProtoError::Version { got } => write!(
+                f,
+                "protocol version {got} does not match daemon version {PROTOCOL_VERSION}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num_u64(x: u64) -> Json {
+    // Protocol integers stay far below 2^53; debug-assert the invariant.
+    debug_assert!(x <= (1 << 53));
+    Json::Num(x as f64)
+}
+
+fn versioned(op: &str, mut rest: Vec<(&str, Json)>) -> Json {
+    let mut members = vec![
+        ("v", num_u64(PROTOCOL_VERSION)),
+        ("op", Json::Str(op.to_string())),
+    ];
+    members.append(&mut rest);
+    obj(members)
+}
+
+/// Encodes a request as one JSON line (no trailing newline).
+pub fn encode_request(request: &Request) -> String {
+    let value = match request {
+        Request::Submit {
+            backend,
+            mapper,
+            qasm,
+            priority,
+            fidelity,
+        } => versioned(
+            "submit",
+            vec![
+                ("backend", Json::Str(backend.clone())),
+                ("mapper", Json::Str(mapper.clone())),
+                ("qasm", Json::Str(qasm.clone())),
+                ("priority", Json::Str(priority.as_str().to_string())),
+                ("fidelity", Json::Bool(*fidelity)),
+            ],
+        ),
+        Request::Poll { id } => versioned("poll", vec![("id", num_u64(*id))]),
+        Request::Stats => versioned("stats", vec![]),
+        Request::Shutdown => versioned("shutdown", vec![]),
+    };
+    value.encode()
+}
+
+fn encode_summary(s: &Summary) -> Json {
+    let layout = |l: &[u32]| Json::Arr(l.iter().map(|&p| num_u64(u64::from(p))).collect());
+    let mut members = vec![
+        ("swaps", num_u64(s.swaps)),
+        ("depth", num_u64(s.depth)),
+        ("qops", num_u64(s.qops)),
+        ("initial_layout", layout(&s.initial_layout)),
+        ("final_layout", layout(&s.final_layout)),
+        ("fingerprint", Json::Str(s.fingerprint.clone())),
+        ("pipeline", Json::Str(s.pipeline.clone())),
+        (
+            "pass_seconds",
+            Json::Obj(
+                s.pass_seconds
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ),
+        ("seconds", Json::Num(s.seconds)),
+        ("queue_seconds", Json::Num(s.queue_seconds)),
+        ("seq", num_u64(s.seq)),
+        ("verified", Json::Bool(s.verified)),
+    ];
+    if let Some(ppm) = s.success_ppm {
+        members.push(("success_ppm", Json::Num(ppm as f64)));
+    }
+    obj(members)
+}
+
+/// Encodes a response as one JSON line (no trailing newline).
+pub fn encode_response(response: &Response) -> String {
+    let value = match response {
+        Response::Submitted { id } => versioned("submitted", vec![("id", num_u64(*id))]),
+        Response::Pending { id, running } => versioned(
+            "pending",
+            vec![("id", num_u64(*id)), ("running", Json::Bool(*running))],
+        ),
+        Response::Done { id, summary } => versioned(
+            "done",
+            vec![("id", num_u64(*id)), ("summary", encode_summary(summary))],
+        ),
+        Response::Failed { id, message } => versioned(
+            "failed",
+            vec![
+                ("id", num_u64(*id)),
+                ("message", Json::Str(message.clone())),
+            ],
+        ),
+        Response::Stats(stats) => versioned(
+            "stats",
+            vec![
+                ("protocol", num_u64(stats.protocol)),
+                ("workers", num_u64(stats.workers)),
+                ("queue_depth", num_u64(stats.queue_depth)),
+                ("submitted", num_u64(stats.submitted)),
+                ("completed", num_u64(stats.completed)),
+                ("rejected", num_u64(stats.rejected)),
+                ("failed", num_u64(stats.failed)),
+                ("distance_hits", num_u64(stats.distance_hits)),
+                ("distance_misses", num_u64(stats.distance_misses)),
+                ("closure_hits", num_u64(stats.closure_hits)),
+                ("closure_misses", num_u64(stats.closure_misses)),
+            ],
+        ),
+        Response::ShuttingDown { pending } => {
+            versioned("shutting-down", vec![("pending", num_u64(*pending))])
+        }
+        Response::Error { code, message } => versioned(
+            "error",
+            vec![
+                ("code", Json::Str(code.as_str().to_string())),
+                ("message", Json::Str(message.clone())),
+            ],
+        ),
+    };
+    value.encode()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn shape(message: impl Into<String>) -> ProtoError {
+    ProtoError::Shape(message.into())
+}
+
+/// Decodes a frame into its JSON value, checking size and version.
+fn decode_frame(line: &str) -> Result<Json, ProtoError> {
+    if line.len() > MAX_FRAME {
+        return Err(ProtoError::Oversized { len: line.len() });
+    }
+    let value = json::parse(line).map_err(ProtoError::Json)?;
+    if value.as_obj().is_none() {
+        return Err(shape("frame is not a JSON object"));
+    }
+    let v = value
+        .get("v")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| shape("missing protocol version field `v`"))?;
+    if v != PROTOCOL_VERSION {
+        return Err(ProtoError::Version { got: v });
+    }
+    Ok(value)
+}
+
+fn field<'a>(value: &'a Json, name: &str) -> Result<&'a Json, ProtoError> {
+    value
+        .get(name)
+        .ok_or_else(|| shape(format!("missing field `{name}`")))
+}
+
+fn str_field(value: &Json, name: &str) -> Result<String, ProtoError> {
+    field(value, name)?
+        .as_str()
+        .map(ToString::to_string)
+        .ok_or_else(|| shape(format!("field `{name}` must be a string")))
+}
+
+fn u64_field(value: &Json, name: &str) -> Result<u64, ProtoError> {
+    field(value, name)?
+        .as_u64()
+        .ok_or_else(|| shape(format!("field `{name}` must be a non-negative integer")))
+}
+
+fn f64_field(value: &Json, name: &str) -> Result<f64, ProtoError> {
+    field(value, name)?
+        .as_f64()
+        .ok_or_else(|| shape(format!("field `{name}` must be a number")))
+}
+
+fn bool_field(value: &Json, name: &str) -> Result<bool, ProtoError> {
+    field(value, name)?
+        .as_bool()
+        .ok_or_else(|| shape(format!("field `{name}` must be a boolean")))
+}
+
+/// Parses one request frame.
+///
+/// # Errors
+///
+/// A typed [`ProtoError`] for oversized, malformed, version-mismatched or
+/// structurally invalid frames; arbitrary input never panics.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let value = decode_frame(line)?;
+    let op = str_field(&value, "op")?;
+    match op.as_str() {
+        "submit" => {
+            let priority_text = str_field(&value, "priority")?;
+            let priority = Priority::from_wire(&priority_text)
+                .ok_or_else(|| shape(format!("unknown priority `{priority_text}`")))?;
+            Ok(Request::Submit {
+                backend: str_field(&value, "backend")?,
+                mapper: str_field(&value, "mapper")?,
+                qasm: str_field(&value, "qasm")?,
+                priority,
+                fidelity: bool_field(&value, "fidelity")?,
+            })
+        }
+        "poll" => Ok(Request::Poll {
+            id: u64_field(&value, "id")?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(shape(format!("unknown request op `{other}`"))),
+    }
+}
+
+fn parse_layout(value: &Json, name: &str) -> Result<Vec<u32>, ProtoError> {
+    field(value, name)?
+        .as_arr()
+        .ok_or_else(|| shape(format!("field `{name}` must be an array")))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .filter(|&p| p <= u64::from(u32::MAX))
+                .map(|p| p as u32)
+                .ok_or_else(|| shape(format!("field `{name}` must hold physical qubit indices")))
+        })
+        .collect()
+}
+
+fn parse_summary(value: &Json) -> Result<Summary, ProtoError> {
+    let passes = field(value, "pass_seconds")?
+        .as_obj()
+        .ok_or_else(|| shape("field `pass_seconds` must be an object"))?
+        .iter()
+        .map(|(k, v)| {
+            v.as_f64()
+                .map(|s| (k.clone(), s))
+                .ok_or_else(|| shape("pass timings must be numbers"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let success_ppm = match value.get("success_ppm") {
+        None => None,
+        Some(x) => Some(
+            x.as_i64()
+                .ok_or_else(|| shape("field `success_ppm` must be an integer"))?,
+        ),
+    };
+    Ok(Summary {
+        swaps: u64_field(value, "swaps")?,
+        depth: u64_field(value, "depth")?,
+        qops: u64_field(value, "qops")?,
+        initial_layout: parse_layout(value, "initial_layout")?,
+        final_layout: parse_layout(value, "final_layout")?,
+        fingerprint: str_field(value, "fingerprint")?,
+        pipeline: str_field(value, "pipeline")?,
+        pass_seconds: passes,
+        seconds: f64_field(value, "seconds")?,
+        queue_seconds: f64_field(value, "queue_seconds")?,
+        seq: u64_field(value, "seq")?,
+        verified: bool_field(value, "verified")?,
+        success_ppm,
+    })
+}
+
+/// Parses one response frame.
+///
+/// # Errors
+///
+/// A typed [`ProtoError`], mirroring [`parse_request`]; arbitrary input
+/// never panics.
+pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
+    let value = decode_frame(line)?;
+    let op = str_field(&value, "op")?;
+    match op.as_str() {
+        "submitted" => Ok(Response::Submitted {
+            id: u64_field(&value, "id")?,
+        }),
+        "pending" => Ok(Response::Pending {
+            id: u64_field(&value, "id")?,
+            running: bool_field(&value, "running")?,
+        }),
+        "done" => Ok(Response::Done {
+            id: u64_field(&value, "id")?,
+            summary: parse_summary(field(&value, "summary")?)?,
+        }),
+        "failed" => Ok(Response::Failed {
+            id: u64_field(&value, "id")?,
+            message: str_field(&value, "message")?,
+        }),
+        "stats" => Ok(Response::Stats(StatsBody {
+            protocol: u64_field(&value, "protocol")?,
+            workers: u64_field(&value, "workers")?,
+            queue_depth: u64_field(&value, "queue_depth")?,
+            submitted: u64_field(&value, "submitted")?,
+            completed: u64_field(&value, "completed")?,
+            rejected: u64_field(&value, "rejected")?,
+            failed: u64_field(&value, "failed")?,
+            distance_hits: u64_field(&value, "distance_hits")?,
+            distance_misses: u64_field(&value, "distance_misses")?,
+            closure_hits: u64_field(&value, "closure_hits")?,
+            closure_misses: u64_field(&value, "closure_misses")?,
+        })),
+        "shutting-down" => Ok(Response::ShuttingDown {
+            pending: u64_field(&value, "pending")?,
+        }),
+        "error" => {
+            let code_text = str_field(&value, "code")?;
+            let code = ErrorCode::from_wire(&code_text)
+                .ok_or_else(|| shape(format!("unknown error code `{code_text}`")))?;
+            Ok(Response::Error {
+                code,
+                message: str_field(&value, "message")?,
+            })
+        }
+        other => Err(shape(format!("unknown response op `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn demo_summary() -> Summary {
+        Summary {
+            swaps: 12,
+            depth: 140,
+            qops: 512,
+            initial_layout: vec![3, 1, 2, 0],
+            final_layout: vec![0, 1, 2, 3],
+            fingerprint: "00ff13de00ff13de".to_string(),
+            pipeline: "weights → identity → qlosure".to_string(),
+            pass_seconds: vec![
+                ("analysis:weights".to_string(), 0.125),
+                ("routing:qlosure".to_string(), 0.5),
+            ],
+            seconds: 0.625,
+            queue_seconds: 0.0625,
+            seq: 7,
+            verified: true,
+            success_ppm: Some(912_345),
+        }
+    }
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Submit {
+                backend: "aspen16".to_string(),
+                mapper: "qlosure".to_string(),
+                qasm: "OPENQASM 2.0;\nqreg q[3];\ncx q[0], q[2];\n".to_string(),
+                priority: Priority::Interactive,
+                fidelity: true,
+            },
+            Request::Submit {
+                backend: "line:5".to_string(),
+                mapper: "sabre".to_string(),
+                qasm: "// tricky \"chars\" \\ in comments\n".to_string(),
+                priority: Priority::Batch,
+                fidelity: false,
+            },
+            Request::Poll { id: 0 },
+            Request::Poll {
+                id: u64::from(u32::MAX),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Submitted { id: 9 },
+            Response::Pending {
+                id: 9,
+                running: true,
+            },
+            Response::Pending {
+                id: 10,
+                running: false,
+            },
+            Response::Done {
+                id: 9,
+                summary: demo_summary(),
+            },
+            Response::Done {
+                id: 11,
+                summary: Summary {
+                    success_ppm: None,
+                    pass_seconds: Vec::new(),
+                    pipeline: String::new(),
+                    ..demo_summary()
+                },
+            },
+            Response::Failed {
+                id: 4,
+                message: "router exceeded the swap bound".to_string(),
+            },
+            Response::Stats(StatsBody {
+                protocol: PROTOCOL_VERSION,
+                workers: 8,
+                queue_depth: 3,
+                submitted: 100,
+                completed: 90,
+                rejected: 5,
+                failed: 2,
+                distance_hits: 1234,
+                distance_misses: 7,
+                closure_hits: 55,
+                closure_misses: 11,
+            }),
+            Response::ShuttingDown { pending: 2 },
+            Response::Error {
+                code: ErrorCode::UnknownBackend,
+                message: "no backend `eagle`".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        for request in all_requests() {
+            let line = encode_request(&request);
+            assert!(!line.contains('\n'), "one frame is one line: {line}");
+            assert_eq!(parse_request(&line).unwrap(), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        for response in all_responses() {
+            let line = encode_response(&response);
+            assert!(!line.contains('\n'), "one frame is one line: {line}");
+            assert_eq!(parse_response(&line).unwrap(), response, "{line}");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let line = encode_request(&Request::Stats).replace(
+            &format!("\"v\":{PROTOCOL_VERSION}"),
+            &format!("\"v\":{}", PROTOCOL_VERSION + 41),
+        );
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!(
+            err,
+            ProtoError::Version {
+                got: PROTOCOL_VERSION + 41
+            }
+        );
+        assert_eq!(err.code(), ErrorCode::VersionMismatch);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_parsing() {
+        let line = format!(
+            "{{\"v\":1,\"op\":\"submit\",\"qasm\":\"{}\"",
+            "x".repeat(MAX_FRAME)
+        );
+        let err = parse_request(&line).unwrap_err();
+        assert!(matches!(err, ProtoError::Oversized { len } if len > MAX_FRAME));
+        assert_eq!(err.code(), ErrorCode::Oversized);
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        for (line, want_code) in [
+            ("", ErrorCode::BadRequest),
+            ("not json", ErrorCode::BadRequest),
+            ("42", ErrorCode::BadRequest),
+            ("{}", ErrorCode::BadRequest),
+            ("{\"op\":\"stats\"}", ErrorCode::BadRequest), // missing v
+            ("{\"v\":1}", ErrorCode::BadRequest),          // missing op
+            ("{\"v\":1,\"op\":\"frobnicate\"}", ErrorCode::BadRequest),
+            ("{\"v\":1,\"op\":\"poll\"}", ErrorCode::BadRequest), // missing id
+            ("{\"v\":1,\"op\":\"poll\",\"id\":-1}", ErrorCode::BadRequest),
+            (
+                "{\"v\":1,\"op\":\"poll\",\"id\":1.5}",
+                ErrorCode::BadRequest,
+            ),
+            ("{\"v\":2,\"op\":\"stats\"}", ErrorCode::VersionMismatch),
+            ("{\"v\":\"1\",\"op\":\"stats\"}", ErrorCode::BadRequest),
+        ] {
+            let err =
+                parse_request(line).expect_err(&format!("`{line}` must not parse as a request"));
+            assert_eq!(err.code(), want_code, "line: {line}");
+            let err =
+                parse_response(line).expect_err(&format!("`{line}` must not parse as a response"));
+            assert_eq!(err.code(), want_code, "line: {line}");
+        }
+        // A submit with an unknown priority is a shape error.
+        let line = "{\"v\":1,\"op\":\"submit\",\"backend\":\"b\",\"mapper\":\"m\",\
+                    \"qasm\":\"\",\"priority\":\"urgent\",\"fidelity\":false}";
+        assert_eq!(
+            parse_request(line).unwrap_err().code(),
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn truncated_frames_never_panic() {
+        for message in all_requests().iter().map(encode_request) {
+            for cut in 0..message.len() {
+                if message.is_char_boundary(cut) {
+                    let _ = parse_request(&message[..cut]);
+                }
+            }
+        }
+        for message in all_responses().iter().map(encode_response) {
+            // Responses are long; probe a sample of prefixes.
+            for cut in (0..message.len()).step_by(7) {
+                if message.is_char_boundary(cut) {
+                    let _ = parse_response(&message[..cut]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_codes_round_trip_their_spelling() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::VersionMismatch,
+            ErrorCode::Oversized,
+            ErrorCode::UnknownBackend,
+            ErrorCode::UnknownMapper,
+            ErrorCode::QasmError,
+            ErrorCode::DeviceTooSmall,
+            ErrorCode::QueueFull,
+            ErrorCode::UnknownId,
+            ErrorCode::ShuttingDown,
+            ErrorCode::MappingFailed,
+        ] {
+            assert_eq!(ErrorCode::from_wire(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_wire("no-such-code"), None);
+        assert_eq!(
+            Priority::from_wire("interactive"),
+            Some(Priority::Interactive)
+        );
+        assert_eq!(Priority::from_wire("batch"), Some(Priority::Batch));
+        assert_eq!(Priority::from_wire("urgent"), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! Decoding submit requests into schedulable jobs: name→mapper and
+//! name→device resolution plus QASM conversion, with every failure mapped
+//! to a typed [`ErrorCode`].
+
+use crate::intake::JobSpec;
+use crate::proto::{ErrorCode, Priority};
+use circuit::Circuit;
+use qlosure::{Mapper, QlosureMapper};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use topology::{backends, CouplingGraph, NoiseModel};
+
+/// Seed of the deterministic synthetic calibration used for opt-in
+/// fidelity estimation: every request against the same device sees the
+/// same noise model, so `success_ppm` is reproducible.
+pub const NOISE_SEED: u64 = 0x00CA_11B8;
+
+/// Median two-qubit error rate of the synthetic calibration (the same
+/// Eagle-like figure the `noise_aware` example uses).
+pub const NOISE_MEDIAN_2Q: f64 = 7e-3;
+
+/// Resolves a mapper by its roster name.
+pub fn mapper_by_name(name: &str) -> Option<Arc<dyn Mapper + Send + Sync>> {
+    use baselines::{CirqMapper, QmapMapper, SabreMapper, TketMapper};
+    match name {
+        "qlosure" => Some(Arc::new(QlosureMapper::default())),
+        "sabre" => Some(Arc::new(SabreMapper::default())),
+        "qmap" => Some(Arc::new(QmapMapper::default())),
+        "cirq" => Some(Arc::new(CirqMapper::default())),
+        "tket" => Some(Arc::new(TketMapper::default())),
+        _ => None,
+    }
+}
+
+/// Mapper names accepted by [`mapper_by_name`] (for error messages).
+pub const MAPPER_NAMES: [&str; 5] = ["sabre", "qmap", "cirq", "tket", "qlosure"];
+
+/// Resolves a device by name through a process-wide memo, so every
+/// request against the same backend shares one adjacency/neighbor
+/// allocation (the distance matrix is shared separately through
+/// `CouplingGraph::shared_distances`).
+pub fn shared_device(name: &str) -> Option<Arc<CouplingGraph>> {
+    static MEMO: OnceLock<Mutex<HashMap<String, Arc<CouplingGraph>>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(Default::default);
+    if let Some(hit) = memo.lock().expect("device memo poisoned").get(name) {
+        return Some(hit.clone());
+    }
+    // Build outside the lock; concurrent duplicate builds are cheap and
+    // the entry API keeps the first insertion.
+    let built = Arc::new(backends::by_name(name)?);
+    Some(
+        memo.lock()
+            .expect("device memo poisoned")
+            .entry(name.to_string())
+            .or_insert(built)
+            .clone(),
+    )
+}
+
+/// Decodes a submit request into a [`JobSpec`].
+///
+/// # Errors
+///
+/// Typed `(code, message)` pairs: [`ErrorCode::UnknownBackend`],
+/// [`ErrorCode::UnknownMapper`], [`ErrorCode::QasmError`] (parse or
+/// conversion), or [`ErrorCode::DeviceTooSmall`] — all detected here at
+/// admission so a worker never panics on malformed input.
+pub fn decode_submit(
+    backend: &str,
+    mapper: &str,
+    qasm_src: &str,
+    priority: Priority,
+    fidelity: bool,
+) -> Result<JobSpec, (ErrorCode, String)> {
+    let device = shared_device(backend).ok_or_else(|| {
+        (
+            ErrorCode::UnknownBackend,
+            format!("no backend named `{backend}`"),
+        )
+    })?;
+    let mapper = mapper_by_name(mapper).ok_or_else(|| {
+        (
+            ErrorCode::UnknownMapper,
+            format!(
+                "no mapper named `{mapper}` (expected one of {})",
+                MAPPER_NAMES.join(", ")
+            ),
+        )
+    })?;
+    let program = qasm::parse(qasm_src)
+        .map_err(|e| (ErrorCode::QasmError, format!("QASM parse error: {e}")))?;
+    let circuit = Circuit::from_qasm(&program)
+        .map_err(|e| (ErrorCode::QasmError, format!("QASM conversion error: {e}")))?;
+    if circuit.n_qubits() > device.n_qubits() {
+        return Err((
+            ErrorCode::DeviceTooSmall,
+            format!(
+                "circuit needs {} qubits but `{}` has {}",
+                circuit.n_qubits(),
+                device.name(),
+                device.n_qubits()
+            ),
+        ));
+    }
+    let noise = fidelity.then(|| NoiseModel::synthetic(&device, NOISE_MEDIAN_2Q, NOISE_SEED));
+    Ok(JobSpec {
+        circuit: Arc::new(circuit),
+        device,
+        mapper,
+        priority,
+        noise,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GHZ: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n\
+                       h q[0];\ncx q[0], q[1];\ncx q[0], q[2];\n";
+
+    #[test]
+    fn decode_accepts_a_valid_submission() {
+        let spec = decode_submit("aspen16", "qlosure", GHZ, Priority::Batch, true).unwrap();
+        assert_eq!(spec.circuit.n_qubits(), 3);
+        assert_eq!(spec.device.n_qubits(), 16);
+        assert_eq!(spec.mapper.name(), "qlosure");
+        assert!(spec.noise.is_some());
+        let without = decode_submit("aspen16", "sabre", GHZ, Priority::Interactive, false).unwrap();
+        assert!(without.noise.is_none());
+    }
+
+    #[test]
+    fn decode_failures_are_typed() {
+        let code = |r: Result<JobSpec, (ErrorCode, String)>| r.unwrap_err().0;
+        assert_eq!(
+            code(decode_submit(
+                "eagle",
+                "qlosure",
+                GHZ,
+                Priority::Batch,
+                false
+            )),
+            ErrorCode::UnknownBackend
+        );
+        assert_eq!(
+            code(decode_submit(
+                "aspen16",
+                "magic",
+                GHZ,
+                Priority::Batch,
+                false
+            )),
+            ErrorCode::UnknownMapper
+        );
+        assert_eq!(
+            code(decode_submit(
+                "aspen16",
+                "qlosure",
+                "qreg q[",
+                Priority::Batch,
+                false
+            )),
+            ErrorCode::QasmError
+        );
+        let big = "OPENQASM 2.0;\nqreg q[40];\ncx q[0], q[39];\n";
+        assert_eq!(
+            code(decode_submit(
+                "aspen16",
+                "qlosure",
+                big,
+                Priority::Batch,
+                false
+            )),
+            ErrorCode::DeviceTooSmall
+        );
+    }
+
+    #[test]
+    fn every_roster_mapper_resolves() {
+        for name in MAPPER_NAMES {
+            let mapper = mapper_by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert_eq!(mapper.name(), name);
+        }
+        assert!(mapper_by_name("").is_none());
+    }
+
+    #[test]
+    fn shared_device_memoizes_per_name() {
+        let a = shared_device("king9").unwrap();
+        let b = shared_device("king9").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(shared_device("not-a-device").is_none());
+    }
+}

@@ -213,6 +213,53 @@ pub fn sycamore54() -> CouplingGraph {
     CouplingGraph::new("sycamore_54", rows * cols, &edges)
 }
 
+/// Upper bound on qubit counts accepted by [`by_name`]'s parametric forms,
+/// so a device name arriving over a wire cannot request an absurd
+/// allocation.
+const BY_NAME_MAX_QUBITS: usize = 4096;
+
+/// Resolves an evaluation back-end by its roster name, or a parametric
+/// test topology.
+///
+/// Roster names: `sherbrooke`, `ankaa3`, `sherbrooke2x`, `king9`,
+/// `king16`, `aspen16`, `sycamore54`. Parametric forms (for tests and
+/// service requests): `line:<n>`, `ring:<n>`, `king:<rows>x<cols>` — with
+/// qubit counts capped at 4096 so untrusted request decoding cannot
+/// trigger huge allocations. Returns `None` for unknown names or
+/// out-of-range parameters; this is the one name→device decoder shared by
+/// the bench harness and the mapping service.
+pub fn by_name(name: &str) -> Option<CouplingGraph> {
+    let parse_n = |s: &str| {
+        s.parse::<usize>()
+            .ok()
+            .filter(|&n| (2..=BY_NAME_MAX_QUBITS).contains(&n))
+    };
+    if let Some(rest) = name.strip_prefix("line:") {
+        return parse_n(rest).map(line);
+    }
+    if let Some(rest) = name.strip_prefix("ring:") {
+        return parse_n(rest).map(ring);
+    }
+    if let Some(rest) = name.strip_prefix("king:") {
+        let (r, c) = rest.split_once('x')?;
+        let (rows, cols) = (parse_n(r)?, parse_n(c)?);
+        if rows * cols > BY_NAME_MAX_QUBITS {
+            return None;
+        }
+        return Some(king_grid(rows, cols));
+    }
+    match name {
+        "sherbrooke" => Some(sherbrooke()),
+        "ankaa3" => Some(ankaa3()),
+        "sherbrooke2x" => Some(sherbrooke_2x()),
+        "king9" => Some(king_grid(9, 9)),
+        "king16" => Some(king_grid(16, 16)),
+        "aspen16" => Some(aspen16()),
+        "sycamore54" => Some(sycamore54()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +347,40 @@ mod tests {
         assert_eq!(g.n_qubits(), 54);
         assert!(g.is_connected());
         assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn by_name_resolves_roster_and_parametric_forms() {
+        for name in [
+            "sherbrooke",
+            "ankaa3",
+            "sherbrooke2x",
+            "king9",
+            "king16",
+            "aspen16",
+            "sycamore54",
+        ] {
+            let g = by_name(name).unwrap_or_else(|| panic!("roster name {name} must resolve"));
+            assert!(g.n_qubits() >= 16);
+        }
+        assert_eq!(by_name("line:7").unwrap().n_qubits(), 7);
+        assert_eq!(by_name("ring:12").unwrap().n_edges(), 12);
+        assert_eq!(by_name("king:3x4").unwrap().n_qubits(), 12);
+        // Unknown names, malformed parameters and oversized requests are
+        // all `None`, never a panic — this decoder faces the wire.
+        for bad in [
+            "eagle",
+            "line:",
+            "line:1",
+            "line:abc",
+            "line:99999",
+            "king:3",
+            "king:0x4",
+            "king:100x100",
+            "",
+        ] {
+            assert!(by_name(bad).is_none(), "`{bad}` must not resolve");
+        }
     }
 
     #[test]

@@ -95,7 +95,6 @@ impl DistanceCache {
     /// (hits, misses) so far. A "miss" is an actual BFS computation; a
     /// "hit" is any call that reused an already-computed matrix (including
     /// calls that blocked while another thread computed it).
-    #[cfg(test)]
     pub(crate) fn stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -109,6 +108,12 @@ static GLOBAL: OnceLock<DistanceCache> = OnceLock::new();
 /// The global cache consulted by [`CouplingGraph::shared_distances`].
 pub(crate) fn global() -> &'static DistanceCache {
     GLOBAL.get_or_init(DistanceCache::new)
+}
+
+/// (hits, misses) of the global cache — the backing of
+/// [`crate::shared_distance_stats`].
+pub(crate) fn global_stats() -> (u64, u64) {
+    global().stats()
 }
 
 #[cfg(test)]
@@ -212,5 +217,18 @@ mod tests {
         let b = g.shared_distances();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(*a, g.distances());
+    }
+
+    #[test]
+    fn public_stats_observe_global_traffic() {
+        // The global counters are shared with every concurrently running
+        // test, so only monotonicity and attributable growth are asserted.
+        let g = backends::king_grid(3, 5);
+        let (h0, m0) = crate::shared_distance_stats();
+        g.shared_distances();
+        g.shared_distances();
+        let (h1, m1) = crate::shared_distance_stats();
+        assert!(h1 + m1 >= h0 + m0 + 2, "two lookups must be counted");
+        assert!(h1 >= h0 && m1 >= m0, "counters never decrease");
     }
 }

@@ -38,3 +38,15 @@ mod noise;
 
 pub use graph::{CouplingGraph, DistanceMatrix};
 pub use noise::NoiseModel;
+
+/// `(hits, misses)` counters of the process-wide shared distance cache
+/// behind [`CouplingGraph::shared_distances`].
+///
+/// A *miss* is an actual all-pairs BFS computation; a *hit* is any call
+/// that reused an already-computed matrix (including calls that blocked
+/// while another thread computed it). The counters are cumulative over the
+/// process lifetime — long-lived consumers (the mapping service) report
+/// deltas across requests to make cross-request amortization observable.
+pub fn shared_distance_stats() -> (u64, u64) {
+    cache::global_stats()
+}

@@ -351,6 +351,216 @@ fn qasm_round_trip_is_fixed_point_on_qasmbench_corpus() {
     }
 }
 
+// ---------- Service wire protocol ----------
+
+/// Strategy: strings salted with every character class the wire encoder
+/// must escape — quotes, backslashes, control characters, non-ASCII,
+/// astral-plane code points.
+fn arb_wire_string() -> impl Strategy<Value = String> {
+    prop::collection::vec((0u8..8, 0u32..0x11_0000), 0..16).prop_map(|picks| {
+        picks
+            .into_iter()
+            .map(|(class, raw)| match class {
+                0 => '"',
+                1 => '\\',
+                2 => '\n',
+                3 => '\u{0}',
+                4 => '\t',
+                5 => '🦀',
+                _ => char::from_u32(raw).unwrap_or('\u{FFFD}'),
+            })
+            .collect()
+    })
+}
+
+/// Strategy: finite floats (timings); Rust's shortest-roundtrip `Display`
+/// makes every one of them an exact encode→parse fixed point.
+fn arb_seconds() -> impl Strategy<Value = f64> {
+    (0u64..4_000_000_000).prop_map(|x| x as f64 / 1024.0)
+}
+
+fn arb_request() -> impl Strategy<Value = service::Request> {
+    use service::{Priority, Request};
+    (
+        0u8..4,
+        arb_wire_string(),
+        arb_wire_string(),
+        arb_wire_string(),
+        0u64..(1 << 53),
+        (0u8..2, 0u8..2),
+    )
+        .prop_map(
+            |(op, backend, mapper, qasm, id, (priority, fidelity))| match op {
+                0 => Request::Submit {
+                    backend,
+                    mapper,
+                    qasm,
+                    priority: if priority == 0 {
+                        Priority::Interactive
+                    } else {
+                        Priority::Batch
+                    },
+                    fidelity: fidelity == 0,
+                },
+                1 => Request::Poll { id },
+                2 => Request::Stats,
+                _ => Request::Shutdown,
+            },
+        )
+}
+
+fn arb_summary() -> impl Strategy<Value = service::Summary> {
+    (
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        prop::collection::vec(0u32..4096, 0..12),
+        prop::collection::vec(0u32..4096, 0..12),
+        arb_wire_string(),
+        prop::collection::vec((arb_wire_string(), arb_seconds()), 0..4),
+        (arb_seconds(), arb_seconds(), 0u8..2, 0u8..3),
+    )
+        .prop_map(
+            |(
+                (swaps, depth, qops, seq),
+                initial_layout,
+                final_layout,
+                pipeline,
+                pass_seconds,
+                (seconds, queue_seconds, verified, ppm),
+            )| {
+                service::Summary {
+                    swaps,
+                    depth,
+                    qops,
+                    initial_layout,
+                    final_layout,
+                    fingerprint: format!("{:016x}", swaps.wrapping_mul(0x9E37_79B9)),
+                    pipeline,
+                    pass_seconds,
+                    seconds,
+                    queue_seconds,
+                    seq,
+                    verified: verified == 0,
+                    success_ppm: match ppm {
+                        0 => None,
+                        1 => Some(0),
+                        _ => Some(1_000_000),
+                    },
+                }
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = service::Response> {
+    use service::{ErrorCode, Response, StatsBody};
+    (
+        0u8..7,
+        0u64..(1 << 53),
+        arb_wire_string(),
+        arb_summary(),
+        (0u8..2, 0u8..11),
+        prop::collection::vec(0u64..(1 << 50), 11),
+    )
+        .prop_map(
+            |(kind, id, text, summary, (running, code), counters)| match kind {
+                0 => Response::Submitted { id },
+                1 => Response::Pending {
+                    id,
+                    running: running == 0,
+                },
+                2 => Response::Done { id, summary },
+                3 => Response::Failed { id, message: text },
+                4 => Response::Stats(StatsBody {
+                    protocol: counters[0],
+                    workers: counters[1],
+                    queue_depth: counters[2],
+                    submitted: counters[3],
+                    completed: counters[4],
+                    rejected: counters[5],
+                    failed: counters[6],
+                    distance_hits: counters[7],
+                    distance_misses: counters[8],
+                    closure_hits: counters[9],
+                    closure_misses: counters[10],
+                }),
+                5 => Response::ShuttingDown { pending: id },
+                _ => Response::Error {
+                    code: [
+                        ErrorCode::BadRequest,
+                        ErrorCode::VersionMismatch,
+                        ErrorCode::Oversized,
+                        ErrorCode::UnknownBackend,
+                        ErrorCode::UnknownMapper,
+                        ErrorCode::QasmError,
+                        ErrorCode::DeviceTooSmall,
+                        ErrorCode::QueueFull,
+                        ErrorCode::UnknownId,
+                        ErrorCode::ShuttingDown,
+                        ErrorCode::MappingFailed,
+                    ][code as usize],
+                    message: text,
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64).with_seed(0x0051_EC05_3319_E0F1))]
+
+    #[test]
+    fn wire_request_encode_parse_is_fixed_point(request in arb_request()) {
+        let line = service::proto::encode_request(&request);
+        prop_assert!(!line.contains('\n'), "one frame is one line");
+        prop_assert_eq!(service::proto::parse_request(&line).unwrap(), request);
+    }
+
+    #[test]
+    fn wire_response_encode_parse_is_fixed_point(response in arb_response()) {
+        let line = service::proto::encode_response(&response);
+        prop_assert!(!line.contains('\n'), "one frame is one line");
+        prop_assert_eq!(service::proto::parse_response(&line).unwrap(), response);
+    }
+
+    #[test]
+    fn wire_truncated_frames_error_without_panicking(
+        request in arb_request(),
+        cut_permille in 0u32..1000,
+    ) {
+        // Truncation at an arbitrary *byte* offset (not a char boundary):
+        // the bytes go through lossy UTF-8 recovery like any socket read.
+        let line = service::proto::encode_request(&request);
+        let cut = (line.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+        let truncated = String::from_utf8_lossy(&line.as_bytes()[..cut]);
+        if cut < line.len() {
+            prop_assert!(service::proto::parse_request(&truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn wire_garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..160)) {
+        let text = String::from_utf8_lossy(&bytes);
+        // Typed error or (vanishingly unlikely) success — never a panic.
+        let _ = service::proto::parse_request(&text);
+        let _ = service::proto::parse_response(&text);
+    }
+
+    #[test]
+    fn wire_single_byte_corruption_never_panics(
+        response in arb_response(),
+        at_permille in 0u32..1000,
+        flip in 1u8..=255,
+    ) {
+        let line = service::proto::encode_response(&response);
+        let mut bytes = line.into_bytes();
+        if !bytes.is_empty() {
+            let at = (bytes.len() as u64 * u64::from(at_permille) / 1000) as usize;
+            let at = at.min(bytes.len() - 1);
+            bytes[at] ^= flip;
+        }
+        let corrupted = String::from_utf8_lossy(&bytes);
+        let _ = service::proto::parse_response(&corrupted);
+    }
+}
+
 // ---------- Smoke subset (fixed inputs, milliseconds) ----------
 //
 // One representative fixed case per property family. `cargo test --test
@@ -440,4 +650,48 @@ fn smoke_queko_fixed_spec() {
             ));
         }
     }
+}
+
+#[test]
+fn smoke_wire_protocol_fixed_cases() {
+    use service::proto::{self, ProtoError};
+    use service::{ErrorCode, Priority, Request, Response};
+    // Encode→parse fixed point on one fixed frame per direction.
+    let request = Request::Submit {
+        backend: "aspen16".to_string(),
+        mapper: "qlosure".to_string(),
+        qasm: "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[1];\n".to_string(),
+        priority: Priority::Interactive,
+        fidelity: true,
+    };
+    let line = proto::encode_request(&request);
+    assert_eq!(proto::parse_request(&line).unwrap(), request);
+    let response = Response::Error {
+        code: ErrorCode::QueueFull,
+        message: "admission queue full (5 jobs, capacity 5)".to_string(),
+    };
+    assert_eq!(
+        proto::parse_response(&proto::encode_response(&response)).unwrap(),
+        response
+    );
+    // Malformed, truncated and version-skewed frames: typed errors.
+    for bad in [
+        "",
+        "{",
+        "nonsense",
+        "{\"v\":1}",
+        "{\"v\":7,\"op\":\"stats\"}",
+    ] {
+        assert!(proto::parse_request(bad).is_err(), "`{bad}` must error");
+    }
+    assert!(proto::parse_request(&line[..line.len() / 2]).is_err());
+    // Oversized frame: rejected before parsing with the typed code.
+    let huge = format!(
+        "{{\"v\":1,\"op\":\"stats\",\"pad\":\"{}\"}}",
+        "x".repeat(proto::MAX_FRAME)
+    );
+    assert!(matches!(
+        proto::parse_request(&huge).unwrap_err(),
+        ProtoError::Oversized { .. }
+    ));
 }

@@ -1,0 +1,326 @@
+//! Integration suite for the `qlosure-service` daemon: full socket round
+//! trips against a live in-process `qlosured`, the determinism pin
+//! (single-worker service results are bit-for-bit identical to direct
+//! `Mapper::map`), priority scheduling, typed protocol errors, and
+//! graceful drain-on-shutdown.
+
+use service::proto::{encode_request, parse_response, Request, Response};
+use service::{
+    result_fingerprint, Client, ClientError, DaemonConfig, DaemonHandle, ErrorCode, Priority,
+    ServiceConfig,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Spawns a daemon on a unique temp socket.
+fn daemon(tag: &str, workers: usize) -> DaemonHandle {
+    daemon_with(tag, workers, 256, 1024)
+}
+
+fn daemon_with(tag: &str, workers: usize, queue: usize, results: usize) -> DaemonHandle {
+    let socket =
+        std::env::temp_dir().join(format!("qlosured-test-{tag}-{}.sock", std::process::id()));
+    service::daemon::spawn(DaemonConfig {
+        socket,
+        service: ServiceConfig {
+            workers,
+            queue_capacity: queue,
+            results_capacity: results,
+        },
+    })
+    .expect("daemon binds its socket")
+}
+
+/// QUEKO QASM on the named backend (the standard smoke workload).
+fn queko_qasm(backend: &str, depth: usize, seed: u64) -> String {
+    let device = topology::backends::by_name(backend).expect("backend resolves");
+    let bench = queko::QuekoSpec::new(&device, depth).seed(seed).generate();
+    qasm::emit(&bench.circuit.to_qasm())
+}
+
+const WAIT: Duration = Duration::from_secs(120);
+
+#[test]
+fn submit_wait_roundtrip_returns_a_verified_summary() {
+    let daemon = daemon("roundtrip", 2);
+    let mut client = Client::connect(&daemon.socket).unwrap();
+    let qasm_src = queko_qasm("aspen16", 20, 7);
+    let id = client
+        .submit(
+            "aspen16",
+            "qlosure",
+            &qasm_src,
+            Priority::Interactive,
+            false,
+        )
+        .unwrap();
+    let summary = client.wait(id, WAIT).unwrap();
+    assert!(summary.verified);
+    assert_eq!(summary.pipeline, "weights → identity → qlosure");
+    assert_eq!(summary.initial_layout.len(), 16);
+    assert_eq!(summary.final_layout.len(), 16);
+    assert!(summary.queue_seconds >= 0.0 && summary.seconds >= 0.0);
+    assert!(summary
+        .pass_seconds
+        .iter()
+        .any(|(label, _)| label == "routing:qlosure"));
+    assert_eq!(summary.success_ppm, None, "fidelity is opt-in");
+    // Stats reflect the completed job and carry the cache counters.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.protocol, service::PROTOCOL_VERSION);
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn single_worker_service_matches_direct_map_bit_for_bit() {
+    // The acceptance pin: an ENGINE_THREADS=1-equivalent service (one
+    // worker) must produce results bit-for-bit identical to calling
+    // `Mapper::map` directly on the same inputs, fingerprints included.
+    let daemon = daemon("bitforbit", 1);
+    let mut client = Client::connect(&daemon.socket).unwrap();
+    for (mapper_name, depth, seed) in [
+        ("qlosure", 30, 0),
+        ("qlosure", 60, 1),
+        ("sabre", 30, 2),
+        ("tket", 30, 3),
+    ] {
+        let device = topology::backends::by_name("aspen16").unwrap();
+        let bench = queko::QuekoSpec::new(&device, depth).seed(seed).generate();
+        let qasm_src = qasm::emit(&bench.circuit.to_qasm());
+        let id = client
+            .submit("aspen16", mapper_name, &qasm_src, Priority::Batch, false)
+            .unwrap();
+        let summary = client.wait(id, WAIT).unwrap();
+
+        // Direct, in-process reference on the *same* decoded circuit: the
+        // QASM round trip is a parse→emit fixed point (pinned by the
+        // corpus property suite), so re-parsing here reproduces the
+        // daemon's input exactly.
+        let program = qasm::parse(&qasm_src).unwrap();
+        let circuit = circuit::Circuit::from_qasm(&program).unwrap();
+        let direct = service::registry::mapper_by_name(mapper_name)
+            .unwrap()
+            .map(&circuit, &device);
+
+        assert_eq!(summary.swaps, direct.swaps as u64, "{mapper_name}-d{depth}");
+        assert_eq!(summary.depth, direct.routed.depth() as u64);
+        assert_eq!(summary.qops, direct.routed.qop_count() as u64);
+        assert_eq!(summary.initial_layout, direct.initial_layout);
+        assert_eq!(summary.final_layout, direct.final_layout);
+        assert_eq!(
+            summary.fingerprint,
+            format!("{:016x}", result_fingerprint(&direct)),
+            "{mapper_name}-d{depth}: full-result fingerprint must match"
+        );
+    }
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn interactive_requests_overtake_queued_batch_work() {
+    let daemon = daemon("priority", 1);
+    let mut client = Client::connect(&daemon.socket).unwrap();
+    // A slow job pins the single worker; batch jobs queue behind it; a
+    // late interactive job must finish before the earlier batch tail.
+    let slow = client
+        .submit(
+            "king9",
+            "qlosure",
+            &queko_qasm("king9", 150, 1),
+            Priority::Batch,
+            false,
+        )
+        .unwrap();
+    let batch: Vec<u64> = (0..4)
+        .map(|seed| {
+            client
+                .submit(
+                    "aspen16",
+                    "qlosure",
+                    &queko_qasm("aspen16", 15, 10 + seed),
+                    Priority::Batch,
+                    false,
+                )
+                .unwrap()
+        })
+        .collect();
+    let interactive = client
+        .submit(
+            "aspen16",
+            "qlosure",
+            &queko_qasm("aspen16", 15, 99),
+            Priority::Interactive,
+            false,
+        )
+        .unwrap();
+    let interactive_seq = client.wait(interactive, WAIT).unwrap().seq;
+    let last_batch_seq = client.wait(*batch.last().unwrap(), WAIT).unwrap().seq;
+    assert!(
+        interactive_seq < last_batch_seq,
+        "interactive seq {interactive_seq} must beat the batch tail seq {last_batch_seq}"
+    );
+    client.wait(slow, WAIT).unwrap();
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn fidelity_opt_in_adds_success_ppm_over_the_wire() {
+    let daemon = daemon("fidelity", 2);
+    let mut client = Client::connect(&daemon.socket).unwrap();
+    let qasm_src = queko_qasm("aspen16", 20, 4);
+    let with = client
+        .submit("aspen16", "qlosure", &qasm_src, Priority::Batch, true)
+        .unwrap();
+    let summary = client.wait(with, WAIT).unwrap();
+    let ppm = summary.success_ppm.expect("opt-in reports success_ppm");
+    assert!((1..=1_000_000).contains(&ppm), "got {ppm}");
+    assert!(summary.pipeline.ends_with("fidelity"));
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn typed_errors_for_bad_submissions_and_unknown_ids() {
+    let daemon = daemon("typed-errors", 1);
+    let mut client = Client::connect(&daemon.socket).unwrap();
+    let expect_code = |result: Result<u64, ClientError>, want: ErrorCode| match result {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, want),
+        other => panic!("expected server error {want:?}, got {other:?}"),
+    };
+    let ghz = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncx q[0], q[2];\n";
+    expect_code(
+        client.submit("eagle-9000", "qlosure", ghz, Priority::Batch, false),
+        ErrorCode::UnknownBackend,
+    );
+    expect_code(
+        client.submit("aspen16", "magic", ghz, Priority::Batch, false),
+        ErrorCode::UnknownMapper,
+    );
+    expect_code(
+        client.submit("aspen16", "qlosure", "qreg q[", Priority::Batch, false),
+        ErrorCode::QasmError,
+    );
+    expect_code(
+        client.submit(
+            "line:3",
+            "qlosure",
+            "OPENQASM 2.0;\nqreg q[9];\ncx q[0], q[8];\n",
+            Priority::Batch,
+            false,
+        ),
+        ErrorCode::DeviceTooSmall,
+    );
+    match client.poll(12345).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownId),
+        other => panic!("expected unknown-id, got {other:?}"),
+    }
+    // The connection survived five rejected requests.
+    assert_eq!(client.stats().unwrap().submitted, 0);
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn version_mismatch_and_malformed_frames_are_rejected_politely() {
+    let daemon = daemon("rawframes", 1);
+    let stream = UnixStream::connect(&daemon.socket).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut roundtrip = |line: &str| -> Response {
+        writer.write_all(format!("{line}\n").as_bytes()).unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        parse_response(reply.trim_end()).unwrap()
+    };
+    // Wrong protocol version → typed version-mismatch (the ROADMAP rule).
+    let mismatched = encode_request(&Request::Stats).replace("\"v\":1", "\"v\":9");
+    match roundtrip(&mismatched) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::VersionMismatch),
+        other => panic!("expected version mismatch, got {other:?}"),
+    }
+    // Garbage → bad-request, and the connection keeps serving.
+    match roundtrip("this is not json") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected bad-request, got {other:?}"),
+    }
+    match roundtrip(&encode_request(&Request::Stats)) {
+        Response::Stats(stats) => assert_eq!(stats.submitted, 0),
+        other => panic!("expected stats after recovery, got {other:?}"),
+    }
+    drop((reader, writer));
+    let mut client = Client::connect(&daemon.socket).unwrap();
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_jobs_and_removes_the_socket() {
+    let daemon = daemon("drain", 1);
+    let socket = daemon.socket.clone();
+    let mut client = Client::connect(&socket).unwrap();
+    let ids: Vec<u64> = (0..3)
+        .map(|seed| {
+            client
+                .submit(
+                    "aspen16",
+                    "qlosure",
+                    &queko_qasm("aspen16", 40, seed),
+                    Priority::Batch,
+                    false,
+                )
+                .unwrap()
+        })
+        .collect();
+    // Shut down while jobs are still queued/running.
+    let pending = client.shutdown().unwrap();
+    assert!(pending >= 1, "shutdown acknowledged with work in flight");
+    let stats = daemon.join().unwrap();
+    assert_eq!(
+        stats.completed,
+        ids.len() as u64,
+        "every admitted job drains before exit"
+    );
+    assert_eq!(stats.failed, 0);
+    assert!(!socket.exists(), "socket file is removed on exit");
+    // Late clients are refused outright (connection refused / not found).
+    assert!(Client::connect(&socket).is_err());
+}
+
+#[test]
+fn full_admission_queue_rejects_with_queue_full() {
+    // Single worker, admission bound of 1: the slow job occupies the
+    // worker, one more parks in the engine buffer/queue, and pushing
+    // enough extra jobs must eventually hit a typed queue-full rejection.
+    let daemon = daemon_with("queuefull", 1, 1, 64);
+    let mut client = Client::connect(&daemon.socket).unwrap();
+    let slow = queko_qasm("king9", 120, 3);
+    let quick = queko_qasm("aspen16", 10, 1);
+    client
+        .submit("king9", "qlosure", &slow, Priority::Batch, false)
+        .unwrap();
+    let mut saw_queue_full = false;
+    for _ in 0..8 {
+        match client.submit("aspen16", "qlosure", &quick, Priority::Batch, false) {
+            Ok(_) => continue,
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::QueueFull);
+                saw_queue_full = true;
+                break;
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    assert!(
+        saw_queue_full,
+        "8 rapid submissions over a capacity-1 queue must trip admission"
+    );
+    assert!(client.stats().unwrap().rejected >= 1);
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
