@@ -159,7 +159,7 @@ impl QlosureMapper {
         device: &CouplingGraph,
         noise: &topology::NoiseModel,
     ) -> MappingResult {
-        let dist = noise.weighted_distances(device);
+        let dist = noise.shared_weighted_distances(device);
         let pipeline = MappingPipeline::new(
             IdentityLayoutPass,
             QlosureRoutingPass::new(self.config.clone()),

@@ -1,0 +1,242 @@
+//! Circuit clustering: cutting the gate stream into interaction clusters
+//! of logical qubits, guided by the `affine` transitive-dependence
+//! weights.
+//!
+//! The interaction graph accumulates, per logical qubit pair, the ω-mass
+//! of the two-qubit gates between them (`ω(g) + 1`, so even weight-zero
+//! tail gates attract). Clusters then grow greedily — heaviest unassigned
+//! qubit seeds a cluster, which repeatedly absorbs the unassigned qubit
+//! most strongly connected to it — up to a per-cluster capacity taken
+//! from the target regions. The result is the circuit half of the
+//! hierarchy: clusters map onto regions, and gates that stay inside a
+//! cluster route inside one region.
+
+use circuit::Circuit;
+use std::collections::HashMap;
+
+/// One interaction cluster of logical qubits.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// Member logical qubits in absorption order (seed first).
+    pub qubits: Vec<u32>,
+    /// Total ω-mass of the gates internal to the cluster plus its
+    /// members' qubit mass — the placement ordering key.
+    pub weight: u64,
+}
+
+/// The pairwise interaction weights of a circuit: `pair[(a, b)]` (with
+/// `a < b`) is the accumulated `ω(g) + 1` over two-qubit gates on that
+/// pair, and `qubit[q]` the per-qubit total.
+#[derive(Clone, Debug, Default)]
+pub struct InteractionWeights {
+    /// Accumulated pair mass, keyed `(min, max)`.
+    pub pair: HashMap<(u32, u32), u64>,
+    /// Per-qubit totals.
+    pub qubit: Vec<u64>,
+    /// First gate index touching each pair (temporal placement order).
+    pub first_gate: HashMap<(u32, u32), u32>,
+}
+
+impl InteractionWeights {
+    /// Accumulates the interaction graph of `circuit` under the per-gate
+    /// dependence `weights` (indexed by gate index; missing entries weigh
+    /// zero, as with non-two-qubit gates).
+    pub fn new(circuit: &Circuit, weights: &[u64]) -> Self {
+        let mut out = InteractionWeights {
+            pair: HashMap::new(),
+            qubit: vec![0; circuit.n_qubits()],
+            first_gate: HashMap::new(),
+        };
+        for (g, gate) in circuit.gates().iter().enumerate() {
+            if let Some((a, b)) = gate.qubit_pair() {
+                let w = weights.get(g).copied().unwrap_or(0) + 1;
+                let key = (a.min(b), a.max(b));
+                *out.pair.entry(key).or_insert(0) += w;
+                out.first_gate.entry(key).or_insert(g as u32);
+                out.qubit[a as usize] += w;
+                out.qubit[b as usize] += w;
+            }
+        }
+        out
+    }
+}
+
+/// Cuts the circuit's interacting qubits into at most `capacities.len()`
+/// clusters, cluster `i` capped at `capacities[i]` qubits (the last
+/// capacity is unbounded so the cluster count can never exceed the region
+/// count). Qubits that touch no two-qubit gate are left unclustered — the
+/// layout stage parks them on leftover slots.
+///
+/// Deterministic: seeds are the heaviest unassigned qubits (ties toward
+/// smaller index), growth absorbs the strongest-connected unassigned
+/// qubit (same tie rule).
+///
+/// # Panics
+///
+/// Panics if `capacities` is empty.
+pub fn cluster_qubits(iw: &InteractionWeights, capacities: &[usize]) -> Vec<Cluster> {
+    assert!(!capacities.is_empty(), "need at least one cluster slot");
+    let n = iw.qubit.len();
+    // Adjacency lists of the interaction graph, for O(deg) growth.
+    let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+    for (&(a, b), &w) in &iw.pair {
+        adj[a as usize].push((b, w));
+        adj[b as usize].push((a, w));
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+    }
+    let mut assigned = vec![false; n];
+    let mut interacting: Vec<u32> = (0..n as u32)
+        .filter(|&q| iw.qubit[q as usize] > 0)
+        .collect();
+    // Heaviest first, ties toward smaller index.
+    interacting.sort_by_key(|&q| (std::cmp::Reverse(iw.qubit[q as usize]), q));
+
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut cursor = 0usize;
+    for (slot, &cap) in capacities.iter().enumerate() {
+        // Seed: heaviest unassigned interacting qubit.
+        while cursor < interacting.len() && assigned[interacting[cursor] as usize] {
+            cursor += 1;
+        }
+        let Some(&seed) = interacting.get(cursor) else {
+            break;
+        };
+        let last_slot = slot + 1 == capacities.len();
+        let budget = if last_slot { usize::MAX } else { cap.max(1) };
+        let mut members = vec![seed];
+        assigned[seed as usize] = true;
+        let mut weight = iw.qubit[seed as usize];
+        // connection[q] = accumulated edge mass from q into the cluster.
+        let mut connection: HashMap<u32, u64> = HashMap::new();
+        fn absorb_links(
+            adj: &[Vec<(u32, u64)>],
+            assigned: &[bool],
+            connection: &mut HashMap<u32, u64>,
+            q: u32,
+        ) {
+            for &(peer, w) in &adj[q as usize] {
+                if !assigned[peer as usize] {
+                    *connection.entry(peer).or_insert(0) += w;
+                }
+            }
+        }
+        absorb_links(&adj, &assigned, &mut connection, seed);
+        while members.len() < budget {
+            // Strongest connection wins; ties toward smaller index.
+            let Some((&next, _)) = connection
+                .iter()
+                .filter(|(q, _)| !assigned[**q as usize])
+                .max_by_key(|(q, w)| (**w, std::cmp::Reverse(**q)))
+            else {
+                break;
+            };
+            connection.remove(&next);
+            assigned[next as usize] = true;
+            weight += iw.qubit[next as usize];
+            members.push(next);
+            absorb_links(&adj, &assigned, &mut connection, next);
+        }
+        if last_slot {
+            for &q in interacting.iter().skip(cursor) {
+                if !assigned[q as usize] {
+                    assigned[q as usize] = true;
+                    weight += iw.qubit[q as usize];
+                    members.push(q);
+                }
+            }
+        }
+        clusters.push(Cluster {
+            qubits: members,
+            weight,
+        });
+    }
+    clusters
+}
+
+/// `cluster_of[logical]` lookup table (`u32::MAX` for unclustered
+/// qubits).
+pub fn cluster_index(clusters: &[Cluster], n_qubits: usize) -> Vec<u32> {
+    let mut out = vec![u32::MAX; n_qubits];
+    for (c, cluster) in clusters.iter().enumerate() {
+        for &q in &cluster.qubits {
+            out[q as usize] = c as u32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interaction_weights_accumulate_pairs() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(1, 0); // same pair, either orientation
+        c.cx(2, 3);
+        c.h(0);
+        let iw = InteractionWeights::new(&c, &[5, 2, 0, 9]);
+        assert_eq!(iw.pair[&(0, 1)], 6 + 3); // (5+1) + (2+1)
+        assert_eq!(iw.pair[&(2, 3)], 1);
+        assert_eq!(iw.qubit[0], 9);
+        assert_eq!(iw.first_gate[&(0, 1)], 0);
+        assert_eq!(iw.first_gate[&(2, 3)], 2);
+    }
+
+    #[test]
+    fn clustering_groups_tightly_coupled_qubits() {
+        // Two 3-qubit cliques bridged by one weak gate.
+        let mut c = Circuit::new(6);
+        for _ in 0..4 {
+            c.cx(0, 1);
+            c.cx(1, 2);
+            c.cx(3, 4);
+            c.cx(4, 5);
+        }
+        c.cx(2, 3); // weak bridge
+        let weights = vec![0u64; c.gates().len()];
+        let iw = InteractionWeights::new(&c, &weights);
+        let clusters = cluster_qubits(&iw, &[3, 3]);
+        assert_eq!(clusters.len(), 2);
+        let mut groups: Vec<Vec<u32>> = clusters
+            .iter()
+            .map(|cl| {
+                let mut v = cl.qubits.clone();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        groups.sort();
+        assert_eq!(groups, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn last_cluster_absorbs_the_remainder() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        c.cx(4, 5); // three disconnected pairs, two slots
+        let iw = InteractionWeights::new(&c, &[0, 0, 0]);
+        let clusters = cluster_qubits(&iw, &[2, 2]);
+        assert_eq!(clusters.len(), 2);
+        let total: usize = clusters.iter().map(|cl| cl.qubits.len()).sum();
+        assert_eq!(total, 6, "no interacting qubit may be dropped");
+    }
+
+    #[test]
+    fn idle_qubits_stay_unclustered() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 1);
+        c.h(4); // 1q-only and idle qubits are not clustered
+        let iw = InteractionWeights::new(&c, &[0]);
+        let clusters = cluster_qubits(&iw, &[4]);
+        let index = cluster_index(&clusters, 5);
+        assert_eq!(index[0], 0);
+        assert_eq!(index[1], 0);
+        assert_eq!(index[4], u32::MAX);
+        assert_eq!(index[2], u32::MAX);
+    }
+}

@@ -1,0 +1,211 @@
+//! The bounded, content-keyed memo of routed sub-circuit fragments.
+//!
+//! A fragment's routing plan — the SWAP sequence the flat router inserts
+//! to execute an intra-region run of gates — is a pure function of the
+//! region's local adjacency, the fragment's gate stream (in region-local
+//! slot indices, which bake in the entry layout) and the sub-router
+//! configuration. The memo keys on exactly that content, per the
+//! workspace cache-invalidation rule: nothing is ever invalidated in
+//! place, a different fragment is a different key, and the store is
+//! bounded with FIFO eviction. Identical QUEKO instances re-routed in a
+//! warm process replay cached plans instead of re-running the router.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum number of routed fragments retained. Fragments are small (a
+/// SWAP list), so the bound is generous enough that a full bench roster
+/// fits, while adversarial streams stay bounded.
+const CAPACITY: usize = 1024;
+
+/// One gate of a fragment in canonical form: kind name, region-local
+/// operand slots, parameter bit patterns. Exact content — two fragments
+/// collide only if they are the same computation.
+pub type FragmentGate = (String, Vec<u32>, Vec<u64>);
+
+/// Content key of one routed fragment.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FragmentKey {
+    /// Region size (local qubit count).
+    pub n_local: u32,
+    /// Region adjacency as sorted local edges. Shared behind an `Arc`
+    /// (hash/equality delegate to the contents) so the hot routing loop
+    /// builds each region's edge list once per run, not per fragment.
+    pub edges: Arc<Vec<(u32, u32)>>,
+    /// The fragment's gate stream over local slots (the entry layout is
+    /// the identity over slots, so it is implicit in the operands).
+    pub gates: Vec<FragmentGate>,
+    /// Canonical rendering of the sub-router configuration, so two
+    /// differently-tuned hierarchical mappers never share a plan (Rust's
+    /// float formatting round-trips exactly, so this is content-exact).
+    pub config: String,
+}
+
+/// A routed fragment: the local SWAPs the sub-router inserted, in
+/// emission order. Replaying them (executing ready gates greedily in
+/// between) reproduces the sub-routing exactly.
+pub type SwapPlan = Arc<Vec<(u32, u32)>>;
+
+/// The bounded fragment memo; the routing pass uses the process-wide
+/// instance (whose counters [`subroute_memo_stats`] reports), tests use
+/// private instances.
+pub struct SubrouteMemo {
+    inner: Mutex<MemoInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct MemoInner {
+    plans: HashMap<FragmentKey, SwapPlan>,
+    order: VecDeque<FragmentKey>,
+}
+
+impl SubrouteMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        SubrouteMemo {
+            inner: Mutex::new(MemoInner {
+                plans: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan for `key`, computing it with `f` on a miss. The compute
+    /// runs outside the memo lock; racing threads may duplicate the work,
+    /// but the plan is a pure function of the key so whichever insertion
+    /// lands first wins and every caller sees identical content.
+    pub fn get_or_compute(
+        &self,
+        key: FragmentKey,
+        f: impl FnOnce() -> Vec<(u32, u32)>,
+    ) -> SwapPlan {
+        if let Some(hit) = self
+            .inner
+            .lock()
+            .expect("subroute memo poisoned")
+            .plans
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan: SwapPlan = Arc::new(f());
+        let mut inner = self.inner.lock().expect("subroute memo poisoned");
+        if !inner.plans.contains_key(&key) {
+            if inner.order.len() >= CAPACITY {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.plans.remove(&evicted);
+                }
+            }
+            inner.order.push_back(key.clone());
+            inner.plans.insert(key, plan.clone());
+        }
+        plan
+    }
+
+    /// `(hits, misses)` so far. A miss is an actual sub-routing run; a
+    /// hit replays a cached plan.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Default for SubrouteMemo {
+    fn default() -> Self {
+        SubrouteMemo::new()
+    }
+}
+
+static GLOBAL: OnceLock<SubrouteMemo> = OnceLock::new();
+
+/// The process-wide fragment memo shared by every `HierRoutingPass`.
+pub fn global() -> &'static SubrouteMemo {
+    GLOBAL.get_or_init(SubrouteMemo::new)
+}
+
+/// `(hits, misses)` of the process-wide fragment memo — surfaced in
+/// service stats responses and the `hier_scaling` bench report.
+pub fn subroute_memo_stats() -> (u64, u64) {
+    global().stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u32) -> FragmentKey {
+        FragmentKey {
+            n_local: 4,
+            edges: Arc::new(vec![(0, 1), (1, 2), (2, 3)]),
+            gates: vec![("cx".to_string(), vec![0, tag], Vec::new())],
+            config: "default".to_string(),
+        }
+    }
+
+    #[test]
+    fn memo_computes_once_per_key() {
+        let memo = SubrouteMemo::new();
+        let mut computes = 0;
+        for _ in 0..3 {
+            let plan = memo.get_or_compute(key(3), || {
+                computes += 1;
+                vec![(0, 1), (1, 2)]
+            });
+            assert_eq!(*plan, vec![(0, 1), (1, 2)]);
+        }
+        assert_eq!(computes, 1);
+        assert_eq!(memo.stats(), (2, 1));
+    }
+
+    #[test]
+    fn distinct_fragments_do_not_collide() {
+        let memo = SubrouteMemo::new();
+        let a = memo.get_or_compute(key(3), || vec![(0, 1)]);
+        let b = memo.get_or_compute(key(2), || vec![(2, 3)]);
+        assert_ne!(*a, *b);
+        assert_eq!(memo.stats(), (0, 2));
+    }
+
+    #[test]
+    fn eviction_bounds_the_store() {
+        let memo = SubrouteMemo::new();
+        for i in 0..(CAPACITY as u32 + 5) {
+            memo.get_or_compute(key(i), || vec![(i, i + 1)]);
+        }
+        // The oldest key was evicted: recomputation happens.
+        let mut recomputed = false;
+        memo.get_or_compute(key(0), || {
+            recomputed = true;
+            vec![(0, 1)]
+        });
+        assert!(recomputed);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree_on_content() {
+        let memo = SubrouteMemo::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for round in 0..20u32 {
+                        let plan = memo.get_or_compute(key(round % 4), || {
+                            vec![((round % 4), (round % 4) + 1)]
+                        });
+                        assert_eq!(plan[0].1, plan[0].0 + 1);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = memo.stats();
+        assert_eq!(hits + misses, 8 * 20);
+        assert!(misses >= 4, "each key computed at least once");
+    }
+}

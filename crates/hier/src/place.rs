@@ -1,0 +1,286 @@
+//! Region placement: assigning interaction clusters to device regions by
+//! solving the mapping problem *on the region graph itself*, then
+//! expanding the cluster→region assignment into a full qubit layout.
+//!
+//! The placement problem is a miniature of the original one — clusters
+//! interact the way qubits do, regions couple the way physical qubits do
+//! — so it reuses the existing [`MappingPipeline`] recursively: a small
+//! "placement circuit" (one logical qubit per cluster, CX traffic scaled
+//! by log₂ of the cross-cluster ω-mass) is routed over the quotient
+//! [`CouplingGraph`], seeded with the noise-aware region ranking, and the
+//! *final* layout of that run is the cluster→region assignment.
+
+use crate::cluster::{Cluster, InteractionWeights};
+use crate::coarsen::RegionMap;
+use crate::HierConfig;
+use affine::WeightMode;
+use circuit::Circuit;
+use qlosure::{
+    DependenceWeightsPass, FixedLayoutPass, Layout, MappingPipeline, QlosureRoutingPass,
+};
+use std::collections::VecDeque;
+
+/// Caps how many CX repetitions the heaviest cluster pair contributes to
+/// the placement circuit (repetitions grow with `log₂` of the pair mass).
+const MAX_PLACEMENT_ROUNDS: u32 = 4;
+
+/// Chooses the region hosting each cluster.
+///
+/// The seed assignment pairs clusters (heaviest first — they were grown
+/// in that order) with regions in score-rank order; when the quotient is
+/// connected and there is real cross-cluster traffic, a recursive
+/// [`MappingPipeline`] run on the quotient refines the seed, and its
+/// final layout becomes the assignment. Degenerate shapes (one cluster,
+/// one region, disconnected quotient) keep the seed.
+pub fn place_clusters(
+    rm: &RegionMap,
+    clusters: &[Cluster],
+    iw: &InteractionWeights,
+    cluster_of: &[u32],
+    config: &HierConfig,
+) -> Vec<u32> {
+    let m = clusters.len();
+    let k = rm.n_regions();
+    assert!(m <= k, "cluster count may not exceed region count");
+    let seed: Vec<u32> = (0..m).map(|c| rm.rank[c]).collect();
+    if m <= 1 || k <= 1 || !rm.quotient.is_connected() {
+        return seed;
+    }
+    // Cross-cluster traffic: accumulated pair mass between clusters, plus
+    // the earliest gate index touching each cluster pair (temporal order).
+    let mut cross: std::collections::HashMap<(u32, u32), (u64, u32)> =
+        std::collections::HashMap::new();
+    for (&(a, b), &w) in &iw.pair {
+        let (ca, cb) = (cluster_of[a as usize], cluster_of[b as usize]);
+        if ca == cb || ca == u32::MAX || cb == u32::MAX {
+            continue;
+        }
+        let key = (ca.min(cb), ca.max(cb));
+        let first = iw.first_gate[&(a, b)];
+        let entry = cross.entry(key).or_insert((0, first));
+        entry.0 += w;
+        entry.1 = entry.1.min(first);
+    }
+    if cross.is_empty() {
+        return seed; // clusters never talk: the seed is already optimal
+    }
+    // Placement circuit: one logical qubit per cluster; each cluster pair
+    // contributes 1 + log₂(mass) CX rounds (capped), emitted round-robin
+    // in temporal order so heavy pairs pull harder without serializing.
+    let mut pairs: Vec<((u32, u32), u64, u32)> =
+        cross.into_iter().map(|(p, (w, t))| (p, w, t)).collect();
+    pairs.sort_by_key(|&(p, _, t)| (t, p));
+    let mut placement = Circuit::new(m);
+    for round in 0..MAX_PLACEMENT_ROUNDS {
+        for &((ca, cb), w, _) in &pairs {
+            let reps = (64 - w.leading_zeros()).min(MAX_PLACEMENT_ROUNDS);
+            if round < reps {
+                placement.cx(ca, cb);
+            }
+        }
+    }
+    // The placement circuit is tiny but perfectly periodic (round-robin
+    // CX repetitions) — exactly the shape whose affine lifting compresses
+    // well yet whose Presburger closure fixpoint explodes. The exact
+    // graph engine is instant at this size, so force it.
+    let pipeline = MappingPipeline::new(
+        FixedLayoutPass::new(Layout::from_assignment(&seed, k)),
+        QlosureRoutingPass::new(config.subroute.clone()),
+    )
+    .with_analysis(DependenceWeightsPass::new(WeightMode::Graph));
+    // The quotient's distance matrix flows through the shared
+    // per-device cache here (`MappingPipeline::run` → `shared_distances`).
+    match pipeline.run(&placement, &rm.quotient) {
+        Ok(outcome) => outcome.result.final_layout,
+        Err(_) => seed, // oversized/degenerate: keep the seed
+    }
+}
+
+/// Expands a cluster→region assignment into a full logical→physical
+/// [`Layout`].
+///
+/// Clusters claim slots inside their region in BFS order (heaviest
+/// cluster first, heaviest qubit first); members that do not fit spill to
+/// the nearest region (quotient BFS order) with free capacity, and
+/// unclustered logical qubits park on the leftover slots — so the
+/// assignment is total and injective whenever the circuit fits the
+/// device.
+pub fn build_layout(
+    rm: &RegionMap,
+    clusters: &[Cluster],
+    iw: &InteractionWeights,
+    assignment_c2r: &[u32],
+    n_logical: usize,
+    n_physical: usize,
+) -> Layout {
+    let mut free: Vec<VecDeque<u32>> = rm
+        .regions
+        .iter()
+        .map(|r| r.qubits.iter().copied().collect())
+        .collect();
+    let mut assignment = vec![u32::MAX; n_logical];
+    // Heaviest cluster claims first (ties toward smaller index).
+    let mut order: Vec<usize> = (0..clusters.len()).collect();
+    order.sort_by_key(|&c| (std::cmp::Reverse(clusters[c].weight), c));
+    let mut spill: Vec<(u32, u32)> = Vec::new(); // (logical, home region)
+    for c in order {
+        let r = assignment_c2r[c] as usize;
+        let mut members = clusters[c].qubits.clone();
+        members.sort_by_key(|&q| (std::cmp::Reverse(iw.qubit[q as usize]), q));
+        for q in members {
+            match free[r].pop_front() {
+                Some(p) => assignment[q as usize] = p,
+                None => spill.push((q, r as u32)),
+            }
+        }
+    }
+    // Spilled members take the nearest free slot, walking the quotient
+    // breadth-first from the cluster's home region.
+    for (q, home) in spill {
+        let slot = nearest_free_slot(rm, &mut free, home);
+        assignment[q as usize] = slot.expect("device has at least as many qubits as the circuit");
+    }
+    // Unclustered logicals (idle or single-qubit-only) park on leftovers,
+    // scanning regions in score-rank order.
+    let mut leftovers: VecDeque<u32> = rm
+        .rank
+        .iter()
+        .flat_map(|&r| std::mem::take(&mut free[r as usize]))
+        .collect();
+    for q in 0..n_logical {
+        if assignment[q] == u32::MAX {
+            assignment[q] = leftovers
+                .pop_front()
+                .expect("device has at least as many qubits as the circuit");
+        }
+    }
+    Layout::from_assignment(&assignment, n_physical)
+}
+
+/// Pops the first free physical slot found by BFS over the quotient from
+/// `home` (falling back to any region for disconnected quotients).
+fn nearest_free_slot(rm: &RegionMap, free: &mut [VecDeque<u32>], home: u32) -> Option<u32> {
+    let k = rm.n_regions();
+    let mut seen = vec![false; k];
+    let mut queue = VecDeque::from([home]);
+    seen[home as usize] = true;
+    while let Some(r) = queue.pop_front() {
+        if let Some(p) = free[r as usize].pop_front() {
+            return Some(p);
+        }
+        for &next in rm.quotient.neighbors(r) {
+            if !seen[next as usize] {
+                seen[next as usize] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+    // Disconnected quotient: scan everything.
+    free.iter_mut().find_map(VecDeque::pop_front)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{cluster_index, cluster_qubits};
+    use crate::coarsen::coarsen;
+    use topology::backends;
+
+    fn setup(
+        circuit: &Circuit,
+        budget: usize,
+        device: &topology::CouplingGraph,
+    ) -> (RegionMap, Vec<Cluster>, InteractionWeights, Vec<u32>) {
+        let rm = coarsen(device, budget, None);
+        let weights = vec![0u64; circuit.gates().len()];
+        let iw = InteractionWeights::new(circuit, &weights);
+        let caps: Vec<usize> = rm
+            .rank
+            .iter()
+            .map(|&r| rm.regions[r as usize].len())
+            .collect();
+        let clusters = cluster_qubits(&iw, &caps);
+        let index = cluster_index(&clusters, circuit.n_qubits());
+        (rm, clusters, iw, index)
+    }
+
+    #[test]
+    fn placement_keeps_talking_clusters_adjacent() {
+        // 4 regions on a 4x4 grid (2x2 tiles); two chatty cluster pairs.
+        let device = backends::square_grid(4, 4);
+        let mut c = Circuit::new(8);
+        for _ in 0..6 {
+            c.cx(0, 1);
+            c.cx(2, 3);
+            c.cx(4, 5);
+            c.cx(6, 7);
+            c.cx(1, 4); // cluster {0,1,2,3} talks to {4,5,6,7}
+        }
+        let (rm, clusters, iw, index) = setup(&c, 4, &device);
+        let config = HierConfig::default();
+        let placed = place_clusters(&rm, &clusters, &iw, &index, &config);
+        assert_eq!(placed.len(), clusters.len());
+        // Every cluster landed on a distinct region.
+        let mut sorted = placed.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), placed.len());
+    }
+
+    #[test]
+    fn layout_is_total_and_injective() {
+        let device = backends::square_grid(4, 4);
+        let mut c = Circuit::new(16);
+        for q in 0..15 {
+            c.cx(q, q + 1);
+        }
+        let (rm, clusters, iw, index) = setup(&c, 4, &device);
+        let placed = place_clusters(&rm, &clusters, &iw, &index, &HierConfig::default());
+        let layout = build_layout(&rm, &clusters, &iw, &placed, 16, 16);
+        let mut used = [false; 16];
+        for l in 0..16u32 {
+            let p = layout.phys(l);
+            assert!(!used[p as usize], "slot {p} assigned twice");
+            used[p as usize] = true;
+        }
+    }
+
+    #[test]
+    fn undersized_circuits_leave_slots_free() {
+        let device = backends::square_grid(4, 4);
+        let mut c = Circuit::new(5);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        // Qubit 4 is idle: parked on a leftover slot, still injective.
+        let (rm, clusters, iw, index) = setup(&c, 4, &device);
+        let placed = place_clusters(&rm, &clusters, &iw, &index, &HierConfig::default());
+        let layout = build_layout(&rm, &clusters, &iw, &placed, 5, 16);
+        let mut slots: Vec<u32> = (0..5).map(|l| layout.phys(l)).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 5);
+    }
+
+    #[test]
+    fn oversized_cluster_spills_to_neighbor_regions() {
+        // One giant cluster on a 2-region line: half must spill next door.
+        let device = backends::line(8);
+        let mut c = Circuit::new(8);
+        for _ in 0..3 {
+            for q in 0..7 {
+                c.cx(q, q + 1);
+            }
+        }
+        let rm = coarsen(&device, 4, None);
+        let weights = vec![0u64; c.gates().len()];
+        let iw = InteractionWeights::new(&c, &weights);
+        // Force a single unbounded cluster.
+        let clusters = cluster_qubits(&iw, &[8]);
+        assert_eq!(clusters.len(), 1);
+        let layout = build_layout(&rm, &clusters, &iw, &[rm.rank[0]], 8, 8);
+        let mut used: Vec<u32> = (0..8).map(|l| layout.phys(l)).collect();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used.len(), 8, "spill must stay injective and total");
+    }
+}

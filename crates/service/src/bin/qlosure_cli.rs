@@ -4,7 +4,7 @@
 //! qlosure-cli [--socket PATH] submit --backend NAME --mapper NAME
 //!             (--qasm FILE | --queko DEPTH [--seed N])
 //!             [--priority interactive|batch] [--fidelity]
-//!             [--wait [--timeout SECS]]
+//!             [--strategy flat|hier|auto] [--wait [--timeout SECS]]
 //! qlosure-cli [--socket PATH] poll ID
 //! qlosure-cli [--socket PATH] stats
 //! qlosure-cli [--socket PATH] shutdown
@@ -15,7 +15,7 @@
 //! smoke step can assert on fields like `"verified":true`. Exit status:
 //! 0 on success, 2 on a typed server error, 1 on transport failure.
 
-use service::proto::{encode_response, Priority, Response};
+use service::proto::{encode_response, Priority, Response, Strategy};
 use service::{Client, ClientError};
 use std::time::Duration;
 
@@ -24,7 +24,8 @@ fn usage() -> ! {
         "usage: qlosure-cli [--socket PATH] <command>\n\
          commands:\n\
          \x20 submit --backend NAME --mapper NAME (--qasm FILE | --queko DEPTH [--seed N])\n\
-         \x20        [--priority interactive|batch] [--fidelity] [--wait [--timeout SECS]]\n\
+         \x20        [--priority interactive|batch] [--fidelity] [--strategy flat|hier|auto]\n\
+         \x20        [--wait [--timeout SECS]]\n\
          \x20 poll ID\n\
          \x20 stats\n\
          \x20 shutdown"
@@ -54,6 +55,7 @@ struct SubmitArgs {
     seed: u64,
     priority: Priority,
     fidelity: bool,
+    strategy: Strategy,
     wait: bool,
     timeout: u64,
 }
@@ -67,6 +69,7 @@ fn parse_submit(args: &mut std::env::Args) -> SubmitArgs {
         seed: 0,
         priority: Priority::Batch,
         fidelity: false,
+        strategy: Strategy::Flat,
         wait: false,
         timeout: 600,
     };
@@ -94,6 +97,10 @@ fn parse_submit(args: &mut std::env::Args) -> SubmitArgs {
                 None => usage(),
             },
             "--fidelity" => parsed.fidelity = true,
+            "--strategy" => match Strategy::from_wire(&value("--strategy")) {
+                Some(s) => parsed.strategy = s,
+                None => usage(),
+            },
             "--wait" => parsed.wait = true,
             "--timeout" => match value("--timeout").parse() {
                 Ok(secs) => parsed.timeout = secs,
@@ -155,12 +162,13 @@ fn main() {
             let submit = parse_submit(&mut args);
             let qasm = submit_source(&submit);
             let id = client
-                .submit(
+                .submit_with_strategy(
                     &submit.backend,
                     &submit.mapper,
                     &qasm,
                     submit.priority,
                     submit.fidelity,
+                    submit.strategy,
                 )
                 .unwrap_or_else(|e| fail(&e));
             print_response(&Response::Submitted { id });

@@ -3,7 +3,7 @@
 
 use crate::proto::{
     encode_request, parse_response, ErrorCode, Priority, ProtoError, Request, Response, StatsBody,
-    Summary, MAX_FRAME,
+    Strategy, Summary, MAX_FRAME,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -120,7 +120,8 @@ impl Client {
         }
     }
 
-    /// Submits a job and returns its request ID.
+    /// Submits a job with the flat mapping strategy and returns its
+    /// request ID.
     ///
     /// # Errors
     ///
@@ -134,12 +135,31 @@ impl Client {
         priority: Priority,
         fidelity: bool,
     ) -> Result<u64, ClientError> {
+        self.submit_with_strategy(backend, mapper, qasm, priority, fidelity, Strategy::Flat)
+    }
+
+    /// Submits a job under an explicit mapping [`Strategy`]
+    /// (`flat`/`hier`/`auto`) and returns its request ID.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::submit`].
+    pub fn submit_with_strategy(
+        &mut self,
+        backend: &str,
+        mapper: &str,
+        qasm: &str,
+        priority: Priority,
+        fidelity: bool,
+        strategy: Strategy,
+    ) -> Result<u64, ClientError> {
         let request = Request::Submit {
             backend: backend.to_string(),
             mapper: mapper.to_string(),
             qasm: qasm.to_string(),
             priority,
             fidelity,
+            strategy,
         };
         match self.expect(&request)? {
             Response::Submitted { id } => Ok(id),

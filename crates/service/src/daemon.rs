@@ -219,8 +219,11 @@ fn dispatch(service: &MappingService, shutdown: &AtomicBool, line: &str) -> (Res
             qasm,
             priority,
             fidelity,
+            strategy,
         } => {
-            let spec = match registry::decode_submit(&backend, &mapper, &qasm, priority, fidelity) {
+            let spec = match registry::decode_submit(
+                &backend, &mapper, &qasm, priority, fidelity, strategy,
+            ) {
                 Ok(spec) => spec,
                 Err((code, message)) => return (Response::Error { code, message }, false),
             };

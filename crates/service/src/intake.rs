@@ -304,6 +304,8 @@ impl MappingService {
         let state = self.lock();
         let (distance_hits, distance_misses) = topology::shared_distance_stats();
         let (closure_hits, closure_misses) = presburger::closure_memo_stats();
+        let (weighted_hits, weighted_misses) = topology::weighted_distance_stats();
+        let (subroute_hits, subroute_misses) = hier::subroute_memo_stats();
         StatsBody {
             protocol: PROTOCOL_VERSION,
             workers: self.inner.config.workers.max(1) as u64,
@@ -316,6 +318,10 @@ impl MappingService {
             distance_misses,
             closure_hits,
             closure_misses,
+            weighted_hits,
+            weighted_misses,
+            subroute_hits,
+            subroute_misses,
         }
     }
 

@@ -63,6 +63,6 @@ pub use intake::{
     result_fingerprint, JobOutcome, JobSpec, MappingService, PollReply, ServiceConfig,
 };
 pub use proto::{
-    ErrorCode, Priority, ProtoError, Request, Response, StatsBody, Summary, MAX_FRAME,
+    ErrorCode, Priority, ProtoError, Request, Response, StatsBody, Strategy, Summary, MAX_FRAME,
     PROTOCOL_VERSION,
 };

@@ -54,6 +54,44 @@ impl Priority {
     }
 }
 
+/// How the daemon maps a submission onto the mapping architectures.
+///
+/// Additive request field (absent = `Flat`, so pre-existing clients keep
+/// working without a protocol version bump): `"hier"` swaps the resolved
+/// mapper for the hierarchical partitioned mapper, `"auto"` does so only
+/// for devices at or above the hierarchy's size threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// Run the named mapper flat against the whole device.
+    #[default]
+    Flat,
+    /// Run the hierarchical partitioned mapper (`qlosure-hier`).
+    Hier,
+    /// Pick `Hier` for large devices, the named mapper otherwise.
+    Auto,
+}
+
+impl Strategy {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Strategy::Flat => "flat",
+            Strategy::Hier => "hier",
+            Strategy::Auto => "auto",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn from_wire(s: &str) -> Option<Strategy> {
+        match s {
+            "flat" => Some(Strategy::Flat),
+            "hier" => Some(Strategy::Hier),
+            "auto" => Some(Strategy::Auto),
+            _ => None,
+        }
+    }
+}
+
 /// A client→daemon frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -70,6 +108,9 @@ pub enum Request {
         /// Opt-in: also estimate the routed circuit's success probability
         /// under a synthetic calibration (reported as `success_ppm`).
         fidelity: bool,
+        /// Mapping architecture selection (additive; absent on the wire
+        /// means [`Strategy::Flat`]).
+        strategy: Strategy,
     },
     /// Ask for the state/result of a submitted job.
     Poll {
@@ -145,6 +186,15 @@ pub struct StatsBody {
     pub closure_hits: u64,
     /// Process-wide transitive-closure memo misses.
     pub closure_misses: u64,
+    /// Process-wide reliability-weighted distance-cache hits (additive
+    /// field; absent on the wire decodes as 0).
+    pub weighted_hits: u64,
+    /// Process-wide reliability-weighted distance-cache misses.
+    pub weighted_misses: u64,
+    /// Process-wide hierarchical sub-routing fragment-memo hits.
+    pub subroute_hits: u64,
+    /// Process-wide hierarchical sub-routing fragment-memo misses.
+    pub subroute_misses: u64,
 }
 
 /// Typed error categories carried by [`Response::Error`].
@@ -357,6 +407,7 @@ pub fn encode_request(request: &Request) -> String {
             qasm,
             priority,
             fidelity,
+            strategy,
         } => versioned(
             "submit",
             vec![
@@ -365,6 +416,7 @@ pub fn encode_request(request: &Request) -> String {
                 ("qasm", Json::Str(qasm.clone())),
                 ("priority", Json::Str(priority.as_str().to_string())),
                 ("fidelity", Json::Bool(*fidelity)),
+                ("strategy", Json::Str(strategy.as_str().to_string())),
             ],
         ),
         Request::Poll { id } => versioned("poll", vec![("id", num_u64(*id))]),
@@ -437,6 +489,10 @@ pub fn encode_response(response: &Response) -> String {
                 ("distance_misses", num_u64(stats.distance_misses)),
                 ("closure_hits", num_u64(stats.closure_hits)),
                 ("closure_misses", num_u64(stats.closure_misses)),
+                ("weighted_hits", num_u64(stats.weighted_hits)),
+                ("weighted_misses", num_u64(stats.weighted_misses)),
+                ("subroute_hits", num_u64(stats.subroute_hits)),
+                ("subroute_misses", num_u64(stats.subroute_misses)),
             ],
         ),
         Response::ShuttingDown { pending } => {
@@ -511,6 +567,17 @@ fn bool_field(value: &Json, name: &str) -> Result<bool, ProtoError> {
         .ok_or_else(|| shape(format!("field `{name}` must be a boolean")))
 }
 
+/// Additive integer field: absent decodes as 0 (so stats responses from
+/// daemons predating the field still parse), present must be an integer.
+fn opt_u64_field(value: &Json, name: &str) -> Result<u64, ProtoError> {
+    match value.get(name) {
+        None => Ok(0),
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| shape(format!("field `{name}` must be a non-negative integer"))),
+    }
+}
+
 /// Parses one request frame.
 ///
 /// # Errors
@@ -525,12 +592,24 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             let priority_text = str_field(&value, "priority")?;
             let priority = Priority::from_wire(&priority_text)
                 .ok_or_else(|| shape(format!("unknown priority `{priority_text}`")))?;
+            // Additive field: absent means flat (pre-strategy clients).
+            let strategy = match value.get("strategy") {
+                None => Strategy::Flat,
+                Some(x) => {
+                    let text = x
+                        .as_str()
+                        .ok_or_else(|| shape("field `strategy` must be a string"))?;
+                    Strategy::from_wire(text)
+                        .ok_or_else(|| shape(format!("unknown strategy `{text}`")))?
+                }
+            };
             Ok(Request::Submit {
                 backend: str_field(&value, "backend")?,
                 mapper: str_field(&value, "mapper")?,
                 qasm: str_field(&value, "qasm")?,
                 priority,
                 fidelity: bool_field(&value, "fidelity")?,
+                strategy,
             })
         }
         "poll" => Ok(Request::Poll {
@@ -628,6 +707,10 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             distance_misses: u64_field(&value, "distance_misses")?,
             closure_hits: u64_field(&value, "closure_hits")?,
             closure_misses: u64_field(&value, "closure_misses")?,
+            weighted_hits: opt_u64_field(&value, "weighted_hits")?,
+            weighted_misses: opt_u64_field(&value, "weighted_misses")?,
+            subroute_hits: opt_u64_field(&value, "subroute_hits")?,
+            subroute_misses: opt_u64_field(&value, "subroute_misses")?,
         })),
         "shutting-down" => Ok(Response::ShuttingDown {
             pending: u64_field(&value, "pending")?,
@@ -678,6 +761,7 @@ mod tests {
                 qasm: "OPENQASM 2.0;\nqreg q[3];\ncx q[0], q[2];\n".to_string(),
                 priority: Priority::Interactive,
                 fidelity: true,
+                strategy: Strategy::Flat,
             },
             Request::Submit {
                 backend: "line:5".to_string(),
@@ -685,6 +769,15 @@ mod tests {
                 qasm: "// tricky \"chars\" \\ in comments\n".to_string(),
                 priority: Priority::Batch,
                 fidelity: false,
+                strategy: Strategy::Hier,
+            },
+            Request::Submit {
+                backend: "grid:64x64".to_string(),
+                mapper: "qlosure".to_string(),
+                qasm: String::new(),
+                priority: Priority::Batch,
+                fidelity: false,
+                strategy: Strategy::Auto,
             },
             Request::Poll { id: 0 },
             Request::Poll {
@@ -735,6 +828,10 @@ mod tests {
                 distance_misses: 7,
                 closure_hits: 55,
                 closure_misses: 11,
+                weighted_hits: 21,
+                weighted_misses: 2,
+                subroute_hits: 99,
+                subroute_misses: 13,
             }),
             Response::ShuttingDown { pending: 2 },
             Response::Error {
@@ -867,5 +964,46 @@ mod tests {
         );
         assert_eq!(Priority::from_wire("batch"), Some(Priority::Batch));
         assert_eq!(Priority::from_wire("urgent"), None);
+        for strategy in [Strategy::Flat, Strategy::Hier, Strategy::Auto] {
+            assert_eq!(Strategy::from_wire(strategy.as_str()), Some(strategy));
+        }
+        assert_eq!(Strategy::from_wire("quantum"), None);
+    }
+
+    #[test]
+    fn submit_without_strategy_defaults_to_flat() {
+        // Pre-strategy clients omit the field entirely: still parses,
+        // defaulting to the flat architecture (additive-field rule).
+        let line = "{\"v\":1,\"op\":\"submit\",\"backend\":\"aspen16\",\"mapper\":\"qlosure\",\
+                    \"qasm\":\"\",\"priority\":\"batch\",\"fidelity\":false}";
+        match parse_request(line).unwrap() {
+            Request::Submit { strategy, .. } => assert_eq!(strategy, Strategy::Flat),
+            other => panic!("unexpected request {other:?}"),
+        }
+        // An unknown strategy is a typed shape error, not a panic.
+        let bad = "{\"v\":1,\"op\":\"submit\",\"backend\":\"b\",\"mapper\":\"m\",\"qasm\":\"\",\
+                   \"priority\":\"batch\",\"fidelity\":false,\"strategy\":\"quantum\"}";
+        assert_eq!(
+            parse_request(bad).unwrap_err().code(),
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn stats_without_cache_extension_fields_parses_as_zero() {
+        // A stats frame from a daemon predating the weighted/subroute
+        // counters (additive fields) decodes with zeros.
+        let line = "{\"v\":1,\"op\":\"stats\",\"protocol\":1,\"workers\":2,\"queue_depth\":0,\
+                    \"submitted\":5,\"completed\":5,\"rejected\":0,\"failed\":0,\
+                    \"distance_hits\":9,\"distance_misses\":1,\"closure_hits\":0,\
+                    \"closure_misses\":0}";
+        match parse_response(line).unwrap() {
+            Response::Stats(stats) => {
+                assert_eq!(stats.weighted_hits, 0);
+                assert_eq!(stats.subroute_misses, 0);
+                assert_eq!(stats.distance_hits, 9);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
     }
 }

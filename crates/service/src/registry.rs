@@ -3,8 +3,9 @@
 //! to a typed [`ErrorCode`].
 
 use crate::intake::JobSpec;
-use crate::proto::{ErrorCode, Priority};
+use crate::proto::{ErrorCode, Priority, Strategy};
 use circuit::Circuit;
+use hier::HierMapper;
 use qlosure::{Mapper, QlosureMapper};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -59,6 +60,12 @@ pub fn shared_device(name: &str) -> Option<Arc<CouplingGraph>> {
 
 /// Decodes a submit request into a [`JobSpec`].
 ///
+/// The `strategy` picks the mapping architecture: `Flat` runs the named
+/// mapper as-is, `Hier` swaps in the hierarchical partitioned mapper
+/// (the mapper name must still resolve — it documents the flat
+/// baseline the request would otherwise run), and `Auto` picks `Hier`
+/// only when the device is at or above [`hier::AUTO_THRESHOLD`] qubits.
+///
 /// # Errors
 ///
 /// Typed `(code, message)` pairs: [`ErrorCode::UnknownBackend`],
@@ -71,6 +78,7 @@ pub fn decode_submit(
     qasm_src: &str,
     priority: Priority,
     fidelity: bool,
+    strategy: Strategy,
 ) -> Result<JobSpec, (ErrorCode, String)> {
     let device = shared_device(backend).ok_or_else(|| {
         (
@@ -87,6 +95,17 @@ pub fn decode_submit(
             ),
         )
     })?;
+    let mapper: Arc<dyn Mapper + Send + Sync> = match strategy {
+        Strategy::Flat => mapper,
+        Strategy::Hier => Arc::new(HierMapper::default()),
+        Strategy::Auto => {
+            if hier::auto_prefers_hier(device.n_qubits()) {
+                Arc::new(HierMapper::default())
+            } else {
+                mapper
+            }
+        }
+    };
     let program = qasm::parse(qasm_src)
         .map_err(|e| (ErrorCode::QasmError, format!("QASM parse error: {e}")))?;
     let circuit = Circuit::from_qasm(&program)
@@ -121,13 +140,59 @@ mod tests {
 
     #[test]
     fn decode_accepts_a_valid_submission() {
-        let spec = decode_submit("aspen16", "qlosure", GHZ, Priority::Batch, true).unwrap();
+        let spec = decode_submit(
+            "aspen16",
+            "qlosure",
+            GHZ,
+            Priority::Batch,
+            true,
+            Strategy::Flat,
+        )
+        .unwrap();
         assert_eq!(spec.circuit.n_qubits(), 3);
         assert_eq!(spec.device.n_qubits(), 16);
         assert_eq!(spec.mapper.name(), "qlosure");
         assert!(spec.noise.is_some());
-        let without = decode_submit("aspen16", "sabre", GHZ, Priority::Interactive, false).unwrap();
+        let without = decode_submit(
+            "aspen16",
+            "sabre",
+            GHZ,
+            Priority::Interactive,
+            false,
+            Strategy::Flat,
+        )
+        .unwrap();
         assert!(without.noise.is_none());
+    }
+
+    #[test]
+    fn strategy_selects_the_mapping_architecture() {
+        let decode = |backend: &str, strategy| {
+            decode_submit(backend, "qlosure", GHZ, Priority::Batch, false, strategy)
+                .unwrap()
+                .mapper
+                .name()
+                .to_string()
+        };
+        assert_eq!(decode("aspen16", Strategy::Flat), "qlosure");
+        assert_eq!(decode("aspen16", Strategy::Hier), "hier");
+        // Auto: flat below the threshold, hier at/above it.
+        assert_eq!(decode("aspen16", Strategy::Auto), "qlosure");
+        assert_eq!(decode("grid:32x32", Strategy::Auto), "hier");
+        // Hier still demands a resolvable flat mapper name.
+        assert_eq!(
+            decode_submit(
+                "aspen16",
+                "magic",
+                GHZ,
+                Priority::Batch,
+                false,
+                Strategy::Hier
+            )
+            .unwrap_err()
+            .0,
+            ErrorCode::UnknownMapper
+        );
     }
 
     #[test]
@@ -139,7 +204,8 @@ mod tests {
                 "qlosure",
                 GHZ,
                 Priority::Batch,
-                false
+                false,
+                Strategy::Flat
             )),
             ErrorCode::UnknownBackend
         );
@@ -149,7 +215,8 @@ mod tests {
                 "magic",
                 GHZ,
                 Priority::Batch,
-                false
+                false,
+                Strategy::Flat
             )),
             ErrorCode::UnknownMapper
         );
@@ -159,7 +226,8 @@ mod tests {
                 "qlosure",
                 "qreg q[",
                 Priority::Batch,
-                false
+                false,
+                Strategy::Flat
             )),
             ErrorCode::QasmError
         );
@@ -170,7 +238,8 @@ mod tests {
                 "qlosure",
                 big,
                 Priority::Batch,
-                false
+                false,
+                Strategy::Flat
             )),
             ErrorCode::DeviceTooSmall
         );

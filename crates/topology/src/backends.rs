@@ -10,44 +10,75 @@ use crate::graph::CouplingGraph;
 /// {0, 4, 8, 12} and {2, 6, 10, 14}; the top row omits its last column and
 /// the bottom row its first, giving exactly 127 qubits with degree ≤ 3.
 pub fn sherbrooke() -> CouplingGraph {
-    heavy_hex_127("ibm_sherbrooke")
+    let g = heavy_hex_lattice("ibm_sherbrooke", 7);
+    assert_eq!(g.n_qubits(), 127, "Sherbrooke must have 127 qubits");
+    g
 }
 
-fn heavy_hex_127(name: &str) -> CouplingGraph {
-    const ROWS: usize = 7;
-    const COLS: usize = 15;
+/// Generalized heavy-hexagon lattice with `d` rows of `2d + 1` qubits
+/// (Eagle-style numbering: `d = 7` reproduces the 127-qubit Sherbrooke
+/// layout exactly). `d` must be odd so the bottom connector band lands on
+/// columns the truncated bottom row still has.
+///
+/// # Panics
+///
+/// Panics unless `d` is odd and at least 3.
+pub fn heavy_hex(d: usize) -> CouplingGraph {
+    assert!(d >= 3 && d % 2 == 1, "heavy-hex distance must be odd >= 3");
+    heavy_hex_lattice(&format!("heavy_hex_{d}"), d)
+}
+
+/// Number of qubits of [`heavy_hex`]`(d)` without building the graph
+/// (used to enforce the [`by_name`] size cap before allocation).
+pub fn heavy_hex_qubits(d: usize) -> usize {
+    let cols = 2 * d + 1;
+    // Row qubits: top and bottom rows each drop one column.
+    let rows = d * cols - 2;
+    // Connector bands alternate start columns 0 and 2, stepping by 4.
+    let connectors: usize = (0..d - 1)
+        .map(|band| {
+            let start = if band % 2 == 0 { 0 } else { 2 };
+            (start..cols).step_by(4).count()
+        })
+        .sum();
+    rows + connectors
+}
+
+fn heavy_hex_lattice(name: &str, d: usize) -> CouplingGraph {
+    let rows = d;
+    let cols = 2 * d + 1;
     // Assign indices: row qubits then connector qubits, interleaved per row
     // band, matching IBM's published numbering.
-    let mut index_of = vec![[u32::MAX; COLS]; ROWS]; // row qubits
+    let mut index_of = vec![vec![u32::MAX; cols]; rows]; // row qubits
     let mut next = 0u32;
     let mut connector_edges: Vec<(usize, usize, u32)> = Vec::new(); // (row above, col, connector idx)
-    for row in 0..ROWS {
-        let cols: Vec<usize> = match row {
-            0 => (0..COLS - 1).collect(),
-            r if r == ROWS - 1 => (1..COLS).collect(),
-            _ => (0..COLS).collect(),
+    for row in 0..rows {
+        let row_cols: Vec<usize> = match row {
+            0 => (0..cols - 1).collect(),
+            r if r == rows - 1 => (1..cols).collect(),
+            _ => (0..cols).collect(),
         };
-        for c in cols {
+        for c in row_cols {
             index_of[row][c] = next;
             next += 1;
         }
-        if row + 1 < ROWS {
-            let conn_cols: [usize; 4] = if row % 2 == 0 {
-                [0, 4, 8, 12]
-            } else {
-                [2, 6, 10, 14]
-            };
-            for c in conn_cols {
+        if row + 1 < rows {
+            let start = if row % 2 == 0 { 0 } else { 2 };
+            for c in (start..cols).step_by(4) {
                 connector_edges.push((row, c, next));
                 next += 1;
             }
         }
     }
-    assert_eq!(next, 127, "heavy-hex construction must yield 127 qubits");
+    assert_eq!(
+        next as usize,
+        heavy_hex_qubits(d),
+        "heavy-hex construction must match its qubit-count formula"
+    );
     let mut edges: Vec<(u32, u32)> = Vec::new();
     // Horizontal chains.
     for row in &index_of {
-        for c in 0..COLS - 1 {
+        for c in 0..cols - 1 {
             let (a, b) = (row[c], row[c + 1]);
             if a != u32::MAX && b != u32::MAX {
                 edges.push((a, b));
@@ -62,7 +93,7 @@ fn heavy_hex_127(name: &str) -> CouplingGraph {
         edges.push((above, conn));
         edges.push((conn, below));
     }
-    CouplingGraph::new(name, 127, &edges)
+    CouplingGraph::new(name, next as usize, &edges)
 }
 
 /// Rigetti Ankaa-3: an 82-qubit square lattice.
@@ -223,11 +254,13 @@ const BY_NAME_MAX_QUBITS: usize = 4096;
 ///
 /// Roster names: `sherbrooke`, `ankaa3`, `sherbrooke2x`, `king9`,
 /// `king16`, `aspen16`, `sycamore54`. Parametric forms (for tests and
-/// service requests): `line:<n>`, `ring:<n>`, `king:<rows>x<cols>` — with
-/// qubit counts capped at 4096 so untrusted request decoding cannot
-/// trigger huge allocations. Returns `None` for unknown names or
-/// out-of-range parameters; this is the one name→device decoder shared by
-/// the bench harness and the mapping service.
+/// service requests): `line:<n>`, `ring:<n>`, `king:<rows>x<cols>`,
+/// `grid:<rows>x<cols>` (4-neighbour square lattice) and
+/// `heavy-hex:<distance>` (generalized Eagle-style heavy-hexagon, odd
+/// distance ≥ 3) — with qubit counts capped at 4096 so untrusted request
+/// decoding cannot trigger huge allocations. Returns `None` for unknown
+/// names or out-of-range parameters; this is the one name→device decoder
+/// shared by the bench harness and the mapping service.
 pub fn by_name(name: &str) -> Option<CouplingGraph> {
     let parse_n = |s: &str| {
         s.parse::<usize>()
@@ -247,6 +280,24 @@ pub fn by_name(name: &str) -> Option<CouplingGraph> {
             return None;
         }
         return Some(king_grid(rows, cols));
+    }
+    if let Some(rest) = name.strip_prefix("grid:") {
+        let (r, c) = rest.split_once('x')?;
+        let (rows, cols) = (parse_n(r)?, parse_n(c)?);
+        if rows * cols > BY_NAME_MAX_QUBITS {
+            return None;
+        }
+        return Some(square_grid(rows, cols));
+    }
+    if let Some(rest) = name.strip_prefix("heavy-hex:") {
+        let d = rest.parse::<usize>().ok()?;
+        // Bound d *before* evaluating the qubit-count formula — its O(d²)
+        // band loop must never run on an attacker-chosen magnitude. 45 is
+        // already past the largest distance fitting the 4096-qubit cap.
+        if !(3..=45).contains(&d) || d % 2 == 0 || heavy_hex_qubits(d) > BY_NAME_MAX_QUBITS {
+            return None;
+        }
+        return Some(heavy_hex(d));
     }
     match name {
         "sherbrooke" => Some(sherbrooke()),
@@ -366,6 +417,9 @@ mod tests {
         assert_eq!(by_name("line:7").unwrap().n_qubits(), 7);
         assert_eq!(by_name("ring:12").unwrap().n_edges(), 12);
         assert_eq!(by_name("king:3x4").unwrap().n_qubits(), 12);
+        assert_eq!(by_name("grid:4x5").unwrap().n_qubits(), 20);
+        assert_eq!(by_name("grid:64x64").unwrap().n_qubits(), 4096);
+        assert_eq!(by_name("heavy-hex:7").unwrap().n_qubits(), 127);
         // Unknown names, malformed parameters and oversized requests are
         // all `None`, never a panic — this decoder faces the wire.
         for bad in [
@@ -377,10 +431,51 @@ mod tests {
             "king:3",
             "king:0x4",
             "king:100x100",
+            "grid:64x65",
+            "grid:4",
+            "grid:0x9",
+            "grid:x",
+            "heavy-hex:",
+            "heavy-hex:1",
+            "heavy-hex:4",          // even distances don't tile
+            "heavy-hex:45",         // over the 4096-qubit cap
+            "heavy-hex:9999999999", // must be rejected before any O(d²) work
+            "heavy-hex:abc",
             "",
         ] {
             assert!(by_name(bad).is_none(), "`{bad}` must not resolve");
         }
+    }
+
+    #[test]
+    fn grid_by_name_matches_generator() {
+        let g = by_name("grid:3x7").unwrap();
+        assert_eq!(g, square_grid(3, 7));
+        assert_eq!(g.name(), "grid_3x7");
+    }
+
+    #[test]
+    fn heavy_hex_family_shapes() {
+        // d = 7 is exactly the Sherbrooke lattice under another name.
+        let h7 = heavy_hex(7);
+        let sb = sherbrooke();
+        assert_eq!(h7.n_qubits(), sb.n_qubits());
+        assert_eq!(h7.edges(), sb.edges());
+        assert_eq!(h7.name(), "heavy_hex_7");
+        // Other odd distances stay connected, degree-bounded heavy-hex.
+        for d in [3usize, 5, 9, 13] {
+            let g = heavy_hex(d);
+            assert_eq!(g.n_qubits(), heavy_hex_qubits(d), "d={d}");
+            assert!(g.is_connected(), "d={d}");
+            assert!(g.max_degree() <= 3, "d={d}");
+        }
+        assert_eq!(heavy_hex_qubits(3), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn heavy_hex_rejects_even_distance() {
+        let _ = heavy_hex(6);
     }
 
     #[test]

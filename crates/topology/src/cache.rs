@@ -17,6 +17,7 @@
 
 use crate::graph::{CouplingGraph, DistanceMatrix};
 use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -25,81 +26,114 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// practice while still bounding memory for adversarial workloads.
 const CAPACITY: usize = 32;
 
-type Cell = Arc<OnceLock<Arc<DistanceMatrix>>>;
+/// A bounded, content-keyed, single-computation cache: the one
+/// implementation behind both the hop-count distance cache and the
+/// reliability-weighted distance cache, so their locking, eviction and
+/// counter semantics can never drift apart.
+///
+/// Entries are keyed by full content (the invalidation rule: nothing is
+/// ever invalidated in place, a different value is a different key), the
+/// store is FIFO-bounded, and when threads race on an uncached key
+/// exactly one computes while the rest block on the same cell and share
+/// its result.
+pub(crate) struct ContentCache<K, V> {
+    inner: Mutex<CacheInner<K, V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
 
-/// A bounded, keyed, single-computation cache of distance matrices.
+struct CacheInner<K, V> {
+    cells: HashMap<K, Arc<OnceLock<Arc<V>>>>,
+    order: VecDeque<K>,
+}
+
+impl<K: Hash + Eq + Clone, V> ContentCache<K, V> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        ContentCache {
+            inner: Mutex::new(CacheInner {
+                cells: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The value for `key`, computed with `compute` at most once per
+    /// distinct key no matter how many threads ask concurrently.
+    pub(crate) fn get_or_compute(&self, key: &K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let cell = {
+            let mut inner = self.inner.lock().expect("content cache poisoned");
+            match inner.cells.get(key) {
+                Some(cell) => cell.clone(),
+                None => {
+                    if inner.order.len() >= self.capacity {
+                        if let Some(evicted) = inner.order.pop_front() {
+                            inner.cells.remove(&evicted);
+                        }
+                    }
+                    let cell = Arc::new(OnceLock::new());
+                    inner.cells.insert(key.clone(), cell.clone());
+                    inner.order.push_back(key.clone());
+                    cell
+                }
+            }
+        };
+        // The map lock is released before the (possibly expensive)
+        // compute; racers on the same cell serialize on the OnceLock
+        // instead, so one slow key never blocks lookups of other keys.
+        let mut computed = false;
+        let value = cell
+            .get_or_init(|| {
+                computed = true;
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Arc::new(compute())
+            })
+            .clone();
+        if !computed {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// (hits, misses) so far. A "miss" is an actual computation; a "hit"
+    /// is any call that reused an already-computed value (including calls
+    /// that blocked while another thread computed it).
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The hop-count distance cache: a [`ContentCache`] keyed by full graph
+/// content.
 ///
 /// The global instance behind [`CouplingGraph::shared_distances`] is what
 /// production code uses; tests construct private instances so their
 /// hit/miss assertions cannot race with other tests.
 pub(crate) struct DistanceCache {
-    inner: Mutex<CacheInner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-struct CacheInner {
-    cells: HashMap<CouplingGraph, Cell>,
-    order: VecDeque<CouplingGraph>,
+    cache: ContentCache<CouplingGraph, DistanceMatrix>,
 }
 
 impl DistanceCache {
     pub(crate) fn new() -> Self {
         DistanceCache {
-            inner: Mutex::new(CacheInner {
-                cells: HashMap::new(),
-                order: VecDeque::new(),
-            }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            cache: ContentCache::new(CAPACITY),
         }
     }
 
     /// The distance matrix of `graph`, computed at most once per distinct
     /// graph no matter how many threads ask concurrently.
     pub(crate) fn get(&self, graph: &CouplingGraph) -> Arc<DistanceMatrix> {
-        let cell: Cell = {
-            let mut inner = self.inner.lock().expect("distance cache poisoned");
-            match inner.cells.get(graph) {
-                Some(cell) => cell.clone(),
-                None => {
-                    if inner.order.len() >= CAPACITY {
-                        if let Some(evicted) = inner.order.pop_front() {
-                            inner.cells.remove(&evicted);
-                        }
-                    }
-                    let cell: Cell = Arc::new(OnceLock::new());
-                    inner.cells.insert(graph.clone(), cell.clone());
-                    inner.order.push_back(graph.clone());
-                    cell
-                }
-            }
-        };
-        // The map lock is released before the (possibly expensive) BFS;
-        // racers on the same cell serialize on the OnceLock instead, so one
-        // slow graph never blocks lookups of other graphs.
-        let mut computed = false;
-        let dist = cell
-            .get_or_init(|| {
-                computed = true;
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                Arc::new(graph.distances())
-            })
-            .clone();
-        if !computed {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        }
-        dist
+        self.cache.get_or_compute(graph, || graph.distances())
     }
 
-    /// (hits, misses) so far. A "miss" is an actual BFS computation; a
-    /// "hit" is any call that reused an already-computed matrix (including
-    /// calls that blocked while another thread computed it).
     pub(crate) fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        self.cache.stats()
     }
 }
 

@@ -50,3 +50,13 @@ pub use noise::NoiseModel;
 pub fn shared_distance_stats() -> (u64, u64) {
     cache::global_stats()
 }
+
+/// `(hits, misses)` counters of the process-wide shared reliability-
+/// weighted distance cache behind [`NoiseModel::shared_weighted_distances`].
+///
+/// Same semantics as [`shared_distance_stats`]: a *miss* is an actual
+/// all-pairs Dijkstra computation, a *hit* any call that reused one, and
+/// the counters are cumulative over the process lifetime.
+pub fn weighted_distance_stats() -> (u64, u64) {
+    noise::weighted_global_stats()
+}

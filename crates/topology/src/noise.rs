@@ -7,8 +7,10 @@
 //! matrix (Dijkstra over `-ln(1 - ε)` edge costs) that slots into the same
 //! cost functions the hop-count matrix feeds.
 
+use crate::cache::ContentCache;
 use crate::graph::{CouplingGraph, DistanceMatrix};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// Calibration data for a device: error rates per coupling and per qubit.
 #[derive(Clone, Debug)]
@@ -141,6 +143,37 @@ impl NoiseModel {
         DistanceMatrix::from_raw(n, quantized)
     }
 
+    /// The shared, cached form of [`NoiseModel::weighted_distances`].
+    ///
+    /// Functionally identical, but the Floyd–Warshall-class all-pairs
+    /// Dijkstra runs at most once per distinct `(noise model, graph)` pair
+    /// process-wide. Mirrors [`CouplingGraph::shared_distances`]: entries
+    /// are keyed by *full content* (graph name + adjacency, plus the
+    /// model's canonical error-rate encoding — never invalidated in
+    /// place), the cache is bounded with FIFO eviction, and when threads
+    /// race on an uncached pair exactly one computes while the rest share
+    /// its result. Hit/miss counters are surfaced through
+    /// [`crate::weighted_distance_stats`].
+    pub fn shared_weighted_distances(&self, graph: &CouplingGraph) -> Arc<DistanceMatrix> {
+        weighted_cache().get(self, graph)
+    }
+
+    /// Canonical content encoding of this model, the cache-key component
+    /// that makes two models with identical rates share an entry.
+    fn content_key(&self) -> NoiseContent {
+        let mut edges: Vec<(u32, u32, u64)> = self
+            .edge_error
+            .iter()
+            .map(|(&(a, b), &e)| (a, b, e.to_bits()))
+            .collect();
+        edges.sort_unstable();
+        NoiseContent {
+            edges,
+            qubits: self.qubit_error.iter().map(|e| e.to_bits()).collect(),
+            default_bits: self.default_edge_error.to_bits(),
+        }
+    }
+
     /// Estimated success probability of a routed circuit: the product of
     /// per-gate fidelities (two-qubit gates and SWAPs use the coupling's
     /// rate, SWAPs three times; single-qubit gates use the qubit's rate).
@@ -162,6 +195,58 @@ impl NoiseModel {
         }
         log_fidelity.exp()
     }
+}
+
+/// Canonical, hashable encoding of a [`NoiseModel`]'s rates (f64s as bit
+/// patterns, edge overrides sorted) — one half of the weighted-distance
+/// cache key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct NoiseContent {
+    edges: Vec<(u32, u32, u64)>,
+    qubits: Vec<u64>,
+    default_bits: u64,
+}
+
+/// Maximum number of distinct `(graph, noise)` pairs kept. Noise-aware
+/// runs use one calibration per device, so this never evicts in practice
+/// while still bounding memory for adversarial workloads.
+const WEIGHTED_CAPACITY: usize = 32;
+
+/// Bounded, content-keyed, single-computation cache of reliability-
+/// weighted distance matrices — the hop-count cache's [`ContentCache`]
+/// core keyed by `(graph content, noise content)`.
+pub(crate) struct WeightedDistanceCache {
+    cache: ContentCache<(CouplingGraph, NoiseContent), DistanceMatrix>,
+}
+
+impl WeightedDistanceCache {
+    fn new() -> Self {
+        WeightedDistanceCache {
+            cache: ContentCache::new(WEIGHTED_CAPACITY),
+        }
+    }
+
+    fn get(&self, noise: &NoiseModel, graph: &CouplingGraph) -> Arc<DistanceMatrix> {
+        let key = (graph.clone(), noise.content_key());
+        self.cache
+            .get_or_compute(&key, || noise.weighted_distances(graph))
+    }
+
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}
+
+static WEIGHTED_GLOBAL: OnceLock<WeightedDistanceCache> = OnceLock::new();
+
+fn weighted_cache() -> &'static WeightedDistanceCache {
+    WEIGHTED_GLOBAL.get_or_init(WeightedDistanceCache::new)
+}
+
+/// (hits, misses) of the global weighted-distance cache — the backing of
+/// [`crate::weighted_distance_stats`].
+pub(crate) fn weighted_global_stats() -> (u64, u64) {
+    weighted_cache().stats()
 }
 
 /// Total-ordering wrapper for f64 heap keys (costs are never NaN).
@@ -238,6 +323,83 @@ mod tests {
         let p = noise.success_probability(gates);
         let expected = (1.0f64 - 0.001) * (1.0 - 0.01) * (1.0 - 0.01f64).powi(3);
         assert!((p - expected).abs() < 1e-12, "{p} vs {expected}");
+    }
+
+    #[test]
+    fn weighted_cache_returns_same_matrix_as_direct_computation() {
+        let cache = WeightedDistanceCache::new();
+        let g = backends::ring(9);
+        let noise = NoiseModel::uniform(&g, 0.02, 0.001);
+        assert_eq!(*cache.get(&noise, &g), noise.weighted_distances(&g));
+        assert_eq!(cache.stats(), (0, 1));
+        // A clone of the same model on the same graph is a content hit.
+        let again = cache.get(&noise.clone(), &g.clone());
+        assert_eq!(cache.stats(), (1, 1));
+        assert!(Arc::ptr_eq(&again, &cache.get(&noise, &g)));
+    }
+
+    #[test]
+    fn weighted_cache_keys_on_noise_content() {
+        let cache = WeightedDistanceCache::new();
+        let g = backends::ring(6);
+        let mut a = NoiseModel::uniform(&g, 0.01, 0.001);
+        let b = a.clone();
+        a.set_edge_error(0, 1, 0.3); // different content, same graph
+        let da = cache.get(&a, &g);
+        let db = cache.get(&b, &g);
+        assert_eq!(cache.stats(), (0, 2), "distinct rates must not collide");
+        assert_ne!(*da, *db);
+    }
+
+    #[test]
+    fn weighted_cache_eviction_keeps_it_bounded() {
+        let cache = WeightedDistanceCache::new();
+        let g = backends::line(5);
+        for i in 0..(WEIGHTED_CAPACITY + 3) {
+            let noise = NoiseModel::uniform(&g, 0.001 * (i + 1) as f64, 0.0001);
+            cache.get(&noise, &g);
+        }
+        // The oldest entry was evicted, so asking again recomputes.
+        cache.get(&NoiseModel::uniform(&g, 0.001, 0.0001), &g);
+        let (_, misses) = cache.stats();
+        assert_eq!(misses as usize, WEIGHTED_CAPACITY + 3 + 1);
+    }
+
+    #[test]
+    fn eight_threads_hammering_one_weighted_entry_compute_once() {
+        let cache = WeightedDistanceCache::new();
+        let g = backends::king_grid(5, 5);
+        let noise = NoiseModel::synthetic(&g, 5e-3, 42);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        let d = cache.get(&noise, &g);
+                        assert_eq!(d.n_qubits(), 25);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1, "single-computation semantics");
+        assert_eq!(hits, 8 * 25 - 1);
+    }
+
+    #[test]
+    fn public_weighted_stats_observe_global_traffic() {
+        // Global counters are shared with concurrently running tests, so
+        // only monotonicity and attributable growth are asserted.
+        let g = backends::king_grid(2, 6);
+        let noise = NoiseModel::synthetic(&g, 3e-3, 7);
+        let (h0, m0) = crate::weighted_distance_stats();
+        assert_eq!(
+            *noise.shared_weighted_distances(&g),
+            noise.weighted_distances(&g)
+        );
+        noise.shared_weighted_distances(&g);
+        let (h1, m1) = crate::weighted_distance_stats();
+        assert!(h1 + m1 >= h0 + m0 + 2, "two lookups must be counted");
+        assert!(h1 >= h0 && m1 >= m0, "counters never decrease");
     }
 
     #[test]

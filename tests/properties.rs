@@ -210,6 +210,66 @@ proptest! {
     }
 }
 
+// ---------- Hierarchical partitioning invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24).with_seed(0x0051_EC05_41E2_0B75))]
+
+    #[test]
+    fn hier_partition_never_orphans_a_qubit(
+        device_pick in 0usize..4,
+        budget in 2usize..12,
+    ) {
+        let device = match device_pick {
+            0 => backends::square_grid(4, 5),
+            1 => backends::king_grid(4, 4),
+            2 => backends::aspen16(),
+            _ => backends::sycamore54(),
+        };
+        let rm = hier::coarsen(&device, budget, None);
+        // Exact cover: every qubit in exactly one region, indices agree.
+        let mut counted = 0usize;
+        for (r, region) in rm.regions.iter().enumerate() {
+            prop_assert!(!region.is_empty(), "region {} empty", r);
+            prop_assert!(region.device.is_connected(), "region {} disconnected", r);
+            prop_assert!(region.len() <= budget, "region {} over budget", r);
+            for (local, &p) in region.qubits.iter().enumerate() {
+                prop_assert_eq!(rm.region_of(p), r as u32);
+                prop_assert_eq!(rm.local_of[p as usize], local as u32);
+            }
+            counted += region.len();
+        }
+        prop_assert_eq!(counted, device.n_qubits(), "partition must cover the device");
+    }
+
+    #[test]
+    fn hier_routing_keeps_the_layout_a_permutation(
+        c in arb_circuit(9, 35),
+        budget in 3usize..10,
+    ) {
+        // Boundary-SWAP stitching moves qubits between regions; the final
+        // layout must stay injective and the routing must verify.
+        let device = backends::square_grid(3, 3);
+        let mapper = hier::HierMapper::with_budget(budget);
+        let r = mapper.map(&c, &device);
+        verify_routing(
+            &c,
+            &r.routed,
+            &|a, b| device.is_adjacent(a, b),
+            &r.initial_layout,
+        ).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        for layout in [&r.initial_layout, &r.final_layout] {
+            let mut seen = vec![false; device.n_qubits()];
+            for &p in layout.iter() {
+                prop_assert!((p as usize) < device.n_qubits(), "slot out of range");
+                prop_assert!(!seen[p as usize], "slot {} assigned twice", p);
+                seen[p as usize] = true;
+            }
+        }
+        prop_assert_eq!(r.routed.qop_count(), c.qop_count() + r.swaps);
+    }
+}
+
 // ---------- RoutingState delta/undo invariants ----------
 
 /// Drives a `RoutingState` through a full routing of a pseudo-random
@@ -387,10 +447,10 @@ fn arb_request() -> impl Strategy<Value = service::Request> {
         arb_wire_string(),
         arb_wire_string(),
         0u64..(1 << 53),
-        (0u8..2, 0u8..2),
+        (0u8..2, 0u8..2, 0u8..3),
     )
         .prop_map(
-            |(op, backend, mapper, qasm, id, (priority, fidelity))| match op {
+            |(op, backend, mapper, qasm, id, (priority, fidelity, strategy))| match op {
                 0 => Request::Submit {
                     backend,
                     mapper,
@@ -401,6 +461,11 @@ fn arb_request() -> impl Strategy<Value = service::Request> {
                         Priority::Batch
                     },
                     fidelity: fidelity == 0,
+                    strategy: match strategy {
+                        0 => service::Strategy::Flat,
+                        1 => service::Strategy::Hier,
+                        _ => service::Strategy::Auto,
+                    },
                 },
                 1 => Request::Poll { id },
                 2 => Request::Stats,
@@ -458,7 +523,7 @@ fn arb_response() -> impl Strategy<Value = service::Response> {
         arb_wire_string(),
         arb_summary(),
         (0u8..2, 0u8..11),
-        prop::collection::vec(0u64..(1 << 50), 11),
+        prop::collection::vec(0u64..(1 << 50), 15),
     )
         .prop_map(
             |(kind, id, text, summary, (running, code), counters)| match kind {
@@ -481,6 +546,10 @@ fn arb_response() -> impl Strategy<Value = service::Response> {
                     distance_misses: counters[8],
                     closure_hits: counters[9],
                     closure_misses: counters[10],
+                    weighted_hits: counters[11],
+                    weighted_misses: counters[12],
+                    subroute_hits: counters[13],
+                    subroute_misses: counters[14],
                 }),
                 5 => Response::ShuttingDown { pending: id },
                 _ => Response::Error {
@@ -663,6 +732,7 @@ fn smoke_wire_protocol_fixed_cases() {
         qasm: "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[1];\n".to_string(),
         priority: Priority::Interactive,
         fidelity: true,
+        strategy: service::Strategy::Hier,
     };
     let line = proto::encode_request(&request);
     assert_eq!(proto::parse_request(&line).unwrap(), request);
@@ -694,4 +764,64 @@ fn smoke_wire_protocol_fixed_cases() {
         proto::parse_request(&huge).unwrap_err(),
         ProtoError::Oversized { .. }
     ));
+}
+
+#[test]
+fn smoke_hier_partition_fixed_devices() {
+    // One fixed case per coarsening path: exact grid tiling, heavy-hex
+    // seeds, greedy fallback — no orphans, connected, budget-strict.
+    for (device, budget) in [
+        (backends::square_grid(6, 6), 9),
+        (backends::sherbrooke(), 12),
+        (backends::aspen16(), 5),
+    ] {
+        let rm = hier::coarsen(&device, budget, None);
+        let mut counted = 0;
+        for region in &rm.regions {
+            assert!(!region.is_empty() && region.device.is_connected());
+            assert!(region.len() <= budget);
+            counted += region.len();
+        }
+        assert_eq!(counted, device.n_qubits(), "{}", device.name());
+        assert_eq!(rm.region_of.len(), device.n_qubits());
+    }
+}
+
+#[test]
+fn smoke_hier_routes_fixed_circuit() {
+    // A scrambled chain over two grid tiles: verifies, preserves the
+    // qop count, and both layouts stay permutations.
+    let device = backends::square_grid(4, 4);
+    let mut c = Circuit::new(16);
+    c.h(0);
+    for q in 0..15 {
+        c.cx(q, 15 - (q % 8));
+    }
+    let c = {
+        // Drop self-pair gates the loop above may have formed.
+        let mut clean = Circuit::new(16);
+        clean.h(0);
+        for q in 0..15u32 {
+            let t = 15 - (q % 8);
+            if q != t {
+                clean.cx(q, t);
+            }
+        }
+        clean
+    };
+    let r = hier::HierMapper::with_budget(4).map(&c, &device);
+    verify_routing(
+        &c,
+        &r.routed,
+        &|a, b| device.is_adjacent(a, b),
+        &r.initial_layout,
+    )
+    .expect("hier smoke case verifies");
+    assert_eq!(r.routed.qop_count(), c.qop_count() + r.swaps);
+    for layout in [&r.initial_layout, &r.final_layout] {
+        let mut sorted = layout.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16, "layout must stay a permutation");
+    }
 }

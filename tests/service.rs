@@ -75,6 +75,59 @@ fn submit_wait_roundtrip_returns_a_verified_summary() {
 }
 
 #[test]
+fn hier_strategy_round_trips_without_a_version_bump() {
+    let daemon = daemon("strategy", 2);
+    let mut client = Client::connect(&daemon.socket).unwrap();
+    let qasm_src = queko_qasm("aspen16", 20, 5);
+    // strategy=hier swaps in the hierarchical pipeline — same protocol
+    // version, additive request field only.
+    let id = client
+        .submit_with_strategy(
+            "aspen16",
+            "qlosure",
+            &qasm_src,
+            Priority::Interactive,
+            false,
+            service::Strategy::Hier,
+        )
+        .unwrap();
+    let summary = client.wait(id, WAIT).unwrap();
+    assert!(summary.verified);
+    assert_eq!(
+        summary.pipeline,
+        "weights → regions → hier-layout → hier-route"
+    );
+    assert!(summary
+        .pass_seconds
+        .iter()
+        .any(|(label, _)| label == "routing:hier-route"));
+    // auto on a small device stays flat.
+    let id = client
+        .submit_with_strategy(
+            "aspen16",
+            "qlosure",
+            &qasm_src,
+            Priority::Interactive,
+            false,
+            service::Strategy::Auto,
+        )
+        .unwrap();
+    let summary = client.wait(id, WAIT).unwrap();
+    assert!(summary.verified);
+    assert_eq!(summary.pipeline, "weights → identity → qlosure");
+    // Stats carry the new cache counters (additive response fields), and
+    // the hier submission must actually have exercised the fragment memo.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.completed, 2);
+    assert!(
+        stats.subroute_hits + stats.subroute_misses > 0,
+        "hier submission must touch the sub-routing memo"
+    );
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
 fn single_worker_service_matches_direct_map_bit_for_bit() {
     // The acceptance pin: an ENGINE_THREADS=1-equivalent service (one
     // worker) must produce results bit-for-bit identical to calling
