@@ -1,0 +1,79 @@
+//! A minimal packed bitset for the routing hot path.
+//!
+//! `RoutingState` tracks per-gate markers (executed-this-wave, front
+//! membership) over circuits with up to millions of gates; packing them
+//! 64-to-a-word keeps the marker tables cache-resident and makes the
+//! front-retain and window walks branch on a single bit test.
+
+/// A fixed-capacity bitset over `0..len` packed into `u64` words.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An all-zero bitset of capacity `len`.
+    pub fn new(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Capacity in bits.
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether bit `i` is set.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Clears every bit.
+    #[allow(dead_code)]
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_across_word_boundaries() {
+        let mut b = BitVec::new(130);
+        assert_eq!(b.len(), 130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        b.clear(64);
+        assert!(!b.get(64));
+        assert!(b.get(63) && b.get(65));
+        b.clear_all();
+        for i in 0..130 {
+            assert!(!b.get(i));
+        }
+    }
+}

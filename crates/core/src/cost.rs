@@ -96,6 +96,49 @@ impl SwapCost {
         self.variant
     }
 
+    /// The ω weight factor `w` of a gate — a pure function of the variant
+    /// and scaling, shared between [`SwapCost::score`] and the router's
+    /// batched per-candidate scorer so both produce bit-identical terms.
+    pub(crate) fn omega_factor(&self, omega: u64) -> f64 {
+        match self.variant {
+            CostVariant::DistanceOnly | CostVariant::LayerAdjusted => 1.0,
+            CostVariant::DependencyWeighted => {
+                let raw = (omega + self.smoothing) as f64;
+                match self.scaling {
+                    OmegaScaling::Linear => raw,
+                    OmegaScaling::Sqrt => raw.sqrt(),
+                    OmegaScaling::Log => raw.ln_1p(),
+                }
+            }
+        }
+    }
+
+    /// The layer discount `1/ℓ` (or 1 under
+    /// [`CostVariant::DistanceOnly`]).
+    pub(crate) fn layer_discount(&self, layer: usize) -> f64 {
+        match self.variant {
+            CostVariant::DistanceOnly => 1.0,
+            _ => 1.0 / layer as f64,
+        }
+    }
+
+    /// Folds accumulated per-layer `Γ_ℓ` and `|G_ℓ|` into the final cost —
+    /// the exact tail of [`SwapCost::score`], factored out so the batched
+    /// scorer combines its Γ buffer with the identical float fold.
+    pub(crate) fn combine(&self, gamma: &[f64], sizes: &[u32], decay: f64) -> f64 {
+        let sum: f64 = gamma
+            .iter()
+            .zip(sizes)
+            .enumerate()
+            .filter(|&(_, (_, &n))| n > 0)
+            .map(|(i, (g, &n))| {
+                let w = if i == 0 { 1.0 } else { self.future_weight };
+                w * g / n as f64
+            })
+            .sum();
+        decay * sum
+    }
+
     /// Scores the tentative layout `φs` (the layout *after* the candidate
     /// swap) against the layered look-ahead window.
     ///
@@ -121,35 +164,12 @@ impl SwapCost {
                 sizes.resize(layer, 0);
             }
             let d = dist.get(layout.phys(g.q1), layout.phys(g.q2)) as f64;
-            let w = match self.variant {
-                CostVariant::DistanceOnly | CostVariant::LayerAdjusted => 1.0,
-                CostVariant::DependencyWeighted => {
-                    let raw = (g.omega + self.smoothing) as f64;
-                    match self.scaling {
-                        OmegaScaling::Linear => raw,
-                        OmegaScaling::Sqrt => raw.sqrt(),
-                        OmegaScaling::Log => raw.ln_1p(),
-                    }
-                }
-            };
-            let discount = match self.variant {
-                CostVariant::DistanceOnly => 1.0,
-                _ => 1.0 / layer as f64,
-            };
+            let w = self.omega_factor(g.omega);
+            let discount = self.layer_discount(layer);
             gamma[layer - 1] += w * d * discount;
             sizes[layer - 1] += 1;
         }
-        let sum: f64 = gamma
-            .iter()
-            .zip(&sizes)
-            .enumerate()
-            .filter(|&(_, (_, &n))| n > 0)
-            .map(|(i, (g, &n))| {
-                let w = if i == 0 { 1.0 } else { self.future_weight };
-                w * g / n as f64
-            })
-            .sum();
-        decay * sum
+        self.combine(&gamma, &sizes, decay)
     }
 }
 

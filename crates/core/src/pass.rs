@@ -251,6 +251,8 @@ impl MappingPipeline {
     /// # Errors
     ///
     /// [`PipelineError::DeviceTooSmall`] when the circuit does not fit,
+    /// [`PipelineError::DisconnectedDevice`] when the coupling graph has
+    /// more than one component (routing could not terminate),
     /// [`PipelineError::Post`] when a post pass rejects the result.
     pub fn run(
         &self,
@@ -277,6 +279,14 @@ impl MappingPipeline {
             return Err(PipelineError::DeviceTooSmall {
                 needed: circuit.n_qubits(),
                 available: device.n_qubits(),
+            });
+        }
+        // A disconnected device would make routing non-terminating: a gate
+        // spanning components keeps distance UNREACHABLE forever and the
+        // stall limit (scaled by the finite diameter) never fires.
+        if !device.is_connected() {
+            return Err(PipelineError::DisconnectedDevice {
+                device: device.name().to_string(),
             });
         }
         let ctx = PassContext {

@@ -26,6 +26,12 @@ pub enum PipelineError {
         /// Physical qubits available.
         available: usize,
     },
+    /// The device's coupling graph is disconnected, so some qubit pairs
+    /// can never be brought adjacent and routing would not terminate.
+    DisconnectedDevice {
+        /// Back-end name of the rejected device.
+        device: String,
+    },
     /// A post pass (verification, metrics) rejected the mapping result.
     Post {
         /// Name of the failing pass.
@@ -44,6 +50,11 @@ impl fmt::Display for PipelineError {
                 f,
                 "circuit needs {needed} qubits but device has {available}"
             ),
+            PipelineError::DisconnectedDevice { device } => write!(
+                f,
+                "device `{device}` is disconnected: qubits in different \
+                 components can never be made adjacent by SWAPs"
+            ),
             PipelineError::Post { pass, message } => {
                 write!(f, "post pass `{pass}` failed: {message}")
             }
@@ -56,7 +67,9 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Parse(e) => Some(e),
             PipelineError::Convert(e) => Some(e),
-            PipelineError::DeviceTooSmall { .. } | PipelineError::Post { .. } => None,
+            PipelineError::DeviceTooSmall { .. }
+            | PipelineError::DisconnectedDevice { .. }
+            | PipelineError::Post { .. } => None,
         }
     }
 }
@@ -188,10 +201,26 @@ mod tests {
             available: 3,
         };
         assert!(err.source().is_none());
+        let err = PipelineError::DisconnectedDevice {
+            device: "two islands".into(),
+        };
+        assert!(err.source().is_none());
         let err = PipelineError::Post {
             pass: "verify".into(),
             message: "bad".into(),
         };
         assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn rejects_disconnected_device() {
+        // Two 2-qubit islands: without the entry check, a gate spanning
+        // components would spin in `route_with` forever (its distance stays
+        // UNREACHABLE and no SWAP can reduce it).
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\ncx q[0], q[3];\n";
+        let device = topology::CouplingGraph::new("two islands", 4, &[(0, 1), (2, 3)]);
+        let err = route_qasm(src, &device, &QlosureConfig::default()).unwrap_err();
+        assert!(matches!(err, PipelineError::DisconnectedDevice { .. }));
+        assert!(err.to_string().contains("disconnected"));
     }
 }

@@ -24,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use topology::CouplingGraph;
+use topology::{CouplingGraph, DistanceMatrix};
 
 /// How the initial logical→physical assignment is chosen (§V-B.4, §VI-E).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -282,6 +282,16 @@ impl RoutingPass for QlosureRoutingPass {
 /// [`RoutingState::front_version`]: consecutive SWAP steps with an
 /// unchanged front reuse it outright, and a rebuild reuses the
 /// epoch-stamped buffers instead of fresh `vec![false; n]` allocations.
+///
+/// On top of the window it carries the **batched scoring** scratch: the
+/// ω-weight and layer-discount factors of each scored gate are frozen at
+/// rebuild time ([`WindowScratch::prepare`]), the gates' physical
+/// endpoints and base contributions are refreshed once per SWAP step
+/// ([`WindowScratch::begin_step`]), and each candidate is then scored by
+/// [`WindowScratch::score_candidate`] without touching the layout — the
+/// accumulation order and every float expression mirror
+/// [`SwapCost::score`] exactly, so selection is bit-for-bit identical to
+/// speculating the swap and rescoring the window from scratch.
 pub(crate) struct WindowScratch {
     /// Scored gates, front first (rebuilt per front change).
     pub gates: Vec<ScoredGate>,
@@ -294,10 +304,81 @@ pub(crate) struct WindowScratch {
     heap: BinaryHeap<Reverse<u32>>,
     /// `RoutingState::front_version` the window was built for (0 = never).
     built_for: u64,
+    // --- batched-scoring scratch ---
+    /// `front_version` the per-window factors were prepared for.
+    prepared_for: u64,
+    /// Whether the active arrays exclude non-front gates
+    /// ([`CostVariant::DistanceOnly`]).
+    front_only: bool,
+    /// Per *active* gate (window order, minus the gates the cost variant
+    /// ignores): ω weight factor, layer discount, layer index, and the
+    /// current-layout physical endpoints + base contribution `(w·d)·disc`.
+    factor_w: Vec<f64>,
+    factor_disc: Vec<f64>,
+    layer_ix: Vec<u32>,
+    ep1: Vec<u32>,
+    ep2: Vec<u32>,
+    base_contrib: Vec<f64>,
+    /// Per-layer gate counts `|G_ℓ|` (layout-independent).
+    sizes: Vec<u32>,
+    /// Indices into the active arrays of the `layer <= 1` gates (the
+    /// front-sum tie-break set).
+    front_ix: Vec<u32>,
+    /// Current-layout front-layer distance sum (the tie-break baseline).
+    base_front_sum: u32,
+    /// Γ accumulation buffer reused across candidates.
+    gamma: Vec<f64>,
+    /// Per-directed-edge stamps for candidate dedup.
+    edge_stamp: Vec<u64>,
+    edge_epoch: u64,
+    /// Per-layer Γ under the *current* layout (every contribution at its
+    /// base value), refreshed once per step. A candidate's Γ differs only
+    /// in the layers holding a gate incident to its endpoints.
+    base_gamma: Vec<f64>,
+    /// Active indices grouped by layer (CSR over `layer_start`), stable
+    /// within each layer — so a per-layer re-fold visits that layer's
+    /// gates in exactly the window order [`SwapCost::score`] uses.
+    layer_list: Vec<u32>,
+    layer_start: Vec<u32>,
+    /// Per active gate: does it belong to the front tie-break set?
+    front_flag: Vec<bool>,
+    /// Layer-fill cursor reused across `prepare` calls.
+    cursor: Vec<u32>,
+    /// Per physical qubit: active indices with an endpoint there under
+    /// the current layout (`touch_dirty` lists the non-empty slots).
+    touch: Vec<Vec<u32>>,
+    touch_dirty: Vec<u32>,
+    /// Per-layer / per-gate stamps for candidate-local dirty marking.
+    layer_mark: Vec<u32>,
+    gate_mark: Vec<u32>,
+    mark_epoch: u32,
+    /// Dirty-layer worklist reused across candidates.
+    dirty_layers: Vec<u32>,
+    /// Layer-major mirrors of the per-gate arrays (permuted by
+    /// `layer_list`), so dirty-layer re-folds read sequentially instead
+    /// of gathering: factors mirrored per window, endpoints and base
+    /// contributions per step.
+    lm_w: Vec<f64>,
+    lm_disc: Vec<f64>,
+    lm_ep1: Vec<u32>,
+    lm_ep2: Vec<u32>,
+    lm_contrib: Vec<f64>,
+    /// Per layer-major position: the base fold's accumulator value
+    /// *before* adding that position's contribution. A dirty layer
+    /// re-folds from its first affected position seeded with this prefix
+    /// — the adds before it are unchanged, so the seed is bitwise the
+    /// reference accumulator at that point.
+    lm_prefix: Vec<f64>,
+    /// Per active gate: its layer-major position (index into the `lm_*`
+    /// mirrors).
+    lm_pos: Vec<u32>,
+    /// Per layer: minimum affected layer-major position for the current
+    /// candidate (valid only while `layer_mark` holds the epoch).
+    layer_min: Vec<u32>,
 }
 
 impl WindowScratch {
-    pub fn new(n_gates: usize) -> Self {
+    pub fn new(n_gates: usize, device: &CouplingGraph) -> Self {
         WindowScratch {
             gates: Vec::new(),
             front_logicals: Vec::new(),
@@ -306,6 +387,39 @@ impl WindowScratch {
             epoch: 0,
             heap: BinaryHeap::new(),
             built_for: 0,
+            prepared_for: 0,
+            front_only: false,
+            factor_w: Vec::new(),
+            factor_disc: Vec::new(),
+            layer_ix: Vec::new(),
+            ep1: Vec::new(),
+            ep2: Vec::new(),
+            base_contrib: Vec::new(),
+            sizes: Vec::new(),
+            front_ix: Vec::new(),
+            base_front_sum: 0,
+            gamma: Vec::new(),
+            edge_stamp: vec![0; device.n_directed_edges()],
+            edge_epoch: 0,
+            base_gamma: Vec::new(),
+            layer_list: Vec::new(),
+            layer_start: Vec::new(),
+            front_flag: Vec::new(),
+            cursor: Vec::new(),
+            touch: vec![Vec::new(); device.n_qubits()],
+            touch_dirty: Vec::new(),
+            layer_mark: Vec::new(),
+            gate_mark: Vec::new(),
+            mark_epoch: 0,
+            dirty_layers: Vec::new(),
+            lm_w: Vec::new(),
+            lm_disc: Vec::new(),
+            lm_ep1: Vec::new(),
+            lm_ep2: Vec::new(),
+            lm_contrib: Vec::new(),
+            lm_prefix: Vec::new(),
+            lm_pos: Vec::new(),
+            layer_min: Vec::new(),
         }
     }
 
@@ -335,7 +449,10 @@ impl WindowScratch {
         let mut collected = 0usize;
         while let Some(Reverse(g)) = self.heap.pop() {
             let gate = &circuit.gates()[g as usize];
-            let is_front = state.in_degree(g) == 0;
+            // Every walked gate is unexecuted (front gates and their
+            // transitive successors), so front membership is exactly
+            // "no unexecuted predecessors" — one bit test.
+            let is_front = state.in_front(g);
             let l = if is_front {
                 u32::from(gate.is_two_qubit())
             } else {
@@ -389,19 +506,280 @@ impl WindowScratch {
     /// Candidate SWAPs of §V-D: every coupling-graph edge incident to a
     /// physical qubit hosting one of the window's front-layer logicals
     /// (deduplicated, first occurrence wins). Layout-dependent, so derived
-    /// per step from the cached window.
-    pub fn swap_candidates(&self, state: &RoutingState<'_>) -> Vec<(u32, u32)> {
-        let mut out: Vec<(u32, u32)> = Vec::new();
+    /// per step from the cached window — into the reusable `out` buffer,
+    /// with O(1) per-edge epoch-stamped dedup instead of an O(k²) scan.
+    pub fn swap_candidates(&mut self, state: &RoutingState<'_>, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        self.edge_epoch += 1;
         for &l in &self.front_logicals {
             let p1 = state.layout().phys(l);
-            for &p2 in state.device().neighbors(p1) {
-                let pair = (p1.min(p2), p1.max(p2));
-                if !out.contains(&pair) {
-                    out.push(pair);
+            crate::state::push_incident_edges(
+                state.device(),
+                p1,
+                self.edge_epoch,
+                &mut self.edge_stamp,
+                out,
+            );
+        }
+    }
+
+    /// Freezes the layout-independent scoring factors of the current
+    /// window: per active gate the ω weight `w` and layer discount (both
+    /// functions of the cost variant only), the layer index, and the
+    /// per-layer gate counts `|G_ℓ|`. A no-op while the window is
+    /// unchanged. "Active" drops exactly the gates [`SwapCost::score`]
+    /// skips (non-front layers under [`CostVariant::DistanceOnly`]), so
+    /// the accumulation order over active gates equals its gate loop.
+    pub fn prepare(&mut self, cost: &SwapCost) {
+        if self.prepared_for == self.built_for {
+            return;
+        }
+        self.prepared_for = self.built_for;
+        self.front_only = cost.variant() == CostVariant::DistanceOnly;
+        self.factor_w.clear();
+        self.factor_disc.clear();
+        self.layer_ix.clear();
+        self.sizes.clear();
+        self.front_ix.clear();
+        self.front_flag.clear();
+        for g in &self.gates {
+            let layer = g.layer.max(1) as usize;
+            if self.front_only && layer > 1 {
+                continue;
+            }
+            if self.sizes.len() < layer {
+                self.sizes.resize(layer, 0);
+            }
+            if g.layer <= 1 {
+                self.front_ix.push(self.factor_w.len() as u32);
+            }
+            self.front_flag.push(g.layer <= 1);
+            self.factor_w.push(cost.omega_factor(g.omega));
+            self.factor_disc.push(cost.layer_discount(layer));
+            self.layer_ix.push((layer - 1) as u32);
+            self.sizes[layer - 1] += 1;
+        }
+        // Layer-major index lists (stable within a layer), so a dirty
+        // layer can be re-folded in window order without scanning the
+        // whole window.
+        self.layer_start.clear();
+        self.layer_start.push(0);
+        let mut acc = 0u32;
+        for &s in &self.sizes {
+            acc += s;
+            self.layer_start.push(acc);
+        }
+        self.cursor.clear();
+        self.cursor
+            .extend_from_slice(&self.layer_start[..self.sizes.len()]);
+        self.layer_list.clear();
+        self.layer_list.resize(self.layer_ix.len(), 0);
+        self.lm_pos.clear();
+        self.lm_pos.resize(self.layer_ix.len(), 0);
+        for (i, &l) in self.layer_ix.iter().enumerate() {
+            let c = &mut self.cursor[l as usize];
+            self.layer_list[*c as usize] = i as u32;
+            self.lm_pos[i] = *c;
+            *c += 1;
+        }
+        self.lm_w.clear();
+        self.lm_disc.clear();
+        for &gi in &self.layer_list {
+            self.lm_w.push(self.factor_w[gi as usize]);
+            self.lm_disc.push(self.factor_disc[gi as usize]);
+        }
+    }
+
+    /// Refreshes the layout-dependent scoring state for one SWAP step:
+    /// each active gate's physical endpoints and base contribution
+    /// `(w · d) · discount` under the *current* layout, plus the
+    /// front-layer distance sum the progress tie-break compares against.
+    /// Costs one window scan — the same as a single candidate scored the
+    /// naive way — and makes every subsequent candidate score O(window)
+    /// adds with no layout mutation.
+    pub fn begin_step(&mut self, state: &RoutingState<'_>) {
+        let layout = state.layout();
+        let dist = state.dist();
+        self.ep1.clear();
+        self.ep2.clear();
+        self.base_contrib.clear();
+        for &p in &self.touch_dirty {
+            self.touch[p as usize].clear();
+        }
+        self.touch_dirty.clear();
+        let mut active = 0usize;
+        for g in &self.gates {
+            let layer = g.layer.max(1) as usize;
+            if self.front_only && layer > 1 {
+                continue;
+            }
+            let e1 = layout.phys(g.q1);
+            let e2 = layout.phys(g.q2);
+            let d = dist.get(e1, e2) as f64;
+            self.ep1.push(e1);
+            self.ep2.push(e2);
+            self.base_contrib
+                .push(self.factor_w[active] * d * self.factor_disc[active]);
+            for e in [e1, e2] {
+                let slot = &mut self.touch[e as usize];
+                if slot.is_empty() {
+                    self.touch_dirty.push(e);
+                }
+                slot.push(active as u32);
+            }
+            active += 1;
+        }
+        debug_assert_eq!(active, self.factor_w.len());
+        self.base_front_sum = self
+            .front_ix
+            .iter()
+            .map(|&i| u32::from(dist.get(self.ep1[i as usize], self.ep2[i as usize])))
+            .sum();
+        self.lm_ep1.clear();
+        self.lm_ep2.clear();
+        self.lm_contrib.clear();
+        for &gi in &self.layer_list {
+            self.lm_ep1.push(self.ep1[gi as usize]);
+            self.lm_ep2.push(self.ep2[gi as usize]);
+            self.lm_contrib.push(self.base_contrib[gi as usize]);
+        }
+        // Base Γ + prefix accumulators: each layer's base fold in window
+        // order — bitwise the reference accumulation for any layer a
+        // candidate leaves untouched, and a bitwise-exact restart seed
+        // (`lm_prefix`) for every position of a layer it touches.
+        self.base_gamma.clear();
+        self.lm_prefix.clear();
+        self.lm_prefix.resize(self.lm_contrib.len(), 0.0);
+        for l in 0..self.sizes.len() {
+            let lo = self.layer_start[l] as usize;
+            let hi = self.layer_start[l + 1] as usize;
+            let mut acc = 0.0f64;
+            for k in lo..hi {
+                self.lm_prefix[k] = acc;
+                acc += self.lm_contrib[k];
+            }
+            self.base_gamma.push(acc);
+        }
+        self.layer_mark.clear();
+        self.layer_mark.resize(self.sizes.len(), 0);
+        self.layer_min.clear();
+        self.layer_min.resize(self.sizes.len(), 0);
+        self.gate_mark.clear();
+        self.gate_mark.resize(self.base_contrib.len(), 0);
+        self.mark_epoch = 0;
+    }
+
+    /// The current-layout front-layer distance sum (tie-break baseline).
+    pub fn base_front_sum(&self) -> u32 {
+        self.base_front_sum
+    }
+
+    /// Scores candidate SWAP `(p1, p2)` against the prepared window:
+    /// bit-for-bit the value of [`SwapCost::score`] on the speculative
+    /// layout, but computed by re-accumulating the cached per-gate
+    /// contributions (recomputing only gates with an endpoint on `p1` or
+    /// `p2`) instead of re-deriving `w`, `φ` and `D` for every gate.
+    pub fn score_candidate(
+        &mut self,
+        cost: &SwapCost,
+        dist: &DistanceMatrix,
+        p1: u32,
+        p2: u32,
+        decay: f64,
+    ) -> f64 {
+        // Γ[ℓ] is an independent fold over layer ℓ's gates in window
+        // order, so only layers holding a gate incident to p1/p2 can
+        // differ from the per-step base — re-fold exactly those (in the
+        // same within-layer order) and reuse `base_gamma` for the rest.
+        self.gamma.clear();
+        self.gamma.extend_from_slice(&self.base_gamma);
+        self.mark_epoch += 1;
+        let epoch = self.mark_epoch;
+        self.dirty_layers.clear();
+        for e in [p1, p2] {
+            for i in 0..self.touch[e as usize].len() {
+                let g = self.touch[e as usize][i] as usize;
+                let l = self.layer_ix[g] as usize;
+                let pos = self.lm_pos[g];
+                if self.layer_mark[l] != epoch {
+                    self.layer_mark[l] = epoch;
+                    self.dirty_layers.push(l as u32);
+                    self.layer_min[l] = pos;
+                } else if pos < self.layer_min[l] {
+                    self.layer_min[l] = pos;
                 }
             }
         }
-        out
+        for &l in &self.dirty_layers {
+            let lo = self.layer_min[l as usize] as usize;
+            let hi = self.layer_start[l as usize + 1] as usize;
+            let mut acc = self.lm_prefix[lo];
+            for k in lo..hi {
+                let e1 = self.lm_ep1[k];
+                let e2 = self.lm_ep2[k];
+                let contrib = if e1 == p1 || e1 == p2 || e2 == p1 || e2 == p2 {
+                    let f1 = if e1 == p1 {
+                        p2
+                    } else if e1 == p2 {
+                        p1
+                    } else {
+                        e1
+                    };
+                    let f2 = if e2 == p1 {
+                        p2
+                    } else if e2 == p2 {
+                        p1
+                    } else {
+                        e2
+                    };
+                    self.lm_w[k] * dist.get(f1, f2) as f64 * self.lm_disc[k]
+                } else {
+                    self.lm_contrib[k]
+                };
+                acc += contrib;
+            }
+            self.gamma[l as usize] = acc;
+        }
+        cost.combine(&self.gamma, &self.sizes, decay)
+    }
+
+    /// The front-layer distance sum under the speculative layout after
+    /// SWAP `(p1, p2)` — the integer progress term of the tie-break.
+    /// Integer addition is associative, so the sum is updated as an exact
+    /// delta over the front gates incident to `p1`/`p2` instead of
+    /// re-summing the whole front.
+    pub fn front_sum_after(&mut self, dist: &DistanceMatrix, p1: u32, p2: u32) -> u32 {
+        self.mark_epoch += 1;
+        let epoch = self.mark_epoch;
+        let mut sum = i64::from(self.base_front_sum);
+        for e in [p1, p2] {
+            for k in 0..self.touch[e as usize].len() {
+                let i = self.touch[e as usize][k] as usize;
+                if !self.front_flag[i] || self.gate_mark[i] == epoch {
+                    continue;
+                }
+                self.gate_mark[i] = epoch;
+                let e1 = self.ep1[i];
+                let e2 = self.ep2[i];
+                let f1 = if e1 == p1 {
+                    p2
+                } else if e1 == p2 {
+                    p1
+                } else {
+                    e1
+                };
+                let f2 = if e2 == p1 {
+                    p2
+                } else if e2 == p2 {
+                    p1
+                } else {
+                    e2
+                };
+                sum += i64::from(dist.get(f1, f2));
+                sum -= i64::from(dist.get(e1, e2));
+            }
+        }
+        sum as u32
     }
 }
 
@@ -421,8 +799,10 @@ pub(crate) fn route_with(
     let c_const = state.device().max_degree() + config.lookahead_margin.max(1);
     let stall_limit = 3 * state.dist().diameter() as usize + config.stall_slack;
     let mut stall = 0usize;
-    let mut window = WindowScratch::new(state.dag().n_gates());
-    let mut scored: Vec<((u32, u32), f64)> = Vec::new();
+    let mut window = WindowScratch::new(state.dag().n_gates(), state.device());
+    let mut candidates: Vec<(u32, u32)> = Vec::new();
+    let mut scored: Vec<f64> = Vec::new();
+    let mut best: Vec<(u32, u32)> = Vec::new();
     loop {
         // EXTRACT_READY_GATES: everything in Lf executable under φ.
         if state.execute_ready().ran > 0 {
@@ -434,7 +814,9 @@ pub(crate) fn route_with(
         }
         // All front gates are blocked two-qubit gates: pick a SWAP.
         window.rebuild(state, weights, c_const);
-        let candidates = window.swap_candidates(state);
+        window.prepare(&cost);
+        window.begin_step(state);
+        window.swap_candidates(state, &mut candidates);
         debug_assert!(!candidates.is_empty(), "blocked front with no candidates");
         let clock_max = state.clock_max();
         let busy = |s: &RoutingState<'_>, p: u32| -> f64 {
@@ -444,39 +826,30 @@ pub(crate) fn route_with(
                 config.busy_weight * f64::from(s.clock(p)) / f64::from(clock_max)
             }
         };
+        let dist = state.dist();
         scored.clear();
         let mut best_score = f64::INFINITY;
         for &(p1, p2) in &candidates {
             let d1 = state.decay(p1) + busy(state, p1);
             let d2 = state.decay(p2) + busy(state, p2);
             let decay = d1.max(d2);
-            let score = state.speculate_swap(p1, p2, |s| {
-                cost.score(&window.gates, s.layout(), s.dist(), decay)
-            });
+            let score = window.score_candidate(&cost, dist, p1, p2, decay);
             best_score = best_score.min(score);
-            scored.push(((p1, p2), score));
+            scored.push(score);
         }
         // Near-ties resolve toward swaps that (a) strictly shrink the
         // front layer's total distance (guaranteed progress) and (b)
         // finish earliest on the schedule (idle qubits are almost free,
         // depth-wise), then randomly.
-        let front_sum = |s: &RoutingState<'_>| -> u32 {
-            window
-                .gates
-                .iter()
-                .filter(|g| g.layer <= 1)
-                .map(|g| u32::from(s.dist().get(s.layout().phys(g.q1), s.layout().phys(g.q2))))
-                .sum()
-        };
-        let base_front = front_sum(state);
+        let base_front = window.base_front_sum();
         let cutoff = best_score + best_score.abs() * config.tie_epsilon + 1e-9;
-        let mut best: Vec<(u32, u32)> = Vec::new();
+        best.clear();
         let mut best_key = (false, u32::MAX);
-        for &((p1, p2), score) in &scored {
-            if score > cutoff {
+        for (i, &(p1, p2)) in candidates.iter().enumerate() {
+            if scored[i] > cutoff {
                 continue;
             }
-            let progress = state.speculate_swap(p1, p2, |s| front_sum(s) < base_front);
+            let progress = window.front_sum_after(dist, p1, p2) < base_front;
             let done = state.swap_completion(p1, p2);
             let key = (progress, done);
             let better = match (key.0, best_key.0) {
@@ -743,7 +1116,7 @@ mod tests {
         let mut state = RoutingState::new(&c, &device, &dist, Layout::identity(4, 6));
         state.execute_ready();
         let weights = [3, 1, 0];
-        let mut w = WindowScratch::new(state.dag().n_gates());
+        let mut w = WindowScratch::new(state.dag().n_gates(), &device);
         w.rebuild(&mut state, &weights, 4);
         assert_eq!(w.gates[0].layer, 1);
         assert!(w.gates.iter().any(|g| g.layer == 2));

@@ -30,6 +30,7 @@
 //! state without cloning it; cost evaluation of a single speculative SWAP
 //! has a cheaper layout-only path, [`RoutingState::speculate_swap`].
 
+use crate::bits::BitVec;
 use crate::layout::Layout;
 use crate::MappingResult;
 use circuit::{Circuit, DependenceGraph, Gate};
@@ -99,11 +100,15 @@ pub struct RoutingState<'a> {
     decay: Vec<f64>,
     clock: Vec<u32>,
     clock_max: u32,
+    /// Front-membership bitset, kept in lockstep with `front`: bit `g` is
+    /// set iff `g` is in the front layer.
+    front_bits: BitVec,
     // --- reusable scratch (the incremental part) ---
     /// Ready-gate collection buffer for `execute_ready`.
     ready_buf: Vec<u32>,
-    /// Per-gate marker backing the O(front) retain in `execute_ready`.
-    gate_mark: Vec<bool>,
+    /// Per-gate marker bitset backing the O(front) retain in
+    /// `execute_ready`.
+    gate_mark: BitVec,
     /// First-touch stamps for clock-delta recording.
     touch_stamp: Vec<u32>,
     touch_epoch: u32,
@@ -111,6 +116,10 @@ pub struct RoutingState<'a> {
     /// gates; valid while `fl_version == front_version`.
     fl_cache: Vec<u32>,
     fl_version: u64,
+    /// Per-directed-edge stamps for duplicate-free candidate enumeration
+    /// (a canonical pair `(lo, hi)` stamps the `lo -> hi` entry).
+    edge_stamp: Vec<u64>,
+    edge_epoch: u64,
 }
 
 impl<'a> RoutingState<'a> {
@@ -135,6 +144,10 @@ impl<'a> RoutingState<'a> {
         let front = dag.initial_front();
         let initial_layout = layout.as_assignment().to_vec();
         let n_gates = circuit.gates().len();
+        let mut front_bits = BitVec::new(n_gates);
+        for &g in &front {
+            front_bits.set(g as usize);
+        }
         RoutingState {
             circuit,
             device,
@@ -150,12 +163,15 @@ impl<'a> RoutingState<'a> {
             decay: vec![1.0; device.n_qubits()],
             clock: vec![0; device.n_qubits()],
             clock_max: 0,
+            front_bits,
             ready_buf: Vec::new(),
-            gate_mark: vec![false; n_gates],
+            gate_mark: BitVec::new(n_gates),
             touch_stamp: vec![0; device.n_qubits()],
             touch_epoch: 0,
             fl_cache: Vec::new(),
             fl_version: 0,
+            edge_stamp: vec![0; device.n_directed_edges()],
+            edge_epoch: 0,
         }
     }
 
@@ -200,6 +216,13 @@ impl<'a> RoutingState<'a> {
     /// against a remembered value to invalidate pass-local caches.
     pub fn front_version(&self) -> u64 {
         self.front_version
+    }
+
+    /// Whether gate `g` is in the front layer — a single bit test against
+    /// the front-membership bitset, for hot-path walks that would
+    /// otherwise scan the front vector or load in-degrees.
+    pub fn in_front(&self, g: u32) -> bool {
+        self.front_bits.get(g as usize)
     }
 
     /// Whether every gate has been routed.
@@ -330,14 +353,16 @@ impl<'a> RoutingState<'a> {
     /// wins) — the ordering the baseline mappers score in.
     pub fn swap_candidates(&mut self) -> Vec<(u32, u32)> {
         let physicals = self.front_physicals();
+        self.edge_epoch += 1;
         let mut out: Vec<(u32, u32)> = Vec::new();
         for p1 in physicals {
-            for &p2 in self.device.neighbors(p1) {
-                let pair = (p1.min(p2), p1.max(p2));
-                if !out.contains(&pair) {
-                    out.push(pair);
-                }
-            }
+            push_incident_edges(
+                self.device,
+                p1,
+                self.edge_epoch,
+                &mut self.edge_stamp,
+                &mut out,
+            );
         }
         out
     }
@@ -349,15 +374,17 @@ impl<'a> RoutingState<'a> {
     /// look-ahead window, whose budget can exclude late front gates.
     pub fn swap_candidates_logical(&mut self) -> Vec<(u32, u32)> {
         self.front_logicals();
+        self.edge_epoch += 1;
         let mut out: Vec<(u32, u32)> = Vec::new();
         for i in 0..self.fl_cache.len() {
             let p1 = self.layout.phys(self.fl_cache[i]);
-            for &p2 in self.device.neighbors(p1) {
-                let pair = (p1.min(p2), p1.max(p2));
-                if !out.contains(&pair) {
-                    out.push(pair);
-                }
-            }
+            push_incident_edges(
+                self.device,
+                p1,
+                self.edge_epoch,
+                &mut self.edge_stamp,
+                &mut out,
+            );
         }
         out
     }
@@ -395,17 +422,19 @@ impl<'a> RoutingState<'a> {
                 let gate = &self.circuit.gates()[g as usize];
                 self.emit_mapped(gate);
                 self.advance_clock_tracked(g, &mut delta.clock_prev);
-                self.gate_mark[g as usize] = true;
+                self.gate_mark.set(g as usize);
+                self.front_bits.clear(g as usize);
             }
             delta.ran += ready.len();
             let mark = &self.gate_mark;
-            self.front.retain(|&g| !mark[g as usize]);
+            self.front.retain(|&g| !mark.get(g as usize));
             for &g in &ready {
-                self.gate_mark[g as usize] = false;
+                self.gate_mark.clear(g as usize);
                 for &s in self.dag.succs(g) {
                     self.indeg[s as usize] -= 1;
                     if self.indeg[s as usize] == 0 {
                         self.front.push(s);
+                        self.front_bits.set(s as usize);
                     }
                 }
             }
@@ -431,7 +460,13 @@ impl<'a> RoutingState<'a> {
             self.clock[p as usize] = prev;
         }
         self.clock_max = delta.clock_max_before;
+        for &g in &self.front {
+            self.front_bits.clear(g as usize);
+        }
         self.front = delta.front_before;
+        for &g in &self.front {
+            self.front_bits.set(g as usize);
+        }
         self.front_version += 1;
     }
 
@@ -568,6 +603,28 @@ impl<'a> RoutingState<'a> {
             self.clock[p as usize] = done;
         }
         self.clock_max = self.clock_max.max(done);
+    }
+}
+
+/// Appends every coupling edge incident to `p1` as a canonical `(lo, hi)`
+/// pair, skipping pairs already stamped with `epoch` — the O(1) dedup
+/// behind the candidate frontiers. Each canonical pair stamps its
+/// `lo -> hi` directed CSR entry, so one epoch bump starts a fresh set
+/// without clearing the stamp table.
+pub(crate) fn push_incident_edges(
+    device: &CouplingGraph,
+    p1: u32,
+    epoch: u64,
+    stamp: &mut [u64],
+    out: &mut Vec<(u32, u32)>,
+) {
+    for &p2 in device.neighbors(p1) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let slot = device.edge_index(lo, hi).expect("coupled pair");
+        if stamp[slot] != epoch {
+            stamp[slot] = epoch;
+            out.push((lo, hi));
+        }
     }
 }
 

@@ -17,11 +17,15 @@ use crate::memo::{self, FragmentGate, FragmentKey};
 use crate::place::{build_layout, place_clusters};
 use affine::DependenceAnalysis;
 use circuit::{Circuit, Gate, GateKind};
+use engine::BatchEngine;
 use qlosure::{
     AnalysisPass, Artifacts, DependenceWeightsPass, IdentityLayoutPass, Layout, LayoutPass, Mapper,
     MappingPipeline, MappingResult, PassContext, QlosureConfig, QlosureRoutingPass, RoutingPass,
     RoutingState,
 };
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use topology::NoiseModel;
 
 /// Device size at which the `"auto"` service strategy switches from the
@@ -48,6 +52,14 @@ pub struct HierConfig {
     /// Configuration of the flat Qlosure router used for region placement
     /// and per-region sub-routing.
     pub subroute: QlosureConfig,
+    /// Worker threads for speculative fragment prefetch: upcoming
+    /// fragments anchored in *other* regions are sub-routed concurrently
+    /// into the shared memo while the main thread replays strictly in
+    /// program order. `None` reads `ENGINE_THREADS` (the engine crate's
+    /// knob); `Some(1)` disables prefetch. Plans are pure functions of
+    /// their content key, so the routed output is bit-for-bit identical
+    /// at every thread count — the knob changes wall-clock time only.
+    pub threads: Option<usize>,
 }
 
 /// Analysis pass coarsening the device into a [`RegionMap`] artifact
@@ -198,30 +210,44 @@ impl HierRoutingPass {
         }
         (canonical, local_circuit)
     }
+}
 
-    /// Routes the fragment's local circuit on the region subgraph with
-    /// the flat pipeline and extracts its SWAP plan.
-    fn subroute_plan(&self, region: &Region, local_circuit: &Circuit) -> Vec<(u32, u32)> {
-        let pipeline = MappingPipeline::new(
-            IdentityLayoutPass,
-            QlosureRoutingPass::new(self.config.subroute.clone()),
-        )
-        .with_analysis(DependenceWeightsPass::new(self.config.subroute.weight_mode));
-        match pipeline.run_with_distances(local_circuit, &region.device, &region.dist) {
-            Ok(outcome) => outcome
-                .result
-                .routed
-                .gates()
-                .iter()
-                .filter(|g| g.kind == GateKind::Swap)
-                .map(|g| (g.qubits[0], g.qubits[1]))
-                .collect(),
-            // Defensive: an unroutable fragment falls back to the
-            // caller's forced-progress path.
-            Err(_) => Vec::new(),
-        }
+/// Routes a fragment's local circuit on the region subgraph with the flat
+/// pipeline and extracts its SWAP plan. A free function (not a method) so
+/// the prefetch workers — which outlive any `&self` borrow — run the
+/// identical computation: the plan is a pure function of
+/// `(region, local_circuit, config)`, which is exactly the memo key.
+fn subroute_plan(
+    config: &QlosureConfig,
+    region: &Region,
+    local_circuit: &Circuit,
+) -> Vec<(u32, u32)> {
+    let pipeline =
+        MappingPipeline::new(IdentityLayoutPass, QlosureRoutingPass::new(config.clone()))
+            .with_analysis(DependenceWeightsPass::new(config.weight_mode));
+    match pipeline.run_with_distances(local_circuit, &region.device, &region.dist) {
+        Ok(outcome) => outcome
+            .result
+            .routed
+            .gates()
+            .iter()
+            .filter(|g| g.kind == GateKind::Swap)
+            .map(|g| (g.qubits[0], g.qubits[1]))
+            .collect(),
+        // Defensive: an unroutable fragment falls back to the
+        // caller's forced-progress path.
+        Err(_) => Vec::new(),
     }
 }
+
+/// How far past the scan cursor the speculative prefetch looks for
+/// upcoming fragments (in gates). Bounds the per-step scan cost.
+const PREFETCH_HORIZON: usize = 2048;
+/// Maximum distinct regions speculated per step.
+const PREFETCH_REGIONS: usize = 8;
+/// Intake-queue bound of the prefetch pool; a full queue drops the
+/// speculation (best-effort) rather than blocking the replay thread.
+const PREFETCH_QUEUE: usize = 64;
 
 impl RoutingPass for HierRoutingPass {
     fn name(&self) -> &'static str {
@@ -245,11 +271,36 @@ impl RoutingPass for HierRoutingPass {
         let subroute_fingerprint = format!("{:?}", self.config.subroute);
         // One shared edge list per region for the whole run: the memo key
         // clones an Arc, not the list.
-        let region_edges: Vec<std::sync::Arc<Vec<(u32, u32)>>> = rm
+        let region_edges: Vec<Arc<Vec<(u32, u32)>>> = rm
             .regions
             .iter()
-            .map(|r| std::sync::Arc::new(r.device.edges()))
+            .map(|r| Arc::new(r.device.edges()))
             .collect();
+        // Speculative fragment prefetch: a persistent worker pool warms
+        // the shared memo with sub-route plans for fragments anchored in
+        // regions *other* than the one being replayed. The replay loop
+        // below is untouched — it always looks plans up by their true
+        // content key, and a plan is a pure function of that key — so the
+        // routed output is bit-for-bit identical at every thread count;
+        // prefetch only moves memo misses off the critical path. One
+        // thread skips speculation entirely (pure sequential replay).
+        let pool = match self.config.threads {
+            Some(n) => BatchEngine::with_threads(n),
+            None => BatchEngine::from_env(),
+        };
+        let prefetch = (pool.threads() > 1).then(|| {
+            let subroute = self.config.subroute.clone();
+            let worker = move |(key, region, circuit): (FragmentKey, Arc<Region>, Circuit)| {
+                memo::global().get_or_compute(key, || subroute_plan(&subroute, &region, &circuit));
+            };
+            let regions: Vec<Arc<Region>> =
+                rm.regions.iter().map(|r| Arc::new(r.clone())).collect();
+            (pool.stream(PREFETCH_QUEUE, worker), regions)
+        });
+        // u64 content hashes of already-submitted speculative keys: a
+        // repeat fragment is never resubmitted (a hash collision merely
+        // skips one speculation — correctness never depends on the set).
+        let mut submitted: HashSet<u64> = HashSet::new();
         let n_gates = state.circuit().gates().len();
         // Epoch-stamped scratch: `front_stamp[g] == epoch` means g is in
         // the current front; `host_stamp[l] == epoch` means logical l is
@@ -334,7 +385,86 @@ impl RoutingPass for HierRoutingPass {
                 gates: canonical,
                 config: subroute_fingerprint.clone(),
             };
-            let plan = memo.get_or_compute(key, || self.subroute_plan(region, &local_circuit));
+            if let Some((stream, region_arcs)) = &prefetch {
+                // Before sub-routing this fragment, scan the pending tail
+                // once and hand upcoming other-region fragments to the
+                // workers, so their plans compute while this one does.
+                // Speculation is best-effort: an intervening boundary
+                // stitch can shift a fragment's entry layout, in which
+                // case the submitted key never matches and the warm plan
+                // is simply unused.
+                let mut open: Vec<(u32, Vec<u32>)> = Vec::new();
+                let mut done: Vec<(u32, Vec<u32>)> = Vec::new();
+                let end = n_gates.min(cursor + PREFETCH_HORIZON);
+                for i in cursor..end {
+                    if state.in_degree(i as u32) == 0 && front_stamp[i] != epoch {
+                        continue; // executed
+                    }
+                    let gate = &state.circuit().gates()[i];
+                    if gate.qubits.is_empty() {
+                        continue;
+                    }
+                    let r0 = rm.region_of(state.layout().phys(gate.qubits[0]));
+                    let uniform = gate
+                        .qubits
+                        .iter()
+                        .all(|&q| rm.region_of(state.layout().phys(q)) == r0);
+                    if uniform {
+                        if r0 == ra || done.iter().any(|(r, _)| *r == r0) {
+                            continue;
+                        }
+                        let room = open.len() + done.len() < PREFETCH_REGIONS;
+                        if let Some((_, frag)) = open.iter_mut().find(|(r, _)| *r == r0) {
+                            frag.push(i as u32);
+                        } else if room {
+                            open.push((r0, vec![i as u32]));
+                        }
+                    } else {
+                        // A straddling gate is a dependence barrier for
+                        // every region it touches: those fragments end
+                        // here, exactly like the replay scan's `break`.
+                        for &q in &gate.qubits {
+                            let r = rm.region_of(state.layout().phys(q));
+                            if let Some(pos) = open.iter().position(|(or, _)| *or == r) {
+                                done.push(open.remove(pos));
+                            } else if !done.iter().any(|(dr, _)| *dr == r) {
+                                done.push((r, Vec::new()));
+                            }
+                        }
+                    }
+                }
+                if end == n_gates {
+                    // The scan ran off the circuit: open runs are maximal.
+                    done.append(&mut open);
+                }
+                for (r, frag) in done {
+                    if frag.is_empty() {
+                        continue;
+                    }
+                    let spec_region = &rm.regions[r as usize];
+                    let (spec_gates, spec_circuit) =
+                        self.local_fragment(state, rm, spec_region, &frag);
+                    let spec_key = FragmentKey {
+                        n_local: spec_region.len() as u32,
+                        edges: region_edges[r as usize].clone(),
+                        gates: spec_gates,
+                        config: subroute_fingerprint.clone(),
+                    };
+                    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                    spec_key.hash(&mut hasher);
+                    if submitted.insert(hasher.finish()) {
+                        // Full queue = drop the speculation, never block.
+                        let _ = stream.submit((
+                            spec_key,
+                            region_arcs[r as usize].clone(),
+                            spec_circuit,
+                        ));
+                    }
+                }
+            }
+            let plan = memo.get_or_compute(key, || {
+                subroute_plan(&self.config.subroute, region, &local_circuit)
+            });
             for &(l1, l2) in plan.iter() {
                 let (p1, p2) = (region.qubits[l1 as usize], region.qubits[l2 as usize]);
                 state.apply_swap(p1, p2);
@@ -514,6 +644,32 @@ mod tests {
         let (h1, _) = memo::subroute_memo_stats();
         assert!(h1 > h0, "the warm run must hit the fragment memo");
         verify(&c, &device, &cold);
+    }
+
+    #[test]
+    fn prefetch_thread_count_never_changes_the_routing() {
+        // The parallel-fragment determinism rule: speculative prefetch
+        // only warms the content-keyed memo, so the routed circuit is
+        // bit-for-bit identical at every thread count.
+        let device = backends::square_grid(8, 8);
+        let c = scrambled_circuit(64, 300, 17);
+        let map_with = |threads: usize| {
+            HierMapper::with_config(HierConfig {
+                budget: Some(16),
+                threads: Some(threads),
+                ..HierConfig::default()
+            })
+            .map(&c, &device)
+        };
+        let sequential = map_with(1);
+        verify(&c, &device, &sequential);
+        for threads in [2, 4] {
+            assert_eq!(
+                sequential,
+                map_with(threads),
+                "threads={threads} must reproduce the sequential routing"
+            );
+        }
     }
 
     #[test]

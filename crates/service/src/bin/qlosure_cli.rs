@@ -44,7 +44,12 @@ fn fail(e: &ClientError) -> ! {
 
 /// Prints a response frame the way it crossed the wire.
 fn print_response(response: &Response) {
-    println!("{}", encode_response(response));
+    // A response parsed off the wire contains only finite numbers (the
+    // parser rejects non-finite), so re-encoding cannot fail.
+    println!(
+        "{}",
+        encode_response(response).expect("wire frames re-encode")
+    );
 }
 
 struct SubmitArgs {

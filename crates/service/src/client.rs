@@ -95,8 +95,8 @@ impl Client {
     ///
     /// Transport and decode failures.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.writer
-            .write_all(format!("{}\n", encode_request(request)).as_bytes())?;
+        let frame = encode_request(request).map_err(std::io::Error::other)?;
+        self.writer.write_all(format!("{frame}\n").as_bytes())?;
         self.writer.flush()?;
         let mut buf = Vec::new();
         let n = (&mut self.reader)

@@ -181,7 +181,8 @@ fn handle_connection(
                     code: ErrorCode::Oversized,
                     message: format!("frame of {len}+ bytes exceeds the {MAX_FRAME}-byte limit"),
                 };
-                writer.write_all(format!("{}\n", encode_response(&response)).as_bytes())?;
+                let frame = encode_response(&response).map_err(std::io::Error::other)?;
+                writer.write_all(format!("{frame}\n").as_bytes())?;
                 return Ok(());
             }
         };
@@ -189,7 +190,8 @@ fn handle_connection(
             continue; // tolerate blank keep-alive lines
         }
         let (response, end) = dispatch(service, shutdown, &line);
-        writer.write_all(format!("{}\n", encode_response(&response)).as_bytes())?;
+        let frame = encode_response(&response).map_err(std::io::Error::other)?;
+        writer.write_all(format!("{frame}\n").as_bytes())?;
         writer.flush()?;
         if end {
             return Ok(());

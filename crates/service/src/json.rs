@@ -100,25 +100,31 @@ impl Json {
 
     /// Encodes the value as compact single-line JSON (objects keep member
     /// order, so encoding is deterministic).
-    pub fn encode(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError`] when the value contains a non-finite number. JSON
+    /// has no NaN/infinity literal and the parser rejects them, so a
+    /// lossy stand-in would break the `parse(encode(x)) == x` fixed-point
+    /// invariant; non-finite values are surfaced as a typed error instead.
+    pub fn encode(&self) -> Result<String, EncodeError> {
         let mut out = String::new();
-        self.write(&mut out);
-        out
+        self.write(&mut out)?;
+        Ok(out)
     }
 
-    fn write(&self, out: &mut String) {
+    fn write(&self, out: &mut String) -> Result<(), EncodeError> {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(true) => out.push_str("true"),
             Json::Bool(false) => out.push_str("false"),
             Json::Num(x) => {
-                if x.is_finite() {
-                    // Rust's Display for f64 is shortest-roundtrip and
-                    // never uses exponent notation: always valid JSON.
-                    out.push_str(&format!("{x}"));
-                } else {
-                    out.push_str("null"); // non-finite values are protocol bugs
+                if !x.is_finite() {
+                    return Err(EncodeError { value: *x });
                 }
+                // Rust's Display for f64 is shortest-roundtrip and
+                // never uses exponent notation: always valid JSON.
+                out.push_str(&format!("{x}"));
             }
             Json::Str(s) => write_string(out, s),
             Json::Arr(items) => {
@@ -127,7 +133,7 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    item.write(out);
+                    item.write(out)?;
                 }
                 out.push(']');
             }
@@ -139,13 +145,35 @@ impl Json {
                     }
                     write_string(out, k);
                     out.push(':');
-                    v.write(out);
+                    v.write(out)?;
                 }
                 out.push('}');
             }
         }
+        Ok(())
     }
 }
+
+/// A value that cannot be represented on the wire: JSON has no literal
+/// for NaN or the infinities, so encoding one is a protocol bug surfaced
+/// as a typed error rather than a silently corrupted frame.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EncodeError {
+    /// The offending non-finite number.
+    pub value: f64,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-finite number {} is not representable in JSON",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
 
 /// Escapes and quotes `s` into `out`.
 fn write_string(out: &mut String, s: &str) {
@@ -409,6 +437,14 @@ impl<'a> Parser<'a> {
         if self.pos == digits_start {
             return Err(self.err("invalid number"));
         }
+        // RFC 8259: the integer part is `0` or a nonzero digit followed by
+        // digits — `0123` and `-007` are not JSON numbers.
+        if self.bytes[digits_start] == b'0' && self.pos - digits_start > 1 {
+            return Err(JsonError {
+                pos: digits_start,
+                msg: "leading zero in number",
+            });
+        }
         if self.peek() == Some(b'.') {
             self.pos += 1;
             let frac_start = self.pos;
@@ -480,13 +516,13 @@ mod tests {
             Some(true)
         );
         // encode → parse is the identity.
-        assert_eq!(parse(&v.encode()).unwrap(), v);
+        assert_eq!(parse(&v.encode().unwrap()).unwrap(), v);
     }
 
     #[test]
     fn string_escapes_round_trip() {
         let tricky = "quote\" slash\\ nl\n tab\t cr\r nul\u{0} emoji🦀 high\u{10FFFF}";
-        let encoded = Json::Str(tricky.into()).encode();
+        let encoded = Json::Str(tricky.into()).encode().unwrap();
         assert!(!encoded.contains('\n'), "one frame stays one line");
         assert_eq!(parse(&encoded).unwrap(), Json::Str(tricky.into()));
         // Explicit \u escapes, including a surrogate pair.
@@ -499,8 +535,19 @@ mod tests {
     #[test]
     fn float_display_round_trips_exactly() {
         for x in [0.1, 1.0 / 3.0, 6.0221408e23, 5e-324, f64::MAX] {
-            let encoded = Json::Num(x).encode();
+            let encoded = Json::Num(x).encode().unwrap();
             assert_eq!(parse(&encoded).unwrap(), Json::Num(x), "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_are_a_typed_encode_error() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Json::Num(x).encode().unwrap_err();
+            assert!(err.to_string().contains("not representable"), "x = {x:?}");
+            // Nested occurrences are caught too.
+            let nested = Json::Obj(vec![("k".into(), Json::Arr(vec![Json::Num(x)]))]);
+            assert!(nested.encode().is_err(), "nested x = {x:?}");
         }
     }
 
@@ -522,6 +569,10 @@ mod tests {
             "\"\\ud800\"",
             "\"\\ud800\\u0041\"",
             "01x",
+            "0123",
+            "-007",
+            "00",
+            "-01.5",
             "-",
             "1.",
             "1e",

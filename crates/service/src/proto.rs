@@ -399,7 +399,13 @@ fn versioned(op: &str, mut rest: Vec<(&str, Json)>) -> Json {
 }
 
 /// Encodes a request as one JSON line (no trailing newline).
-pub fn encode_request(request: &Request) -> String {
+///
+/// # Errors
+///
+/// [`json::EncodeError`] when the request carries a non-finite number —
+/// JSON cannot represent NaN/±infinity, and emitting a lossy stand-in
+/// would break the `parse(encode(x)) == x` fixed point.
+pub fn encode_request(request: &Request) -> Result<String, json::EncodeError> {
     let value = match request {
         Request::Submit {
             backend,
@@ -457,7 +463,12 @@ fn encode_summary(s: &Summary) -> Json {
 }
 
 /// Encodes a response as one JSON line (no trailing newline).
-pub fn encode_response(response: &Response) -> String {
+///
+/// # Errors
+///
+/// [`json::EncodeError`] when the response carries a non-finite number
+/// (e.g. a NaN timing in a [`Summary`]); see [`encode_request`].
+pub fn encode_response(response: &Response) -> Result<String, json::EncodeError> {
     let value = match response {
         Response::Submitted { id } => versioned("submitted", vec![("id", num_u64(*id))]),
         Response::Pending { id, running } => versioned(
@@ -844,7 +855,7 @@ mod tests {
     #[test]
     fn every_request_round_trips() {
         for request in all_requests() {
-            let line = encode_request(&request);
+            let line = encode_request(&request).unwrap();
             assert!(!line.contains('\n'), "one frame is one line: {line}");
             assert_eq!(parse_request(&line).unwrap(), request, "{line}");
         }
@@ -853,15 +864,32 @@ mod tests {
     #[test]
     fn every_response_round_trips() {
         for response in all_responses() {
-            let line = encode_response(&response);
+            let line = encode_response(&response).unwrap();
             assert!(!line.contains('\n'), "one frame is one line: {line}");
             assert_eq!(parse_response(&line).unwrap(), response, "{line}");
         }
     }
 
     #[test]
+    fn non_finite_summary_is_a_typed_encode_error() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let response = Response::Done {
+                id: 7,
+                summary: Summary {
+                    seconds: bad,
+                    ..demo_summary()
+                },
+            };
+            assert!(
+                encode_response(&response).is_err(),
+                "seconds = {bad:?} must not encode"
+            );
+        }
+    }
+
+    #[test]
     fn version_mismatch_is_typed() {
-        let line = encode_request(&Request::Stats).replace(
+        let line = encode_request(&Request::Stats).unwrap().replace(
             &format!("\"v\":{PROTOCOL_VERSION}"),
             &format!("\"v\":{}", PROTOCOL_VERSION + 41),
         );
@@ -904,6 +932,16 @@ mod tests {
             ),
             ("{\"v\":2,\"op\":\"stats\"}", ErrorCode::VersionMismatch),
             ("{\"v\":\"1\",\"op\":\"stats\"}", ErrorCode::BadRequest),
+            // RFC 8259: leading zeros are not JSON numbers.
+            ("{\"v\":01,\"op\":\"stats\"}", ErrorCode::BadRequest),
+            (
+                "{\"v\":1,\"op\":\"poll\",\"id\":0123}",
+                ErrorCode::BadRequest,
+            ),
+            (
+                "{\"v\":1,\"op\":\"poll\",\"id\":-007}",
+                ErrorCode::BadRequest,
+            ),
         ] {
             let err =
                 parse_request(line).expect_err(&format!("`{line}` must not parse as a request"));
@@ -923,14 +961,14 @@ mod tests {
 
     #[test]
     fn truncated_frames_never_panic() {
-        for message in all_requests().iter().map(encode_request) {
+        for message in all_requests().iter().map(|r| encode_request(r).unwrap()) {
             for cut in 0..message.len() {
                 if message.is_char_boundary(cut) {
                     let _ = parse_request(&message[..cut]);
                 }
             }
         }
-        for message in all_responses().iter().map(encode_response) {
+        for message in all_responses().iter().map(|r| encode_response(r).unwrap()) {
             // Responses are long; probe a sample of prefixes.
             for cut in (0..message.len()).step_by(7) {
                 if message.is_char_boundary(cut) {

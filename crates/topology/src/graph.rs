@@ -5,11 +5,18 @@ use std::collections::VecDeque;
 /// An undirected coupling graph over physical qubits `0..n`.
 ///
 /// This is the paper's `Rhw` abstraction: the set of physical qubit pairs
-/// that may host a two-qubit gate directly.
+/// that may host a two-qubit gate directly. Adjacency is stored in CSR
+/// (compressed sparse row) form — one flat `offsets` array indexing into a
+/// flat `targets` array — so the whole graph lives in two contiguous
+/// allocations and `neighbors()` is a single slice view.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CouplingGraph {
     name: String,
-    adjacency: Vec<Vec<u32>>,
+    n_qubits: usize,
+    /// `offsets[p]..offsets[p + 1]` indexes `targets` for qubit `p`.
+    offsets: Vec<u32>,
+    /// Neighbour lists, concatenated; each qubit's segment is sorted.
+    targets: Vec<u32>,
 }
 
 impl CouplingGraph {
@@ -22,24 +29,46 @@ impl CouplingGraph {
     /// Panics if an edge endpoint is `>= n_qubits` or an edge is a
     /// self-loop.
     pub fn new(name: impl Into<String>, n_qubits: usize, edges: &[(u32, u32)]) -> Self {
-        let mut adjacency = vec![Vec::new(); n_qubits];
+        let mut normalized: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
         for &(a, b) in edges {
             assert!(a != b, "self-loop on qubit {a}");
             assert!(
                 (a as usize) < n_qubits && (b as usize) < n_qubits,
                 "edge ({a}, {b}) out of range {n_qubits}"
             );
-            if !adjacency[a as usize].contains(&b) {
-                adjacency[a as usize].push(b);
-                adjacency[b as usize].push(a);
-            }
+            normalized.push((a.min(b), a.max(b)));
         }
-        for list in &mut adjacency {
-            list.sort_unstable();
+        normalized.sort_unstable();
+        normalized.dedup();
+
+        // Count degrees, then prefix-sum into CSR offsets.
+        let mut offsets = vec![0u32; n_qubits + 1];
+        for &(a, b) in &normalized {
+            offsets[a as usize + 1] += 1;
+            offsets[b as usize + 1] += 1;
         }
+        for i in 0..n_qubits {
+            offsets[i + 1] += offsets[i];
+        }
+        // Fill each segment. Walking the normalized (min, max) edge list in
+        // lexicographic order appends smaller-than-p neighbours (from edges
+        // where p is the max endpoint) before larger-than-p neighbours, each
+        // run in ascending order, so every segment comes out sorted.
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; normalized.len() * 2];
+        for &(a, b) in &normalized {
+            targets[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        debug_assert!((0..n_qubits)
+            .all(|p| targets[offsets[p] as usize..offsets[p + 1] as usize].is_sorted()));
         CouplingGraph {
             name: name.into(),
-            adjacency,
+            n_qubits,
+            offsets,
+            targets,
         }
     }
 
@@ -50,42 +79,59 @@ impl CouplingGraph {
 
     /// Number of physical qubits.
     pub fn n_qubits(&self) -> usize {
-        self.adjacency.len()
+        self.n_qubits
     }
 
     /// Number of undirected edges.
     pub fn n_edges(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+        self.targets.len() / 2
+    }
+
+    /// Number of directed neighbour entries (`2 * n_edges`); sized for
+    /// per-directed-edge scratch such as epoch stamps.
+    pub fn n_directed_edges(&self) -> usize {
+        self.targets.len()
     }
 
     /// Neighbours of qubit `p`, sorted.
     pub fn neighbors(&self, p: u32) -> &[u32] {
-        &self.adjacency[p as usize]
+        &self.targets[self.offsets[p as usize] as usize..self.offsets[p as usize + 1] as usize]
     }
 
     /// Whether `a` and `b` are directly coupled.
     pub fn is_adjacent(&self, a: u32, b: u32) -> bool {
-        self.adjacency[a as usize].binary_search(&b).is_ok()
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Index of the directed neighbour entry `a -> b` in `0..n_directed_edges()`,
+    /// or `None` when the qubits are not coupled. Stable for a given graph;
+    /// used to key per-edge scratch buffers.
+    pub fn edge_index(&self, a: u32, b: u32) -> Option<usize> {
+        let base = self.offsets[a as usize] as usize;
+        self.neighbors(a).binary_search(&b).ok().map(|i| base + i)
     }
 
     /// Degree of qubit `p`.
     pub fn degree(&self, p: u32) -> usize {
-        self.adjacency[p as usize].len()
+        (self.offsets[p as usize + 1] - self.offsets[p as usize]) as usize
     }
 
     /// The maximum vertex degree (the paper sizes its look-ahead constant
     /// `c` above this).
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.n_qubits)
+            .map(|p| self.degree(p as u32))
+            .max()
+            .unwrap_or(0)
     }
 
     /// All undirected edges, each reported once with `a < b`.
     pub fn edges(&self) -> Vec<(u32, u32)> {
         let mut out = Vec::with_capacity(self.n_edges());
-        for (a, list) in self.adjacency.iter().enumerate() {
-            for &b in list {
-                if (a as u32) < b {
-                    out.push((a as u32, b));
+        for a in 0..self.n_qubits as u32 {
+            for &b in self.neighbors(a) {
+                if a < b {
+                    out.push((a, b));
                 }
             }
         }

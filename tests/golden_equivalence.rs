@@ -982,6 +982,57 @@ fn engine_batches_match_the_frozen_reference_at_1_and_4_threads() {
 }
 
 #[test]
+fn hier_fragment_prefetch_matches_sequential_at_1_and_4_threads() {
+    // Intra-job parallelism: the hier router's speculative fragment
+    // prefetch only warms the content-keyed plan memo — replay always
+    // looks plans up by their true key, and a plan is a pure function of
+    // that key. So at every thread count (batch-level workers × in-job
+    // prefetch workers) the routed bytes must equal the 1-thread run,
+    // which skips speculation entirely and is pure sequential replay.
+    let device = Arc::new(backends::square_grid(8, 8));
+    let gen_device = backends::square_grid(8, 8);
+    let mk_mapper = |threads: usize| {
+        hier::HierMapper::with_config(hier::HierConfig {
+            budget: Some(16),
+            threads: Some(threads),
+            ..hier::HierConfig::default()
+        })
+    };
+    let mut circuits = Vec::new();
+    for depth in [20, 40] {
+        for seed in 0..2u64 {
+            let bench = queko::QuekoSpec::new(&gen_device, depth)
+                .seed(seed)
+                .generate();
+            circuits.push((format!("queko64-d{depth}-s{seed}"), Arc::new(bench.circuit)));
+        }
+    }
+    let expected: Vec<_> = circuits
+        .iter()
+        .map(|(_, c)| mk_mapper(1).map(c, &device))
+        .collect();
+    for threads in [1usize, 4] {
+        let jobs: Vec<MapJob> = circuits
+            .iter()
+            .map(|(label, circuit)| MapJob {
+                label: label.clone(),
+                circuit: circuit.clone(),
+                device: device.clone(),
+                mapper: Arc::new(mk_mapper(threads)),
+            })
+            .collect();
+        let report = BatchEngine::with_threads(threads).run_jobs(jobs);
+        for (job, want) in report.jobs.iter().zip(&expected) {
+            assert_eq!(
+                job.result, *want,
+                "hier {} diverged from the sequential routing at {threads} thread(s)",
+                job.label
+            );
+        }
+    }
+}
+
+#[test]
 fn qlosure_matches_reference_on_lookahead_truncating_shapes() {
     // Regression for the §V-D candidate base: a long chain of repeated
     // cx(a, b) ahead of independent far pairs pushes the look-ahead

@@ -12,8 +12,8 @@
 use circuit::{verify_routing, Circuit, DependenceGraph};
 use presburger::{BasicSet, Constraint, LinearExpr, Set};
 use proptest::prelude::*;
-use qlosure::{Layout, Mapper, QlosureMapper, RoutingState};
-use topology::backends;
+use qlosure::{Layout, Mapper, PipelineError, QlosureMapper, RoutingState};
+use topology::{backends, CouplingGraph};
 
 // ---------- Presburger algebra ----------
 
@@ -346,6 +346,133 @@ proptest! {
     }
 }
 
+// ---------- SWAP-candidate enumeration ----------
+
+/// Drives a pseudo-random circuit through routing and, at every blocked
+/// step, checks the epoch-stamped candidate enumeration against a naive
+/// first-occurrence-wins reference scan: same pairs, same order,
+/// duplicate-free, and stable across repeated calls.
+fn check_swap_candidate_enumeration(seed: u64, n_gates: usize) -> Result<(), TestCaseError> {
+    let device = backends::square_grid(3, 3);
+    let dist = device.distances();
+    let mut c = Circuit::new(9);
+    let mut s = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    for _ in 0..n_gates {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let a = ((s >> 33) % 9) as u32;
+        let b = ((s >> 17) % 9) as u32;
+        if a == b {
+            c.h(a);
+        } else {
+            c.cx(a, b);
+        }
+    }
+    let mut st = RoutingState::new(&c, &device, &dist, Layout::identity(9, 9));
+    let mut steps = 0usize;
+    loop {
+        st.execute_ready();
+        if st.is_done() {
+            break;
+        }
+        // The naive pre-rewrite enumeration: linear-scan dedup, first
+        // occurrence wins, over the same front traversal order.
+        let mut naive: Vec<(u32, u32)> = Vec::new();
+        for p1 in st.front_physicals() {
+            for &p2 in device.neighbors(p1) {
+                let pair = (p1.min(p2), p1.max(p2));
+                if !naive.contains(&pair) {
+                    naive.push(pair);
+                }
+            }
+        }
+        let got = st.swap_candidates();
+        prop_assert_eq!(
+            &got,
+            &naive,
+            "epoch-stamped dedup must equal the naive scan"
+        );
+        let again = st.swap_candidates();
+        prop_assert_eq!(&got, &again, "enumeration must be deterministic");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), got.len(), "candidates must be duplicate-free");
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let (p1, p2) = got[(s >> 33) as usize % got.len()];
+        st.apply_swap(p1, p2);
+        steps += 1;
+        // Random front-incident swaps alone may wander; force progress
+        // periodically so the drive always terminates.
+        if steps % 8 == 7 {
+            let g = st.blocked_front()[0];
+            st.force_route(g);
+        }
+        prop_assert!(steps < 10_000, "routing drive must terminate");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24).with_seed(0x0051_EC05_CA4D_1DA7))]
+
+    #[test]
+    fn swap_candidate_enumeration_matches_naive_reference(
+        seed in 0u64..10_000,
+        n_gates in 5usize..40,
+    ) {
+        check_swap_candidate_enumeration(seed, n_gates)?;
+    }
+}
+
+// ---------- disconnected devices fail fast ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24).with_seed(0x0051_EC05_D15C_044E))]
+
+    #[test]
+    fn disconnected_devices_are_rejected_in_bounded_time(
+        seed in 0u64..10_000,
+        n_gates in 0usize..60,
+    ) {
+        // Two 4-qubit islands: a gate spanning them can never be made
+        // adjacent by SWAPs (UNREACHABLE distance), so the pre-fix router
+        // would spin forever — the stall limit derives from the diameter,
+        // which skips unreachable pairs. The pipeline must instead reject
+        // the device at entry with the typed error, whatever the circuit.
+        let device = CouplingGraph::new(
+            "two islands",
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7), (7, 4)],
+        );
+        let mut c = Circuit::new(8);
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for _ in 0..n_gates {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = ((s >> 33) % 8) as u32;
+            let b = ((s >> 17) % 8) as u32;
+            if a == b {
+                c.h(a);
+            } else {
+                c.cx(a, b); // often spans the islands
+            }
+        }
+        let err = QlosureMapper::default()
+            .to_pipeline()
+            .run(&c, &device)
+            .expect_err("disconnected device must be rejected");
+        prop_assert!(
+            matches!(err, PipelineError::DisconnectedDevice { .. }),
+            "expected DisconnectedDevice, got: {err}"
+        );
+    }
+}
+
 // ---------- QUEKO generator guarantees ----------
 
 proptest! {
@@ -577,14 +704,14 @@ proptest! {
 
     #[test]
     fn wire_request_encode_parse_is_fixed_point(request in arb_request()) {
-        let line = service::proto::encode_request(&request);
+        let line = service::proto::encode_request(&request).unwrap();
         prop_assert!(!line.contains('\n'), "one frame is one line");
         prop_assert_eq!(service::proto::parse_request(&line).unwrap(), request);
     }
 
     #[test]
     fn wire_response_encode_parse_is_fixed_point(response in arb_response()) {
-        let line = service::proto::encode_response(&response);
+        let line = service::proto::encode_response(&response).unwrap();
         prop_assert!(!line.contains('\n'), "one frame is one line");
         prop_assert_eq!(service::proto::parse_response(&line).unwrap(), response);
     }
@@ -596,12 +723,53 @@ proptest! {
     ) {
         // Truncation at an arbitrary *byte* offset (not a char boundary):
         // the bytes go through lossy UTF-8 recovery like any socket read.
-        let line = service::proto::encode_request(&request);
+        let line = service::proto::encode_request(&request).unwrap();
         let cut = (line.len() as u64 * u64::from(cut_permille) / 1000) as usize;
         let truncated = String::from_utf8_lossy(&line.as_bytes()[..cut]);
         if cut < line.len() {
             prop_assert!(service::proto::parse_request(&truncated).is_err());
         }
+    }
+
+    #[test]
+    fn wire_non_finite_numbers_are_typed_encode_errors(
+        response in arb_response(),
+        which in 0u8..3,
+        slot in 0u8..3,
+    ) {
+        // Injecting NaN/±inf into any float field of a Done summary must
+        // yield a typed encode error, never a corrupt frame: JSON has no
+        // non-finite literal and the parser rejects one, so a lossy
+        // encoding would break the parse(encode(x)) fixed point.
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][which as usize];
+        if let service::Response::Done { id, mut summary } = response {
+            match slot {
+                0 => summary.seconds = bad,
+                1 => summary.queue_seconds = bad,
+                _ => summary.pass_seconds.push(("routing".to_string(), bad)),
+            }
+            let err = service::proto::encode_response(
+                &service::Response::Done { id, summary },
+            );
+            prop_assert!(err.is_err(), "non-finite {bad:?} must not encode");
+        }
+    }
+
+    #[test]
+    fn wire_leading_zero_numbers_are_rejected(
+        digits in 1u64..1_000_000,
+        zeros in 1usize..4,
+        negative in 0u8..2,
+    ) {
+        // RFC 8259: `0123` / `-007` are not JSON numbers. Our encoder
+        // never emits them, so rejection needs no protocol version bump.
+        let sign = if negative == 1 { "-" } else { "" };
+        let line = format!(
+            "{{\"v\":1,\"op\":\"poll\",\"id\":{sign}{}{digits}}}",
+            "0".repeat(zeros)
+        );
+        let err = service::proto::parse_request(&line).unwrap_err();
+        prop_assert!(matches!(err, service::proto::ProtoError::Json(_)), "{line} -> {err:?}");
     }
 
     #[test]
@@ -618,7 +786,7 @@ proptest! {
         at_permille in 0u32..1000,
         flip in 1u8..=255,
     ) {
-        let line = service::proto::encode_response(&response);
+        let line = service::proto::encode_response(&response).unwrap();
         let mut bytes = line.into_bytes();
         if !bytes.is_empty() {
             let at = (bytes.len() as u64 * u64::from(at_permille) / 1000) as usize;
@@ -734,14 +902,14 @@ fn smoke_wire_protocol_fixed_cases() {
         fidelity: true,
         strategy: service::Strategy::Hier,
     };
-    let line = proto::encode_request(&request);
+    let line = proto::encode_request(&request).unwrap();
     assert_eq!(proto::parse_request(&line).unwrap(), request);
     let response = Response::Error {
         code: ErrorCode::QueueFull,
         message: "admission queue full (5 jobs, capacity 5)".to_string(),
     };
     assert_eq!(
-        proto::parse_response(&proto::encode_response(&response)).unwrap(),
+        proto::parse_response(&proto::encode_response(&response).unwrap()).unwrap(),
         response
     );
     // Malformed, truncated and version-skewed frames: typed errors.

@@ -292,7 +292,9 @@ fn version_mismatch_and_malformed_frames_are_rejected_politely() {
         parse_response(reply.trim_end()).unwrap()
     };
     // Wrong protocol version → typed version-mismatch (the ROADMAP rule).
-    let mismatched = encode_request(&Request::Stats).replace("\"v\":1", "\"v\":9");
+    let mismatched = encode_request(&Request::Stats)
+        .unwrap()
+        .replace("\"v\":1", "\"v\":9");
     match roundtrip(&mismatched) {
         Response::Error { code, .. } => assert_eq!(code, ErrorCode::VersionMismatch),
         other => panic!("expected version mismatch, got {other:?}"),
@@ -302,7 +304,7 @@ fn version_mismatch_and_malformed_frames_are_rejected_politely() {
         Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
         other => panic!("expected bad-request, got {other:?}"),
     }
-    match roundtrip(&encode_request(&Request::Stats)) {
+    match roundtrip(&encode_request(&Request::Stats).unwrap()) {
         Response::Stats(stats) => assert_eq!(stats.submitted, 0),
         other => panic!("expected stats after recovery, got {other:?}"),
     }
