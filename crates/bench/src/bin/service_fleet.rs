@@ -1,0 +1,264 @@
+//! Fleet bench: prove that **sharding by content keeps caches hot**.
+//!
+//! The shared per-device caches (distance matrices, closure memos) are
+//! bounded at 32 entries with FIFO eviction — a single daemon serving a
+//! roster of **40 distinct devices** thrashes them, so a warm second
+//! pass over the same roster still misses. Split the same traffic
+//! across **two `qlosured` shards behind `qlosure-router`** and each
+//! shard only ever sees its ~20 content-keyed devices, which fit, so
+//! the warm pass hits.
+//!
+//! Shards must be separate **OS processes** (the caches are per-process
+//! statics), so this binary spawns real `qlosured` children from the
+//! same target directory and talks to them over their sockets — the
+//! router runs in-process (it owns no caches). Both scenarios replay
+//! the identical roster twice; the warm hit-ratio is computed from the
+//! stats *delta* between the passes.
+//!
+//! Writes `BENCH_fleet.json` and **fails (exit 1) unless the 2-shard
+//! fleet's warm distance-cache hit-ratio strictly beats the single
+//! daemon's** — the acceptance check that the shard-by-content rule
+//! actually buys what it promises.
+//!
+//! ```text
+//! cargo build --release -p qlosure-service &&
+//! ENGINE_THREADS=4 cargo run --release -p qlosure-bench --bin service_fleet
+//! ```
+
+use bench_support::report;
+use service::{content_shard, Client, Endpoint, Priority, RouterConfig};
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+/// Distinct devices in the roster — chosen to overflow the 32-entry
+/// FIFO caches on one daemon while ~half fits comfortably on each of
+/// two shards.
+const N_DEVICES: usize = 40;
+const N_SHARDS: usize = 2;
+
+fn roster() -> Vec<String> {
+    // line:4..line:23 and ring:4..ring:23 — 40 distinct device contents.
+    let mut names = Vec::with_capacity(N_DEVICES);
+    for n in 4..4 + N_DEVICES / 2 {
+        names.push(format!("line:{n}"));
+    }
+    for n in 4..4 + N_DEVICES / 2 {
+        names.push(format!("ring:{n}"));
+    }
+    names
+}
+
+/// The `qlosured` binary sitting next to this bench in the target dir.
+fn qlosured_path() -> PathBuf {
+    let me = std::env::current_exe().expect("current_exe resolves");
+    let dir = me.parent().expect("bench binary has a parent dir");
+    let path = dir.join("qlosured");
+    assert!(
+        path.exists(),
+        "{} not found — build it first: cargo build --release -p qlosure-service",
+        path.display()
+    );
+    path
+}
+
+fn spawn_shard(socket: &std::path::Path) -> Child {
+    Command::new(qlosured_path())
+        .arg("--listen")
+        .arg(format!("unix:{}", socket.display()))
+        .spawn()
+        .expect("spawn qlosured child")
+}
+
+/// Polls the endpoint until the daemon accepts connections.
+fn await_ready(endpoint: &Endpoint) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect_endpoint(endpoint) {
+            Ok(client) => return client,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("daemon at {endpoint} never came up: {e}"),
+        }
+    }
+}
+
+/// One replay of the full roster through `client`; returns per-job rows
+/// labelled `<tag>:<device>`.
+fn replay(client: &mut Client, tag: &str, jobs: &[(String, String)]) -> Vec<report::JsonJobRow> {
+    let mut ids = Vec::new();
+    for (device, qasm_src) in jobs {
+        let id = client
+            .submit(device, "qlosure", qasm_src, Priority::Batch, false)
+            .unwrap_or_else(|e| panic!("submit {device}: {e}"));
+        ids.push((id, device.clone()));
+    }
+    let mut rows = Vec::new();
+    for (id, device) in ids {
+        let summary = client
+            .wait(id, Duration::from_secs(600))
+            .unwrap_or_else(|e| panic!("wait {device}: {e}"));
+        assert!(summary.verified, "{device}: fleet result must be verified");
+        rows.push(report::JsonJobRow {
+            id: id as usize,
+            label: format!("{tag}:{device}"),
+            seconds: summary.seconds,
+            metrics: vec![
+                ("swaps".to_string(), summary.swaps as i64),
+                ("depth".to_string(), summary.depth as i64),
+                ("qops".to_string(), summary.qops as i64),
+                ("seq".to_string(), summary.seq as i64),
+            ],
+            pass_seconds: summary.pass_seconds.clone(),
+            queue_seconds: Some(summary.queue_seconds),
+        });
+    }
+    rows
+}
+
+/// Warm distance-cache hit-ratio from the stats delta between the cold
+/// and warm passes, in parts per million (integer for the JSON report).
+fn warm_ratio_ppm(hits: u64, misses: u64) -> i64 {
+    let total = hits + misses;
+    if total == 0 {
+        0
+    } else {
+        ((hits as f64 / total as f64) * 1_000_000.0).round() as i64
+    }
+}
+
+struct ScenarioResult {
+    rows: Vec<report::JsonJobRow>,
+    warm_hits: u64,
+    warm_misses: u64,
+}
+
+/// Replays the roster twice through `client` and measures the warm pass.
+fn run_scenario(client: &mut Client, tag: &str, jobs: &[(String, String)]) -> ScenarioResult {
+    let mut rows = replay(client, &format!("{tag}-cold"), jobs);
+    let cold = client.stats().expect("stats after cold pass");
+    rows.extend(replay(client, &format!("{tag}-warm"), jobs));
+    let warm = client.stats().expect("stats after warm pass");
+    ScenarioResult {
+        rows,
+        warm_hits: warm.distance_hits - cold.distance_hits,
+        warm_misses: warm.distance_misses - cold.distance_misses,
+    }
+}
+
+fn main() {
+    let pid = std::process::id();
+    let tmp = std::env::temp_dir();
+    let roster = roster();
+
+    // Pre-generate every job's QASM once in this process, so the child
+    // daemons do identical work in both scenarios.
+    let jobs: Vec<(String, String)> = roster
+        .iter()
+        .map(|device| {
+            let graph = topology::backends::by_name(device).expect("roster device resolves");
+            let bench = queko::QuekoSpec::new(&graph, 12).seed(7).generate();
+            (device.clone(), qasm::emit(&bench.circuit.to_qasm()))
+        })
+        .collect();
+    let per_shard: Vec<usize> = (0..N_SHARDS)
+        .map(|s| {
+            roster
+                .iter()
+                .filter(|d| content_shard(d, N_SHARDS) == s)
+                .count()
+        })
+        .collect();
+    eprintln!(
+        "service_fleet: {} devices, content-sharded {:?} across {} shards (cache bound 32)",
+        roster.len(),
+        per_shard,
+        N_SHARDS
+    );
+
+    let wall0 = Instant::now();
+
+    // Scenario A — a single daemon swallowing the whole roster.
+    let single_socket = tmp.join(format!("qlosure-fleet-single-{pid}.sock"));
+    let mut single_child = spawn_shard(&single_socket);
+    let single_ep = Endpoint::Unix(single_socket.clone());
+    let mut client = await_ready(&single_ep);
+    let single = run_scenario(&mut client, "single", &jobs);
+    client.shutdown().expect("single daemon shutdown");
+    let status = single_child.wait().expect("single daemon child reaped");
+    assert!(status.success(), "single daemon exited cleanly");
+
+    // Scenario B — the same roster through a router over two shards.
+    let shard_sockets: Vec<PathBuf> = (0..N_SHARDS)
+        .map(|s| tmp.join(format!("qlosure-fleet-shard{s}-{pid}.sock")))
+        .collect();
+    let mut shard_children: Vec<Child> = shard_sockets.iter().map(|s| spawn_shard(s)).collect();
+    for socket in &shard_sockets {
+        drop(await_ready(&Endpoint::Unix(socket.clone())));
+    }
+    let router_socket = tmp.join(format!("qlosure-fleet-router-{pid}.sock"));
+    let config = RouterConfig::fronting(
+        Endpoint::Unix(router_socket.clone()),
+        shard_sockets.iter().cloned().map(Endpoint::Unix).collect(),
+    );
+    let router = service::router::spawn(config).expect("router binds");
+    let mut client = await_ready(&Endpoint::Unix(router_socket.clone()));
+    let sharded = run_scenario(&mut client, "sharded", &jobs);
+    client.shutdown().expect("fleet shutdown fans out");
+    router.join().expect("router exits cleanly");
+    for child in &mut shard_children {
+        let status = child.wait().expect("shard child reaped");
+        assert!(status.success(), "shard daemon exited cleanly");
+    }
+
+    let wall_seconds = wall0.elapsed().as_secs_f64();
+    let single_ppm = warm_ratio_ppm(single.warm_hits, single.warm_misses);
+    let sharded_ppm = warm_ratio_ppm(sharded.warm_hits, sharded.warm_misses);
+
+    let mut rows = single.rows;
+    rows.extend(sharded.rows);
+    let extras = vec![
+        ("n_devices".to_string(), roster.len() as i64),
+        ("n_shards".to_string(), N_SHARDS as i64),
+        ("single_warm_hits".to_string(), single.warm_hits as i64),
+        ("single_warm_misses".to_string(), single.warm_misses as i64),
+        ("single_warm_ratio_ppm".to_string(), single_ppm),
+        ("sharded_warm_hits".to_string(), sharded.warm_hits as i64),
+        (
+            "sharded_warm_misses".to_string(),
+            sharded.warm_misses as i64,
+        ),
+        ("sharded_warm_ratio_ppm".to_string(), sharded_ppm),
+    ];
+    let (cpu_seconds, speedup) = report::batch_totals(wall_seconds, &rows);
+    eprintln!(
+        "service_fleet: warm distance-cache hit-ratio single {:.1}% ({}h/{}m) vs 2-shard {:.1}% \
+         ({}h/{}m); wall {wall_seconds:.2}s, cpu {cpu_seconds:.2}s, speedup {speedup:.2}x",
+        single_ppm as f64 / 10_000.0,
+        single.warm_hits,
+        single.warm_misses,
+        sharded_ppm as f64 / 10_000.0,
+        sharded.warm_hits,
+        sharded.warm_misses,
+    );
+    match report::write_batch_json_with("fleet", N_SHARDS, wall_seconds, &rows, &extras) {
+        Ok(path) => eprintln!("service_fleet: wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("service_fleet: could not write JSON report: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // The acceptance check: sharding by content must keep the warm pass
+    // hotter than one thrashing daemon — strictly, or the fleet tier is
+    // not paying for itself.
+    if sharded_ppm <= single_ppm {
+        eprintln!(
+            "service_fleet: FAIL — 2-shard warm hit-ratio {sharded_ppm} ppm does not beat \
+             single-daemon {single_ppm} ppm"
+        );
+        std::process::exit(1);
+    }
+}

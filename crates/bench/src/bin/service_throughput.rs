@@ -23,10 +23,8 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let socket = std::env::temp_dir().join(format!("qlosured-bench-{}.sock", std::process::id()));
-    let config = DaemonConfig {
-        socket: socket.clone(),
-        service: ServiceConfig::default(), // workers from ENGINE_THREADS
-    };
+    let mut config = DaemonConfig::at(&socket);
+    config.service = ServiceConfig::default(); // workers from ENGINE_THREADS
     let workers = config.service.workers;
     let daemon = service::daemon::spawn(config).expect("bind daemon socket");
     let mut client = Client::connect(&socket).expect("connect to daemon");

@@ -1,33 +1,40 @@
-//! `qlosure-cli` — command-line client for the `qlosured` daemon.
+//! `qlosure-cli` — command-line client for `qlosured` (or a
+//! `qlosure-router` — same protocol).
 //!
 //! ```text
-//! qlosure-cli [--socket PATH] submit --backend NAME --mapper NAME
+//! qlosure-cli [--socket ENDPOINT] submit --backend NAME --mapper NAME
 //!             (--qasm FILE | --queko DEPTH [--seed N])
 //!             [--priority interactive|batch] [--fidelity]
 //!             [--strategy flat|hier|auto] [--wait [--timeout SECS]]
-//! qlosure-cli [--socket PATH] poll ID
-//! qlosure-cli [--socket PATH] stats
-//! qlosure-cli [--socket PATH] shutdown
+//! qlosure-cli [--socket ENDPOINT] poll ID
+//! qlosure-cli [--socket ENDPOINT] stats
+//! qlosure-cli [--socket ENDPOINT] metrics
+//! qlosure-cli [--socket ENDPOINT] shutdown
 //! ```
 //!
-//! Every command prints the daemon's response as one JSON line on stdout
-//! (the same frame that crossed the wire), so shell pipelines and the CI
-//! smoke step can assert on fields like `"verified":true`. Exit status:
-//! 0 on success, 2 on a typed server error, 1 on transport failure.
+//! `ENDPOINT` is `unix:/path`, `tcp:host:port`, or a bare socket path
+//! (default `/tmp/qlosured.sock`). Every command but `metrics` prints
+//! the daemon's response as one JSON line on stdout (the same frame that
+//! crossed the wire), so shell pipelines and the CI smoke step can
+//! assert on fields like `"verified":true`; `metrics` prints the flat
+//! `name value` text a scraper ingests. Exit status: 0 on success, 2 on
+//! a typed server error, 1 on transport failure.
 
 use service::proto::{encode_response, Priority, Response, Strategy};
-use service::{Client, ClientError};
+use service::{Client, ClientError, Endpoint};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: qlosure-cli [--socket PATH] <command>\n\
+        "usage: qlosure-cli [--socket ENDPOINT] <command>\n\
+         ENDPOINT is unix:/path, tcp:host:port, or a bare socket path\n\
          commands:\n\
          \x20 submit --backend NAME --mapper NAME (--qasm FILE | --queko DEPTH [--seed N])\n\
          \x20        [--priority interactive|batch] [--fidelity] [--strategy flat|hier|auto]\n\
          \x20        [--wait [--timeout SECS]]\n\
          \x20 poll ID\n\
          \x20 stats\n\
+         \x20 metrics\n\
          \x20 shutdown"
     );
     std::process::exit(2);
@@ -158,8 +165,12 @@ fn main() {
             None => usage(),
         }
     };
-    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
-        eprintln!("qlosure-cli: cannot connect to {socket}: {e}");
+    let endpoint = Endpoint::parse(&socket).unwrap_or_else(|e| {
+        eprintln!("qlosure-cli: {e}");
+        usage()
+    });
+    let mut client = Client::connect_endpoint(&endpoint).unwrap_or_else(|e| {
+        eprintln!("qlosure-cli: cannot connect to {endpoint}: {e}");
         std::process::exit(1);
     });
     match command.as_str() {
@@ -195,6 +206,12 @@ fn main() {
         "stats" => {
             let stats = client.stats().unwrap_or_else(|e| fail(&e));
             print_response(&Response::Stats(stats));
+        }
+        "metrics" => {
+            let metrics = client.metrics().unwrap_or_else(|e| fail(&e));
+            // Flat scraper text, not a JSON frame — this is the one
+            // subcommand meant for machines that do not speak NDJSON.
+            print!("{}", metrics.render());
         }
         "shutdown" => {
             let pending = client.shutdown().unwrap_or_else(|e| fail(&e));

@@ -1,0 +1,83 @@
+//! `qlosure-router` — a balancer fronting N `qlosured` shards.
+//!
+//! ```text
+//! qlosure-router --listen ENDPOINT --shard ENDPOINT [--shard ENDPOINT ...]
+//!                [--max-conns N] [--read-timeout SECS]
+//! ```
+//!
+//! Speaks the same NDJSON protocol as `qlosured` — clients (and
+//! `qlosure-cli`) cannot tell the difference. Each submit is routed by
+//! the FNV content-key of its backend name, so a given device always
+//! lands on the same shard and that shard's distance/closure/subroute
+//! caches stay hot for it. `stats`/`metrics` aggregate over the fleet;
+//! `shutdown` drains every shard, then the router itself.
+
+use service::router::{self, RouterConfig};
+use service::Endpoint;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qlosure-router --listen ENDPOINT --shard ENDPOINT [--shard ENDPOINT ...]\n\
+         \x20                     [--max-conns N] [--read-timeout SECS]\n\
+         ENDPOINT is unix:/path, tcp:host:port, or a bare socket path"
+    );
+    std::process::exit(2);
+}
+
+fn endpoint(raw: &str) -> Endpoint {
+    Endpoint::parse(raw).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    })
+}
+
+fn parse_args() -> RouterConfig {
+    let mut listen = None;
+    let mut config = RouterConfig::fronting(Endpoint::Tcp("127.0.0.1:7911".to_string()), vec![]);
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => listen = Some(endpoint(&value("--listen"))),
+            "--shard" => config.shards.push(endpoint(&value("--shard"))),
+            "--max-conns" => match value("--max-conns").parse() {
+                Ok(n) if n >= 1 => config.max_connections = n,
+                _ => usage(),
+            },
+            "--read-timeout" => match value("--read-timeout").parse() {
+                Ok(secs) if secs >= 1 => config.read_timeout = Duration::from_secs(secs),
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let Some(listen) = listen else {
+        eprintln!("error: --listen is required");
+        usage()
+    };
+    if config.shards.is_empty() {
+        eprintln!("error: at least one --shard is required");
+        usage()
+    }
+    config.listen = listen;
+    config
+}
+
+fn main() {
+    let config = parse_args();
+    eprintln!(
+        "qlosure-router: listening on {} fronting {} shard(s)",
+        config.listen,
+        config.shards.len(),
+    );
+    if let Err(e) = router::run(config) {
+        eprintln!("qlosure-router: fatal: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,28 +1,41 @@
 //! `qlosured` — the persistent mapping daemon.
 //!
 //! ```text
-//! qlosured [--socket PATH] [--workers N] [--queue-cap N] [--results-cap N]
+//! qlosured [--listen ENDPOINT | --socket PATH] [--workers N]
+//!          [--queue-cap N] [--results-cap N]
+//!          [--max-conns N] [--read-timeout SECS]
 //! ```
 //!
-//! Listens on a Unix domain socket (default `/tmp/qlosured.sock`),
-//! serves the NDJSON mapping protocol until a client sends `shutdown`,
-//! drains every admitted job, and prints the final counters. Worker
-//! count defaults to the `ENGINE_THREADS` environment variable (all
-//! cores when unset), like every engine consumer.
+//! Listens on a Unix domain socket (default `/tmp/qlosured.sock`) or a
+//! TCP address (`--listen tcp:host:port`), serves the NDJSON mapping
+//! protocol until a client sends `shutdown`, drains every admitted job,
+//! and prints the final counters. Worker count defaults to the
+//! `ENGINE_THREADS` environment variable (all cores when unset), like
+//! every engine consumer.
 
 use service::daemon;
-use service::{DaemonConfig, ServiceConfig};
+use service::{DaemonConfig, Endpoint};
+use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: qlosured [--socket PATH] [--workers N] [--queue-cap N] [--results-cap N]");
+    eprintln!(
+        "usage: qlosured [--listen ENDPOINT | --socket PATH] [--workers N]\n\
+         \x20               [--queue-cap N] [--results-cap N]\n\
+         \x20               [--max-conns N] [--read-timeout SECS]\n\
+         ENDPOINT is unix:/path, tcp:host:port, or a bare socket path"
+    );
     std::process::exit(2);
 }
 
+fn endpoint(raw: &str) -> Endpoint {
+    Endpoint::parse(raw).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    })
+}
+
 fn parse_args() -> DaemonConfig {
-    let mut config = DaemonConfig {
-        socket: "/tmp/qlosured.sock".into(),
-        service: ServiceConfig::default(),
-    };
+    let mut config = DaemonConfig::at("/tmp/qlosured.sock");
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -32,7 +45,10 @@ fn parse_args() -> DaemonConfig {
             })
         };
         match flag.as_str() {
-            "--socket" => config.socket = value("--socket").into(),
+            // `--socket` is the historical spelling; `--listen` accepts
+            // either transport. Both set the same endpoint.
+            "--socket" => config.endpoint = endpoint(&value("--socket")),
+            "--listen" => config.endpoint = endpoint(&value("--listen")),
             "--workers" => match value("--workers").parse() {
                 Ok(n) if n >= 1 => config.service.workers = n,
                 _ => usage(),
@@ -45,6 +61,14 @@ fn parse_args() -> DaemonConfig {
                 Ok(n) if n >= 1 => config.service.results_capacity = n,
                 _ => usage(),
             },
+            "--max-conns" => match value("--max-conns").parse() {
+                Ok(n) if n >= 1 => config.max_connections = n,
+                _ => usage(),
+            },
+            "--read-timeout" => match value("--read-timeout").parse() {
+                Ok(secs) if secs >= 1 => config.read_timeout = Duration::from_secs(secs),
+                _ => usage(),
+            },
             _ => usage(),
         }
     }
@@ -54,11 +78,14 @@ fn parse_args() -> DaemonConfig {
 fn main() {
     let config = parse_args();
     eprintln!(
-        "qlosured: listening on {} ({} workers, queue {}, results {})",
-        config.socket.display(),
+        "qlosured: listening on {} ({} workers, queue {}, results {}, \
+         {} conns max, {}s idle limit)",
+        config.endpoint,
         config.service.workers,
         config.service.queue_capacity,
         config.service.results_capacity,
+        config.max_connections,
+        config.read_timeout.as_secs(),
     );
     match daemon::run(config) {
         Ok(stats) => {

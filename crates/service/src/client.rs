@@ -1,13 +1,13 @@
 //! A blocking client for the daemon's NDJSON protocol, shared by the
 //! `qlosure-cli` binary, the throughput bench and the integration tests.
 
+use crate::net::{Endpoint, Stream};
 use crate::proto::{
-    encode_request, parse_response, ErrorCode, Priority, ProtoError, Request, Response, StatsBody,
-    Strategy, Summary, MAX_FRAME,
+    encode_request, parse_response, ErrorCode, MetricsBody, Priority, ProtoError, Request,
+    Response, StatsBody, Strategy, Summary, MAX_FRAME,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -67,20 +67,31 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
-/// A persistent connection to a `qlosured` daemon.
+/// A persistent connection to a `qlosured` daemon (or a `qlosure-router`
+/// — same protocol) over either transport.
 pub struct Client {
-    reader: BufReader<UnixStream>,
-    writer: UnixStream,
+    reader: BufReader<Stream>,
+    writer: Stream,
 }
 
 impl Client {
-    /// Connects to the daemon at `socket`.
+    /// Connects to the daemon on the Unix socket at `socket` (the
+    /// historical entry point; see [`Client::connect_endpoint`] for TCP).
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(socket: impl AsRef<Path>) -> std::io::Result<Client> {
-        let stream = UnixStream::connect(socket)?;
+        Client::connect_endpoint(&Endpoint::Unix(socket.as_ref().to_path_buf()))
+    }
+
+    /// Connects to the daemon at `endpoint` (Unix socket or TCP).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_endpoint(endpoint: &Endpoint) -> std::io::Result<Client> {
+        let stream = Stream::connect(endpoint)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
@@ -176,7 +187,10 @@ impl Client {
         self.request(&Request::Poll { id })
     }
 
-    /// Polls until job `id` completes, sleeping 10 ms between rounds.
+    /// Polls until job `id` completes, backing off exponentially between
+    /// rounds (10 ms doubling to a 100 ms cap — see `wait_backoff`) so
+    /// N waiting clients do not saturate a shard's accept loop the way a
+    /// fixed 10 ms hammer would.
     ///
     /// # Errors
     ///
@@ -185,6 +199,7 @@ impl Client {
     /// transport failures.
     pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<Summary, ClientError> {
         let deadline = Instant::now() + timeout;
+        let mut round = 0u32;
         loop {
             match self.expect(&Request::Poll { id })? {
                 Response::Done { summary, .. } => return Ok(summary),
@@ -198,7 +213,8 @@ impl Client {
                     if Instant::now() >= deadline {
                         return Err(ClientError::Timeout { id });
                     }
-                    std::thread::sleep(Duration::from_millis(10));
+                    std::thread::sleep(wait_backoff(round));
+                    round += 1;
                 }
                 other => return Err(ClientError::Unexpected(Box::new(other))),
             }
@@ -217,6 +233,19 @@ impl Client {
         }
     }
 
+    /// Fetches the scrape-oriented metrics superset (counters plus
+    /// queue-delay percentiles and per-pass timing aggregates).
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode and server failures.
+    pub fn metrics(&mut self) -> Result<MetricsBody, ClientError> {
+        match self.expect(&Request::Metrics)? {
+            Response::Metrics(metrics) => Ok(metrics),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
     /// Requests graceful shutdown; returns the number of jobs the daemon
     /// will drain before exiting.
     ///
@@ -228,5 +257,26 @@ impl Client {
             Response::ShuttingDown { pending } => Ok(pending),
             other => Err(ClientError::Unexpected(Box::new(other))),
         }
+    }
+}
+
+/// The poll backoff schedule for [`Client::wait`]: round `n` sleeps
+/// `10 ms × 2^n`, capped at 100 ms — 10, 20, 40, 80, 100, 100, …
+fn wait_backoff(round: u32) -> Duration {
+    const BASE_MS: u64 = 10;
+    const CAP_MS: u64 = 100;
+    Duration::from_millis((BASE_MS << round.min(4)).min(CAP_MS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_backoff_doubles_to_a_hundred_ms_cap() {
+        let schedule: Vec<u64> = (0..8).map(|r| wait_backoff(r).as_millis() as u64).collect();
+        assert_eq!(schedule, [10, 20, 40, 80, 100, 100, 100, 100]);
+        // Far-out rounds must not overflow the shift or exceed the cap.
+        assert_eq!(wait_backoff(u32::MAX), Duration::from_millis(100));
     }
 }

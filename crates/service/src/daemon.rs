@@ -1,51 +1,78 @@
-//! The `qlosured` daemon: a Unix-domain-socket server speaking the
-//! [`proto`](crate::proto) NDJSON protocol in front of a
+//! The `qlosured` daemon: a Unix-domain-socket or TCP server speaking
+//! the [`proto`](crate::proto) NDJSON protocol in front of a
 //! [`MappingService`].
 //!
 //! One thread per connection reads frames line by line (bounded at
-//! [`MAX_FRAME`] bytes), decodes, dispatches, and writes one response
-//! line per request. A `shutdown` request closes intake, drains every
-//! admitted job, removes the socket file and returns the final counters —
-//! the graceful-shutdown contract of the intake layer, surfaced over the
+//! `MAX_FRAME` bytes), decodes, dispatches, and writes one response line
+//! per request. The connection layer is the hardened plumbing from
+//! [`crate::net`]: a connection cap with typed `busy` refusals, a
+//! per-connection idle deadline (no slowloris pinning an OS thread), and
+//! graceful shutdown that *joins* every live connection thread. A
+//! `shutdown` request closes intake, drains every admitted job, removes
+//! the socket file (Unix transport) and returns the final counters — the
+//! graceful-shutdown contract of the intake layer, surfaced over the
 //! wire.
 
 use crate::intake::{JobOutcome, MappingService, PollReply, ServiceConfig};
+use crate::net::{self, ConnLimits, Endpoint, FrameEvent, Listener, Stream};
 use crate::proto::{
     encode_response, parse_request, ErrorCode, Request, Response, StatsBody, MAX_FRAME,
 };
 use crate::registry;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
+use std::io::{BufReader, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Default connection cap: far above any test or CI harness, far below
+/// "a runaway client pinned ten thousand OS threads".
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
+
+/// Default per-connection idle deadline: a connection with no complete
+/// frame for this long is closed.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// How the daemon is sized and where it listens.
 #[derive(Clone, Debug)]
 pub struct DaemonConfig {
-    /// Unix-domain socket path; a stale file at this path is replaced.
-    pub socket: PathBuf,
+    /// Where to listen: a Unix socket path or a TCP address. A stale
+    /// Unix socket file is replaced; a *live* one refuses with
+    /// `AddrInUse`.
+    pub endpoint: Endpoint,
     /// Intake-layer sizing.
     pub service: ServiceConfig,
+    /// Live connections beyond this are refused with a typed `busy`
+    /// error frame.
+    pub max_connections: usize,
+    /// Idle deadline per connection: no complete frame for this long and
+    /// the connection is closed.
+    pub read_timeout: Duration,
 }
 
 impl DaemonConfig {
-    /// A daemon at `socket` with default service sizing.
-    pub fn at(socket: impl Into<PathBuf>) -> Self {
+    /// A daemon on the Unix socket at `socket` with default sizing.
+    pub fn at(socket: impl Into<std::path::PathBuf>) -> Self {
+        DaemonConfig::listening(Endpoint::Unix(socket.into()))
+    }
+
+    /// A daemon on `endpoint` with default sizing.
+    pub fn listening(endpoint: Endpoint) -> Self {
         DaemonConfig {
-            socket: socket.into(),
+            endpoint,
             service: ServiceConfig::default(),
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            read_timeout: DEFAULT_READ_TIMEOUT,
         }
     }
 }
 
 /// A daemon running on a background thread (in-process harnesses: tests,
-/// the throughput bench).
+/// the throughput and fleet benches).
 pub struct DaemonHandle {
-    /// The socket path the daemon is serving on.
-    pub socket: PathBuf,
+    /// The endpoint the daemon is actually serving on — for TCP with
+    /// port 0 this is the kernel-resolved port, ready to connect to.
+    pub endpoint: Endpoint,
     thread: JoinHandle<std::io::Result<StatsBody>>,
 }
 
@@ -65,116 +92,69 @@ impl DaemonHandle {
     }
 }
 
-/// Binds the socket and serves on a background thread. The socket is
+/// Binds the endpoint and serves on a background thread. The listener is
 /// bound synchronously, so clients may connect as soon as this returns.
 ///
 /// # Errors
 ///
-/// Propagates socket binding errors.
+/// Propagates binding errors — including `AddrInUse` when a live daemon
+/// already answers on a Unix socket path.
 pub fn spawn(config: DaemonConfig) -> std::io::Result<DaemonHandle> {
-    let listener = bind(&config.socket)?;
-    let socket = config.socket.clone();
+    let listener = net::bind(&config.endpoint)?;
+    let endpoint = listener.local_endpoint(&config.endpoint);
     let thread = std::thread::spawn(move || serve(listener, config));
-    Ok(DaemonHandle { socket, thread })
+    Ok(DaemonHandle { endpoint, thread })
 }
 
-/// Binds the socket and serves on the calling thread until a client
+/// Binds the endpoint and serves on the calling thread until a client
 /// requests shutdown; returns the final counters. This is `qlosured`'s
 /// main loop.
 ///
 /// # Errors
 ///
-/// Propagates socket binding and accept-loop I/O errors.
+/// Propagates binding and accept-loop I/O errors.
 pub fn run(config: DaemonConfig) -> std::io::Result<StatsBody> {
-    let listener = bind(&config.socket)?;
+    let listener = net::bind(&config.endpoint)?;
     serve(listener, config)
 }
 
-fn bind(socket: &PathBuf) -> std::io::Result<UnixListener> {
-    // A previous daemon's socket file would make bind fail with
-    // AddrInUse; a *live* daemon is the operator's problem, a stale file
-    // is ours.
-    if socket.exists() {
-        std::fs::remove_file(socket)?;
-    }
-    UnixListener::bind(socket)
-}
-
-fn serve(listener: UnixListener, config: DaemonConfig) -> std::io::Result<StatsBody> {
-    let service = Arc::new(MappingService::start(config.service));
+fn serve(listener: Listener, config: DaemonConfig) -> std::io::Result<StatsBody> {
+    let service = Arc::new(MappingService::start(config.service.clone()));
     let shutdown = Arc::new(AtomicBool::new(false));
-    // Polling accept: `UnixListener::accept` has no portable wakeup, and a
-    // 25 ms poll is far below any human or CI observable latency.
-    listener.set_nonblocking(true)?;
-    let mut accept_error = None;
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _addr)) => {
-                let (service, shutdown) = (service.clone(), shutdown.clone());
-                // Connection threads are detached: they hold only the
-                // service Arc, exit at client EOF, and after shutdown any
-                // late submit gets a typed shutting-down error.
-                std::thread::spawn(move || {
-                    let _ = handle_connection(&service, &shutdown, stream);
-                });
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(25));
-            }
-            Err(e) => {
-                // A fatal accept error still drains admitted work and
-                // removes the socket file before surfacing.
-                accept_error = Some(e);
-                break;
-            }
-        }
-    }
+    let limits = ConnLimits {
+        max_connections: config.max_connections.max(1),
+        read_timeout: config.read_timeout,
+    };
+    let handler = {
+        let (service, shutdown) = (service.clone(), shutdown.clone());
+        let idle = config.read_timeout;
+        Arc::new(move |stream: Stream| {
+            let _ = handle_connection(&service, &shutdown, idle, stream);
+        })
+    };
+    let served = net::accept_loop(&listener, &shutdown, limits, handler);
     let stats = service.shutdown();
-    std::fs::remove_file(&config.socket).ok();
-    match accept_error {
-        Some(e) => Err(e),
-        None => Ok(stats),
+    if let Endpoint::Unix(path) = &config.endpoint {
+        std::fs::remove_file(path).ok();
     }
-}
-
-/// Reads one `\n`-terminated frame with the [`MAX_FRAME`] bound applied
-/// *while reading*, so an adversarial multi-gigabyte line is cut off
-/// rather than buffered. Returns `Ok(None)` at EOF and `Err(len)` when
-/// the bound was hit before the newline.
-fn read_frame<R: BufRead>(reader: &mut R) -> std::io::Result<Result<Option<String>, usize>> {
-    let mut buf = Vec::new();
-    let n = reader
-        .take((MAX_FRAME + 2) as u64)
-        .read_until(b'\n', &mut buf)?;
-    if n == 0 {
-        return Ok(Ok(None));
-    }
-    if buf.last() != Some(&b'\n') && buf.len() > MAX_FRAME {
-        return Ok(Err(buf.len()));
-    }
-    while matches!(buf.last(), Some(b'\n' | b'\r')) {
-        buf.pop();
-    }
-    match String::from_utf8(buf) {
-        Ok(line) => Ok(Ok(Some(line))),
-        // Surface invalid UTF-8 as an empty unparseable frame; the
-        // dispatcher answers with a typed bad-request error.
-        Err(_) => Ok(Ok(Some("\u{FFFD}".to_string()))),
-    }
+    served.map(|()| stats)
 }
 
 fn handle_connection(
     service: &MappingService,
-    shutdown: &AtomicBool,
-    stream: UnixStream,
+    shutdown: &Arc<AtomicBool>,
+    idle_limit: Duration,
+    stream: Stream,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
-        let line = match read_frame(&mut reader)? {
-            Ok(None) => return Ok(()), // client hung up
-            Ok(Some(line)) => line,
-            Err(len) => {
+        let line = match net::read_frame(&mut reader, shutdown, idle_limit)? {
+            FrameEvent::Frame(line) => line,
+            // Client hung up, went silent past the idle deadline, or the
+            // daemon is shutting down: close so the accept loop can join.
+            FrameEvent::Eof | FrameEvent::IdleTimeout | FrameEvent::Shutdown => return Ok(()),
+            FrameEvent::Oversized(len) => {
                 // The connection is desynchronized past an oversized
                 // frame; answer and close.
                 let response = Response::Error {
@@ -249,6 +229,7 @@ fn dispatch(service: &MappingService, shutdown: &AtomicBool, line: &str) -> (Res
             false,
         ),
         Request::Stats => (Response::Stats(service.stats()), false),
+        Request::Metrics => (Response::Metrics(service.metrics()), false),
         Request::Shutdown => {
             // Stop admissions immediately so the pending count is final,
             // then let the accept loop run the drain.

@@ -27,7 +27,7 @@
 //!   everything already admitted, then joins the scheduler, collector and
 //!   worker threads. Dropping the service does the same.
 
-use crate::proto::{ErrorCode, Priority, StatsBody, Summary, PROTOCOL_VERSION};
+use crate::proto::{ErrorCode, MetricsBody, Priority, StatsBody, Summary, PROTOCOL_VERSION};
 use circuit::{verify_routing, Circuit};
 use engine::{BatchEngine, StreamEngine};
 use qlosure::{FidelityPass, Mapper, MappingResult};
@@ -135,6 +135,10 @@ struct Counters {
     failed: u64,
 }
 
+/// How many recent queue-delay samples the metrics percentiles are
+/// computed over (bounded FIFO window, newest-biased like any scrape).
+const QUEUE_SAMPLE_WINDOW: usize = 1024;
+
 struct ServiceState {
     interactive: VecDeque<AdmittedJob>,
     batch: VecDeque<AdmittedJob>,
@@ -144,6 +148,13 @@ struct ServiceState {
     next_id: u64,
     next_seq: u64,
     counters: Counters,
+    /// Queue delays of recently completed jobs (seconds), bounded at
+    /// [`QUEUE_SAMPLE_WINDOW`] — the raw material of the `metrics`
+    /// percentiles.
+    queue_samples: VecDeque<f64>,
+    /// Per-pass `(runs, total_seconds)` accumulated over every
+    /// successfully completed job, keyed by pass label.
+    pass_totals: HashMap<String, (u64, f64)>,
     closing: bool,
 }
 
@@ -181,6 +192,8 @@ impl MappingService {
                 next_id: 0,
                 next_seq: 0,
                 counters: Counters::default(),
+                queue_samples: VecDeque::new(),
+                pass_totals: HashMap::new(),
                 closing: false,
             }),
             intake_cv: Condvar::new(),
@@ -325,6 +338,34 @@ impl MappingService {
         }
     }
 
+    /// Everything [`MappingService::stats`] reports plus queue-delay
+    /// percentiles over the recent completion window and per-pass timing
+    /// aggregates — the scrape-oriented superset behind the `metrics`
+    /// request.
+    pub fn metrics(&self) -> MetricsBody {
+        let stats = self.stats();
+        let state = self.lock();
+        let samples: Vec<f64> = state.queue_samples.iter().copied().collect();
+        let mut passes: Vec<(String, u64, f64)> = state
+            .pass_totals
+            .iter()
+            .map(|(label, &(runs, total))| (label.clone(), runs, total))
+            .collect();
+        drop(state);
+        passes.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("queue delays are finite"));
+        MetricsBody {
+            stats,
+            queue_p50: nearest_rank(&sorted, 0.50),
+            queue_p90: nearest_rank(&sorted, 0.90),
+            queue_p99: nearest_rank(&sorted, 0.99),
+            queue_max: sorted.last().copied().unwrap_or(0.0),
+            queue_samples: samples.len() as u64,
+            passes,
+        }
+    }
+
     /// Jobs admitted but not yet finished (queued + running).
     pub fn pending(&self) -> u64 {
         let state = self.lock();
@@ -430,6 +471,15 @@ fn collector_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
             JobOutcome::Done(mut summary) => {
                 summary.seq = seq;
                 state.counters.completed += 1;
+                if state.queue_samples.len() >= QUEUE_SAMPLE_WINDOW {
+                    state.queue_samples.pop_front();
+                }
+                state.queue_samples.push_back(summary.queue_seconds);
+                for (label, secs) in &summary.pass_seconds {
+                    let entry = state.pass_totals.entry(label.clone()).or_insert((0, 0.0));
+                    entry.0 += 1;
+                    entry.1 += secs;
+                }
                 JobOutcome::Done(summary)
             }
             failed => {
@@ -449,6 +499,18 @@ fn collector_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
         drop(state);
         inner.done_cv.notify_all();
     }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice: the value at
+/// rank `ceil(q * n)` (1-based), the classic scraper definition. Empty
+/// input reports `0.0` (no completions yet, nothing to claim).
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
 }
 
 impl Drop for MappingService {
@@ -777,6 +839,55 @@ mod tests {
         assert!(s_with.pipeline.ends_with("fidelity"));
         assert_eq!(summary(without).success_ppm, None);
         svc.shutdown();
+    }
+
+    #[test]
+    fn metrics_reports_queue_percentiles_and_pass_totals() {
+        let svc = service(2, 16, 16);
+        let before = svc.metrics();
+        assert_eq!(before.queue_samples, 0);
+        assert_eq!(before.queue_p50, 0.0, "no completions, nothing to claim");
+        assert!(before.passes.is_empty());
+        let ids: Vec<u64> = (0..3)
+            .map(|s| svc.submit(spec(Priority::Batch, 10, s)).unwrap())
+            .collect();
+        for id in ids {
+            assert!(svc.wait(id, Duration::from_secs(60)).is_some());
+        }
+        let metrics = svc.metrics();
+        assert_eq!(metrics.queue_samples, 3);
+        assert!(metrics.queue_p50 <= metrics.queue_p90);
+        assert!(metrics.queue_p90 <= metrics.queue_p99);
+        assert!(metrics.queue_p99 <= metrics.queue_max);
+        // The default pipeline runs weights → identity → qlosure once per
+        // job, so every pass label records exactly three runs.
+        assert!(!metrics.passes.is_empty());
+        for (label, runs, total) in &metrics.passes {
+            assert_eq!(*runs, 3, "pass {label} runs once per job");
+            assert!(*total >= 0.0);
+        }
+        let labels: Vec<&str> = metrics.passes.iter().map(|p| p.0.as_str()).collect();
+        let mut sorted_labels = labels.clone();
+        sorted_labels.sort_unstable();
+        assert_eq!(labels, sorted_labels, "passes are label-sorted");
+        assert_eq!(metrics.stats.completed, 3);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn nearest_rank_is_the_classic_definition() {
+        assert_eq!(nearest_rank(&[], 0.5), 0.0);
+        let one = [7.0];
+        assert_eq!(nearest_rank(&one, 0.5), 7.0);
+        assert_eq!(nearest_rank(&one, 0.99), 7.0);
+        let four = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nearest_rank(&four, 0.50), 2.0);
+        assert_eq!(nearest_rank(&four, 0.90), 4.0);
+        assert_eq!(nearest_rank(&four, 0.25), 1.0);
+        let hundred: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(nearest_rank(&hundred, 0.50), 50.0);
+        assert_eq!(nearest_rank(&hundred, 0.90), 90.0);
+        assert_eq!(nearest_rank(&hundred, 0.99), 99.0);
     }
 
     #[test]

@@ -21,10 +21,18 @@
 //! * [`intake`] — [`MappingService`]: admission, scheduling, results,
 //!   graceful drain-then-exit shutdown;
 //! * [`registry`] — request decoding (backend/mapper/QASM → job spec);
+//! * [`net`] — the transport layer: [`Endpoint`] (`unix:/path` or
+//!   `tcp:host:port`), stream/listener wrappers, and the hardened
+//!   connection plumbing (bounded resumable frame reads, connection cap,
+//!   idle deadlines, join-on-shutdown);
 //! * [`daemon`] — the socket server (`qlosured` is a thin `main` over
-//!   [`daemon::run`]);
+//!   [`daemon::run`]), serving either transport;
+//! * [`router`] — `qlosure-router`: a balancer fronting N `qlosured`
+//!   shards, routing each submit by the FNV content-key of its backend
+//!   so every shard's device caches stay hot for *its* devices;
 //! * [`client`] — a blocking client ([`Client`]), used by `qlosure-cli`,
-//!   the `service_throughput` bench and the integration tests.
+//!   the `service_throughput`/`service_fleet` benches and the
+//!   integration tests.
 //!
 //! # In-process quickstart
 //!
@@ -54,15 +62,19 @@ pub mod client;
 pub mod daemon;
 pub mod intake;
 pub mod json;
+pub mod net;
 pub mod proto;
 pub mod registry;
+pub mod router;
 
 pub use client::{Client, ClientError};
 pub use daemon::{DaemonConfig, DaemonHandle};
 pub use intake::{
     result_fingerprint, JobOutcome, JobSpec, MappingService, PollReply, ServiceConfig,
 };
+pub use net::{Endpoint, Stream};
 pub use proto::{
-    ErrorCode, Priority, ProtoError, Request, Response, StatsBody, Strategy, Summary, MAX_FRAME,
-    PROTOCOL_VERSION,
+    ErrorCode, MetricsBody, Priority, ProtoError, Request, Response, StatsBody, Strategy, Summary,
+    MAX_FRAME, PROTOCOL_VERSION,
 };
+pub use router::{content_shard, RouterConfig, RouterHandle};

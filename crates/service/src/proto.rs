@@ -119,6 +119,11 @@ pub enum Request {
     },
     /// Ask for daemon counters, including shared-cache hit/miss totals.
     Stats,
+    /// Ask for the full observability export: counters plus queue-delay
+    /// percentiles and per-pass timing aggregates ([`MetricsBody`]).
+    /// Additive op (new daemons answer it, old daemons answer
+    /// `bad-request`) — no version bump.
+    Metrics,
     /// Request graceful shutdown: intake closes, in-flight and queued
     /// jobs drain, then the daemon exits.
     Shutdown,
@@ -197,6 +202,95 @@ pub struct StatsBody {
     pub subroute_misses: u64,
 }
 
+/// The full observability export reported by [`Response::Metrics`]: the
+/// counter block plus queue-delay percentiles and per-pass timing
+/// aggregates. [`MetricsBody::render`] flattens it into scraper-friendly
+/// text for `qlosure-cli metrics`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsBody {
+    /// The daemon counters (same block as [`Response::Stats`]).
+    pub stats: StatsBody,
+    /// Median seconds between admission and worker pickup, over the
+    /// retained sample window.
+    pub queue_p50: f64,
+    /// 90th-percentile queue delay (seconds).
+    pub queue_p90: f64,
+    /// 99th-percentile queue delay (seconds).
+    pub queue_p99: f64,
+    /// Worst queue delay in the sample window (seconds).
+    pub queue_max: f64,
+    /// How many completed jobs the percentiles were computed over.
+    pub queue_samples: u64,
+    /// Per-pass timing aggregates as `(label, runs, total_seconds)`,
+    /// sorted by label. Labels are pipeline pass labels
+    /// (`stage:name`, e.g. `routing:qlosure`).
+    pub passes: Vec<(String, u64, f64)>,
+}
+
+impl MetricsBody {
+    /// Flattens the export into line-oriented `name value` /
+    /// `name{label="..."} value` text a scraper can ingest directly.
+    /// Deterministic: counters in declaration order, passes sorted by
+    /// label (the daemon sorts before encoding).
+    #[must_use]
+    pub fn render(&self) -> String {
+        fn esc(label: &str) -> String {
+            label.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let s = &self.stats;
+        let mut out = String::new();
+        for (name, value) in [
+            ("qlosure_protocol_version", s.protocol),
+            ("qlosure_workers", s.workers),
+            ("qlosure_queue_depth", s.queue_depth),
+            ("qlosure_jobs_submitted_total", s.submitted),
+            ("qlosure_jobs_completed_total", s.completed),
+            ("qlosure_jobs_rejected_total", s.rejected),
+            ("qlosure_jobs_failed_total", s.failed),
+        ] {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (cache, hits, misses) in [
+            ("distance", s.distance_hits, s.distance_misses),
+            ("closure", s.closure_hits, s.closure_misses),
+            ("weighted", s.weighted_hits, s.weighted_misses),
+            ("subroute", s.subroute_hits, s.subroute_misses),
+        ] {
+            out.push_str(&format!(
+                "qlosure_cache_hits_total{{cache=\"{cache}\"}} {hits}\n"
+            ));
+            out.push_str(&format!(
+                "qlosure_cache_misses_total{{cache=\"{cache}\"}} {misses}\n"
+            ));
+        }
+        for (quantile, value) in [
+            ("0.5", self.queue_p50),
+            ("0.9", self.queue_p90),
+            ("0.99", self.queue_p99),
+        ] {
+            out.push_str(&format!(
+                "qlosure_queue_seconds{{quantile=\"{quantile}\"}} {value}\n"
+            ));
+        }
+        out.push_str(&format!("qlosure_queue_seconds_max {}\n", self.queue_max));
+        out.push_str(&format!(
+            "qlosure_queue_seconds_count {}\n",
+            self.queue_samples
+        ));
+        for (label, runs, total) in &self.passes {
+            out.push_str(&format!(
+                "qlosure_pass_runs_total{{pass=\"{}\"}} {runs}\n",
+                esc(label)
+            ));
+            out.push_str(&format!(
+                "qlosure_pass_seconds_total{{pass=\"{}\"}} {total}\n",
+                esc(label)
+            ));
+        }
+        out
+    }
+}
+
 /// Typed error categories carried by [`Response::Error`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -222,6 +316,12 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The mapper failed or produced an unverifiable routing.
     MappingFailed,
+    /// The server is at its live-connection cap; retry later. (Additive
+    /// spelling — pre-fleet daemons never emit it.)
+    Busy,
+    /// The router could not reach the shard that owns this request.
+    /// (Additive spelling — only `qlosure-router` emits it.)
+    ShardUnavailable,
 }
 
 impl ErrorCode {
@@ -239,6 +339,8 @@ impl ErrorCode {
             ErrorCode::UnknownId => "unknown-id",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::MappingFailed => "mapping-failed",
+            ErrorCode::Busy => "busy",
+            ErrorCode::ShardUnavailable => "shard-unavailable",
         }
     }
 
@@ -256,6 +358,8 @@ impl ErrorCode {
             ErrorCode::UnknownId,
             ErrorCode::ShuttingDown,
             ErrorCode::MappingFailed,
+            ErrorCode::Busy,
+            ErrorCode::ShardUnavailable,
         ]
         .into_iter()
         .find(|c| c.as_str() == s)
@@ -301,6 +405,9 @@ pub enum Response {
     },
     /// Daemon counters.
     Stats(StatsBody),
+    /// The full observability export (additive op; see
+    /// [`Request::Metrics`]).
+    Metrics(MetricsBody),
     /// Acknowledgement of a shutdown request.
     ShuttingDown {
         /// Jobs still queued or in flight that will drain before exit.
@@ -427,9 +534,32 @@ pub fn encode_request(request: &Request) -> Result<String, json::EncodeError> {
         ),
         Request::Poll { id } => versioned("poll", vec![("id", num_u64(*id))]),
         Request::Stats => versioned("stats", vec![]),
+        Request::Metrics => versioned("metrics", vec![]),
         Request::Shutdown => versioned("shutdown", vec![]),
     };
     value.encode()
+}
+
+/// The counter block, shared by the `stats` response and the `stats`
+/// field of the `metrics` response.
+fn stats_members(stats: &StatsBody) -> Vec<(&'static str, Json)> {
+    vec![
+        ("protocol", num_u64(stats.protocol)),
+        ("workers", num_u64(stats.workers)),
+        ("queue_depth", num_u64(stats.queue_depth)),
+        ("submitted", num_u64(stats.submitted)),
+        ("completed", num_u64(stats.completed)),
+        ("rejected", num_u64(stats.rejected)),
+        ("failed", num_u64(stats.failed)),
+        ("distance_hits", num_u64(stats.distance_hits)),
+        ("distance_misses", num_u64(stats.distance_misses)),
+        ("closure_hits", num_u64(stats.closure_hits)),
+        ("closure_misses", num_u64(stats.closure_misses)),
+        ("weighted_hits", num_u64(stats.weighted_hits)),
+        ("weighted_misses", num_u64(stats.weighted_misses)),
+        ("subroute_hits", num_u64(stats.subroute_hits)),
+        ("subroute_misses", num_u64(stats.subroute_misses)),
+    ]
 }
 
 fn encode_summary(s: &Summary) -> Json {
@@ -486,24 +616,31 @@ pub fn encode_response(response: &Response) -> Result<String, json::EncodeError>
                 ("message", Json::Str(message.clone())),
             ],
         ),
-        Response::Stats(stats) => versioned(
-            "stats",
+        Response::Stats(stats) => versioned("stats", stats_members(stats)),
+        Response::Metrics(metrics) => versioned(
+            "metrics",
             vec![
-                ("protocol", num_u64(stats.protocol)),
-                ("workers", num_u64(stats.workers)),
-                ("queue_depth", num_u64(stats.queue_depth)),
-                ("submitted", num_u64(stats.submitted)),
-                ("completed", num_u64(stats.completed)),
-                ("rejected", num_u64(stats.rejected)),
-                ("failed", num_u64(stats.failed)),
-                ("distance_hits", num_u64(stats.distance_hits)),
-                ("distance_misses", num_u64(stats.distance_misses)),
-                ("closure_hits", num_u64(stats.closure_hits)),
-                ("closure_misses", num_u64(stats.closure_misses)),
-                ("weighted_hits", num_u64(stats.weighted_hits)),
-                ("weighted_misses", num_u64(stats.weighted_misses)),
-                ("subroute_hits", num_u64(stats.subroute_hits)),
-                ("subroute_misses", num_u64(stats.subroute_misses)),
+                ("stats", obj(stats_members(&metrics.stats))),
+                ("queue_p50", Json::Num(metrics.queue_p50)),
+                ("queue_p90", Json::Num(metrics.queue_p90)),
+                ("queue_p99", Json::Num(metrics.queue_p99)),
+                ("queue_max", Json::Num(metrics.queue_max)),
+                ("queue_samples", num_u64(metrics.queue_samples)),
+                (
+                    "passes",
+                    Json::Obj(
+                        metrics
+                            .passes
+                            .iter()
+                            .map(|(label, runs, total)| {
+                                (
+                                    label.clone(),
+                                    Json::Arr(vec![num_u64(*runs), Json::Num(*total)]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
             ],
         ),
         Response::ShuttingDown { pending } => {
@@ -627,6 +764,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             id: u64_field(&value, "id")?,
         }),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(shape(format!("unknown request op `{other}`"))),
     }
@@ -681,6 +819,51 @@ fn parse_summary(value: &Json) -> Result<Summary, ProtoError> {
     })
 }
 
+/// Parses a counter block — the top level of a `stats` response or the
+/// `stats` member of a `metrics` response.
+fn parse_stats(value: &Json) -> Result<StatsBody, ProtoError> {
+    Ok(StatsBody {
+        protocol: u64_field(value, "protocol")?,
+        workers: u64_field(value, "workers")?,
+        queue_depth: u64_field(value, "queue_depth")?,
+        submitted: u64_field(value, "submitted")?,
+        completed: u64_field(value, "completed")?,
+        rejected: u64_field(value, "rejected")?,
+        failed: u64_field(value, "failed")?,
+        distance_hits: u64_field(value, "distance_hits")?,
+        distance_misses: u64_field(value, "distance_misses")?,
+        closure_hits: u64_field(value, "closure_hits")?,
+        closure_misses: u64_field(value, "closure_misses")?,
+        weighted_hits: opt_u64_field(value, "weighted_hits")?,
+        weighted_misses: opt_u64_field(value, "weighted_misses")?,
+        subroute_hits: opt_u64_field(value, "subroute_hits")?,
+        subroute_misses: opt_u64_field(value, "subroute_misses")?,
+    })
+}
+
+/// Parses the `passes` object of a `metrics` response: label →
+/// `[runs, total_seconds]`.
+fn parse_passes(value: &Json) -> Result<Vec<(String, u64, f64)>, ProtoError> {
+    field(value, "passes")?
+        .as_obj()
+        .ok_or_else(|| shape("field `passes` must be an object"))?
+        .iter()
+        .map(|(label, entry)| {
+            let pair = entry
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| shape("pass aggregates must be [runs, total_seconds] pairs"))?;
+            let runs = pair[0]
+                .as_u64()
+                .ok_or_else(|| shape("pass runs must be a non-negative integer"))?;
+            let total = pair[1]
+                .as_f64()
+                .ok_or_else(|| shape("pass total seconds must be a number"))?;
+            Ok((label.clone(), runs, total))
+        })
+        .collect()
+}
+
 /// Parses one response frame.
 ///
 /// # Errors
@@ -706,22 +889,15 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             id: u64_field(&value, "id")?,
             message: str_field(&value, "message")?,
         }),
-        "stats" => Ok(Response::Stats(StatsBody {
-            protocol: u64_field(&value, "protocol")?,
-            workers: u64_field(&value, "workers")?,
-            queue_depth: u64_field(&value, "queue_depth")?,
-            submitted: u64_field(&value, "submitted")?,
-            completed: u64_field(&value, "completed")?,
-            rejected: u64_field(&value, "rejected")?,
-            failed: u64_field(&value, "failed")?,
-            distance_hits: u64_field(&value, "distance_hits")?,
-            distance_misses: u64_field(&value, "distance_misses")?,
-            closure_hits: u64_field(&value, "closure_hits")?,
-            closure_misses: u64_field(&value, "closure_misses")?,
-            weighted_hits: opt_u64_field(&value, "weighted_hits")?,
-            weighted_misses: opt_u64_field(&value, "weighted_misses")?,
-            subroute_hits: opt_u64_field(&value, "subroute_hits")?,
-            subroute_misses: opt_u64_field(&value, "subroute_misses")?,
+        "stats" => Ok(Response::Stats(parse_stats(&value)?)),
+        "metrics" => Ok(Response::Metrics(MetricsBody {
+            stats: parse_stats(field(&value, "stats")?)?,
+            queue_p50: f64_field(&value, "queue_p50")?,
+            queue_p90: f64_field(&value, "queue_p90")?,
+            queue_p99: f64_field(&value, "queue_p99")?,
+            queue_max: f64_field(&value, "queue_max")?,
+            queue_samples: u64_field(&value, "queue_samples")?,
+            passes: parse_passes(&value)?,
         })),
         "shutting-down" => Ok(Response::ShuttingDown {
             pending: u64_field(&value, "pending")?,
@@ -795,8 +971,40 @@ mod tests {
                 id: u64::from(u32::MAX),
             },
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ]
+    }
+
+    pub(crate) fn demo_metrics() -> MetricsBody {
+        MetricsBody {
+            stats: StatsBody {
+                protocol: PROTOCOL_VERSION,
+                workers: 4,
+                queue_depth: 1,
+                submitted: 42,
+                completed: 40,
+                rejected: 1,
+                failed: 1,
+                distance_hits: 38,
+                distance_misses: 2,
+                closure_hits: 12,
+                closure_misses: 3,
+                weighted_hits: 0,
+                weighted_misses: 0,
+                subroute_hits: 7,
+                subroute_misses: 1,
+            },
+            queue_p50: 0.0009765625,
+            queue_p90: 0.015625,
+            queue_p99: 0.25,
+            queue_max: 0.5,
+            queue_samples: 40,
+            passes: vec![
+                ("analysis:weights".to_string(), 40, 0.125),
+                ("routing:qlosure".to_string(), 40, 2.5),
+            ],
+        }
     }
 
     fn all_responses() -> Vec<Response> {
@@ -844,10 +1052,24 @@ mod tests {
                 subroute_hits: 99,
                 subroute_misses: 13,
             }),
+            Response::Metrics(demo_metrics()),
+            Response::Metrics(MetricsBody {
+                queue_samples: 0,
+                passes: Vec::new(),
+                ..demo_metrics()
+            }),
             Response::ShuttingDown { pending: 2 },
             Response::Error {
                 code: ErrorCode::UnknownBackend,
                 message: "no backend `eagle`".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::Busy,
+                message: "connection limit reached".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::ShardUnavailable,
+                message: "shard 1 (tcp:10.0.0.2:7911) is unreachable".to_string(),
             },
         ]
     }
@@ -992,6 +1214,8 @@ mod tests {
             ErrorCode::UnknownId,
             ErrorCode::ShuttingDown,
             ErrorCode::MappingFailed,
+            ErrorCode::Busy,
+            ErrorCode::ShardUnavailable,
         ] {
             assert_eq!(ErrorCode::from_wire(code.as_str()), Some(code));
         }
@@ -1025,6 +1249,38 @@ mod tests {
             parse_request(bad).unwrap_err().code(),
             ErrorCode::BadRequest
         );
+    }
+
+    #[test]
+    fn metrics_render_is_flat_scrapeable_text() {
+        let text = demo_metrics().render();
+        for needle in [
+            "qlosure_jobs_completed_total 40",
+            "qlosure_cache_hits_total{cache=\"distance\"} 38",
+            "qlosure_cache_misses_total{cache=\"subroute\"} 1",
+            "qlosure_queue_seconds{quantile=\"0.5\"} 0.0009765625",
+            "qlosure_queue_seconds{quantile=\"0.99\"} 0.25",
+            "qlosure_queue_seconds_max 0.5",
+            "qlosure_queue_seconds_count 40",
+            "qlosure_pass_runs_total{pass=\"routing:qlosure\"} 40",
+            "qlosure_pass_seconds_total{pass=\"analysis:weights\"} 0.125",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+        // Every line is `name value` or `name{labels} value` — one space,
+        // no JSON punctuation a line-oriented scraper would choke on.
+        for line in text.lines() {
+            let (name, value) = line.rsplit_once(' ').expect("name value pairs");
+            assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "{line}");
+        }
+        // Pass labels with quotes/backslashes are escaped.
+        let tricky = MetricsBody {
+            passes: vec![("post:\"odd\\label\"".to_string(), 1, 0.5)],
+            ..demo_metrics()
+        };
+        assert!(tricky
+            .render()
+            .contains("qlosure_pass_runs_total{pass=\"post:\\\"odd\\\\label\\\"\"} 1"));
     }
 
     #[test]

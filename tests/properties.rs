@@ -569,7 +569,7 @@ fn arb_seconds() -> impl Strategy<Value = f64> {
 fn arb_request() -> impl Strategy<Value = service::Request> {
     use service::{Priority, Request};
     (
-        0u8..4,
+        0u8..5,
         arb_wire_string(),
         arb_wire_string(),
         arb_wire_string(),
@@ -596,6 +596,7 @@ fn arb_request() -> impl Strategy<Value = service::Request> {
                 },
                 1 => Request::Poll { id },
                 2 => Request::Stats,
+                3 => Request::Metrics,
                 _ => Request::Shutdown,
             },
         )
@@ -642,18 +643,58 @@ fn arb_summary() -> impl Strategy<Value = service::Summary> {
         )
 }
 
-fn arb_response() -> impl Strategy<Value = service::Response> {
-    use service::{ErrorCode, Response, StatsBody};
+fn arb_stats() -> impl Strategy<Value = service::StatsBody> {
+    prop::collection::vec(0u64..(1 << 50), 15).prop_map(|counters| service::StatsBody {
+        protocol: counters[0],
+        workers: counters[1],
+        queue_depth: counters[2],
+        submitted: counters[3],
+        completed: counters[4],
+        rejected: counters[5],
+        failed: counters[6],
+        distance_hits: counters[7],
+        distance_misses: counters[8],
+        closure_hits: counters[9],
+        closure_misses: counters[10],
+        weighted_hits: counters[11],
+        weighted_misses: counters[12],
+        subroute_hits: counters[13],
+        subroute_misses: counters[14],
+    })
+}
+
+fn arb_metrics() -> impl Strategy<Value = service::MetricsBody> {
     (
-        0u8..7,
+        arb_stats(),
+        (arb_seconds(), arb_seconds(), arb_seconds(), arb_seconds()),
+        0u64..(1 << 50),
+        prop::collection::vec((arb_wire_string(), 0u64..(1 << 50), arb_seconds()), 0..4),
+    )
+        .prop_map(
+            |(stats, (p50, p90, p99, max), samples, passes)| service::MetricsBody {
+                stats,
+                queue_p50: p50,
+                queue_p90: p90,
+                queue_p99: p99,
+                queue_max: max,
+                queue_samples: samples,
+                passes,
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = service::Response> {
+    use service::{ErrorCode, Response};
+    (
+        0u8..8,
         0u64..(1 << 53),
         arb_wire_string(),
         arb_summary(),
-        (0u8..2, 0u8..11),
-        prop::collection::vec(0u64..(1 << 50), 15),
+        (0u8..2, 0u8..13),
+        (arb_stats(), arb_metrics()),
     )
         .prop_map(
-            |(kind, id, text, summary, (running, code), counters)| match kind {
+            |(kind, id, text, summary, (running, code), (stats, metrics))| match kind {
                 0 => Response::Submitted { id },
                 1 => Response::Pending {
                     id,
@@ -661,24 +702,9 @@ fn arb_response() -> impl Strategy<Value = service::Response> {
                 },
                 2 => Response::Done { id, summary },
                 3 => Response::Failed { id, message: text },
-                4 => Response::Stats(StatsBody {
-                    protocol: counters[0],
-                    workers: counters[1],
-                    queue_depth: counters[2],
-                    submitted: counters[3],
-                    completed: counters[4],
-                    rejected: counters[5],
-                    failed: counters[6],
-                    distance_hits: counters[7],
-                    distance_misses: counters[8],
-                    closure_hits: counters[9],
-                    closure_misses: counters[10],
-                    weighted_hits: counters[11],
-                    weighted_misses: counters[12],
-                    subroute_hits: counters[13],
-                    subroute_misses: counters[14],
-                }),
+                4 => Response::Stats(stats),
                 5 => Response::ShuttingDown { pending: id },
+                6 => Response::Metrics(metrics),
                 _ => Response::Error {
                     code: [
                         ErrorCode::BadRequest,
@@ -692,6 +718,8 @@ fn arb_response() -> impl Strategy<Value = service::Response> {
                         ErrorCode::UnknownId,
                         ErrorCode::ShuttingDown,
                         ErrorCode::MappingFailed,
+                        ErrorCode::Busy,
+                        ErrorCode::ShardUnavailable,
                     ][code as usize],
                     message: text,
                 },

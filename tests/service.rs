@@ -1,17 +1,25 @@
 //! Integration suite for the `qlosure-service` daemon: full socket round
-//! trips against a live in-process `qlosured`, the determinism pin
-//! (single-worker service results are bit-for-bit identical to direct
-//! `Mapper::map`), priority scheduling, typed protocol errors, and
-//! graceful drain-on-shutdown.
+//! trips against a live in-process `qlosured` (over Unix sockets *and*
+//! TCP), the determinism pin (single-worker service results are
+//! bit-for-bit identical to direct `Mapper::map`), priority scheduling,
+//! typed protocol errors, graceful drain-on-shutdown, the daemon
+//! lifecycle hardening (no socket stealing, stalled connections timed
+//! out, connection cap), and the `qlosure-router` content-sharding tier.
 
 use service::proto::{encode_request, parse_response, Request, Response};
 use service::{
-    result_fingerprint, Client, ClientError, DaemonConfig, DaemonHandle, ErrorCode, Priority,
-    ServiceConfig,
+    content_shard, result_fingerprint, Client, ClientError, DaemonConfig, DaemonHandle, Endpoint,
+    ErrorCode, Priority, RouterConfig, ServiceConfig,
 };
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
 use std::time::Duration;
+
+/// A unique temp socket path per test.
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("qlosured-test-{tag}-{}.sock", std::process::id()))
+}
 
 /// Spawns a daemon on a unique temp socket.
 fn daemon(tag: &str, workers: usize) -> DaemonHandle {
@@ -19,17 +27,26 @@ fn daemon(tag: &str, workers: usize) -> DaemonHandle {
 }
 
 fn daemon_with(tag: &str, workers: usize, queue: usize, results: usize) -> DaemonHandle {
-    let socket =
-        std::env::temp_dir().join(format!("qlosured-test-{tag}-{}.sock", std::process::id()));
-    service::daemon::spawn(DaemonConfig {
-        socket,
-        service: ServiceConfig {
-            workers,
-            queue_capacity: queue,
-            results_capacity: results,
-        },
-    })
-    .expect("daemon binds its socket")
+    let mut config = DaemonConfig::at(socket_path(tag));
+    config.service = ServiceConfig {
+        workers,
+        queue_capacity: queue,
+        results_capacity: results,
+    };
+    service::daemon::spawn(config).expect("daemon binds its socket")
+}
+
+/// The Unix socket path a daemon is serving on (these tests bind Unix
+/// endpoints unless they say otherwise).
+fn unix_path(daemon: &DaemonHandle) -> PathBuf {
+    match &daemon.endpoint {
+        Endpoint::Unix(path) => path.clone(),
+        Endpoint::Tcp(addr) => panic!("expected a unix endpoint, got tcp:{addr}"),
+    }
+}
+
+fn connect(daemon: &DaemonHandle) -> Client {
+    Client::connect_endpoint(&daemon.endpoint).expect("daemon accepts connections")
 }
 
 /// QUEKO QASM on the named backend (the standard smoke workload).
@@ -44,7 +61,7 @@ const WAIT: Duration = Duration::from_secs(120);
 #[test]
 fn submit_wait_roundtrip_returns_a_verified_summary() {
     let daemon = daemon("roundtrip", 2);
-    let mut client = Client::connect(&daemon.socket).unwrap();
+    let mut client = connect(&daemon);
     let qasm_src = queko_qasm("aspen16", 20, 7);
     let id = client
         .submit(
@@ -77,7 +94,7 @@ fn submit_wait_roundtrip_returns_a_verified_summary() {
 #[test]
 fn hier_strategy_round_trips_without_a_version_bump() {
     let daemon = daemon("strategy", 2);
-    let mut client = Client::connect(&daemon.socket).unwrap();
+    let mut client = connect(&daemon);
     let qasm_src = queko_qasm("aspen16", 20, 5);
     // strategy=hier swaps in the hierarchical pipeline — same protocol
     // version, additive request field only.
@@ -133,7 +150,7 @@ fn single_worker_service_matches_direct_map_bit_for_bit() {
     // worker) must produce results bit-for-bit identical to calling
     // `Mapper::map` directly on the same inputs, fingerprints included.
     let daemon = daemon("bitforbit", 1);
-    let mut client = Client::connect(&daemon.socket).unwrap();
+    let mut client = connect(&daemon);
     for (mapper_name, depth, seed) in [
         ("qlosure", 30, 0),
         ("qlosure", 60, 1),
@@ -176,7 +193,7 @@ fn single_worker_service_matches_direct_map_bit_for_bit() {
 #[test]
 fn interactive_requests_overtake_queued_batch_work() {
     let daemon = daemon("priority", 1);
-    let mut client = Client::connect(&daemon.socket).unwrap();
+    let mut client = connect(&daemon);
     // A slow job pins the single worker; batch jobs queue behind it; a
     // late interactive job must finish before the earlier batch tail.
     let slow = client
@@ -224,7 +241,7 @@ fn interactive_requests_overtake_queued_batch_work() {
 #[test]
 fn fidelity_opt_in_adds_success_ppm_over_the_wire() {
     let daemon = daemon("fidelity", 2);
-    let mut client = Client::connect(&daemon.socket).unwrap();
+    let mut client = connect(&daemon);
     let qasm_src = queko_qasm("aspen16", 20, 4);
     let with = client
         .submit("aspen16", "qlosure", &qasm_src, Priority::Batch, true)
@@ -240,7 +257,7 @@ fn fidelity_opt_in_adds_success_ppm_over_the_wire() {
 #[test]
 fn typed_errors_for_bad_submissions_and_unknown_ids() {
     let daemon = daemon("typed-errors", 1);
-    let mut client = Client::connect(&daemon.socket).unwrap();
+    let mut client = connect(&daemon);
     let expect_code = |result: Result<u64, ClientError>, want: ErrorCode| match result {
         Err(ClientError::Server { code, .. }) => assert_eq!(code, want),
         other => panic!("expected server error {want:?}, got {other:?}"),
@@ -281,7 +298,7 @@ fn typed_errors_for_bad_submissions_and_unknown_ids() {
 #[test]
 fn version_mismatch_and_malformed_frames_are_rejected_politely() {
     let daemon = daemon("rawframes", 1);
-    let stream = UnixStream::connect(&daemon.socket).unwrap();
+    let stream = UnixStream::connect(unix_path(&daemon)).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut writer = stream;
     let mut roundtrip = |line: &str| -> Response {
@@ -309,7 +326,7 @@ fn version_mismatch_and_malformed_frames_are_rejected_politely() {
         other => panic!("expected stats after recovery, got {other:?}"),
     }
     drop((reader, writer));
-    let mut client = Client::connect(&daemon.socket).unwrap();
+    let mut client = connect(&daemon);
     client.shutdown().unwrap();
     daemon.join().unwrap();
 }
@@ -317,7 +334,7 @@ fn version_mismatch_and_malformed_frames_are_rejected_politely() {
 #[test]
 fn graceful_shutdown_drains_queued_jobs_and_removes_the_socket() {
     let daemon = daemon("drain", 1);
-    let socket = daemon.socket.clone();
+    let socket = unix_path(&daemon);
     let mut client = Client::connect(&socket).unwrap();
     let ids: Vec<u64> = (0..3)
         .map(|seed| {
@@ -353,7 +370,7 @@ fn full_admission_queue_rejects_with_queue_full() {
     // worker, one more parks in the engine buffer/queue, and pushing
     // enough extra jobs must eventually hit a typed queue-full rejection.
     let daemon = daemon_with("queuefull", 1, 1, 64);
-    let mut client = Client::connect(&daemon.socket).unwrap();
+    let mut client = connect(&daemon);
     let slow = queko_qasm("king9", 120, 3);
     let quick = queko_qasm("aspen16", 10, 1);
     client
@@ -378,4 +395,338 @@ fn full_admission_queue_rejects_with_queue_full() {
     assert!(client.stats().unwrap().rejected >= 1);
     client.shutdown().unwrap();
     daemon.join().unwrap();
+}
+
+// ───────────────────────── lifecycle hardening ─────────────────────────
+
+#[test]
+fn a_second_daemon_cannot_steal_a_live_socket() {
+    let first = daemon("no-steal", 1);
+    let socket = unix_path(&first);
+    // The regression: binding a second daemon on the same path used to
+    // silently unlink the live socket, orphaning the first daemon's
+    // clients. Now the bind probes, finds a live daemon, and refuses.
+    let err = match service::daemon::spawn(DaemonConfig::at(&socket)) {
+        Err(e) => e,
+        Ok(_) => panic!("second daemon must not bind a live socket"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    // The first daemon kept its socket and keeps serving.
+    let mut client = Client::connect(&socket).unwrap();
+    assert_eq!(client.stats().unwrap().submitted, 0);
+    client.shutdown().unwrap();
+    first.join().unwrap();
+}
+
+#[test]
+fn a_stale_socket_file_is_replaced_not_fatal() {
+    let socket = socket_path("stale-file");
+    // A crashed daemon's leftover: a socket file nothing listens on.
+    drop(std::os::unix::net::UnixListener::bind(&socket).unwrap());
+    assert!(socket.exists(), "the stale file is on disk");
+    let daemon = service::daemon::spawn(DaemonConfig::at(&socket))
+        .expect("a stale socket file must be unlinked and replaced");
+    let mut client = connect(&daemon);
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn stalled_connections_are_disconnected_at_the_idle_deadline() {
+    let mut config = DaemonConfig::at(socket_path("slowloris"));
+    config.service.workers = 1;
+    config.read_timeout = Duration::from_millis(300);
+    let daemon = service::daemon::spawn(config).unwrap();
+    // A connect-and-stall client: opens the connection, never sends a
+    // complete frame. The daemon must hang up at the idle deadline
+    // instead of pinning the connection thread forever.
+    let mut stall = UnixStream::connect(unix_path(&daemon)).unwrap();
+    stall.write_all(b"{\"never-finished").unwrap(); // partial frame
+    stall.flush().unwrap();
+    stall
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 64];
+    match stall.read(&mut buf) {
+        Ok(0) => {} // clean server-side hangup
+        Ok(n) => panic!("expected a hangup, got {n} bytes"),
+        Err(e) => panic!("expected EOF within the read timeout, got {e}"),
+    }
+    // The daemon is still healthy for well-behaved clients.
+    let mut client = connect(&daemon);
+    assert_eq!(client.stats().unwrap().submitted, 0);
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn connections_over_the_cap_get_a_typed_busy_frame() {
+    let mut config = DaemonConfig::at(socket_path("busy"));
+    config.service.workers = 1;
+    config.max_connections = 1;
+    let daemon = service::daemon::spawn(config).unwrap();
+    // Occupy the only slot, with a round trip so the accept definitely
+    // registered before the second connect races it.
+    let mut occupant = connect(&daemon);
+    assert_eq!(occupant.stats().unwrap().submitted, 0);
+    // The next connection must be refused with a typed busy frame, not
+    // silently dropped and not queued forever.
+    let refused = UnixStream::connect(unix_path(&daemon)).unwrap();
+    let mut reader = BufReader::new(refused);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    match parse_response(reply.trim_end()).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Busy),
+        other => panic!("expected busy, got {other:?}"),
+    }
+    occupant.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+// ───────────────────────────── TCP mirror ─────────────────────────────
+
+/// Spawns a daemon on a kernel-assigned TCP port.
+fn tcp_daemon(workers: usize) -> DaemonHandle {
+    let mut config = DaemonConfig::listening(Endpoint::Tcp("127.0.0.1:0".to_string()));
+    config.service.workers = workers;
+    service::daemon::spawn(config).expect("daemon binds a TCP port")
+}
+
+#[test]
+fn tcp_submit_wait_roundtrip_returns_a_verified_summary() {
+    let daemon = tcp_daemon(2);
+    assert!(
+        matches!(&daemon.endpoint, Endpoint::Tcp(addr) if !addr.ends_with(":0")),
+        "port 0 resolves to the bound port"
+    );
+    let mut client = connect(&daemon);
+    let qasm_src = queko_qasm("aspen16", 20, 7);
+    let id = client
+        .submit(
+            "aspen16",
+            "qlosure",
+            &qasm_src,
+            Priority::Interactive,
+            false,
+        )
+        .unwrap();
+    let summary = client.wait(id, WAIT).unwrap();
+    assert!(summary.verified);
+    assert_eq!(summary.pipeline, "weights → identity → qlosure");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.protocol, service::PROTOCOL_VERSION);
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn tcp_version_mismatch_and_malformed_frames_are_rejected_politely() {
+    // The same polite-rejection suite as the Unix transport: frames are
+    // transport-agnostic, so the behavior must be too.
+    let daemon = tcp_daemon(1);
+    let Endpoint::Tcp(addr) = &daemon.endpoint else {
+        panic!("tcp daemon has a tcp endpoint");
+    };
+    let stream = std::net::TcpStream::connect(addr.as_str()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut roundtrip = |line: &str| -> Response {
+        writer.write_all(format!("{line}\n").as_bytes()).unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        parse_response(reply.trim_end()).unwrap()
+    };
+    let mismatched = encode_request(&Request::Stats)
+        .unwrap()
+        .replace("\"v\":1", "\"v\":9");
+    match roundtrip(&mismatched) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::VersionMismatch),
+        other => panic!("expected version mismatch, got {other:?}"),
+    }
+    match roundtrip("this is not json") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected bad-request, got {other:?}"),
+    }
+    match roundtrip(&encode_request(&Request::Stats).unwrap()) {
+        Response::Stats(stats) => assert_eq!(stats.submitted, 0),
+        other => panic!("expected stats after recovery, got {other:?}"),
+    }
+    drop((reader, writer));
+    let mut client = connect(&daemon);
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn tcp_graceful_shutdown_drains_queued_jobs() {
+    let daemon = tcp_daemon(1);
+    let mut client = connect(&daemon);
+    let ids: Vec<u64> = (0..3)
+        .map(|seed| {
+            client
+                .submit(
+                    "aspen16",
+                    "qlosure",
+                    &queko_qasm("aspen16", 40, seed),
+                    Priority::Batch,
+                    false,
+                )
+                .unwrap()
+        })
+        .collect();
+    let pending = client.shutdown().unwrap();
+    assert!(pending >= 1, "shutdown acknowledged with work in flight");
+    let stats = daemon.join().unwrap();
+    assert_eq!(
+        stats.completed,
+        ids.len() as u64,
+        "every admitted job drains before exit"
+    );
+    assert_eq!(stats.failed, 0);
+}
+
+// ──────────────────────────── metrics + router ────────────────────────
+
+#[test]
+fn metrics_round_trip_reports_percentiles_and_pass_timings() {
+    let daemon = daemon("metrics", 2);
+    let mut client = connect(&daemon);
+    let id = client
+        .submit(
+            "aspen16",
+            "qlosure",
+            &queko_qasm("aspen16", 20, 11),
+            Priority::Interactive,
+            false,
+        )
+        .unwrap();
+    client.wait(id, WAIT).unwrap();
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.stats.completed, 1);
+    assert_eq!(metrics.queue_samples, 1);
+    assert!(metrics.queue_p50 <= metrics.queue_max);
+    assert!(
+        metrics
+            .passes
+            .iter()
+            .any(|(label, runs, _)| label == "routing:qlosure" && *runs == 1),
+        "pass aggregates must cover the routed job: {:?}",
+        metrics.passes
+    );
+    // The scrape rendering carries the counters as flat `name value`.
+    let text = metrics.render();
+    assert!(text.contains("qlosure_jobs_completed_total 1"));
+    assert!(text.contains("qlosure_queue_seconds{quantile=\"0.99\"}"));
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn router_partitions_devices_across_shards_and_remaps_ids() {
+    let shard_a = daemon("router-shard-a", 1);
+    let shard_b = daemon("router-shard-b", 1);
+    let shards = vec![shard_a.endpoint.clone(), shard_b.endpoint.clone()];
+    let router = service::router::spawn(RouterConfig::fronting(
+        Endpoint::Tcp("127.0.0.1:0".to_string()),
+        shards.clone(),
+    ))
+    .unwrap();
+    let mut client = Client::connect_endpoint(&router.endpoint).unwrap();
+
+    // A roster of distinct devices, routed one job each through the
+    // router. Track the expected per-shard submit counts by the same
+    // content key the router uses.
+    let backends: Vec<String> = (4..12).map(|n| format!("line:{n}")).collect();
+    let mut expected = [0u64; 2];
+    for backend in &backends {
+        expected[content_shard(backend, 2)] += 1;
+        let id = client
+            .submit(
+                backend,
+                "qlosure",
+                &queko_qasm(backend, 10, 1),
+                Priority::Interactive,
+                false,
+            )
+            .unwrap();
+        let summary = client.wait(id, WAIT).unwrap();
+        assert!(summary.verified, "{backend} must route and verify");
+    }
+    assert!(
+        expected[0] > 0 && expected[1] > 0,
+        "the roster must exercise both shards: {expected:?}"
+    );
+
+    // The router's aggregate view sums the fleet.
+    let total = client.stats().unwrap();
+    assert_eq!(total.submitted, backends.len() as u64);
+    assert_eq!(total.completed, backends.len() as u64);
+
+    // Each shard saw exactly the devices that hash to it — the
+    // cache-locality contract, asserted via per-shard stats.
+    for (idx, endpoint) in shards.iter().enumerate() {
+        let mut direct = Client::connect_endpoint(endpoint).unwrap();
+        let stats = direct.stats().unwrap();
+        assert_eq!(
+            stats.submitted, expected[idx],
+            "shard {idx} must see only its content keys"
+        );
+    }
+
+    // Shutdown through the router drains every shard, then the router.
+    client.shutdown().unwrap();
+    router.join().unwrap();
+    assert_eq!(shard_a.join().unwrap().failed, 0);
+    assert_eq!(shard_b.join().unwrap().failed, 0);
+}
+
+#[test]
+fn router_passes_shard_errors_through_and_reports_dead_shards_typed() {
+    let shard = daemon("router-errors", 1);
+    // One live shard, one endpoint nothing listens on.
+    let dead = Endpoint::Unix(socket_path("router-dead-shard"));
+    let live_first = vec![shard.endpoint.clone(), dead];
+    let router = service::router::spawn(RouterConfig::fronting(
+        Endpoint::Tcp("127.0.0.1:0".to_string()),
+        live_first,
+    ))
+    .unwrap();
+    let mut client = Client::connect_endpoint(&router.endpoint).unwrap();
+
+    // A typed shard error passes through unchanged: unknown backend on
+    // whichever shard the key routes to — make sure we pick a key for
+    // the live shard 0. (Vary a suffix rather than appending one fixed
+    // character: FNV-1a's prime is odd, so `hash % 2` is the hash's
+    // parity and appending an even byte can never flip it.)
+    let bogus = (0..)
+        .map(|i| format!("eagle-9000-{i}"))
+        .find(|key| content_shard(key, 2) == 0)
+        .expect("a bogus key lands on the live shard");
+    let ghz = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncx q[0], q[2];\n";
+    match client.submit(&bogus, "qlosure", ghz, Priority::Batch, false) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownBackend),
+        other => panic!("expected the shard's typed error, got {other:?}"),
+    }
+
+    // A key routed to the dead shard answers shard-unavailable, typed.
+    let unlucky = (0..)
+        .map(|i| format!("line:5-{i}"))
+        .find(|key| content_shard(key, 2) == 1)
+        .expect("an unlucky key lands on the dead shard");
+    match client.submit(
+        &unlucky,
+        "qlosure",
+        &queko_qasm("line:5", 5, 1),
+        Priority::Batch,
+        false,
+    ) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ShardUnavailable),
+        other => panic!("expected shard-unavailable, got {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    router.join().unwrap();
+    shard.join().unwrap();
 }
