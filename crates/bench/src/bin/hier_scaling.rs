@@ -128,13 +128,16 @@ fn main() {
     let engine = BatchEngine::from_env();
     let (dist_h0, dist_m0) = topology::shared_distance_stats();
     let (memo_h0, memo_m0) = hier::subroute_memo_stats();
+    let plan0 = hier::plan_store_stats();
     let wall0 = Instant::now();
     let cold_rows = run_batch(&engine, &cold);
     let (memo_h1, memo_m1) = hier::subroute_memo_stats();
+    let plan1 = hier::plan_store_stats();
     // Warm pass: identical hier jobs — every fragment must now be a hit.
     let warm_rows = run_batch(&engine, &warm);
     let wall_seconds = wall0.elapsed().as_secs_f64();
     let (memo_h2, memo_m2) = hier::subroute_memo_stats();
+    let plan2 = hier::plan_store_stats();
     let (dist_h1, dist_m1) = topology::shared_distance_stats();
 
     let rows: Vec<JsonJobRow> = cold_rows
@@ -160,6 +163,23 @@ fn main() {
         ("memo_hits_cold".to_string(), (memo_h1 - memo_h0) as i64),
         ("memo_hits_warm".to_string(), warm_hits as i64),
         ("memo_misses_warm".to_string(), (memo_m2 - memo_m1) as i64),
+        // Hit tiers: what canonicalization buys beyond exact replay.
+        (
+            "plan_exact_hits_cold".to_string(),
+            (plan1.exact_hits - plan0.exact_hits) as i64,
+        ),
+        (
+            "plan_canonical_hits_cold".to_string(),
+            (plan1.canonical_hits - plan0.canonical_hits) as i64,
+        ),
+        (
+            "plan_exact_hits_warm".to_string(),
+            (plan2.exact_hits - plan1.exact_hits) as i64,
+        ),
+        (
+            "plan_canonical_hits_warm".to_string(),
+            (plan2.canonical_hits - plan1.canonical_hits) as i64,
+        ),
         ("distance_hits".to_string(), (dist_h1 - dist_h0) as i64),
         ("distance_misses".to_string(), (dist_m1 - dist_m0) as i64),
     ];
@@ -207,6 +227,13 @@ fn main() {
         memo_m2 - memo_m1,
         dist_h1 - dist_h0,
         dist_m1 - dist_m0,
+    );
+    println!(
+        "plan tiers: cold {} exact + {} canonical, warm {} exact + {} canonical",
+        plan1.exact_hits - plan0.exact_hits,
+        plan1.canonical_hits - plan0.canonical_hits,
+        plan2.exact_hits - plan1.exact_hits,
+        plan2.canonical_hits - plan1.canonical_hits,
     );
     if warm_hits == 0 {
         eprintln!("hier: FATAL: warm pass recorded zero fragment-memo hits");

@@ -1,0 +1,201 @@
+//! Cross-process plan-store bench: does the disk tier actually pay?
+//!
+//! Routes a hierarchical QUEKO roster **cold** in one child process
+//! against a fresh `--plan-store` directory (every fragment is a miss
+//! that computes and persists), then restarts a **second** child process
+//! against the same directory: its process-private memo is empty, so
+//! every recurring fragment must come back through the disk tier. The
+//! parent compares the children's self-measured roster wall times and
+//! their tiered counters.
+//!
+//! Exit status: 1 unless the warm (restarted) process records **>0**
+//! disk-tier hits *and* is strictly faster than the cold one — a disk
+//! tier that never hits, or one that hits without saving time, is a
+//! build failure, not a slow run. Output: `BENCH_plan_store.json` with
+//! one row per child plus the tier counters as extras.
+//!
+//! Each child is this same binary re-executed with `--child`; the
+//! measured window covers only the roster (store attach and process
+//! startup excluded).
+
+use bench_support::report::{batch_totals, JsonJobRow};
+use bench_support::{run_verified, shared_backend};
+use hier::HierMapper;
+use queko::QuekoSpec;
+use std::path::Path;
+use std::time::Instant;
+
+/// The roster both children route: hier-scale grids with shallow QUEKO
+/// traffic, heavy enough that sub-route computes dominate wall time.
+const ROSTER: &[(&str, usize, f64)] = &[
+    ("grid:16x16", 24, 0.4),
+    ("grid:24x24", 16, 0.3),
+    ("grid:32x32", 12, 0.25),
+    ("grid:32x64", 8, 0.2),
+];
+
+struct ChildReport {
+    seconds: f64,
+    swaps: u64,
+    exact: u64,
+    canonical: u64,
+    disk_hits: u64,
+    disk_writes: u64,
+    misses: u64,
+}
+
+/// Child mode: attach the store, route the roster, print one parseable
+/// report line on stdout.
+fn child(dir: &str) -> ! {
+    hier::configure_plan_store(dir).expect("plan store directory must open");
+    let mapper = HierMapper::default();
+    let mut swaps = 0u64;
+    let start = Instant::now();
+    for &(backend, depth, density) in ROSTER {
+        let device = shared_backend(backend);
+        let bench = QuekoSpec::new(&device, depth)
+            .density_2q(density)
+            .seed(7)
+            .generate();
+        swaps += run_verified(&mapper, &bench.circuit, &device).swaps as u64;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let p = hier::plan_store_stats();
+    println!(
+        "plan_store_child seconds={seconds} swaps={swaps} exact={} canonical={} \
+         disk_hits={} disk_writes={} misses={}",
+        p.exact_hits, p.canonical_hits, p.disk_hits, p.disk_writes, p.misses,
+    );
+    std::process::exit(0);
+}
+
+/// Re-executes this binary in `--child` mode and parses its report line.
+fn spawn_child(dir: &Path, label: &str) -> ChildReport {
+    let exe = std::env::current_exe().expect("own executable path");
+    let out = std::process::Command::new(exe)
+        .arg("--child")
+        .arg(dir)
+        .output()
+        .expect("child process must spawn");
+    assert!(
+        out.status.success(),
+        "{label} child failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("plan_store_child "))
+        .unwrap_or_else(|| panic!("{label} child printed no report line:\n{stdout}"));
+    let field = |name: &str| -> f64 {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{name}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{label} child report lacks `{name}`: {line}"))
+    };
+    ChildReport {
+        seconds: field("seconds"),
+        swaps: field("swaps") as u64,
+        exact: field("exact") as u64,
+        canonical: field("canonical") as u64,
+        disk_hits: field("disk_hits") as u64,
+        disk_writes: field("disk_writes") as u64,
+        misses: field("misses") as u64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--child") {
+        child(args.get(1).expect("--child needs a store directory"));
+    }
+    let dir = std::env::temp_dir().join(format!("qlosure-plan-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let wall0 = Instant::now();
+    let cold = spawn_child(&dir, "cold");
+    let warm = spawn_child(&dir, "warm");
+    let wall_seconds = wall0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let rows: Vec<JsonJobRow> = [("cold", &cold), ("warm", &warm)]
+        .into_iter()
+        .enumerate()
+        .map(|(id, (label, r))| JsonJobRow {
+            id,
+            label: label.to_string(),
+            seconds: r.seconds,
+            metrics: vec![
+                ("swaps".to_string(), r.swaps as i64),
+                ("disk_hits".to_string(), r.disk_hits as i64),
+                ("disk_writes".to_string(), r.disk_writes as i64),
+                ("misses".to_string(), r.misses as i64),
+            ],
+            pass_seconds: Vec::new(),
+            queue_seconds: None,
+        })
+        .collect();
+    let extras = vec![
+        ("cold_misses".to_string(), cold.misses as i64),
+        ("cold_disk_writes".to_string(), cold.disk_writes as i64),
+        ("warm_disk_hits".to_string(), warm.disk_hits as i64),
+        ("warm_misses".to_string(), warm.misses as i64),
+        ("warm_exact_hits".to_string(), warm.exact as i64),
+        ("warm_canonical_hits".to_string(), warm.canonical as i64),
+        (
+            "speedup_x100".to_string(),
+            (cold.seconds / warm.seconds.max(1e-9) * 100.0) as i64,
+        ),
+    ];
+    let (_, _) = batch_totals(wall_seconds, &rows);
+    match bench_support::report::write_batch_json_with(
+        "plan_store",
+        1,
+        wall_seconds,
+        &rows,
+        &extras,
+    ) {
+        Ok(path) => eprintln!("plan_store: wrote {}", path.display()),
+        Err(e) => eprintln!("plan_store: could not write JSON report: {e}"),
+    }
+
+    println!("== plan_store — cold process vs restarted process, shared store dir ==");
+    println!("pass,seconds,swaps,misses,disk_hits,disk_writes");
+    for (label, r) in [("cold", &cold), ("warm", &warm)] {
+        println!(
+            "{label},{:.3},{},{},{},{}",
+            r.seconds, r.swaps, r.misses, r.disk_hits, r.disk_writes
+        );
+    }
+    println!(
+        "restart speedup: {:.2}x (routing determinism: swaps {} == {})",
+        cold.seconds / warm.seconds.max(1e-9),
+        cold.swaps,
+        warm.swaps,
+    );
+
+    // Gates. Identical routing across processes is a hard invariant
+    // (plans are pure functions of canonical content), checked first so
+    // a correctness break never hides behind a timing failure.
+    if warm.swaps != cold.swaps {
+        eprintln!(
+            "plan_store: FATAL: restarted process routed differently ({} vs {} swaps)",
+            warm.swaps, cold.swaps
+        );
+        std::process::exit(1);
+    }
+    if cold.disk_writes == 0 {
+        eprintln!("plan_store: FATAL: cold process persisted zero plans");
+        std::process::exit(1);
+    }
+    if warm.disk_hits == 0 {
+        eprintln!("plan_store: FATAL: restarted process recorded zero disk-tier hits");
+        std::process::exit(1);
+    }
+    if warm.seconds >= cold.seconds {
+        eprintln!(
+            "plan_store: FATAL: restarted process was not faster ({:.3}s vs {:.3}s cold)",
+            warm.seconds, cold.seconds
+        );
+        std::process::exit(1);
+    }
+}

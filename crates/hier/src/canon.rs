@@ -1,0 +1,288 @@
+//! Canonical fragment form: the abstraction that lets structurally
+//! isomorphic fragments share one SWAP plan.
+//!
+//! A fragment is `(region adjacency, gate stream over region-local
+//! slots, sub-router config)`. Two fragments from different requests,
+//! users, or qubit labelings are *isomorphic* when some slot bijection
+//! maps one's gate stream and adjacency onto the other's. The exact
+//! memo key of PR 5 treats them as distinct; canonicalization maps both
+//! to one representative:
+//!
+//! 1. **Used slots** are relabeled to *first-use order* in the gate
+//!    stream — canonical slot 0 is the first operand of the first gate,
+//!    and so on. Any slot permutation of the fragment relabels the gate
+//!    stream identically, so the canonical gate stream is invariant.
+//! 2. **Unused slots** (region qubits the sub-router may route through
+//!    but no gate touches) are completed by a structural refinement:
+//!    repeatedly assign the next canonical index to the unassigned
+//!    vertex with the lexicographically smallest signature `(sorted
+//!    already-canonical neighbor ids, degree, sorted neighbor-degree
+//!    multiset)`. The signature is label-invariant, so the completion
+//!    is too — up to graph automorphism, where any choice yields the
+//!    *same* canonical edge set (the subsequent run is conjugated by
+//!    the automorphism). Residual ties break toward the smaller
+//!    original index, which keeps the map deterministic.
+//! 3. The **adjacency** is renumbered under the full relabeling and
+//!    sorted.
+//!
+//! The resulting [`FragmentKey`] is a pure, deterministic function of
+//! the fragment content, idempotent on its own output, and invariant
+//! under slot permutations ([`tests`] and the `hier_canonical_*`
+//! properties pin all three). Plans are *computed in canonical slots*
+//! (the sub-router routes the canonical circuit on the canonical
+//! adjacency) and replayed through [`Canonical::to_local`], so a stored
+//! plan is a pure function of its key — the invariant every tier of the
+//! store (in-memory, speculative prefetch, disk) relies on for
+//! bit-for-bit thread-count and cross-process determinism.
+
+use crate::memo::{FragmentGate, FragmentKey};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A canonicalized fragment: the content key plus the inverse
+/// relabeling needed to replay a canonical-slot SWAP plan onto the real
+/// region.
+#[derive(Clone, Debug)]
+pub struct Canonical {
+    /// The canonical content key (relabeled gates, renumbered
+    /// adjacency, config fingerprint).
+    pub key: FragmentKey,
+    /// `to_local[canonical_slot]` = the fragment's original
+    /// region-local slot — the permutation a replay pulls plan SWAPs
+    /// back through.
+    pub to_local: Vec<u32>,
+}
+
+/// Canonicalizes a fragment: `edges` is the region adjacency over local
+/// slots, `gates` the fragment's gate stream over the same slots (kinds
+/// already interned), `config` the sub-router fingerprint. Pure and
+/// deterministic; see the module docs for the invariants.
+pub fn canonicalize(
+    n_local: u32,
+    edges: &[(u32, u32)],
+    gates: &[FragmentGate],
+    config: Arc<str>,
+) -> Canonical {
+    let n = n_local as usize;
+    let mut canon_of = vec![u32::MAX; n];
+    let mut to_local: Vec<u32> = Vec::with_capacity(n);
+    // Pass 1: used slots in first-use order.
+    for (_, operands, _) in gates {
+        for &q in operands {
+            if canon_of[q as usize] == u32::MAX {
+                canon_of[q as usize] = to_local.len() as u32;
+                to_local.push(q);
+            }
+        }
+    }
+    // Pass 2: structural completion of unused slots.
+    if to_local.len() < n {
+        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adjacency[a as usize].push(b);
+            adjacency[b as usize].push(a);
+        }
+        // Label-invariant per-vertex signature pieces.
+        let degree: Vec<u32> = adjacency.iter().map(|nbrs| nbrs.len() as u32).collect();
+        let neighbor_degrees: Vec<Vec<u32>> = adjacency
+            .iter()
+            .map(|nbrs| {
+                let mut ds: Vec<u32> = nbrs.iter().map(|&u| degree[u as usize]).collect();
+                ds.sort_unstable();
+                ds
+            })
+            .collect();
+        while to_local.len() < n {
+            let mut best: Option<(Vec<u32>, usize)> = None;
+            for v in 0..n {
+                if canon_of[v] != u32::MAX {
+                    continue;
+                }
+                let mut anchors: Vec<u32> = adjacency[v]
+                    .iter()
+                    .filter(|&&u| canon_of[u as usize] != u32::MAX)
+                    .map(|&u| canon_of[u as usize])
+                    .collect();
+                anchors.sort_unstable();
+                // Vertices with no canonical neighbor yet sort last
+                // (u32::MAX sentinel head), so growth stays anchored to
+                // the already-labeled part whenever possible.
+                let mut signature =
+                    Vec::with_capacity(anchors.len() + neighbor_degrees[v].len() + 2);
+                signature.push(if anchors.is_empty() { u32::MAX } else { 0 });
+                signature.extend_from_slice(&anchors);
+                signature.push(degree[v]);
+                signature.extend_from_slice(&neighbor_degrees[v]);
+                // Ties break toward the smaller original index: a
+                // deterministic choice, and canonical-key-invariant
+                // whenever the tied vertices are automorphic (see
+                // module docs).
+                let better = match &best {
+                    None => true,
+                    Some((sig, _)) => signature < *sig,
+                };
+                if better {
+                    best = Some((signature, v));
+                }
+            }
+            let (_, v) = best.expect("unassigned vertex exists");
+            canon_of[v] = to_local.len() as u32;
+            to_local.push(v as u32);
+        }
+    }
+    // Pass 3: renumber the adjacency and the gate stream.
+    let mut canon_edges: Vec<(u32, u32)> = edges
+        .iter()
+        .map(|&(a, b)| {
+            let (x, y) = (canon_of[a as usize], canon_of[b as usize]);
+            (x.min(y), x.max(y))
+        })
+        .collect();
+    canon_edges.sort_unstable();
+    let canon_gates: Vec<FragmentGate> = gates
+        .iter()
+        .map(|(kind, operands, params)| {
+            (
+                kind.clone(),
+                operands.iter().map(|&q| canon_of[q as usize]).collect(),
+                params.clone(),
+            )
+        })
+        .collect();
+    Canonical {
+        key: FragmentKey {
+            n_local,
+            edges: canon_edges,
+            gates: canon_gates,
+            config,
+        },
+        to_local,
+    }
+}
+
+/// The process-wide gate-kind string interner: one shared `Arc<str>`
+/// per distinct kind name instead of a fresh `String` per gate in the
+/// hot routing loop. Lookup by `&str` allocates only on first sight of
+/// a name (the gate alphabet is tiny and effectively static, so the
+/// table needs no bound).
+pub fn intern(name: &str) -> Arc<str> {
+    static TABLE: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut table = table.lock().expect("intern table poisoned");
+    if let Some(hit) = table.get(name) {
+        return hit.clone();
+    }
+    let fresh: Arc<str> = Arc::from(name);
+    table.insert(fresh.clone());
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(kind: &str, operands: &[u32]) -> FragmentGate {
+        (intern(kind), operands.to_vec(), Vec::new())
+    }
+
+    /// Applies slot permutation `perm` (original -> new) to a fragment.
+    fn permute(
+        perm: &[u32],
+        edges: &[(u32, u32)],
+        gates: &[FragmentGate],
+    ) -> (Vec<(u32, u32)>, Vec<FragmentGate>) {
+        let mut new_edges: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(a, b)| {
+                let (x, y) = (perm[a as usize], perm[b as usize]);
+                (x.min(y), x.max(y))
+            })
+            .collect();
+        new_edges.sort_unstable();
+        let new_gates = gates
+            .iter()
+            .map(|(kind, operands, params)| {
+                (
+                    kind.clone(),
+                    operands.iter().map(|&q| perm[q as usize]).collect(),
+                    params.clone(),
+                )
+            })
+            .collect();
+        (new_edges, new_gates)
+    }
+
+    #[test]
+    fn interning_shares_one_allocation_per_name() {
+        let a = intern("cx");
+        let b = intern("cx");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_ne!(intern("cz"), a);
+    }
+
+    #[test]
+    fn first_use_order_relabels_the_gate_stream() {
+        // Line 0-1-2-3; gates touch 2 then 0, so canonical 0 = slot 2.
+        let edges = vec![(0, 1), (1, 2), (2, 3)];
+        let gates = vec![gate("cx", &[2, 0])];
+        let c = canonicalize(4, &edges, &gates, intern("cfg"));
+        assert_eq!(c.key.gates[0].1, vec![0, 1]);
+        assert_eq!(&c.to_local[..2], &[2, 0]);
+        // Every slot gets exactly one canonical label.
+        let mut sorted = c.to_local.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn slot_permutations_share_one_canonical_key() {
+        // A 2x3 grid region with a two-gate fragment, under every
+        // rotation of a slot permutation.
+        let edges = vec![(0, 1), (1, 2), (0, 3), (1, 4), (2, 5), (3, 4), (4, 5)];
+        let gates = vec![gate("cx", &[1, 4]), gate("h", &[5]), gate("cx", &[5, 2])];
+        let base = canonicalize(6, &edges, &gates, intern("cfg"));
+        for shift in 1..6u32 {
+            let perm: Vec<u32> = (0..6).map(|i| (i + shift) % 6).collect();
+            let (p_edges, p_gates) = permute(&perm, &edges, &gates);
+            let c = canonicalize(6, &p_edges, &p_gates, intern("cfg"));
+            assert_eq!(c.key, base.key, "shift {shift} changed the canonical key");
+        }
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let edges = vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)];
+        let gates = vec![gate("cx", &[3, 1]), gate("cx", &[1, 0])];
+        let once = canonicalize(5, &edges, &gates, intern("cfg"));
+        let twice = canonicalize(5, &once.key.edges, &once.key.gates, intern("cfg"));
+        assert_eq!(once.key, twice.key);
+        // Re-canonicalizing the canonical form is the identity map.
+        assert_eq!(twice.to_local, (0..5).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn to_local_inverts_the_relabeling_onto_the_plan() {
+        // A canonical-slot SWAP pulled back through to_local lands on
+        // the original slots of the pair it was computed for.
+        let edges = vec![(0, 1), (1, 2)];
+        let gates = vec![gate("cx", &[2, 0])];
+        let c = canonicalize(3, &edges, &gates, intern("cfg"));
+        // Canonical edge (0, x) exists where x = canonical label of
+        // slot 1 (the middle): translation maps it back to (2, 1) or
+        // (1, 2) territory — i.e. a real region edge.
+        for &(a, b) in &c.key.edges {
+            let (la, lb) = (c.to_local[a as usize], c.to_local[b as usize]);
+            let edge = (la.min(lb), la.max(lb));
+            assert!(edges.contains(&edge), "{edge:?} is not a region edge");
+        }
+    }
+
+    #[test]
+    fn config_distinguishes_otherwise_identical_fragments() {
+        let edges = vec![(0, 1)];
+        let gates = vec![gate("cx", &[0, 1])];
+        let a = canonicalize(2, &edges, &gates, intern("cfg-a"));
+        let b = canonicalize(2, &edges, &gates, intern("cfg-b"));
+        assert_ne!(a.key, b.key);
+    }
+}

@@ -18,9 +18,12 @@
 //!    noise-aware region score.
 //! 4. **Memoized sub-routing** ([`HierRoutingPass`]): intra-region gate
 //!    runs are routed by the flat pipeline on the region subgraph, their
-//!    SWAP plans cached in a bounded content-keyed memo
-//!    ([`subroute_memo_stats`]); cross-region gates are stitched with
-//!    boundary SWAP chains.
+//!    SWAP plans cached in a bounded memo keyed on the fragment's
+//!    *canonical form* ([`canonicalize`]) so isomorphic fragments under
+//!    any qubit labeling share one plan ([`plan_store_stats`]), with an
+//!    optional disk tier ([`PlanStore`], attached via
+//!    [`configure_plan_store`]) persisting plans across processes;
+//!    cross-region gates are stitched with boundary SWAP chains.
 //!
 //! Everything ships as pass compositions per the workspace rule:
 //! [`RegionAnalysisPass`] (analysis artifact), [`HierLayoutPass`],
@@ -53,19 +56,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canon;
 mod cluster;
 mod coarsen;
 mod memo;
 mod pass;
 mod place;
+mod store;
 
+pub use canon::{canonicalize, intern, Canonical};
 pub use cluster::{cluster_index, cluster_qubits, Cluster, InteractionWeights};
 pub use coarsen::{
     auto_budget, coarsen, structured_assignment, structured_seeds, Region, RegionMap,
 };
-pub use memo::{subroute_memo_stats, FragmentKey, SubrouteMemo};
+pub use memo::{
+    configure_plan_store, exact_fragment_hash, key_bytes, plan_store_stats, subroute_memo_stats,
+    FragmentGate, FragmentKey, PlanStats, SubrouteMemo,
+};
 pub use pass::{
     auto_prefers_hier, HierConfig, HierLayoutPass, HierMapper, HierRoutingPass, RegionAnalysisPass,
     AUTO_THRESHOLD,
 };
 pub use place::{build_layout, place_clusters};
+pub use store::{PlanStore, PlanStoreConfig, StoreWarning, STORE_VERSION};

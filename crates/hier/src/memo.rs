@@ -1,16 +1,28 @@
-//! The bounded, content-keyed memo of routed sub-circuit fragments.
+//! The bounded, content-keyed memo of routed sub-circuit fragments —
+//! tier 0 of the two-tier canonical plan store.
 //!
 //! A fragment's routing plan — the SWAP sequence the flat router inserts
 //! to execute an intra-region run of gates — is a pure function of the
-//! region's local adjacency, the fragment's gate stream (in region-local
-//! slot indices, which bake in the entry layout) and the sub-router
-//! configuration. The memo keys on exactly that content, per the
-//! workspace cache-invalidation rule: nothing is ever invalidated in
-//! place, a different fragment is a different key, and the store is
-//! bounded with FIFO eviction. Identical QUEKO instances re-routed in a
-//! warm process replay cached plans instead of re-running the router.
+//! region's local adjacency, the fragment's gate stream and the
+//! sub-router configuration. Since PR 8 the memo keys on the fragment's
+//! *canonical form* ([`crate::canon`]): slots relabeled to first-use
+//! order, adjacency renumbered, so structurally isomorphic fragments
+//! from different requests, users, or qubit labelings share one plan.
+//! Plans are computed and stored in canonical slots and pulled back
+//! through the relabeling at replay, which keeps every stored plan a
+//! pure function of its key — the invariant behind bit-for-bit
+//! thread-count identity and cross-process reuse.
+//!
+//! Per the workspace cache-invalidation rule nothing is invalidated in
+//! place: a different fragment is a different key, the store is bounded
+//! with FIFO eviction, and hit/miss counters flow to service stats.
+//! Hits are tiered: an *exact* hit re-sees a byte-identical original
+//! fragment, a *canonical* hit reuses a plan across isomorphic variants,
+//! and a *disk* hit loads a plan another process persisted via the
+//! optional [`crate::store::PlanStore`] tier.
 
-use std::collections::{HashMap, VecDeque};
+use crate::store::{fnv1a, PlanStore};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -19,102 +31,252 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// fits, while adversarial streams stay bounded.
 const CAPACITY: usize = 1024;
 
-/// One gate of a fragment in canonical form: kind name, region-local
-/// operand slots, parameter bit patterns. Exact content — two fragments
-/// collide only if they are the same computation.
-pub type FragmentGate = (String, Vec<u32>, Vec<u64>);
+/// Per-entry bound on tracked exact-form hashes: enough to tell exact
+/// from canonical hits on real rosters without letting one popular plan
+/// accumulate unbounded bookkeeping.
+const EXACT_TRACK: usize = 64;
 
-/// Content key of one routed fragment.
+/// One gate of a fragment: interned kind name, region-local operand
+/// slots, parameter bit patterns. Exact content — two fragments collide
+/// only if they are the same computation. The kind is a shared
+/// [`Arc<str>`] from [`crate::canon::intern`], not a fresh `String` per
+/// gate.
+pub type FragmentGate = (Arc<str>, Vec<u32>, Vec<u64>);
+
+/// Content key of one routed fragment, in canonical form (construct via
+/// [`crate::canon::canonicalize`]; hand-built keys are only canonical if
+/// their gates already use first-use slot order).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct FragmentKey {
     /// Region size (local qubit count).
     pub n_local: u32,
-    /// Region adjacency as sorted local edges. Shared behind an `Arc`
-    /// (hash/equality delegate to the contents) so the hot routing loop
-    /// builds each region's edge list once per run, not per fragment.
-    pub edges: Arc<Vec<(u32, u32)>>,
-    /// The fragment's gate stream over local slots (the entry layout is
-    /// the identity over slots, so it is implicit in the operands).
+    /// Region adjacency as sorted canonical-slot edges.
+    pub edges: Vec<(u32, u32)>,
+    /// The fragment's gate stream over canonical slots.
     pub gates: Vec<FragmentGate>,
-    /// Canonical rendering of the sub-router configuration, so two
-    /// differently-tuned hierarchical mappers never share a plan (Rust's
-    /// float formatting round-trips exactly, so this is content-exact).
-    pub config: String,
+    /// Canonical rendering of the sub-router configuration, interned so
+    /// the hot loop shares one allocation. Two differently-tuned
+    /// hierarchical mappers never share a plan (Rust's float formatting
+    /// round-trips exactly, so this is content-exact).
+    pub config: Arc<str>,
 }
 
-/// A routed fragment: the local SWAPs the sub-router inserted, in
-/// emission order. Replaying them (executing ready gates greedily in
-/// between) reproduces the sub-routing exactly.
+/// A routed fragment: the canonical-slot SWAPs the sub-router inserted,
+/// in emission order. Replaying them through the fragment's
+/// `canonical→local` map (executing ready gates greedily in between)
+/// reproduces the sub-routing exactly.
 pub type SwapPlan = Arc<Vec<(u32, u32)>>;
 
-/// The bounded fragment memo; the routing pass uses the process-wide
-/// instance (whose counters [`subroute_memo_stats`] reports), tests use
-/// private instances.
+/// Deterministic byte serialization of a [`FragmentKey`] — the disk
+/// tier's record key, compared in full on load (never just a hash).
+pub fn key_bytes(key: &FragmentKey) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + key.gates.len() * 16);
+    out.extend_from_slice(&key.n_local.to_le_bytes());
+    out.extend_from_slice(&(key.edges.len() as u32).to_le_bytes());
+    for &(a, b) in &key.edges {
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out.extend_from_slice(&(key.gates.len() as u32).to_le_bytes());
+    for (kind, operands, params) in &key.gates {
+        out.extend_from_slice(&(kind.len() as u32).to_le_bytes());
+        out.extend_from_slice(kind.as_bytes());
+        out.extend_from_slice(&(operands.len() as u32).to_le_bytes());
+        for &q in operands {
+            out.extend_from_slice(&q.to_le_bytes());
+        }
+        out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+        for &p in params {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(key.config.len() as u32).to_le_bytes());
+    out.extend_from_slice(key.config.as_bytes());
+    out
+}
+
+/// FNV-1a fingerprint of a fragment's *pre-canonical* content — what
+/// tells an exact hit (same original labeling seen again) from a
+/// canonical one (isomorphic variant sharing the plan).
+pub fn exact_fragment_hash(
+    n_local: u32,
+    edges: &[(u32, u32)],
+    gates: &[FragmentGate],
+    config: &str,
+) -> u64 {
+    let key = FragmentKey {
+        n_local,
+        edges: edges.to_vec(),
+        gates: gates.to_vec(),
+        config: Arc::from(config),
+    };
+    fnv1a(&key_bytes(&key))
+}
+
+/// Tiered counters of the plan store, surfaced through service `stats`
+/// and `metrics` as additive fields (absent means zero).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Tier-0 hits where the original fragment was byte-identical to a
+    /// previously seen one.
+    pub exact_hits: u64,
+    /// Tier-0 hits earned by canonicalization alone: a structurally
+    /// isomorphic fragment under a different labeling shared the plan.
+    pub canonical_hits: u64,
+    /// Plans loaded from the disk tier (persisted by this or another
+    /// process).
+    pub disk_hits: u64,
+    /// Plans appended to the disk tier after a fresh compute.
+    pub disk_writes: u64,
+    /// Actual sub-routing runs (every tier missed).
+    pub misses: u64,
+}
+
+/// The bounded fragment memo plus the optional disk tier behind it; the
+/// routing pass uses the process-wide instance (whose counters
+/// [`plan_store_stats`] reports), tests use private instances.
 pub struct SubrouteMemo {
     inner: Mutex<MemoInner>,
-    hits: AtomicU64,
+    store: Mutex<Option<PlanStore>>,
+    exact_hits: AtomicU64,
+    canonical_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_writes: AtomicU64,
     misses: AtomicU64,
 }
 
+struct Entry {
+    plan: SwapPlan,
+    /// Exact-form hashes of original fragments seen for this canonical
+    /// key, bounded by [`EXACT_TRACK`].
+    exact: HashSet<u64>,
+}
+
 struct MemoInner {
-    plans: HashMap<FragmentKey, SwapPlan>,
+    plans: HashMap<FragmentKey, Entry>,
     order: VecDeque<FragmentKey>,
 }
 
+impl MemoInner {
+    fn insert(&mut self, key: FragmentKey, plan: SwapPlan, exact_hash: u64) {
+        if self.order.len() >= CAPACITY {
+            if let Some(evicted) = self.order.pop_front() {
+                self.plans.remove(&evicted);
+            }
+        }
+        self.order.push_back(key.clone());
+        let mut exact = HashSet::new();
+        exact.insert(exact_hash);
+        self.plans.insert(key, Entry { plan, exact });
+    }
+}
+
 impl SubrouteMemo {
-    /// An empty memo.
+    /// An empty memo with no disk tier.
     pub fn new() -> Self {
         SubrouteMemo {
             inner: Mutex::new(MemoInner {
                 plans: HashMap::new(),
                 order: VecDeque::new(),
             }),
-            hits: AtomicU64::new(0),
+            store: Mutex::new(None),
+            exact_hits: AtomicU64::new(0),
+            canonical_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// The plan for `key`, computing it with `f` on a miss. The compute
-    /// runs outside the memo lock; racing threads may duplicate the work,
-    /// but the plan is a pure function of the key so whichever insertion
-    /// lands first wins and every caller sees identical content.
+    /// Attaches (or replaces) the disk tier. Subsequent tier-0 misses
+    /// consult the store before computing and persist fresh plans.
+    pub fn attach_store(&self, store: PlanStore) {
+        *self.store.lock().expect("plan store poisoned") = Some(store);
+    }
+
+    /// The plan for canonical `key`, computing it with `f` (which
+    /// receives the canonical key and must route the canonical fragment)
+    /// on a full miss. `exact_hash` fingerprints the *pre-canonical*
+    /// fragment ([`exact_fragment_hash`]) and only affects hit-tier
+    /// accounting. The compute runs outside the memo lock; racing
+    /// threads may duplicate the work, but the plan is a pure function
+    /// of the key so whichever insertion lands first wins and every
+    /// caller sees identical content.
     pub fn get_or_compute(
         &self,
         key: FragmentKey,
-        f: impl FnOnce() -> Vec<(u32, u32)>,
+        exact_hash: u64,
+        f: impl FnOnce(&FragmentKey) -> Vec<(u32, u32)>,
     ) -> SwapPlan {
-        if let Some(hit) = self
-            .inner
-            .lock()
-            .expect("subroute memo poisoned")
-            .plans
-            .get(&key)
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+            let mut inner = self.inner.lock().expect("subroute memo poisoned");
+            if let Some(entry) = inner.plans.get_mut(&key) {
+                if entry.exact.contains(&exact_hash) {
+                    self.exact_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.canonical_hits.fetch_add(1, Ordering::Relaxed);
+                    if entry.exact.len() < EXACT_TRACK {
+                        entry.exact.insert(exact_hash);
+                    }
+                }
+                return entry.plan.clone();
+            }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let plan: SwapPlan = Arc::new(f());
-        let mut inner = self.inner.lock().expect("subroute memo poisoned");
-        if !inner.plans.contains_key(&key) {
-            if inner.order.len() >= CAPACITY {
-                if let Some(evicted) = inner.order.pop_front() {
-                    inner.plans.remove(&evicted);
+        // Tier 1: the disk store, consulted lazily on a tier-0 miss.
+        {
+            let mut store = self.store.lock().expect("plan store poisoned");
+            if let Some(store) = store.as_mut() {
+                if let Some(loaded) = store.load(&key_bytes(&key)) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    let plan: SwapPlan = Arc::new(loaded);
+                    let mut inner = self.inner.lock().expect("subroute memo poisoned");
+                    if let Some(entry) = inner.plans.get(&key) {
+                        return entry.plan.clone();
+                    }
+                    inner.insert(key, plan.clone(), exact_hash);
+                    return plan;
                 }
             }
-            inner.order.push_back(key.clone());
-            inner.plans.insert(key, plan.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan: SwapPlan = Arc::new(f(&key));
+        let newly_inserted = {
+            let mut inner = self.inner.lock().expect("subroute memo poisoned");
+            if inner.plans.contains_key(&key) {
+                false
+            } else {
+                inner.insert(key.clone(), plan.clone(), exact_hash);
+                true
+            }
+        };
+        if newly_inserted {
+            let mut store = self.store.lock().expect("plan store poisoned");
+            if let Some(store) = store.as_mut() {
+                if store.append(&key_bytes(&key), &plan) {
+                    self.disk_writes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         plan
     }
 
-    /// `(hits, misses)` so far. A miss is an actual sub-routing run; a
-    /// hit replays a cached plan.
+    /// `(hits, misses)` so far — the pre-PR-8 shape, where a hit is any
+    /// replay that skipped the sub-router (exact, canonical, or disk)
+    /// and a miss is an actual sub-routing run.
     pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        let p = self.plan_stats();
+        (p.exact_hits + p.canonical_hits + p.disk_hits, p.misses)
+    }
+
+    /// The full tiered counters.
+    pub fn plan_stats(&self) -> PlanStats {
+        PlanStats {
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            canonical_hits: self.canonical_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -131,22 +293,40 @@ pub fn global() -> &'static SubrouteMemo {
     GLOBAL.get_or_init(SubrouteMemo::new)
 }
 
+/// Attaches a disk tier under `dir` to the process-wide memo — what
+/// `qlosured --plan-store <dir>` calls at startup.
+///
+/// # Errors
+///
+/// Only directory creation can fail; a damaged store *file* degrades to
+/// warnings at scan time.
+pub fn configure_plan_store(dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    global().attach_store(PlanStore::open(dir)?);
+    Ok(())
+}
+
 /// `(hits, misses)` of the process-wide fragment memo — surfaced in
 /// service stats responses and the `hier_scaling` bench report.
 pub fn subroute_memo_stats() -> (u64, u64) {
     global().stats()
 }
 
+/// Tiered plan-store counters of the process-wide memo.
+pub fn plan_store_stats() -> PlanStats {
+    global().plan_stats()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::canon::intern;
 
     fn key(tag: u32) -> FragmentKey {
         FragmentKey {
             n_local: 4,
-            edges: Arc::new(vec![(0, 1), (1, 2), (2, 3)]),
-            gates: vec![("cx".to_string(), vec![0, tag], Vec::new())],
-            config: "default".to_string(),
+            edges: vec![(0, 1), (1, 2), (2, 3)],
+            gates: vec![(intern("cx"), vec![0, tag], Vec::new())],
+            config: intern("default"),
         }
     }
 
@@ -155,7 +335,7 @@ mod tests {
         let memo = SubrouteMemo::new();
         let mut computes = 0;
         for _ in 0..3 {
-            let plan = memo.get_or_compute(key(3), || {
+            let plan = memo.get_or_compute(key(3), 7, |_| {
                 computes += 1;
                 vec![(0, 1), (1, 2)]
             });
@@ -166,10 +346,30 @@ mod tests {
     }
 
     #[test]
+    fn hit_tiers_distinguish_exact_from_canonical() {
+        let memo = SubrouteMemo::new();
+        // First sight: a miss, seeding exact hash 7.
+        memo.get_or_compute(key(3), 7, |_| vec![(0, 1)]);
+        // Same original fragment again: exact hit.
+        memo.get_or_compute(key(3), 7, |_| unreachable!());
+        // Isomorphic variant (same canonical key, different original
+        // labeling → different exact hash): canonical hit.
+        memo.get_or_compute(key(3), 8, |_| unreachable!());
+        // That variant repeats: now exact.
+        memo.get_or_compute(key(3), 8, |_| unreachable!());
+        let p = memo.plan_stats();
+        assert_eq!(
+            (p.exact_hits, p.canonical_hits, p.misses),
+            (2, 1, 1),
+            "{p:?}"
+        );
+    }
+
+    #[test]
     fn distinct_fragments_do_not_collide() {
         let memo = SubrouteMemo::new();
-        let a = memo.get_or_compute(key(3), || vec![(0, 1)]);
-        let b = memo.get_or_compute(key(2), || vec![(2, 3)]);
+        let a = memo.get_or_compute(key(3), 1, |_| vec![(0, 1)]);
+        let b = memo.get_or_compute(key(2), 2, |_| vec![(2, 3)]);
         assert_ne!(*a, *b);
         assert_eq!(memo.stats(), (0, 2));
     }
@@ -178,11 +378,11 @@ mod tests {
     fn eviction_bounds_the_store() {
         let memo = SubrouteMemo::new();
         for i in 0..(CAPACITY as u32 + 5) {
-            memo.get_or_compute(key(i), || vec![(i, i + 1)]);
+            memo.get_or_compute(key(i), u64::from(i), |_| vec![(i, i + 1)]);
         }
         // The oldest key was evicted: recomputation happens.
         let mut recomputed = false;
-        memo.get_or_compute(key(0), || {
+        memo.get_or_compute(key(0), 0, |_| {
             recomputed = true;
             vec![(0, 1)]
         });
@@ -196,9 +396,10 @@ mod tests {
             for _ in 0..8 {
                 scope.spawn(|| {
                     for round in 0..20u32 {
-                        let plan = memo.get_or_compute(key(round % 4), || {
-                            vec![((round % 4), (round % 4) + 1)]
-                        });
+                        let plan =
+                            memo.get_or_compute(key(round % 4), u64::from(round % 4), |_| {
+                                vec![((round % 4), (round % 4) + 1)]
+                            });
                         assert_eq!(plan[0].1, plan[0].0 + 1);
                     }
                 });
@@ -207,5 +408,43 @@ mod tests {
         let (hits, misses) = memo.stats();
         assert_eq!(hits + misses, 8 * 20);
         assert!(misses >= 4, "each key computed at least once");
+    }
+
+    #[test]
+    fn disk_tier_round_trips_across_memo_instances() {
+        let dir = std::env::temp_dir().join(format!("qlosure-memo-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = SubrouteMemo::new();
+        cold.attach_store(PlanStore::open(&dir).unwrap());
+        cold.get_or_compute(key(3), 7, |_| vec![(0, 1), (1, 2)]);
+        let p = cold.plan_stats();
+        assert_eq!((p.misses, p.disk_writes, p.disk_hits), (1, 1, 0), "{p:?}");
+        // A fresh memo (fresh process, conceptually) over the same dir:
+        // the plan loads from disk, no compute runs.
+        let warm = SubrouteMemo::new();
+        warm.attach_store(PlanStore::open(&dir).unwrap());
+        let plan = warm.get_or_compute(key(3), 9, |_| unreachable!("disk tier must hit"));
+        assert_eq!(*plan, vec![(0, 1), (1, 2)]);
+        let p = warm.plan_stats();
+        assert_eq!((p.misses, p.disk_writes, p.disk_hits), (0, 0, 1), "{p:?}");
+        // And it now sits in tier 0: the next lookup is a memory hit.
+        warm.get_or_compute(key(3), 9, |_| unreachable!());
+        assert_eq!(warm.plan_stats().exact_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_bytes_are_injective_over_field_boundaries() {
+        // Length-prefixed fields: moving content across a boundary
+        // changes the serialization.
+        let a = key(3);
+        let mut b = a.clone();
+        b.gates[0].1 = vec![0];
+        b.gates[0].2 = vec![3];
+        assert_ne!(key_bytes(&a), key_bytes(&b));
+        assert_ne!(
+            exact_fragment_hash(a.n_local, &a.edges, &a.gates, &a.config),
+            exact_fragment_hash(b.n_local, &b.edges, &b.gates, &b.config),
+        );
     }
 }

@@ -11,9 +11,10 @@
 //! subgraph — recursively reusing [`MappingPipeline`] — and the resulting
 //! SWAP plans are memoized content-keyed in [`crate::memo`].
 
+use crate::canon::{canonicalize, intern};
 use crate::cluster::{cluster_index, cluster_qubits, InteractionWeights};
-use crate::coarsen::{auto_budget, coarsen, Region, RegionMap};
-use crate::memo::{self, FragmentGate, FragmentKey};
+use crate::coarsen::{auto_budget, coarsen, RegionMap};
+use crate::memo::{self, exact_fragment_hash, FragmentGate, FragmentKey};
 use crate::place::{build_layout, place_clusters};
 use affine::DependenceAnalysis;
 use circuit::{Circuit, Gate, GateKind};
@@ -178,18 +179,17 @@ impl HierRoutingPass {
         HierRoutingPass { config }
     }
 
-    /// Builds the canonical fragment gates (region-local slot operands)
-    /// for the memo key and the local sub-circuit.
+    /// Builds the fragment's gate stream over region-local slots (with
+    /// interned kind names) — the pre-canonical form that
+    /// [`canonicalize`] turns into the memo key.
     fn local_fragment(
         &self,
         state: &RoutingState<'_>,
         rm: &RegionMap,
-        region: &Region,
         fragment: &[u32],
-    ) -> (Vec<FragmentGate>, Circuit) {
+    ) -> Vec<FragmentGate> {
         let gates = state.circuit().gates();
-        let mut canonical = Vec::with_capacity(fragment.len());
-        let mut local_circuit = Circuit::with_capacity(region.len(), fragment.len());
+        let mut local_gates = Vec::with_capacity(fragment.len());
         for &g in fragment {
             let gate = &gates[g as usize];
             let local: Vec<u32> = gate
@@ -197,35 +197,41 @@ impl HierRoutingPass {
                 .iter()
                 .map(|&q| rm.local_of[state.layout().phys(q) as usize])
                 .collect();
-            canonical.push((
-                gate.kind.name().to_string(),
-                local.clone(),
+            local_gates.push((
+                intern(gate.kind.name()),
+                local,
                 gate.params.iter().map(|p| p.to_bits()).collect(),
             ));
-            local_circuit.push(Gate {
-                kind: gate.kind.clone(),
-                qubits: local,
-                params: gate.params.clone(),
-            });
         }
-        (canonical, local_circuit)
+        local_gates
     }
 }
 
-/// Routes a fragment's local circuit on the region subgraph with the flat
-/// pipeline and extracts its SWAP plan. A free function (not a method) so
-/// the prefetch workers — which outlive any `&self` borrow — run the
-/// identical computation: the plan is a pure function of
-/// `(region, local_circuit, config)`, which is exactly the memo key.
-fn subroute_plan(
-    config: &QlosureConfig,
-    region: &Region,
-    local_circuit: &Circuit,
-) -> Vec<(u32, u32)> {
+/// Routes a canonical fragment — reconstructing its circuit and region
+/// device from the key alone — with the flat pipeline and extracts its
+/// SWAP plan in canonical slots. A free function (not a method) so the
+/// prefetch workers — which outlive any `&self` borrow — run the
+/// identical computation: the plan is a pure, deterministic function of
+/// `(key, config)` and nothing else, which is what lets every tier of
+/// the store (memory, prefetch, disk) share plans across threads,
+/// processes and fragment labelings without breaking bit-for-bit
+/// reproducibility.
+fn canonical_plan(config: &QlosureConfig, key: &FragmentKey) -> Vec<(u32, u32)> {
+    let device = topology::CouplingGraph::new("hier-canon", key.n_local as usize, &key.edges);
+    // Content-keyed process-wide cache: isomorphic regions share one BFS.
+    let dist = device.shared_distances();
+    let mut local_circuit = Circuit::with_capacity(key.n_local as usize, key.gates.len());
+    for (kind, operands, params) in &key.gates {
+        local_circuit.push(Gate {
+            kind: GateKind::from_name(kind),
+            qubits: operands.clone(),
+            params: params.iter().map(|&p| f64::from_bits(p)).collect(),
+        });
+    }
     let pipeline =
         MappingPipeline::new(IdentityLayoutPass, QlosureRoutingPass::new(config.clone()))
             .with_analysis(DependenceWeightsPass::new(config.weight_mode));
-    match pipeline.run_with_distances(local_circuit, &region.device, &region.dist) {
+    match pipeline.run_with_distances(&local_circuit, &device, &dist) {
         Ok(outcome) => outcome
             .result
             .routed
@@ -268,14 +274,11 @@ impl RoutingPass for HierRoutingPass {
             }
         };
         let memo = memo::global();
-        let subroute_fingerprint = format!("{:?}", self.config.subroute);
-        // One shared edge list per region for the whole run: the memo key
-        // clones an Arc, not the list.
-        let region_edges: Vec<Arc<Vec<(u32, u32)>>> = rm
-            .regions
-            .iter()
-            .map(|r| Arc::new(r.device.edges()))
-            .collect();
+        let subroute_fingerprint: Arc<str> = intern(&format!("{:?}", self.config.subroute));
+        // One edge list per region for the whole run, shared by every
+        // fragment canonicalization.
+        let region_edges: Vec<Vec<(u32, u32)>> =
+            rm.regions.iter().map(|r| r.device.edges()).collect();
         // Speculative fragment prefetch: a persistent worker pool warms
         // the shared memo with sub-route plans for fragments anchored in
         // regions *other* than the one being replayed. The replay loop
@@ -290,12 +293,10 @@ impl RoutingPass for HierRoutingPass {
         };
         let prefetch = (pool.threads() > 1).then(|| {
             let subroute = self.config.subroute.clone();
-            let worker = move |(key, region, circuit): (FragmentKey, Arc<Region>, Circuit)| {
-                memo::global().get_or_compute(key, || subroute_plan(&subroute, &region, &circuit));
+            let worker = move |(key, exact_hash): (FragmentKey, u64)| {
+                memo::global().get_or_compute(key, exact_hash, |k| canonical_plan(&subroute, k));
             };
-            let regions: Vec<Arc<Region>> =
-                rm.regions.iter().map(|r| Arc::new(r.clone())).collect();
-            (pool.stream(PREFETCH_QUEUE, worker), regions)
+            pool.stream(PREFETCH_QUEUE, worker)
         });
         // u64 content hashes of already-submitted speculative keys: a
         // repeat fragment is never resubmitted (a hash collision merely
@@ -378,14 +379,20 @@ impl RoutingPass for HierRoutingPass {
                 }
             }
             debug_assert!(fragment.contains(&g), "fragment must contain its anchor");
-            let (canonical, local_circuit) = self.local_fragment(state, rm, region, &fragment);
-            let key = FragmentKey {
-                n_local: region.len() as u32,
-                edges: region_edges[ra as usize].clone(),
-                gates: canonical,
-                config: subroute_fingerprint.clone(),
-            };
-            if let Some((stream, region_arcs)) = &prefetch {
+            let local_gates = self.local_fragment(state, rm, &fragment);
+            let exact_hash = exact_fragment_hash(
+                region.len() as u32,
+                &region_edges[ra as usize],
+                &local_gates,
+                &subroute_fingerprint,
+            );
+            let canonical = canonicalize(
+                region.len() as u32,
+                &region_edges[ra as usize],
+                &local_gates,
+                subroute_fingerprint.clone(),
+            );
+            if let Some(stream) = &prefetch {
                 // Before sub-routing this fragment, scan the pending tail
                 // once and hand upcoming other-region fragments to the
                 // workers, so their plans compute while this one does.
@@ -442,30 +449,37 @@ impl RoutingPass for HierRoutingPass {
                         continue;
                     }
                     let spec_region = &rm.regions[r as usize];
-                    let (spec_gates, spec_circuit) =
-                        self.local_fragment(state, rm, spec_region, &frag);
-                    let spec_key = FragmentKey {
-                        n_local: spec_region.len() as u32,
-                        edges: region_edges[r as usize].clone(),
-                        gates: spec_gates,
-                        config: subroute_fingerprint.clone(),
-                    };
+                    let spec_gates = self.local_fragment(state, rm, &frag);
+                    let spec_hash = exact_fragment_hash(
+                        spec_region.len() as u32,
+                        &region_edges[r as usize],
+                        &spec_gates,
+                        &subroute_fingerprint,
+                    );
+                    let spec_canon = canonicalize(
+                        spec_region.len() as u32,
+                        &region_edges[r as usize],
+                        &spec_gates,
+                        subroute_fingerprint.clone(),
+                    );
                     let mut hasher = std::collections::hash_map::DefaultHasher::new();
-                    spec_key.hash(&mut hasher);
+                    spec_canon.key.hash(&mut hasher);
                     if submitted.insert(hasher.finish()) {
                         // Full queue = drop the speculation, never block.
-                        let _ = stream.submit((
-                            spec_key,
-                            region_arcs[r as usize].clone(),
-                            spec_circuit,
-                        ));
+                        let _ = stream.submit((spec_canon.key, spec_hash));
                     }
                 }
             }
-            let plan = memo.get_or_compute(key, || {
-                subroute_plan(&self.config.subroute, region, &local_circuit)
+            let plan = memo.get_or_compute(canonical.key, exact_hash, |k| {
+                canonical_plan(&self.config.subroute, k)
             });
-            for &(l1, l2) in plan.iter() {
+            // Plan SWAPs are in canonical slots: pull each back through
+            // the fragment's relabeling, then onto physical qubits.
+            for &(c1, c2) in plan.iter() {
+                let (l1, l2) = (
+                    canonical.to_local[c1 as usize],
+                    canonical.to_local[c2 as usize],
+                );
                 let (p1, p2) = (region.qubits[l1 as usize], region.qubits[l2 as usize]);
                 state.apply_swap(p1, p2);
                 state.execute_ready();
@@ -594,9 +608,26 @@ mod tests {
     fn single_region_replay_is_bit_for_bit_flat_routing() {
         // Budget swallowing the device: one region, one whole-circuit
         // fragment whose replayed plan must reproduce the flat router
-        // exactly (same identity layout, same sub-router config).
-        let device = backends::line(6);
-        let c = scrambled_circuit(6, 30, 41);
+        // exactly (same identity layout, same sub-router config). The
+        // fragment is constructed *already in canonical form* — its
+        // first-use slot order is the identity and every slot is used —
+        // so the canonical circuit the sub-router actually routes is the
+        // original circuit and the comparison stays bit-for-bit.
+        // Device: a path visiting 0-2-4-5-3-1, so every fragment gate
+        // below is non-adjacent (nothing executes before the fragment
+        // forms, keeping the whole stream in the fragment).
+        let device = topology::CouplingGraph::new(
+            "scrambled-line6",
+            6,
+            &[(0, 2), (2, 4), (4, 5), (3, 5), (1, 3)],
+        );
+        let mut c = Circuit::new(6);
+        c.cx(0, 1); // first-use 0, 1
+        c.cx(2, 3); // first-use 2, 3
+        c.cx(0, 4); // first-use 4
+        c.cx(2, 5); // first-use 5
+        c.cx(1, 4);
+        c.cx(3, 5);
         let flat = qlosure::QlosureMapper::default().map(&c, &device);
         let hier = MappingPipeline::new(
             IdentityLayoutPass,
@@ -607,6 +638,47 @@ mod tests {
         )
         .map(&c, &device);
         assert_eq!(flat, hier);
+        assert!(flat.swaps > 0, "the comparison must exercise real SWAPs");
+    }
+
+    #[test]
+    fn relabeled_fragments_share_one_canonical_plan() {
+        // The same structural fragment under two qubit labelings related
+        // by a *device automorphism* (rotation of a 12-cycle) must share
+        // one canonical plan: the second labeling is a canonical hit,
+        // not a fresh sub-routing. The pass uses the process-wide memo
+        // and tests run concurrently, so assert a monotone delta of the
+        // canonical-hit counter across the second map call only.
+        let edges: Vec<(u32, u32)> = (0..12u32).map(|i| (i, (i + 1) % 12)).collect();
+        let device = topology::CouplingGraph::new("canon-cycle12", 12, &edges);
+        let mut a = Circuit::new(12);
+        let mut b = Circuit::new(12);
+        for i in 0..6u32 {
+            // Antipodal pairs (all blocked); b rotates every label by 3.
+            a.cx(i, i + 6);
+            b.cx((i + 3) % 12, (i + 9) % 12);
+        }
+        let config = HierConfig {
+            budget: Some(64), // one region: the whole cycle
+            threads: Some(1),
+            ..HierConfig::default()
+        };
+        let route = |c: &Circuit| {
+            MappingPipeline::new(IdentityLayoutPass, HierRoutingPass::new(config.clone()))
+                .map(c, &device)
+        };
+        let ra = route(&a);
+        verify(&a, &device, &ra);
+        let between = memo::plan_store_stats();
+        let rb = route(&b);
+        verify(&b, &device, &rb);
+        let after = memo::plan_store_stats();
+        assert!(
+            after.canonical_hits > between.canonical_hits,
+            "the rotated circuit must hit canonically: {between:?} -> {after:?}"
+        );
+        // Same structure, same plan: SWAP counts agree exactly.
+        assert_eq!(ra.swaps, rb.swaps);
     }
 
     #[test]

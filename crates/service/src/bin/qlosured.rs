@@ -4,6 +4,7 @@
 //! qlosured [--listen ENDPOINT | --socket PATH] [--workers N]
 //!          [--queue-cap N] [--results-cap N]
 //!          [--max-conns N] [--read-timeout SECS]
+//!          [--plan-store DIR]
 //! ```
 //!
 //! Listens on a Unix domain socket (default `/tmp/qlosured.sock`) or a
@@ -11,7 +12,9 @@
 //! protocol until a client sends `shutdown`, drains every admitted job,
 //! and prints the final counters. Worker count defaults to the
 //! `ENGINE_THREADS` environment variable (all cores when unset), like
-//! every engine consumer.
+//! every engine consumer. `--plan-store DIR` persists hierarchical SWAP
+//! plans (keyed on canonical fragment content) under `DIR`, so a
+//! restarted daemon replays plans an earlier process computed.
 
 use service::daemon;
 use service::{DaemonConfig, Endpoint};
@@ -22,6 +25,7 @@ fn usage() -> ! {
         "usage: qlosured [--listen ENDPOINT | --socket PATH] [--workers N]\n\
          \x20               [--queue-cap N] [--results-cap N]\n\
          \x20               [--max-conns N] [--read-timeout SECS]\n\
+         \x20               [--plan-store DIR]\n\
          ENDPOINT is unix:/path, tcp:host:port, or a bare socket path"
     );
     std::process::exit(2);
@@ -69,6 +73,7 @@ fn parse_args() -> DaemonConfig {
                 Ok(secs) if secs >= 1 => config.read_timeout = Duration::from_secs(secs),
                 _ => usage(),
             },
+            "--plan-store" => config.plan_store = Some(value("--plan-store").into()),
             _ => usage(),
         }
     }

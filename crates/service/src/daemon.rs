@@ -48,6 +48,11 @@ pub struct DaemonConfig {
     /// Idle deadline per connection: no complete frame for this long and
     /// the connection is closed.
     pub read_timeout: Duration,
+    /// Optional disk tier of the hierarchical plan store
+    /// (`--plan-store <dir>`): SWAP plans persist under this directory
+    /// and survive daemon restarts, so a fresh process replays plans an
+    /// earlier one computed.
+    pub plan_store: Option<std::path::PathBuf>,
 }
 
 impl DaemonConfig {
@@ -63,6 +68,7 @@ impl DaemonConfig {
             service: ServiceConfig::default(),
             max_connections: DEFAULT_MAX_CONNECTIONS,
             read_timeout: DEFAULT_READ_TIMEOUT,
+            plan_store: None,
         }
     }
 }
@@ -119,6 +125,11 @@ pub fn run(config: DaemonConfig) -> std::io::Result<StatsBody> {
 }
 
 fn serve(listener: Listener, config: DaemonConfig) -> std::io::Result<StatsBody> {
+    if let Some(dir) = &config.plan_store {
+        // Attach the persistent plan tier before any job routes; a
+        // damaged store file degrades to warnings at scan time.
+        hier::configure_plan_store(dir)?;
+    }
     let service = Arc::new(MappingService::start(config.service.clone()));
     let shutdown = Arc::new(AtomicBool::new(false));
     let limits = ConnLimits {

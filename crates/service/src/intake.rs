@@ -319,6 +319,7 @@ impl MappingService {
         let (closure_hits, closure_misses) = presburger::closure_memo_stats();
         let (weighted_hits, weighted_misses) = topology::weighted_distance_stats();
         let (subroute_hits, subroute_misses) = hier::subroute_memo_stats();
+        let plan = hier::plan_store_stats();
         StatsBody {
             protocol: PROTOCOL_VERSION,
             workers: self.inner.config.workers.max(1) as u64,
@@ -335,6 +336,10 @@ impl MappingService {
             weighted_misses,
             subroute_hits,
             subroute_misses,
+            plan_exact_hits: plan.exact_hits,
+            plan_canonical_hits: plan.canonical_hits,
+            plan_disk_hits: plan.disk_hits,
+            plan_disk_writes: plan.disk_writes,
         }
     }
 

@@ -200,6 +200,16 @@ pub struct StatsBody {
     pub subroute_hits: u64,
     /// Process-wide hierarchical sub-routing fragment-memo misses.
     pub subroute_misses: u64,
+    /// Plan-store hits where the fragment was byte-identical to one
+    /// already cached (additive field; absent on the wire decodes as 0).
+    pub plan_exact_hits: u64,
+    /// Plan-store hits earned by canonicalization: a structurally
+    /// isomorphic fragment under a different labeling shared the plan.
+    pub plan_canonical_hits: u64,
+    /// Plans loaded from the optional `--plan-store` disk tier.
+    pub plan_disk_hits: u64,
+    /// Plans persisted to the disk tier after a fresh compute.
+    pub plan_disk_writes: u64,
 }
 
 /// The full observability export reported by [`Response::Metrics`]: the
@@ -263,6 +273,19 @@ impl MetricsBody {
                 "qlosure_cache_misses_total{{cache=\"{cache}\"}} {misses}\n"
             ));
         }
+        for (tier, hits) in [
+            ("exact", s.plan_exact_hits),
+            ("canonical", s.plan_canonical_hits),
+            ("disk", s.plan_disk_hits),
+        ] {
+            out.push_str(&format!(
+                "qlosure_plan_hits_total{{tier=\"{tier}\"}} {hits}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "qlosure_plan_disk_writes_total {}\n",
+            s.plan_disk_writes
+        ));
         for (quantile, value) in [
             ("0.5", self.queue_p50),
             ("0.9", self.queue_p90),
@@ -559,6 +582,10 @@ fn stats_members(stats: &StatsBody) -> Vec<(&'static str, Json)> {
         ("weighted_misses", num_u64(stats.weighted_misses)),
         ("subroute_hits", num_u64(stats.subroute_hits)),
         ("subroute_misses", num_u64(stats.subroute_misses)),
+        ("plan_exact_hits", num_u64(stats.plan_exact_hits)),
+        ("plan_canonical_hits", num_u64(stats.plan_canonical_hits)),
+        ("plan_disk_hits", num_u64(stats.plan_disk_hits)),
+        ("plan_disk_writes", num_u64(stats.plan_disk_writes)),
     ]
 }
 
@@ -838,6 +865,10 @@ fn parse_stats(value: &Json) -> Result<StatsBody, ProtoError> {
         weighted_misses: opt_u64_field(value, "weighted_misses")?,
         subroute_hits: opt_u64_field(value, "subroute_hits")?,
         subroute_misses: opt_u64_field(value, "subroute_misses")?,
+        plan_exact_hits: opt_u64_field(value, "plan_exact_hits")?,
+        plan_canonical_hits: opt_u64_field(value, "plan_canonical_hits")?,
+        plan_disk_hits: opt_u64_field(value, "plan_disk_hits")?,
+        plan_disk_writes: opt_u64_field(value, "plan_disk_writes")?,
     })
 }
 
@@ -994,6 +1025,10 @@ mod tests {
                 weighted_misses: 0,
                 subroute_hits: 7,
                 subroute_misses: 1,
+                plan_exact_hits: 5,
+                plan_canonical_hits: 2,
+                plan_disk_hits: 3,
+                plan_disk_writes: 1,
             },
             queue_p50: 0.0009765625,
             queue_p90: 0.015625,
@@ -1051,6 +1086,10 @@ mod tests {
                 weighted_misses: 2,
                 subroute_hits: 99,
                 subroute_misses: 13,
+                plan_exact_hits: 64,
+                plan_canonical_hits: 35,
+                plan_disk_hits: 8,
+                plan_disk_writes: 13,
             }),
             Response::Metrics(demo_metrics()),
             Response::Metrics(MetricsBody {
@@ -1264,6 +1303,10 @@ mod tests {
             "qlosure_queue_seconds_count 40",
             "qlosure_pass_runs_total{pass=\"routing:qlosure\"} 40",
             "qlosure_pass_seconds_total{pass=\"analysis:weights\"} 0.125",
+            "qlosure_plan_hits_total{tier=\"exact\"} 5",
+            "qlosure_plan_hits_total{tier=\"canonical\"} 2",
+            "qlosure_plan_hits_total{tier=\"disk\"} 3",
+            "qlosure_plan_disk_writes_total 1",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
@@ -1295,6 +1338,10 @@ mod tests {
             Response::Stats(stats) => {
                 assert_eq!(stats.weighted_hits, 0);
                 assert_eq!(stats.subroute_misses, 0);
+                assert_eq!(stats.plan_exact_hits, 0);
+                assert_eq!(stats.plan_canonical_hits, 0);
+                assert_eq!(stats.plan_disk_hits, 0);
+                assert_eq!(stats.plan_disk_writes, 0);
                 assert_eq!(stats.distance_hits, 9);
             }
             other => panic!("unexpected response {other:?}"),

@@ -353,6 +353,10 @@ fn add_stats(total: &mut StatsBody, shard: &StatsBody) {
     total.weighted_misses += shard.weighted_misses;
     total.subroute_hits += shard.subroute_hits;
     total.subroute_misses += shard.subroute_misses;
+    total.plan_exact_hits += shard.plan_exact_hits;
+    total.plan_canonical_hits += shard.plan_canonical_hits;
+    total.plan_disk_hits += shard.plan_disk_hits;
+    total.plan_disk_writes += shard.plan_disk_writes;
 }
 
 fn empty_stats() -> StatsBody {
@@ -372,6 +376,10 @@ fn empty_stats() -> StatsBody {
         weighted_misses: 0,
         subroute_hits: 0,
         subroute_misses: 0,
+        plan_exact_hits: 0,
+        plan_canonical_hits: 0,
+        plan_disk_hits: 0,
+        plan_disk_writes: 0,
     }
 }
 

@@ -270,6 +270,125 @@ proptest! {
     }
 }
 
+// ---------- Canonical fragment form invariants ----------
+
+/// Applies slot permutation `perm` (original → new) to a fragment's
+/// adjacency and gate stream *together* — the pairing that makes any
+/// permutation a fragment isomorphism (no device automorphism needed).
+fn permute_fragment(
+    perm: &[u32],
+    edges: &[(u32, u32)],
+    gates: &[hier::FragmentGate],
+) -> (Vec<(u32, u32)>, Vec<hier::FragmentGate>) {
+    let mut new_edges: Vec<(u32, u32)> = edges
+        .iter()
+        .map(|&(a, b)| {
+            let (x, y) = (perm[a as usize], perm[b as usize]);
+            (x.min(y), x.max(y))
+        })
+        .collect();
+    new_edges.sort_unstable();
+    let new_gates = gates
+        .iter()
+        .map(|(kind, operands, params)| {
+            (
+                kind.clone(),
+                operands.iter().map(|&q| perm[q as usize]).collect(),
+                params.clone(),
+            )
+        })
+        .collect();
+    (new_edges, new_gates)
+}
+
+/// A pseudo-random fragment over `n` slots: a path backbone (so the
+/// region stays connected) plus reduced chords, and a 1q/2q gate stream
+/// — the shape the hierarchical router feeds `canonicalize`.
+fn build_fragment(
+    n: u32,
+    chords: &[(u32, u32)],
+    picks: &[(u32, u32, u8)],
+) -> (Vec<(u32, u32)>, Vec<hier::FragmentGate>) {
+    let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    for &(a, b) in chords {
+        let (x, y) = (a % n, b % n);
+        let edge = (x.min(y), x.max(y));
+        if x != y && !edges.contains(&edge) {
+            edges.push(edge);
+        }
+    }
+    edges.sort_unstable();
+    let gates = picks
+        .iter()
+        .filter_map(|&(a, b, kind)| {
+            let (x, y) = (a % n, b % n);
+            match kind {
+                0 if x != y => Some((hier::intern("cx"), vec![x, y], Vec::new())),
+                1 if x != y => Some((hier::intern("cz"), vec![x, y], Vec::new())),
+                2 => Some((hier::intern("h"), vec![x], Vec::new())),
+                _ => None,
+            }
+        })
+        .collect();
+    (edges, gates)
+}
+
+/// A Fisher-Yates permutation of `0..n` drawn from an LCG stream, so a
+/// single proptest `u64` input covers the whole permutation space.
+fn seeded_permutation(n: u32, seed: u64) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n as usize).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        perm.swap(i, (s >> 33) as usize % (i + 1));
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48).with_seed(0x00CA_F01D_0F2A_6013))]
+
+    #[test]
+    fn hier_canonical_key_is_permutation_invariant(
+        n in 3u32..9,
+        chords in prop::collection::vec((0u32..64, 0u32..64), 0..6),
+        picks in prop::collection::vec((0u32..64, 0u32..64, 0u8..3), 1..12),
+        seed in 0u64..u64::MAX,
+    ) {
+        // Relabeling the slots of a fragment (adjacency and gate stream
+        // in lockstep) must not change the canonical key — this is the
+        // exact property the plan store's cross-request sharing rides on.
+        let (edges, gates) = build_fragment(n, &chords, &picks);
+        let base = hier::canonicalize(n, &edges, &gates, hier::intern("prop-cfg"));
+        let perm = seeded_permutation(n, seed);
+        let (p_edges, p_gates) = permute_fragment(&perm, &edges, &gates);
+        let relabeled = hier::canonicalize(n, &p_edges, &p_gates, hier::intern("prop-cfg"));
+        prop_assert_eq!(&relabeled.key, &base.key);
+        // The replay map is always a permutation of the region slots.
+        let mut sorted = relabeled.to_local.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn hier_canonicalization_is_idempotent(
+        n in 3u32..9,
+        chords in prop::collection::vec((0u32..64, 0u32..64), 0..6),
+        picks in prop::collection::vec((0u32..64, 0u32..64, 0u8..3), 1..12),
+    ) {
+        // The canonical form is a fixed point: re-canonicalizing it
+        // returns the same key with an identity replay map.
+        let (edges, gates) = build_fragment(n, &chords, &picks);
+        let once = hier::canonicalize(n, &edges, &gates, hier::intern("prop-cfg"));
+        let twice =
+            hier::canonicalize(n, &once.key.edges, &once.key.gates, hier::intern("prop-cfg"));
+        prop_assert_eq!(&once.key, &twice.key);
+        prop_assert_eq!(twice.to_local, (0..n).collect::<Vec<u32>>());
+    }
+}
+
 // ---------- RoutingState delta/undo invariants ----------
 
 /// Drives a `RoutingState` through a full routing of a pseudo-random
@@ -644,7 +763,7 @@ fn arb_summary() -> impl Strategy<Value = service::Summary> {
 }
 
 fn arb_stats() -> impl Strategy<Value = service::StatsBody> {
-    prop::collection::vec(0u64..(1 << 50), 15).prop_map(|counters| service::StatsBody {
+    prop::collection::vec(0u64..(1 << 50), 19).prop_map(|counters| service::StatsBody {
         protocol: counters[0],
         workers: counters[1],
         queue_depth: counters[2],
@@ -660,6 +779,10 @@ fn arb_stats() -> impl Strategy<Value = service::StatsBody> {
         weighted_misses: counters[12],
         subroute_hits: counters[13],
         subroute_misses: counters[14],
+        plan_exact_hits: counters[15],
+        plan_canonical_hits: counters[16],
+        plan_disk_hits: counters[17],
+        plan_disk_writes: counters[18],
     })
 }
 
@@ -1020,4 +1143,29 @@ fn smoke_hier_routes_fixed_circuit() {
         sorted.dedup();
         assert_eq!(sorted.len(), 16, "layout must stay a permutation");
     }
+}
+
+#[test]
+fn smoke_hier_canonical_fixed_fragment() {
+    // One fixed 2x3-grid fragment under one fixed scramble: the
+    // canonical key is scramble-invariant, and canonicalizing the
+    // canonical form is the identity.
+    let edges = vec![(0, 1), (1, 2), (0, 3), (1, 4), (2, 5), (3, 4), (4, 5)];
+    let gates = vec![
+        (hier::intern("cx"), vec![4, 1], Vec::new()),
+        (hier::intern("h"), vec![5], Vec::new()),
+    ];
+    let base = hier::canonicalize(6, &edges, &gates, hier::intern("smoke-cfg"));
+    let perm = [3u32, 5, 1, 0, 4, 2];
+    let (p_edges, p_gates) = permute_fragment(&perm, &edges, &gates);
+    let scrambled = hier::canonicalize(6, &p_edges, &p_gates, hier::intern("smoke-cfg"));
+    assert_eq!(scrambled.key, base.key);
+    let again = hier::canonicalize(
+        6,
+        &base.key.edges,
+        &base.key.gates,
+        hier::intern("smoke-cfg"),
+    );
+    assert_eq!(again.key, base.key);
+    assert_eq!(again.to_local, (0..6).collect::<Vec<u32>>());
 }
