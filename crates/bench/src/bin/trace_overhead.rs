@@ -1,0 +1,167 @@
+//! Tracing-overhead gate: the instrumented code paths must stay free
+//! when tracing is off and harmless when it is on.
+//!
+//! Maps the `router_core` budget instance (1024-qubit QUEKO on grid
+//! 32×32, depth 8, 20% two-qubit density, seed 1) four ways: flat and
+//! hierarchical, each first with no tracing context installed and then
+//! under a live per-job tracer. Two contracts are enforced:
+//!
+//! 1. **Disabled-path cost.** The instrumentation is in the hot loop of
+//!    every pass (one thread-local read per span site), so the untraced
+//!    flat cold map must stay within 2% of the committed
+//!    [`FLAT_COLD_1024Q_BUDGET_SECONDS`] `router_core` budget. The
+//!    untraced runs go first — they are the cold runs the budget is
+//!    defined over.
+//! 2. **Golden equivalence.** Spans observe, they never steer: for each
+//!    mapper the traced run's result fingerprint (routed gates, both
+//!    layouts, SWAP count — `service::result_fingerprint`) must be
+//!    bit-for-bit identical to the untraced run's.
+//!
+//! Output: `BENCH_trace_overhead.json` with one row per (mapper, tracing)
+//! pair plus the gate threshold as an extra. Exit status: 1 on a budget
+//! breach or any fingerprint divergence.
+
+use bench_support::report::JsonJobRow;
+use bench_support::{shared_backend, FLAT_COLD_1024Q_BUDGET_SECONDS};
+use circuit::{verify_routing, Circuit};
+use hier::HierMapper;
+use qlosure::{Mapper, QlosureMapper};
+use queko::QuekoSpec;
+use service::result_fingerprint;
+use std::time::Instant;
+use topology::CouplingGraph;
+
+/// Headroom over the committed budget: the disabled path may cost at
+/// most 2% of the `router_core` bound before this gate fails the build.
+const OVERHEAD_HEADROOM: f64 = 1.02;
+
+struct Run {
+    seconds: f64,
+    fingerprint: u64,
+    swaps: usize,
+    passes: Vec<(String, f64)>,
+}
+
+/// One verified mapping run under whatever tracing context the caller
+/// installed (or none), keeping the result fingerprint.
+fn run_once(mapper: &(dyn Mapper + Send + Sync), circuit: &Circuit, device: &CouplingGraph) -> Run {
+    let start = Instant::now();
+    let timed = qlosure::run_mapper_timed(mapper, circuit, device);
+    let seconds = start.elapsed().as_secs_f64();
+    verify_routing(
+        circuit,
+        &timed.result.routed,
+        &|a, b| device.is_adjacent(a, b),
+        &timed.result.initial_layout,
+    )
+    .unwrap_or_else(|e| panic!("{} produced invalid routing: {e}", mapper.name()));
+    Run {
+        seconds,
+        fingerprint: result_fingerprint(&timed.result),
+        swaps: timed.result.swaps,
+        passes: timed.passes,
+    }
+}
+
+fn main() {
+    let device = shared_backend("grid:32x32");
+    let bench = QuekoSpec::new(&device, 8)
+        .density_2q(0.2)
+        .seed(1)
+        .generate();
+    let mappers: Vec<(&str, Box<dyn Mapper + Send + Sync>)> = vec![
+        ("flat", Box::new(QlosureMapper::default())),
+        ("hier", Box::new(HierMapper::default())),
+    ];
+
+    let wall0 = Instant::now();
+    let mut rows: Vec<JsonJobRow> = Vec::new();
+    let mut failures = 0u32;
+    let mut flat_disabled_seconds = f64::NAN;
+    println!("== trace_overhead — disabled-path cost and golden equivalence ==");
+    println!("mapper,tracing,seconds,swaps,spans,fingerprint");
+    for (name, mapper) in &mappers {
+        // Untraced first: this is the cold run the budget is defined
+        // over, before any shared cache warms up.
+        let disabled = run_once(mapper.as_ref(), &bench.circuit, &device);
+        if *name == "flat" {
+            flat_disabled_seconds = disabled.seconds;
+        }
+        let tracer = trace::Tracer::new(0x7ace, 65_536);
+        let traced = {
+            let ctx = trace::Ctx::new(tracer.clone(), trace::ROOT_SPAN);
+            let _ctx_guard = trace::set_ctx(&ctx);
+            run_once(mapper.as_ref(), &bench.circuit, &device)
+        };
+        tracer.finish_root("job", 0, trace::now_ns(), Vec::new());
+        let spans = tracer.snapshot().len();
+        for (label, run, span_count) in
+            [("disabled", &disabled, 0usize), ("enabled", &traced, spans)]
+        {
+            println!(
+                "{name},{label},{:.3},{},{span_count},{:016x}",
+                run.seconds, run.swaps, run.fingerprint
+            );
+            rows.push(JsonJobRow {
+                id: rows.len(),
+                label: format!("{name}-trace-{label}"),
+                seconds: run.seconds,
+                metrics: vec![
+                    ("swaps".to_string(), run.swaps as i64),
+                    ("spans".to_string(), span_count as i64),
+                ],
+                pass_seconds: run.passes.clone(),
+                queue_seconds: None,
+            });
+        }
+        if traced.fingerprint != disabled.fingerprint {
+            eprintln!(
+                "trace_overhead: FATAL: {name} mapping diverged under tracing \
+                 ({:016x} traced vs {:016x} untraced) — spans must never \
+                 steer the mapping",
+                traced.fingerprint, disabled.fingerprint
+            );
+            failures += 1;
+        }
+        if spans <= 1 {
+            eprintln!(
+                "trace_overhead: FATAL: {name} traced run recorded {spans} spans — \
+                 the instrumentation is not reaching the pipeline"
+            );
+            failures += 1;
+        }
+    }
+    let wall_seconds = wall0.elapsed().as_secs_f64();
+
+    let gate = FLAT_COLD_1024Q_BUDGET_SECONDS * OVERHEAD_HEADROOM;
+    let extras = vec![
+        ("disabled_gate_millis".to_string(), (gate * 1000.0) as i64),
+        (
+            "flat_1024q_budget_millis".to_string(),
+            (FLAT_COLD_1024Q_BUDGET_SECONDS * 1000.0) as i64,
+        ),
+    ];
+    match bench_support::report::write_batch_json_with(
+        "trace_overhead",
+        1,
+        wall_seconds,
+        &rows,
+        &extras,
+    ) {
+        Ok(path) => eprintln!("trace_overhead: wrote {}", path.display()),
+        Err(e) => eprintln!("trace_overhead: could not write JSON report: {e}"),
+    }
+
+    println!("\n1024q flat cold, tracing disabled: {flat_disabled_seconds:.3}s (gate {gate:.1}s)");
+    if flat_disabled_seconds > gate {
+        eprintln!(
+            "trace_overhead: FATAL: untraced 1024q flat cold map took \
+             {flat_disabled_seconds:.1}s, over the {gate:.1}s gate \
+             ({FLAT_COLD_1024Q_BUDGET_SECONDS}s budget + 2%)"
+        );
+        failures += 1;
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -297,6 +297,7 @@ impl MappingPipeline {
         let mut timings: Vec<PassTiming> = Vec::new();
         let mut artifacts = Artifacts::default();
         for pass in &self.analyses {
+            let _span = trace::span_label("analysis", pass.name());
             let t0 = Instant::now();
             pass.run(&ctx, &mut artifacts);
             timings.push(PassTiming {
@@ -305,24 +306,32 @@ impl MappingPipeline {
                 seconds: t0.elapsed().as_secs_f64(),
             });
         }
-        let t0 = Instant::now();
-        let layout = self.layout.run(&ctx, &artifacts);
-        timings.push(PassTiming {
-            stage: PassStage::Layout,
-            pass: self.layout.name().to_string(),
-            seconds: t0.elapsed().as_secs_f64(),
-        });
+        let layout = {
+            let _span = trace::span_label("layout", self.layout.name());
+            let t0 = Instant::now();
+            let layout = self.layout.run(&ctx, &artifacts);
+            timings.push(PassTiming {
+                stage: PassStage::Layout,
+                pass: self.layout.name().to_string(),
+                seconds: t0.elapsed().as_secs_f64(),
+            });
+            layout
+        };
         let mut state = RoutingState::new(circuit, device, dist, layout);
-        let t0 = Instant::now();
-        self.routing.run(&mut state, &artifacts);
-        timings.push(PassTiming {
-            stage: PassStage::Routing,
-            pass: self.routing.name().to_string(),
-            seconds: t0.elapsed().as_secs_f64(),
-        });
+        {
+            let _span = trace::span_label("routing", self.routing.name());
+            let t0 = Instant::now();
+            self.routing.run(&mut state, &artifacts);
+            timings.push(PassTiming {
+                stage: PassStage::Routing,
+                pass: self.routing.name().to_string(),
+                seconds: t0.elapsed().as_secs_f64(),
+            });
+        }
         let result = state.into_result();
         let mut metrics: Vec<(String, i64)> = Vec::new();
         for pass in &self.post {
+            let _span = trace::span_label("post", pass.name());
             let t0 = Instant::now();
             let out = pass.run(&ctx, &result);
             timings.push(PassTiming {
@@ -647,6 +656,26 @@ mod tests {
             .metrics
             .iter()
             .any(|(k, v)| k == "swaps" && *v == outcome.result.swaps as i64));
+    }
+
+    #[test]
+    fn pipeline_spans_mirror_pass_timing_labels() {
+        let device = backends::line(4);
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let tracer = trace::Tracer::new(1, 256);
+        let outcome = {
+            let ctx = trace::Ctx::new(tracer.clone(), trace::ROOT_SPAN);
+            let _g = trace::set_ctx(&ctx);
+            demo_pipeline().run(&c, &device).unwrap()
+        };
+        let names: Vec<String> = tracer.snapshot().into_iter().map(|s| s.name).collect();
+        let labels: Vec<String> = outcome.timings.iter().map(PassTiming::label).collect();
+        assert_eq!(names, labels, "one span per pass, labelled stage:name");
+        // Tracing is observational: the untraced run routes identically.
+        let untraced = demo_pipeline().run(&c, &device).unwrap();
+        assert_eq!(untraced.result.routed, outcome.result.routed);
+        assert_eq!(untraced.result.swaps, outcome.result.swaps);
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //! [`BatchEngine::execute`] jobs: results are delivered in completion
 //! order tagged with the submission ID, so any consumer can re-establish
 //! submission order deterministically.
+//!
+//! **Trace propagation.** Each submission captures the submitting
+//! thread's [`trace::Ctx`]; the worker that picks the job up re-installs
+//! it for the duration of the job function and records a retroactive
+//! `engine:pickup` span covering the enqueue→pickup interval. With no
+//! context installed (the common case) the cost is one thread-local read
+//! per submission — spans never alter results.
 
 use crate::pool::BatchEngine;
 use std::collections::VecDeque;
@@ -55,8 +62,12 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// A queue entry: submission ID, the submitter's tracing context with its
+/// enqueue stamp (0 when tracing is disabled), and the job itself.
+type QueuedJob<T> = (u64, trace::Ctx, u64, T);
+
 struct StreamState<T, R> {
-    queue: VecDeque<(u64, T)>,
+    queue: VecDeque<QueuedJob<T>>,
     next_id: u64,
     in_flight: usize,
     done: VecDeque<(u64, R)>,
@@ -119,7 +130,7 @@ impl BatchEngine {
 
 fn worker_loop<T, R>(shared: &Shared<T, R>, f: &(impl Fn(T) -> R + ?Sized)) {
     loop {
-        let (id, job) = {
+        let (id, ctx, enqueued_ns, job) = {
             let mut state = shared.state.lock().expect("stream state poisoned");
             loop {
                 if let Some(job) = state.queue.pop_front() {
@@ -137,6 +148,10 @@ fn worker_loop<T, R>(shared: &Shared<T, R>, f: &(impl Fn(T) -> R + ?Sized)) {
         };
         // A slot opened up; wake any blocked producer.
         shared.jobs_cv.notify_all();
+        let _ctx_guard = trace::set_ctx(&ctx);
+        if ctx.enabled() {
+            trace::record_span("engine:pickup", enqueued_ns, trace::now_ns());
+        }
         let result = f(job);
         {
             let mut state = shared.state.lock().expect("stream state poisoned");
@@ -145,6 +160,15 @@ fn worker_loop<T, R>(shared: &Shared<T, R>, f: &(impl Fn(T) -> R + ?Sized)) {
         }
         shared.done_cv.notify_all();
     }
+}
+
+/// The submitting thread's tracing context plus an enqueue stamp (taken
+/// only when tracing is live, so the disabled path never reads the
+/// clock).
+fn capture_submit_ctx() -> (trace::Ctx, u64) {
+    let ctx = trace::current_ctx();
+    let enqueued_ns = if ctx.enabled() { trace::now_ns() } else { 0 };
+    (ctx, enqueued_ns)
 }
 
 impl<T, R> StreamEngine<T, R> {
@@ -156,6 +180,7 @@ impl<T, R> StreamEngine<T, R> {
     /// [`SubmitError::Full`] when the intake queue is at capacity,
     /// [`SubmitError::Closed`] after [`StreamEngine::close`].
     pub fn submit(&self, job: T) -> Result<u64, SubmitError> {
+        let (ctx, enqueued_ns) = capture_submit_ctx();
         let mut state = self.shared.state.lock().expect("stream state poisoned");
         if state.closed {
             return Err(SubmitError::Closed);
@@ -167,7 +192,7 @@ impl<T, R> StreamEngine<T, R> {
         }
         let id = state.next_id;
         state.next_id += 1;
-        state.queue.push_back((id, job));
+        state.queue.push_back((id, ctx, enqueued_ns, job));
         drop(state);
         self.shared.jobs_cv.notify_all();
         Ok(id)
@@ -180,6 +205,7 @@ impl<T, R> StreamEngine<T, R> {
     ///
     /// [`SubmitError::Closed`] when the engine closes while waiting.
     pub fn submit_blocking(&self, job: T) -> Result<u64, SubmitError> {
+        let (ctx, enqueued_ns) = capture_submit_ctx();
         let mut state = self.shared.state.lock().expect("stream state poisoned");
         loop {
             if state.closed {
@@ -188,7 +214,7 @@ impl<T, R> StreamEngine<T, R> {
             if state.queue.len() < self.shared.capacity {
                 let id = state.next_id;
                 state.next_id += 1;
-                state.queue.push_back((id, job));
+                state.queue.push_back((id, ctx, enqueued_ns, job));
                 drop(state);
                 self.shared.jobs_cv.notify_all();
                 return Ok(id);
@@ -207,7 +233,7 @@ impl<T, R> StreamEngine<T, R> {
     pub fn cancel(&self, id: u64) -> bool {
         let mut state = self.shared.state.lock().expect("stream state poisoned");
         let before = state.queue.len();
-        state.queue.retain(|(queued, _)| *queued != id);
+        state.queue.retain(|(queued, ..)| *queued != id);
         let removed = state.queue.len() < before;
         if removed {
             drop(state);
@@ -490,6 +516,31 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![(0, 0), (1, 1)]);
         assert_eq!(stream.recv(), None, "closed + drained means end of stream");
+    }
+
+    #[test]
+    fn submitter_trace_context_reaches_the_worker() {
+        let tracer = trace::Tracer::new(42, 64);
+        let ctx = trace::Ctx::new(tracer.clone(), trace::ROOT_SPAN);
+        let stream = BatchEngine::with_threads(2).stream(8, |x: u64| {
+            let _s = trace::span("job-body");
+            x
+        });
+        {
+            let _g = trace::set_ctx(&ctx);
+            stream.submit(5).unwrap();
+        }
+        stream.submit(6).unwrap(); // no context: must record nothing
+        stream.drain();
+        let spans = tracer.snapshot();
+        let pickup = spans
+            .iter()
+            .find(|s| s.name == "engine:pickup")
+            .expect("pickup span recorded");
+        assert_eq!(pickup.parent, trace::ROOT_SPAN);
+        assert!(pickup.end_ns >= pickup.start_ns);
+        let bodies = spans.iter().filter(|s| s.name == "job-body").count();
+        assert_eq!(bodies, 1, "only the traced submission records spans");
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use coarsen::{
 };
 pub use memo::{
     configure_plan_store, exact_fragment_hash, key_bytes, plan_store_stats, subroute_memo_stats,
-    FragmentGate, FragmentKey, PlanStats, SubrouteMemo,
+    FragmentGate, FragmentKey, PlanStats, PlanTier, SubrouteMemo,
 };
 pub use pass::{
     auto_prefers_hier, HierConfig, HierLayoutPass, HierMapper, HierRoutingPass, RegionAnalysisPass,

@@ -113,6 +113,33 @@ pub fn exact_fragment_hash(
     fnv1a(&key_bytes(&key))
 }
 
+/// Which tier satisfied one plan lookup — the per-lookup counterpart of
+/// the aggregate [`PlanStats`] counters, surfaced as a span annotation on
+/// the fragment's trace span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanTier {
+    /// Tier 0, byte-identical original fragment seen before.
+    Exact,
+    /// Tier 0, isomorphic variant sharing the canonical plan.
+    Canonical,
+    /// Tier 1, loaded from the disk store.
+    Disk,
+    /// Every tier missed; the sub-router actually ran.
+    Miss,
+}
+
+impl PlanTier {
+    /// Stable lowercase label (`exact`/`canonical`/`disk`/`miss`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanTier::Exact => "exact",
+            PlanTier::Canonical => "canonical",
+            PlanTier::Disk => "disk",
+            PlanTier::Miss => "miss",
+        }
+    }
+}
+
 /// Tiered counters of the plan store, surfaced through service `stats`
 /// and `metrics` as additive fields (absent means zero).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -208,18 +235,32 @@ impl SubrouteMemo {
         exact_hash: u64,
         f: impl FnOnce(&FragmentKey) -> Vec<(u32, u32)>,
     ) -> SwapPlan {
+        self.get_or_compute_tiered(key, exact_hash, f).0
+    }
+
+    /// [`SubrouteMemo::get_or_compute`] that also reports which tier
+    /// satisfied *this* lookup — the aggregate counters cannot attribute
+    /// a decision to one fragment, which per-job tracing needs.
+    pub fn get_or_compute_tiered(
+        &self,
+        key: FragmentKey,
+        exact_hash: u64,
+        f: impl FnOnce(&FragmentKey) -> Vec<(u32, u32)>,
+    ) -> (SwapPlan, PlanTier) {
         {
             let mut inner = self.inner.lock().expect("subroute memo poisoned");
             if let Some(entry) = inner.plans.get_mut(&key) {
-                if entry.exact.contains(&exact_hash) {
+                let tier = if entry.exact.contains(&exact_hash) {
                     self.exact_hits.fetch_add(1, Ordering::Relaxed);
+                    PlanTier::Exact
                 } else {
                     self.canonical_hits.fetch_add(1, Ordering::Relaxed);
                     if entry.exact.len() < EXACT_TRACK {
                         entry.exact.insert(exact_hash);
                     }
-                }
-                return entry.plan.clone();
+                    PlanTier::Canonical
+                };
+                return (entry.plan.clone(), tier);
             }
         }
         // Tier 1: the disk store, consulted lazily on a tier-0 miss.
@@ -231,10 +272,10 @@ impl SubrouteMemo {
                     let plan: SwapPlan = Arc::new(loaded);
                     let mut inner = self.inner.lock().expect("subroute memo poisoned");
                     if let Some(entry) = inner.plans.get(&key) {
-                        return entry.plan.clone();
+                        return (entry.plan.clone(), PlanTier::Disk);
                     }
                     inner.insert(key, plan.clone(), exact_hash);
-                    return plan;
+                    return (plan, PlanTier::Disk);
                 }
             }
         }
@@ -257,7 +298,7 @@ impl SubrouteMemo {
                 }
             }
         }
-        plan
+        (plan, PlanTier::Miss)
     }
 
     /// `(hits, misses)` so far — the pre-PR-8 shape, where a hit is any
@@ -363,6 +404,27 @@ mod tests {
             (2, 1, 1),
             "{p:?}"
         );
+    }
+
+    #[test]
+    fn tiered_lookup_reports_the_tier_that_served_it() {
+        let dir = std::env::temp_dir().join(format!("qlosure-memo-tier-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let memo = SubrouteMemo::new();
+        memo.attach_store(PlanStore::open(&dir).unwrap());
+        let (_, t) = memo.get_or_compute_tiered(key(3), 7, |_| vec![(0, 1)]);
+        assert_eq!(t, PlanTier::Miss);
+        let (_, t) = memo.get_or_compute_tiered(key(3), 7, |_| unreachable!());
+        assert_eq!(t, PlanTier::Exact);
+        let (_, t) = memo.get_or_compute_tiered(key(3), 8, |_| unreachable!());
+        assert_eq!(t, PlanTier::Canonical);
+        // A fresh memo over the same dir: the disk tier serves it.
+        let warm = SubrouteMemo::new();
+        warm.attach_store(PlanStore::open(&dir).unwrap());
+        let (_, t) = warm.get_or_compute_tiered(key(3), 9, |_| unreachable!());
+        assert_eq!(t, PlanTier::Disk);
+        assert_eq!(PlanTier::Disk.as_str(), "disk");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -379,6 +379,12 @@ impl RoutingPass for HierRoutingPass {
                 }
             }
             debug_assert!(fragment.contains(&g), "fragment must contain its anchor");
+            // Per-fragment trace span: covers canonicalization, the plan
+            // lookup (tier noted below) and the replay. Inert unless the
+            // job installed a tracing context.
+            let mut frag_span = trace::span("hier:fragment");
+            frag_span.note("region", || ra.to_string());
+            frag_span.note("gates", || fragment.len().to_string());
             let local_gates = self.local_fragment(state, rm, &fragment);
             let exact_hash = exact_fragment_hash(
                 region.len() as u32,
@@ -444,6 +450,11 @@ impl RoutingPass for HierRoutingPass {
                     // The scan ran off the circuit: open runs are maximal.
                     done.append(&mut open);
                 }
+                // Speculation is invisible to the job's trace: suppress
+                // the context so prefetch submissions do not carry it to
+                // the pool workers (their spans would be noise and their
+                // timing is not on the job's critical path).
+                let _quiet = trace::suppress();
                 for (r, frag) in done {
                     if frag.is_empty() {
                         continue;
@@ -470,9 +481,11 @@ impl RoutingPass for HierRoutingPass {
                     }
                 }
             }
-            let plan = memo.get_or_compute(canonical.key, exact_hash, |k| {
+            let (plan, tier) = memo.get_or_compute_tiered(canonical.key, exact_hash, |k| {
                 canonical_plan(&self.config.subroute, k)
             });
+            frag_span.note("plan_tier", || tier.as_str().to_string());
+            frag_span.note("swaps", || plan.len().to_string());
             // Plan SWAPs are in canonical slots: pull each back through
             // the fragment's relabeling, then onto physical qubits.
             for &(c1, c2) in plan.iter() {

@@ -5,20 +5,25 @@
 //! qlosure-cli [--socket ENDPOINT] submit --backend NAME --mapper NAME
 //!             (--qasm FILE | --queko DEPTH [--seed N])
 //!             [--priority interactive|batch] [--fidelity]
-//!             [--strategy flat|hier|auto] [--wait [--timeout SECS]]
+//!             [--strategy flat|hier|auto] [--trace]
+//!             [--wait [--timeout SECS]]
 //! qlosure-cli [--socket ENDPOINT] poll ID
+//! qlosure-cli [--socket ENDPOINT] trace ID [--format tree|chrome]
 //! qlosure-cli [--socket ENDPOINT] stats
 //! qlosure-cli [--socket ENDPOINT] metrics
 //! qlosure-cli [--socket ENDPOINT] shutdown
 //! ```
 //!
 //! `ENDPOINT` is `unix:/path`, `tcp:host:port`, or a bare socket path
-//! (default `/tmp/qlosured.sock`). Every command but `metrics` prints
-//! the daemon's response as one JSON line on stdout (the same frame that
-//! crossed the wire), so shell pipelines and the CI smoke step can
-//! assert on fields like `"verified":true`; `metrics` prints the flat
-//! `name value` text a scraper ingests. Exit status: 0 on success, 2 on
-//! a typed server error, 1 on transport failure.
+//! (default `/tmp/qlosured.sock`). Every command but `metrics` and
+//! `trace` prints the daemon's response as one JSON line on stdout (the
+//! same frame that crossed the wire), so shell pipelines and the CI
+//! smoke step can assert on fields like `"verified":true`; `metrics`
+//! prints the flat `name value` text a scraper ingests, and `trace`
+//! renders the retained span tree — indented human-readable by default,
+//! or Chrome trace-event JSON (`--format chrome`, loadable in
+//! `chrome://tracing` / Perfetto). Exit status: 0 on success, 2 on a
+//! typed server error, 1 on transport failure.
 
 use service::proto::{encode_response, Priority, Response, Strategy};
 use service::{Client, ClientError, Endpoint};
@@ -31,8 +36,9 @@ fn usage() -> ! {
          commands:\n\
          \x20 submit --backend NAME --mapper NAME (--qasm FILE | --queko DEPTH [--seed N])\n\
          \x20        [--priority interactive|batch] [--fidelity] [--strategy flat|hier|auto]\n\
-         \x20        [--wait [--timeout SECS]]\n\
+         \x20        [--trace] [--wait [--timeout SECS]]\n\
          \x20 poll ID\n\
+         \x20 trace ID [--format tree|chrome]\n\
          \x20 stats\n\
          \x20 metrics\n\
          \x20 shutdown"
@@ -68,6 +74,7 @@ struct SubmitArgs {
     priority: Priority,
     fidelity: bool,
     strategy: Strategy,
+    trace: bool,
     wait: bool,
     timeout: u64,
 }
@@ -82,6 +89,7 @@ fn parse_submit(args: &mut std::env::Args) -> SubmitArgs {
         priority: Priority::Batch,
         fidelity: false,
         strategy: Strategy::Flat,
+        trace: false,
         wait: false,
         timeout: 600,
     };
@@ -113,6 +121,7 @@ fn parse_submit(args: &mut std::env::Args) -> SubmitArgs {
                 Some(s) => parsed.strategy = s,
                 None => usage(),
             },
+            "--trace" => parsed.trace = true,
             "--wait" => parsed.wait = true,
             "--timeout" => match value("--timeout").parse() {
                 Ok(secs) => parsed.timeout = secs,
@@ -178,13 +187,14 @@ fn main() {
             let submit = parse_submit(&mut args);
             let qasm = submit_source(&submit);
             let id = client
-                .submit_with_strategy(
+                .submit_traced(
                     &submit.backend,
                     &submit.mapper,
                     &qasm,
                     submit.priority,
                     submit.fidelity,
                     submit.strategy,
+                    submit.trace,
                 )
                 .unwrap_or_else(|e| fail(&e));
             print_response(&Response::Submitted { id });
@@ -202,6 +212,29 @@ fn main() {
                 .unwrap_or_else(|| usage());
             let response = client.poll(id).unwrap_or_else(|e| fail(&e));
             print_response(&response);
+        }
+        "trace" => {
+            let id = args
+                .next()
+                .and_then(|raw| raw.parse().ok())
+                .unwrap_or_else(|| usage());
+            let mut chrome = false;
+            while let Some(flag) = args.next() {
+                match (flag.as_str(), args.next().as_deref()) {
+                    ("--format", Some("tree")) => chrome = false,
+                    ("--format", Some("chrome")) => chrome = true,
+                    _ => usage(),
+                }
+            }
+            let (trace_id, root) = client.trace(id).unwrap_or_else(|e| fail(&e));
+            if chrome {
+                // One JSON array of Chrome trace events — pipe to a file
+                // and load it in chrome://tracing or Perfetto.
+                println!("{}", root.render_chrome());
+            } else {
+                println!("trace {trace_id} job {id}");
+                print!("{}", root.render_tree());
+            }
         }
         "stats" => {
             let stats = client.stats().unwrap_or_else(|e| fail(&e));

@@ -4,7 +4,7 @@
 //! qlosured [--listen ENDPOINT | --socket PATH] [--workers N]
 //!          [--queue-cap N] [--results-cap N]
 //!          [--max-conns N] [--read-timeout SECS]
-//!          [--plan-store DIR]
+//!          [--plan-store DIR] [--trace-slow SECS]
 //! ```
 //!
 //! Listens on a Unix domain socket (default `/tmp/qlosured.sock`) or a
@@ -15,6 +15,9 @@
 //! every engine consumer. `--plan-store DIR` persists hierarchical SWAP
 //! plans (keyed on canonical fragment content) under `DIR`, so a
 //! restarted daemon replays plans an earlier process computed.
+//! `--trace-slow SECS` sets the slow-job threshold: any job whose
+//! mapping wall-clock exceeds it keeps its span tree for the `trace`
+//! request even when the submit did not ask for tracing.
 
 use service::daemon;
 use service::{DaemonConfig, Endpoint};
@@ -25,7 +28,7 @@ fn usage() -> ! {
         "usage: qlosured [--listen ENDPOINT | --socket PATH] [--workers N]\n\
          \x20               [--queue-cap N] [--results-cap N]\n\
          \x20               [--max-conns N] [--read-timeout SECS]\n\
-         \x20               [--plan-store DIR]\n\
+         \x20               [--plan-store DIR] [--trace-slow SECS]\n\
          ENDPOINT is unix:/path, tcp:host:port, or a bare socket path"
     );
     std::process::exit(2);
@@ -74,6 +77,12 @@ fn parse_args() -> DaemonConfig {
                 _ => usage(),
             },
             "--plan-store" => config.plan_store = Some(value("--plan-store").into()),
+            "--trace-slow" => match value("--trace-slow").parse::<f64>() {
+                Ok(secs) if secs >= 0.0 && secs.is_finite() => {
+                    config.service.trace_slow_seconds = secs;
+                }
+                _ => usage(),
+            },
             _ => usage(),
         }
     }

@@ -4,7 +4,7 @@
 use crate::net::{Endpoint, Stream};
 use crate::proto::{
     encode_request, parse_response, ErrorCode, MetricsBody, Priority, ProtoError, Request,
-    Response, StatsBody, Strategy, Summary, MAX_FRAME,
+    Response, SpanNode, StatsBody, Strategy, Summary, MAX_FRAME,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -164,6 +164,27 @@ impl Client {
         fidelity: bool,
         strategy: Strategy,
     ) -> Result<u64, ClientError> {
+        self.submit_traced(backend, mapper, qasm, priority, fidelity, strategy, false)
+    }
+
+    /// Submits a job with every wire knob exposed, including the `trace`
+    /// opt-in that makes the daemon retain the job's span tree for a
+    /// later [`Client::trace`] call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::submit`].
+    #[allow(clippy::too_many_arguments)] // mirrors the wire fields 1:1
+    pub fn submit_traced(
+        &mut self,
+        backend: &str,
+        mapper: &str,
+        qasm: &str,
+        priority: Priority,
+        fidelity: bool,
+        strategy: Strategy,
+        trace: bool,
+    ) -> Result<u64, ClientError> {
         let request = Request::Submit {
             backend: backend.to_string(),
             mapper: mapper.to_string(),
@@ -171,9 +192,24 @@ impl Client {
             priority,
             fidelity,
             strategy,
+            trace,
         };
         match self.expect(&request)? {
             Response::Submitted { id } => Ok(id),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Fetches the retained span tree for job `id` as
+    /// `(trace_id, root span)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownId`] when no
+    /// trace was retained for the job, plus transport failures.
+    pub fn trace(&mut self, id: u64) -> Result<(String, SpanNode), ClientError> {
+        match self.expect(&Request::Trace { id })? {
+            Response::Trace { trace_id, root, .. } => Ok((trace_id, root)),
             other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }

@@ -16,7 +16,7 @@
 use crate::intake::{JobOutcome, MappingService, PollReply, ServiceConfig};
 use crate::net::{self, ConnLimits, Endpoint, FrameEvent, Listener, Stream};
 use crate::proto::{
-    encode_response, parse_request, ErrorCode, Request, Response, StatsBody, MAX_FRAME,
+    encode_response, parse_request, ErrorCode, Request, Response, SpanNode, StatsBody, MAX_FRAME,
 };
 use crate::registry;
 use std::io::{BufReader, Write};
@@ -213,13 +213,15 @@ fn dispatch(service: &MappingService, shutdown: &AtomicBool, line: &str) -> (Res
             priority,
             fidelity,
             strategy,
+            trace,
         } => {
-            let spec = match registry::decode_submit(
+            let mut spec = match registry::decode_submit(
                 &backend, &mapper, &qasm, priority, fidelity, strategy,
             ) {
                 Ok(spec) => spec,
                 Err((code, message)) => return (Response::Error { code, message }, false),
             };
+            spec.trace = trace;
             match service.submit(spec) {
                 Ok(id) => (Response::Submitted { id }, false),
                 Err((code, message)) => (Response::Error { code, message }, false),
@@ -236,6 +238,21 @@ fn dispatch(service: &MappingService, shutdown: &AtomicBool, line: &str) -> (Res
                 PollReply::Finished(JobOutcome::Failed(message)) => {
                     Response::Failed { id, message }
                 }
+            },
+            false,
+        ),
+        Request::Trace { id } => (
+            match service.trace(id).and_then(|(trace_id, spans)| {
+                SpanNode::from_spans(&spans).map(|root| (trace_id, root))
+            }) {
+                Some((trace_id, root)) => Response::Trace { id, trace_id, root },
+                None => Response::Error {
+                    code: ErrorCode::UnknownId,
+                    message: format!(
+                        "no trace for job {id} (tracing not requested, the job was not \
+                         slow enough to retain, or the bounded store evicted it)"
+                    ),
+                },
             },
             false,
         ),

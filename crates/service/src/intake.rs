@@ -47,6 +47,13 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Result-store bound (completed jobs retained for polling).
     pub results_capacity: usize,
+    /// Jobs whose mapping wall-clock exceeds this many seconds keep their
+    /// span tree even when the submit did not request tracing — the trace
+    /// you want most is the one for the job you did not expect to be slow.
+    pub trace_slow_seconds: f64,
+    /// Trace-store bound (span trees retained for the `trace` request);
+    /// `0` disables retention entirely.
+    pub traces_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -55,9 +62,17 @@ impl Default for ServiceConfig {
             workers: BatchEngine::from_env().threads(),
             queue_capacity: 256,
             results_capacity: 1024,
+            trace_slow_seconds: 30.0,
+            traces_capacity: 64,
         }
     }
 }
+
+/// Per-job span-sink bound. Every job records into its own tracer (the
+/// slow-job retention policy needs the spans before knowing the job was
+/// slow), so the sink must stay small: past this many spans the tracer
+/// counts drops instead of growing.
+const TRACE_SPAN_CAPACITY: usize = 4096;
 
 /// A fully decoded submission, ready to schedule.
 #[derive(Clone)]
@@ -73,6 +88,10 @@ pub struct JobSpec {
     /// Opt-in fidelity estimation: the noise model to evaluate the routed
     /// circuit under (`None` skips the estimate).
     pub noise: Option<NoiseModel>,
+    /// Whether the submitter asked for the job's span tree to be retained
+    /// for a later `trace` request. Spans are recorded either way (the
+    /// slow-job policy may retain them); this flag only forces retention.
+    pub trace: bool,
 }
 
 impl std::fmt::Debug for JobSpec {
@@ -83,6 +102,7 @@ impl std::fmt::Debug for JobSpec {
             .field("mapper", &self.mapper.name())
             .field("priority", &self.priority)
             .field("fidelity", &self.noise.is_some())
+            .field("trace", &self.trace)
             .finish()
     }
 }
@@ -90,7 +110,11 @@ impl std::fmt::Debug for JobSpec {
 struct AdmittedJob {
     id: u64,
     spec: JobSpec,
-    admitted_at: Instant,
+    /// Admission stamp on the shared trace clock — the same stamp feeds
+    /// the queue-wait span and the `queue_seconds` percentile sample, so
+    /// the two agree bit-for-bit.
+    admitted_ns: u64,
+    tracer: Arc<trace::Tracer>,
 }
 
 /// Where a known job currently is.
@@ -155,6 +179,10 @@ struct ServiceState {
     /// Per-pass `(runs, total_seconds)` accumulated over every
     /// successfully completed job, keyed by pass label.
     pass_totals: HashMap<String, (u64, f64)>,
+    /// Retained span trees (`trace_id`, spans) keyed by job ID, bounded
+    /// FIFO like the result store.
+    traces: HashMap<u64, (String, Vec<trace::Span>)>,
+    trace_order: VecDeque<u64>,
     closing: bool,
 }
 
@@ -165,10 +193,13 @@ struct Inner {
     /// `wait`/`drain` waiters wake here on completions.
     done_cv: Condvar,
     config: ServiceConfig,
+    /// Service start stamp on the shared trace clock — the origin of the
+    /// `qlosure_uptime_seconds` gauge.
+    started_ns: u64,
 }
 
 type WorkItem = (u64, Box<AdmittedJob>);
-type WorkOutput = (u64, JobOutcome);
+type WorkOutput = (u64, JobOutcome, bool, Arc<trace::Tracer>);
 
 /// The persistent mapping service; see the [module docs](self).
 pub struct MappingService {
@@ -194,11 +225,14 @@ impl MappingService {
                 counters: Counters::default(),
                 queue_samples: VecDeque::new(),
                 pass_totals: HashMap::new(),
+                traces: HashMap::new(),
+                trace_order: VecDeque::new(),
                 closing: false,
             }),
             intake_cv: Condvar::new(),
             done_cv: Condvar::new(),
             config,
+            started_ns: trace::now_ns(),
         });
         // The engine-side buffer stays shallow — one slot per worker — so
         // the priority decision happens in the admission queue above,
@@ -206,8 +240,10 @@ impl MappingService {
         let stream = Arc::new(BatchEngine::with_threads(workers).stream(
             workers,
             |(id, job): WorkItem| {
+                let requested = job.spec.trace;
+                let tracer = job.tracer.clone();
                 let outcome = run_job(&job);
-                (id, outcome)
+                (id, outcome, requested, tracer)
             },
         ));
         // The helper threads hold only `Inner`/stream Arcs — never the
@@ -259,10 +295,12 @@ impl MappingService {
         state.next_id += 1;
         state.counters.submitted += 1;
         state.phases.insert(id, Phase::Queued);
+        let admitted_ns = trace::now_ns();
         let job = AdmittedJob {
             id,
             spec,
-            admitted_at: Instant::now(),
+            admitted_ns,
+            tracer: trace::Tracer::new(trace_id_for(id, admitted_ns), TRACE_SPAN_CAPACITY),
         };
         match job.spec.priority {
             Priority::Interactive => state.interactive.push_back(job),
@@ -351,6 +389,11 @@ impl MappingService {
         let stats = self.stats();
         let state = self.lock();
         let samples: Vec<f64> = state.queue_samples.iter().copied().collect();
+        let jobs_inflight = state
+            .phases
+            .values()
+            .filter(|p| !matches!(p, Phase::Done))
+            .count() as u64;
         let mut passes: Vec<(String, u64, f64)> = state
             .pass_totals
             .iter()
@@ -367,8 +410,17 @@ impl MappingService {
             queue_p99: nearest_rank(&sorted, 0.99),
             queue_max: sorted.last().copied().unwrap_or(0.0),
             queue_samples: samples.len() as u64,
+            uptime_seconds: trace::now_ns().saturating_sub(self.inner.started_ns) as f64 * 1e-9,
+            jobs_inflight,
             passes,
         }
+    }
+
+    /// The retained span tree for job `id` as `(trace_id, spans)`, if the
+    /// submit requested tracing or the job tripped the slow-job policy
+    /// (and the bounded trace store has not evicted it since).
+    pub fn trace(&self, id: u64) -> Option<(String, Vec<trace::Span>)> {
+        self.lock().traces.get(&id).cloned()
     }
 
     /// Jobs admitted but not yet finished (queued + running).
@@ -450,6 +502,11 @@ fn scheduler_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
         // thread — but if it ever happens, the popped job must still
         // reach `Done`, or the shutdown drain would wait on it forever.
         let id = job.id;
+        // Install the job's tracing context for the hand-off: the engine
+        // captures it at submit and re-installs it on whichever worker
+        // picks the job up, so worker-side spans parent on the job root.
+        let ctx = trace::Ctx::new(job.tracer.clone(), trace::ROOT_SPAN);
+        let _trace_ctx = trace::set_ctx(&ctx);
         if stream.submit_blocking((id, Box::new(job))).is_err() {
             let mut state = inner.state.lock().expect("service state poisoned");
             state.counters.failed += 1;
@@ -468,7 +525,7 @@ fn scheduler_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
 
 /// Drains finished jobs into the bounded result store.
 fn collector_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
-    while let Some((_, (id, outcome))) = stream.recv() {
+    while let Some((_, (id, outcome, trace_requested, tracer))) = stream.recv() {
         let mut state = inner.state.lock().expect("service state poisoned");
         let seq = state.next_seq;
         state.next_seq += 1;
@@ -492,6 +549,21 @@ fn collector_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
                 failed
             }
         };
+        // Retention policy: keep the span tree when the submit asked for
+        // it, or when the job ran long enough that someone will want to
+        // know why — even without having asked in advance.
+        let slow =
+            matches!(&outcome, JobOutcome::Done(s) if s.seconds > inner.config.trace_slow_seconds);
+        if (trace_requested || slow) && inner.config.traces_capacity > 0 {
+            if state.trace_order.len() >= inner.config.traces_capacity {
+                if let Some(evicted) = state.trace_order.pop_front() {
+                    state.traces.remove(&evicted);
+                }
+            }
+            let trace_id = format!("{:016x}", tracer.trace_id());
+            state.traces.insert(id, (trace_id, tracer.snapshot()));
+            state.trace_order.push_back(id);
+        }
         if state.result_order.len() >= inner.config.results_capacity {
             if let Some(evicted) = state.result_order.pop_front() {
                 state.results.remove(&evicted);
@@ -585,11 +657,49 @@ pub fn result_fingerprint(result: &MappingResult) -> u64 {
     fnv.0
 }
 
-/// Runs one admitted job to a stored outcome. Total: mapper errors and
-/// verification failures become [`JobOutcome::Failed`], never a panic
-/// that would take a daemon worker down.
+/// FNV-1a over the job ID and its admission stamp: a per-job trace
+/// identity unique enough to correlate a router's wrapper span with the
+/// shard-side tree it stitched around.
+fn trace_id_for(id: u64, admitted_ns: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for word in [id, admitted_ns] {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Runs one admitted job to a stored outcome, bracketing it in the job's
+/// span tree: the queue-wait child is recorded retroactively from the
+/// admission stamp, and the reserved root span is finished last so it
+/// covers admission through completion.
 fn run_job(job: &AdmittedJob) -> JobOutcome {
-    let queue_seconds = job.admitted_at.elapsed().as_secs_f64();
+    let pickup_ns = trace::now_ns();
+    // Same two stamps as the queue-wait span: the metrics percentile ring
+    // and the span tree agree bit-for-bit on every queue delay.
+    let queue_seconds = pickup_ns.saturating_sub(job.admitted_ns) as f64 * 1e-9;
+    job.tracer
+        .record_root_child("intake:queue-wait", job.admitted_ns, pickup_ns, Vec::new());
+    let outcome = execute_job(job, queue_seconds);
+    let mut notes = vec![("mapper".to_string(), job.spec.mapper.name().to_string())];
+    if matches!(outcome, JobOutcome::Failed(_)) {
+        notes.push(("outcome".to_string(), "failed".to_string()));
+    }
+    let dropped = job.tracer.dropped();
+    if dropped > 0 {
+        notes.push(("dropped_spans".to_string(), dropped.to_string()));
+    }
+    job.tracer
+        .finish_root("job", job.admitted_ns, trace::now_ns(), notes);
+    outcome
+}
+
+/// The mapping work itself. Total: mapper errors and verification
+/// failures become [`JobOutcome::Failed`], never a panic that would take
+/// a daemon worker down.
+fn execute_job(job: &AdmittedJob, queue_seconds: f64) -> JobOutcome {
     let spec = &job.spec;
     let t0 = Instant::now();
     let (result, pipeline, passes, metrics) = match spec.mapper.pipeline() {
@@ -675,6 +785,7 @@ mod tests {
             mapper: Arc::new(QlosureMapper::default()),
             priority,
             noise: None,
+            trace: false,
         }
     }
 
@@ -683,6 +794,7 @@ mod tests {
             workers,
             queue_capacity: queue,
             results_capacity: results,
+            ..ServiceConfig::default()
         })
     }
 
@@ -797,6 +909,7 @@ mod tests {
                 mapper: Arc::new(QlosureMapper::default()),
                 priority: Priority::Interactive,
                 noise: None,
+                trace: false,
             })
             .unwrap();
         match svc.wait(id, Duration::from_secs(30)).expect("finishes") {
@@ -823,6 +936,7 @@ mod tests {
                 mapper: Arc::new(QlosureMapper::default()),
                 priority: Priority::Interactive,
                 noise: Some(noise),
+                trace: false,
             })
             .unwrap();
         let without = svc
@@ -832,6 +946,7 @@ mod tests {
                 mapper: Arc::new(QlosureMapper::default()),
                 priority: Priority::Interactive,
                 noise: None,
+                trace: false,
             })
             .unwrap();
         let summary = |id: u64| match svc.wait(id, Duration::from_secs(60)).expect("finishes") {
@@ -876,7 +991,66 @@ mod tests {
         sorted_labels.sort_unstable();
         assert_eq!(labels, sorted_labels, "passes are label-sorted");
         assert_eq!(metrics.stats.completed, 3);
+        assert!(metrics.uptime_seconds > 0.0);
+        assert_eq!(metrics.jobs_inflight, 0, "everything already drained");
         svc.shutdown();
+    }
+
+    #[test]
+    fn requested_traces_span_queue_wait_pickup_and_passes() {
+        let svc = service(1, 8, 8);
+        let mut traced = spec(Priority::Interactive, 10, 1);
+        traced.trace = true;
+        let id = svc.submit(traced).unwrap();
+        let JobOutcome::Done(summary) = svc.wait(id, Duration::from_secs(60)).expect("finishes")
+        else {
+            panic!("mapping must succeed");
+        };
+        let (trace_id, spans) = svc.trace(id).expect("requested trace is retained");
+        assert_eq!(trace_id.len(), 16, "16 hex digits: {trace_id}");
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n);
+        let root = by_name("job").expect("root span");
+        assert_eq!(root.id, trace::ROOT_SPAN);
+        assert!(root
+            .notes
+            .contains(&("mapper".to_string(), "qlosure".to_string())));
+        let wait = by_name("intake:queue-wait").expect("queue-wait span");
+        assert_eq!(wait.parent, trace::ROOT_SPAN);
+        // Shared-clock contract: the percentile sample and the span are
+        // the same two stamps, so they agree bit-for-bit.
+        assert_eq!(
+            summary.queue_seconds,
+            (wait.end_ns - wait.start_ns) as f64 * 1e-9
+        );
+        assert!(by_name("engine:pickup").is_some());
+        for pass in ["analysis:weights", "layout:identity", "routing:qlosure"] {
+            let span = by_name(pass).unwrap_or_else(|| panic!("missing pass span {pass}"));
+            assert_eq!(span.parent, trace::ROOT_SPAN);
+        }
+        // A fast job that did not opt in leaves nothing behind.
+        let untraced = svc.submit(spec(Priority::Interactive, 10, 2)).unwrap();
+        assert!(svc.wait(untraced, Duration::from_secs(60)).is_some());
+        assert!(svc.trace(untraced).is_none());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn slow_jobs_retain_traces_without_opting_in() {
+        // Threshold zero makes every completed job "slow".
+        let svc = MappingService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            results_capacity: 8,
+            trace_slow_seconds: 0.0,
+            traces_capacity: 2,
+        });
+        let ids: Vec<u64> = (0..3)
+            .map(|s| svc.submit(spec(Priority::Batch, 10, s)).unwrap())
+            .collect();
+        svc.shutdown();
+        let retained = ids.iter().filter(|&&id| svc.trace(id).is_some()).count();
+        assert_eq!(retained, 2, "trace store is bounded FIFO at capacity 2");
+        assert!(svc.trace(ids[0]).is_none(), "oldest trace evicted first");
     }
 
     #[test]

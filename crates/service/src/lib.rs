@@ -74,7 +74,7 @@ pub use intake::{
 };
 pub use net::{Endpoint, Stream};
 pub use proto::{
-    ErrorCode, MetricsBody, Priority, ProtoError, Request, Response, StatsBody, Strategy, Summary,
-    MAX_FRAME, PROTOCOL_VERSION,
+    ErrorCode, MetricsBody, Priority, ProtoError, Request, Response, SpanNode, StatsBody, Strategy,
+    Summary, MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use router::{content_shard, RouterConfig, RouterHandle};

@@ -111,9 +111,20 @@ pub enum Request {
         /// Mapping architecture selection (additive; absent on the wire
         /// means [`Strategy::Flat`]).
         strategy: Strategy,
+        /// Opt-in: retain the job's span tree for a later `trace`
+        /// request (additive; absent on the wire means `false`).
+        trace: bool,
     },
     /// Ask for the state/result of a submitted job.
     Poll {
+        /// The ID returned by the submit response.
+        id: u64,
+    },
+    /// Ask for a completed job's span tree (additive op, like
+    /// [`Request::Metrics`]): answered when the submit opted in with
+    /// `trace: true` or the job exceeded the daemon's slow-job retention
+    /// threshold, `unknown-id` otherwise.
+    Trace {
         /// The ID returned by the submit response.
         id: u64,
     },
@@ -212,6 +223,121 @@ pub struct StatsBody {
     pub plan_disk_writes: u64,
 }
 
+/// One node of a job's span tree, as carried by [`Response::Trace`].
+/// Timestamps are nanoseconds **relative to the root span's start**, so
+/// they stay far below 2^53 and trees from different processes (a
+/// router's wrapper around a shard's tree) compose without sharing a
+/// clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Stage label, e.g. `routing:hier-route` or `intake:queue-wait`.
+    pub name: String,
+    /// Start offset in nanoseconds from the root span's start.
+    pub start_ns: u64,
+    /// End offset in nanoseconds from the root span's start.
+    pub end_ns: u64,
+    /// Key/value annotations, e.g. `("plan_tier", "canonical")`.
+    pub notes: Vec<(String, String)>,
+    /// Child spans, ordered by start offset.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Assembles completed spans (as recorded by a `trace::Tracer`) into
+    /// a tree rooted at `trace::ROOT_SPAN`, rebasing every timestamp so
+    /// the root starts at 0. Returns `None` when no root span was
+    /// recorded. Spans whose parent is missing (dropped past the sink
+    /// bound) are attached to the root rather than lost.
+    #[must_use]
+    pub fn from_spans(spans: &[trace::Span]) -> Option<SpanNode> {
+        let root = spans.iter().find(|s| s.id == trace::ROOT_SPAN)?;
+        let base = root.start_ns;
+        let known: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+        let mut children: std::collections::HashMap<u64, Vec<&trace::Span>> =
+            std::collections::HashMap::new();
+        for span in spans {
+            if span.id == trace::ROOT_SPAN {
+                continue;
+            }
+            let parent = if known.contains(&span.parent) {
+                span.parent
+            } else {
+                trace::ROOT_SPAN
+            };
+            children.entry(parent).or_default().push(span);
+        }
+        fn build(
+            span: &trace::Span,
+            base: u64,
+            children: &std::collections::HashMap<u64, Vec<&trace::Span>>,
+        ) -> SpanNode {
+            let mut kids: Vec<&trace::Span> = children.get(&span.id).cloned().unwrap_or_default();
+            kids.sort_by_key(|s| (s.start_ns, s.id));
+            SpanNode {
+                name: span.name.clone(),
+                start_ns: span.start_ns.saturating_sub(base),
+                end_ns: span.end_ns.saturating_sub(base),
+                notes: span.notes.clone(),
+                children: kids.iter().map(|k| build(k, base, children)).collect(),
+            }
+        }
+        Some(build(root, base, &children))
+    }
+
+    /// Renders the tree as human-readable indented text, one span per
+    /// line: duration, name, then `key=value` annotations.
+    #[must_use]
+    pub fn render_tree(&self) -> String {
+        fn walk(node: &SpanNode, depth: usize, out: &mut String) {
+            let millis = (node.end_ns.saturating_sub(node.start_ns)) as f64 / 1e6;
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("{:.3}ms {}", millis, node.name));
+            for (k, v) in &node.notes {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+            for child in &node.children {
+                walk(child, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out);
+        out
+    }
+
+    /// Renders the tree as a Chrome trace-event JSON array (`ph:"X"`
+    /// complete events, microsecond units) loadable in Perfetto or
+    /// `chrome://tracing`.
+    #[must_use]
+    pub fn render_chrome(&self) -> String {
+        fn event(node: &SpanNode, depth: u64, out: &mut Vec<Json>) {
+            let ts = node.start_ns as f64 / 1e3;
+            let dur = node.end_ns.saturating_sub(node.start_ns) as f64 / 1e3;
+            let args = node
+                .notes
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect::<Vec<_>>();
+            out.push(obj(vec![
+                ("name", Json::Str(node.name.clone())),
+                ("ph", Json::Str("X".to_string())),
+                ("ts", Json::Num(ts)),
+                ("dur", Json::Num(dur)),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(depth as f64 + 1.0)),
+                ("args", Json::Obj(args)),
+            ]));
+            for child in &node.children {
+                event(child, depth + 1, out);
+            }
+        }
+        let mut events = Vec::new();
+        event(self, 0, &mut events);
+        // Offsets and microsecond conversions are finite by construction.
+        Json::Arr(events).encode().expect("finite trace events")
+    }
+}
+
 /// The full observability export reported by [`Response::Metrics`]: the
 /// counter block plus queue-delay percentiles and per-pass timing
 /// aggregates. [`MetricsBody::render`] flattens it into scraper-friendly
@@ -235,6 +361,12 @@ pub struct MetricsBody {
     /// sorted by label. Labels are pipeline pass labels
     /// (`stage:name`, e.g. `routing:qlosure`).
     pub passes: Vec<(String, u64, f64)>,
+    /// Seconds since the service started (additive field; absent on the
+    /// wire decodes as 0).
+    pub uptime_seconds: f64,
+    /// Jobs admitted but not yet finished — queued plus in flight
+    /// (additive field; absent on the wire decodes as 0).
+    pub jobs_inflight: u64,
 }
 
 impl MetricsBody {
@@ -260,6 +392,8 @@ impl MetricsBody {
         ] {
             out.push_str(&format!("{name} {value}\n"));
         }
+        out.push_str(&format!("qlosure_uptime_seconds {}\n", self.uptime_seconds));
+        out.push_str(&format!("qlosure_jobs_inflight {}\n", self.jobs_inflight));
         for (cache, hits, misses) in [
             ("distance", s.distance_hits, s.distance_misses),
             ("closure", s.closure_hits, s.closure_misses),
@@ -431,6 +565,17 @@ pub enum Response {
     /// The full observability export (additive op; see
     /// [`Request::Metrics`]).
     Metrics(MetricsBody),
+    /// A completed job's span tree (additive op; see [`Request::Trace`]).
+    Trace {
+        /// The polled ID.
+        id: u64,
+        /// The trace identity as 16 lowercase hex digits, generated at
+        /// admission and preserved verbatim by any router that wraps the
+        /// tree — what correlates a stitched trace across the fleet.
+        trace_id: String,
+        /// The span tree, rooted at the job's root span.
+        root: SpanNode,
+    },
     /// Acknowledgement of a shutdown request.
     ShuttingDown {
         /// Jobs still queued or in flight that will drain before exit.
@@ -544,18 +689,25 @@ pub fn encode_request(request: &Request) -> Result<String, json::EncodeError> {
             priority,
             fidelity,
             strategy,
-        } => versioned(
-            "submit",
-            vec![
+            trace,
+        } => {
+            let mut members = vec![
                 ("backend", Json::Str(backend.clone())),
                 ("mapper", Json::Str(mapper.clone())),
                 ("qasm", Json::Str(qasm.clone())),
                 ("priority", Json::Str(priority.as_str().to_string())),
                 ("fidelity", Json::Bool(*fidelity)),
                 ("strategy", Json::Str(strategy.as_str().to_string())),
-            ],
-        ),
+            ];
+            // Additive field: only emitted when set, so pre-trace
+            // daemons never see it.
+            if *trace {
+                members.push(("trace", Json::Bool(true)));
+            }
+            versioned("submit", members)
+        }
         Request::Poll { id } => versioned("poll", vec![("id", num_u64(*id))]),
+        Request::Trace { id } => versioned("trace", vec![("id", num_u64(*id))]),
         Request::Stats => versioned("stats", vec![]),
         Request::Metrics => versioned("metrics", vec![]),
         Request::Shutdown => versioned("shutdown", vec![]),
@@ -587,6 +739,32 @@ fn stats_members(stats: &StatsBody) -> Vec<(&'static str, Json)> {
         ("plan_disk_hits", num_u64(stats.plan_disk_hits)),
         ("plan_disk_writes", num_u64(stats.plan_disk_writes)),
     ]
+}
+
+fn encode_span(node: &SpanNode) -> Json {
+    let mut members = vec![
+        ("name", Json::Str(node.name.clone())),
+        ("start_ns", num_u64(node.start_ns)),
+        ("end_ns", num_u64(node.end_ns)),
+    ];
+    if !node.notes.is_empty() {
+        members.push((
+            "notes",
+            Json::Obj(
+                node.notes
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    if !node.children.is_empty() {
+        members.push((
+            "children",
+            Json::Arr(node.children.iter().map(encode_span).collect()),
+        ));
+    }
+    obj(members)
 }
 
 fn encode_summary(s: &Summary) -> Json {
@@ -653,6 +831,8 @@ pub fn encode_response(response: &Response) -> Result<String, json::EncodeError>
                 ("queue_p99", Json::Num(metrics.queue_p99)),
                 ("queue_max", Json::Num(metrics.queue_max)),
                 ("queue_samples", num_u64(metrics.queue_samples)),
+                ("uptime_seconds", Json::Num(metrics.uptime_seconds)),
+                ("jobs_inflight", num_u64(metrics.jobs_inflight)),
                 (
                     "passes",
                     Json::Obj(
@@ -668,6 +848,14 @@ pub fn encode_response(response: &Response) -> Result<String, json::EncodeError>
                             .collect(),
                     ),
                 ),
+            ],
+        ),
+        Response::Trace { id, trace_id, root } => versioned(
+            "trace",
+            vec![
+                ("id", num_u64(*id)),
+                ("trace_id", Json::Str(trace_id.clone())),
+                ("root", encode_span(root)),
             ],
         ),
         Response::ShuttingDown { pending } => {
@@ -753,6 +941,28 @@ fn opt_u64_field(value: &Json, name: &str) -> Result<u64, ProtoError> {
     }
 }
 
+/// Additive number field: absent decodes as 0.0, present must be a
+/// number.
+fn opt_f64_field(value: &Json, name: &str) -> Result<f64, ProtoError> {
+    match value.get(name) {
+        None => Ok(0.0),
+        Some(x) => x
+            .as_f64()
+            .ok_or_else(|| shape(format!("field `{name}` must be a number"))),
+    }
+}
+
+/// Additive boolean field: absent decodes as `false`, present must be a
+/// boolean.
+fn opt_bool_field(value: &Json, name: &str) -> Result<bool, ProtoError> {
+    match value.get(name) {
+        None => Ok(false),
+        Some(x) => x
+            .as_bool()
+            .ok_or_else(|| shape(format!("field `{name}` must be a boolean"))),
+    }
+}
+
 /// Parses one request frame.
 ///
 /// # Errors
@@ -785,9 +995,14 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 priority,
                 fidelity: bool_field(&value, "fidelity")?,
                 strategy,
+                // Additive field: absent means no trace retention.
+                trace: opt_bool_field(&value, "trace")?,
             })
         }
         "poll" => Ok(Request::Poll {
+            id: u64_field(&value, "id")?,
+        }),
+        "trace" => Ok(Request::Trace {
             id: u64_field(&value, "id")?,
         }),
         "stats" => Ok(Request::Stats),
@@ -895,6 +1110,40 @@ fn parse_passes(value: &Json) -> Result<Vec<(String, u64, f64)>, ProtoError> {
         .collect()
 }
 
+/// Parses one span-tree node. Recursion is bounded by the JSON parser's
+/// depth limit, which already rejected pathologically nested frames.
+fn parse_span(value: &Json) -> Result<SpanNode, ProtoError> {
+    let notes = match value.get("notes") {
+        None => Vec::new(),
+        Some(x) => x
+            .as_obj()
+            .ok_or_else(|| shape("field `notes` must be an object"))?
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|s| (k.clone(), s.to_string()))
+                    .ok_or_else(|| shape("span notes must be strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let children = match value.get("children") {
+        None => Vec::new(),
+        Some(x) => x
+            .as_arr()
+            .ok_or_else(|| shape("field `children` must be an array"))?
+            .iter()
+            .map(parse_span)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    Ok(SpanNode {
+        name: str_field(value, "name")?,
+        start_ns: u64_field(value, "start_ns")?,
+        end_ns: u64_field(value, "end_ns")?,
+        notes,
+        children,
+    })
+}
+
 /// Parses one response frame.
 ///
 /// # Errors
@@ -929,7 +1178,14 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             queue_max: f64_field(&value, "queue_max")?,
             queue_samples: u64_field(&value, "queue_samples")?,
             passes: parse_passes(&value)?,
+            uptime_seconds: opt_f64_field(&value, "uptime_seconds")?,
+            jobs_inflight: opt_u64_field(&value, "jobs_inflight")?,
         })),
+        "trace" => Ok(Response::Trace {
+            id: u64_field(&value, "id")?,
+            trace_id: str_field(&value, "trace_id")?,
+            root: parse_span(field(&value, "root")?)?,
+        }),
         "shutting-down" => Ok(Response::ShuttingDown {
             pending: u64_field(&value, "pending")?,
         }),
@@ -980,6 +1236,7 @@ mod tests {
                 priority: Priority::Interactive,
                 fidelity: true,
                 strategy: Strategy::Flat,
+                trace: false,
             },
             Request::Submit {
                 backend: "line:5".to_string(),
@@ -988,6 +1245,7 @@ mod tests {
                 priority: Priority::Batch,
                 fidelity: false,
                 strategy: Strategy::Hier,
+                trace: true,
             },
             Request::Submit {
                 backend: "grid:64x64".to_string(),
@@ -996,15 +1254,48 @@ mod tests {
                 priority: Priority::Batch,
                 fidelity: false,
                 strategy: Strategy::Auto,
+                trace: false,
             },
             Request::Poll { id: 0 },
             Request::Poll {
                 id: u64::from(u32::MAX),
             },
+            Request::Trace { id: 9 },
             Request::Stats,
             Request::Metrics,
             Request::Shutdown,
         ]
+    }
+
+    pub(crate) fn demo_span_tree() -> SpanNode {
+        SpanNode {
+            name: "job".to_string(),
+            start_ns: 0,
+            end_ns: 2_000_000,
+            notes: vec![("mapper".to_string(), "qlosure".to_string())],
+            children: vec![
+                SpanNode {
+                    name: "intake:queue-wait".to_string(),
+                    start_ns: 0,
+                    end_ns: 500_000,
+                    notes: Vec::new(),
+                    children: Vec::new(),
+                },
+                SpanNode {
+                    name: "routing:hier-route".to_string(),
+                    start_ns: 500_000,
+                    end_ns: 1_900_000,
+                    notes: Vec::new(),
+                    children: vec![SpanNode {
+                        name: "hier:fragment".to_string(),
+                        start_ns: 600_000,
+                        end_ns: 900_000,
+                        notes: vec![("plan_tier".to_string(), "canonical".to_string())],
+                        children: Vec::new(),
+                    }],
+                },
+            ],
+        }
     }
 
     pub(crate) fn demo_metrics() -> MetricsBody {
@@ -1039,6 +1330,8 @@ mod tests {
                 ("analysis:weights".to_string(), 40, 0.125),
                 ("routing:qlosure".to_string(), 40, 2.5),
             ],
+            uptime_seconds: 3600.5,
+            jobs_inflight: 3,
         }
     }
 
@@ -1097,6 +1390,20 @@ mod tests {
                 passes: Vec::new(),
                 ..demo_metrics()
             }),
+            Response::Trace {
+                id: 9,
+                trace_id: "00ff13de00ff13de".to_string(),
+                root: demo_span_tree(),
+            },
+            Response::Trace {
+                id: 10,
+                trace_id: "0000000000000001".to_string(),
+                root: SpanNode {
+                    notes: Vec::new(),
+                    children: Vec::new(),
+                    ..demo_span_tree()
+                },
+            },
             Response::ShuttingDown { pending: 2 },
             Response::Error {
                 code: ErrorCode::UnknownBackend,
@@ -1291,10 +1598,133 @@ mod tests {
     }
 
     #[test]
+    fn submit_without_trace_defaults_to_off_and_trace_op_round_trips() {
+        // Pre-trace clients omit the field entirely: still parses,
+        // defaulting to no retention (additive-field rule).
+        let line = "{\"v\":1,\"op\":\"submit\",\"backend\":\"aspen16\",\"mapper\":\"qlosure\",\
+                    \"qasm\":\"\",\"priority\":\"batch\",\"fidelity\":false}";
+        match parse_request(line).unwrap() {
+            Request::Submit { trace, .. } => assert!(!trace),
+            other => panic!("unexpected request {other:?}"),
+        }
+        // A non-boolean trace flag is a typed shape error.
+        let bad = "{\"v\":1,\"op\":\"submit\",\"backend\":\"b\",\"mapper\":\"m\",\"qasm\":\"\",\
+                   \"priority\":\"batch\",\"fidelity\":false,\"trace\":\"yes\"}";
+        assert_eq!(
+            parse_request(bad).unwrap_err().code(),
+            ErrorCode::BadRequest
+        );
+        // An untraced submit never carries the field on the wire, so old
+        // daemons never see it.
+        let untraced = encode_request(&all_requests()[0]).unwrap();
+        assert!(!untraced.contains("\"trace\""), "{untraced}");
+        // Garbage span trees are typed errors, not panics.
+        for bad in [
+            "{\"v\":1,\"op\":\"trace\",\"id\":1}",
+            "{\"v\":1,\"op\":\"trace\",\"id\":1,\"trace_id\":\"x\",\"root\":7}",
+            "{\"v\":1,\"op\":\"trace\",\"id\":1,\"trace_id\":\"x\",\
+             \"root\":{\"name\":\"j\",\"start_ns\":0,\"end_ns\":1,\"children\":{}}}",
+            "{\"v\":1,\"op\":\"trace\",\"id\":1,\"trace_id\":\"x\",\
+             \"root\":{\"name\":\"j\",\"start_ns\":0,\"end_ns\":1,\"notes\":{\"k\":1}}}",
+        ] {
+            assert_eq!(
+                parse_response(bad).unwrap_err().code(),
+                ErrorCode::BadRequest,
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn span_trees_assemble_render_and_rebase() {
+        let spans = vec![
+            trace::Span {
+                id: trace::ROOT_SPAN,
+                parent: 0,
+                name: "job".to_string(),
+                start_ns: 1_000,
+                end_ns: 5_000,
+                notes: Vec::new(),
+            },
+            trace::Span {
+                id: 2,
+                parent: trace::ROOT_SPAN,
+                name: "intake:queue-wait".to_string(),
+                start_ns: 1_000,
+                end_ns: 2_000,
+                notes: Vec::new(),
+            },
+            trace::Span {
+                id: 3,
+                parent: 2,
+                name: "inner".to_string(),
+                start_ns: 1_200,
+                end_ns: 1_800,
+                notes: vec![("plan_tier".to_string(), "exact".to_string())],
+            },
+            // An orphan (its parent was dropped by the bounded sink):
+            // re-attached to the root instead of vanishing.
+            trace::Span {
+                id: 9,
+                parent: 700,
+                name: "orphan".to_string(),
+                start_ns: 4_000,
+                end_ns: 4_500,
+                notes: Vec::new(),
+            },
+        ];
+        let tree = SpanNode::from_spans(&spans).unwrap();
+        assert_eq!(tree.name, "job");
+        assert_eq!((tree.start_ns, tree.end_ns), (0, 4_000), "rebased to 0");
+        assert_eq!(tree.children.len(), 2);
+        assert_eq!(tree.children[0].name, "intake:queue-wait");
+        assert_eq!(tree.children[0].children[0].name, "inner");
+        assert_eq!(tree.children[1].name, "orphan");
+        // No root span recorded → no tree.
+        assert_eq!(SpanNode::from_spans(&spans[1..]), None);
+        let text = tree.render_tree();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("0.004ms job"), "{text}");
+        assert!(lines[1].starts_with("  "), "children indent: {text}");
+        assert!(text.contains("plan_tier=exact"), "{text}");
+        let chrome = demo_span_tree().render_chrome();
+        let events = json::parse(&chrome).unwrap();
+        let events = events.as_arr().unwrap();
+        assert_eq!(events.len(), 4, "one complete event per span");
+        for event in events {
+            assert_eq!(event.get("ph").and_then(Json::as_str), Some("X"));
+            assert!(event.get("ts").and_then(Json::as_f64).is_some());
+            assert!(event.get("dur").and_then(Json::as_f64).is_some());
+        }
+        // Microsecond conversion: the fragment span starts at 600µs.
+        assert!(chrome.contains("\"ts\":600"), "{chrome}");
+    }
+
+    #[test]
+    fn metrics_without_gauge_extension_fields_parses_as_zero() {
+        // A metrics frame from a daemon predating the uptime/inflight
+        // gauges (additive fields) decodes with zeros.
+        let mut old = encode_response(&Response::Metrics(demo_metrics())).unwrap();
+        old = old
+            .replace(",\"uptime_seconds\":3600.5", "")
+            .replace(",\"jobs_inflight\":3", "");
+        match parse_response(&old).unwrap() {
+            Response::Metrics(m) => {
+                assert_eq!(m.uptime_seconds, 0.0);
+                assert_eq!(m.jobs_inflight, 0);
+                assert_eq!(m.stats.completed, 40, "older fields untouched");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
     fn metrics_render_is_flat_scrapeable_text() {
         let text = demo_metrics().render();
         for needle in [
             "qlosure_jobs_completed_total 40",
+            "qlosure_uptime_seconds 3600.5",
+            "qlosure_jobs_inflight 3",
             "qlosure_cache_hits_total{cache=\"distance\"} 38",
             "qlosure_cache_misses_total{cache=\"subroute\"} 1",
             "qlosure_queue_seconds{quantile=\"0.5\"} 0.0009765625",

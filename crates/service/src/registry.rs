@@ -128,6 +128,9 @@ pub fn decode_submit(
         mapper,
         priority,
         noise,
+        // Trace retention is a wire-level opt-in the dispatcher stamps on
+        // after decoding; it never affects admission validation.
+        trace: false,
     })
 }
 

@@ -29,7 +29,7 @@
 use crate::client::{Client, ClientError};
 use crate::net::{self, ConnLimits, Endpoint, FrameEvent, Stream};
 use crate::proto::{
-    encode_response, parse_request, ErrorCode, MetricsBody, Request, Response, StatsBody,
+    encode_response, parse_request, ErrorCode, MetricsBody, Request, Response, SpanNode, StatsBody,
     MAX_FRAME, PROTOCOL_VERSION,
 };
 use std::io::{BufReader, Write};
@@ -318,6 +318,40 @@ fn route(pool: &mut ShardPool<'_>, shutdown: &AtomicBool, line: &str) -> (Respon
             };
             (response, false)
         }
+        Request::Trace { id } => {
+            let shard = (id % n) as usize;
+            let shard_id = id / n;
+            let response = match pool.call(shard, &Request::Trace { id: shard_id }) {
+                // Stitch: the shard's tree (its trace ID preserved) nests
+                // under a router span that records where the job landed,
+                // so one `trace` answer shows the whole fleet path.
+                Response::Trace { trace_id, root, .. } => {
+                    let end_ns = root.end_ns;
+                    Response::Trace {
+                        id,
+                        trace_id,
+                        root: SpanNode {
+                            name: "router:route".to_string(),
+                            start_ns: 0,
+                            end_ns,
+                            notes: vec![
+                                ("shard".to_string(), shard.to_string()),
+                                ("shards".to_string(), n.to_string()),
+                            ],
+                            children: vec![root],
+                        },
+                    }
+                }
+                Response::Error { code, message } if code == ErrorCode::UnknownId => {
+                    Response::Error {
+                        code,
+                        message: format!("no trace for job {id} (router view): {message}"),
+                    }
+                }
+                other => other,
+            };
+            (response, false)
+        }
         Request::Stats => (fan_out_stats(pool), false),
         Request::Metrics => (fan_out_metrics(pool), false),
         Request::Shutdown => {
@@ -414,6 +448,8 @@ fn fan_out_metrics(pool: &mut ShardPool<'_>) -> Response {
         queue_p99: 0.0,
         queue_max: 0.0,
         queue_samples: 0,
+        uptime_seconds: 0.0,
+        jobs_inflight: 0,
         passes: Vec::new(),
     };
     let mut passes: std::collections::HashMap<String, (u64, f64)> =
@@ -427,6 +463,10 @@ fn fan_out_metrics(pool: &mut ShardPool<'_>) -> Response {
                 total.queue_p99 = total.queue_p99.max(m.queue_p99);
                 total.queue_max = total.queue_max.max(m.queue_max);
                 total.queue_samples += m.queue_samples;
+                // Fleet uptime is the oldest shard's (max); in-flight
+                // jobs sum like every other load figure.
+                total.uptime_seconds = total.uptime_seconds.max(m.uptime_seconds);
+                total.jobs_inflight += m.jobs_inflight;
                 for (label, runs, secs) in m.passes {
                     let entry = passes.entry(label).or_insert((0, 0.0));
                     entry.0 += runs;

@@ -1,0 +1,473 @@
+//! # qlosure-trace — per-job span trees with near-zero disabled cost
+//!
+//! The serving tier attributes a job's wall time to stages (queue wait,
+//! engine pickup, every mapping pass, each hierarchical fragment, plan-store
+//! tier decisions) by recording **spans** into a per-job [`Tracer`]. The
+//! design constraints, in order:
+//!
+//! 1. **Near-zero cost when disabled.** Instrumented code calls
+//!    [`span`]/[`span_label`] unconditionally; when no tracing context is
+//!    installed on the thread the call is one thread-local read and a
+//!    branch — no allocation, no clock read, no lock.
+//! 2. **Bounded.** A [`Tracer`] holds at most its configured capacity of
+//!    completed spans; overflow increments a drop counter instead of
+//!    growing. The lock is held only to push one finished span.
+//! 3. **Additive.** Spans observe; they never feed back into mapping
+//!    decisions, so routed output is bit-for-bit identical with tracing on.
+//!
+//! Timestamps come from one process-wide monotonic clock ([`now_ns`]), so
+//! independent measurements of the same interval (e.g. the intake
+//! `queue_seconds` sample and the queue-wait span) agree bit-for-bit when
+//! derived from the same two stamps.
+//!
+//! Context hops threads explicitly: the submitting thread's context is
+//! captured with [`current_ctx`] and re-installed on the worker with
+//! [`set_ctx`]. Span guards nest through the thread-local parent pointer:
+//! while a [`SpanGuard`] is live, new spans on the same thread become its
+//! children.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Span ID of the per-job root span. [`Tracer::new`] reserves it so
+/// children can be recorded before the root itself is (the root's extent
+/// is only known when the job finishes and is recorded retroactively via
+/// [`Tracer::finish_root`]).
+pub const ROOT_SPAN: u64 = 1;
+
+/// Nanoseconds since the process-wide trace-clock origin (the first call
+/// to this function). Monotonic; shared by every tracer in the process so
+/// spans from different threads order correctly.
+pub fn now_ns() -> u64 {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    let origin = *ORIGIN.get_or_init(Instant::now);
+    Instant::now().duration_since(origin).as_nanos() as u64
+}
+
+/// One completed span: a named `[start_ns, end_ns]` interval on the
+/// process clock, positioned in its job's tree by `parent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Unique (per tracer) span ID; the root is [`ROOT_SPAN`].
+    pub id: u64,
+    /// Parent span ID; `0` means top-of-tree (only the root has it).
+    pub parent: u64,
+    /// Stage label, e.g. `routing:hier-route` or `intake:queue-wait`.
+    pub name: String,
+    /// Start stamp from [`now_ns`].
+    pub start_ns: u64,
+    /// End stamp from [`now_ns`].
+    pub end_ns: u64,
+    /// Key/value annotations, e.g. `("plan_tier", "canonical")`.
+    pub notes: Vec<(String, String)>,
+}
+
+struct Sink {
+    spans: Vec<Span>,
+    dropped: u64,
+}
+
+/// A per-job span sink. Cheap to share (`Arc`), safe to record into from
+/// any thread, bounded at construction time.
+pub struct Tracer {
+    trace_id: u64,
+    capacity: usize,
+    next_id: AtomicU64,
+    sink: Mutex<Sink>,
+}
+
+impl Tracer {
+    /// Creates a tracer identified by `trace_id` (propagated over the
+    /// wire so a router can correlate its wrapper span with the shard's
+    /// tree) holding at most `capacity` completed spans.
+    pub fn new(trace_id: u64, capacity: usize) -> Arc<Tracer> {
+        Arc::new(Tracer {
+            trace_id,
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(ROOT_SPAN + 1),
+            sink: Mutex::new(Sink {
+                spans: Vec::new(),
+                dropped: 0,
+            }),
+        })
+    }
+
+    /// The wire-propagated trace identity.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    fn next_span_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records one finished span; past capacity it is counted in
+    /// [`Tracer::dropped`] instead of stored.
+    pub fn record(&self, span: Span) {
+        let mut sink = self.sink.lock().expect("trace sink poisoned");
+        if sink.spans.len() < self.capacity {
+            sink.spans.push(span);
+        } else {
+            sink.dropped += 1;
+        }
+    }
+
+    /// Records a retroactive span as a direct child of the root — used
+    /// for intervals that began before any guard could exist on the
+    /// worker thread (queue wait starts at admission).
+    pub fn record_root_child(
+        &self,
+        name: &str,
+        start_ns: u64,
+        end_ns: u64,
+        notes: Vec<(String, String)>,
+    ) {
+        let id = self.next_span_id();
+        self.record(Span {
+            id,
+            parent: ROOT_SPAN,
+            name: name.to_string(),
+            start_ns,
+            end_ns,
+            notes,
+        });
+    }
+
+    /// Records the reserved root span once the job's full extent is
+    /// known. Call exactly once, after all children.
+    pub fn finish_root(
+        &self,
+        name: &str,
+        start_ns: u64,
+        end_ns: u64,
+        notes: Vec<(String, String)>,
+    ) {
+        self.record(Span {
+            id: ROOT_SPAN,
+            parent: 0,
+            name: name.to_string(),
+            start_ns,
+            end_ns,
+            notes,
+        });
+    }
+
+    /// Spans silently discarded because the sink was full.
+    pub fn dropped(&self) -> u64 {
+        self.sink.lock().expect("trace sink poisoned").dropped
+    }
+
+    /// Snapshot of the recorded spans, ordered by start stamp (ties by
+    /// span ID, which is allocation order).
+    pub fn snapshot(&self) -> Vec<Span> {
+        let mut spans = self.sink.lock().expect("trace sink poisoned").spans.clone();
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        spans
+    }
+}
+
+/// A cloneable tracing context: which tracer (if any) the current work
+/// belongs to and which span is its parent. [`Ctx::default`] is the
+/// disabled context.
+#[derive(Clone, Default)]
+pub struct Ctx {
+    slot: Option<(Arc<Tracer>, u64)>,
+}
+
+impl Ctx {
+    /// A context recording into `tracer` with spans parented on `parent`
+    /// (usually [`ROOT_SPAN`]).
+    pub fn new(tracer: Arc<Tracer>, parent: u64) -> Ctx {
+        Ctx {
+            slot: Some((tracer, parent)),
+        }
+    }
+
+    /// Whether this context records anything.
+    pub fn enabled(&self) -> bool {
+        self.slot.is_some()
+    }
+
+    /// The tracer behind this context, if enabled.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.slot.as_ref().map(|(t, _)| t)
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Ctx> = RefCell::new(Ctx::default());
+}
+
+/// The calling thread's current context — capture it before handing work
+/// to another thread, then [`set_ctx`] there.
+pub fn current_ctx() -> Ctx {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Installs `ctx` on the calling thread until the returned guard drops
+/// (the previous context is restored).
+#[must_use = "dropping the guard immediately uninstalls the context"]
+pub fn set_ctx(ctx: &Ctx) -> CtxGuard {
+    let prev = CTX.with(|c| std::mem::replace(&mut *c.borrow_mut(), ctx.clone()));
+    CtxGuard { prev: Some(prev) }
+}
+
+/// Disables tracing on the calling thread until the returned guard drops
+/// — used around work fanned out speculatively (hier plan prefetch) whose
+/// spans would be noise.
+#[must_use = "dropping the guard immediately re-enables tracing"]
+pub fn suppress() -> CtxGuard {
+    set_ctx(&Ctx::default())
+}
+
+/// Restores the previously installed context on drop.
+pub struct CtxGuard {
+    prev: Option<Ctx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            CTX.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+}
+
+struct ActiveSpan {
+    tracer: Arc<Tracer>,
+    id: u64,
+    parent: u64,
+    name: String,
+    start_ns: u64,
+    notes: Vec<(String, String)>,
+}
+
+/// RAII span: opened by [`span`]/[`span_label`], recorded on drop. While
+/// live, spans opened on the same thread nest beneath it. Inert (and
+/// free) when the thread has no context installed.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Whether this guard will record anything — check before computing
+    /// anything expensive purely for [`SpanGuard::note`].
+    pub fn enabled(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Attaches a key/value annotation; `value` is only evaluated when
+    /// the span is enabled.
+    pub fn note(&mut self, key: &str, value: impl FnOnce() -> String) {
+        if let Some(active) = self.active.as_mut() {
+            active.notes.push((key.to_string(), value()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let end_ns = now_ns();
+            CTX.with(|c| {
+                let mut ctx = c.borrow_mut();
+                if let Some((_, parent)) = ctx.slot.as_mut() {
+                    *parent = active.parent;
+                }
+            });
+            active.tracer.record(Span {
+                id: active.id,
+                parent: active.parent,
+                name: active.name,
+                start_ns: active.start_ns,
+                end_ns,
+                notes: active.notes,
+            });
+        }
+    }
+}
+
+fn span_with(make_name: impl FnOnce() -> String) -> SpanGuard {
+    let slot = CTX.with(|c| c.borrow().slot.clone());
+    match slot {
+        None => SpanGuard { active: None },
+        Some((tracer, parent)) => {
+            let id = tracer.next_span_id();
+            CTX.with(|c| {
+                if let Some((_, p)) = c.borrow_mut().slot.as_mut() {
+                    *p = id;
+                }
+            });
+            SpanGuard {
+                active: Some(ActiveSpan {
+                    tracer,
+                    id,
+                    parent,
+                    name: make_name(),
+                    start_ns: now_ns(),
+                    notes: Vec::new(),
+                }),
+            }
+        }
+    }
+}
+
+/// Opens a span named `name` under the thread's current context. With no
+/// context installed this is one thread-local read and returns an inert
+/// guard.
+pub fn span(name: &str) -> SpanGuard {
+    span_with(|| name.to_string())
+}
+
+/// Opens a span named `stage:name` (the `PassTiming::label` convention);
+/// the label is only formatted when tracing is enabled.
+pub fn span_label(stage: &str, name: &str) -> SpanGuard {
+    span_with(|| format!("{stage}:{name}"))
+}
+
+/// Records a retroactive `[start_ns, end_ns]` span as a child of the
+/// thread's current parent. No-op without a context.
+pub fn record_span(name: &str, start_ns: u64, end_ns: u64) {
+    let slot = CTX.with(|c| c.borrow().slot.clone());
+    if let Some((tracer, parent)) = slot {
+        let id = tracer.next_span_id();
+        tracer.record(Span {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns,
+            end_ns,
+            notes: Vec::new(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let mut guard = span("nothing");
+        assert!(!guard.enabled());
+        let mut evaluated = false;
+        guard.note("k", || {
+            evaluated = true;
+            "v".to_string()
+        });
+        drop(guard);
+        assert!(!evaluated, "notes must not be evaluated when disabled");
+        record_span("also-nothing", 0, 1);
+    }
+
+    #[test]
+    fn spans_nest_through_the_thread_local_parent() {
+        let tracer = Tracer::new(7, 64);
+        let ctx = Ctx::new(tracer.clone(), ROOT_SPAN);
+        {
+            let _g = set_ctx(&ctx);
+            let outer = span("outer");
+            assert!(outer.enabled());
+            {
+                let mut inner = span_label("stage", "inner");
+                inner.note("tier", || "exact".to_string());
+            }
+            drop(outer);
+            let sibling = span("sibling");
+            drop(sibling);
+        }
+        tracer.finish_root("job", 0, now_ns(), Vec::new());
+        let spans = tracer.snapshot();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        let outer = by_name("outer");
+        let inner = by_name("stage:inner");
+        let sibling = by_name("sibling");
+        let root = by_name("job");
+        assert_eq!(root.id, ROOT_SPAN);
+        assert_eq!(root.parent, 0);
+        assert_eq!(outer.parent, ROOT_SPAN);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(sibling.parent, ROOT_SPAN);
+        assert_eq!(inner.notes, vec![("tier".to_string(), "exact".to_string())]);
+        assert!(inner.start_ns >= outer.start_ns && inner.end_ns <= outer.end_ns);
+        assert_eq!(tracer.trace_id(), 7);
+    }
+
+    #[test]
+    fn sink_is_bounded_and_counts_drops() {
+        let tracer = Tracer::new(1, 3);
+        let ctx = Ctx::new(tracer.clone(), ROOT_SPAN);
+        let _g = set_ctx(&ctx);
+        for i in 0..5 {
+            drop(span(&format!("s{i}")));
+        }
+        assert_eq!(tracer.snapshot().len(), 3);
+        assert_eq!(tracer.dropped(), 2);
+    }
+
+    #[test]
+    fn context_restores_and_suppress_disables() {
+        let tracer = Tracer::new(2, 8);
+        let ctx = Ctx::new(tracer.clone(), ROOT_SPAN);
+        let _g = set_ctx(&ctx);
+        {
+            let _quiet = suppress();
+            assert!(!current_ctx().enabled());
+            drop(span("invisible"));
+        }
+        assert!(current_ctx().enabled());
+        record_span("visible", 1, 2);
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "visible");
+        assert_eq!(spans[0].parent, ROOT_SPAN);
+    }
+
+    #[test]
+    fn context_hops_threads() {
+        let tracer = Tracer::new(3, 8);
+        let ctx = Ctx::new(tracer.clone(), ROOT_SPAN);
+        let captured = {
+            let _g = set_ctx(&ctx);
+            current_ctx()
+        };
+        std::thread::spawn(move || {
+            let _g = set_ctx(&captured);
+            drop(span("on-worker"));
+        })
+        .join()
+        .unwrap();
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "on-worker");
+    }
+
+    #[test]
+    fn root_children_record_before_the_root() {
+        let tracer = Tracer::new(4, 8);
+        tracer.record_root_child(
+            "intake:queue-wait",
+            10,
+            20,
+            vec![("w".to_string(), "1".to_string())],
+        );
+        tracer.finish_root("job", 10, 30, Vec::new());
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].id, ROOT_SPAN);
+        assert_eq!(spans[1].parent, ROOT_SPAN);
+        assert_eq!(spans[1].name, "intake:queue-wait");
+    }
+}

@@ -688,15 +688,15 @@ fn arb_seconds() -> impl Strategy<Value = f64> {
 fn arb_request() -> impl Strategy<Value = service::Request> {
     use service::{Priority, Request};
     (
-        0u8..5,
+        0u8..6,
         arb_wire_string(),
         arb_wire_string(),
         arb_wire_string(),
         0u64..(1 << 53),
-        (0u8..2, 0u8..2, 0u8..3),
+        (0u8..2, 0u8..2, 0u8..3, 0u8..2),
     )
         .prop_map(
-            |(op, backend, mapper, qasm, id, (priority, fidelity, strategy))| match op {
+            |(op, backend, mapper, qasm, id, (priority, fidelity, strategy, trace))| match op {
                 0 => Request::Submit {
                     backend,
                     mapper,
@@ -712,10 +712,12 @@ fn arb_request() -> impl Strategy<Value = service::Request> {
                         1 => service::Strategy::Hier,
                         _ => service::Strategy::Auto,
                     },
+                    trace: trace == 0,
                 },
                 1 => Request::Poll { id },
-                2 => Request::Stats,
-                3 => Request::Metrics,
+                2 => Request::Trace { id },
+                3 => Request::Stats,
+                4 => Request::Metrics,
                 _ => Request::Shutdown,
             },
         )
@@ -792,32 +794,68 @@ fn arb_metrics() -> impl Strategy<Value = service::MetricsBody> {
         (arb_seconds(), arb_seconds(), arb_seconds(), arb_seconds()),
         0u64..(1 << 50),
         prop::collection::vec((arb_wire_string(), 0u64..(1 << 50), arb_seconds()), 0..4),
+        (arb_seconds(), 0u64..(1 << 50)),
     )
         .prop_map(
-            |(stats, (p50, p90, p99, max), samples, passes)| service::MetricsBody {
-                stats,
-                queue_p50: p50,
-                queue_p90: p90,
-                queue_p99: p99,
-                queue_max: max,
-                queue_samples: samples,
-                passes,
+            |(stats, (p50, p90, p99, max), samples, passes, (uptime, inflight))| {
+                service::MetricsBody {
+                    stats,
+                    queue_p50: p50,
+                    queue_p90: p90,
+                    queue_p99: p99,
+                    queue_max: max,
+                    queue_samples: samples,
+                    passes,
+                    uptime_seconds: uptime,
+                    jobs_inflight: inflight,
+                }
             },
         )
+}
+
+/// Strategy: one childless span whose timestamps are ordered and inside
+/// the `2^53` wire-number range (notes salted with the escape classes).
+fn arb_span_leaf() -> impl Strategy<Value = service::SpanNode> {
+    (
+        arb_wire_string(),
+        0u64..(1 << 52),
+        0u64..(1 << 52),
+        prop::collection::vec((arb_wire_string(), arb_wire_string()), 0..3),
+    )
+        .prop_map(|(name, a, b, notes)| service::SpanNode {
+            name,
+            start_ns: a.min(b),
+            end_ns: a.max(b),
+            notes,
+            children: Vec::new(),
+        })
+}
+
+/// Strategy: a depth-2 span tree (root plus 0–3 leaf children) — enough
+/// to exercise the recursive encode/parse path without deep nesting.
+fn arb_span_tree() -> impl Strategy<Value = service::SpanNode> {
+    (
+        arb_span_leaf(),
+        prop::collection::vec(arb_span_leaf(), 0..4),
+    )
+        .prop_map(|(mut root, children)| {
+            root.children = children;
+            root
+        })
 }
 
 fn arb_response() -> impl Strategy<Value = service::Response> {
     use service::{ErrorCode, Response};
     (
-        0u8..8,
+        0u8..9,
         0u64..(1 << 53),
         arb_wire_string(),
         arb_summary(),
         (0u8..2, 0u8..13),
-        (arb_stats(), arb_metrics()),
+        (arb_stats(), arb_metrics(), arb_span_tree()),
     )
         .prop_map(
-            |(kind, id, text, summary, (running, code), (stats, metrics))| match kind {
+            |(kind, id, text, summary, (running, code), (stats, metrics, root))| match kind {
                 0 => Response::Submitted { id },
                 1 => Response::Pending {
                     id,
@@ -828,6 +866,11 @@ fn arb_response() -> impl Strategy<Value = service::Response> {
                 4 => Response::Stats(stats),
                 5 => Response::ShuttingDown { pending: id },
                 6 => Response::Metrics(metrics),
+                7 => Response::Trace {
+                    id,
+                    trace_id: format!("{:016x}", id.wrapping_mul(0x0100_0000_01b3)),
+                    root,
+                },
                 _ => Response::Error {
                     code: [
                         ErrorCode::BadRequest,
@@ -1052,6 +1095,7 @@ fn smoke_wire_protocol_fixed_cases() {
         priority: Priority::Interactive,
         fidelity: true,
         strategy: service::Strategy::Hier,
+        trace: true,
     };
     let line = proto::encode_request(&request).unwrap();
     assert_eq!(proto::parse_request(&line).unwrap(), request);

@@ -32,6 +32,7 @@ fn daemon_with(tag: &str, workers: usize, queue: usize, results: usize) -> Daemo
         workers,
         queue_capacity: queue,
         results_capacity: results,
+        ..ServiceConfig::default()
     };
     service::daemon::spawn(config).expect("daemon binds its socket")
 }
@@ -621,6 +622,125 @@ fn metrics_round_trip_reports_percentiles_and_pass_timings() {
     assert!(text.contains("qlosure_queue_seconds{quantile=\"0.99\"}"));
     client.shutdown().unwrap();
     daemon.join().unwrap();
+}
+
+/// Depth-first search for a span named `name` anywhere in the tree.
+fn find_span<'a>(node: &'a service::SpanNode, name: &str) -> Option<&'a service::SpanNode> {
+    if node.name == name {
+        return Some(node);
+    }
+    node.children
+        .iter()
+        .find_map(|child| find_span(child, name))
+}
+
+#[test]
+fn trace_round_trip_nests_intake_pass_and_fragment_spans() {
+    let daemon = daemon("trace", 2);
+    let mut client = connect(&daemon);
+    let qasm_src = queko_qasm("aspen16", 20, 3);
+    let id = client
+        .submit_traced(
+            "aspen16",
+            "qlosure",
+            &qasm_src,
+            Priority::Interactive,
+            false,
+            service::Strategy::Hier,
+            true,
+        )
+        .unwrap();
+    client.wait(id, WAIT).unwrap();
+    let (trace_id, root) = client.trace(id).unwrap();
+    assert_eq!(
+        trace_id.len(),
+        16,
+        "trace IDs are 16 hex digits: {trace_id}"
+    );
+    // The tree nests intake → pass → fragment: queue wait and the
+    // pipeline stages sit directly under the job root, and the
+    // hierarchical router's per-fragment spans sit under its pass span.
+    assert_eq!(root.name, "job");
+    assert_eq!(root.start_ns, 0, "wire timestamps are root-relative");
+    assert!(root.end_ns > 0);
+    let wait_span = find_span(&root, "intake:queue-wait").expect("queue-wait span");
+    assert!(root.children.iter().any(|c| c.name == wait_span.name));
+    assert!(find_span(&root, "engine:pickup").is_some());
+    let route = find_span(&root, "routing:hier-route").expect("hier routing pass span");
+    let fragment = find_span(route, "hier:fragment").expect("fragment spans nest under the pass");
+    assert!(
+        fragment.notes.iter().any(|(key, value)| key == "plan_tier"
+            && ["exact", "canonical", "disk", "miss"].contains(&value.as_str())),
+        "fragments carry their plan-store tier: {:?}",
+        fragment.notes
+    );
+    // An untraced fast job retains nothing and answers typed.
+    let id = client
+        .submit(
+            "aspen16",
+            "qlosure",
+            &qasm_src,
+            Priority::Interactive,
+            false,
+        )
+        .unwrap();
+    client.wait(id, WAIT).unwrap();
+    match client.trace(id) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownId),
+        other => panic!("expected unknown-id for an untraced job, got {other:?}"),
+    }
+    // The scrape gauges ride along the same metrics frame (additive).
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.uptime_seconds > 0.0);
+    assert!(metrics.render().contains("qlosure_uptime_seconds "));
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn router_stitches_its_span_around_the_shard_tree() {
+    let shard_a = daemon("trace-shard-a", 1);
+    let shard_b = daemon("trace-shard-b", 1);
+    let router = service::router::spawn(RouterConfig::fronting(
+        Endpoint::Tcp("127.0.0.1:0".to_string()),
+        vec![shard_a.endpoint.clone(), shard_b.endpoint.clone()],
+    ))
+    .unwrap();
+    let mut client = Client::connect_endpoint(&router.endpoint).unwrap();
+    let id = client
+        .submit_traced(
+            "aspen16",
+            "qlosure",
+            &queko_qasm("aspen16", 10, 9),
+            Priority::Interactive,
+            false,
+            service::Strategy::Flat,
+            true,
+        )
+        .unwrap();
+    client.wait(id, WAIT).unwrap();
+    // The routed trace comes back wrapped: a router span recording the
+    // shard the job landed on, with the shard's own tree (and its trace
+    // ID, propagated over the wire) nested inside.
+    let (trace_id, root) = client.trace(id).unwrap();
+    assert_eq!(trace_id.len(), 16);
+    assert_eq!(root.name, "router:route");
+    let expected_shard = content_shard("aspen16", 2).to_string();
+    assert!(
+        root.notes
+            .iter()
+            .any(|(key, value)| key == "shard" && *value == expected_shard),
+        "router span must record the landing shard: {:?}",
+        root.notes
+    );
+    assert_eq!(root.children.len(), 1);
+    assert_eq!(root.children[0].name, "job");
+    assert!(find_span(&root, "intake:queue-wait").is_some());
+    assert!(find_span(&root, "routing:qlosure").is_some());
+    client.shutdown().unwrap();
+    router.join().unwrap();
+    shard_a.join().unwrap();
+    shard_b.join().unwrap();
 }
 
 #[test]
