@@ -1,0 +1,248 @@
+//! Event-journal overhead gate: the flight-recorder instrumentation
+//! must stay free when the journal is off and harmless when it is on.
+//!
+//! Maps the `router_core` budget instance (1024-qubit QUEKO on grid
+//! 32×32, depth 8, 20% two-qubit density, seed 1) flat and hierarchical,
+//! first with the journal disabled (the process default) and then with
+//! the journal enabled *and* a churn thread hammering it — emitting
+//! events far faster than any real subsystem would, so the bounded ring
+//! is evicting the whole time. Three contracts are enforced:
+//!
+//! 1. **Disabled-path cost.** `obs::event` sits on warning paths inside
+//!    the engine and the plan store, so a disabled journal must cost one
+//!    relaxed atomic load per site: the disabled flat cold map must stay
+//!    within 2% of the committed [`FLAT_COLD_1024Q_BUDGET_SECONDS`]
+//!    `router_core` budget — the same envelope the tracing gate uses.
+//!    A micro-loop additionally pins the per-call disabled cost.
+//! 2. **Golden equivalence.** The journal observes, it never steers:
+//!    each mapper's result fingerprint under a live, churning journal
+//!    must be bit-for-bit identical to the disabled run's.
+//! 3. **Bounded ring.** After the churn the journal must have retained
+//!    at most its capacity and counted every eviction in
+//!    [`obs::dropped_total`] — overflow is a counter, never a stall.
+//!
+//! Output: `BENCH_obs_overhead.json` with one row per (mapper, journal)
+//! pair plus the gate threshold and micro-loop cost as extras. Exit
+//! status: 1 on a budget breach or any fingerprint divergence.
+
+use bench_support::report::JsonJobRow;
+use bench_support::{shared_backend, FLAT_COLD_1024Q_BUDGET_SECONDS};
+use circuit::{verify_routing, Circuit};
+use hier::HierMapper;
+use qlosure::{Mapper, QlosureMapper};
+use queko::QuekoSpec;
+use service::result_fingerprint;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+use topology::CouplingGraph;
+
+/// Headroom over the committed budget: the disabled path may cost at
+/// most 2% of the `router_core` bound before this gate fails the build.
+const OVERHEAD_HEADROOM: f64 = 1.02;
+
+/// Disabled-path micro-loop iterations (one `obs::event` call each).
+const MICRO_CALLS: u64 = 1_000_000;
+
+/// Journal capacity for the enabled runs: small on purpose, so the
+/// churn thread forces constant eviction while the mappers run.
+const CHURN_CAPACITY: usize = 256;
+
+struct Run {
+    seconds: f64,
+    fingerprint: u64,
+    swaps: usize,
+    passes: Vec<(String, f64)>,
+}
+
+/// One verified mapping run under whatever journal state the process is
+/// in, keeping the result fingerprint.
+fn run_once(mapper: &(dyn Mapper + Send + Sync), circuit: &Circuit, device: &CouplingGraph) -> Run {
+    let start = Instant::now();
+    let timed = qlosure::run_mapper_timed(mapper, circuit, device);
+    let seconds = start.elapsed().as_secs_f64();
+    verify_routing(
+        circuit,
+        &timed.result.routed,
+        &|a, b| device.is_adjacent(a, b),
+        &timed.result.initial_layout,
+    )
+    .unwrap_or_else(|e| panic!("{} produced invalid routing: {e}", mapper.name()));
+    Run {
+        seconds,
+        fingerprint: result_fingerprint(&timed.result),
+        swaps: timed.result.swaps,
+        passes: timed.passes,
+    }
+}
+
+fn main() {
+    // Micro-loop FIRST, while the journal is still in its process-default
+    // disabled state: the per-call cost of a disabled `obs::event` is one
+    // relaxed atomic load and a branch — the arguments must not even be
+    // formatted. Formatting happens at the call sites only under
+    // `obs::enabled()` guards or with pre-built strings, so this loop is
+    // the honest per-site price.
+    assert!(!obs::enabled(), "the journal must start disabled");
+    let micro0 = Instant::now();
+    for i in 0..MICRO_CALLS {
+        obs::event(
+            obs::Level::Warn,
+            "bench",
+            "disabled-path probe",
+            &[("i", if i % 2 == 0 { "even" } else { "odd" })],
+        );
+    }
+    let micro_nanos = micro0.elapsed().as_nanos() as f64 / MICRO_CALLS as f64;
+
+    let device = shared_backend("grid:32x32");
+    let bench = QuekoSpec::new(&device, 8)
+        .density_2q(0.2)
+        .seed(1)
+        .generate();
+    let mappers: Vec<(&str, Box<dyn Mapper + Send + Sync>)> = vec![
+        ("flat", Box::new(QlosureMapper::default())),
+        ("hier", Box::new(HierMapper::default())),
+    ];
+
+    let wall0 = Instant::now();
+    let mut rows: Vec<JsonJobRow> = Vec::new();
+    let mut failures = 0u32;
+    let mut flat_disabled_seconds = f64::NAN;
+    println!("== obs_overhead — disabled-path cost and golden equivalence ==");
+    println!("mapper,journal,seconds,swaps,fingerprint");
+
+    // Disabled runs first: these are the cold runs the budget is defined
+    // over, before any shared cache warms up and before the journal
+    // flips on (enabling is one-way within a process).
+    let mut disabled_runs: Vec<Run> = Vec::new();
+    for (name, mapper) in &mappers {
+        let run = run_once(mapper.as_ref(), &bench.circuit, &device);
+        if *name == "flat" {
+            flat_disabled_seconds = run.seconds;
+        }
+        println!(
+            "{name},disabled,{:.3},{},{:016x}",
+            run.seconds, run.swaps, run.fingerprint
+        );
+        disabled_runs.push(run);
+    }
+
+    // Enabled runs under churn: a tight writer thread keeps the small
+    // ring evicting for the whole mapping, the worst realistic journal
+    // pressure (real sites fire on warnings, not in loops).
+    obs::enable_with_capacity(CHURN_CAPACITY);
+    let stop = AtomicBool::new(false);
+    let mut enabled_runs: Vec<Run> = Vec::new();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let depth = i.to_string();
+                obs::event(
+                    obs::Level::Info,
+                    "bench",
+                    "journal churn",
+                    &[("depth", &depth)],
+                );
+                i += 1;
+                if i % 1024 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        for (name, mapper) in &mappers {
+            let run = run_once(mapper.as_ref(), &bench.circuit, &device);
+            println!(
+                "{name},enabled,{:.3},{},{:016x}",
+                run.seconds, run.swaps, run.fingerprint
+            );
+            enabled_runs.push(run);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    for ((name, _), (disabled, enabled)) in mappers
+        .iter()
+        .zip(disabled_runs.iter().zip(enabled_runs.iter()))
+    {
+        for (label, run) in [("disabled", disabled), ("enabled", enabled)] {
+            rows.push(JsonJobRow {
+                id: rows.len(),
+                label: format!("{name}-journal-{label}"),
+                seconds: run.seconds,
+                metrics: vec![("swaps".to_string(), run.swaps as i64)],
+                pass_seconds: run.passes.clone(),
+                queue_seconds: None,
+            });
+        }
+        if enabled.fingerprint != disabled.fingerprint {
+            eprintln!(
+                "obs_overhead: FATAL: {name} mapping diverged under the journal \
+                 ({:016x} enabled vs {:016x} disabled) — events must never \
+                 steer the mapping",
+                enabled.fingerprint, disabled.fingerprint
+            );
+            failures += 1;
+        }
+    }
+
+    // The ring stayed bounded and counted its evictions.
+    let retained = obs::events_since(0, obs::Level::Debug).1.len();
+    let dropped = obs::dropped_total();
+    println!("journal after churn: {retained} retained, {dropped} dropped");
+    if retained > CHURN_CAPACITY {
+        eprintln!(
+            "obs_overhead: FATAL: journal retained {retained} events over its \
+             capacity of {CHURN_CAPACITY}"
+        );
+        failures += 1;
+    }
+    if dropped == 0 {
+        eprintln!(
+            "obs_overhead: FATAL: the churn thread never overflowed the \
+             {CHURN_CAPACITY}-slot ring — the churn is not exercising eviction"
+        );
+        failures += 1;
+    }
+    let wall_seconds = wall0.elapsed().as_secs_f64();
+
+    let gate = FLAT_COLD_1024Q_BUDGET_SECONDS * OVERHEAD_HEADROOM;
+    let extras = vec![
+        ("disabled_gate_millis".to_string(), (gate * 1000.0) as i64),
+        (
+            "flat_1024q_budget_millis".to_string(),
+            (FLAT_COLD_1024Q_BUDGET_SECONDS * 1000.0) as i64,
+        ),
+        (
+            "disabled_event_picos".to_string(),
+            (micro_nanos * 1000.0) as i64,
+        ),
+        ("journal_dropped".to_string(), dropped as i64),
+    ];
+    match bench_support::report::write_batch_json_with(
+        "obs_overhead",
+        1,
+        wall_seconds,
+        &rows,
+        &extras,
+    ) {
+        Ok(path) => eprintln!("obs_overhead: wrote {}", path.display()),
+        Err(e) => eprintln!("obs_overhead: could not write JSON report: {e}"),
+    }
+
+    println!(
+        "\ndisabled event call: {micro_nanos:.1}ns; 1024q flat cold, journal \
+         disabled: {flat_disabled_seconds:.3}s (gate {gate:.1}s)"
+    );
+    if flat_disabled_seconds > gate {
+        eprintln!(
+            "obs_overhead: FATAL: 1024q flat cold map with the journal disabled \
+             took {flat_disabled_seconds:.1}s, over the {gate:.1}s gate \
+             ({FLAT_COLD_1024Q_BUDGET_SECONDS}s budget + 2%)"
+        );
+        failures += 1;
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

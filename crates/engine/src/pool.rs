@@ -29,6 +29,12 @@ impl BatchEngine {
         let (from_env, warning) = parse_engine_threads(raw.as_deref());
         if let Some(warning) = warning {
             eprintln!("{warning}");
+            obs::event(
+                obs::Level::Warn,
+                "engine",
+                &warning,
+                &[("var", "ENGINE_THREADS")],
+            );
         }
         let threads = from_env.unwrap_or_else(|| {
             std::thread::available_parallelism()

@@ -274,6 +274,12 @@ impl PlanStore {
 
     fn warn(&mut self, warning: StoreWarning) {
         eprintln!("plan store: {warning}");
+        obs::event(
+            obs::Level::Warn,
+            "plan-store",
+            &warning.to_string(),
+            &[("path", &self.path.display().to_string())],
+        );
         self.warnings.push(warning);
     }
 

@@ -1,0 +1,349 @@
+//! # qlosure-obs — the structured event journal
+//!
+//! A process-wide, bounded, in-memory journal of operational events:
+//! plan-store warnings, admission rejections, connection-cap refusals,
+//! idle disconnects, shard health transitions, span-sink drops. Spans
+//! (the `trace` crate) answer "what happened inside this one job"; the
+//! journal answers "what has this process been doing lately, and is
+//! anything wrong".
+//!
+//! The discipline mirrors the tracing rule exactly:
+//!
+//! * **Inert by default.** The journal starts disabled; a disabled
+//!   [`event`] call is one relaxed atomic load and a branch — no clock
+//!   read, no lock, no allocation. Daemons opt in with [`enable`];
+//!   library consumers never pay.
+//! * **Bounded.** The ring holds at most its configured capacity; when
+//!   full, the oldest event is evicted and counted in
+//!   [`dropped_total`] — memory is fixed no matter how noisy the
+//!   process gets.
+//! * **Interned.** Subsystem and message strings are interned behind
+//!   `Arc<str>`, so a hot site emitting the same message thousands of
+//!   times stores one string, not thousands.
+//!
+//! Events carry a monotone sequence number (starting at 1) so pollers
+//! can resume with [`events_since`] without re-reading, and a timestamp
+//! on the journal's own monotonic clock ([`now_ns`]).
+//!
+//! ```
+//! obs::enable();
+//! obs::event(obs::Level::Warn, "doc", "cache pressure", &[("evicted", "3")]);
+//! let (dropped, events) = obs::events_since(0, obs::Level::Debug);
+//! assert_eq!(dropped, obs::dropped_total());
+//! assert!(events.iter().any(|e| &*e.subsystem == "doc"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default journal capacity (events) when [`enable`] is called without
+/// an explicit bound.
+pub const JOURNAL_CAPACITY: usize = 1024;
+
+/// Event severity, ordered `Debug < Info < Warn < Error` so a minimum
+/// level is a plain comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Chatty diagnostics (off the default CLI view).
+    Debug,
+    /// Normal operational milestones.
+    Info,
+    /// Something degraded but the process keeps serving.
+    Warn,
+    /// Something failed outright.
+    Error,
+}
+
+impl Level {
+    /// The canonical lowercase spelling (the wire encoding).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses the canonical spelling back; `None` for anything else.
+    pub fn parse(text: &str) -> Option<Level> {
+        match text {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One journal entry.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotone per-process sequence number, starting at 1.
+    pub seq: u64,
+    /// Timestamp on the journal clock ([`now_ns`]).
+    pub at_ns: u64,
+    /// Severity.
+    pub level: Level,
+    /// Which subsystem emitted it (interned).
+    pub subsystem: Arc<str>,
+    /// The event message (interned).
+    pub message: Arc<str>,
+    /// Free-form key/value payload (not interned — values vary).
+    pub fields: Vec<(String, String)>,
+}
+
+/// The bounded ring behind the mutex. Sequence numbers start at 1 so
+/// `after_seq == 0` means "from the beginning" and so a sharded router
+/// can remap `seq * n + shard` invertibly (see the service router).
+struct Ring {
+    events: VecDeque<Event>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    interned: HashMap<String, Arc<str>>,
+}
+
+impl Ring {
+    fn intern(&mut self, text: &str) -> Arc<str> {
+        if let Some(existing) = self.interned.get(text) {
+            return Arc::clone(existing);
+        }
+        let arc: Arc<str> = Arc::from(text);
+        self.interned.insert(text.to_string(), Arc::clone(&arc));
+        arc
+    }
+}
+
+/// The disabled-path gate: one relaxed load and a branch, nothing else.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            events: VecDeque::new(),
+            capacity: JOURNAL_CAPACITY,
+            next_seq: 1,
+            dropped: 0,
+            interned: HashMap::new(),
+        })
+    })
+}
+
+/// Nanoseconds since the first call in this process — the journal's own
+/// monotonic clock (the crate is dependency-free, so it cannot share the
+/// trace crate's epoch; consumers align the two by *age*, never by
+/// absolute value).
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Turns the journal on with the default capacity. Idempotent.
+pub fn enable() {
+    enable_with_capacity(JOURNAL_CAPACITY);
+}
+
+/// Turns the journal on with an explicit ring bound (clamped to ≥ 1).
+/// Shrinking below the current backlog evicts oldest-first (counted as
+/// drops, like any other eviction).
+pub fn enable_with_capacity(capacity: usize) {
+    let mut ring = ring().lock().expect("journal mutex");
+    ring.capacity = capacity.max(1);
+    while ring.events.len() > ring.capacity {
+        ring.events.pop_front();
+        ring.dropped += 1;
+    }
+    drop(ring);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Whether [`event`] currently records anything.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records one event. When the journal is disabled this is one atomic
+/// load and a branch; when enabled, the oldest event is evicted (and
+/// counted dropped) once the ring is full.
+pub fn event(level: Level, subsystem: &str, message: &str, fields: &[(&str, &str)]) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let at_ns = now_ns();
+    let mut ring = ring().lock().expect("journal mutex");
+    let seq = ring.next_seq;
+    ring.next_seq += 1;
+    let subsystem = ring.intern(subsystem);
+    let message = ring.intern(message);
+    if ring.events.len() >= ring.capacity {
+        ring.events.pop_front();
+        ring.dropped += 1;
+    }
+    ring.events.push_back(Event {
+        seq,
+        at_ns,
+        level,
+        subsystem,
+        message,
+        fields: fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+    });
+}
+
+/// Events strictly after `after_seq`, at or above `min_level`, oldest
+/// first, plus the total evicted-event count. `after_seq == 0` returns
+/// the whole retained window — pollers feed the last seen seq back in
+/// to tail the journal without duplicates.
+pub fn events_since(after_seq: u64, min_level: Level) -> (u64, Vec<Event>) {
+    let ring = ring().lock().expect("journal mutex");
+    let events = ring
+        .events
+        .iter()
+        .filter(|e| e.seq > after_seq && e.level >= min_level)
+        .cloned()
+        .collect();
+    (ring.dropped, events)
+}
+
+/// The newest `n` events (any level), oldest first — the watchdog's
+/// flight-record tail.
+pub fn recent(n: usize) -> Vec<Event> {
+    let ring = ring().lock().expect("journal mutex");
+    let skip = ring.events.len().saturating_sub(n);
+    ring.events.iter().skip(skip).cloned().collect()
+}
+
+/// Total events evicted from the ring since process start.
+pub fn dropped_total() -> u64 {
+    ring().lock().expect("journal mutex").dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The journal is process-global; tests serialize on this and reset
+    /// the ring so they see only their own events.
+    fn with_fresh_journal(test: impl FnOnce()) {
+        static GATE: Mutex<()> = Mutex::new(());
+        let _gate = GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        {
+            let mut ring = ring().lock().expect("journal mutex");
+            ring.events.clear();
+            ring.capacity = JOURNAL_CAPACITY;
+            ring.dropped = 0;
+        }
+        ENABLED.store(true, Ordering::Release);
+        test();
+        ENABLED.store(false, Ordering::Release);
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        with_fresh_journal(|| {
+            ENABLED.store(false, Ordering::Release);
+            let before = events_since(0, Level::Debug).1.len();
+            event(Level::Error, "test", "should vanish", &[]);
+            assert_eq!(events_since(0, Level::Debug).1.len(), before);
+        });
+    }
+
+    #[test]
+    fn events_round_trip_with_monotone_seq_and_fields() {
+        with_fresh_journal(|| {
+            event(Level::Info, "alpha", "first", &[("k", "v")]);
+            event(Level::Warn, "beta", "second", &[]);
+            let (_, events) = events_since(0, Level::Debug);
+            let ours: Vec<_> = events
+                .iter()
+                .filter(|e| &*e.subsystem == "alpha" || &*e.subsystem == "beta")
+                .collect();
+            assert_eq!(ours.len(), 2);
+            assert!(ours[0].seq >= 1, "seq starts at 1");
+            assert!(ours[0].seq < ours[1].seq, "seq is monotone");
+            assert!(ours[0].at_ns <= ours[1].at_ns);
+            assert_eq!(ours[0].fields, vec![("k".to_string(), "v".to_string())]);
+            // Tailing from the first seq returns only the second.
+            let (_, tail) = events_since(ours[0].seq, Level::Debug);
+            assert!(tail.iter().all(|e| e.seq > ours[0].seq));
+        });
+    }
+
+    #[test]
+    fn min_level_filters_and_orders() {
+        with_fresh_journal(|| {
+            event(Level::Debug, "lvl", "d", &[]);
+            event(Level::Info, "lvl", "i", &[]);
+            event(Level::Warn, "lvl", "w", &[]);
+            event(Level::Error, "lvl", "e", &[]);
+            let (_, warnings) = events_since(0, Level::Warn);
+            let msgs: Vec<&str> = warnings
+                .iter()
+                .filter(|e| &*e.subsystem == "lvl")
+                .map(|e| &*e.message)
+                .collect();
+            assert_eq!(msgs, ["w", "e"]);
+            assert!(Level::Debug < Level::Info && Level::Warn < Level::Error);
+        });
+    }
+
+    #[test]
+    fn full_ring_evicts_oldest_and_counts_drops() {
+        with_fresh_journal(|| {
+            enable_with_capacity(4);
+            let dropped_before = dropped_total();
+            for i in 0..10 {
+                event(Level::Info, "ring", &format!("evt {i}"), &[]);
+            }
+            let (dropped, events) = events_since(0, Level::Debug);
+            assert_eq!(events.len(), 4, "ring is bounded");
+            assert_eq!(dropped - dropped_before, 6, "evictions are counted");
+            // The *newest* events survive.
+            assert_eq!(&*events.last().unwrap().message, "evt 9");
+            assert_eq!(recent(2).len(), 2);
+            assert_eq!(&*recent(2)[0].message, "evt 8");
+        });
+    }
+
+    #[test]
+    fn repeated_labels_are_interned() {
+        with_fresh_journal(|| {
+            event(Level::Info, "intern", "same message", &[]);
+            event(Level::Info, "intern", "same message", &[]);
+            let (_, events) = events_since(0, Level::Debug);
+            let ours: Vec<_> = events
+                .iter()
+                .filter(|e| &*e.subsystem == "intern")
+                .collect();
+            assert_eq!(ours.len(), 2);
+            assert!(Arc::ptr_eq(&ours[0].message, &ours[1].message));
+            assert!(Arc::ptr_eq(&ours[0].subsystem, &ours[1].subsystem));
+        });
+    }
+
+    #[test]
+    fn level_spelling_round_trips() {
+        for level in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+            assert_eq!(format!("{level}"), level.as_str());
+        }
+        assert_eq!(Level::parse("fatal"), None);
+    }
+}

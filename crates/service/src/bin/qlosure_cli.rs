@@ -11,18 +11,29 @@
 //! qlosure-cli [--socket ENDPOINT] trace ID [--format tree|chrome]
 //! qlosure-cli [--socket ENDPOINT] stats
 //! qlosure-cli [--socket ENDPOINT] metrics
+//! qlosure-cli [--socket ENDPOINT] events [--level L] [--follow]
+//! qlosure-cli [--socket ENDPOINT] history
+//! qlosure-cli [--socket ENDPOINT] top [--interval SECS] [--rounds N]
 //! qlosure-cli [--socket ENDPOINT] shutdown
 //! ```
 //!
 //! `ENDPOINT` is `unix:/path`, `tcp:host:port`, or a bare socket path
-//! (default `/tmp/qlosured.sock`). Every command but `metrics` and
-//! `trace` prints the daemon's response as one JSON line on stdout (the
-//! same frame that crossed the wire), so shell pipelines and the CI
-//! smoke step can assert on fields like `"verified":true`; `metrics`
-//! prints the flat `name value` text a scraper ingests, and `trace`
-//! renders the retained span tree — indented human-readable by default,
-//! or Chrome trace-event JSON (`--format chrome`, loadable in
-//! `chrome://tracing` / Perfetto). Exit status: 0 on success, 2 on a
+//! (default `/tmp/qlosured.sock`). Every command but `metrics`,
+//! `trace`, `events`, `history` and `top` prints the daemon's response
+//! as one JSON line on stdout (the same frame that crossed the wire),
+//! so shell pipelines and the CI smoke step can assert on fields like
+//! `"verified":true`; `metrics` prints the flat `name value` text a
+//! scraper ingests, and `trace` renders the retained span tree —
+//! indented human-readable by default, or Chrome trace-event JSON
+//! (`--format chrome`, loadable in `chrome://tracing` / Perfetto).
+//!
+//! The observability trio reads the flight recorder: `events` prints
+//! the journal window (`--level warn` filters, `--follow` tails it on a
+//! sequence-number cursor), `history` prints one greppable line per
+//! shard from the sampler's `metrics-history` window (rates included),
+//! and `top` polls `metrics-history` into a live single-screen fleet
+//! dashboard (`--rounds N` bounds the refresh loop for scripts; the
+//! default runs until interrupted). Exit status: 0 on success, 2 on a
 //! typed server error, 1 on transport failure.
 
 use service::proto::{encode_response, Priority, Response, Strategy};
@@ -41,6 +52,9 @@ fn usage() -> ! {
          \x20 trace ID [--format tree|chrome]\n\
          \x20 stats\n\
          \x20 metrics\n\
+         \x20 events [--level debug|info|warn|error] [--follow]\n\
+         \x20 history\n\
+         \x20 top [--interval SECS] [--rounds N]\n\
          \x20 shutdown"
     );
     std::process::exit(2);
@@ -246,10 +260,165 @@ fn main() {
             // subcommand meant for machines that do not speak NDJSON.
             print!("{}", metrics.render());
         }
+        "events" => {
+            let mut min_level = obs::Level::Debug;
+            let mut follow = false;
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--level" => match args.next().as_deref().and_then(obs::Level::parse) {
+                        Some(level) => min_level = level,
+                        None => usage(),
+                    },
+                    "--follow" => follow = true,
+                    _ => usage(),
+                }
+            }
+            // A seq cursor tails without duplicates: each round asks only
+            // for events strictly past the highest seq already printed.
+            let mut cursor = 0u64;
+            let mut first = true;
+            loop {
+                let body = client
+                    .events(min_level, cursor)
+                    .unwrap_or_else(|e| fail(&e));
+                if first && body.dropped > 0 {
+                    eprintln!(
+                        "qlosure-cli: {} earlier events already evicted from the bounded journal",
+                        body.dropped
+                    );
+                }
+                first = false;
+                for event in &body.events {
+                    print_event(event);
+                    cursor = cursor.max(event.seq);
+                }
+                if !follow {
+                    break;
+                }
+                std::thread::sleep(Duration::from_secs(1));
+            }
+        }
+        "history" => {
+            let history = client.metrics_history().unwrap_or_else(|e| fail(&e));
+            // One greppable `key value` line per shard; rates come from
+            // the daemon, not recomputed here.
+            println!("sample_seconds {}", history.sample_seconds);
+            for series in &history.series {
+                let (first, last) = match (series.samples.first(), series.samples.last()) {
+                    (Some(first), Some(last)) => (first.index, last.index),
+                    _ => (0, 0),
+                };
+                println!(
+                    "shard {} samples {} index_first {} index_last {} window_seconds {:.3} \
+                     jobs_per_second {:.3} cache_hit_rate {:.3} queue_depth_trend {}",
+                    series.shard,
+                    series.samples.len(),
+                    first,
+                    last,
+                    series.rates.window_seconds,
+                    series.rates.jobs_per_second,
+                    series.rates.cache_hit_rate,
+                    series.rates.queue_depth_trend,
+                );
+            }
+        }
+        "top" => {
+            let mut interval = 2u64;
+            let mut rounds = 0u64; // 0 = until interrupted
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--interval" => match args.next().and_then(|raw| raw.parse().ok()) {
+                        Some(secs) if secs >= 1 => interval = secs,
+                        _ => usage(),
+                    },
+                    "--rounds" => match args.next().and_then(|raw| raw.parse().ok()) {
+                        Some(n) => rounds = n,
+                        None => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            let mut cursor = 0u64;
+            let mut round = 0u64;
+            loop {
+                let history = client.metrics_history().unwrap_or_else(|e| fail(&e));
+                let events = client
+                    .events(obs::Level::Warn, cursor)
+                    .unwrap_or_else(|e| fail(&e));
+                for event in &events.events {
+                    cursor = cursor.max(event.seq);
+                }
+                render_top(&history, &events.events);
+                round += 1;
+                if rounds != 0 && round >= rounds {
+                    break;
+                }
+                std::thread::sleep(Duration::from_secs(interval));
+            }
+        }
         "shutdown" => {
             let pending = client.shutdown().unwrap_or_else(|e| fail(&e));
             print_response(&Response::ShuttingDown { pending });
         }
         _ => usage(),
     }
+}
+
+/// One journal event as a text line: age, level, subsystem, message,
+/// then the key/value payload.
+fn print_event(event: &service::EventBody) {
+    let fields: String = event
+        .fields
+        .iter()
+        .map(|(k, v)| format!(" {k}={v}"))
+        .collect();
+    println!(
+        "-{:>9.3}s  {:<5}  {:<10}  {}{}",
+        event.age_seconds, event.level, event.subsystem, event.message, fields
+    );
+}
+
+/// One `top` frame: clear the screen, then a fleet header, one row per
+/// shard, and the freshest warnings underneath.
+fn render_top(history: &service::HistoryBody, warnings: &[service::EventBody]) {
+    // ANSI clear + home — single-screen refresh, no TUI dependency.
+    print!("\x1b[2J\x1b[H");
+    let uptime = history
+        .series
+        .iter()
+        .filter_map(|s| s.samples.last())
+        .map(|s| s.uptime_seconds)
+        .fold(0.0f64, f64::max);
+    println!(
+        "qlosure top — {} shard(s), sampling every {:.0}s, fleet uptime {:.0}s",
+        history.series.len(),
+        history.sample_seconds,
+        uptime
+    );
+    println!(
+        "{:>5} {:>8} {:>7} {:>7} {:>9} {:>10} {:>7} {:>7}",
+        "shard", "jobs/s", "hit%", "queue", "inflight", "completed", "failed", "trend"
+    );
+    for series in &history.series {
+        let last = series.samples.last();
+        println!(
+            "{:>5} {:>8.2} {:>7.1} {:>7} {:>9} {:>10} {:>7} {:>+7}",
+            series.shard,
+            series.rates.jobs_per_second,
+            series.rates.cache_hit_rate * 100.0,
+            last.map_or(0, |s| s.queue_depth),
+            last.map_or(0, |s| s.jobs_inflight),
+            last.map_or(0, |s| s.completed),
+            last.map_or(0, |s| s.failed),
+            series.rates.queue_depth_trend,
+        );
+    }
+    if !warnings.is_empty() {
+        println!("recent warnings:");
+        for event in warnings.iter().rev().take(8) {
+            print_event(event);
+        }
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
 }

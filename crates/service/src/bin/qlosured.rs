@@ -5,6 +5,7 @@
 //!          [--queue-cap N] [--results-cap N]
 //!          [--max-conns N] [--read-timeout SECS]
 //!          [--plan-store DIR] [--trace-slow SECS]
+//!          [--obs-sample SECS] [--stall-after SECS]
 //! ```
 //!
 //! Listens on a Unix domain socket (default `/tmp/qlosured.sock`) or a
@@ -18,6 +19,10 @@
 //! `--trace-slow SECS` sets the slow-job threshold: any job whose
 //! mapping wall-clock exceeds it keeps its span tree for the `trace`
 //! request even when the submit did not ask for tracing.
+//! `--obs-sample SECS` sets the metrics sampler interval behind the
+//! `metrics-history` request (default 10, `0` disables), and
+//! `--stall-after SECS` the watchdog patience before an in-flight job is
+//! flagged with a `warn` journal event and a flight record (default 60).
 
 use service::daemon;
 use service::{DaemonConfig, Endpoint};
@@ -29,6 +34,7 @@ fn usage() -> ! {
          \x20               [--queue-cap N] [--results-cap N]\n\
          \x20               [--max-conns N] [--read-timeout SECS]\n\
          \x20               [--plan-store DIR] [--trace-slow SECS]\n\
+         \x20               [--obs-sample SECS] [--stall-after SECS]\n\
          ENDPOINT is unix:/path, tcp:host:port, or a bare socket path"
     );
     std::process::exit(2);
@@ -80,6 +86,18 @@ fn parse_args() -> DaemonConfig {
             "--trace-slow" => match value("--trace-slow").parse::<f64>() {
                 Ok(secs) if secs >= 0.0 && secs.is_finite() => {
                     config.service.trace_slow_seconds = secs;
+                }
+                _ => usage(),
+            },
+            "--obs-sample" => match value("--obs-sample").parse::<f64>() {
+                Ok(secs) if secs >= 0.0 && secs.is_finite() => {
+                    config.service.obs_sample_seconds = secs;
+                }
+                _ => usage(),
+            },
+            "--stall-after" => match value("--stall-after").parse::<f64>() {
+                Ok(secs) if secs >= 0.0 && secs.is_finite() => {
+                    config.service.stall_after_seconds = secs;
                 }
                 _ => usage(),
             },

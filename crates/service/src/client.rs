@@ -3,8 +3,8 @@
 
 use crate::net::{Endpoint, Stream};
 use crate::proto::{
-    encode_request, parse_response, ErrorCode, MetricsBody, Priority, ProtoError, Request,
-    Response, SpanNode, StatsBody, Strategy, Summary, MAX_FRAME,
+    encode_request, parse_response, ErrorCode, EventsBody, HistoryBody, MetricsBody, Priority,
+    ProtoError, Request, Response, SpanNode, StatsBody, Strategy, Summary, MAX_FRAME,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -278,6 +278,42 @@ impl Client {
     pub fn metrics(&mut self) -> Result<MetricsBody, ClientError> {
         match self.expect(&Request::Metrics)? {
             Response::Metrics(metrics) => Ok(metrics),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Fetches the sampler's metrics-history window: one time series per
+    /// shard (a lone daemon reports itself as shard 0) with computed
+    /// rates over each window.
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode and server failures.
+    pub fn metrics_history(&mut self) -> Result<HistoryBody, ClientError> {
+        match self.expect(&Request::MetricsHistory)? {
+            Response::MetricsHistory(history) => Ok(history),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Fetches the journal window: events at `min_level` or above with a
+    /// sequence number strictly greater than `after_seq` (pass the
+    /// highest seq already seen to tail incrementally; `0` for
+    /// everything retained).
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode and server failures.
+    pub fn events(
+        &mut self,
+        min_level: obs::Level,
+        after_seq: u64,
+    ) -> Result<EventsBody, ClientError> {
+        match self.expect(&Request::Events {
+            min_level,
+            after_seq,
+        })? {
+            Response::Events(events) => Ok(events),
             other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }

@@ -16,7 +16,8 @@
 use crate::intake::{JobOutcome, MappingService, PollReply, ServiceConfig};
 use crate::net::{self, ConnLimits, Endpoint, FrameEvent, Listener, Stream};
 use crate::proto::{
-    encode_response, parse_request, ErrorCode, Request, Response, SpanNode, StatsBody, MAX_FRAME,
+    encode_response, parse_request, ErrorCode, EventBody, EventsBody, Request, Response, SpanNode,
+    StatsBody, MAX_FRAME,
 };
 use crate::registry;
 use std::io::{BufReader, Write};
@@ -125,6 +126,9 @@ pub fn run(config: DaemonConfig) -> std::io::Result<StatsBody> {
 }
 
 fn serve(listener: Listener, config: DaemonConfig) -> std::io::Result<StatsBody> {
+    // The journal is inert until a daemon turns it on; one-shot library
+    // consumers never pay for it.
+    obs::enable();
     if let Some(dir) = &config.plan_store {
         // Attach the persistent plan tier before any job routes; a
         // damaged store file degrades to warnings at scan time.
@@ -162,9 +166,20 @@ fn handle_connection(
     loop {
         let line = match net::read_frame(&mut reader, shutdown, idle_limit)? {
             FrameEvent::Frame(line) => line,
-            // Client hung up, went silent past the idle deadline, or the
-            // daemon is shutting down: close so the accept loop can join.
-            FrameEvent::Eof | FrameEvent::IdleTimeout | FrameEvent::Shutdown => return Ok(()),
+            // Client hung up or the daemon is shutting down: close so
+            // the accept loop can join.
+            FrameEvent::Eof | FrameEvent::Shutdown => return Ok(()),
+            // Idle past the deadline: same close, but journaled — a
+            // client that keeps timing out is worth noticing.
+            FrameEvent::IdleTimeout => {
+                obs::event(
+                    obs::Level::Info,
+                    "net",
+                    "idle connection disconnected",
+                    &[("idle_seconds", &format!("{:.1}", idle_limit.as_secs_f64()))],
+                );
+                return Ok(());
+            }
             FrameEvent::Oversized(len) => {
                 // The connection is desynchronized past an oversized
                 // frame; answer and close.
@@ -187,6 +202,29 @@ fn handle_connection(
         if end {
             return Ok(());
         }
+    }
+}
+
+/// Snapshots the process-local event journal into a wire body: events
+/// past `after_seq` at `min_level` or above, ages computed against the
+/// journal clock at snapshot time. Shared with the router, which serves
+/// its own journal as one more stream next to its shards'.
+pub(crate) fn journal_window(min_level: obs::Level, after_seq: u64) -> EventsBody {
+    let (dropped, events) = obs::events_since(after_seq, min_level);
+    let now_ns = obs::now_ns();
+    EventsBody {
+        dropped,
+        events: events
+            .into_iter()
+            .map(|event| EventBody {
+                seq: event.seq,
+                age_seconds: now_ns.saturating_sub(event.at_ns) as f64 * 1e-9,
+                level: event.level,
+                subsystem: event.subsystem.to_string(),
+                message: event.message.to_string(),
+                fields: event.fields,
+            })
+            .collect(),
     }
 }
 
@@ -258,6 +296,14 @@ fn dispatch(service: &MappingService, shutdown: &AtomicBool, line: &str) -> (Res
         ),
         Request::Stats => (Response::Stats(service.stats()), false),
         Request::Metrics => (Response::Metrics(service.metrics()), false),
+        Request::MetricsHistory => (Response::MetricsHistory(service.history()), false),
+        Request::Events {
+            min_level,
+            after_seq,
+        } => (
+            Response::Events(journal_window(min_level, after_seq)),
+            false,
+        ),
         Request::Shutdown => {
             // Stop admissions immediately so the pending count is final,
             // then let the accept loop run the drain.

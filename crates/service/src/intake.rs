@@ -26,8 +26,19 @@
 //! * **Shutdown** ([`MappingService::shutdown`]) closes intake, drains
 //!   everything already admitted, then joins the scheduler, collector and
 //!   worker threads. Dropping the service does the same.
+//!
+//! Two more daemon threads watch the service itself: a **sampler**
+//! snapshots the full metrics body into a bounded history ring every
+//! [`ServiceConfig::obs_sample_seconds`] (served by `metrics-history`),
+//! and a **stall watchdog** flags jobs in flight longer than
+//! [`ServiceConfig::stall_after_seconds`] — a `warn` journal event plus
+//! a flight record (partial span tree + journal tail) in the trace
+//! store, retrievable like any other trace.
 
-use crate::proto::{ErrorCode, MetricsBody, Priority, StatsBody, Summary, PROTOCOL_VERSION};
+use crate::proto::{
+    ErrorCode, HistoryBody, MetricsBody, Priority, RatesBody, SampleBody, SeriesBody, StatsBody,
+    Summary, PROTOCOL_VERSION,
+};
 use circuit::{verify_routing, Circuit};
 use engine::{BatchEngine, StreamEngine};
 use qlosure::{FidelityPass, Mapper, MappingResult};
@@ -54,6 +65,15 @@ pub struct ServiceConfig {
     /// Trace-store bound (span trees retained for the `trace` request);
     /// `0` disables retention entirely.
     pub traces_capacity: usize,
+    /// Interval between metrics snapshots taken by the sampler thread
+    /// into the bounded history ring behind the `metrics-history`
+    /// request. Non-positive disables the sampler.
+    pub obs_sample_seconds: f64,
+    /// In-flight jobs running longer than this many seconds are flagged
+    /// by the stall watchdog: a `warn` journal event plus a flight
+    /// record (partial span tree + recent journal tail) in the trace
+    /// store. `0.0` flags on the first tick; negative disables.
+    pub stall_after_seconds: f64,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +84,8 @@ impl Default for ServiceConfig {
             results_capacity: 1024,
             trace_slow_seconds: 30.0,
             traces_capacity: 64,
+            obs_sample_seconds: 10.0,
+            stall_after_seconds: 60.0,
         }
     }
 }
@@ -163,6 +185,30 @@ struct Counters {
 /// computed over (bounded FIFO window, newest-biased like any scrape).
 const QUEUE_SAMPLE_WINDOW: usize = 1024;
 
+/// Metrics-history ring bound: one hour of snapshots at the default
+/// 10-second sampling interval. The oldest sample is evicted first.
+const HISTORY_CAPACITY: usize = 360;
+
+/// How many journal-tail events a stall flight record carries in its
+/// `watchdog:stall` span notes.
+const FLIGHT_RECORD_EVENTS: usize = 8;
+
+/// Synthetic span ID for the `watchdog:stall` marker inside a flight
+/// record — far above anything a per-job tracer hands out (span IDs
+/// count up from 1 and the sink is bounded at [`TRACE_SPAN_CAPACITY`]).
+const STALL_SPAN: u64 = u64::MAX;
+
+/// What the watchdog knows about a dispatched-but-unfinished job.
+struct RunningInfo {
+    tracer: Arc<trace::Tracer>,
+    admitted_ns: u64,
+    mapper: String,
+    backend: String,
+    /// Set once the watchdog flags the job, so a genuinely stuck job is
+    /// reported once rather than on every tick.
+    stalled: bool,
+}
+
 struct ServiceState {
     interactive: VecDeque<AdmittedJob>,
     batch: VecDeque<AdmittedJob>,
@@ -183,6 +229,15 @@ struct ServiceState {
     /// FIFO like the result store.
     traces: HashMap<u64, (String, Vec<trace::Span>)>,
     trace_order: VecDeque<u64>,
+    /// Jobs handed to the engine and not yet collected, keyed by job ID —
+    /// the stall watchdog's scan set.
+    running: HashMap<u64, RunningInfo>,
+    /// Periodic metrics snapshots, bounded at [`HISTORY_CAPACITY`] — the
+    /// raw material of the `metrics-history` response.
+    history: VecDeque<SampleBody>,
+    /// Monotone index stamped onto every history sample; survives ring
+    /// eviction so scrapers can detect gaps and merges can align.
+    next_sample_index: u64,
     closing: bool,
 }
 
@@ -192,6 +247,10 @@ struct Inner {
     intake_cv: Condvar,
     /// `wait`/`drain` waiters wake here on completions.
     done_cv: Condvar,
+    /// Sampler and watchdog interval waits park here; notified at
+    /// shutdown so both daemon threads exit promptly instead of
+    /// sleeping out their tick.
+    obs_cv: Condvar,
     config: ServiceConfig,
     /// Service start stamp on the shared trace clock — the origin of the
     /// `qlosure_uptime_seconds` gauge.
@@ -227,10 +286,14 @@ impl MappingService {
                 pass_totals: HashMap::new(),
                 traces: HashMap::new(),
                 trace_order: VecDeque::new(),
+                running: HashMap::new(),
+                history: VecDeque::new(),
+                next_sample_index: 0,
                 closing: false,
             }),
             intake_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            obs_cv: Condvar::new(),
             config,
             started_ns: trace::now_ns(),
         });
@@ -257,10 +320,18 @@ impl MappingService {
             let (inner, stream) = (inner.clone(), stream.clone());
             std::thread::spawn(move || collector_loop(&inner, &stream))
         };
+        let sampler = {
+            let inner = inner.clone();
+            std::thread::spawn(move || sampler_loop(&inner))
+        };
+        let watchdog = {
+            let inner = inner.clone();
+            std::thread::spawn(move || watchdog_loop(&inner))
+        };
         MappingService {
             inner,
             stream,
-            threads: Mutex::new(vec![scheduler, collector]),
+            threads: Mutex::new(vec![scheduler, collector, sampler, watchdog]),
         }
     }
 
@@ -283,6 +354,15 @@ impl MappingService {
         let depth = state.interactive.len() + state.batch.len();
         if depth >= self.inner.config.queue_capacity {
             state.counters.rejected += 1;
+            obs::event(
+                obs::Level::Warn,
+                "intake",
+                "admission queue full, job rejected",
+                &[
+                    ("depth", &depth.to_string()),
+                    ("capacity", &self.inner.config.queue_capacity.to_string()),
+                ],
+            );
             return Err((
                 ErrorCode::QueueFull,
                 format!(
@@ -352,33 +432,7 @@ impl MappingService {
     /// Current daemon counters, including the process-wide shared-cache
     /// hit/miss totals that make cross-request amortization observable.
     pub fn stats(&self) -> StatsBody {
-        let state = self.lock();
-        let (distance_hits, distance_misses) = topology::shared_distance_stats();
-        let (closure_hits, closure_misses) = presburger::closure_memo_stats();
-        let (weighted_hits, weighted_misses) = topology::weighted_distance_stats();
-        let (subroute_hits, subroute_misses) = hier::subroute_memo_stats();
-        let plan = hier::plan_store_stats();
-        StatsBody {
-            protocol: PROTOCOL_VERSION,
-            workers: self.inner.config.workers.max(1) as u64,
-            queue_depth: (state.interactive.len() + state.batch.len()) as u64,
-            submitted: state.counters.submitted,
-            completed: state.counters.completed,
-            rejected: state.counters.rejected,
-            failed: state.counters.failed,
-            distance_hits,
-            distance_misses,
-            closure_hits,
-            closure_misses,
-            weighted_hits,
-            weighted_misses,
-            subroute_hits,
-            subroute_misses,
-            plan_exact_hits: plan.exact_hits,
-            plan_canonical_hits: plan.canonical_hits,
-            plan_disk_hits: plan.disk_hits,
-            plan_disk_writes: plan.disk_writes,
-        }
+        stats_of(&self.inner)
     }
 
     /// Everything [`MappingService::stats`] reports plus queue-delay
@@ -386,33 +440,28 @@ impl MappingService {
     /// aggregates — the scrape-oriented superset behind the `metrics`
     /// request.
     pub fn metrics(&self) -> MetricsBody {
-        let stats = self.stats();
-        let state = self.lock();
-        let samples: Vec<f64> = state.queue_samples.iter().copied().collect();
-        let jobs_inflight = state
-            .phases
-            .values()
-            .filter(|p| !matches!(p, Phase::Done))
-            .count() as u64;
-        let mut passes: Vec<(String, u64, f64)> = state
-            .pass_totals
-            .iter()
-            .map(|(label, &(runs, total))| (label.clone(), runs, total))
-            .collect();
-        drop(state);
-        passes.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("queue delays are finite"));
-        MetricsBody {
-            stats,
-            queue_p50: nearest_rank(&sorted, 0.50),
-            queue_p90: nearest_rank(&sorted, 0.90),
-            queue_p99: nearest_rank(&sorted, 0.99),
-            queue_max: sorted.last().copied().unwrap_or(0.0),
-            queue_samples: samples.len() as u64,
-            uptime_seconds: trace::now_ns().saturating_sub(self.inner.started_ns) as f64 * 1e-9,
-            jobs_inflight,
-            passes,
+        metrics_of(&self.inner)
+    }
+
+    /// The sampler thread's bounded window of metrics snapshots plus
+    /// rates computed over it — the single-shard body behind the
+    /// `metrics-history` request (the router stacks one series per
+    /// shard; a lone daemon reports itself as shard 0).
+    pub fn history(&self) -> HistoryBody {
+        let samples: Vec<SampleBody> = self.lock().history.iter().cloned().collect();
+        let rates = RatesBody::over(&samples);
+        let sample_seconds = self.inner.config.obs_sample_seconds;
+        HistoryBody {
+            sample_seconds: if sample_seconds.is_finite() {
+                sample_seconds.max(0.0)
+            } else {
+                0.0
+            },
+            series: vec![SeriesBody {
+                shard: 0,
+                samples,
+                rates,
+            }],
         }
     }
 
@@ -440,6 +489,7 @@ impl MappingService {
         self.lock().closing = true;
         self.inner.intake_cv.notify_all();
         self.inner.done_cv.notify_all();
+        self.inner.obs_cv.notify_all();
     }
 
     /// Graceful shutdown: closes intake, waits for every admitted job to
@@ -488,6 +538,20 @@ fn scheduler_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
                     next.or_else(|| state.batch.pop_front())
                 } {
                     state.phases.insert(job.id, Phase::Running);
+                    // Register with the stall watchdog at dispatch; the
+                    // collector deregisters on completion. "Running"
+                    // here includes time in the engine's shallow buffer
+                    // — from the submitter's view that is in flight.
+                    state.running.insert(
+                        job.id,
+                        RunningInfo {
+                            tracer: job.tracer.clone(),
+                            admitted_ns: job.admitted_ns,
+                            mapper: job.spec.mapper.name().to_string(),
+                            backend: job.spec.device.name().to_string(),
+                            stalled: false,
+                        },
+                    );
                     break job;
                 }
                 if state.closing {
@@ -510,6 +574,7 @@ fn scheduler_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
         if stream.submit_blocking((id, Box::new(job))).is_err() {
             let mut state = inner.state.lock().expect("service state poisoned");
             state.counters.failed += 1;
+            state.running.remove(&id);
             state.results.insert(
                 id,
                 JobOutcome::Failed("service stopped before the job could run".to_string()),
@@ -526,7 +591,20 @@ fn scheduler_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
 /// Drains finished jobs into the bounded result store.
 fn collector_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
     while let Some((_, (id, outcome, trace_requested, tracer))) = stream.recv() {
+        let dropped_spans = tracer.dropped();
+        if dropped_spans > 0 {
+            obs::event(
+                obs::Level::Warn,
+                "trace",
+                "span sink overflowed, spans dropped",
+                &[
+                    ("job", &id.to_string()),
+                    ("dropped", &dropped_spans.to_string()),
+                ],
+            );
+        }
         let mut state = inner.state.lock().expect("service state poisoned");
+        state.running.remove(&id);
         let seq = state.next_seq;
         state.next_seq += 1;
         let outcome = match outcome {
@@ -561,8 +639,15 @@ fn collector_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
                 }
             }
             let trace_id = format!("{:016x}", tracer.trace_id());
-            state.traces.insert(id, (trace_id, tracer.snapshot()));
-            state.trace_order.push_back(id);
+            // The watchdog may already hold a flight record under this
+            // ID; replacing it must not double-enter the FIFO order.
+            if state
+                .traces
+                .insert(id, (trace_id, tracer.snapshot()))
+                .is_none()
+            {
+                state.trace_order.push_back(id);
+            }
         }
         if state.result_order.len() >= inner.config.results_capacity {
             if let Some(evicted) = state.result_order.pop_front() {
@@ -576,6 +661,248 @@ fn collector_loop(inner: &Inner, stream: &StreamEngine<WorkItem, WorkOutput>) {
         drop(state);
         inner.done_cv.notify_all();
     }
+}
+
+/// [`MappingService::stats`] as a free function over `Inner`, so the
+/// sampler thread (which holds only an `Inner` Arc) can snapshot it.
+fn stats_of(inner: &Inner) -> StatsBody {
+    let state = inner.state.lock().expect("service state poisoned");
+    let (distance_hits, distance_misses) = topology::shared_distance_stats();
+    let (closure_hits, closure_misses) = presburger::closure_memo_stats();
+    let (weighted_hits, weighted_misses) = topology::weighted_distance_stats();
+    let (subroute_hits, subroute_misses) = hier::subroute_memo_stats();
+    let plan = hier::plan_store_stats();
+    StatsBody {
+        protocol: PROTOCOL_VERSION,
+        workers: inner.config.workers.max(1) as u64,
+        queue_depth: (state.interactive.len() + state.batch.len()) as u64,
+        submitted: state.counters.submitted,
+        completed: state.counters.completed,
+        rejected: state.counters.rejected,
+        failed: state.counters.failed,
+        distance_hits,
+        distance_misses,
+        closure_hits,
+        closure_misses,
+        weighted_hits,
+        weighted_misses,
+        subroute_hits,
+        subroute_misses,
+        plan_exact_hits: plan.exact_hits,
+        plan_canonical_hits: plan.canonical_hits,
+        plan_disk_hits: plan.disk_hits,
+        plan_disk_writes: plan.disk_writes,
+    }
+}
+
+/// [`MappingService::metrics`] as a free function over `Inner` — the
+/// same body serves synchronous `metrics` requests and the sampler
+/// thread's periodic history snapshots.
+fn metrics_of(inner: &Inner) -> MetricsBody {
+    let stats = stats_of(inner);
+    let state = inner.state.lock().expect("service state poisoned");
+    let samples: Vec<f64> = state.queue_samples.iter().copied().collect();
+    let jobs_inflight = state
+        .phases
+        .values()
+        .filter(|p| !matches!(p, Phase::Done))
+        .count() as u64;
+    let mut passes: Vec<(String, u64, f64)> = state
+        .pass_totals
+        .iter()
+        .map(|(label, &(runs, total))| (label.clone(), runs, total))
+        .collect();
+    drop(state);
+    passes.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut sorted = samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("queue delays are finite"));
+    MetricsBody {
+        stats,
+        queue_p50: nearest_rank(&sorted, 0.50),
+        queue_p90: nearest_rank(&sorted, 0.90),
+        queue_p99: nearest_rank(&sorted, 0.99),
+        queue_max: sorted.last().copied().unwrap_or(0.0),
+        queue_samples: samples.len() as u64,
+        uptime_seconds: trace::now_ns().saturating_sub(inner.started_ns) as f64 * 1e-9,
+        jobs_inflight,
+        events_dropped: obs::dropped_total(),
+        trace_drops: trace::drops_total(),
+        passes,
+    }
+}
+
+/// Parks on `obs_cv` for `timeout`, returning `false` once the service
+/// is closing (shared by the sampler and watchdog interval waits).
+fn obs_wait(inner: &Inner, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    let mut state = inner.state.lock().expect("service state poisoned");
+    loop {
+        if state.closing {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return true;
+        }
+        let (guard, _) = inner
+            .obs_cv
+            .wait_timeout(state, deadline - now)
+            .expect("service state poisoned");
+        state = guard;
+    }
+}
+
+/// Snapshots the full metrics body into the bounded history ring every
+/// `obs_sample_seconds` (plus one immediate baseline sample, so rates
+/// have a left edge as soon as the first interval elapses).
+fn sampler_loop(inner: &Inner) {
+    let interval = inner.config.obs_sample_seconds;
+    if interval <= 0.0 || !interval.is_finite() {
+        return;
+    }
+    let interval = Duration::from_secs_f64(interval);
+    loop {
+        let metrics = metrics_of(inner);
+        let mut state = inner.state.lock().expect("service state poisoned");
+        if state.closing {
+            return;
+        }
+        let index = state.next_sample_index;
+        state.next_sample_index += 1;
+        if state.history.len() >= HISTORY_CAPACITY {
+            state.history.pop_front();
+        }
+        let sample = SampleBody::from_metrics(index, &metrics);
+        state.history.push_back(sample);
+        drop(state);
+        if !obs_wait(inner, interval) {
+            return;
+        }
+    }
+}
+
+/// Flags in-flight jobs that exceed `stall_after_seconds`: emits a
+/// `warn` journal event and captures a flight record — the job's
+/// partial span tree, a synthesized in-flight root, and a
+/// `watchdog:stall` span carrying the journal tail — into the bounded
+/// trace store, retrievable over the wire like any retained trace.
+fn watchdog_loop(inner: &Inner) {
+    let stall_after = inner.config.stall_after_seconds;
+    if stall_after < 0.0 || !stall_after.is_finite() {
+        return;
+    }
+    // Tick a quarter of the threshold (clamped to 50ms..1s) so a stall
+    // is flagged within ~1.25x the configured patience.
+    let tick = Duration::from_secs_f64((stall_after / 4.0).clamp(0.05, 1.0));
+    let stall_ns = (stall_after * 1e9) as u64;
+    loop {
+        if !obs_wait(inner, tick) {
+            return;
+        }
+        let now_ns = trace::now_ns();
+        let mut state = inner.state.lock().expect("service state poisoned");
+        // Collect first, flag under the same lock, then report after
+        // releasing it: event emission and snapshotting take other locks.
+        let mut flagged: Vec<(u64, Arc<trace::Tracer>, u64, String, String)> = Vec::new();
+        for (&id, info) in state.running.iter_mut() {
+            if !info.stalled && now_ns.saturating_sub(info.admitted_ns) >= stall_ns {
+                info.stalled = true;
+                flagged.push((
+                    id,
+                    info.tracer.clone(),
+                    info.admitted_ns,
+                    info.mapper.clone(),
+                    info.backend.clone(),
+                ));
+            }
+        }
+        drop(state);
+        for (id, tracer, admitted_ns, mapper, backend) in flagged {
+            let running_seconds = now_ns.saturating_sub(admitted_ns) as f64 * 1e-9;
+            obs::event(
+                obs::Level::Warn,
+                "watchdog",
+                "job stalled in flight",
+                &[
+                    ("job", &id.to_string()),
+                    ("mapper", &mapper),
+                    ("backend", &backend),
+                    ("running_seconds", &format!("{running_seconds:.3}")),
+                    ("stall_after", &format!("{stall_after:.3}")),
+                ],
+            );
+            let spans = flight_record(&tracer, admitted_ns, now_ns, &mapper, &backend);
+            let trace_id = format!("{:016x}", tracer.trace_id());
+            let mut state = inner.state.lock().expect("service state poisoned");
+            if inner.config.traces_capacity == 0 {
+                continue;
+            }
+            if state.trace_order.len() >= inner.config.traces_capacity {
+                if let Some(evicted) = state.trace_order.pop_front() {
+                    state.traces.remove(&evicted);
+                }
+            }
+            // The collector guards the same way: whichever of the two
+            // stores second replaces the entry without re-entering the
+            // eviction order.
+            if state.traces.insert(id, (trace_id, spans)).is_none() {
+                state.trace_order.push_back(id);
+            }
+        }
+    }
+}
+
+/// Builds a stalled job's flight record: the tracer's partial spans plus
+/// a synthesized root (the real one is only finished at completion —
+/// without it [`crate::proto::SpanNode::from_spans`] has no tree to
+/// hang) and a `watchdog:stall` marker span whose notes carry the last
+/// [`FLIGHT_RECORD_EVENTS`] journal events, age-stamped.
+fn flight_record(
+    tracer: &trace::Tracer,
+    admitted_ns: u64,
+    now_ns: u64,
+    mapper: &str,
+    backend: &str,
+) -> Vec<trace::Span> {
+    let mut spans = tracer.snapshot();
+    if !spans.iter().any(|s| s.id == trace::ROOT_SPAN) {
+        spans.push(trace::Span {
+            id: trace::ROOT_SPAN,
+            parent: 0,
+            name: "job".to_string(),
+            start_ns: admitted_ns,
+            end_ns: now_ns,
+            notes: vec![
+                ("mapper".to_string(), mapper.to_string()),
+                ("backend".to_string(), backend.to_string()),
+                ("stalled".to_string(), "true".to_string()),
+            ],
+        });
+    }
+    let obs_now = obs::now_ns();
+    let mut notes = vec![(
+        "running_seconds".to_string(),
+        format!("{:.3}", now_ns.saturating_sub(admitted_ns) as f64 * 1e-9),
+    )];
+    for (slot, event) in obs::recent(FLIGHT_RECORD_EVENTS).iter().enumerate() {
+        let age = obs_now.saturating_sub(event.at_ns) as f64 * 1e-9;
+        notes.push((
+            format!("journal[{slot}]"),
+            format!(
+                "-{age:.3}s {} {}: {}",
+                event.level, event.subsystem, event.message
+            ),
+        ));
+    }
+    spans.push(trace::Span {
+        id: STALL_SPAN,
+        parent: trace::ROOT_SPAN,
+        name: "watchdog:stall".to_string(),
+        start_ns: now_ns,
+        end_ns: now_ns,
+        notes,
+    });
+    spans
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice: the value at
@@ -606,6 +933,7 @@ impl Drop for MappingService {
         }
         self.inner.intake_cv.notify_all();
         self.inner.done_cv.notify_all();
+        self.inner.obs_cv.notify_all();
         self.stream.close();
         let mut threads = match self.threads.lock() {
             Ok(threads) => threads,
@@ -1043,6 +1371,7 @@ mod tests {
             results_capacity: 8,
             trace_slow_seconds: 0.0,
             traces_capacity: 2,
+            ..ServiceConfig::default()
         });
         let ids: Vec<u64> = (0..3)
             .map(|s| svc.submit(spec(Priority::Batch, 10, s)).unwrap())
@@ -1051,6 +1380,114 @@ mod tests {
         let retained = ids.iter().filter(|&&id| svc.trace(id).is_some()).count();
         assert_eq!(retained, 2, "trace store is bounded FIFO at capacity 2");
         assert!(svc.trace(ids[0]).is_none(), "oldest trace evicted first");
+    }
+
+    #[test]
+    fn sampler_fills_bounded_history_with_monotone_indexes() {
+        let svc = MappingService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            results_capacity: 8,
+            obs_sample_seconds: 0.02,
+            ..ServiceConfig::default()
+        });
+        let id = svc.submit(spec(Priority::Interactive, 10, 1)).unwrap();
+        assert!(svc.wait(id, Duration::from_secs(60)).is_some());
+        // The sampler takes an immediate baseline, then one per tick.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let history = loop {
+            let history = svc.history();
+            let samples = &history.series[0].samples;
+            if samples.len() >= 3 && samples.last().unwrap().completed >= 1 {
+                break history;
+            }
+            assert!(Instant::now() < deadline, "sampler never caught up");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert_eq!(history.series.len(), 1, "a lone daemon is one series");
+        assert_eq!(history.series[0].shard, 0);
+        let samples = &history.series[0].samples;
+        for pair in samples.windows(2) {
+            assert_eq!(pair[1].index, pair[0].index + 1, "indexes are monotone");
+            assert!(pair[1].uptime_seconds >= pair[0].uptime_seconds);
+        }
+        assert!(samples.len() <= HISTORY_CAPACITY);
+        let rates = &history.series[0].rates;
+        assert!(rates.window_seconds > 0.0);
+        assert!(rates.jobs_per_second >= 0.0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn zero_interval_disables_the_sampler() {
+        let svc = MappingService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            results_capacity: 8,
+            obs_sample_seconds: 0.0,
+            ..ServiceConfig::default()
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let history = svc.history();
+        assert!(history.series[0].samples.is_empty());
+        assert_eq!(history.sample_seconds, 0.0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn watchdog_flags_stalled_jobs_with_a_flight_record() {
+        // Zero patience: any watchdog tick (every 50ms at this setting)
+        // flags whatever is in flight. The workload must outlast at
+        // least one tick, so: a dense deep QUEKO on the king graph (the
+        // slowest routing target in the roster per unit of depth), not
+        // the breezy aspen16 the other tests use. It is not traced, and
+        // the slow-job threshold is out of reach — so a retained trace
+        // can only be the watchdog's flight record.
+        let svc = MappingService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            results_capacity: 8,
+            trace_slow_seconds: 1e9,
+            traces_capacity: 4,
+            stall_after_seconds: 0.0,
+            ..ServiceConfig::default()
+        });
+        let device = Arc::new(backends::by_name("king9").expect("king9 resolves"));
+        let bench = queko::QuekoSpec::new(&device, 400).seed(7).generate();
+        let id = svc
+            .submit(JobSpec {
+                circuit: Arc::new(bench.circuit),
+                device,
+                mapper: Arc::new(QlosureMapper::default()),
+                priority: Priority::Batch,
+                noise: None,
+                trace: false,
+            })
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let (_, spans) = loop {
+            if let Some(record) = svc.trace(id) {
+                break record;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "watchdog never captured a flight record"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let stall = spans
+            .iter()
+            .find(|s| s.name == "watchdog:stall")
+            .expect("flight record carries the stall marker span");
+        assert_eq!(stall.parent, trace::ROOT_SPAN);
+        assert!(stall.notes.iter().any(|(k, _)| k == "running_seconds"));
+        let root = spans
+            .iter()
+            .find(|s| s.id == trace::ROOT_SPAN)
+            .expect("synthesized in-flight root");
+        assert!(root.end_ns >= root.start_ns);
+        assert!(svc.wait(id, Duration::from_secs(120)).is_some());
+        svc.shutdown();
     }
 
     #[test]

@@ -74,7 +74,8 @@ pub use intake::{
 };
 pub use net::{Endpoint, Stream};
 pub use proto::{
-    ErrorCode, MetricsBody, Priority, ProtoError, Request, Response, SpanNode, StatsBody, Strategy,
-    Summary, MAX_FRAME, PROTOCOL_VERSION,
+    ErrorCode, EventBody, EventsBody, HistoryBody, MetricsBody, Priority, ProtoError, RatesBody,
+    Request, Response, SampleBody, SeriesBody, SpanNode, StatsBody, Strategy, Summary, MAX_FRAME,
+    PROTOCOL_VERSION,
 };
 pub use router::{content_shard, RouterConfig, RouterHandle};

@@ -393,6 +393,12 @@ where
 
 /// Best-effort typed refusal for a connection over the cap.
 fn refuse_busy(mut stream: Stream, cap: usize) {
+    obs::event(
+        obs::Level::Warn,
+        "net",
+        "connection refused at the cap",
+        &[("max_connections", &cap.to_string())],
+    );
     let response = Response::Error {
         code: ErrorCode::Busy,
         message: format!("connection limit reached ({cap} live connections)"),

@@ -135,6 +135,21 @@ pub enum Request {
     /// Additive op (new daemons answer it, old daemons answer
     /// `bad-request`) — no version bump.
     Metrics,
+    /// Ask for the metrics time-series window: the sampler thread's
+    /// retained [`MetricsBody`] snapshots plus rates computed over them
+    /// ([`HistoryBody`]). Additive op, like [`Request::Metrics`].
+    MetricsHistory,
+    /// Ask for the journal window: retained structured events at or
+    /// above `min_level`, strictly after `after_seq` ([`EventsBody`]).
+    /// Additive op, like [`Request::Metrics`].
+    Events {
+        /// Minimum severity to include (absent on the wire decodes as
+        /// `debug`, i.e. everything).
+        min_level: obs::Level,
+        /// Only events with a strictly greater sequence number (absent
+        /// on the wire decodes as 0 — the whole retained window).
+        after_seq: u64,
+    },
     /// Request graceful shutdown: intake closes, in-flight and queued
     /// jobs drain, then the daemon exits.
     Shutdown,
@@ -367,33 +382,122 @@ pub struct MetricsBody {
     /// Jobs admitted but not yet finished — queued plus in flight
     /// (additive field; absent on the wire decodes as 0).
     pub jobs_inflight: u64,
+    /// Journal events evicted from the bounded event ring, process-wide
+    /// (additive field; absent on the wire decodes as 0).
+    pub events_dropped: u64,
+    /// Spans dropped by full per-job trace sinks, process-wide (additive
+    /// field; absent on the wire decodes as 0).
+    pub trace_drops: u64,
 }
 
 impl MetricsBody {
     /// Flattens the export into line-oriented `name value` /
-    /// `name{label="..."} value` text a scraper can ingest directly.
-    /// Deterministic: counters in declaration order, passes sorted by
-    /// label (the daemon sorts before encoding).
+    /// `name{label="..."} value` text a scraper can ingest directly,
+    /// with `# HELP`/`# TYPE` comment lines per metric family for
+    /// standard scraper compatibility. Deterministic: counters in
+    /// declaration order, pass lines sorted by label (sorted here too,
+    /// not just daemon-side, so repeated scrapes diff cleanly whatever
+    /// encoded the body).
     #[must_use]
     pub fn render(&self) -> String {
         fn esc(label: &str) -> String {
             label.replace('\\', "\\\\").replace('"', "\\\"")
         }
+        fn meta(out: &mut String, name: &str, kind: &str, help: &str) {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        }
         let s = &self.stats;
         let mut out = String::new();
-        for (name, value) in [
-            ("qlosure_protocol_version", s.protocol),
-            ("qlosure_workers", s.workers),
-            ("qlosure_queue_depth", s.queue_depth),
-            ("qlosure_jobs_submitted_total", s.submitted),
-            ("qlosure_jobs_completed_total", s.completed),
-            ("qlosure_jobs_rejected_total", s.rejected),
-            ("qlosure_jobs_failed_total", s.failed),
+        for (name, kind, help, value) in [
+            (
+                "qlosure_protocol_version",
+                "gauge",
+                "Wire protocol version this daemon speaks.",
+                s.protocol,
+            ),
+            (
+                "qlosure_workers",
+                "gauge",
+                "Mapping worker threads.",
+                s.workers,
+            ),
+            (
+                "qlosure_queue_depth",
+                "gauge",
+                "Jobs waiting in the admission queue.",
+                s.queue_depth,
+            ),
+            (
+                "qlosure_jobs_submitted_total",
+                "counter",
+                "Jobs accepted since startup.",
+                s.submitted,
+            ),
+            (
+                "qlosure_jobs_completed_total",
+                "counter",
+                "Jobs completed successfully since startup.",
+                s.completed,
+            ),
+            (
+                "qlosure_jobs_rejected_total",
+                "counter",
+                "Jobs rejected at admission since startup.",
+                s.rejected,
+            ),
+            (
+                "qlosure_jobs_failed_total",
+                "counter",
+                "Jobs that failed while mapping since startup.",
+                s.failed,
+            ),
         ] {
+            meta(&mut out, name, kind, help);
             out.push_str(&format!("{name} {value}\n"));
         }
+        meta(
+            &mut out,
+            "qlosure_uptime_seconds",
+            "gauge",
+            "Seconds since the service started.",
+        );
         out.push_str(&format!("qlosure_uptime_seconds {}\n", self.uptime_seconds));
+        meta(
+            &mut out,
+            "qlosure_jobs_inflight",
+            "gauge",
+            "Jobs admitted but not yet finished.",
+        );
         out.push_str(&format!("qlosure_jobs_inflight {}\n", self.jobs_inflight));
+        meta(
+            &mut out,
+            "qlosure_events_dropped_total",
+            "counter",
+            "Journal events evicted from the bounded event ring.",
+        );
+        out.push_str(&format!(
+            "qlosure_events_dropped_total {}\n",
+            self.events_dropped
+        ));
+        meta(
+            &mut out,
+            "qlosure_trace_drops_total",
+            "counter",
+            "Spans dropped by full per-job trace sinks.",
+        );
+        out.push_str(&format!("qlosure_trace_drops_total {}\n", self.trace_drops));
+        meta(
+            &mut out,
+            "qlosure_cache_hits_total",
+            "counter",
+            "Shared per-device cache hits, by cache.",
+        );
+        meta(
+            &mut out,
+            "qlosure_cache_misses_total",
+            "counter",
+            "Shared per-device cache misses, by cache.",
+        );
         for (cache, hits, misses) in [
             ("distance", s.distance_hits, s.distance_misses),
             ("closure", s.closure_hits, s.closure_misses),
@@ -407,6 +511,12 @@ impl MetricsBody {
                 "qlosure_cache_misses_total{{cache=\"{cache}\"}} {misses}\n"
             ));
         }
+        meta(
+            &mut out,
+            "qlosure_plan_hits_total",
+            "counter",
+            "Fragment plan-store hits, by tier.",
+        );
         for (tier, hits) in [
             ("exact", s.plan_exact_hits),
             ("canonical", s.plan_canonical_hits),
@@ -416,10 +526,22 @@ impl MetricsBody {
                 "qlosure_plan_hits_total{{tier=\"{tier}\"}} {hits}\n"
             ));
         }
+        meta(
+            &mut out,
+            "qlosure_plan_disk_writes_total",
+            "counter",
+            "Plans persisted to the disk tier after a fresh compute.",
+        );
         out.push_str(&format!(
             "qlosure_plan_disk_writes_total {}\n",
             s.plan_disk_writes
         ));
+        meta(
+            &mut out,
+            "qlosure_queue_seconds",
+            "summary",
+            "Seconds between admission and worker pickup.",
+        );
         for (quantile, value) in [
             ("0.5", self.queue_p50),
             ("0.9", self.queue_p90),
@@ -429,12 +551,38 @@ impl MetricsBody {
                 "qlosure_queue_seconds{{quantile=\"{quantile}\"}} {value}\n"
             ));
         }
+        meta(
+            &mut out,
+            "qlosure_queue_seconds_max",
+            "gauge",
+            "Worst queue delay in the sample window.",
+        );
         out.push_str(&format!("qlosure_queue_seconds_max {}\n", self.queue_max));
+        meta(
+            &mut out,
+            "qlosure_queue_seconds_count",
+            "counter",
+            "Completed jobs the queue percentiles cover.",
+        );
         out.push_str(&format!(
             "qlosure_queue_seconds_count {}\n",
             self.queue_samples
         ));
-        for (label, runs, total) in &self.passes {
+        let mut passes: Vec<&(String, u64, f64)> = self.passes.iter().collect();
+        passes.sort_by(|a, b| a.0.cmp(&b.0));
+        meta(
+            &mut out,
+            "qlosure_pass_runs_total",
+            "counter",
+            "Pipeline pass executions, by pass label.",
+        );
+        meta(
+            &mut out,
+            "qlosure_pass_seconds_total",
+            "counter",
+            "Cumulative pipeline pass wall-clock seconds, by pass label.",
+        );
+        for (label, runs, total) in passes {
             out.push_str(&format!(
                 "qlosure_pass_runs_total{{pass=\"{}\"}} {runs}\n",
                 esc(label)
@@ -446,6 +594,197 @@ impl MetricsBody {
         }
         out
     }
+}
+
+/// One point of the metrics time-series ring, carried by
+/// [`Response::MetricsHistory`]: the counters a dashboard differentiates
+/// into rates, snapshotted from a full [`MetricsBody`] by the daemon's
+/// sampler thread.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleBody {
+    /// Monotone sample index (daemon-local; survives ring eviction, so a
+    /// poller can detect gaps).
+    pub index: u64,
+    /// Uptime seconds at sample time — the series' time axis.
+    pub uptime_seconds: f64,
+    /// Jobs accepted since startup.
+    pub submitted: u64,
+    /// Jobs completed since startup.
+    pub completed: u64,
+    /// Jobs failed since startup.
+    pub failed: u64,
+    /// Jobs rejected at admission since startup.
+    pub rejected: u64,
+    /// Admission-queue depth at sample time.
+    pub queue_depth: u64,
+    /// Jobs admitted but not yet finished at sample time.
+    pub jobs_inflight: u64,
+    /// 99th-percentile queue delay at sample time (seconds).
+    pub queue_p99: f64,
+    /// Shared distance-cache hits since startup.
+    pub distance_hits: u64,
+    /// Shared distance-cache misses since startup.
+    pub distance_misses: u64,
+    /// Plan-store exact-tier hits since startup.
+    pub plan_exact_hits: u64,
+    /// Plan-store canonical-tier hits since startup.
+    pub plan_canonical_hits: u64,
+    /// Plan-store disk-tier hits since startup.
+    pub plan_disk_hits: u64,
+    /// Sub-routing fragment-memo hits since startup.
+    pub subroute_hits: u64,
+    /// Sub-routing fragment-memo misses since startup.
+    pub subroute_misses: u64,
+    /// Journal events evicted from the bounded ring since startup.
+    pub events_dropped: u64,
+    /// Spans dropped by full trace sinks since startup.
+    pub trace_drops: u64,
+}
+
+impl SampleBody {
+    /// Projects a full metrics export down to the time-series columns.
+    #[must_use]
+    pub fn from_metrics(index: u64, m: &MetricsBody) -> SampleBody {
+        SampleBody {
+            index,
+            uptime_seconds: m.uptime_seconds,
+            submitted: m.stats.submitted,
+            completed: m.stats.completed,
+            failed: m.stats.failed,
+            rejected: m.stats.rejected,
+            queue_depth: m.stats.queue_depth,
+            jobs_inflight: m.jobs_inflight,
+            queue_p99: m.queue_p99,
+            distance_hits: m.stats.distance_hits,
+            distance_misses: m.stats.distance_misses,
+            plan_exact_hits: m.stats.plan_exact_hits,
+            plan_canonical_hits: m.stats.plan_canonical_hits,
+            plan_disk_hits: m.stats.plan_disk_hits,
+            subroute_hits: m.stats.subroute_hits,
+            subroute_misses: m.stats.subroute_misses,
+            events_dropped: m.events_dropped,
+            trace_drops: m.trace_drops,
+        }
+    }
+
+    /// Total cache probes (distance + sub-routing) — the denominator of
+    /// the windowed hit-rate.
+    fn cache_probes(&self) -> u64 {
+        self.distance_hits + self.distance_misses + self.subroute_hits + self.subroute_misses
+    }
+
+    /// Total cache hits (distance + sub-routing).
+    fn cache_hits(&self) -> u64 {
+        self.distance_hits + self.subroute_hits
+    }
+}
+
+/// Rates computed over one shard's retained sample window, carried by
+/// [`SeriesBody`]. All zeros when the window holds fewer than two
+/// samples (no interval to differentiate over).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RatesBody {
+    /// Seconds between the oldest and newest retained sample.
+    pub window_seconds: f64,
+    /// Completed jobs per second over the window.
+    pub jobs_per_second: f64,
+    /// Cache hits ÷ cache probes over the window (distance +
+    /// sub-routing), in `[0, 1]`; 0 when the window saw no probes.
+    pub cache_hit_rate: f64,
+    /// Newest queue depth minus oldest (signed): positive means the
+    /// backlog is growing.
+    pub queue_depth_trend: f64,
+}
+
+impl RatesBody {
+    /// Differentiates a sample window into rates. Total: degenerate
+    /// windows (under two samples, zero elapsed time, counter resets)
+    /// yield zeros, never NaN/infinity — the wire rejects non-finite
+    /// numbers.
+    #[must_use]
+    pub fn over(samples: &[SampleBody]) -> RatesBody {
+        let (Some(first), Some(last)) = (samples.first(), samples.last()) else {
+            return RatesBody {
+                window_seconds: 0.0,
+                jobs_per_second: 0.0,
+                cache_hit_rate: 0.0,
+                queue_depth_trend: 0.0,
+            };
+        };
+        let window = (last.uptime_seconds - first.uptime_seconds).max(0.0);
+        let completed = last.completed.saturating_sub(first.completed);
+        let probes = last.cache_probes().saturating_sub(first.cache_probes());
+        let hits = last.cache_hits().saturating_sub(first.cache_hits());
+        RatesBody {
+            window_seconds: window,
+            jobs_per_second: if window > 0.0 {
+                completed as f64 / window
+            } else {
+                0.0
+            },
+            cache_hit_rate: if probes > 0 {
+                hits as f64 / probes as f64
+            } else {
+                0.0
+            },
+            queue_depth_trend: last.queue_depth as f64 - first.queue_depth as f64,
+        }
+    }
+}
+
+/// One shard's slice of a [`Response::MetricsHistory`]: its retained
+/// sample window plus the rates computed over it. A lone daemon reports
+/// exactly one series (shard 0); a router reports one per shard, with
+/// `shard` relabeled to the fleet index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesBody {
+    /// Fleet shard index (0 for an unfronted daemon).
+    pub shard: u64,
+    /// The retained window, oldest first, aligned by `index`.
+    pub samples: Vec<SampleBody>,
+    /// Rates over this window.
+    pub rates: RatesBody,
+}
+
+/// The metrics time-series window carried by
+/// [`Response::MetricsHistory`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryBody {
+    /// Seconds between consecutive samples (the daemon's `--obs-sample`).
+    pub sample_seconds: f64,
+    /// Per-shard series, ordered by shard index.
+    pub series: Vec<SeriesBody>,
+}
+
+/// One journal event carried by [`Response::Events`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventBody {
+    /// Monotone per-daemon sequence number (starting at 1). A router
+    /// fronting `n` shards remaps it to `seq * (n + 1) + stream` the
+    /// same way it remaps job IDs — `stream` is the shard index, with
+    /// the router's own journal as stream `n` — so merged sequence
+    /// numbers stay monotone per stream and exactly invertible.
+    pub seq: u64,
+    /// Seconds before the response was generated (age, not an absolute
+    /// stamp — ages compose across processes that share no clock).
+    pub age_seconds: f64,
+    /// Severity.
+    pub level: obs::Level,
+    /// Emitting subsystem, e.g. `plan-store` or `watchdog`.
+    pub subsystem: String,
+    /// The event message.
+    pub message: String,
+    /// Free-form key/value payload.
+    pub fields: Vec<(String, String)>,
+}
+
+/// The journal window carried by [`Response::Events`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventsBody {
+    /// Events evicted from the bounded ring since startup.
+    pub dropped: u64,
+    /// The matching retained events, oldest first.
+    pub events: Vec<EventBody>,
 }
 
 /// Typed error categories carried by [`Response::Error`].
@@ -565,6 +904,11 @@ pub enum Response {
     /// The full observability export (additive op; see
     /// [`Request::Metrics`]).
     Metrics(MetricsBody),
+    /// The metrics time-series window (additive op; see
+    /// [`Request::MetricsHistory`]).
+    MetricsHistory(HistoryBody),
+    /// The journal window (additive op; see [`Request::Events`]).
+    Events(EventsBody),
     /// A completed job's span tree (additive op; see [`Request::Trace`]).
     Trace {
         /// The polled ID.
@@ -710,6 +1054,17 @@ pub fn encode_request(request: &Request) -> Result<String, json::EncodeError> {
         Request::Trace { id } => versioned("trace", vec![("id", num_u64(*id))]),
         Request::Stats => versioned("stats", vec![]),
         Request::Metrics => versioned("metrics", vec![]),
+        Request::MetricsHistory => versioned("metrics-history", vec![]),
+        Request::Events {
+            min_level,
+            after_seq,
+        } => versioned(
+            "events",
+            vec![
+                ("min_level", Json::Str(min_level.as_str().to_string())),
+                ("after_seq", num_u64(*after_seq)),
+            ],
+        ),
         Request::Shutdown => versioned("shutdown", vec![]),
     };
     value.encode()
@@ -797,6 +1152,74 @@ fn encode_summary(s: &Summary) -> Json {
     obj(members)
 }
 
+fn encode_sample(s: &SampleBody) -> Json {
+    obj(vec![
+        ("index", num_u64(s.index)),
+        ("uptime_seconds", Json::Num(s.uptime_seconds)),
+        ("submitted", num_u64(s.submitted)),
+        ("completed", num_u64(s.completed)),
+        ("failed", num_u64(s.failed)),
+        ("rejected", num_u64(s.rejected)),
+        ("queue_depth", num_u64(s.queue_depth)),
+        ("jobs_inflight", num_u64(s.jobs_inflight)),
+        ("queue_p99", Json::Num(s.queue_p99)),
+        ("distance_hits", num_u64(s.distance_hits)),
+        ("distance_misses", num_u64(s.distance_misses)),
+        ("plan_exact_hits", num_u64(s.plan_exact_hits)),
+        ("plan_canonical_hits", num_u64(s.plan_canonical_hits)),
+        ("plan_disk_hits", num_u64(s.plan_disk_hits)),
+        ("subroute_hits", num_u64(s.subroute_hits)),
+        ("subroute_misses", num_u64(s.subroute_misses)),
+        ("events_dropped", num_u64(s.events_dropped)),
+        ("trace_drops", num_u64(s.trace_drops)),
+    ])
+}
+
+fn encode_series(series: &SeriesBody) -> Json {
+    obj(vec![
+        ("shard", num_u64(series.shard)),
+        (
+            "samples",
+            Json::Arr(series.samples.iter().map(encode_sample).collect()),
+        ),
+        (
+            "rates",
+            obj(vec![
+                ("window_seconds", Json::Num(series.rates.window_seconds)),
+                ("jobs_per_second", Json::Num(series.rates.jobs_per_second)),
+                ("cache_hit_rate", Json::Num(series.rates.cache_hit_rate)),
+                (
+                    "queue_depth_trend",
+                    Json::Num(series.rates.queue_depth_trend),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn encode_event(event: &EventBody) -> Json {
+    let mut members = vec![
+        ("seq", num_u64(event.seq)),
+        ("age_seconds", Json::Num(event.age_seconds)),
+        ("level", Json::Str(event.level.as_str().to_string())),
+        ("subsystem", Json::Str(event.subsystem.clone())),
+        ("message", Json::Str(event.message.clone())),
+    ];
+    if !event.fields.is_empty() {
+        members.push((
+            "fields",
+            Json::Obj(
+                event
+                    .fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    obj(members)
+}
+
 /// Encodes a response as one JSON line (no trailing newline).
 ///
 /// # Errors
@@ -833,6 +1256,8 @@ pub fn encode_response(response: &Response) -> Result<String, json::EncodeError>
                 ("queue_samples", num_u64(metrics.queue_samples)),
                 ("uptime_seconds", Json::Num(metrics.uptime_seconds)),
                 ("jobs_inflight", num_u64(metrics.jobs_inflight)),
+                ("events_dropped", num_u64(metrics.events_dropped)),
+                ("trace_drops", num_u64(metrics.trace_drops)),
                 (
                     "passes",
                     Json::Obj(
@@ -847,6 +1272,26 @@ pub fn encode_response(response: &Response) -> Result<String, json::EncodeError>
                             })
                             .collect(),
                     ),
+                ),
+            ],
+        ),
+        Response::MetricsHistory(history) => versioned(
+            "metrics-history",
+            vec![
+                ("sample_seconds", Json::Num(history.sample_seconds)),
+                (
+                    "series",
+                    Json::Arr(history.series.iter().map(encode_series).collect()),
+                ),
+            ],
+        ),
+        Response::Events(events) => versioned(
+            "events",
+            vec![
+                ("dropped", num_u64(events.dropped)),
+                (
+                    "events",
+                    Json::Arr(events.events.iter().map(encode_event).collect()),
                 ),
             ],
         ),
@@ -1007,6 +1452,25 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         }),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
+        "metrics-history" => Ok(Request::MetricsHistory),
+        "events" => {
+            // Both fields are additive-style optional: a bare `events`
+            // frame means "everything retained, any level".
+            let min_level = match value.get("min_level") {
+                None => obs::Level::Debug,
+                Some(x) => {
+                    let text = x
+                        .as_str()
+                        .ok_or_else(|| shape("field `min_level` must be a string"))?;
+                    obs::Level::parse(text)
+                        .ok_or_else(|| shape(format!("unknown level `{text}`")))?
+                }
+            };
+            Ok(Request::Events {
+                min_level,
+                after_seq: opt_u64_field(&value, "after_seq")?,
+            })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(shape(format!("unknown request op `{other}`"))),
     }
@@ -1110,6 +1574,76 @@ fn parse_passes(value: &Json) -> Result<Vec<(String, u64, f64)>, ProtoError> {
         .collect()
 }
 
+fn parse_sample(value: &Json) -> Result<SampleBody, ProtoError> {
+    Ok(SampleBody {
+        index: u64_field(value, "index")?,
+        uptime_seconds: f64_field(value, "uptime_seconds")?,
+        submitted: u64_field(value, "submitted")?,
+        completed: u64_field(value, "completed")?,
+        failed: u64_field(value, "failed")?,
+        rejected: u64_field(value, "rejected")?,
+        queue_depth: u64_field(value, "queue_depth")?,
+        jobs_inflight: u64_field(value, "jobs_inflight")?,
+        queue_p99: f64_field(value, "queue_p99")?,
+        distance_hits: u64_field(value, "distance_hits")?,
+        distance_misses: u64_field(value, "distance_misses")?,
+        plan_exact_hits: u64_field(value, "plan_exact_hits")?,
+        plan_canonical_hits: u64_field(value, "plan_canonical_hits")?,
+        plan_disk_hits: u64_field(value, "plan_disk_hits")?,
+        subroute_hits: u64_field(value, "subroute_hits")?,
+        subroute_misses: u64_field(value, "subroute_misses")?,
+        events_dropped: opt_u64_field(value, "events_dropped")?,
+        trace_drops: opt_u64_field(value, "trace_drops")?,
+    })
+}
+
+fn parse_series(value: &Json) -> Result<SeriesBody, ProtoError> {
+    let samples = field(value, "samples")?
+        .as_arr()
+        .ok_or_else(|| shape("field `samples` must be an array"))?
+        .iter()
+        .map(parse_sample)
+        .collect::<Result<Vec<_>, _>>()?;
+    let rates = field(value, "rates")?;
+    Ok(SeriesBody {
+        shard: u64_field(value, "shard")?,
+        samples,
+        rates: RatesBody {
+            window_seconds: f64_field(rates, "window_seconds")?,
+            jobs_per_second: f64_field(rates, "jobs_per_second")?,
+            cache_hit_rate: f64_field(rates, "cache_hit_rate")?,
+            queue_depth_trend: f64_field(rates, "queue_depth_trend")?,
+        },
+    })
+}
+
+fn parse_event(value: &Json) -> Result<EventBody, ProtoError> {
+    let level_text = str_field(value, "level")?;
+    let level = obs::Level::parse(&level_text)
+        .ok_or_else(|| shape(format!("unknown level `{level_text}`")))?;
+    let fields = match value.get("fields") {
+        None => Vec::new(),
+        Some(x) => x
+            .as_obj()
+            .ok_or_else(|| shape("field `fields` must be an object"))?
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|s| (k.clone(), s.to_string()))
+                    .ok_or_else(|| shape("event fields must be strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    Ok(EventBody {
+        seq: u64_field(value, "seq")?,
+        age_seconds: f64_field(value, "age_seconds")?,
+        level,
+        subsystem: str_field(value, "subsystem")?,
+        message: str_field(value, "message")?,
+        fields,
+    })
+}
+
 /// Parses one span-tree node. Recursion is bounded by the JSON parser's
 /// depth limit, which already rejected pathologically nested frames.
 fn parse_span(value: &Json) -> Result<SpanNode, ProtoError> {
@@ -1180,6 +1714,26 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             passes: parse_passes(&value)?,
             uptime_seconds: opt_f64_field(&value, "uptime_seconds")?,
             jobs_inflight: opt_u64_field(&value, "jobs_inflight")?,
+            events_dropped: opt_u64_field(&value, "events_dropped")?,
+            trace_drops: opt_u64_field(&value, "trace_drops")?,
+        })),
+        "metrics-history" => Ok(Response::MetricsHistory(HistoryBody {
+            sample_seconds: f64_field(&value, "sample_seconds")?,
+            series: field(&value, "series")?
+                .as_arr()
+                .ok_or_else(|| shape("field `series` must be an array"))?
+                .iter()
+                .map(parse_series)
+                .collect::<Result<Vec<_>, _>>()?,
+        })),
+        "events" => Ok(Response::Events(EventsBody {
+            dropped: u64_field(&value, "dropped")?,
+            events: field(&value, "events")?
+                .as_arr()
+                .ok_or_else(|| shape("field `events` must be an array"))?
+                .iter()
+                .map(parse_event)
+                .collect::<Result<Vec<_>, _>>()?,
         })),
         "trace" => Ok(Response::Trace {
             id: u64_field(&value, "id")?,
@@ -1263,6 +1817,15 @@ mod tests {
             Request::Trace { id: 9 },
             Request::Stats,
             Request::Metrics,
+            Request::MetricsHistory,
+            Request::Events {
+                min_level: obs::Level::Debug,
+                after_seq: 0,
+            },
+            Request::Events {
+                min_level: obs::Level::Warn,
+                after_seq: 512,
+            },
             Request::Shutdown,
         ]
     }
@@ -1332,6 +1895,54 @@ mod tests {
             ],
             uptime_seconds: 3600.5,
             jobs_inflight: 3,
+            events_dropped: 2,
+            trace_drops: 5,
+        }
+    }
+
+    pub(crate) fn demo_history() -> HistoryBody {
+        let early = SampleBody::from_metrics(10, &demo_metrics());
+        let late = SampleBody {
+            index: 11,
+            uptime_seconds: 3610.5,
+            completed: 60,
+            distance_hits: 58,
+            queue_depth: 4,
+            ..early.clone()
+        };
+        let samples = vec![early, late];
+        let rates = RatesBody::over(&samples);
+        HistoryBody {
+            sample_seconds: 10.0,
+            series: vec![SeriesBody {
+                shard: 0,
+                samples,
+                rates,
+            }],
+        }
+    }
+
+    pub(crate) fn demo_events() -> EventsBody {
+        EventsBody {
+            dropped: 7,
+            events: vec![
+                EventBody {
+                    seq: 41,
+                    age_seconds: 12.5,
+                    level: obs::Level::Warn,
+                    subsystem: "plan-store".to_string(),
+                    message: "truncated tail record".to_string(),
+                    fields: vec![("offset".to_string(), "4096".to_string())],
+                },
+                EventBody {
+                    seq: 42,
+                    age_seconds: 1.25,
+                    level: obs::Level::Info,
+                    subsystem: "net".to_string(),
+                    message: "idle connection disconnected".to_string(),
+                    fields: Vec::new(),
+                },
+            ],
         }
     }
 
@@ -1389,6 +2000,16 @@ mod tests {
                 queue_samples: 0,
                 passes: Vec::new(),
                 ..demo_metrics()
+            }),
+            Response::MetricsHistory(demo_history()),
+            Response::MetricsHistory(HistoryBody {
+                sample_seconds: 10.0,
+                series: Vec::new(),
+            }),
+            Response::Events(demo_events()),
+            Response::Events(EventsBody {
+                dropped: 0,
+                events: Vec::new(),
             }),
             Response::Trace {
                 id: 9,
@@ -1719,6 +2340,79 @@ mod tests {
     }
 
     #[test]
+    fn metrics_without_drop_counter_fields_parses_as_zero() {
+        // A metrics frame from a daemon predating the drop counters
+        // (additive fields) decodes with zeros.
+        let mut old = encode_response(&Response::Metrics(demo_metrics())).unwrap();
+        old = old
+            .replace(",\"events_dropped\":2", "")
+            .replace(",\"trace_drops\":5", "");
+        match parse_response(&old).unwrap() {
+            Response::Metrics(m) => {
+                assert_eq!(m.events_dropped, 0);
+                assert_eq!(m.trace_drops, 0);
+                assert_eq!(m.uptime_seconds, 3600.5, "older fields untouched");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_events_request_defaults_to_everything() {
+        // Both request fields are optional: a bare `events` frame asks
+        // for the whole retained window at any level.
+        match parse_request("{\"v\":1,\"op\":\"events\"}").unwrap() {
+            Request::Events {
+                min_level,
+                after_seq,
+            } => {
+                assert_eq!(min_level, obs::Level::Debug);
+                assert_eq!(after_seq, 0);
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+        // An unknown level is a typed shape error.
+        let bad = "{\"v\":1,\"op\":\"events\",\"min_level\":\"fatal\"}";
+        assert_eq!(
+            parse_request(bad).unwrap_err().code(),
+            ErrorCode::BadRequest
+        );
+        // `metrics-history` is a bare op, like `metrics`.
+        assert_eq!(
+            parse_request("{\"v\":1,\"op\":\"metrics-history\"}").unwrap(),
+            Request::MetricsHistory
+        );
+    }
+
+    #[test]
+    fn history_samples_without_drop_counters_parse_as_zero_and_rates_are_total() {
+        // A sample row from a process predating the drop counters still
+        // parses (additive-field rule inside the array elements).
+        let mut old = encode_response(&Response::MetricsHistory(demo_history())).unwrap();
+        old = old
+            .replace(",\"events_dropped\":2", "")
+            .replace(",\"trace_drops\":5", "");
+        match parse_response(&old).unwrap() {
+            Response::MetricsHistory(h) => {
+                assert_eq!(h.series[0].samples[0].events_dropped, 0);
+                assert_eq!(h.series[0].samples[0].trace_drops, 0);
+                assert_eq!(h.series[0].samples[0].completed, 40);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Rate computation is total: degenerate windows yield zeros (the
+        // encoder would reject NaN), real windows differentiate.
+        assert_eq!(RatesBody::over(&[]).jobs_per_second, 0.0);
+        let one = SampleBody::from_metrics(0, &demo_metrics());
+        assert_eq!(RatesBody::over(&[one.clone(), one]).jobs_per_second, 0.0);
+        let rates = demo_history().series[0].rates.clone();
+        assert!((rates.window_seconds - 10.0).abs() < 1e-9);
+        assert!((rates.jobs_per_second - 2.0).abs() < 1e-9, "{rates:?}");
+        assert!(rates.cache_hit_rate > 0.0 && rates.cache_hit_rate <= 1.0);
+        assert!((rates.queue_depth_trend - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn metrics_render_is_flat_scrapeable_text() {
         let text = demo_metrics().render();
         for needle in [
@@ -1737,15 +2431,35 @@ mod tests {
             "qlosure_plan_hits_total{tier=\"canonical\"} 2",
             "qlosure_plan_hits_total{tier=\"disk\"} 3",
             "qlosure_plan_disk_writes_total 1",
+            "qlosure_events_dropped_total 2",
+            "qlosure_trace_drops_total 5",
+            "# HELP qlosure_jobs_completed_total ",
+            "# TYPE qlosure_jobs_completed_total counter",
+            "# TYPE qlosure_queue_depth gauge",
+            "# TYPE qlosure_queue_seconds summary",
+            "# TYPE qlosure_pass_seconds_total counter",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
-        // Every line is `name value` or `name{labels} value` — one space,
-        // no JSON punctuation a line-oriented scraper would choke on.
-        for line in text.lines() {
+        // Every sample line is `name value` or `name{labels} value` — one
+        // space, no JSON punctuation a line-oriented scraper would choke
+        // on. `#` lines are scraper comments (HELP/TYPE metadata).
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (name, value) = line.rsplit_once(' ').expect("name value pairs");
             assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "{line}");
         }
+        // Pass lines come out sorted by label even if the body was not.
+        let shuffled = MetricsBody {
+            passes: vec![
+                ("routing:qlosure".to_string(), 40, 2.5),
+                ("analysis:weights".to_string(), 40, 0.125),
+            ],
+            ..demo_metrics()
+        };
+        let text = shuffled.render();
+        let weights = text.find("qlosure_pass_runs_total{pass=\"analysis:weights\"}");
+        let routing = text.find("qlosure_pass_runs_total{pass=\"routing:qlosure\"}");
+        assert!(weights.unwrap() < routing.unwrap(), "{text}");
         // Pass labels with quotes/backslashes are escaped.
         let tricky = MetricsBody {
             passes: vec![("post:\"odd\\label\"".to_string(), 1, 0.5)],

@@ -23,14 +23,17 @@
 //!
 //! `stats` and `metrics` fan out to every shard and aggregate: counters
 //! and per-pass timings sum; queue-delay percentiles take the per-shard
-//! **max** (conservative — "no shard is slower than this"). `shutdown`
-//! fans out, then stops the router itself.
+//! **max** (conservative — "no shard is slower than this").
+//! `metrics-history` stacks one relabeled series per shard (no merging —
+//! a dashboard wants them apart); `events` merges every shard's journal
+//! with the router's own, sequence numbers remapped over `shards + 1`
+//! streams. `shutdown` fans out, then stops the router itself.
 
 use crate::client::{Client, ClientError};
 use crate::net::{self, ConnLimits, Endpoint, FrameEvent, Stream};
 use crate::proto::{
-    encode_response, parse_request, ErrorCode, MetricsBody, Request, Response, SpanNode, StatsBody,
-    MAX_FRAME, PROTOCOL_VERSION,
+    encode_response, parse_request, ErrorCode, HistoryBody, MetricsBody, Request, Response,
+    SpanNode, StatsBody, MAX_FRAME, PROTOCOL_VERSION,
 };
 use std::io::{BufReader, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -136,6 +139,9 @@ fn bind_checked(config: &RouterConfig) -> std::io::Result<net::Listener> {
 }
 
 fn serve(listener: net::Listener, config: RouterConfig) -> std::io::Result<()> {
+    // The router keeps its own journal (shard health, reconnects, idle
+    // disconnects) and serves it as one more stream next to its shards'.
+    obs::enable();
     probe_shards(&config.shards);
     let shutdown = Arc::new(AtomicBool::new(false));
     let limits = ConnLimits {
@@ -166,12 +172,36 @@ fn probe_shards(shards: &[Endpoint]) {
             .map_err(ClientError::Io)
             .and_then(|mut client| client.stats());
         match health {
-            Ok(stats) => eprintln!(
-                "qlosure-router: shard {idx} at {endpoint}: healthy \
-                 ({} workers, {} queued)",
-                stats.workers, stats.queue_depth
-            ),
-            Err(e) => eprintln!("qlosure-router: shard {idx} at {endpoint}: unreachable ({e})"),
+            Ok(stats) => {
+                obs::event(
+                    obs::Level::Info,
+                    "router",
+                    "shard healthy at startup",
+                    &[
+                        ("shard", &idx.to_string()),
+                        ("endpoint", &endpoint.to_string()),
+                        ("workers", &stats.workers.to_string()),
+                    ],
+                );
+                eprintln!(
+                    "qlosure-router: shard {idx} at {endpoint}: healthy \
+                     ({} workers, {} queued)",
+                    stats.workers, stats.queue_depth
+                );
+            }
+            Err(e) => {
+                obs::event(
+                    obs::Level::Warn,
+                    "router",
+                    "shard unreachable at startup",
+                    &[
+                        ("shard", &idx.to_string()),
+                        ("endpoint", &endpoint.to_string()),
+                        ("error", &e.to_string()),
+                    ],
+                );
+                eprintln!("qlosure-router: shard {idx} at {endpoint}: unreachable ({e})");
+            }
         }
     }
 }
@@ -216,6 +246,12 @@ impl<'a> ShardPool<'a> {
                     // drop it; the next attempt reconnects fresh.
                     self.clients[idx] = None;
                     if attempt == 0 {
+                        obs::event(
+                            obs::Level::Warn,
+                            "router",
+                            "shard connection lost, reconnecting",
+                            &[("shard", &idx.to_string()), ("error", &e.to_string())],
+                        );
                         continue;
                     }
                     return unavailable(idx, &self.endpoints[idx], &e.to_string());
@@ -227,6 +263,16 @@ impl<'a> ShardPool<'a> {
 }
 
 fn unavailable(idx: usize, endpoint: &Endpoint, detail: &str) -> Response {
+    obs::event(
+        obs::Level::Error,
+        "router",
+        "shard unavailable",
+        &[
+            ("shard", &idx.to_string()),
+            ("endpoint", &endpoint.to_string()),
+            ("error", detail),
+        ],
+    );
     Response::Error {
         code: ErrorCode::ShardUnavailable,
         message: format!("shard {idx} at {endpoint} is unavailable: {detail}"),
@@ -245,7 +291,16 @@ fn handle_connection(
     loop {
         let line = match net::read_frame(&mut reader, shutdown, idle_limit)? {
             FrameEvent::Frame(line) => line,
-            FrameEvent::Eof | FrameEvent::IdleTimeout | FrameEvent::Shutdown => return Ok(()),
+            FrameEvent::Eof | FrameEvent::Shutdown => return Ok(()),
+            FrameEvent::IdleTimeout => {
+                obs::event(
+                    obs::Level::Info,
+                    "net",
+                    "idle connection disconnected",
+                    &[("idle_seconds", &format!("{:.1}", idle_limit.as_secs_f64()))],
+                );
+                return Ok(());
+            }
             FrameEvent::Oversized(len) => {
                 let response = Response::Error {
                     code: ErrorCode::Oversized,
@@ -354,6 +409,11 @@ fn route(pool: &mut ShardPool<'_>, shutdown: &AtomicBool, line: &str) -> (Respon
         }
         Request::Stats => (fan_out_stats(pool), false),
         Request::Metrics => (fan_out_metrics(pool), false),
+        Request::MetricsHistory => (fan_out_history(pool), false),
+        Request::Events {
+            min_level,
+            after_seq,
+        } => (fan_out_events(pool, min_level, after_seq), false),
         Request::Shutdown => {
             // Fan the shutdown out so every shard drains, then stop the
             // router itself; unreachable shards cannot block the fleet.
@@ -450,6 +510,8 @@ fn fan_out_metrics(pool: &mut ShardPool<'_>) -> Response {
         queue_samples: 0,
         uptime_seconds: 0.0,
         jobs_inflight: 0,
+        events_dropped: obs::dropped_total(),
+        trace_drops: 0,
         passes: Vec::new(),
     };
     let mut passes: std::collections::HashMap<String, (u64, f64)> =
@@ -467,6 +529,10 @@ fn fan_out_metrics(pool: &mut ShardPool<'_>) -> Response {
                 // jobs sum like every other load figure.
                 total.uptime_seconds = total.uptime_seconds.max(m.uptime_seconds);
                 total.jobs_inflight += m.jobs_inflight;
+                // Drop counters sum across the fleet; the router's own
+                // journal drops were seeded into the total above.
+                total.events_dropped += m.events_dropped;
+                total.trace_drops += m.trace_drops;
                 for (label, runs, secs) in m.passes {
                     let entry = passes.entry(label).or_insert((0, 0.0));
                     entry.0 += runs;
@@ -488,6 +554,91 @@ fn fan_out_metrics(pool: &mut ShardPool<'_>) -> Response {
         .collect();
     total.passes.sort_by(|a, b| a.0.cmp(&b.0));
     Response::Metrics(total)
+}
+
+/// Fleet metrics history: one series per shard, relabeled with the
+/// fleet shard index so a dashboard can tell them apart; per-series
+/// samples and rates come back as the shard computed them (sample
+/// indexes align series across scrapes). Like `metrics`, an unreachable
+/// shard fails the sweep typed rather than understating the fleet.
+fn fan_out_history(pool: &mut ShardPool<'_>) -> Response {
+    let mut sample_seconds = 0.0f64;
+    let mut series = Vec::new();
+    for shard in 0..pool.endpoints.len() {
+        match pool.call(shard, &Request::MetricsHistory) {
+            Response::MetricsHistory(history) => {
+                sample_seconds = sample_seconds.max(history.sample_seconds);
+                for mut one in history.series {
+                    one.shard = shard as u64;
+                    series.push(one);
+                }
+            }
+            Response::Error { code, message } => return Response::Error { code, message },
+            other => {
+                return Response::Error {
+                    code: ErrorCode::ShardUnavailable,
+                    message: format!("shard {shard} answered metrics-history with {other:?}"),
+                }
+            }
+        }
+    }
+    Response::MetricsHistory(HistoryBody {
+        sample_seconds,
+        series,
+    })
+}
+
+/// Fleet journal: every shard's events plus the router's own, merged
+/// oldest-first by age. Sequence numbers are remapped over `n + 1`
+/// streams — shard `s` is stream `s`, the router's journal is stream
+/// `n` — so `seq * (n + 1) + stream` stays monotone per stream and a
+/// client cursor (`after_seq` = highest seq seen) inverts exactly.
+/// Unreachable shards are *skipped*, not fatal: the reconnect machinery
+/// journals the failure, and that event rides along in this very
+/// response via the router's stream.
+fn fan_out_events(pool: &mut ShardPool<'_>, min_level: obs::Level, after_seq: u64) -> Response {
+    let streams = pool.endpoints.len() as u64 + 1;
+    // Stream `stream`'s local cursor: the largest local seq whose remap
+    // is <= after_seq (events strictly after it are new to the client).
+    let local_after = |stream: u64| {
+        if after_seq >= stream {
+            (after_seq - stream) / streams
+        } else {
+            0
+        }
+    };
+    let mut dropped = 0u64;
+    let mut events = Vec::new();
+    for shard in 0..pool.endpoints.len() {
+        let request = Request::Events {
+            min_level,
+            after_seq: local_after(shard as u64),
+        };
+        // Anything else (an unreachable shard, say) is skipped — and
+        // self-journaled by `unavailable` above, so the gap still shows
+        // up in the merged window via the router's own stream.
+        if let Response::Events(body) = pool.call(shard, &request) {
+            dropped += body.dropped;
+            for mut event in body.events {
+                event.seq = event.seq * streams + shard as u64;
+                events.push(event);
+            }
+        }
+    }
+    let own = crate::daemon::journal_window(min_level, local_after(streams - 1));
+    dropped += own.dropped;
+    for mut event in own.events {
+        event.seq = event.seq * streams + (streams - 1);
+        events.push(event);
+    }
+    // Oldest first: ages are durations, comparable across processes
+    // that share no absolute clock.
+    events.sort_by(|a, b| {
+        b.age_seconds
+            .partial_cmp(&a.age_seconds)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Response::Events(crate::proto::EventsBody { dropped, events })
 }
 
 #[cfg(test)]

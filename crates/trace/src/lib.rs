@@ -72,6 +72,16 @@ struct Sink {
     dropped: u64,
 }
 
+/// Spans dropped across every tracer in the process — the scrapeable
+/// aggregate behind `qlosure_trace_drops_total` (per-tracer counts die
+/// with their job; this one survives for the metrics exporter).
+static GLOBAL_DROPS: AtomicU64 = AtomicU64::new(0);
+
+/// Total spans dropped by full sinks, process-wide, since start.
+pub fn drops_total() -> u64 {
+    GLOBAL_DROPS.load(Ordering::Relaxed)
+}
+
 /// A per-job span sink. Cheap to share (`Arc`), safe to record into from
 /// any thread, bounded at construction time.
 pub struct Tracer {
@@ -107,13 +117,15 @@ impl Tracer {
     }
 
     /// Records one finished span; past capacity it is counted in
-    /// [`Tracer::dropped`] instead of stored.
+    /// [`Tracer::dropped`] (and the process-wide [`drops_total`])
+    /// instead of stored.
     pub fn record(&self, span: Span) {
         let mut sink = self.sink.lock().expect("trace sink poisoned");
         if sink.spans.len() < self.capacity {
             sink.spans.push(span);
         } else {
             sink.dropped += 1;
+            GLOBAL_DROPS.fetch_add(1, Ordering::Relaxed);
         }
     }
 

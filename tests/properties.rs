@@ -688,15 +688,16 @@ fn arb_seconds() -> impl Strategy<Value = f64> {
 fn arb_request() -> impl Strategy<Value = service::Request> {
     use service::{Priority, Request};
     (
-        0u8..6,
+        0u8..8,
         arb_wire_string(),
         arb_wire_string(),
         arb_wire_string(),
         0u64..(1 << 53),
-        (0u8..2, 0u8..2, 0u8..3, 0u8..2),
+        (0u8..2, 0u8..2, 0u8..3, 0u8..2, 0u8..4),
     )
         .prop_map(
-            |(op, backend, mapper, qasm, id, (priority, fidelity, strategy, trace))| match op {
+            |(op, backend, mapper, qasm, id, (priority, fidelity, strategy, trace, level))| match op
+            {
                 0 => Request::Submit {
                     backend,
                     mapper,
@@ -718,9 +719,24 @@ fn arb_request() -> impl Strategy<Value = service::Request> {
                 2 => Request::Trace { id },
                 3 => Request::Stats,
                 4 => Request::Metrics,
+                5 => Request::MetricsHistory,
+                6 => Request::Events {
+                    min_level: arb_level(level),
+                    after_seq: id,
+                },
                 _ => Request::Shutdown,
             },
         )
+}
+
+/// The four journal severities, picked by a `0..4` selector.
+fn arb_level(pick: u8) -> obs::Level {
+    match pick {
+        0 => obs::Level::Debug,
+        1 => obs::Level::Info,
+        2 => obs::Level::Warn,
+        _ => obs::Level::Error,
+    }
 }
 
 fn arb_summary() -> impl Strategy<Value = service::Summary> {
@@ -794,10 +810,21 @@ fn arb_metrics() -> impl Strategy<Value = service::MetricsBody> {
         (arb_seconds(), arb_seconds(), arb_seconds(), arb_seconds()),
         0u64..(1 << 50),
         prop::collection::vec((arb_wire_string(), 0u64..(1 << 50), arb_seconds()), 0..4),
-        (arb_seconds(), 0u64..(1 << 50)),
+        (
+            arb_seconds(),
+            0u64..(1 << 50),
+            0u64..(1 << 50),
+            0u64..(1 << 50),
+        ),
     )
         .prop_map(
-            |(stats, (p50, p90, p99, max), samples, passes, (uptime, inflight))| {
+            |(
+                stats,
+                (p50, p90, p99, max),
+                samples,
+                passes,
+                (uptime, inflight, events_dropped, trace_drops),
+            )| {
                 service::MetricsBody {
                     stats,
                     queue_p50: p50,
@@ -808,9 +835,98 @@ fn arb_metrics() -> impl Strategy<Value = service::MetricsBody> {
                     passes,
                     uptime_seconds: uptime,
                     jobs_inflight: inflight,
+                    events_dropped,
+                    trace_drops,
                 }
             },
         )
+}
+
+/// Strategy: one metrics-history sample with every counter column in the
+/// `2^53` wire-number range.
+fn arb_sample() -> impl Strategy<Value = service::SampleBody> {
+    (
+        prop::collection::vec(0u64..(1 << 50), 16),
+        arb_seconds(),
+        arb_seconds(),
+    )
+        .prop_map(|(c, uptime, p99)| service::SampleBody {
+            index: c[0],
+            uptime_seconds: uptime,
+            submitted: c[1],
+            completed: c[2],
+            failed: c[3],
+            rejected: c[4],
+            queue_depth: c[5],
+            jobs_inflight: c[6],
+            queue_p99: p99,
+            distance_hits: c[7],
+            distance_misses: c[8],
+            plan_exact_hits: c[9],
+            plan_canonical_hits: c[10],
+            plan_disk_hits: c[11],
+            subroute_hits: c[12],
+            subroute_misses: c[13],
+            events_dropped: c[14],
+            trace_drops: c[15],
+        })
+}
+
+/// Strategy: a metrics-history body of 0–2 shard series, each holding
+/// 0–3 samples with rates computed by the library (so the fixed point
+/// also covers `RatesBody::over`'s actual output values).
+fn arb_history() -> impl Strategy<Value = service::HistoryBody> {
+    (
+        arb_seconds(),
+        prop::collection::vec(prop::collection::vec(arb_sample(), 0..3), 0..3),
+    )
+        .prop_map(|(sample_seconds, series)| service::HistoryBody {
+            sample_seconds,
+            series: series
+                .into_iter()
+                .enumerate()
+                .map(|(shard, samples)| service::SeriesBody {
+                    shard: shard as u64,
+                    rates: service::RatesBody::over(&samples),
+                    samples,
+                })
+                .collect(),
+        })
+}
+
+/// Strategy: a journal window of 0–3 events salted with the escape
+/// classes, every severity, and empty/non-empty field payloads.
+fn arb_events() -> impl Strategy<Value = service::EventsBody> {
+    (
+        0u64..(1 << 50),
+        prop::collection::vec(
+            (
+                0u64..(1 << 50),
+                arb_seconds(),
+                0u8..4,
+                arb_wire_string(),
+                arb_wire_string(),
+                prop::collection::vec((arb_wire_string(), arb_wire_string()), 0..3),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(dropped, events)| service::EventsBody {
+            dropped,
+            events: events
+                .into_iter()
+                .map(
+                    |(seq, age, level, subsystem, message, fields)| service::EventBody {
+                        seq,
+                        age_seconds: age,
+                        level: arb_level(level),
+                        subsystem,
+                        message,
+                        fields,
+                    },
+                )
+                .collect(),
+        })
 }
 
 /// Strategy: one childless span whose timestamps are ordered and inside
@@ -847,15 +963,28 @@ fn arb_span_tree() -> impl Strategy<Value = service::SpanNode> {
 fn arb_response() -> impl Strategy<Value = service::Response> {
     use service::{ErrorCode, Response};
     (
-        0u8..9,
+        0u8..11,
         0u64..(1 << 53),
         arb_wire_string(),
         arb_summary(),
         (0u8..2, 0u8..13),
-        (arb_stats(), arb_metrics(), arb_span_tree()),
+        (
+            arb_stats(),
+            arb_metrics(),
+            arb_span_tree(),
+            arb_history(),
+            arb_events(),
+        ),
     )
         .prop_map(
-            |(kind, id, text, summary, (running, code), (stats, metrics, root))| match kind {
+            |(
+                kind,
+                id,
+                text,
+                summary,
+                (running, code),
+                (stats, metrics, root, history, events),
+            )| match kind {
                 0 => Response::Submitted { id },
                 1 => Response::Pending {
                     id,
@@ -871,6 +1000,8 @@ fn arb_response() -> impl Strategy<Value = service::Response> {
                     trace_id: format!("{:016x}", id.wrapping_mul(0x0100_0000_01b3)),
                     root,
                 },
+                8 => Response::MetricsHistory(history),
+                9 => Response::Events(events),
                 _ => Response::Error {
                     code: [
                         ErrorCode::BadRequest,

@@ -850,3 +850,170 @@ fn router_passes_shard_errors_through_and_reports_dead_shards_typed() {
     router.join().unwrap();
     shard.join().unwrap();
 }
+
+// ──────────────────────────── observability ───────────────────────────
+
+/// Spawns a daemon with the observability knobs set explicitly.
+fn obs_daemon(tag: &str, workers: usize, obs_sample: f64, stall_after: f64) -> DaemonHandle {
+    let mut config = DaemonConfig::at(socket_path(tag));
+    config.service = ServiceConfig {
+        workers,
+        obs_sample_seconds: obs_sample,
+        stall_after_seconds: stall_after,
+        ..ServiceConfig::default()
+    };
+    service::daemon::spawn(config).expect("daemon binds its socket")
+}
+
+#[test]
+fn metrics_history_round_trips_a_monotone_sample_window() {
+    // A fast sampler so the window fills within the test budget; the
+    // watchdog stays at its default (nothing here stalls).
+    let daemon = obs_daemon("history", 2, 0.05, 60.0);
+    let mut client = connect(&daemon);
+    let id = client
+        .submit(
+            "aspen16",
+            "qlosure",
+            &queko_qasm("aspen16", 20, 21),
+            Priority::Interactive,
+            false,
+        )
+        .unwrap();
+    client.wait(id, WAIT).unwrap();
+    // Poll until the ring holds enough samples to difference (the sampler
+    // runs on its own clock).
+    let deadline = std::time::Instant::now() + WAIT;
+    let history = loop {
+        let history = client.metrics_history().unwrap();
+        let enough = history
+            .series
+            .first()
+            .is_some_and(|s| s.samples.len() >= 3 && s.samples.last().unwrap().completed >= 1);
+        if enough {
+            break history;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sampler must produce 3 post-completion samples in time"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(history.sample_seconds > 0.0);
+    assert_eq!(history.series.len(), 1, "an unfronted daemon is one series");
+    let series = &history.series[0];
+    assert_eq!(series.shard, 0);
+    for pair in series.samples.windows(2) {
+        assert_eq!(pair[1].index, pair[0].index + 1, "no gaps in the window");
+        assert!(pair[1].uptime_seconds >= pair[0].uptime_seconds);
+    }
+    assert!(series.rates.window_seconds > 0.0);
+    assert!(series.rates.jobs_per_second >= 0.0);
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn router_merges_history_series_and_relabels_shards() {
+    let shard_a = obs_daemon("history-shard-a", 1, 0.05, 60.0);
+    let shard_b = obs_daemon("history-shard-b", 1, 0.05, 60.0);
+    let router = service::router::spawn(RouterConfig::fronting(
+        Endpoint::Tcp("127.0.0.1:0".to_string()),
+        vec![shard_a.endpoint.clone(), shard_b.endpoint.clone()],
+    ))
+    .unwrap();
+    let mut client = Client::connect_endpoint(&router.endpoint).unwrap();
+    // Wait until both shards have at least one sample in the ring.
+    let deadline = std::time::Instant::now() + WAIT;
+    let history = loop {
+        let history = client.metrics_history().unwrap();
+        if history.series.len() == 2 && history.series.iter().all(|s| !s.samples.is_empty()) {
+            break history;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "both shards must report a sample in time"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    // Series come back relabeled with the fleet shard index, in order.
+    assert_eq!(history.series[0].shard, 0);
+    assert_eq!(history.series[1].shard, 1);
+    assert!(history.sample_seconds > 0.0);
+    client.shutdown().unwrap();
+    router.join().unwrap();
+    shard_a.join().unwrap();
+    shard_b.join().unwrap();
+}
+
+#[test]
+fn watchdog_flags_a_stalled_job_with_a_wire_retrievable_flight_record() {
+    // stall_after = 0 flags every in-flight job on the watchdog's first
+    // tick, so a long job is "stalled" the moment it starts running. The
+    // job does NOT opt into tracing — the flight record must come from
+    // the watchdog alone.
+    let daemon = obs_daemon("watchdog", 1, 0.0, 0.0);
+    let mut client = connect(&daemon);
+    let id = client
+        .submit(
+            "king9",
+            "qlosure",
+            &queko_qasm("king9", 150, 2),
+            Priority::Batch,
+            false,
+        )
+        .unwrap();
+    // Poll the trace store while the job is still in flight: the watchdog
+    // publishes a partial span tree keyed by the job ID.
+    let deadline = std::time::Instant::now() + WAIT;
+    let root = loop {
+        match client.trace(id) {
+            Ok((trace_id, root)) => {
+                assert_eq!(trace_id.len(), 16);
+                break root;
+            }
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::UnknownId, "job must not fail");
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "watchdog must capture a flight record in time"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected trace failure: {other}"),
+        }
+    };
+    // The record is a synthesized job root with the stall marker nested
+    // inside, carrying how long the job had been running and a journal
+    // tail for context.
+    assert_eq!(root.name, "job");
+    let stall = find_span(&root, "watchdog:stall").expect("stall span in the flight record");
+    assert!(
+        stall.notes.iter().any(|(key, _)| key == "running_seconds"),
+        "stall span records the in-flight duration: {:?}",
+        stall.notes
+    );
+    // The same stall shows up in the event journal over the wire.
+    let events = client.events(obs::Level::Warn, 0).unwrap();
+    assert!(
+        events
+            .events
+            .iter()
+            .any(|e| e.subsystem == "watchdog" && e.level == obs::Level::Warn),
+        "journal must carry the watchdog warning: {:?}",
+        events.events
+    );
+    // Seqs are monotone and the cursor contract holds: re-asking after
+    // the newest seq returns nothing new (and nothing dropped in between).
+    let newest = events.events.iter().map(|e| e.seq).max().unwrap();
+    let after = client.events(obs::Level::Debug, newest).unwrap();
+    assert!(
+        after.events.iter().all(|e| e.seq > newest),
+        "a seq cursor must exclude everything at or before it"
+    );
+    // The job itself still completes and overwrites nothing.
+    let summary = client.wait(id, WAIT).unwrap();
+    assert!(summary.verified);
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
